@@ -1,0 +1,38 @@
+//! Criterion end-to-end benchmark: simulated-cycles-per-second of the
+//! full GPU under the baseline and SoftWalker modes on a small contended
+//! workload. Guards whole-simulator throughput regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swgpu_sim::{GpuConfig, GpuSimulator, TranslationMode};
+use swgpu_workloads::{by_abbr, WorkloadParams};
+
+fn run_once(mode: TranslationMode) -> u64 {
+    let mut cfg = GpuConfig::quick_test();
+    cfg.sms = 4;
+    cfg.max_warps = 8;
+    cfg.mode = mode;
+    let spec = by_abbr("xsb").expect("known benchmark");
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: 2,
+        footprint_percent: 100,
+        page_size: cfg.page_size,
+    });
+    GpuSimulator::new(cfg, Box::new(wl)).run().cycles
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("baseline_xsb_small", |b| {
+        b.iter(|| run_once(TranslationMode::HardwarePtw))
+    });
+    g.bench_function("softwalker_xsb_small", |b| {
+        b.iter(|| run_once(TranslationMode::SoftWalker { in_tlb_mshr: true }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

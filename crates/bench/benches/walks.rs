@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for page-table structures: radix map/walk,
+//! hashed insert/lookup and the page walk cache.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swgpu_mem::PhysMem;
+use swgpu_pt::{AddressSpace, FrameAllocator, HashedPageTable, PageWalkCache, RadixPageTable};
+use swgpu_types::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+
+fn bench_radix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix");
+    g.bench_function("map", |b| {
+        let mut mem = PhysMem::new();
+        let mut alloc = FrameAllocator::new(PageSize::Size64K);
+        let mut pt = RadixPageTable::new(&mut alloc, &mut mem);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pt.map(Vpn::new(i), Pfn::new(i), &mut alloc, &mut mem);
+        });
+    });
+    g.bench_function("translate", |b| {
+        let mut mem = PhysMem::new();
+        let mut space = AddressSpace::new(PageSize::Size64K, &mut mem);
+        space.map_region(VirtAddr::new(0), 64 * 1024 * 1024, &mut mem);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(space.radix().translate(Vpn::new(i), &mem))
+        });
+    });
+    g.finish();
+}
+
+fn bench_hashed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashed");
+    g.bench_function("lookup", |b| {
+        let mut mem = PhysMem::new();
+        let mut alloc = FrameAllocator::new(PageSize::Size64K);
+        let mut hpt = HashedPageTable::new(&mut alloc, 4096);
+        for i in 0..4096u64 {
+            hpt.insert(Vpn::new(i), Pfn::new(i), &mut mem).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(hpt.lookup(Vpn::new(i), &mem))
+        });
+    });
+    g.finish();
+}
+
+fn bench_pwc(c: &mut Criterion) {
+    c.bench_function("pwc_lookup_fill", |b| {
+        let mut pwc = PageWalkCache::new(32);
+        pwc.set_root(PhysAddr::new(0x1000));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pwc.fill(Vpn::new(i), 1, PhysAddr::new(i << 12));
+            black_box(pwc.lookup(Vpn::new(i)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_radix, bench_hashed, bench_pwc);
+criterion_main!(benches);

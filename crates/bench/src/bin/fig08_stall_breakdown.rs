@@ -1,0 +1,55 @@
+//! Figure 8: warp-scheduler cycle breakdown at the baseline — issued vs
+//! memory-stall vs scoreboard-stall vs idle cycles.
+//!
+//! Paper headline: for irregular applications nearly 90% of scheduler
+//! cycles are memory or scoreboard stalls.
+
+use swgpu_bench::report::fmt_pct;
+use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_workloads::{table4, WorkloadClass};
+
+fn main() {
+    let h = parse_args();
+    let mut table = Table::new(vec![
+        "bench".into(),
+        "class".into(),
+        "issued".into(),
+        "mem stall".into(),
+        "scoreboard".into(),
+        "idle".into(),
+        "stalled total".into(),
+    ]);
+
+    let mut irr_stall = Vec::new();
+    let mut reg_stall = Vec::new();
+
+    for spec in table4() {
+        let s = runner::run(&spec, SystemConfig::Baseline, h.scale);
+        let t = s.sm.total_cycles().max(1) as f64;
+        let stalled = s.sm.stall_fraction();
+        table.row(vec![
+            spec.abbr.to_string(),
+            format!("{:?}", spec.class),
+            fmt_pct(s.sm.issued_cycles as f64 / t),
+            fmt_pct(s.sm.mem_stall_cycles as f64 / t),
+            fmt_pct(s.sm.scoreboard_stall_cycles as f64 / t),
+            fmt_pct(s.sm.idle_cycles as f64 / t),
+            fmt_pct(stalled),
+        ]);
+        match spec.class {
+            WorkloadClass::Irregular => irr_stall.push(stalled),
+            WorkloadClass::Regular => reg_stall.push(stalled),
+        }
+        eprintln!("[fig08] {} done", spec.abbr);
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("Figure 8 — warp scheduler cycle breakdown (baseline)");
+    println!("(paper: ~90% of cycles are memory/scoreboard stalls for irregular apps)\n");
+    table.print(h.csv);
+    println!(
+        "mean stalled fraction: irregular {} | regular {}",
+        fmt_pct(avg(&irr_stall)),
+        fmt_pct(avg(&reg_stall))
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 9: the paper's conceptual page-walk timeline, measured.
+//!
+//! The paper sketches three scenarios for a burst of concurrent walks —
+//! ideal hardware (enough PTWs: latency = table access only), the real
+//! baseline (32 PTWs: queueing dominates), and SoftWalker (no queueing,
+//! slightly longer per-walk processing from instruction execution and
+//! SM↔L2TLB communication — the "green boxes"). This harness runs the
+//! same walk burst through all three configurations with lifecycle
+//! tracing enabled and renders the measured timelines.
+
+use swgpu_bench::{parse_args, Table};
+use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
+use swgpu_workloads::microbench;
+
+fn run(mode: TranslationMode, label: &str) -> (String, SimStats) {
+    let cfg = GpuConfig {
+        sms: 16,
+        max_warps: 32,
+        mode,
+        walk_trace_cap: 4096,
+        ..GpuConfig::default()
+    };
+    // A burst of 512 concurrent single-lane walkers, each walking fresh
+    // pages — deep enough to saturate 32 PTWs, the shape of the paper's
+    // Figure 9 sketch.
+    let wl = microbench(512, 32, 4, 8 * 1024 * 1024 * 1024, cfg.page_size);
+    let footprint = wl.footprint_bytes();
+    (
+        label.to_string(),
+        GpuSimulator::new_with_footprint(cfg, Box::new(wl), footprint).run(),
+    )
+}
+
+/// Renders one walk as `....QQQQAAAA` (queueing then access), scaled.
+fn lane(rec: &swgpu_sim::WalkRecord, origin: u64, scale: u64) -> String {
+    let pre = (rec.issued_at.value() - origin) / scale;
+    let q = rec.queue_cycles() / scale;
+    let a = (rec.access_cycles() / scale).max(1);
+    format!(
+        "{}{}{}",
+        " ".repeat(pre as usize),
+        "#".repeat(q as usize),
+        "=".repeat(a as usize)
+    )
+}
+
+fn main() {
+    let h = parse_args();
+    let runs = vec![
+        run(TranslationMode::IdealPtw, "ideal HW (enough PTWs)"),
+        run(TranslationMode::HardwarePtw, "baseline (32 PTWs)"),
+        run(
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            "SoftWalker",
+        ),
+    ];
+
+    let mut summary = Table::new(vec![
+        "scenario".into(),
+        "walks".into(),
+        "avg queue (cyc)".into(),
+        "avg access (cyc)".into(),
+        "last completion (cyc)".into(),
+    ]);
+
+    println!("Figure 9 — measured walk timelines ('#' = queueing, '=' = walk processing)");
+    println!("(paper: ideal = access only; baseline = queueing dominates; SoftWalker =");
+    println!(" no queueing, slightly longer processing from instructions + communication)\n");
+
+    for (label, s) in &runs {
+        let recs = s.walk_trace.records();
+        let origin = recs
+            .iter()
+            .map(|r| r.issued_at.value())
+            .min()
+            .unwrap_or(0);
+        let horizon = recs
+            .iter()
+            .map(|r| r.completed_at.value())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(origin)
+            .max(1);
+        let scale = (horizon / 72).max(1);
+        println!("--- {label} (1 char ≈ {scale} cycles) ---");
+        // Sample walks evenly across the whole burst (completion order
+        // would show only the lucky, un-queued ones).
+        let mut all: Vec<_> = recs.iter().collect();
+        all.sort_by_key(|r| r.issued_at);
+        let stride = (all.len() / 12).max(1);
+        for r in all.iter().step_by(stride).take(12) {
+            println!("  {}", lane(r, origin, scale));
+        }
+        let last = recs
+            .iter()
+            .map(|r| r.completed_at.value())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(origin);
+        summary.row(vec![
+            label.clone(),
+            s.walk.translations.to_string(),
+            format!("{:.0}", s.walk.avg_queue()),
+            format!("{:.0}", s.walk.avg_access()),
+            last.to_string(),
+        ]);
+        println!();
+    }
+
+    summary.print(h.csv);
+}

@@ -1,0 +1,98 @@
+//! Figure 12: scaling PTWs only, L2 TLB MSHRs only, or both together —
+//! for irregular apps at 64 KB and 2 MB pages, normalized to the
+//! 32-PTW / 128-MSHR baseline.
+//!
+//! Paper headline (fraction of the ideal speedup reached at the largest
+//! scale): 64 KB — PTWs-only 59.3%, MSHRs-only 30.4%; 2 MB — 83.4% and
+//! 63.7%. Both must scale together.
+
+use swgpu_bench::report::{fmt_pct, fmt_x};
+use swgpu_bench::{geomean, parse_args, runner, Scale, SystemConfig, Table};
+use swgpu_sim::GpuConfig;
+use swgpu_workloads::{irregular, BenchmarkSpec};
+
+fn run(spec: &BenchmarkSpec, scale: Scale, sys: SystemConfig, large: bool) -> swgpu_sim::SimStats {
+    let mut cfg: GpuConfig = sys.build(scale);
+    let pct = if large {
+        cfg = cfg.with_large_pages();
+        runner::LARGE_PAGE_FOOTPRINT_PERCENT
+    } else {
+        100
+    };
+    runner::run_config(spec, cfg, pct)
+}
+
+fn main() {
+    let h = parse_args();
+    let factors = [2usize, 4, 8];
+
+    for large in [false, true] {
+        let page = if large { "2MB" } else { "64KB" };
+        let mut headers = vec!["strategy".to_string()];
+        headers.extend(factors.iter().map(|f| format!("x{f} (={} PTWs/{} MSHRs)", 32 * f, 128 * f)));
+        headers.push("% of ideal @max".into());
+        let mut table = Table::new(headers);
+
+        let specs = irregular();
+        let mut base_cycles = Vec::new();
+        let mut ideal_speedups = Vec::new();
+        for spec in &specs {
+            let b = run(spec, h.scale, SystemConfig::Baseline, large);
+            let i = run(spec, h.scale, SystemConfig::Ideal, large);
+            ideal_speedups.push(i.speedup_over(&b));
+            base_cycles.push(b);
+        }
+        let ideal_geo = geomean(&ideal_speedups);
+
+        for (name, make) in [
+            (
+                "PTWs",
+                Box::new(|f: usize| SystemConfig::ScaledPtw {
+                    walkers: 32 * f,
+                    scale_mshrs: false,
+                }) as Box<dyn Fn(usize) -> SystemConfig>,
+            ),
+            (
+                "MSHRs",
+                Box::new(|f: usize| SystemConfig::ScaledMshr { entries: 128 * f }),
+            ),
+            (
+                "PTWs+MSHRs",
+                Box::new(|f: usize| SystemConfig::ScaledPtw {
+                    walkers: 32 * f,
+                    scale_mshrs: true,
+                }),
+            ),
+        ] {
+            let mut cells = vec![name.to_string()];
+            let mut last_geo = 1.0;
+            for &f in &factors {
+                let mut xs = Vec::new();
+                for (spec, b) in specs.iter().zip(&base_cycles) {
+                    let s = run(spec, h.scale, make(f), large);
+                    xs.push(s.speedup_over(b));
+                }
+                last_geo = geomean(&xs);
+                cells.push(fmt_x(last_geo));
+                eprintln!("[fig12 {page}] {name} x{f} done");
+            }
+            // "% of ideal": how much of the ideal's gain the strategy
+            // captured at the largest factor.
+            let frac = ((last_geo - 1.0) / (ideal_geo - 1.0).max(1e-9)).clamp(0.0, 2.0);
+            cells.push(fmt_pct(frac));
+            table.row(cells);
+        }
+        table.row(vec![
+            "Ideal".into(),
+            String::new(),
+            String::new(),
+            fmt_x(ideal_geo),
+            fmt_pct(1.0),
+        ]);
+
+        println!("Figure 12 ({page} pages) — scaling PTWs vs MSHRs vs both (irregular geomean)\n");
+        table.print(h.csv);
+        println!();
+    }
+    println!("(paper: 64KB — PTWs-only 59.3% of ideal, MSHRs-only 30.4%; 2MB — 83.4% / 63.7%)");
+}

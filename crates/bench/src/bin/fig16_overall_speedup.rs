@@ -1,0 +1,59 @@
+//! Figure 16: overall speedup of NHA, FS-HPT, SW w/o In-TLB MSHR,
+//! SoftWalker, SW Hybrid and Ideal over the 32-PTW baseline, for all 20
+//! benchmarks.
+//!
+//! Paper headline: NHA 1.22x, FS-HPT 1.13x, SW w/o In-TLB 1.63x,
+//! SoftWalker 2.24x (3.94x irregular), Ideal 2.58x.
+
+use swgpu_bench::report::fmt_x;
+use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_workloads::{table4, WorkloadClass};
+
+fn main() {
+    let h = parse_args();
+    let systems = [
+        SystemConfig::Nha,
+        SystemConfig::FsHpt,
+        SystemConfig::SwNoInTlb,
+        SystemConfig::SoftWalker,
+        SystemConfig::Hybrid,
+        SystemConfig::Ideal,
+    ];
+    let mut headers = vec!["bench".to_string(), "class".to_string()];
+    headers.extend(systems.iter().map(|s| s.label()));
+    let mut table = Table::new(headers);
+
+    let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    let mut per_system_irr: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+
+    for spec in table4() {
+        let base = runner::run(&spec, SystemConfig::Baseline, h.scale);
+        let mut cells = vec![spec.abbr.to_string(), format!("{:?}", spec.class)];
+        for (i, sys) in systems.iter().enumerate() {
+            let s = runner::run(&spec, *sys, h.scale);
+            let x = s.speedup_over(&base);
+            per_system[i].push(x);
+            if spec.class == WorkloadClass::Irregular {
+                per_system_irr[i].push(x);
+            }
+            cells.push(fmt_x(x));
+        }
+        table.row(cells);
+        eprintln!("[fig16] {} done", spec.abbr);
+    }
+
+    let mut avg = vec!["geomean".to_string(), "all".to_string()];
+    let mut avg_irr = vec!["geomean".to_string(), "irregular".to_string()];
+    for i in 0..systems.len() {
+        avg.push(fmt_x(geomean(&per_system[i])));
+        avg_irr.push(fmt_x(geomean(&per_system_irr[i])));
+    }
+    table.row(avg);
+    table.row(avg_irr);
+
+    println!("Figure 16 — overall speedup over the 32-PTW baseline");
+    println!(
+        "(paper: NHA 1.22x | FS-HPT 1.13x | SW w/o In-TLB 1.63x | SoftWalker 2.24x, 3.94x irregular | Ideal 2.58x)\n"
+    );
+    table.print(h.csv);
+}

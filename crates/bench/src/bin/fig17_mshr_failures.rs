@@ -1,0 +1,49 @@
+//! Figure 17: reduction of L2 TLB MSHR failures when the In-TLB MSHR is
+//! enabled (SoftWalker) relative to the 32-PTW baseline.
+//!
+//! Paper headline: In-TLB MSHR eliminates 95.3% of MSHR failures on
+//! average; spmv only reaches ~65% because its misses pile into a few
+//! L2 TLB sets.
+
+use swgpu_bench::report::fmt_pct;
+use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_workloads::irregular;
+
+fn main() {
+    let h = parse_args();
+    let mut table = Table::new(vec![
+        "bench".into(),
+        "baseline failures".into(),
+        "SoftWalker failures".into(),
+        "reduction".into(),
+    ]);
+
+    let mut reductions = Vec::new();
+    for spec in irregular() {
+        let base = runner::run(&spec, SystemConfig::Baseline, h.scale);
+        let sw = runner::run(&spec, SystemConfig::SoftWalker, h.scale);
+        let b = base.l2_mshr_failure_events;
+        let s = sw.l2_mshr_failure_events;
+        let red = if b == 0 {
+            0.0
+        } else {
+            1.0 - s as f64 / b as f64
+        };
+        if b > 0 {
+            reductions.push(red);
+        }
+        table.row(vec![
+            spec.abbr.to_string(),
+            b.to_string(),
+            s.to_string(),
+            fmt_pct(red),
+        ]);
+        eprintln!("[fig17] {} done", spec.abbr);
+    }
+
+    println!("Figure 17 — L2 TLB MSHR failure reduction with In-TLB MSHR");
+    println!("(paper: 95.3% average reduction; spmv ~65% due to per-set contention)\n");
+    table.print(h.csv);
+    let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
+    println!("mean reduction over benchmarks with failures: {}", fmt_pct(avg));
+}

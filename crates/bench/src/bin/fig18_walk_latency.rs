@@ -1,0 +1,67 @@
+//! Figure 18: normalized page-walk latency (queueing + access) of NHA,
+//! FS-HPT and SoftWalker relative to the baseline.
+//!
+//! Paper headline: SoftWalker cuts total walk latency by 72.8% on average
+//! (NHA −20%, FS-HPT −16%); regular apps see up to +18% from the added
+//! SM↔L2TLB communication.
+
+use swgpu_bench::report::fmt_pct;
+use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_workloads::{table4, WorkloadClass};
+
+fn main() {
+    let h = parse_args();
+    let systems = [
+        SystemConfig::Nha,
+        SystemConfig::FsHpt,
+        SystemConfig::SoftWalker,
+    ];
+    let mut headers = vec!["bench".to_string(), "class".to_string(), "base walk (cyc)".into()];
+    for s in &systems {
+        headers.push(format!("{} norm", s.label()));
+        headers.push(format!("{} queue-share", s.label()));
+    }
+    let mut table = Table::new(headers);
+
+    let mut norm_sum = vec![Vec::new(); systems.len()];
+    let mut norm_irr = vec![Vec::new(); systems.len()];
+
+    for spec in table4() {
+        let base = runner::run(&spec, SystemConfig::Baseline, h.scale);
+        let base_lat = base.walk.avg_total();
+        let mut cells = vec![
+            spec.abbr.to_string(),
+            format!("{:?}", spec.class),
+            format!("{base_lat:.0}"),
+        ];
+        for (i, sys) in systems.iter().enumerate() {
+            let s = runner::run(&spec, *sys, h.scale);
+            let norm = if base_lat > 0.0 {
+                s.walk.avg_total() / base_lat
+            } else {
+                1.0
+            };
+            norm_sum[i].push(norm);
+            if spec.class == WorkloadClass::Irregular {
+                norm_irr[i].push(norm);
+            }
+            cells.push(format!("{norm:.2}"));
+            cells.push(fmt_pct(s.walk.queue_fraction()));
+        }
+        table.row(cells);
+        eprintln!("[fig18] {} done", spec.abbr);
+    }
+
+    println!("Figure 18 — normalized page-walk latency (1.0 = baseline)");
+    println!("(paper: SoftWalker 0.27 avg [−72.8%], NHA 0.80, FS-HPT 0.84; regular up to 1.18)\n");
+    table.print(h.csv);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    for (i, sys) in systems.iter().enumerate() {
+        println!(
+            "{}: mean normalized latency all={:.2} irregular={:.2}",
+            sys.label(),
+            mean(&norm_sum[i]),
+            mean(&norm_irr[i]),
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness reproducing every table and figure of the
+//! SoftWalker paper.
+//!
+//! Each figure/table has its own binary under `src/bin/` (see DESIGN.md's
+//! per-experiment index); they share the runners and reporting helpers in
+//! this library. Every binary prints the series the paper reports plus the
+//! paper's headline number for side-by-side comparison, and accepts:
+//!
+//! * `--quick` — a reduced configuration (16 SMs) for fast iteration;
+//! * `--csv` — machine-readable output after the human-readable table.
+//!
+//! Criterion microbenchmarks for the core data structures live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+
+pub use report::{geomean, Table};
+pub use runner::{parse_args, Harness, Scale, SystemConfig};

@@ -1,0 +1,266 @@
+//! Shared simulation runners for the figure harnesses.
+
+use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
+use swgpu_types::PageSize;
+use swgpu_workloads::{BenchmarkSpec, WorkloadParams};
+
+/// Run sizing: the full Table 3 machine, or a reduced one for iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 46 SMs x 48 warps, 6 memory instructions per warp.
+    Full,
+    /// 16 SMs x 16 warps, 4 memory instructions per warp.
+    Quick,
+}
+
+impl Scale {
+    /// SMs simulated.
+    pub fn sms(self) -> usize {
+        match self {
+            Scale::Full => 46,
+            Scale::Quick => 16,
+        }
+    }
+
+    /// Warps per SM.
+    pub fn warps(self) -> usize {
+        match self {
+            Scale::Full => 48,
+            Scale::Quick => 16,
+        }
+    }
+
+    /// Memory instructions per warp.
+    pub fn mem_instrs(self) -> u32 {
+        match self {
+            Scale::Full => 6,
+            Scale::Quick => 4,
+        }
+    }
+}
+
+/// CLI options shared by every harness binary.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Run sizing.
+    pub scale: Scale,
+    /// Emit CSV after the table.
+    pub csv: bool,
+}
+
+/// Parses the common `--quick` / `--csv` flags (unknown flags are
+/// ignored so binaries can add their own).
+pub fn parse_args() -> Harness {
+    let args: Vec<String> = std::env::args().collect();
+    Harness {
+        scale: if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        },
+        csv: args.iter().any(|a| a == "--csv"),
+    }
+}
+
+/// One of the named system configurations the paper compares. Everything
+/// is derived from the Table 3 default plus the mode-specific deltas the
+/// evaluation section describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemConfig {
+    /// 32 hardware PTWs (the normalization baseline).
+    Baseline,
+    /// Baseline plus NHA page-walk coalescing \[86\].
+    Nha,
+    /// Baseline walkers over the FS-HPT hashed page table \[32\].
+    FsHpt,
+    /// Hardware PTWs scaled to `n` (PWB and, when `scale_mshrs`, the L2
+    /// MSHRs scale along — the paper's Figure 5 methodology).
+    ScaledPtw {
+        /// Walker count.
+        walkers: usize,
+        /// Scale the L2 TLB MSHRs proportionally.
+        scale_mshrs: bool,
+    },
+    /// Baseline walkers with the L2 MSHR file scaled to `entries`
+    /// (Figure 12's "MSHRs" series).
+    ScaledMshr {
+        /// Dedicated L2 TLB MSHR entries.
+        entries: usize,
+    },
+    /// SoftWalker without the In-TLB MSHR.
+    SwNoInTlb,
+    /// Full SoftWalker (In-TLB MSHR capacity from the config, 1024
+    /// default).
+    SoftWalker,
+    /// SoftWalker with a specific In-TLB capacity (Figure 24).
+    SwWithCapacity {
+        /// Maximum L2 TLB entries usable as MSHRs.
+        in_tlb_max: usize,
+    },
+    /// The hybrid hardware+software design (§5.4).
+    Hybrid,
+    /// Ideal PTWs with ideal MSHRs.
+    Ideal,
+    /// Hardware walkers plus In-TLB MSHR (Figure 21's ablation).
+    HwWithInTlb {
+        /// Walker count.
+        walkers: usize,
+    },
+}
+
+impl SystemConfig {
+    /// Short label used in table headers.
+    pub fn label(self) -> String {
+        match self {
+            SystemConfig::Baseline => "Baseline".into(),
+            SystemConfig::Nha => "NHA".into(),
+            SystemConfig::FsHpt => "FS-HPT".into(),
+            SystemConfig::ScaledPtw { walkers, .. } => format!("{walkers}PTW"),
+            SystemConfig::ScaledMshr { entries } => format!("{entries}MSHR"),
+            SystemConfig::SwNoInTlb => "SW w/o InTLB".into(),
+            SystemConfig::SoftWalker => "SoftWalker".into(),
+            SystemConfig::SwWithCapacity { in_tlb_max } => format!("SW({in_tlb_max})"),
+            SystemConfig::Hybrid => "SW Hybrid".into(),
+            SystemConfig::Ideal => "Ideal".into(),
+            SystemConfig::HwWithInTlb { walkers } => format!("{walkers}PTW+InTLB"),
+        }
+    }
+
+    /// Builds the simulator configuration for this system at `scale`.
+    pub fn build(self, scale: Scale) -> GpuConfig {
+        let mut cfg = GpuConfig {
+            sms: scale.sms(),
+            max_warps: scale.warps(),
+            ..GpuConfig::default()
+        };
+        match self {
+            SystemConfig::Baseline => {}
+            SystemConfig::Nha => cfg.ptw.nha = true,
+            SystemConfig::FsHpt => cfg.mode = TranslationMode::HashedPtw,
+            SystemConfig::ScaledPtw {
+                walkers,
+                scale_mshrs,
+            } => {
+                cfg = cfg.with_ptws(walkers, scale_mshrs);
+            }
+            SystemConfig::ScaledMshr { entries } => {
+                cfg.l2_mshr.entries = entries;
+            }
+            SystemConfig::SwNoInTlb => {
+                cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: false };
+            }
+            SystemConfig::SoftWalker => {
+                cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+            }
+            SystemConfig::SwWithCapacity { in_tlb_max } => {
+                cfg.mode = TranslationMode::SoftWalker {
+                    in_tlb_mshr: in_tlb_max > 0,
+                };
+                cfg.in_tlb_max = in_tlb_max.max(1);
+            }
+            SystemConfig::Hybrid => {
+                cfg.mode = TranslationMode::Hybrid { in_tlb_mshr: true };
+            }
+            SystemConfig::Ideal => {
+                cfg = cfg.ideal();
+            }
+            SystemConfig::HwWithInTlb { walkers } => {
+                cfg = cfg.with_ptws(walkers, false);
+                cfg.force_in_tlb = true;
+            }
+        }
+        cfg
+    }
+}
+
+/// Runs one benchmark under one system configuration.
+pub fn run(spec: &BenchmarkSpec, system: SystemConfig, scale: Scale) -> SimStats {
+    run_with(spec, system, scale, |c| c)
+}
+
+/// Runs one benchmark under one system configuration, letting the caller
+/// tweak the configuration (latency sweeps, page size, footprint scale).
+pub fn run_with(
+    spec: &BenchmarkSpec,
+    system: SystemConfig,
+    scale: Scale,
+    tweak: impl FnOnce(GpuConfig) -> GpuConfig,
+) -> SimStats {
+    let cfg = tweak(system.build(scale));
+    run_config(spec, cfg, 100)
+}
+
+/// Runs one benchmark under an explicit configuration with a footprint
+/// percentage (Figures 6/25 scale footprints).
+pub fn run_config(spec: &BenchmarkSpec, cfg: GpuConfig, footprint_percent: u64) -> SimStats {
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: match cfg.sms {
+            0..=16 => Scale::Quick.mem_instrs(),
+            _ => Scale::Full.mem_instrs(),
+        },
+        footprint_percent,
+        page_size: cfg.page_size,
+    });
+    GpuSimulator::new(cfg, Box::new(wl)).run()
+}
+
+/// The footprint multiplier used when running with 2 MB pages: the paper
+/// expands the 10 scalable benchmarks beyond the 2 GB L2-TLB coverage
+/// (Figures 6b/25). x32 pushes even the smallest scalable footprint
+/// (192 MB) well past coverage (6 GB = 3072 pages vs 1024 TLB entries)
+/// while staying cheap to map in the sparse simulated memory.
+pub const LARGE_PAGE_FOOTPRINT_PERCENT: u64 = 3200;
+
+/// Convenience: the 64 KB-page L2 TLB reach of the Table 3 GPU (1024
+/// entries x 64 KB).
+pub fn l2_tlb_reach_bytes(page: PageSize) -> u64 {
+    1024 * page.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgpu_workloads::by_abbr;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            SystemConfig::Baseline.label(),
+            SystemConfig::Nha.label(),
+            SystemConfig::FsHpt.label(),
+            SystemConfig::SoftWalker.label(),
+            SystemConfig::SwNoInTlb.label(),
+            SystemConfig::Hybrid.label(),
+            SystemConfig::Ideal.label(),
+        ];
+        let mut sorted = labels.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn build_applies_mode_deltas() {
+        let sw = SystemConfig::SoftWalker.build(Scale::Quick);
+        assert!(sw.mode.uses_software_walkers());
+        let nha = SystemConfig::Nha.build(Scale::Quick);
+        assert!(nha.ptw.nha);
+        let scaled = SystemConfig::ScaledPtw {
+            walkers: 256,
+            scale_mshrs: true,
+        }
+        .build(Scale::Quick);
+        assert_eq!(scaled.ptw.walkers, 256);
+        assert_eq!(scaled.l2_mshr.entries, 1024);
+    }
+
+    #[test]
+    fn quick_run_completes() {
+        let spec = by_abbr("gemm").unwrap();
+        let s = run(&spec, SystemConfig::Baseline, Scale::Quick);
+        assert!(!s.timed_out);
+        assert!(s.instructions > 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Fault Buffer fed by the `FFB` instruction.
+//!
+//! When a PW thread loads an invalid PTE it executes `FFB`, logging the
+//! faulting VPN (and the level at which the walk died) for the UVM driver.
+//! From the driver's perspective this is indistinguishable from a fault
+//! reported by a hardware page walker (§5.5), so the existing demand-paging
+//! protocol — allocate/migrate the page, install the PTE, replay — works
+//! unchanged.
+
+use swgpu_types::{Cycle, Vpn};
+
+/// One logged page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The faulting virtual page.
+    pub vpn: Vpn,
+    /// Radix level whose entry was invalid (1 = leaf PTE).
+    pub level: u8,
+    /// Cycle at which `FFB` executed.
+    pub at: Cycle,
+}
+
+/// An append-only fault log with a read-and-clear drain, as the UVM driver
+/// consumes it.
+///
+/// # Example
+///
+/// ```
+/// use softwalker::{FaultBuffer, FaultRecord};
+/// use swgpu_types::{Cycle, Vpn};
+///
+/// let mut fb = FaultBuffer::new();
+/// fb.record(FaultRecord { vpn: Vpn::new(9), level: 1, at: Cycle::ZERO });
+/// assert_eq!(fb.len(), 1);
+/// let drained = fb.drain();
+/// assert_eq!(drained[0].vpn, Vpn::new(9));
+/// assert!(fb.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultBuffer {
+    records: Vec<FaultRecord>,
+}
+
+impl FaultBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fault record (the `FFB` instruction).
+    pub fn record(&mut self, rec: FaultRecord) {
+        self.records.push(rec);
+    }
+
+    /// Number of unconsumed faults.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no faults are pending.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Reads and clears the log, in arrival order.
+    pub fn drain(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Iterates pending faults without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut fb = FaultBuffer::new();
+        for i in 0..3 {
+            fb.record(FaultRecord {
+                vpn: Vpn::new(i),
+                level: 1,
+                at: Cycle::new(i),
+            });
+        }
+        let drained = fb.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn drain_clears() {
+        let mut fb = FaultBuffer::new();
+        fb.record(FaultRecord {
+            vpn: Vpn::new(1),
+            level: 2,
+            at: Cycle::ZERO,
+        });
+        assert!(!fb.is_empty());
+        fb.drain();
+        assert!(fb.is_empty());
+        assert_eq!(fb.drain().len(), 0);
+    }
+
+    #[test]
+    fn iter_does_not_consume() {
+        let mut fb = FaultBuffer::new();
+        fb.record(FaultRecord {
+            vpn: Vpn::new(1),
+            level: 1,
+            at: Cycle::ZERO,
+        });
+        assert_eq!(fb.iter().count(), 1);
+        assert_eq!(fb.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! **SoftWalker**: software page table walking for GPUs — the paper's
+//! primary contribution.
+//!
+//! Instead of a fixed pool of hardware Page Table Walkers, SoftWalker
+//! resolves L2 TLB misses with *Page Walk Warps* (PW Warps): one
+//! specialized, isolated warp per SM whose 32 threads each execute the
+//! lightweight walk routine of the paper's Figure 14 — built from four new
+//! instructions:
+//!
+//! | ISA  | Role |
+//! |------|------|
+//! | `LDPT` | load a page-table entry by physical address, bypassing the TLB |
+//! | `FL2T` | fill the L2 TLB with the final PTE (resolving its MSHRs) |
+//! | `FPWC` | fill the Page Walk Cache with a just-read directory entry |
+//! | `FFB`  | log an invalid PTE into the Fault Buffer (UVM page fault path) |
+//!
+//! The pieces, mirroring the paper's Figure 10/11 architecture:
+//!
+//! * [`SoftPwb`] — the per-SM, shared-memory-backed request buffer with its
+//!   2-bit-per-entry status bitmap (invalid / valid / processing), managed
+//!   by the SoftWalker Controller.
+//! * [`PwWarpUnit`] — the PW Warp execution model: 32 walk threads sharing
+//!   one instruction issue port (1 instr/cycle, highest scheduling
+//!   priority), timed `LDPT` memory reads through the L2 data cache, and
+//!   completion via `FL2T`.
+//! * [`RequestDistributor`] — the L2-TLB-side dispatcher with per-core
+//!   in-flight counters and round-robin / random / stall-aware policies
+//!   (Figure 26).
+//! * [`FaultBuffer`] — the UVM-compatible fault log fed by `FFB`.
+//!
+//! A full-GPU deployment (one PW Warp per SM, In-TLB MSHRs at the L2 TLB,
+//! hybrid hardware+software mode) is assembled by the `swgpu-sim` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distributor;
+mod fault;
+mod pw_warp;
+mod softpwb;
+
+pub use distributor::{DistributorPolicy, DistributorStats, RequestDistributor};
+pub use fault::{FaultBuffer, FaultRecord};
+pub use pw_warp::{PwWarpConfig, PwWarpStats, PwWarpUnit, SwCompletion, SwWalkRequest};
+pub use softpwb::{SlotStatus, SoftPwb};

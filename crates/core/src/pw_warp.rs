@@ -1,0 +1,620 @@
+//! The Page Walk Warp execution model.
+//!
+//! One PW Warp per SM: 32 threads, each able to walk one page-table
+//! request from the SoftPWB. The warp is *structurally isolated* from user
+//! warps (its own instruction-buffer/scoreboard/SIMT-stack slots — §4.2),
+//! has the highest scheduling priority, and shares the SM's single
+//! instruction issue port: at most one PW instruction issues per cycle
+//! across all 32 threads. `LDPT` loads go to the L2 data cache (PTEs are
+//! not cached in L1D), so a software walk costs a handful of issue cycles
+//! plus the same memory reads a hardware walker would make — the "slightly
+//! longer per-walk latency" of Figure 9 that massive parallelism repays.
+
+use crate::fault::{FaultBuffer, FaultRecord};
+use crate::softpwb::SoftPwb;
+use std::collections::{HashMap, VecDeque};
+use swgpu_mem::{AccessKind, MemReq, PhysMem};
+use swgpu_pt::{PageWalkCache, RadixPageTable, LEAF_LEVEL};
+use swgpu_types::{Cycle, IdGen, MemReqId, Pfn, PhysAddr, Vpn};
+
+/// A walk request as dispatched to an SM by the Request Distributor.
+///
+/// The distributor consults the PWC before dispatch, so the request
+/// carries the starting level and node base (the paper's 96-bit SoftPWB
+/// entry: VPN + page-table base PFN + level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwWalkRequest {
+    /// VPN to translate.
+    pub vpn: Vpn,
+    /// When the L2 TLB miss allocated the walk (queueing measured from
+    /// here by the caller).
+    pub issued_at: Cycle,
+    /// When the Request Distributor won a core and sent the request.
+    pub dispatched_at: Cycle,
+    /// First radix level to read (from the PWC lookup at dispatch).
+    pub start_level: u8,
+    /// Node base address serving `start_level`.
+    pub node_base: PhysAddr,
+}
+
+impl SwWalkRequest {
+    /// Creates a dispatch-ready request.
+    pub fn new(
+        vpn: Vpn,
+        issued_at: Cycle,
+        dispatched_at: Cycle,
+        start_level: u8,
+        node_base: PhysAddr,
+    ) -> Self {
+        Self {
+            vpn,
+            issued_at,
+            dispatched_at,
+            start_level,
+            node_base,
+        }
+    }
+}
+
+/// A finished software walk, as reported by the `FL2T` instruction. The
+/// simulator adds the SM→L2TLB return latency before resolving the L2
+/// MSHRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwCompletion {
+    /// Translated VPN.
+    pub vpn: Vpn,
+    /// Resulting frame; `None` means the walk hit an invalid PTE and an
+    /// [`FaultRecord`] was written via `FFB`.
+    pub pfn: Option<Pfn>,
+    /// Original L2-miss time.
+    pub issued_at: Cycle,
+    /// Distributor dispatch time.
+    pub dispatched_at: Cycle,
+    /// Arrival at the SoftPWB.
+    pub arrived_at: Cycle,
+    /// PW thread start (end of SoftPWB queueing).
+    pub started_at: Cycle,
+    /// FL2T issue time at the SM.
+    pub finished_at: Cycle,
+}
+
+impl SwCompletion {
+    /// Cycles the request waited for a PW thread inside the SoftPWB — the
+    /// software-side queueing component.
+    pub fn softpwb_wait(&self) -> u64 {
+        self.started_at.since(self.arrived_at)
+    }
+
+    /// Instruction-execution plus memory time on the PW thread.
+    pub fn execution_time(&self) -> u64 {
+        self.finished_at.since(self.started_at)
+    }
+}
+
+/// Timing/shape parameters of the PW Warp routine (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwWarpConfig {
+    /// Walk threads per warp (32).
+    pub threads: usize,
+    /// SoftPWB entries (32 — one per thread in Table 3).
+    pub softpwb_entries: usize,
+    /// Instructions before the first `LDPT`: load the SoftPWB entry,
+    /// decode VPN/base/level, compute the first offset (Figure 14 lines
+    /// 1-10).
+    pub setup_instrs: u32,
+    /// Non-memory instructions between levels: fault check, `FPWC`, next
+    /// offset computation (lines 8-23 minus the `LDPT`).
+    pub per_level_instrs: u32,
+    /// Instructions to finish: the `FL2T` fill (line 26).
+    pub finish_instrs: u32,
+}
+
+impl Default for PwWarpConfig {
+    fn default() -> Self {
+        Self {
+            threads: 32,
+            softpwb_entries: 32,
+            setup_instrs: 6,
+            per_level_instrs: 3,
+            finish_instrs: 1,
+        }
+    }
+}
+
+impl PwWarpConfig {
+    fn validate(&self) {
+        assert!(self.threads > 0, "PW warp needs at least one thread");
+        assert!(self.softpwb_entries > 0, "SoftPWB needs entries");
+        assert!(self.finish_instrs > 0, "FL2T costs at least one issue");
+    }
+}
+
+/// Cumulative PW Warp statistics for one SM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PwWarpStats {
+    /// Walks completed (including faults).
+    pub walks_completed: u64,
+    /// Walks that ended in `FFB`.
+    pub faults: u64,
+    /// PW instructions issued (cycles the warp consumed the issue port).
+    pub instructions_issued: u64,
+    /// `LDPT` memory reads issued.
+    pub ldpt_reads: u64,
+    /// Σ SoftPWB wait cycles over completed walks.
+    pub total_softpwb_wait: u64,
+    /// Σ execution cycles over completed walks.
+    pub total_execution: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Ldpt,
+    Fl2t(Option<Pfn>),
+    Ffb(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ThreadState {
+    Idle,
+    NeedIssue { remaining: u32, action: Action },
+    WaitMem,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadWalk {
+    slot: usize,
+    vpn: Vpn,
+    issued_at: Cycle,
+    dispatched_at: Cycle,
+    arrived_at: Cycle,
+    started_at: Cycle,
+    level: u8,
+    node: PhysAddr,
+}
+
+#[derive(Debug)]
+struct Thread {
+    state: ThreadState,
+    walk: Option<ThreadWalk>,
+}
+
+/// The per-SM PW Warp plus its SoftPWB and controller.
+///
+/// Driven by the simulator once per cycle:
+///
+/// 1. [`PwWarpUnit::accept`] requests forwarded by the Request Distributor
+///    (after the L2TLB→SM communication latency).
+/// 2. [`PwWarpUnit::tick`] — returns `true` when the warp consumed the
+///    SM's issue port this cycle (the SM is then ticked with
+///    `issue_slot_free == false`).
+/// 3. [`PwWarpUnit::pop_mem_request`] → the shared L2 data cache.
+/// 4. [`PwWarpUnit::on_mem_response`] for each completed `LDPT`.
+/// 5. [`PwWarpUnit::pop_completion`] → back to the L2 TLB (add the return
+///    communication latency).
+#[derive(Debug)]
+pub struct PwWarpUnit {
+    cfg: PwWarpConfig,
+    pwb: SoftPwb,
+    threads: Vec<Thread>,
+    // O(1)-per-cycle scheduling state: idle threads are a stack, threads
+    // awaiting the issue port an FIFO queue (round-robin-equivalent
+    // fairness).
+    idle_threads: Vec<usize>,
+    issue_queue: VecDeque<usize>,
+    active_walks: usize,
+    mem_out: VecDeque<MemReq>,
+    mem_wait: HashMap<MemReqId, usize>,
+    completions: VecDeque<SwCompletion>,
+    faults: FaultBuffer,
+    stats: PwWarpStats,
+}
+
+impl PwWarpUnit {
+    /// Builds a PW Warp unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero threads/entries).
+    pub fn new(cfg: PwWarpConfig) -> Self {
+        cfg.validate();
+        Self {
+            pwb: SoftPwb::new(cfg.softpwb_entries),
+            threads: (0..cfg.threads)
+                .map(|_| Thread {
+                    state: ThreadState::Idle,
+                    walk: None,
+                })
+                .collect(),
+            idle_threads: (0..cfg.threads).rev().collect(),
+            issue_queue: VecDeque::new(),
+            active_walks: 0,
+            mem_out: VecDeque::new(),
+            mem_wait: HashMap::new(),
+            completions: VecDeque::new(),
+            faults: FaultBuffer::new(),
+            stats: PwWarpStats::default(),
+            cfg,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> PwWarpConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PwWarpStats {
+        self.stats
+    }
+
+    /// SoftPWB slots currently accepting requests — the value the Request
+    /// Distributor's per-core counter tracks.
+    pub fn free_slots(&self) -> usize {
+        self.pwb.free_slots()
+    }
+
+    /// Read access to the fault buffer.
+    pub fn fault_buffer(&self) -> &FaultBuffer {
+        &self.faults
+    }
+
+    /// Drains the fault buffer (the UVM driver's read-and-clear).
+    pub fn drain_faults(&mut self) -> Vec<FaultRecord> {
+        self.faults.drain()
+    }
+
+    /// Whether no walk is queued or executing.
+    pub fn is_idle(&self) -> bool {
+        self.pwb.free_slots() == self.pwb.capacity()
+            && self.active_walks == 0
+            && self.mem_out.is_empty()
+            && self.completions.is_empty()
+    }
+
+    /// Accepts a dispatched request into the SoftPWB. Returns `false` when
+    /// the buffer is full (the distributor's counter should prevent this).
+    pub fn accept(&mut self, now: Cycle, req: SwWalkRequest) -> bool {
+        self.pwb.insert(req, now).is_some()
+    }
+
+    /// Advances one cycle: assigns valid SoftPWB entries to idle threads
+    /// and issues at most one PW instruction. Returns `true` if the issue
+    /// port was consumed.
+    pub fn tick(&mut self, now: Cycle, ids: &mut IdGen) -> bool {
+        self.assign_threads(now);
+        self.issue_one(now, ids)
+    }
+
+    fn assign_threads(&mut self, now: Cycle) {
+        while self.pwb.valid_count() > 0 {
+            let Some(idx) = self.idle_threads.pop() else {
+                break;
+            };
+            let (slot, req) = self.pwb.take_valid().expect("valid_count checked");
+            let arrived_at = self.pwb.arrival_of(slot);
+            let t = &mut self.threads[idx];
+            debug_assert!(matches!(t.state, ThreadState::Idle));
+            t.walk = Some(ThreadWalk {
+                slot,
+                vpn: req.vpn,
+                issued_at: req.issued_at,
+                dispatched_at: req.dispatched_at,
+                arrived_at,
+                started_at: now,
+                level: req.start_level,
+                node: req.node_base,
+            });
+            t.state = ThreadState::NeedIssue {
+                remaining: self.cfg.setup_instrs.max(1),
+                action: Action::Ldpt,
+            };
+            self.issue_queue.push_back(idx);
+            self.active_walks += 1;
+        }
+    }
+
+    fn issue_one(&mut self, now: Cycle, ids: &mut IdGen) -> bool {
+        let Some(idx) = self.issue_queue.pop_front() else {
+            return false;
+        };
+        let ThreadState::NeedIssue { remaining, action } = self.threads[idx].state else {
+            unreachable!("issue queue holds only NeedIssue threads");
+        };
+        self.stats.instructions_issued += 1;
+        if remaining > 1 {
+            self.threads[idx].state = ThreadState::NeedIssue {
+                remaining: remaining - 1,
+                action,
+            };
+            self.issue_queue.push_back(idx);
+            return true;
+        }
+        self.perform(idx, action, now, ids);
+        true
+    }
+
+    fn perform(&mut self, idx: usize, action: Action, now: Cycle, ids: &mut IdGen) {
+        match action {
+            Action::Ldpt => {
+                let walk = self.threads[idx].walk.expect("LDPT without a walk");
+                let addr = RadixPageTable::entry_addr(walk.level, walk.node, walk.vpn);
+                let id = ids.next_mem();
+                self.mem_wait.insert(id, idx);
+                self.mem_out
+                    .push_back(MemReq::new(id, addr, AccessKind::PageTable));
+                self.stats.ldpt_reads += 1;
+                self.threads[idx].state = ThreadState::WaitMem;
+            }
+            Action::Fl2t(pfn) => self.finish(idx, pfn, now),
+            Action::Ffb(level) => {
+                let walk = self.threads[idx].walk.expect("FFB without a walk");
+                self.faults.record(FaultRecord {
+                    vpn: walk.vpn,
+                    level,
+                    at: now,
+                });
+                self.finish(idx, None, now);
+            }
+        }
+    }
+
+    fn finish(&mut self, idx: usize, pfn: Option<Pfn>, now: Cycle) {
+        let walk = self.threads[idx].walk.take().expect("finish without walk");
+        self.pwb.complete(walk.slot);
+        self.threads[idx].state = ThreadState::Idle;
+        self.idle_threads.push(idx);
+        self.active_walks -= 1;
+        self.stats.walks_completed += 1;
+        if pfn.is_none() {
+            self.stats.faults += 1;
+        }
+        self.stats.total_softpwb_wait += walk.started_at.since(walk.arrived_at);
+        self.stats.total_execution += now.since(walk.started_at);
+        self.completions.push_back(SwCompletion {
+            vpn: walk.vpn,
+            pfn,
+            issued_at: walk.issued_at,
+            dispatched_at: walk.dispatched_at,
+            arrived_at: walk.arrived_at,
+            started_at: walk.started_at,
+            finished_at: now,
+        });
+    }
+
+    /// Next `LDPT` read destined for the L2 data cache.
+    pub fn pop_mem_request(&mut self) -> Option<MemReq> {
+        self.mem_out.pop_front()
+    }
+
+    /// Delivers a completed `LDPT` read. Returns `false` for ids this unit
+    /// does not own.
+    pub fn on_mem_response(
+        &mut self,
+        id: MemReqId,
+        mem: &PhysMem,
+        pwc: &mut PageWalkCache,
+    ) -> bool {
+        let Some(idx) = self.mem_wait.remove(&id) else {
+            return false;
+        };
+        let walk = self.threads[idx].walk.as_mut().expect("walk in flight");
+        let addr = RadixPageTable::entry_addr(walk.level, walk.node, walk.vpn);
+        let pte = swgpu_types::Pte::from_raw(mem.read_u64(addr));
+        if walk.level == LEAF_LEVEL {
+            let action = if pte.is_valid() {
+                Action::Fl2t(Some(pte.pfn()))
+            } else {
+                Action::Ffb(LEAF_LEVEL)
+            };
+            self.threads[idx].state = ThreadState::NeedIssue {
+                remaining: self.cfg.finish_instrs,
+                action,
+            };
+        } else if let Some(next) = RadixPageTable::next_node(pte) {
+            walk.level -= 1;
+            walk.node = next;
+            pwc.fill(walk.vpn, walk.level, next);
+            self.threads[idx].state = ThreadState::NeedIssue {
+                remaining: self.cfg.per_level_instrs.max(1),
+                action: Action::Ldpt,
+            };
+        } else {
+            let level = walk.level;
+            self.threads[idx].state = ThreadState::NeedIssue {
+                remaining: 1,
+                action: Action::Ffb(level),
+            };
+        }
+        // Every post-memory continuation competes for the issue port.
+        self.issue_queue.push_back(idx);
+        true
+    }
+
+    /// Next finished walk (FL2T or fault), if any.
+    pub fn pop_completion(&mut self) -> Option<SwCompletion> {
+        self.completions.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgpu_pt::AddressSpace;
+    use swgpu_types::{PageSize, VirtAddr};
+
+    struct Rig {
+        mem: PhysMem,
+        space: AddressSpace,
+        pwc: PageWalkCache,
+        ids: IdGen,
+    }
+
+    impl Rig {
+        fn new(pages: u64) -> Self {
+            let mut mem = PhysMem::new();
+            let mut space = AddressSpace::new(PageSize::Size64K, &mut mem);
+            space.map_region(VirtAddr::new(0), pages * 64 * 1024, &mut mem);
+            let mut pwc = PageWalkCache::new(32);
+            pwc.set_root(space.radix().root());
+            Self {
+                mem,
+                space,
+                pwc,
+                ids: IdGen::new(),
+            }
+        }
+
+        fn request(&mut self, vpn: u64, at: Cycle) -> SwWalkRequest {
+            let start = self.pwc.lookup(Vpn::new(vpn));
+            SwWalkRequest::new(Vpn::new(vpn), at, at, start.level, start.node_base)
+        }
+    }
+
+    /// Runs the unit until idle with a fixed memory latency; returns the
+    /// completions and the final cycle.
+    fn run(unit: &mut PwWarpUnit, rig: &mut Rig, mem_lat: u64) -> (Vec<SwCompletion>, Cycle) {
+        let mut now = Cycle::ZERO;
+        let mut inflight: swgpu_types::DelayQueue<MemReqId> = swgpu_types::DelayQueue::new();
+        let mut done = Vec::new();
+        for _ in 0..1_000_000 {
+            unit.tick(now, &mut rig.ids);
+            while let Some(req) = unit.pop_mem_request() {
+                inflight.push(now + mem_lat, req.id);
+            }
+            while let Some(id) = inflight.pop_ready(now) {
+                unit.on_mem_response(id, &rig.mem, &mut rig.pwc);
+            }
+            while let Some(c) = unit.pop_completion() {
+                done.push(c);
+            }
+            if unit.is_idle() && inflight.is_empty() {
+                return (done, now);
+            }
+            now = now.next();
+        }
+        panic!("PW warp did not drain");
+    }
+
+    #[test]
+    fn walks_and_translates() {
+        let mut rig = Rig::new(16);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        let req = rig.request(3, Cycle::ZERO);
+        assert!(unit.accept(Cycle::ZERO, req));
+        let (done, _) = run(&mut unit, &mut rig, 100);
+        assert_eq!(done.len(), 1);
+        let expect = rig.space.mappings().nth(3).unwrap().1;
+        assert_eq!(done[0].pfn, Some(expect));
+        assert_eq!(unit.stats().ldpt_reads, 4, "cold walk reads 4 levels");
+    }
+
+    #[test]
+    fn software_walk_costs_more_than_raw_memory() {
+        let mut rig = Rig::new(16);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        let req = rig.request(3, Cycle::ZERO);
+        unit.accept(Cycle::ZERO, req);
+        let (done, _) = run(&mut unit, &mut rig, 100);
+        let exec = done[0].execution_time();
+        // 4 memory reads (400) + instruction overheads (> 6 setup + 3x3
+        // per-level + 1 finish).
+        assert!(exec > 400, "exec={exec}");
+        assert!(exec < 400 + 64, "instruction overhead should be small");
+    }
+
+    #[test]
+    fn thirty_two_concurrent_walks_overlap() {
+        let mut rig = Rig::new(512);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        for i in 0..32u64 {
+            let req = rig.request(i * 16, Cycle::ZERO);
+            assert!(unit.accept(Cycle::ZERO, req));
+        }
+        let (done, end) = run(&mut unit, &mut rig, 100);
+        assert_eq!(done.len(), 32);
+        // Serial execution would be ≥ 32 x 400 = 12800; overlapped walks
+        // share the memory latency.
+        assert!(end.value() < 3000, "end={end}");
+    }
+
+    #[test]
+    fn softpwb_overflow_rejected() {
+        let mut rig = Rig::new(64);
+        let mut unit = PwWarpUnit::new(PwWarpConfig {
+            softpwb_entries: 2,
+            ..PwWarpConfig::default()
+        });
+        let r1 = rig.request(1, Cycle::ZERO);
+        let r2 = rig.request(2, Cycle::ZERO);
+        let r3 = rig.request(3, Cycle::ZERO);
+        assert!(unit.accept(Cycle::ZERO, r1));
+        assert!(unit.accept(Cycle::ZERO, r2));
+        assert!(!unit.accept(Cycle::ZERO, r3));
+    }
+
+    #[test]
+    fn invalid_pte_goes_to_fault_buffer() {
+        let mut rig = Rig::new(2);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        let req = rig.request(0x5_0000, Cycle::ZERO); // unmapped
+        unit.accept(Cycle::ZERO, req);
+        let (done, _) = run(&mut unit, &mut rig, 10);
+        assert_eq!(done[0].pfn, None);
+        assert_eq!(unit.stats().faults, 1);
+        let faults = unit.drain_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].vpn, Vpn::new(0x5_0000));
+        assert!(unit.fault_buffer().is_empty());
+    }
+
+    #[test]
+    fn pwc_fills_during_walk_shorten_neighbours() {
+        let mut rig = Rig::new(16);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        let r = rig.request(1, Cycle::ZERO);
+        unit.accept(Cycle::ZERO, r);
+        run(&mut unit, &mut rig, 100);
+        // The walk filled the PWC down to the leaf node; a neighbour now
+        // starts at level 1.
+        let start = rig.pwc.lookup(Vpn::new(2));
+        assert!(start.hit);
+        assert_eq!(start.level, LEAF_LEVEL);
+    }
+
+    #[test]
+    fn issue_port_is_exclusive() {
+        let mut rig = Rig::new(64);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        for i in 0..4u64 {
+            let r = rig.request(i * 8, Cycle::ZERO);
+            unit.accept(Cycle::ZERO, r);
+        }
+        // First tick: exactly one instruction issues even with 4 runnable
+        // threads.
+        assert!(unit.tick(Cycle::ZERO, &mut rig.ids));
+        assert_eq!(unit.stats().instructions_issued, 1);
+        // Idle unit does not consume the port.
+        let mut idle_unit = PwWarpUnit::new(PwWarpConfig::default());
+        assert!(!idle_unit.tick(Cycle::ZERO, &mut rig.ids));
+    }
+
+    #[test]
+    fn queue_wait_accounted_when_threads_busy() {
+        let mut rig = Rig::new(512);
+        let mut unit = PwWarpUnit::new(PwWarpConfig {
+            threads: 1,
+            softpwb_entries: 4,
+            ..PwWarpConfig::default()
+        });
+        for i in 0..3u64 {
+            let r = rig.request(i * 8, Cycle::ZERO);
+            unit.accept(Cycle::ZERO, r);
+        }
+        let (done, _) = run(&mut unit, &mut rig, 50);
+        assert_eq!(done.len(), 3);
+        // With one thread the later walks waited in the SoftPWB.
+        let waits: Vec<u64> = done.iter().map(|c| c.softpwb_wait()).collect();
+        assert!(waits.iter().any(|&w| w > 0), "waits={waits:?}");
+        assert!(unit.stats().total_softpwb_wait > 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! SoftPWB: the per-SM software page walk buffer and its status bitmap.
+//!
+//! The paper carves the SoftPWB out of L1D/shared memory (96 bits per
+//! entry: a 33-bit VPN, a 31-bit page-table base PFN from the PWC and a
+//! 2-bit level) and tracks each entry with a 2-bit status in the SoftWalker
+//! Controller's *SoftPWB Status Bitmap*: invalid → valid → processing →
+//! invalid (Figure 11).
+
+use crate::pw_warp::SwWalkRequest;
+
+/// The 2-bit per-entry state from the paper's SoftPWB Status Bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotStatus {
+    /// No request assigned.
+    Invalid,
+    /// Request written by the SoftWalker Controller, awaiting a PW thread.
+    Valid,
+    /// A PW thread is currently walking this request.
+    Processing,
+}
+
+/// The per-SM software page walk buffer (32 entries in Table 3).
+///
+/// # Example
+///
+/// ```
+/// use softwalker::{SoftPwb, SwWalkRequest};
+/// use swgpu_types::{Cycle, PhysAddr, Vpn};
+///
+/// let mut pwb = SoftPwb::new(4);
+/// let req = SwWalkRequest::new(Vpn::new(7), Cycle::ZERO, Cycle::ZERO, 4, PhysAddr::new(0x1000));
+/// let slot = pwb.insert(req, Cycle::ZERO).expect("slot free");
+/// let (taken_slot, taken) = pwb.take_valid().expect("valid entry");
+/// assert_eq!(taken_slot, slot);
+/// assert_eq!(taken.vpn, Vpn::new(7));
+/// pwb.complete(slot);
+/// assert_eq!(pwb.free_slots(), 4);
+/// ```
+#[derive(Debug)]
+pub struct SoftPwb {
+    slots: Vec<Option<(SwWalkRequest, swgpu_types::Cycle)>>,
+    status: Vec<SlotStatus>,
+    // Free-list and valid-queue keep every operation O(1); counts are
+    // maintained incrementally so status queries are O(1) too.
+    free_list: Vec<usize>,
+    valid_queue: std::collections::VecDeque<usize>,
+    processing: usize,
+}
+
+impl SoftPwb {
+    /// Creates a buffer with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "SoftPWB needs at least one entry");
+        Self {
+            slots: vec![None; entries],
+            status: vec![SlotStatus::Invalid; entries],
+            free_list: (0..entries).rev().collect(),
+            valid_queue: std::collections::VecDeque::new(),
+            processing: 0,
+        }
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries in the `Invalid` state (accepting new requests).
+    pub fn free_slots(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Entries awaiting a PW thread.
+    pub fn valid_count(&self) -> usize {
+        self.valid_queue.len()
+    }
+
+    /// Entries currently being walked.
+    pub fn processing_count(&self) -> usize {
+        self.processing
+    }
+
+    /// Status of one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn status(&self, slot: usize) -> SlotStatus {
+        self.status[slot]
+    }
+
+    /// Writes a request into an invalid slot (Figure 11 steps 4-5),
+    /// stamping its arrival time. Returns the slot index, or `None` when
+    /// the buffer is full (the Request Distributor's per-core counter
+    /// should prevent that).
+    pub fn insert(&mut self, req: SwWalkRequest, arrival: swgpu_types::Cycle) -> Option<usize> {
+        let slot = self.free_list.pop()?;
+        self.slots[slot] = Some((req, arrival));
+        self.status[slot] = SlotStatus::Valid;
+        self.valid_queue.push_back(slot);
+        Some(slot)
+    }
+
+    /// Hands the oldest valid entry to a PW thread, transitioning it to
+    /// `Processing` (Figure 11 step 6). Returns the slot and a copy of
+    /// the request with its arrival stamp.
+    pub fn take_valid(&mut self) -> Option<(usize, SwWalkRequest)> {
+        let slot = self.valid_queue.pop_front()?;
+        self.status[slot] = SlotStatus::Processing;
+        self.processing += 1;
+        let (req, _) = self.slots[slot].expect("valid slot holds a request");
+        Some((slot, req))
+    }
+
+    /// Arrival time of the request in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn arrival_of(&self, slot: usize) -> swgpu_types::Cycle {
+        self.slots[slot].expect("occupied slot").1
+    }
+
+    /// Finishes a walk: `Processing` → `Invalid` (the FL2T completion
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not in the `Processing` state — that would
+    /// indicate the controller lost track of a walk.
+    pub fn complete(&mut self, slot: usize) {
+        assert_eq!(
+            self.status[slot],
+            SlotStatus::Processing,
+            "completing a slot that is not processing"
+        );
+        self.status[slot] = SlotStatus::Invalid;
+        self.slots[slot] = None;
+        self.processing -= 1;
+        self.free_list.push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgpu_types::{Cycle, PhysAddr, Vpn};
+
+    fn req(vpn: u64) -> SwWalkRequest {
+        SwWalkRequest::new(
+            Vpn::new(vpn),
+            Cycle::ZERO,
+            Cycle::ZERO,
+            4,
+            PhysAddr::new(0x1000),
+        )
+    }
+
+    #[test]
+    fn lifecycle_invalid_valid_processing_invalid() {
+        let mut pwb = SoftPwb::new(2);
+        assert_eq!(pwb.free_slots(), 2);
+        let s = pwb.insert(req(1), Cycle::new(5)).unwrap();
+        assert_eq!(pwb.status(s), SlotStatus::Valid);
+        assert_eq!(pwb.arrival_of(s), Cycle::new(5));
+        let (s2, r) = pwb.take_valid().unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(r.vpn, Vpn::new(1));
+        assert_eq!(pwb.status(s), SlotStatus::Processing);
+        pwb.complete(s);
+        assert_eq!(pwb.status(s), SlotStatus::Invalid);
+    }
+
+    #[test]
+    fn insert_fails_when_full() {
+        let mut pwb = SoftPwb::new(1);
+        pwb.insert(req(1), Cycle::ZERO).unwrap();
+        assert!(pwb.insert(req(2), Cycle::ZERO).is_none());
+    }
+
+    #[test]
+    fn take_valid_skips_processing() {
+        let mut pwb = SoftPwb::new(3);
+        pwb.insert(req(1), Cycle::ZERO).unwrap();
+        pwb.insert(req(2), Cycle::ZERO).unwrap();
+        let (a, ra) = pwb.take_valid().unwrap();
+        let (b, rb) = pwb.take_valid().unwrap();
+        assert_ne!(a, b);
+        assert_ne!(ra.vpn, rb.vpn);
+        assert!(pwb.take_valid().is_none());
+        assert_eq!(pwb.processing_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not processing")]
+    fn completing_idle_slot_panics() {
+        let mut pwb = SoftPwb::new(1);
+        pwb.complete(0);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut pwb = SoftPwb::new(4);
+        pwb.insert(req(1), Cycle::ZERO);
+        pwb.insert(req(2), Cycle::ZERO);
+        pwb.take_valid();
+        assert_eq!(pwb.free_slots(), 2);
+        assert_eq!(pwb.valid_count(), 1);
+        assert_eq!(pwb.processing_count(), 1);
+    }
+}

@@ -1,0 +1,534 @@
+//! A sectored, set-associative, non-blocking cache with a bounded MSHR file.
+//!
+//! Models the paper's L1D (128 KB, 40 cyc) and L2D (4 MB, 180 cyc) caches:
+//! 128-byte lines split into 32-byte sectors, LRU replacement, and a miss
+//! status holding register (MSHR) file that merges requests to the same
+//! in-flight sector and *rejects* new misses when full (an "MSHR failure",
+//! which the paper measures for the L2 in Figure 20).
+
+use crate::req::MemReq;
+use std::collections::{HashMap, VecDeque};
+use swgpu_types::{Cycle, DelayQueue};
+
+/// Static geometry and timing of one cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Human-readable name used in stats dumps ("L1D", "L2D").
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Set associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (128 in Table 3).
+    pub line_bytes: u64,
+    /// Sector size in bytes (32 in Table 3); fills happen per sector.
+    pub sector_bytes: u64,
+    /// Lookup/hit latency in cycles.
+    pub hit_latency: u64,
+    /// Number of MSHR entries (distinct in-flight sectors).
+    pub mshr_entries: usize,
+    /// Maximum requests merged into one MSHR entry (including the first).
+    pub mshr_max_merges: usize,
+}
+
+impl CacheConfig {
+    /// The paper's per-SM L1 data cache (Table 3): 128 KB, 40 cycles,
+    /// 128 B lines with 32 B sectors.
+    pub fn l1d() -> Self {
+        Self {
+            name: "L1D".into(),
+            size_bytes: 128 * 1024,
+            assoc: 8,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 40,
+            mshr_entries: 64,
+            mshr_max_merges: 32,
+        }
+    }
+
+    /// The paper's shared L2 data cache (Table 3): 4 MB, 180 cycles,
+    /// 128 B lines with 32 B sectors.
+    pub fn l2d() -> Self {
+        Self {
+            name: "L2D".into(),
+            size_bytes: 4 * 1024 * 1024,
+            assoc: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 180,
+            mshr_entries: 512,
+            mshr_max_merges: 32,
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.assoc as u64)) as usize
+    }
+
+    /// Number of sectors per line.
+    pub fn sectors_per_line(&self) -> usize {
+        (self.line_bytes / self.sector_bytes) as usize
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^n");
+        assert!(
+            self.sector_bytes.is_power_of_two() && self.sector_bytes <= self.line_bytes,
+            "sector size must be 2^n and <= line size"
+        );
+        assert!(self.assoc > 0, "associativity must be positive");
+        assert!(
+            self.num_sets() > 0 && self.num_sets().is_power_of_two(),
+            "cache must have a power-of-two number of sets"
+        );
+        assert!(self.mshr_entries > 0, "need at least one MSHR");
+        assert!(self.mshr_max_merges > 0, "merge limit must be positive");
+    }
+}
+
+/// Result of presenting a request to [`Cache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Sector present; a response is scheduled after the hit latency.
+    Hit,
+    /// Sector absent; an MSHR was allocated and a fill request will be
+    /// emitted to the lower level.
+    Miss,
+    /// Sector already in flight; the request was merged into the existing
+    /// MSHR entry and will complete with it.
+    Merged,
+    /// The MSHR file (entries or merge slots) is exhausted; the caller must
+    /// retry later. Counted as an MSHR failure.
+    MshrFull,
+}
+
+impl AccessOutcome {
+    /// Whether the request was accepted by the cache (anything but
+    /// [`AccessOutcome::MshrFull`]).
+    pub fn accepted(self) -> bool {
+        !matches!(self, AccessOutcome::MshrFull)
+    }
+}
+
+/// Hit/miss/MSHR counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total requests presented (including rejected ones).
+    pub accesses: u64,
+    /// Requests that hit a resident sector.
+    pub hits: u64,
+    /// Requests that allocated a new MSHR (true sector misses).
+    pub misses: u64,
+    /// Requests merged into an in-flight MSHR.
+    pub merges: u64,
+    /// Requests rejected because the MSHR file was saturated.
+    pub mshr_failures: u64,
+    /// Lines evicted to make room for fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over accepted requests, counting merges as misses (they
+    /// did not find data in the array). Returns 0 for an idle cache.
+    pub fn miss_rate(&self) -> f64 {
+        let accepted = self.hits + self.misses + self.merges;
+        if accepted == 0 {
+            0.0
+        } else {
+            (self.misses + self.merges) as f64 / accepted as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid_sectors: u64,
+    last_used: u64,
+    valid: bool,
+}
+
+impl Line {
+    fn empty() -> Self {
+        Line {
+            tag: 0,
+            valid_sectors: 0,
+            last_used: 0,
+            valid: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MshrEntry {
+    waiters: Vec<MemReq>,
+}
+
+/// A sectored set-associative non-blocking cache.
+///
+/// Interaction protocol, driven once per simulated cycle by the owner:
+///
+/// 1. [`Cache::access`] for each new request (check the outcome!).
+/// 2. [`Cache::pop_fill_request`] and forward to the lower level.
+/// 3. When the lower level completes a fill, [`Cache::complete_fill`].
+/// 4. [`Cache::pop_response`] to collect finished requests.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_mem::{AccessKind, AccessOutcome, Cache, CacheConfig, MemReq};
+/// use swgpu_types::{Cycle, MemReqId, PhysAddr};
+///
+/// let mut c = Cache::new(CacheConfig::l2d());
+/// let req = MemReq::new(MemReqId(1), PhysAddr::new(0x100), AccessKind::Data);
+/// assert_eq!(c.access(Cycle::ZERO, req), AccessOutcome::Miss);
+/// let fill = c.pop_fill_request(Cycle::new(180)).unwrap();
+/// c.complete_fill(Cycle::new(400), fill);
+/// assert_eq!(c.pop_response(Cycle::new(400)).unwrap().id, MemReqId(1));
+/// // The sector is now resident:
+/// let again = MemReq::new(MemReqId(2), PhysAddr::new(0x110), AccessKind::Data);
+/// assert_eq!(c.access(Cycle::new(401), again), AccessOutcome::Hit);
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    mshrs: HashMap<u64, MshrEntry>,
+    hit_queue: DelayQueue<MemReq>,
+    fill_queue: DelayQueue<MemReq>,
+    responses: VecDeque<MemReq>,
+    use_tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration geometry is inconsistent (non-power-of-two
+    /// sizes, zero ways, etc.).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = vec![vec![Line::empty(); cfg.assoc]; cfg.num_sets()];
+        Self {
+            cfg,
+            sets,
+            mshrs: HashMap::new(),
+            hit_queue: DelayQueue::new(),
+            fill_queue: DelayQueue::new(),
+            responses: VecDeque::new(),
+            use_tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of MSHR entries currently in flight.
+    pub fn mshrs_in_flight(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes) as usize) & (self.sets.len() - 1)
+    }
+
+    fn sector_bit(&self, addr: u64) -> u64 {
+        let off = (addr % self.cfg.line_bytes) / self.cfg.sector_bytes;
+        1u64 << off
+    }
+
+    /// Presents a read request. See [`AccessOutcome`] for the possible
+    /// results; on [`AccessOutcome::MshrFull`] the caller must retry on a
+    /// later cycle.
+    pub fn access(&mut self, now: Cycle, req: MemReq) -> AccessOutcome {
+        self.stats.accesses += 1;
+        self.use_tick += 1;
+        let line_addr = req.line_addr(self.cfg.line_bytes);
+        let sector_addr = req.sector_addr(self.cfg.sector_bytes);
+        let set = self.set_index(line_addr);
+        let bit = self.sector_bit(req.addr.value());
+        let tick = self.use_tick;
+
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)
+        {
+            if line.valid_sectors & bit != 0 {
+                line.last_used = tick;
+                self.stats.hits += 1;
+                self.hit_queue.push_after(now, self.cfg.hit_latency, req);
+                return AccessOutcome::Hit;
+            }
+            // Line resident but sector missing: still a sector miss.
+            line.last_used = tick;
+        }
+
+        if let Some(entry) = self.mshrs.get_mut(&sector_addr) {
+            if entry.waiters.len() < self.cfg.mshr_max_merges {
+                entry.waiters.push(req);
+                self.stats.merges += 1;
+                return AccessOutcome::Merged;
+            }
+            self.stats.mshr_failures += 1;
+            return AccessOutcome::MshrFull;
+        }
+
+        if self.mshrs.len() >= self.cfg.mshr_entries {
+            self.stats.mshr_failures += 1;
+            return AccessOutcome::MshrFull;
+        }
+
+        self.mshrs
+            .insert(sector_addr, MshrEntry { waiters: vec![req] });
+        self.stats.misses += 1;
+        // The fill request targets the sector base and reuses the first
+        // waiter's id so the lower level's completion can be matched back.
+        let fill = MemReq::new(
+            req.id,
+            swgpu_types::PhysAddr::new(sector_addr),
+            req.kind,
+        );
+        self.fill_queue.push_after(now, self.cfg.hit_latency, fill);
+        AccessOutcome::Miss
+    }
+
+    /// Pops the next fill request destined for the lower memory level, if
+    /// one is ready at `now`.
+    pub fn pop_fill_request(&mut self, now: Cycle) -> Option<MemReq> {
+        self.fill_queue.pop_ready(now)
+    }
+
+    /// Completes a fill previously emitted by [`Cache::pop_fill_request`]:
+    /// installs the sector and releases every merged waiter as a response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` does not correspond to an outstanding MSHR entry
+    /// (that would mean the memory system duplicated or invented a fill).
+    pub fn complete_fill(&mut self, _now: Cycle, fill: MemReq) {
+        let sector_addr = fill.sector_addr(self.cfg.sector_bytes);
+        let entry = self
+            .mshrs
+            .remove(&sector_addr)
+            .expect("fill completion without a matching MSHR entry");
+        self.install_sector(sector_addr);
+        for waiter in entry.waiters {
+            self.responses.push_back(waiter);
+        }
+    }
+
+    fn install_sector(&mut self, sector_addr: u64) {
+        self.use_tick += 1;
+        let line_addr = sector_addr & !(self.cfg.line_bytes - 1);
+        let set = self.set_index(line_addr);
+        let bit = self.sector_bit(sector_addr);
+        let tick = self.use_tick;
+
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)
+        {
+            line.valid_sectors |= bit;
+            line.last_used = tick;
+            return;
+        }
+
+        // Allocate: prefer an invalid way, otherwise evict the LRU line.
+        let way = if let Some(idx) = self.sets[set].iter().position(|l| !l.valid) {
+            idx
+        } else {
+            self.stats.evictions += 1;
+            self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i)
+                .expect("cache set cannot be empty")
+        };
+        self.sets[set][way] = Line {
+            tag: line_addr,
+            valid_sectors: bit,
+            last_used: tick,
+            valid: true,
+        };
+    }
+
+    /// Pops the next completed request (hit or filled miss) ready at `now`.
+    pub fn pop_response(&mut self, now: Cycle) -> Option<MemReq> {
+        if let Some(req) = self.hit_queue.pop_ready(now) {
+            return Some(req);
+        }
+        self.responses.pop_front()
+    }
+
+    /// Whether the cache has any work in flight (hits in the pipe, fills
+    /// pending, or responses waiting to be drained).
+    pub fn is_idle(&self) -> bool {
+        self.hit_queue.is_empty()
+            && self.fill_queue.is_empty()
+            && self.mshrs.is_empty()
+            && self.responses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::AccessKind;
+    use swgpu_types::{MemReqId, PhysAddr};
+
+    fn tiny_cache() -> Cache {
+        Cache::new(CacheConfig {
+            name: "tiny".into(),
+            size_bytes: 2 * 128 * 2, // 2 sets x 2 ways x 128B
+            assoc: 2,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 4,
+            mshr_entries: 2,
+            mshr_max_merges: 2,
+        })
+    }
+
+    fn req(id: u64, addr: u64) -> MemReq {
+        MemReq::new(MemReqId(id), PhysAddr::new(addr), AccessKind::Data)
+    }
+
+    fn fill_round_trip(c: &mut Cache, now: Cycle) -> usize {
+        let mut n = 0;
+        let t = now + 1000;
+        while let Some(f) = c.pop_fill_request(t) {
+            c.complete_fill(t, f);
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn miss_then_hit_same_sector() {
+        let mut c = tiny_cache();
+        assert_eq!(c.access(Cycle::ZERO, req(1, 0x100)), AccessOutcome::Miss);
+        fill_round_trip(&mut c, Cycle::ZERO);
+        assert_eq!(c.pop_response(Cycle::new(2000)).unwrap().id, MemReqId(1));
+        assert_eq!(c.access(Cycle::new(2000), req(2, 0x104)), AccessOutcome::Hit);
+        // Hit latency is respected.
+        assert!(c.pop_response(Cycle::new(2003)).is_none());
+        assert_eq!(c.pop_response(Cycle::new(2004)).unwrap().id, MemReqId(2));
+    }
+
+    #[test]
+    fn sectored_line_misses_on_other_sector() {
+        let mut c = tiny_cache();
+        assert_eq!(c.access(Cycle::ZERO, req(1, 0x100)), AccessOutcome::Miss);
+        fill_round_trip(&mut c, Cycle::ZERO);
+        c.pop_response(Cycle::new(2000));
+        // Same 128B line, different 32B sector: must miss again.
+        assert_eq!(
+            c.access(Cycle::new(2000), req(2, 0x120)),
+            AccessOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn merges_requests_to_inflight_sector() {
+        let mut c = tiny_cache();
+        assert_eq!(c.access(Cycle::ZERO, req(1, 0x100)), AccessOutcome::Miss);
+        assert_eq!(c.access(Cycle::ZERO, req(2, 0x108)), AccessOutcome::Merged);
+        // Merge limit (2) reached:
+        assert_eq!(
+            c.access(Cycle::ZERO, req(3, 0x110)),
+            AccessOutcome::MshrFull
+        );
+        fill_round_trip(&mut c, Cycle::ZERO);
+        let a = c.pop_response(Cycle::new(2000)).unwrap();
+        let b = c.pop_response(Cycle::new(2000)).unwrap();
+        assert_eq!((a.id, b.id), (MemReqId(1), MemReqId(2)));
+        assert_eq!(c.stats().merges, 1);
+        assert_eq!(c.stats().mshr_failures, 1);
+    }
+
+    #[test]
+    fn mshr_entry_exhaustion_rejects() {
+        let mut c = tiny_cache();
+        assert_eq!(c.access(Cycle::ZERO, req(1, 0x000)), AccessOutcome::Miss);
+        assert_eq!(c.access(Cycle::ZERO, req(2, 0x200)), AccessOutcome::Miss);
+        assert_eq!(
+            c.access(Cycle::ZERO, req(3, 0x400)),
+            AccessOutcome::MshrFull
+        );
+        assert_eq!(c.mshrs_in_flight(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = tiny_cache();
+        // Lines 0x000, 0x100, 0x200 all map to set 0 (set = (addr/128) & 1).
+        // Fill both ways of set 0.
+        for (id, addr) in [(1, 0x000u64), (2, 0x100)] {
+            assert_eq!(c.access(Cycle::ZERO, req(id, addr)), AccessOutcome::Miss);
+            fill_round_trip(&mut c, Cycle::ZERO);
+            c.pop_response(Cycle::new(5000));
+        }
+        assert_eq!(c.stats().evictions, 0);
+        // Touch 0x100 so 0x000 becomes the LRU line.
+        assert_eq!(c.access(Cycle::new(5000), req(3, 0x100)), AccessOutcome::Hit);
+        c.pop_response(Cycle::new(9000));
+        // A third line in the set evicts the LRU (0x000).
+        assert_eq!(c.access(Cycle::new(9001), req(4, 0x200)), AccessOutcome::Miss);
+        fill_round_trip(&mut c, Cycle::new(9001));
+        c.pop_response(Cycle::new(12000));
+        assert_eq!(c.stats().evictions, 1);
+        // 0x100 was recently used, so it survives; 0x000 was evicted.
+        assert_eq!(
+            c.access(Cycle::new(12000), req(5, 0x100)),
+            AccessOutcome::Hit
+        );
+        assert_eq!(
+            c.access(Cycle::new(12001), req(6, 0x000)),
+            AccessOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn miss_rate_counts_merges_as_misses() {
+        let mut c = tiny_cache();
+        c.access(Cycle::ZERO, req(1, 0x100));
+        c.access(Cycle::ZERO, req(2, 0x108));
+        fill_round_trip(&mut c, Cycle::ZERO);
+        c.pop_response(Cycle::new(2000));
+        c.pop_response(Cycle::new(2000));
+        c.access(Cycle::new(2000), req(3, 0x100));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert!((s.miss_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_after_drain() {
+        let mut c = tiny_cache();
+        assert!(c.is_idle());
+        c.access(Cycle::ZERO, req(1, 0x100));
+        assert!(!c.is_idle());
+        fill_round_trip(&mut c, Cycle::ZERO);
+        c.pop_response(Cycle::new(2000));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "matching MSHR")]
+    fn spurious_fill_panics() {
+        let mut c = tiny_cache();
+        c.complete_fill(Cycle::ZERO, req(9, 0x100));
+    }
+}

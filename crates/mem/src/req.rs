@@ -1,0 +1,84 @@
+//! Memory request messages exchanged between caches and DRAM.
+
+use swgpu_types::{MemReqId, PhysAddr};
+
+/// What a memory request is fetching. The distinction matters because the
+/// paper (footnote 2, following prior work) caches page table entries only
+/// in the L2 data cache: [`AccessKind::PageTable`] requests bypass the L1D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Ordinary program data (loads/stores from user warps).
+    Data,
+    /// A page-table entry read issued by a hardware PTW or a PW Warp's
+    /// `LDPT` instruction.
+    PageTable,
+}
+
+/// One read request travelling through the memory hierarchy.
+///
+/// The simulator models timing for loads only: GPU stores in this study are
+/// fire-and-forget for the warp that issues them, and the paper's results
+/// hinge entirely on load/translation latency. A request is identified by
+/// [`MemReq::id`]; responses reuse the request value itself.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_mem::{AccessKind, MemReq};
+/// use swgpu_types::{MemReqId, PhysAddr};
+///
+/// let req = MemReq::new(MemReqId(1), PhysAddr::new(0x4000), AccessKind::Data);
+/// assert_eq!(req.sector_addr(32), 0x4000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Unique request id (minted by the issuing component).
+    pub id: MemReqId,
+    /// Physical address being read.
+    pub addr: PhysAddr,
+    /// Data vs. page-table traffic.
+    pub kind: AccessKind,
+}
+
+impl MemReq {
+    /// Creates a read request.
+    pub fn new(id: MemReqId, addr: PhysAddr, kind: AccessKind) -> Self {
+        Self { id, addr, kind }
+    }
+
+    /// The base address of the sector containing this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector_bytes` is not a power of two.
+    pub fn sector_addr(&self, sector_bytes: u64) -> u64 {
+        self.addr.align_down(sector_bytes).value()
+    }
+
+    /// The base address of the cache line containing this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn line_addr(&self, line_bytes: u64) -> u64 {
+        self.addr.align_down(line_bytes).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_and_line_alignment() {
+        let r = MemReq::new(MemReqId(0), PhysAddr::new(0x1234), AccessKind::Data);
+        assert_eq!(r.sector_addr(32), 0x1220);
+        assert_eq!(r.line_addr(128), 0x1200);
+    }
+
+    #[test]
+    fn kind_is_carried() {
+        let r = MemReq::new(MemReqId(0), PhysAddr::new(0), AccessKind::PageTable);
+        assert_eq!(r.kind, AccessKind::PageTable);
+    }
+}

@@ -1,0 +1,193 @@
+//! Physical frame allocation for page tables and mapped data.
+
+use swgpu_types::{PageSize, Pfn, PhysAddr};
+
+/// Size of one radix page-table node: 512 entries x 8 bytes.
+pub(crate) const TABLE_BYTES: u64 = 4096;
+
+/// A bump allocator over the simulated physical address space.
+///
+/// Two regions grow from a base address: page-table nodes (4 KiB each) and
+/// data frames (one page each). Data frames can optionally be handed out in
+/// a scrambled order so that virtually-contiguous pages land on physically
+/// scattered frames, defeating any accidental physical locality — GPUs
+/// allocate frames from free lists, not contiguously.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_pt::FrameAllocator;
+/// use swgpu_types::PageSize;
+///
+/// let mut alloc = FrameAllocator::new(PageSize::Size64K);
+/// let t0 = alloc.alloc_table();
+/// let t1 = alloc.alloc_table();
+/// assert_ne!(t0, t1);
+/// let f = alloc.alloc_data_frame();
+/// assert!(alloc.frame_base(f).value() >= FrameAllocator::DATA_REGION_BASE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    page_size: PageSize,
+    next_table: u64,
+    next_data_index: u64,
+    scramble: bool,
+    data_frames_capacity: u64,
+}
+
+impl FrameAllocator {
+    /// Physical base of the page-table-node region.
+    pub const TABLE_REGION_BASE: u64 = 0x0000_1000_0000; // 256 MiB in
+
+    /// Physical base of the data-frame region.
+    pub const DATA_REGION_BASE: u64 = 0x0010_0000_0000; // 64 GiB in
+
+    /// Capacity of the data region in bytes (1 TiB — far more than any
+    /// benchmark footprint; the region is sparse anyway).
+    pub const DATA_REGION_BYTES: u64 = 1 << 40;
+
+    /// Creates an allocator for the given data-page granularity with
+    /// sequential frame assignment.
+    pub fn new(page_size: PageSize) -> Self {
+        Self {
+            page_size,
+            next_table: 0,
+            next_data_index: 0,
+            scramble: false,
+            data_frames_capacity: Self::DATA_REGION_BYTES / page_size.bytes(),
+        }
+    }
+
+    /// Creates an allocator that scrambles data-frame order (a fixed
+    /// bijective permutation, so allocation stays deterministic).
+    pub fn new_scrambled(page_size: PageSize) -> Self {
+        Self {
+            scramble: true,
+            ..Self::new(page_size)
+        }
+    }
+
+    /// The data-page granularity this allocator serves.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Allocates a zeroed 4 KiB page-table node, returning its base
+    /// physical address.
+    pub fn alloc_table(&mut self) -> PhysAddr {
+        let addr = Self::TABLE_REGION_BASE + self.next_table * TABLE_BYTES;
+        self.next_table += 1;
+        PhysAddr::new(addr)
+    }
+
+    /// Number of page-table nodes allocated so far.
+    pub fn tables_allocated(&self) -> u64 {
+        self.next_table
+    }
+
+    /// Allocates a physically contiguous region of `bytes` bytes (rounded
+    /// up to whole 4 KiB nodes) in the table region — used by the hashed
+    /// page table, whose buckets are indexed by address arithmetic.
+    pub fn alloc_table_region(&mut self, bytes: u64) -> PhysAddr {
+        let nodes = bytes.div_ceil(TABLE_BYTES).max(1);
+        let base = Self::TABLE_REGION_BASE + self.next_table * TABLE_BYTES;
+        self.next_table += nodes;
+        PhysAddr::new(base)
+    }
+
+    /// Allocates one data frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data region is exhausted (practically unreachable).
+    pub fn alloc_data_frame(&mut self) -> Pfn {
+        assert!(
+            self.next_data_index < self.data_frames_capacity,
+            "data frame region exhausted"
+        );
+        let idx = if self.scramble {
+            self.permute(self.next_data_index)
+        } else {
+            self.next_data_index
+        };
+        self.next_data_index += 1;
+        let base_pfn = Self::DATA_REGION_BASE >> self.page_size.offset_bits();
+        Pfn::new(base_pfn + idx)
+    }
+
+    /// Number of data frames allocated so far.
+    pub fn data_frames_allocated(&self) -> u64 {
+        self.next_data_index
+    }
+
+    /// Base physical address of an allocated frame.
+    pub fn frame_base(&self, pfn: Pfn) -> PhysAddr {
+        self.page_size.base_of_pfn(pfn)
+    }
+
+    /// A fixed bijective permutation of the frame index space (multiply by
+    /// an odd constant modulo a power of two is invertible).
+    fn permute(&self, idx: u64) -> u64 {
+        let modulus = self.data_frames_capacity.next_power_of_two();
+        let mut x = idx;
+        // A couple of rounds of multiply-xor keeps neighbours apart.
+        loop {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) & (modulus - 1);
+            x ^= x >> 7;
+            x &= modulus - 1;
+            if x < self.data_frames_capacity {
+                return x;
+            }
+            // Cycle-walk until we land inside the capacity.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_4k_apart() {
+        let mut a = FrameAllocator::new(PageSize::Size64K);
+        let t0 = a.alloc_table();
+        let t1 = a.alloc_table();
+        assert_eq!(t1.value() - t0.value(), TABLE_BYTES);
+        assert_eq!(a.tables_allocated(), 2);
+    }
+
+    #[test]
+    fn sequential_data_frames_are_contiguous() {
+        let mut a = FrameAllocator::new(PageSize::Size64K);
+        let f0 = a.alloc_data_frame();
+        let f1 = a.alloc_data_frame();
+        assert_eq!(f1.value(), f0.value() + 1);
+    }
+
+    #[test]
+    fn scrambled_frames_are_unique_and_in_region() {
+        let mut a = FrameAllocator::new(PageSize::Size64K);
+        let mut s = FrameAllocator::new_scrambled(PageSize::Size64K);
+        let mut seen = std::collections::HashSet::new();
+        let mut differs = false;
+        for _ in 0..1000 {
+            let seq = a.alloc_data_frame();
+            let scr = s.alloc_data_frame();
+            assert!(seen.insert(scr), "scrambled allocator reused a frame");
+            if seq != scr {
+                differs = true;
+            }
+            let base = s.frame_base(scr).value();
+            assert!(base >= FrameAllocator::DATA_REGION_BASE);
+            assert!(base < FrameAllocator::DATA_REGION_BASE + (1 << 41));
+        }
+        assert!(differs, "scrambling had no effect");
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut a = FrameAllocator::new(PageSize::Size2M);
+        let table_top = a.alloc_table().value() + TABLE_BYTES * 1_000_000;
+        assert!(table_top < FrameAllocator::DATA_REGION_BASE);
+    }
+}

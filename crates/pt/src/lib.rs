@@ -1,0 +1,33 @@
+//! Page tables for the SoftWalker GPU model.
+//!
+//! Three translation structures, all materialized in simulated physical
+//! memory ([`swgpu_mem::PhysMem`]) so that hardware walkers and software
+//! PW Warps read the *same bytes*:
+//!
+//! * [`RadixPageTable`] — the conventional four-level radix page table
+//!   (Table 3), 9 index bits per level, walked root (level 4) to leaf
+//!   (level 1).
+//! * [`HashedPageTable`] — the FS-HPT baseline \[32\]: a fixed-size
+//!   open-addressed hash table that resolves most translations with a
+//!   single bucket read.
+//! * [`PageWalkCache`] — the 32-entry fully-associative PWC that lets a
+//!   walk skip upper levels whose directory entries were seen recently.
+//!
+//! [`FrameAllocator`] hands out physical frames for page-table nodes and
+//! mapped data pages; [`AddressSpace`] bundles a page size, an allocator
+//! and a radix table behind a convenient mapping API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod hashed;
+mod pwc;
+mod radix;
+mod space;
+
+pub use alloc::FrameAllocator;
+pub use hashed::{HashedPageTable, HashedWalk, HptFullError};
+pub use pwc::{PageWalkCache, PwcStart, PwcStats};
+pub use radix::{RadixPageTable, LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};
+pub use space::AddressSpace;

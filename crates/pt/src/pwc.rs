@@ -1,0 +1,267 @@
+//! Page Walk Cache (PWC).
+//!
+//! A small fully-associative cache of recently used page *directory*
+//! entries. A hit lets a walk begin below the root: the paper's Request
+//! Distributor consults the PWC before dispatching a page walk request, and
+//! sends along the deepest known node base and starting level. PW Warps
+//! refresh it with the `FPWC` instruction; hardware walkers fill it as they
+//! descend.
+
+use crate::radix::{LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};
+use swgpu_types::{PhysAddr, Vpn};
+
+/// Where a walk should start, as determined by a PWC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcStart {
+    /// First level whose entry must be read (`ROOT_LEVEL` on a total miss).
+    pub level: u8,
+    /// Base address of the node serving that level.
+    pub node_base: PhysAddr,
+    /// Whether any PWC entry hit (i.e. `level < ROOT_LEVEL`).
+    pub hit: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PwcEntry {
+    level: u8,
+    prefix: u64,
+    node_base: PhysAddr,
+    last_used: u64,
+}
+
+/// Hit/miss statistics for the PWC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PwcStats {
+    /// Lookups that found at least one matching level.
+    pub hits: u64,
+    /// Lookups that found nothing and must start at the root.
+    pub misses: u64,
+}
+
+/// A fully-associative, LRU page walk cache (32 entries in Table 3).
+///
+/// Entries are keyed by `(level, vpn >> (level * 9))`: the node that serves
+/// level `L` of a walk is uniquely identified by the VPN bits *above* that
+/// level.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_pt::{PageWalkCache, ROOT_LEVEL};
+/// use swgpu_types::{PhysAddr, Vpn};
+///
+/// let mut pwc = PageWalkCache::new(32);
+/// let vpn = Vpn::new(0x1234);
+/// assert_eq!(pwc.lookup(vpn).level, ROOT_LEVEL);
+/// pwc.fill(vpn, 2, PhysAddr::new(0x8000));
+/// let start = pwc.lookup(vpn);
+/// assert!(start.hit);
+/// assert_eq!(start.level, 2);
+/// assert_eq!(start.node_base, PhysAddr::new(0x8000));
+/// ```
+#[derive(Debug)]
+pub struct PageWalkCache {
+    entries: Vec<PwcEntry>,
+    capacity: usize,
+    root: PhysAddr,
+    tick: u64,
+    stats: PwcStats,
+}
+
+impl PageWalkCache {
+    /// Creates a PWC with the given number of entries. The root node base
+    /// must be provided via [`PageWalkCache::set_root`] before lookups
+    /// return useful addresses on a total miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PWC needs at least one entry");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            root: PhysAddr::new(0),
+            tick: 0,
+            stats: PwcStats::default(),
+        }
+    }
+
+    /// Sets the page-table root returned on total misses.
+    pub fn set_root(&mut self, root: PhysAddr) {
+        self.root = root;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PwcStats {
+        self.stats
+    }
+
+    fn prefix_for(level: u8, vpn: Vpn) -> u64 {
+        vpn.value() >> (level as u32 * LEVEL_BITS)
+    }
+
+    /// Finds the deepest cached node for `vpn` and returns where the walk
+    /// should start. Counts toward hit/miss statistics and refreshes LRU.
+    pub fn lookup(&mut self, vpn: Vpn) -> PwcStart {
+        self.tick += 1;
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.prefix == Self::prefix_for(e.level, vpn)
+                && best.is_none_or(|b| e.level < self.entries[b].level)
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                self.entries[i].last_used = self.tick;
+                self.stats.hits += 1;
+                PwcStart {
+                    level: self.entries[i].level,
+                    node_base: self.entries[i].node_base,
+                    hit: true,
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                PwcStart {
+                    level: ROOT_LEVEL,
+                    node_base: self.root,
+                    hit: false,
+                }
+            }
+        }
+    }
+
+    /// Caches the node base serving `level` of walks for `vpn` — i.e. the
+    /// content of the directory entry just read at `level + 1`. Valid for
+    /// levels `LEAF_LEVEL..ROOT_LEVEL` (1..=3 in the 4-level table: a
+    /// level-1 fill caches the *leaf node* base, so a warm walk costs a
+    /// single memory read). Filling the root level is a no-op — the root
+    /// is always known.
+    pub fn fill(&mut self, vpn: Vpn, level: u8, node_base: PhysAddr) {
+        if !(LEAF_LEVEL..ROOT_LEVEL).contains(&level) {
+            return;
+        }
+        self.tick += 1;
+        let prefix = Self::prefix_for(level, vpn);
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.level == level && e.prefix == prefix)
+        {
+            e.node_base = node_base;
+            e.last_used = self.tick;
+            return;
+        }
+        let entry = PwcEntry {
+            level,
+            prefix,
+            node_base,
+            last_used: self.tick,
+        };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty by construction");
+            self.entries[victim] = entry;
+        }
+    }
+
+    /// Drops every cached entry (used when switching address spaces).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_miss_starts_at_root() {
+        let mut pwc = PageWalkCache::new(4);
+        pwc.set_root(PhysAddr::new(0x1000));
+        let s = pwc.lookup(Vpn::new(0x42));
+        assert!(!s.hit);
+        assert_eq!(s.level, ROOT_LEVEL);
+        assert_eq!(s.node_base, PhysAddr::new(0x1000));
+        assert_eq!(pwc.stats().misses, 1);
+    }
+
+    #[test]
+    fn deepest_level_wins() {
+        let mut pwc = PageWalkCache::new(4);
+        let vpn = Vpn::new(0x12345);
+        pwc.fill(vpn, 3, PhysAddr::new(0x3000));
+        pwc.fill(vpn, 2, PhysAddr::new(0x2000));
+        let s = pwc.lookup(vpn);
+        assert_eq!(s.level, 2);
+        assert_eq!(s.node_base, PhysAddr::new(0x2000));
+    }
+
+    #[test]
+    fn prefix_discriminates_neighbours() {
+        let mut pwc = PageWalkCache::new(4);
+        // Level-1 prefixes differ only above bit 9.
+        pwc.fill(Vpn::new(0x200), 2, PhysAddr::new(0xaaa0));
+        let hit = pwc.lookup(Vpn::new(0x200 + 5)); // same level-2 prefix? 0x205>>18 == 0
+        // Level 2 prefix = vpn >> 18; both are 0, so this *does* hit.
+        assert!(hit.hit);
+        // A VPN beyond the level-2 coverage misses.
+        let miss = pwc.lookup(Vpn::new(1 << 18));
+        assert!(!miss.hit);
+    }
+
+    #[test]
+    fn root_fills_are_ignored_leaf_fills_cached() {
+        let mut pwc = PageWalkCache::new(4);
+        pwc.fill(Vpn::new(1), ROOT_LEVEL, PhysAddr::new(0x20));
+        assert!(!pwc.lookup(Vpn::new(1)).hit, "root is never cached");
+        pwc.fill(Vpn::new(1), LEAF_LEVEL, PhysAddr::new(0x10));
+        let s = pwc.lookup(Vpn::new(1));
+        assert!(s.hit, "leaf node bases are cached (cost-1 warm walks)");
+        assert_eq!(s.level, LEAF_LEVEL);
+        assert_eq!(s.node_base, PhysAddr::new(0x10));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut pwc = PageWalkCache::new(2);
+        // Distinct level-2 prefixes need VPNs ≥ 2^18 apart.
+        let a = Vpn::new(0 << 18);
+        let b = Vpn::new(1 << 18);
+        let c = Vpn::new(2 << 18);
+        pwc.fill(a, 2, PhysAddr::new(0xa));
+        pwc.fill(b, 2, PhysAddr::new(0xb));
+        pwc.lookup(a); // refresh a; b becomes LRU
+        pwc.fill(c, 2, PhysAddr::new(0xc));
+        assert!(pwc.lookup(a).hit);
+        assert!(!pwc.lookup(b).hit, "b was evicted");
+        assert!(pwc.lookup(c).hit);
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut pwc = PageWalkCache::new(2);
+        let vpn = Vpn::new(7);
+        pwc.fill(vpn, 2, PhysAddr::new(0x1));
+        pwc.fill(vpn, 2, PhysAddr::new(0x2));
+        assert_eq!(pwc.lookup(vpn).node_base, PhysAddr::new(0x2));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut pwc = PageWalkCache::new(2);
+        pwc.fill(Vpn::new(7), 2, PhysAddr::new(0x1));
+        pwc.clear();
+        assert!(!pwc.lookup(Vpn::new(7)).hit);
+    }
+}

@@ -1,0 +1,225 @@
+//! Four-level radix page table.
+
+use crate::alloc::FrameAllocator;
+use swgpu_mem::PhysMem;
+use swgpu_types::{Pfn, PhysAddr, Pte, Vpn};
+
+/// Index bits consumed per radix level (512-entry nodes).
+pub const LEVEL_BITS: u32 = 9;
+
+/// The root level of the walk. Walks proceed from [`ROOT_LEVEL`] down to
+/// [`LEAF_LEVEL`], reading one entry per level.
+pub const ROOT_LEVEL: u8 = 4;
+
+/// The leaf level; the entry read here is the final PTE.
+pub const LEAF_LEVEL: u8 = 1;
+
+/// A four-level radix page table stored in simulated physical memory.
+///
+/// Level numbering follows the walk direction used in the paper's Figure 14
+/// routine: the *root* node is level 4 and the *leaf* PTE level is 1. The
+/// index for level `L` is bits `[(L-1)*9, L*9)` of the VPN, so a 33-bit VPN
+/// (49-bit VA, 64 KB pages) fits comfortably in 4 levels.
+///
+/// Both the hardware PTW model and the PW-Warp `LDPT` instruction use
+/// [`RadixPageTable::entry_addr`] to compute the physical address of the
+/// next entry, then read it through the timed memory hierarchy; the bytes
+/// come from [`PhysMem`].
+///
+/// # Example
+///
+/// ```
+/// use swgpu_mem::PhysMem;
+/// use swgpu_pt::{FrameAllocator, RadixPageTable};
+/// use swgpu_types::{PageSize, Pfn, Vpn};
+///
+/// let mut mem = PhysMem::new();
+/// let mut alloc = FrameAllocator::new(PageSize::Size64K);
+/// let mut pt = RadixPageTable::new(&mut alloc, &mut mem);
+/// pt.map(Vpn::new(0x42), Pfn::new(0x99), &mut alloc, &mut mem);
+/// assert_eq!(pt.translate(Vpn::new(0x42), &mem), Some(Pfn::new(0x99)));
+/// assert_eq!(pt.translate(Vpn::new(0x43), &mem), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadixPageTable {
+    root: PhysAddr,
+}
+
+impl RadixPageTable {
+    /// Allocates an empty table (just the root node).
+    pub fn new(alloc: &mut FrameAllocator, _mem: &mut PhysMem) -> Self {
+        Self {
+            root: alloc.alloc_table(),
+        }
+    }
+
+    /// Physical address of the root (level-4) node.
+    pub fn root(&self) -> PhysAddr {
+        self.root
+    }
+
+    /// The 9-bit node index used at `level` for `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `LEAF_LEVEL..=ROOT_LEVEL`.
+    pub fn index_of(level: u8, vpn: Vpn) -> u64 {
+        assert!(
+            (LEAF_LEVEL..=ROOT_LEVEL).contains(&level),
+            "radix level out of range"
+        );
+        (vpn.value() >> ((level - 1) as u32 * LEVEL_BITS)) & ((1 << LEVEL_BITS) - 1)
+    }
+
+    /// Physical address of the entry consulted at `level` of a walk for
+    /// `vpn`, given the base address of the node serving that level.
+    pub fn entry_addr(level: u8, node_base: PhysAddr, vpn: Vpn) -> PhysAddr {
+        node_base + Self::index_of(level, vpn) * Pte::SIZE_BYTES
+    }
+
+    /// Installs a translation, allocating intermediate nodes on demand.
+    ///
+    /// Remapping an already-mapped VPN overwrites the leaf entry.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn, alloc: &mut FrameAllocator, mem: &mut PhysMem) {
+        let mut node = self.root;
+        for level in (LEAF_LEVEL + 1..=ROOT_LEVEL).rev() {
+            let entry_addr = Self::entry_addr(level, node, vpn);
+            let pde = Pte::from_raw(mem.read_u64(entry_addr));
+            node = if pde.is_valid() {
+                PhysAddr::new(pde.pfn().value())
+            } else {
+                let child = alloc.alloc_table();
+                // Directory entries store the child node's *address* in the
+                // frame field (table nodes are 4 KiB, below page granularity,
+                // so we carry the raw address rather than a page-size PFN).
+                mem.write_u64(entry_addr, Pte::valid(Pfn::new(child.value())).raw());
+                child
+            };
+        }
+        let leaf_addr = Self::entry_addr(LEAF_LEVEL, node, vpn);
+        mem.write_u64(leaf_addr, Pte::valid(pfn).raw());
+    }
+
+    /// Functional (untimed) walk used by tests and by fault checking.
+    /// Returns the mapped frame, or `None` if any level is invalid.
+    pub fn translate(&self, vpn: Vpn, mem: &PhysMem) -> Option<Pfn> {
+        let mut node = self.root;
+        for level in (LEAF_LEVEL + 1..=ROOT_LEVEL).rev() {
+            let pde = Pte::from_raw(mem.read_u64(Self::entry_addr(level, node, vpn)));
+            if !pde.is_valid() {
+                return None;
+            }
+            node = PhysAddr::new(pde.pfn().value());
+        }
+        let pte = Pte::from_raw(mem.read_u64(Self::entry_addr(LEAF_LEVEL, node, vpn)));
+        pte.is_valid().then(|| pte.pfn())
+    }
+
+    /// The node base for the next (lower) level given the directory entry
+    /// just read at the current level. Returns `None` for invalid entries
+    /// (a page fault at that level).
+    pub fn next_node(pde: Pte) -> Option<PhysAddr> {
+        pde.is_valid().then(|| PhysAddr::new(pde.pfn().value()))
+    }
+
+    /// Number of memory reads a full (PWC-cold) walk performs.
+    pub const fn full_walk_accesses() -> u32 {
+        (ROOT_LEVEL - LEAF_LEVEL + 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgpu_types::PageSize;
+
+    fn setup() -> (RadixPageTable, FrameAllocator, PhysMem) {
+        let mut mem = PhysMem::new();
+        let mut alloc = FrameAllocator::new(PageSize::Size64K);
+        let pt = RadixPageTable::new(&mut alloc, &mut mem);
+        (pt, alloc, mem)
+    }
+
+    #[test]
+    fn map_and_translate() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        pt.map(Vpn::new(0x1_2345), Pfn::new(0xabc), &mut alloc, &mut mem);
+        assert_eq!(pt.translate(Vpn::new(0x1_2345), &mem), Some(Pfn::new(0xabc)));
+    }
+
+    #[test]
+    fn unmapped_is_none_at_any_level() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        pt.map(Vpn::new(0), Pfn::new(1), &mut alloc, &mut mem);
+        // Same leaf node, different index: leaf-level fault.
+        assert_eq!(pt.translate(Vpn::new(1), &mem), None);
+        // Entirely different top-level subtree: root-level fault.
+        assert_eq!(pt.translate(Vpn::new(1 << 27), &mem), None);
+    }
+
+    #[test]
+    fn sibling_mappings_share_intermediate_nodes() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        let before = alloc.tables_allocated();
+        pt.map(Vpn::new(0x10), Pfn::new(1), &mut alloc, &mut mem);
+        let after_first = alloc.tables_allocated();
+        pt.map(Vpn::new(0x11), Pfn::new(2), &mut alloc, &mut mem);
+        let after_second = alloc.tables_allocated();
+        assert_eq!(after_first - before, 3, "first map allocates 3 inner nodes");
+        assert_eq!(after_second, after_first, "sibling reuses the whole path");
+        assert_eq!(pt.translate(Vpn::new(0x10), &mem), Some(Pfn::new(1)));
+        assert_eq!(pt.translate(Vpn::new(0x11), &mem), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn remap_overwrites() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        pt.map(Vpn::new(5), Pfn::new(1), &mut alloc, &mut mem);
+        pt.map(Vpn::new(5), Pfn::new(2), &mut alloc, &mut mem);
+        assert_eq!(pt.translate(Vpn::new(5), &mem), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn index_extraction_matches_figure_14() {
+        // offset = (vpn >> ((pt_level-1)*9)) & 0x1FF
+        let vpn = Vpn::new(0b101_000000001_000000010_000000011);
+        assert_eq!(RadixPageTable::index_of(1, vpn), 0b000000011);
+        assert_eq!(RadixPageTable::index_of(2, vpn), 0b000000010);
+        assert_eq!(RadixPageTable::index_of(3, vpn), 0b000000001);
+        assert_eq!(RadixPageTable::index_of(4, vpn), 0b101);
+    }
+
+    #[test]
+    fn entry_addr_is_index_scaled() {
+        let base = PhysAddr::new(0x1000);
+        let vpn = Vpn::new(3);
+        assert_eq!(
+            RadixPageTable::entry_addr(1, base, vpn).value(),
+            0x1000 + 3 * 8
+        );
+    }
+
+    #[test]
+    fn full_walk_is_four_accesses() {
+        assert_eq!(RadixPageTable::full_walk_accesses(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn index_of_rejects_level_zero() {
+        RadixPageTable::index_of(0, Vpn::new(0));
+    }
+
+    #[test]
+    fn dense_region_translates_fully() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        for i in 0..2048u64 {
+            pt.map(Vpn::new(i), Pfn::new(1000 + i), &mut alloc, &mut mem);
+        }
+        for i in 0..2048u64 {
+            assert_eq!(pt.translate(Vpn::new(i), &mem), Some(Pfn::new(1000 + i)));
+        }
+        // 2048 VPNs span 4 leaf nodes sharing upper levels.
+        assert_eq!(alloc.tables_allocated(), 1 + 2 + 4);
+    }
+}

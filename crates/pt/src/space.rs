@@ -1,0 +1,205 @@
+//! A GPU address space: page size + frame allocator + radix page table.
+
+use crate::alloc::FrameAllocator;
+use crate::hashed::HashedPageTable;
+use crate::radix::RadixPageTable;
+use std::collections::BTreeMap;
+use swgpu_mem::PhysMem;
+use swgpu_types::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+
+/// One process's GPU address space.
+///
+/// Owns the frame allocator and the radix page table, tracks the installed
+/// mappings, and can derive an equivalent [`HashedPageTable`] for FS-HPT
+/// experiments so that both translation structures describe the *same*
+/// address space.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_mem::PhysMem;
+/// use swgpu_pt::AddressSpace;
+/// use swgpu_types::{PageSize, VirtAddr};
+///
+/// let mut mem = PhysMem::new();
+/// let mut space = AddressSpace::new(PageSize::Size64K, &mut mem);
+/// space.map_region(VirtAddr::new(0x10_0000), 256 * 1024, &mut mem);
+/// assert_eq!(space.mapped_pages(), 4);
+/// assert!(space.translate(VirtAddr::new(0x10_1234), &mem).is_some());
+/// assert!(space.translate(VirtAddr::new(0x90_0000), &mem).is_none());
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    page_size: PageSize,
+    alloc: FrameAllocator,
+    radix: RadixPageTable,
+    mappings: BTreeMap<Vpn, Pfn>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with sequential frame allocation.
+    pub fn new(page_size: PageSize, mem: &mut PhysMem) -> Self {
+        let mut alloc = FrameAllocator::new(page_size);
+        let radix = RadixPageTable::new(&mut alloc, mem);
+        Self {
+            page_size,
+            alloc,
+            radix,
+            mappings: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an address space whose data frames are handed out in a
+    /// scrambled (but deterministic) order, like a real free-list
+    /// allocator.
+    pub fn new_scrambled(page_size: PageSize, mem: &mut PhysMem) -> Self {
+        let mut alloc = FrameAllocator::new_scrambled(page_size);
+        let radix = RadixPageTable::new(&mut alloc, mem);
+        Self {
+            page_size,
+            alloc,
+            radix,
+            mappings: BTreeMap::new(),
+        }
+    }
+
+    /// Translation granularity of this space.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// The radix page table (for walkers that need the root address).
+    pub fn radix(&self) -> &RadixPageTable {
+        &self.radix
+    }
+
+    /// Number of pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Total mapped bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.mappings.len() as u64 * self.page_size.bytes()
+    }
+
+    /// Maps the page containing `vpn` to a fresh frame (idempotent: an
+    /// existing mapping is returned unchanged).
+    pub fn map_page(&mut self, vpn: Vpn, mem: &mut PhysMem) -> Pfn {
+        if let Some(&pfn) = self.mappings.get(&vpn) {
+            return pfn;
+        }
+        let pfn = self.alloc.alloc_data_frame();
+        self.radix.map(vpn, pfn, &mut self.alloc, mem);
+        self.mappings.insert(vpn, pfn);
+        pfn
+    }
+
+    /// Maps every page overlapping `[va_start, va_start + bytes)`.
+    pub fn map_region(&mut self, va_start: VirtAddr, bytes: u64, mem: &mut PhysMem) {
+        if bytes == 0 {
+            return;
+        }
+        let first = self.page_size.vpn_of(va_start).value();
+        let last = self
+            .page_size
+            .vpn_of(VirtAddr::new(va_start.value() + bytes - 1))
+            .value();
+        for v in first..=last {
+            self.map_page(Vpn::new(v), mem);
+        }
+    }
+
+    /// Functional translation of a full virtual address.
+    pub fn translate(&self, va: VirtAddr, mem: &PhysMem) -> Option<PhysAddr> {
+        let vpn = self.page_size.vpn_of(va);
+        self.radix
+            .translate(vpn, mem)
+            .map(|pfn| self.page_size.translate(va, pfn))
+    }
+
+    /// The installed mappings, in VPN order.
+    pub fn mappings(&self) -> impl Iterator<Item = (Vpn, Pfn)> + '_ {
+        self.mappings.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// Builds a hashed page table describing the same mappings, sized at
+    /// roughly 2x occupancy as FS-HPT prescribes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if insertion fails, which cannot happen at 2x sizing.
+    pub fn build_hashed(&mut self, mem: &mut PhysMem) -> HashedPageTable {
+        let buckets = ((self.mappings.len() as u64 * 2)
+            .div_ceil(crate::hashed::SLOTS_PER_BUCKET as u64))
+        .max(16);
+        let mut hpt = HashedPageTable::new(&mut self.alloc, buckets);
+        for (&vpn, &pfn) in &self.mappings {
+            hpt.insert(vpn, pfn, mem)
+                .expect("2x-sized hashed table cannot fill up");
+        }
+        hpt
+    }
+
+    /// Number of 4 KiB page-table nodes backing the radix table — the
+    /// simulated page-table footprint.
+    pub fn table_nodes(&self) -> u64 {
+        self.alloc.tables_allocated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_page_is_idempotent() {
+        let mut mem = PhysMem::new();
+        let mut s = AddressSpace::new(PageSize::Size64K, &mut mem);
+        let a = s.map_page(Vpn::new(7), &mut mem);
+        let b = s.map_page(Vpn::new(7), &mut mem);
+        assert_eq!(a, b);
+        assert_eq!(s.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn region_mapping_covers_partial_pages() {
+        let mut mem = PhysMem::new();
+        let mut s = AddressSpace::new(PageSize::Size64K, &mut mem);
+        // 1 byte in page 0 + crossing into page 1.
+        s.map_region(VirtAddr::new(0xFFFF), 2, &mut mem);
+        assert_eq!(s.mapped_pages(), 2);
+        s.map_region(VirtAddr::new(0), 0, &mut mem);
+        assert_eq!(s.mapped_pages(), 2, "zero-byte region maps nothing");
+    }
+
+    #[test]
+    fn translate_round_trips_offsets() {
+        let mut mem = PhysMem::new();
+        let mut s = AddressSpace::new(PageSize::Size64K, &mut mem);
+        s.map_region(VirtAddr::new(0x20_0000), 64 * 1024, &mut mem);
+        let va = VirtAddr::new(0x20_1234);
+        let pa = s.translate(va, &mem).unwrap();
+        assert_eq!(pa.value() & 0xFFFF, 0x1234, "page offset preserved");
+    }
+
+    #[test]
+    fn hashed_table_matches_radix() {
+        let mut mem = PhysMem::new();
+        let mut s = AddressSpace::new_scrambled(PageSize::Size64K, &mut mem);
+        s.map_region(VirtAddr::new(0), 4 * 1024 * 1024, &mut mem);
+        let hpt = s.build_hashed(&mut mem);
+        for (vpn, pfn) in s.mappings() {
+            assert_eq!(hpt.lookup(vpn, &mem).0, Some(pfn));
+        }
+    }
+
+    #[test]
+    fn footprint_accounts_page_size() {
+        let mut mem = PhysMem::new();
+        let mut s = AddressSpace::new(PageSize::Size2M, &mut mem);
+        s.map_region(VirtAddr::new(0), 5 * 1024 * 1024, &mut mem);
+        assert_eq!(s.mapped_pages(), 3);
+        assert_eq!(s.footprint_bytes(), 6 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,25 @@
+//! The hardware page walk subsystem: Page Walk Buffer, PTW pool and
+//! Neighborhood-Aware (NHA) coalescing.
+//!
+//! This is the *baseline* translation machinery the paper contends with:
+//! a small, fixed pool of hardware Page Table Walkers (32 in Table 3) fed
+//! from a Page Walk Buffer (PWB). Under irregular workloads thousands of
+//! concurrent L2 TLB misses pile up behind these walkers, and the resulting
+//! queueing delay dominates total walk latency (95% — Figure 7). The same
+//! subsystem, scaled up, provides the "more PTWs" comparison points of
+//! Figures 5/12/21, the NHA \[86\] and FS-HPT \[32\] baselines of
+//! Figure 16, and — with an unbounded pool — the "ideal" configuration.
+//!
+//! Walks are *timed*: each level is a real memory read issued into the L2
+//! data cache / DRAM hierarchy; the subsystem reports per-walk queueing
+//! delay and page-table access latency separately, which is exactly the
+//! breakdown Figures 7 and 18 plot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod request;
+mod subsystem;
+
+pub use request::{TableRef, WalkCompletion, WalkContext, WalkOwner, WalkRequest, WalkResult};
+pub use subsystem::{PtwConfig, PtwSubsystem, PwbPolicy, WalkStats, WalkTiming};

@@ -1,0 +1,271 @@
+//! GPU configuration (Table 3) and translation-mode selection.
+
+use softwalker::{DistributorPolicy, PwWarpConfig};
+use swgpu_mem::{CacheConfig, DramConfig};
+use swgpu_ptw::{PtwConfig, WalkTiming};
+use swgpu_tlb::{TlbConfig, TlbMshrConfig};
+use swgpu_types::PageSize;
+
+/// Which machinery resolves L2 TLB misses — one variant per configuration
+/// the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationMode {
+    /// Hardware page table walkers over the radix table (the baseline;
+    /// scale `GpuConfig::ptw.walkers` for the Figure 5 sweeps, set
+    /// `GpuConfig::ptw.nha` for the NHA \[86\] comparison).
+    HardwarePtw,
+    /// Hardware walkers over the FS-HPT hashed page table \[32\].
+    HashedPtw,
+    /// Unbounded walkers *and* unbounded L2 TLB MSHRs: the "Ideal PTWs
+    /// with ideal MSHRs" bar of Figure 16.
+    IdealPtw,
+    /// SoftWalker: PW Warps on every SM; `in_tlb_mshr` toggles the In-TLB
+    /// MSHR mechanism ("SW w/o In-TLB MSHR" vs "SoftWalker" in Figure 16).
+    SoftWalker {
+        /// Enable the In-TLB MSHR overflow (capacity set by
+        /// `GpuConfig::in_tlb_max`).
+        in_tlb_mshr: bool,
+    },
+    /// Hybrid (§5.4): hardware walkers preferred while free, overflow to
+    /// PW Warps. Protects latency-sensitive regular workloads.
+    Hybrid {
+        /// Enable the In-TLB MSHR overflow.
+        in_tlb_mshr: bool,
+    },
+}
+
+impl TranslationMode {
+    /// Whether this mode deploys PW Warps.
+    pub fn uses_software_walkers(self) -> bool {
+        matches!(
+            self,
+            TranslationMode::SoftWalker { .. } | TranslationMode::Hybrid { .. }
+        )
+    }
+
+    /// Whether this mode uses the hardware PTW pool.
+    pub fn uses_hardware_walkers(self) -> bool {
+        !matches!(self, TranslationMode::SoftWalker { .. })
+    }
+
+    /// Whether the In-TLB MSHR mechanism is active.
+    pub fn in_tlb_enabled(self) -> bool {
+        matches!(
+            self,
+            TranslationMode::SoftWalker { in_tlb_mshr: true }
+                | TranslationMode::Hybrid { in_tlb_mshr: true }
+        )
+    }
+}
+
+/// Full-system configuration. [`GpuConfig::default`] reproduces Table 3;
+/// every field the paper sweeps is public.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Number of SMs (46).
+    pub sms: usize,
+    /// Warps per SM (48).
+    pub max_warps: usize,
+    /// Translation granularity (64 KB base; 2 MB for the large-page
+    /// studies).
+    pub page_size: PageSize,
+    /// Per-SM L1 TLB (32 entries, fully associative).
+    pub l1_tlb: TlbConfig,
+    /// L1 TLB MSHRs (32 x 192 merges).
+    pub l1_mshr: TlbMshrConfig,
+    /// L1 TLB lookup latency (10 cycles).
+    pub l1_tlb_latency: u64,
+    /// Shared L2 TLB (1024 entries, 16-way).
+    pub l2_tlb: TlbConfig,
+    /// L2 TLB MSHRs (128 x 46 merges). The Figure 12 "MSHRs" sweep scales
+    /// `entries`.
+    pub l2_mshr: TlbMshrConfig,
+    /// L2 TLB access latency (80 cycles; swept 40–200 in Figure 22). Also
+    /// the SM↔L2TLB communication charge for SoftWalker dispatch and FL2T
+    /// return.
+    pub l2_tlb_latency: u64,
+    /// Latency of the L2→L1 translation response path.
+    pub xlat_return_latency: u64,
+    /// Maximum L2 TLB entries usable as In-TLB MSHRs (1024; swept in
+    /// Figure 24). Only consulted when the mode enables the mechanism.
+    pub in_tlb_max: usize,
+    /// Per-SM L1 data cache (128 KB, 40 cycles).
+    pub l1d: CacheConfig,
+    /// Shared L2 data cache (4 MB, 180 cycles).
+    pub l2d: CacheConfig,
+    /// GDDR6 DRAM model (16 channels, 448 GB/s).
+    pub dram: DramConfig,
+    /// Page walk cache (32 entries, fully associative).
+    pub pwc_entries: usize,
+    /// Hardware walk subsystem (32 walkers baseline; `nha` and `timing`
+    /// knobs live here).
+    pub ptw: PtwConfig,
+    /// PW Warp shape (32 threads, 32-entry SoftPWB).
+    pub pw_warp: PwWarpConfig,
+    /// Request Distributor policy (round-robin default; Figure 26).
+    pub distributor_policy: DistributorPolicy,
+    /// Dispatches the Request Distributor can perform per cycle.
+    pub dispatches_per_cycle: usize,
+    /// Translation machinery under test.
+    pub mode: TranslationMode,
+    /// Force-enable the In-TLB MSHR even for hardware-walker modes — the
+    /// Figure 21 ablation ("128 PTWs + In-TLB MSHR").
+    pub force_in_tlb: bool,
+    /// Scramble physical frame assignment (like a real free-list
+    /// allocator).
+    pub scrambled_frames: bool,
+    /// Safety net: abort the run after this many cycles.
+    pub max_cycles: u64,
+    /// Record the lifecycle of the first N completed walks into
+    /// [`crate::WalkTrace`] (0 disables; used by the Figure 9 timeline
+    /// harness).
+    pub walk_trace_cap: usize,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            sms: 46,
+            max_warps: 48,
+            page_size: PageSize::Size64K,
+            l1_tlb: TlbConfig::l1(),
+            l1_mshr: TlbMshrConfig::l1(),
+            l1_tlb_latency: 10,
+            l2_tlb: TlbConfig::l2(),
+            l2_mshr: TlbMshrConfig::l2(),
+            l2_tlb_latency: 80,
+            xlat_return_latency: 20,
+            in_tlb_max: 1024,
+            l1d: CacheConfig::l1d(),
+            l2d: CacheConfig::l2d(),
+            dram: DramConfig::default(),
+            pwc_entries: 32,
+            ptw: PtwConfig::default(),
+            pw_warp: PwWarpConfig::default(),
+            distributor_policy: DistributorPolicy::RoundRobin,
+            dispatches_per_cycle: 2,
+            mode: TranslationMode::HardwarePtw,
+            force_in_tlb: false,
+            scrambled_frames: true,
+            max_cycles: 50_000_000,
+            walk_trace_cap: 0,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// A small configuration for unit tests: 4 SMs, 8 warps each.
+    pub fn quick_test() -> Self {
+        Self {
+            sms: 4,
+            max_warps: 8,
+            max_cycles: 2_000_000,
+            ..Self::default()
+        }
+    }
+
+    /// Applies the paper's PTW-scaling rule (Figures 5/12/21): sets the
+    /// walker count and proportionally scales the PWB; optionally scales
+    /// the L2 TLB MSHRs alongside ("PTWs + MSHRs" in Figure 12).
+    pub fn with_ptws(mut self, walkers: usize, scale_mshrs: bool) -> Self {
+        self.ptw.walkers = walkers;
+        self.ptw.pwb_entries = (walkers * 4).max(128);
+        self.ptw.pwb_ports = (walkers / 32).max(1);
+        if scale_mshrs {
+            let f = (walkers / 32).max(1);
+            self.l2_mshr.entries = 128 * f;
+        }
+        self
+    }
+
+    /// The ideal configuration: unbounded walkers and MSHRs.
+    pub fn ideal(mut self) -> Self {
+        self.mode = TranslationMode::IdealPtw;
+        self.ptw = PtwConfig {
+            timing: self.ptw.timing,
+            nha: self.ptw.nha,
+            sector_bytes: self.ptw.sector_bytes,
+            ..PtwConfig::ideal()
+        };
+        self.l2_mshr = TlbMshrConfig {
+            entries: usize::MAX / 2,
+            max_merges: usize::MAX / 2,
+        };
+        self
+    }
+
+    /// Switches to 2 MB pages (the large-page sensitivity studies).
+    pub fn with_large_pages(mut self) -> Self {
+        self.page_size = PageSize::Size2M;
+        self
+    }
+
+    /// Sets the fixed per-level page-table latency of Figure 23.
+    pub fn with_fixed_walk_latency(mut self, cycles: u64) -> Self {
+        self.ptw.timing = WalkTiming::FixedPerLevel(cycles);
+        self
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.sms > 0, "need at least one SM");
+        assert!(self.max_warps > 0, "need at least one warp per SM");
+        assert!(self.dispatches_per_cycle > 0, "distributor needs a port");
+        assert!(
+            self.pw_warp.softpwb_entries >= 1,
+            "SoftPWB must hold requests"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let c = GpuConfig::default();
+        assert_eq!(c.sms, 46);
+        assert_eq!(c.max_warps, 48);
+        assert_eq!(c.l2_tlb.entries, 1024);
+        assert_eq!(c.l2_mshr.entries, 128);
+        assert_eq!(c.l2_mshr.max_merges, 46);
+        assert_eq!(c.ptw.walkers, 32);
+        assert_eq!(c.pwc_entries, 32);
+        assert_eq!(c.page_size, PageSize::Size64K);
+        assert_eq!(c.pw_warp.threads, 32);
+        assert_eq!(c.pw_warp.softpwb_entries, 32);
+        assert_eq!(c.in_tlb_max, 1024);
+    }
+
+    #[test]
+    fn ptw_scaling_scales_companions() {
+        let c = GpuConfig::default().with_ptws(256, true);
+        assert_eq!(c.ptw.walkers, 256);
+        assert_eq!(c.ptw.pwb_entries, 1024);
+        assert_eq!(c.l2_mshr.entries, 1024);
+        let c2 = GpuConfig::default().with_ptws(256, false);
+        assert_eq!(c2.l2_mshr.entries, 128);
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(TranslationMode::SoftWalker { in_tlb_mshr: true }.uses_software_walkers());
+        assert!(!TranslationMode::SoftWalker { in_tlb_mshr: false }.uses_hardware_walkers());
+        assert!(TranslationMode::Hybrid { in_tlb_mshr: false }.uses_hardware_walkers());
+        assert!(TranslationMode::Hybrid { in_tlb_mshr: false }.uses_software_walkers());
+        assert!(!TranslationMode::HardwarePtw.in_tlb_enabled());
+        assert!(TranslationMode::SoftWalker { in_tlb_mshr: true }.in_tlb_enabled());
+    }
+
+    #[test]
+    fn ideal_is_unbounded() {
+        let c = GpuConfig::default().ideal();
+        assert_eq!(c.ptw.walkers, usize::MAX);
+        assert!(c.l2_mshr.entries > 1 << 40);
+    }
+}

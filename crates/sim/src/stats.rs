@@ -1,0 +1,356 @@
+//! Full-system simulation statistics.
+
+use softwalker::{DistributorStats, PwWarpStats};
+use swgpu_mem::{CacheStats, DramStats};
+use swgpu_sm::SmStats;
+use swgpu_tlb::InTlbStats;
+use swgpu_types::Cycle;
+
+/// Page-walk latency decomposition aggregated over every completed
+/// translation — the raw material of Figures 7, 18 and 23.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkLatencyStats {
+    /// Translations completed by a page walk.
+    pub translations: u64,
+    /// Σ queueing cycles (waiting for a walker / PW thread).
+    pub queue_cycles: u64,
+    /// Σ access cycles (page-table reads, plus — for SoftWalker —
+    /// communication and instruction execution).
+    pub access_cycles: u64,
+}
+
+impl WalkLatencyStats {
+    /// Records one completed translation.
+    pub fn record(&mut self, queue: u64, access: u64) {
+        self.translations += 1;
+        self.queue_cycles += queue;
+        self.access_cycles += access;
+    }
+
+    /// Mean queueing delay.
+    pub fn avg_queue(&self) -> f64 {
+        if self.translations == 0 {
+            0.0
+        } else {
+            self.queue_cycles as f64 / self.translations as f64
+        }
+    }
+
+    /// Mean page-table access latency.
+    pub fn avg_access(&self) -> f64 {
+        if self.translations == 0 {
+            0.0
+        } else {
+            self.access_cycles as f64 / self.translations as f64
+        }
+    }
+
+    /// Mean total walk latency (queue + access).
+    pub fn avg_total(&self) -> f64 {
+        self.avg_queue() + self.avg_access()
+    }
+
+    /// Queueing share of total walk latency — ~0.95 for irregular apps at
+    /// the 32-PTW baseline (Figure 7).
+    pub fn queue_fraction(&self) -> f64 {
+        let total = self.queue_cycles + self.access_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.queue_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a figure harness needs from one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total simulated cycles until the kernel drained.
+    pub cycles: u64,
+    /// Whether the run hit the safety cycle limit instead of finishing.
+    pub timed_out: bool,
+    /// Warp instructions issued across all SMs.
+    pub instructions: u64,
+    /// Memory (load) instructions issued.
+    pub loads: u64,
+    /// Aggregated SM scheduler statistics (summed over SMs).
+    pub sm: SmStats,
+    /// Aggregated L1 TLB statistics (summed over SMs).
+    pub l1_tlb: swgpu_tlb::TlbStats,
+    /// Shared L2 TLB array statistics.
+    pub l2_tlb: swgpu_tlb::TlbStats,
+    /// L2 TLB dedicated-MSHR statistics.
+    pub l2_mshr: swgpu_tlb::TlbMshrStats,
+    /// In-TLB MSHR statistics.
+    pub in_tlb: InTlbStats,
+    /// Distinct L2 misses that were rejected at least once because no
+    /// MSHR capacity existed — the Figure 17 "MSHR failure" count.
+    pub l2_mshr_failure_events: u64,
+    /// L2 TLB misses counted once per request (retries after MSHR
+    /// failures excluded) — the MPKI numerator.
+    pub fresh_l2_misses: u64,
+    /// Page-walk latency decomposition.
+    pub walk: WalkLatencyStats,
+    /// Walks completed by hardware PTWs.
+    pub hw_walks: u64,
+    /// Walks completed by PW Warps.
+    pub sw_walks: u64,
+    /// Aggregated L1D statistics (summed over SMs).
+    pub l1d: CacheStats,
+    /// Shared L2 data cache statistics.
+    pub l2d: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// DRAM bandwidth utilization over the run.
+    pub dram_utilization: f64,
+    /// Page walk cache statistics.
+    pub pwc_hits: u64,
+    /// Page walk cache misses.
+    pub pwc_misses: u64,
+    /// Aggregated PW Warp statistics (summed over SMs).
+    pub pw_warp: PwWarpStats,
+    /// Request Distributor statistics.
+    pub distributor: DistributorStats,
+    /// Page faults observed (UVM path).
+    pub faults: u64,
+    /// Lifecycle records of the first walks, when tracing was enabled.
+    pub walk_trace: crate::WalkTrace,
+}
+
+impl SimStats {
+    /// Instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 TLB misses per kilo-instruction — the Table 4 MPKI metric
+    /// (each missed request counted once, even if it had to retry).
+    pub fn l2_tlb_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.fresh_l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the *same*
+    /// workload (same instruction count): inverse cycle ratio.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Stall cycles (memory + scoreboard) summed over SMs.
+    pub fn stall_cycles(&self) -> u64 {
+        self.sm.mem_stall_cycles + self.sm.scoreboard_stall_cycles
+    }
+
+    /// Stall reduction versus a baseline run (Figure 19), in [0, 1].
+    pub fn stall_reduction_vs(&self, baseline: &SimStats) -> f64 {
+        let b = baseline.stall_cycles();
+        if b == 0 {
+            0.0
+        } else {
+            1.0 - self.stall_cycles() as f64 / b as f64
+        }
+    }
+
+    /// Sets the elapsed time fields from the final cycle.
+    pub(crate) fn finish(&mut self, end: Cycle, channels: usize) {
+        self.cycles = end.value();
+        self.dram_utilization = self.dram.bandwidth_utilization(channels, self.cycles.max(1));
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles {} | instr {} (IPC {:.3}) | MPKI {:.1}",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.l2_tlb_mpki()
+        )?;
+        writeln!(
+            f,
+            "walks {} (hw {} / sw {}): queue {:.0} + access {:.0} cyc ({:.0}% queueing)",
+            self.walk.translations,
+            self.hw_walks,
+            self.sw_walks,
+            self.walk.avg_queue(),
+            self.walk.avg_access(),
+            self.walk.queue_fraction() * 100.0
+        )?;
+        write!(
+            f,
+            "MSHR failures {} | stalls {} ({:.0}%) | L2D miss {:.1}% | DRAM {:.1}%",
+            self.l2_mshr_failure_events,
+            self.stall_cycles(),
+            self.sm.stall_fraction() * 100.0,
+            self.l2d.miss_rate() * 100.0,
+            self.dram_utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_single_summary_block() {
+        let s = SimStats {
+            cycles: 100,
+            instructions: 50,
+            ..SimStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("cycles 100"));
+        assert!(text.contains("IPC 0.500"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn walk_latency_decomposition() {
+        let mut w = WalkLatencyStats::default();
+        w.record(95, 5);
+        w.record(85, 15);
+        assert_eq!(w.translations, 2);
+        assert!((w.avg_queue() - 90.0).abs() < 1e-9);
+        assert!((w.avg_access() - 10.0).abs() < 1e-9);
+        assert!((w.queue_fraction() - 0.9).abs() < 1e-9);
+        assert!((w.avg_total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = SimStats {
+            cycles: 1000,
+            ..SimStats::default()
+        };
+        let fast = SimStats {
+            cycles: 250,
+            ..SimStats::default()
+        };
+        assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpki_per_kiloinstruction() {
+        let mut s = SimStats::default();
+        s.instructions = 4000;
+        s.fresh_l2_misses = 120;
+        assert!((s.l2_tlb_mpki() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_reduction() {
+        let mut base = SimStats::default();
+        base.sm.mem_stall_cycles = 900;
+        base.sm.scoreboard_stall_cycles = 100;
+        let mut sw = SimStats::default();
+        sw.sm.mem_stall_cycles = 250;
+        sw.sm.scoreboard_stall_cycles = 50;
+        assert!((sw.stall_reduction_vs(&base) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l2_tlb_mpki(), 0.0);
+        assert_eq!(s.walk.avg_total(), 0.0);
+    }
+}
+
+impl SimStats {
+    /// Serializes the run's key metrics as a flat JSON object (hand-rolled
+    /// so the workspace needs no serialization dependency). Intended for
+    /// harnesses that post-process results with external tooling.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swgpu_sim::SimStats;
+    /// let json = SimStats::default().to_json();
+    /// assert!(json.starts_with('{') && json.ends_with('}'));
+    /// assert!(json.contains("\"cycles\":0"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<String> = Vec::new();
+        let mut num = |k: &str, v: f64| {
+            if v.is_finite() {
+                fields.push(format!("\"{k}\":{v}"));
+            } else {
+                fields.push(format!("\"{k}\":null"));
+            }
+        };
+        num("cycles", self.cycles as f64);
+        num("timed_out", u8::from(self.timed_out) as f64);
+        num("instructions", self.instructions as f64);
+        num("loads", self.loads as f64);
+        num("ipc", self.ipc());
+        num("l2_tlb_mpki", self.l2_tlb_mpki());
+        num("fresh_l2_misses", self.fresh_l2_misses as f64);
+        num("walks", self.walk.translations as f64);
+        num("hw_walks", self.hw_walks as f64);
+        num("sw_walks", self.sw_walks as f64);
+        num("avg_walk_queue_cycles", self.walk.avg_queue());
+        num("avg_walk_access_cycles", self.walk.avg_access());
+        num("walk_queue_fraction", self.walk.queue_fraction());
+        num("l2_mshr_failures", self.l2_mshr_failure_events as f64);
+        num("in_tlb_allocations", self.in_tlb.in_tlb_allocations as f64);
+        num("stall_cycles", self.stall_cycles() as f64);
+        num("issued_cycles", self.sm.issued_cycles as f64);
+        num("pw_issue_cycles", self.sm.pw_issue_cycles as f64);
+        num("mem_stall_cycles", self.sm.mem_stall_cycles as f64);
+        num("scoreboard_stall_cycles", self.sm.scoreboard_stall_cycles as f64);
+        num("idle_cycles", self.sm.idle_cycles as f64);
+        num("l1_tlb_hit_rate", self.l1_tlb.hit_rate());
+        num("l2_tlb_hit_rate", self.l2_tlb.hit_rate());
+        num("l1d_miss_rate", self.l1d.miss_rate());
+        num("l2d_miss_rate", self.l2d.miss_rate());
+        num("dram_utilization", self.dram_utilization);
+        num("pwc_hits", self.pwc_hits as f64);
+        num("pwc_misses", self.pwc_misses as f64);
+        num("faults", self.faults as f64);
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut s = SimStats::default();
+        s.cycles = 12345;
+        s.instructions = 678;
+        s.walk.record(10, 20);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cycles\":12345"));
+        assert!(j.contains("\"walks\":1"));
+        // No NaNs leak (empty rates must serialize as numbers or null).
+        assert!(!j.contains("NaN"));
+        // Every key unique.
+        let keys: Vec<&str> = j.match_indices("\":").map(|_| "").collect();
+        assert!(keys.len() >= 25);
+    }
+
+    #[test]
+    fn json_handles_empty_stats() {
+        let j = SimStats::default().to_json();
+        assert!(j.contains("\"ipc\":0"));
+        assert!(!j.contains("NaN"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Optional per-walk lifecycle tracing.
+//!
+//! When enabled (`GpuConfig::walk_trace_cap > 0`), the simulator records
+//! the lifecycle of the first N completed page walks: issue (L2 TLB miss),
+//! walker start (end of queueing) and completion. This is the measured
+//! counterpart of the paper's *conceptual* Figure 9 timeline — the
+//! `fig09_timeline` harness renders it for the three scenarios the figure
+//! sketches (ideal hardware, limited hardware, software).
+
+use swgpu_types::{Cycle, Vpn};
+
+/// Which engine completed a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkerKind {
+    /// A hardware page table walker.
+    Hardware,
+    /// A SoftWalker PW thread.
+    Software,
+}
+
+/// One completed walk's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRecord {
+    /// Translated VPN.
+    pub vpn: Vpn,
+    /// When the L2 TLB miss allocated the walk.
+    pub issued_at: Cycle,
+    /// When a walker/PW thread began processing (end of queueing).
+    pub started_at: Cycle,
+    /// When the translation resolved at the L2 TLB.
+    pub completed_at: Cycle,
+    /// Hardware or software engine.
+    pub walker: WalkerKind,
+}
+
+impl WalkRecord {
+    /// Queueing component of this walk's latency.
+    pub fn queue_cycles(&self) -> u64 {
+        self.started_at.since(self.issued_at)
+    }
+
+    /// Access (processing) component, including any communication.
+    pub fn access_cycles(&self) -> u64 {
+        self.completed_at.since(self.started_at)
+    }
+
+    /// Total walk latency.
+    pub fn total_cycles(&self) -> u64 {
+        self.completed_at.since(self.issued_at)
+    }
+}
+
+/// A bounded collector for [`WalkRecord`]s.
+#[derive(Debug, Clone, Default)]
+pub struct WalkTrace {
+    records: Vec<WalkRecord>,
+    cap: usize,
+}
+
+impl WalkTrace {
+    /// Creates a collector keeping at most `cap` records (0 disables).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(cap.min(4096)),
+            cap,
+        }
+    }
+
+    /// Whether the collector still accepts records.
+    pub fn accepting(&self) -> bool {
+        self.records.len() < self.cap
+    }
+
+    /// Records one completed walk (dropped once the cap is reached).
+    pub fn record(&mut self, rec: WalkRecord) {
+        if self.accepting() {
+            self.records.push(rec);
+        }
+    }
+
+    /// The collected records, in completion order.
+    pub fn records(&self) -> &[WalkRecord] {
+        &self.records
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(issued: u64, started: u64, done: u64) -> WalkRecord {
+        WalkRecord {
+            vpn: Vpn::new(1),
+            issued_at: Cycle::new(issued),
+            started_at: Cycle::new(started),
+            completed_at: Cycle::new(done),
+            walker: WalkerKind::Hardware,
+        }
+    }
+
+    #[test]
+    fn record_decomposes_latency() {
+        let r = rec(10, 110, 310);
+        assert_eq!(r.queue_cycles(), 100);
+        assert_eq!(r.access_cycles(), 200);
+        assert_eq!(r.total_cycles(), 300);
+    }
+
+    #[test]
+    fn collector_respects_cap() {
+        let mut t = WalkTrace::new(2);
+        for i in 0..5 {
+            t.record(rec(i, i + 1, i + 2));
+        }
+        assert_eq!(t.len(), 2);
+        assert!(!t.accepting());
+        assert_eq!(t.records()[0].issued_at, Cycle::new(0));
+    }
+
+    #[test]
+    fn zero_cap_disables() {
+        let mut t = WalkTrace::new(0);
+        t.record(rec(0, 1, 2));
+        assert!(t.is_empty());
+    }
+}

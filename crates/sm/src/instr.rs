@@ -1,0 +1,191 @@
+//! Warp instructions, instruction sources and the memory coalescer.
+
+use std::collections::BTreeMap;
+use swgpu_types::{PageSize, SmId, VirtAddr, Vpn, WarpId, LANES_PER_WARP};
+
+/// One warp-wide instruction as seen by the SM model.
+///
+/// The compute pipeline is abstracted: a [`WarpInstr::Compute`] occupies
+/// the warp's scoreboard for a given number of cycles (modelling issue
+/// plus dependency latency of arithmetic work), while a
+/// [`WarpInstr::Load`] is a global memory access with one virtual address
+/// per active lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarpInstr {
+    /// Arithmetic work: the warp is scoreboard-blocked for `cycles`.
+    Compute {
+        /// Dependency latency in cycles (≥ 1).
+        cycles: u32,
+    },
+    /// A global load with up to 32 active-lane addresses.
+    Load {
+        /// Per-active-lane virtual addresses (1..=32 entries).
+        addrs: Vec<VirtAddr>,
+    },
+}
+
+impl WarpInstr {
+    /// Convenience constructor for a fully-active coalesced load where
+    /// every lane reads consecutive 4-byte words from `base`.
+    pub fn coalesced_load(base: VirtAddr) -> Self {
+        WarpInstr::Load {
+            addrs: (0..LANES_PER_WARP as u64).map(|i| base + i * 4).collect(),
+        }
+    }
+
+    /// Whether this is a memory instruction.
+    pub fn is_load(&self) -> bool {
+        matches!(self, WarpInstr::Load { .. })
+    }
+}
+
+/// Supplies instruction streams to warps. Implemented by the workload
+/// generators; the simulator pulls the next instruction when a warp is
+/// ready. Returning `None` retires the warp.
+pub trait InstrSource {
+    /// Next instruction for `(sm, warp)`, or `None` when the warp's work
+    /// is exhausted.
+    fn next_instr(&mut self, sm: SmId, warp: WarpId) -> Option<WarpInstr>;
+}
+
+/// An [`InstrSource`] that replays a fixed per-warp instruction list —
+/// used by unit tests and the microbenchmark harness.
+#[derive(Debug, Default)]
+pub struct SliceSource {
+    streams: BTreeMap<(SmId, WarpId), std::vec::IntoIter<WarpInstr>>,
+}
+
+impl SliceSource {
+    /// Creates an empty source (every warp retires immediately).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns an instruction list to one warp.
+    pub fn assign(&mut self, sm: SmId, warp: WarpId, instrs: Vec<WarpInstr>) {
+        self.streams.insert((sm, warp), instrs.into_iter());
+    }
+}
+
+impl InstrSource for SliceSource {
+    fn next_instr(&mut self, sm: SmId, warp: WarpId) -> Option<WarpInstr> {
+        self.streams.get_mut(&(sm, warp))?.next()
+    }
+}
+
+/// The result of coalescing one warp load: the distinct pages that need
+/// translation, each with the distinct sector-aligned virtual addresses
+/// that will be fetched from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalescedAccess {
+    /// Page needing translation.
+    pub vpn: Vpn,
+    /// Sector-aligned virtual addresses within that page (deduplicated).
+    pub sector_vas: Vec<VirtAddr>,
+}
+
+/// Coalesces a warp's lane addresses into per-page sector lists.
+///
+/// A fully coalesced warp (all lanes in one 128-byte line) produces one
+/// page with 1–4 sectors; a fully divergent warp produces up to 32 pages.
+/// Pages come out in ascending VPN order and sectors in ascending address
+/// order, keeping the simulation deterministic.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_sm::coalesce;
+/// use swgpu_types::{PageSize, VirtAddr};
+///
+/// let lanes = vec![VirtAddr::new(0), VirtAddr::new(8), VirtAddr::new(0x1_0000)];
+/// let groups = coalesce(&lanes, PageSize::Size64K, 32);
+/// assert_eq!(groups.len(), 2); // two distinct pages
+/// assert_eq!(groups[0].sector_vas.len(), 1); // lanes 0 and 8 share a sector
+/// ```
+pub fn coalesce(addrs: &[VirtAddr], page: PageSize, sector_bytes: u64) -> Vec<CoalescedAccess> {
+    let mut pages: BTreeMap<Vpn, Vec<VirtAddr>> = BTreeMap::new();
+    for &va in addrs {
+        let vpn = page.vpn_of(va);
+        let sector = va.align_down(sector_bytes);
+        let sectors = pages.entry(vpn).or_default();
+        if let Err(pos) = sectors.binary_search(&sector) {
+            sectors.insert(pos, sector);
+        }
+    }
+    pages
+        .into_iter()
+        .map(|(vpn, sector_vas)| CoalescedAccess { vpn, sector_vas })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_warp_is_one_page_one_or_few_sectors() {
+        let instr = WarpInstr::coalesced_load(VirtAddr::new(0x4_0000));
+        let WarpInstr::Load { addrs } = instr else {
+            panic!("expected load");
+        };
+        let groups = coalesce(&addrs, PageSize::Size64K, 32);
+        assert_eq!(groups.len(), 1);
+        // 32 lanes x 4B = 128B = 4 sectors of 32B.
+        assert_eq!(groups[0].sector_vas.len(), 4);
+    }
+
+    #[test]
+    fn divergent_warp_hits_many_pages() {
+        let addrs: Vec<_> = (0..32u64)
+            .map(|i| VirtAddr::new(i * 0x1_0000)) // one page each
+            .collect();
+        let groups = coalesce(&addrs, PageSize::Size64K, 32);
+        assert_eq!(groups.len(), 32);
+        for g in &groups {
+            assert_eq!(g.sector_vas.len(), 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_lanes_deduplicate() {
+        let addrs = vec![VirtAddr::new(100), VirtAddr::new(100), VirtAddr::new(101)];
+        let groups = coalesce(&addrs, PageSize::Size64K, 32);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].sector_vas.len(), 1);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let addrs = vec![
+            VirtAddr::new(0x3_0000),
+            VirtAddr::new(0x1_0000),
+            VirtAddr::new(0x1_0040),
+        ];
+        let groups = coalesce(&addrs, PageSize::Size64K, 32);
+        assert_eq!(groups[0].vpn, Vpn::new(1));
+        assert_eq!(groups[1].vpn, Vpn::new(3));
+        assert!(groups[0].sector_vas[0] < groups[0].sector_vas[1]);
+    }
+
+    #[test]
+    fn slice_source_replays_then_retires() {
+        let mut src = SliceSource::new();
+        src.assign(
+            SmId::new(0),
+            WarpId::new(1),
+            vec![WarpInstr::Compute { cycles: 3 }],
+        );
+        assert!(src.next_instr(SmId::new(0), WarpId::new(1)).is_some());
+        assert!(src.next_instr(SmId::new(0), WarpId::new(1)).is_none());
+        assert!(src.next_instr(SmId::new(0), WarpId::new(0)).is_none());
+    }
+
+    #[test]
+    fn large_pages_coalesce_more() {
+        let addrs: Vec<_> = (0..32u64).map(|i| VirtAddr::new(i * 0x1_0000)).collect();
+        let groups64k = coalesce(&addrs, PageSize::Size64K, 32);
+        let groups2m = coalesce(&addrs, PageSize::Size2M, 32);
+        assert_eq!(groups64k.len(), 32);
+        assert_eq!(groups2m.len(), 1, "32 x 64KB strides fit in one 2MB page");
+    }
+}

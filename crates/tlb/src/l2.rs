@@ -1,0 +1,359 @@
+//! The shared L2 TLB complex: TLB array + dedicated MSHRs + In-TLB MSHR.
+//!
+//! This is where the paper's In-TLB MSHR mechanism (Section 4.5, Figure 13)
+//! lives. On a miss:
+//!
+//! 1. If the VPN is already tracked by a dedicated MSHR, merge (up to the
+//!    46-waiter limit).
+//! 2. Else if a dedicated MSHR entry is free, allocate one and launch a
+//!    walk.
+//! 3. Else — dedicated MSHRs saturated — repurpose a victim L2 TLB entry in
+//!    the VPN's set as a *pending* entry holding the miss metadata. Each
+//!    merged waiter reserves its own same-tag way, exactly as the paper
+//!    describes ("we allow the In-TLB MSHR to reserve the same tag in a set
+//!    index to support the MSHR merge").
+//! 4. If the set has no reservable way (all ways pending) or the In-TLB
+//!    budget is exhausted, the miss is rejected: an **MSHR failure**, the
+//!    quantity Figure 17 reports.
+
+use crate::mshr::{MshrOutcome, TlbMshr, TlbMshrConfig};
+use crate::tlb::{Tlb, TlbConfig, TlbStats};
+use std::collections::HashMap;
+use swgpu_types::{Pfn, Vpn};
+
+/// Outcome of presenting a request to [`L2TlbComplex::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2MissOutcome {
+    /// Valid translation found.
+    Hit(Pfn),
+    /// Miss tracked (dedicated or In-TLB); the caller must launch a page
+    /// walk for this VPN.
+    MissNewWalk,
+    /// Miss merged into an in-flight walk; no new walk needed.
+    MissMerged,
+    /// Miss rejected — both the dedicated MSHRs and the In-TLB overflow
+    /// are unavailable. The requester must retry.
+    MshrFailure,
+}
+
+/// Statistics specific to the In-TLB MSHR path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InTlbStats {
+    /// Misses tracked by repurposed TLB entries (new walks).
+    pub in_tlb_allocations: u64,
+    /// Waiters merged via additional same-tag pending ways.
+    pub in_tlb_merges: u64,
+    /// Misses rejected with the dedicated file full (before considering
+    /// the In-TLB path) — the baseline failure count.
+    pub dedicated_rejections: u64,
+    /// Misses rejected outright (MSHR failures after both paths).
+    pub total_failures: u64,
+}
+
+/// The shared L2 TLB with its MSHR file and optional In-TLB MSHR overflow.
+///
+/// Generic over the waiter metadata `M` (the simulator parks the
+/// requesting SM / translation id here).
+///
+/// # Example
+///
+/// ```
+/// use swgpu_tlb::{L2MissOutcome, L2TlbComplex, TlbConfig, TlbMshrConfig};
+/// use swgpu_types::{Pfn, Vpn};
+///
+/// let mut l2: L2TlbComplex<u32> = L2TlbComplex::new(
+///     TlbConfig::l2(),
+///     TlbMshrConfig { entries: 1, max_merges: 1 },
+///     1024,
+/// );
+/// assert_eq!(l2.access(Vpn::new(1), 100), L2MissOutcome::MissNewWalk);
+/// // Dedicated MSHR now full; the next miss overflows into the TLB array.
+/// assert_eq!(l2.access(Vpn::new(2), 200), L2MissOutcome::MissNewWalk);
+/// assert_eq!(l2.pending_in_tlb(), 1);
+/// let waiters = l2.complete_walk(Vpn::new(2), Pfn::new(7));
+/// assert_eq!(waiters, vec![200]);
+/// assert_eq!(l2.access(Vpn::new(2), 201), L2MissOutcome::Hit(Pfn::new(7)));
+/// ```
+#[derive(Debug)]
+pub struct L2TlbComplex<M> {
+    tlb: Tlb,
+    mshr: TlbMshr<M>,
+    in_tlb_max: usize,
+    overflow_waiters: HashMap<Vpn, Vec<M>>,
+    stats: InTlbStats,
+}
+
+impl<M> L2TlbComplex<M> {
+    /// Creates the complex. `in_tlb_max` is the maximum number of TLB
+    /// entries that may simultaneously serve as MSHRs (0 disables the
+    /// mechanism — the baseline configuration).
+    pub fn new(tlb_cfg: TlbConfig, mshr_cfg: TlbMshrConfig, in_tlb_max: usize) -> Self {
+        Self {
+            tlb: Tlb::new(tlb_cfg),
+            mshr: TlbMshr::new(mshr_cfg),
+            in_tlb_max,
+            overflow_waiters: HashMap::new(),
+            stats: InTlbStats::default(),
+        }
+    }
+
+    /// TLB-array statistics (hits, misses, fills, evictions).
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Dedicated-MSHR statistics.
+    pub fn mshr_stats(&self) -> crate::mshr::TlbMshrStats {
+        self.mshr.stats()
+    }
+
+    /// In-TLB MSHR statistics.
+    pub fn in_tlb_stats(&self) -> InTlbStats {
+        self.stats
+    }
+
+    /// Entries currently repurposed as In-TLB MSHRs.
+    pub fn pending_in_tlb(&self) -> usize {
+        self.tlb.pending_entries()
+    }
+
+    /// Distinct VPNs tracked by the dedicated MSHR file.
+    pub fn dedicated_in_flight(&self) -> usize {
+        self.mshr.in_flight()
+    }
+
+    /// Distinct VPNs with in-flight walks across both tracking paths.
+    pub fn walks_in_flight(&self) -> usize {
+        self.mshr.in_flight() + self.overflow_waiters.len()
+    }
+
+    /// Direct read-only access to the TLB array.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// Presents a translation request for `vpn`, parking `meta` on a miss.
+    pub fn access(&mut self, vpn: Vpn, meta: M) -> L2MissOutcome {
+        if let Some(pfn) = self.tlb.lookup(vpn) {
+            return L2MissOutcome::Hit(pfn);
+        }
+
+        // Already tracked by a dedicated MSHR? Merge there.
+        if self.mshr.contains(vpn) {
+            return match self.mshr.allocate(vpn, meta) {
+                MshrOutcome::Merged => L2MissOutcome::MissMerged,
+                MshrOutcome::Full => {
+                    self.stats.total_failures += 1;
+                    L2MissOutcome::MshrFailure
+                }
+                MshrOutcome::Allocated => unreachable!("contains() checked"),
+            };
+        }
+
+        // Already tracked by the In-TLB path? Merge by reserving another
+        // same-tag way.
+        if self.tlb.has_pending(vpn) {
+            return self.try_in_tlb(vpn, meta, /* merge: */ true);
+        }
+
+        // New miss: prefer a dedicated MSHR entry.
+        if !self.mshr.is_full() {
+            match self.mshr.allocate(vpn, meta) {
+                MshrOutcome::Allocated => return L2MissOutcome::MissNewWalk,
+                _ => unreachable!("is_full() checked and vpn untracked"),
+            }
+        }
+
+        // Dedicated file saturated — Figure 13 step 1.
+        self.stats.dedicated_rejections += 1;
+        self.try_in_tlb(vpn, meta, /* merge: */ false)
+    }
+
+    fn try_in_tlb(&mut self, vpn: Vpn, meta: M, merge: bool) -> L2MissOutcome {
+        if self.in_tlb_max == 0 || self.tlb.pending_entries() >= self.in_tlb_max {
+            self.stats.total_failures += 1;
+            return L2MissOutcome::MshrFailure;
+        }
+        if !self.tlb.reserve_pending(vpn) {
+            // Every way in the set is already pending — the per-set
+            // bottleneck (spmv in Figure 24).
+            self.stats.total_failures += 1;
+            return L2MissOutcome::MshrFailure;
+        }
+        self.overflow_waiters.entry(vpn).or_default().push(meta);
+        if merge {
+            self.stats.in_tlb_merges += 1;
+            L2MissOutcome::MissMerged
+        } else {
+            self.stats.in_tlb_allocations += 1;
+            L2MissOutcome::MissNewWalk
+        }
+    }
+
+    /// Whether a walk for `vpn` is currently in flight (either path).
+    pub fn is_walk_in_flight(&self, vpn: Vpn) -> bool {
+        self.mshr.contains(vpn) || self.overflow_waiters.contains_key(&vpn)
+    }
+
+    /// Completes the walk for `vpn`: installs the translation and returns
+    /// every parked waiter (dedicated first, then In-TLB, each in arrival
+    /// order).
+    pub fn complete_walk(&mut self, vpn: Vpn, pfn: Pfn) -> Vec<M> {
+        let mut waiters = self.mshr.resolve(vpn);
+        if let Some(overflow) = self.overflow_waiters.remove(&vpn) {
+            waiters.extend(overflow);
+            self.tlb.clear_pending_and_fill(vpn, pfn);
+        } else {
+            self.tlb.fill(vpn, pfn);
+        }
+        waiters
+    }
+
+    /// Aborts the walk for `vpn` without installing a translation (page
+    /// fault): waiters are still released so they can observe the fault.
+    pub fn fail_walk(&mut self, vpn: Vpn) -> Vec<M> {
+        let mut waiters = self.mshr.resolve(vpn);
+        if let Some(overflow) = self.overflow_waiters.remove(&vpn) {
+            waiters.extend(overflow);
+            self.tlb.clear_pending(vpn);
+        }
+        waiters
+    }
+
+    /// Baseline-comparable MSHR failure count: with In-TLB disabled this
+    /// equals total failures; with it enabled, the failures that remain.
+    pub fn mshr_failures(&self) -> u64 {
+        self.stats.total_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complex(mshr_entries: usize, in_tlb_max: usize) -> L2TlbComplex<u32> {
+        L2TlbComplex::new(
+            TlbConfig {
+                name: "L2".into(),
+                entries: 8,
+                assoc: 4,
+            },
+            TlbMshrConfig {
+                entries: mshr_entries,
+                max_merges: 2,
+            },
+            in_tlb_max,
+        )
+    }
+
+    #[test]
+    fn hit_path() {
+        let mut l2 = complex(4, 0);
+        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        let w = l2.complete_walk(Vpn::new(1), Pfn::new(9));
+        assert_eq!(w, vec![0]);
+        assert_eq!(l2.access(Vpn::new(1), 1), L2MissOutcome::Hit(Pfn::new(9)));
+    }
+
+    #[test]
+    fn dedicated_merge() {
+        let mut l2 = complex(4, 0);
+        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(Vpn::new(1), 1), L2MissOutcome::MissMerged);
+        // Merge limit is 2.
+        assert_eq!(l2.access(Vpn::new(1), 2), L2MissOutcome::MshrFailure);
+        assert_eq!(l2.complete_walk(Vpn::new(1), Pfn::new(5)), vec![0, 1]);
+    }
+
+    #[test]
+    fn baseline_fails_without_in_tlb() {
+        let mut l2 = complex(1, 0);
+        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MshrFailure);
+        assert_eq!(l2.mshr_failures(), 1);
+        assert_eq!(l2.in_tlb_stats().dedicated_rejections, 1);
+    }
+
+    #[test]
+    fn in_tlb_overflow_tracks_new_walks() {
+        let mut l2 = complex(1, 8);
+        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.pending_in_tlb(), 1);
+        assert_eq!(l2.walks_in_flight(), 2);
+        assert_eq!(l2.mshr_failures(), 0);
+        // Completion resolves the overflow-tracked miss and installs it.
+        assert_eq!(l2.complete_walk(Vpn::new(2), Pfn::new(7)), vec![1]);
+        assert_eq!(l2.pending_in_tlb(), 0);
+        assert_eq!(l2.access(Vpn::new(2), 2), L2MissOutcome::Hit(Pfn::new(7)));
+    }
+
+    #[test]
+    fn in_tlb_merge_reserves_same_tag_way() {
+        let mut l2 = complex(1, 8);
+        l2.access(Vpn::new(1), 0); // dedicated
+        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(Vpn::new(2), 2), L2MissOutcome::MissMerged);
+        assert_eq!(l2.pending_in_tlb(), 2, "merge reserved a second way");
+        assert_eq!(l2.in_tlb_stats().in_tlb_merges, 1);
+        assert_eq!(l2.complete_walk(Vpn::new(2), Pfn::new(7)), vec![1, 2]);
+        assert_eq!(l2.pending_in_tlb(), 0);
+    }
+
+    #[test]
+    fn in_tlb_budget_is_enforced() {
+        let mut l2 = complex(1, 1);
+        l2.access(Vpn::new(1), 0); // dedicated
+        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(Vpn::new(3), 2), L2MissOutcome::MshrFailure);
+        assert_eq!(l2.mshr_failures(), 1);
+    }
+
+    #[test]
+    fn per_set_exhaustion_fails() {
+        // TLB: 2 sets x 4 ways. VPNs 0,2,4,6,8 all map to set 0.
+        let mut l2 = complex(1, 64);
+        l2.access(Vpn::new(1), 0); // dedicated (set 1)
+        for (i, v) in [0u64, 2, 4, 6].iter().enumerate() {
+            assert_eq!(
+                l2.access(Vpn::new(*v), 10 + i as u32),
+                L2MissOutcome::MissNewWalk
+            );
+        }
+        // Set 0 fully pending; a fifth set-0 miss fails even though the
+        // In-TLB budget (64) is not exhausted.
+        assert_eq!(l2.access(Vpn::new(8), 99), L2MissOutcome::MshrFailure);
+    }
+
+    #[test]
+    fn dedicated_preferred_when_free_again() {
+        let mut l2 = complex(1, 8);
+        l2.access(Vpn::new(1), 0);
+        l2.complete_walk(Vpn::new(1), Pfn::new(1));
+        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.pending_in_tlb(), 0, "went to the freed dedicated MSHR");
+    }
+
+    #[test]
+    fn fail_walk_releases_without_filling() {
+        let mut l2 = complex(1, 8);
+        l2.access(Vpn::new(1), 0); // dedicated
+        l2.access(Vpn::new(2), 1); // in-TLB
+        assert_eq!(l2.fail_walk(Vpn::new(1)), vec![0]);
+        assert_eq!(l2.fail_walk(Vpn::new(2)), vec![1]);
+        assert_eq!(l2.pending_in_tlb(), 0);
+        // Neither VPN was installed.
+        assert!(matches!(l2.access(Vpn::new(1), 9), L2MissOutcome::MissNewWalk));
+        assert!(matches!(l2.access(Vpn::new(2), 9), L2MissOutcome::MissNewWalk));
+    }
+
+    #[test]
+    fn is_walk_in_flight_covers_both_paths() {
+        let mut l2 = complex(1, 8);
+        l2.access(Vpn::new(1), 0);
+        l2.access(Vpn::new(2), 1);
+        assert!(l2.is_walk_in_flight(Vpn::new(1)));
+        assert!(l2.is_walk_in_flight(Vpn::new(2)));
+        assert!(!l2.is_walk_in_flight(Vpn::new(3)));
+    }
+}

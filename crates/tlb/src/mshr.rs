@@ -1,0 +1,196 @@
+//! TLB miss status holding registers.
+
+use std::collections::HashMap;
+use swgpu_types::Vpn;
+
+/// Sizing of one MSHR file. Table 3: the L1 TLB has 32 entries with 192
+/// merges per entry; the L2 TLB has 128 entries with 46 merges per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbMshrConfig {
+    /// Distinct in-flight VPNs that can be tracked.
+    pub entries: usize,
+    /// Maximum waiters merged per entry (including the first).
+    pub max_merges: usize,
+}
+
+impl TlbMshrConfig {
+    /// Table 3 L1 TLB MSHR file.
+    pub fn l1() -> Self {
+        Self {
+            entries: 32,
+            max_merges: 192,
+        }
+    }
+
+    /// Table 3 L2 TLB MSHR file.
+    pub fn l2() -> Self {
+        Self {
+            entries: 128,
+            max_merges: 46,
+        }
+    }
+}
+
+/// Result of presenting a miss to [`TlbMshr::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must launch a page walk (or
+    /// forward the miss to the next level).
+    Allocated,
+    /// The VPN was already in flight; the waiter was merged and no new
+    /// walk is needed.
+    Merged,
+    /// The file is saturated (entries exhausted, or this VPN's merge list
+    /// is full). The paper calls this an *MSHR failure*.
+    Full,
+}
+
+/// Statistics for one MSHR file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbMshrStats {
+    /// New entries allocated.
+    pub allocations: u64,
+    /// Waiters merged into existing entries.
+    pub merges: u64,
+    /// Rejected misses (MSHR failures).
+    pub failures: u64,
+}
+
+/// A bounded MSHR file, generic over the waiter metadata `M` it parks
+/// (which SM/warp/instruction is waiting on each VPN).
+///
+/// # Example
+///
+/// ```
+/// use swgpu_tlb::{MshrOutcome, TlbMshr, TlbMshrConfig};
+/// use swgpu_types::Vpn;
+///
+/// let mut m: TlbMshr<&str> = TlbMshr::new(TlbMshrConfig { entries: 1, max_merges: 2 });
+/// assert_eq!(m.allocate(Vpn::new(1), "a"), MshrOutcome::Allocated);
+/// assert_eq!(m.allocate(Vpn::new(1), "b"), MshrOutcome::Merged);
+/// assert_eq!(m.allocate(Vpn::new(1), "c"), MshrOutcome::Full);
+/// assert_eq!(m.allocate(Vpn::new(2), "d"), MshrOutcome::Full);
+/// assert_eq!(m.resolve(Vpn::new(1)), vec!["a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct TlbMshr<M> {
+    cfg: TlbMshrConfig,
+    inflight: HashMap<Vpn, Vec<M>>,
+    stats: TlbMshrStats,
+}
+
+impl<M> TlbMshr<M> {
+    /// Creates an empty MSHR file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero entries or a zero merge limit.
+    pub fn new(cfg: TlbMshrConfig) -> Self {
+        assert!(cfg.entries > 0, "MSHR file needs at least one entry");
+        assert!(cfg.max_merges > 0, "merge limit must be positive");
+        Self {
+            cfg,
+            inflight: HashMap::new(),
+            stats: TlbMshrStats::default(),
+        }
+    }
+
+    /// The file's configuration.
+    pub fn config(&self) -> TlbMshrConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbMshrStats {
+        self.stats
+    }
+
+    /// Presents a miss for `vpn` with waiter metadata `meta`.
+    pub fn allocate(&mut self, vpn: Vpn, meta: M) -> MshrOutcome {
+        if let Some(waiters) = self.inflight.get_mut(&vpn) {
+            if waiters.len() < self.cfg.max_merges {
+                waiters.push(meta);
+                self.stats.merges += 1;
+                MshrOutcome::Merged
+            } else {
+                self.stats.failures += 1;
+                MshrOutcome::Full
+            }
+        } else if self.inflight.len() < self.cfg.entries {
+            self.inflight.insert(vpn, vec![meta]);
+            self.stats.allocations += 1;
+            MshrOutcome::Allocated
+        } else {
+            self.stats.failures += 1;
+            MshrOutcome::Full
+        }
+    }
+
+    /// Whether `vpn` is currently tracked.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.inflight.contains_key(&vpn)
+    }
+
+    /// Completes a miss, releasing every merged waiter in arrival order.
+    /// Returns an empty vector if the VPN was not tracked (already
+    /// resolved, or tracked by the In-TLB overflow path instead).
+    pub fn resolve(&mut self, vpn: Vpn) -> Vec<M> {
+        self.inflight.remove(&vpn).unwrap_or_default()
+    }
+
+    /// Number of distinct VPNs in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether the file has no free entries.
+    pub fn is_full(&self) -> bool {
+        self.inflight.len() >= self.cfg.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_full_lifecycle() {
+        let mut m: TlbMshr<u32> = TlbMshr::new(TlbMshrConfig {
+            entries: 2,
+            max_merges: 2,
+        });
+        assert_eq!(m.allocate(Vpn::new(1), 10), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(Vpn::new(1), 11), MshrOutcome::Merged);
+        assert_eq!(m.allocate(Vpn::new(1), 12), MshrOutcome::Full);
+        assert_eq!(m.allocate(Vpn::new(2), 20), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(Vpn::new(3), 30), MshrOutcome::Full);
+        let s = m.stats();
+        assert_eq!((s.allocations, s.merges, s.failures), (2, 1, 2));
+    }
+
+    #[test]
+    fn resolve_releases_in_arrival_order() {
+        let mut m: TlbMshr<u32> = TlbMshr::new(TlbMshrConfig {
+            entries: 4,
+            max_merges: 8,
+        });
+        m.allocate(Vpn::new(5), 1);
+        m.allocate(Vpn::new(5), 2);
+        m.allocate(Vpn::new(5), 3);
+        assert_eq!(m.resolve(Vpn::new(5)), vec![1, 2, 3]);
+        assert!(!m.contains(Vpn::new(5)));
+        assert_eq!(m.resolve(Vpn::new(5)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn freed_entry_is_reusable() {
+        let mut m: TlbMshr<()> = TlbMshr::new(TlbMshrConfig {
+            entries: 1,
+            max_merges: 1,
+        });
+        assert_eq!(m.allocate(Vpn::new(1), ()), MshrOutcome::Allocated);
+        m.resolve(Vpn::new(1));
+        assert_eq!(m.allocate(Vpn::new(2), ()), MshrOutcome::Allocated);
+    }
+}

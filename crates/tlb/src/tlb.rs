@@ -1,0 +1,480 @@
+//! The TLB array: set-associative translation cache with pending-capable
+//! entries.
+
+use swgpu_types::{Pfn, Vpn};
+
+/// Geometry of one TLB.
+#[derive(Debug, Clone)]
+pub struct TlbConfig {
+    /// Human-readable name for stats dumps ("L1TLB", "L2TLB").
+    pub name: String,
+    /// Total entries.
+    pub entries: usize,
+    /// Ways per set; set `assoc == entries` for a fully-associative TLB.
+    pub assoc: usize,
+}
+
+impl TlbConfig {
+    /// Table 3 per-SM L1 TLB: 32 entries, fully associative.
+    pub fn l1() -> Self {
+        Self {
+            name: "L1TLB".into(),
+            entries: 32,
+            assoc: 32,
+        }
+    }
+
+    /// Table 3 shared L2 TLB: 1024 entries, 16-way.
+    pub fn l2() -> Self {
+        Self {
+            name: "L2TLB".into(),
+            entries: 1024,
+            assoc: 16,
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        self.entries / self.assoc
+    }
+
+    fn validate(&self) {
+        assert!(self.entries > 0 && self.assoc > 0, "TLB cannot be empty");
+        assert_eq!(
+            self.entries % self.assoc,
+            0,
+            "entries must be a multiple of associativity"
+        );
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+    }
+}
+
+/// Per-TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found a valid translation.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Translations installed.
+    pub fills: u64,
+    /// Valid translations evicted to make room (for fills or pending
+    /// reservations).
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Hit rate over all lookups (0 for an idle TLB).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// State of one TLB entry. `Pending` is the In-TLB MSHR state from the
+/// paper's Figure 13: the entry holds metadata for an outstanding miss
+/// instead of a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Invalid,
+    Valid,
+    Pending,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    state: EntryState,
+    vpn: Vpn,
+    pfn: Pfn,
+    last_used: u64,
+}
+
+impl Entry {
+    fn invalid() -> Self {
+        Entry {
+            state: EntryState::Invalid,
+            vpn: Vpn::new(0),
+            pfn: Pfn::new(0),
+            last_used: 0,
+        }
+    }
+}
+
+/// A set-associative TLB with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_tlb::{Tlb, TlbConfig};
+/// use swgpu_types::{Pfn, Vpn};
+///
+/// let mut tlb = Tlb::new(TlbConfig::l1());
+/// assert_eq!(tlb.lookup(Vpn::new(5)), None);
+/// tlb.fill(Vpn::new(5), Pfn::new(0x40));
+/// assert_eq!(tlb.lookup(Vpn::new(5)), Some(Pfn::new(0x40)));
+/// ```
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<Entry>>,
+    tick: u64,
+    pending_count: usize,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds a TLB from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see [`TlbConfig`]).
+    pub fn new(cfg: TlbConfig) -> Self {
+        cfg.validate();
+        let sets = vec![vec![Entry::invalid(); cfg.assoc]; cfg.num_sets()];
+        Self {
+            cfg,
+            sets,
+            tick: 0,
+            pending_count: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The TLB's configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of entries currently repurposed as In-TLB MSHRs.
+    pub fn pending_entries(&self) -> usize {
+        self.pending_count
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.value() as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up a translation, updating statistics and LRU state.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        for e in &mut self.sets[set] {
+            if e.state == EntryState::Valid && e.vpn == vpn {
+                e.last_used = tick;
+                self.stats.hits += 1;
+                return Some(e.pfn);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Non-destructive probe: no statistics or LRU update.
+    pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
+        let set = self.set_of(vpn);
+        self.sets[set]
+            .iter()
+            .find(|e| e.state == EntryState::Valid && e.vpn == vpn)
+            .map(|e| e.pfn)
+    }
+
+    /// Installs a translation. Victim preference: an entry already holding
+    /// this VPN, then an invalid way, then the LRU *valid* way. Pending
+    /// ways are never displaced by ordinary fills; if every way is pending
+    /// the fill is dropped (the translation was still delivered to its
+    /// requesters) and `false` is returned.
+    pub fn fill(&mut self, vpn: Vpn, pfn: Pfn) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let ways = &mut self.sets[set];
+
+        let way = if let Some(i) = ways
+            .iter()
+            .position(|e| e.state == EntryState::Valid && e.vpn == vpn)
+        {
+            Some(i)
+        } else if let Some(i) = ways.iter().position(|e| e.state == EntryState::Invalid) {
+            Some(i)
+        } else {
+            let victim = ways
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.state == EntryState::Valid)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            if victim.is_some() {
+                self.stats.evictions += 1;
+            }
+            victim
+        };
+
+        match way {
+            Some(i) => {
+                ways[i] = Entry {
+                    state: EntryState::Valid,
+                    vpn,
+                    pfn,
+                    last_used: tick,
+                };
+                self.stats.fills += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reserves a victim entry in `vpn`'s set as an In-TLB MSHR (Figure 13
+    /// steps 2-3). Victim preference: invalid way, then LRU valid way
+    /// (evicting its translation). Fails if every way in the set is
+    /// already pending — the per-set bottleneck that limits spmv in the
+    /// paper's Figure 24 discussion.
+    pub fn reserve_pending(&mut self, vpn: Vpn) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let ways = &mut self.sets[set];
+
+        let way = if let Some(i) = ways.iter().position(|e| e.state == EntryState::Invalid) {
+            Some(i)
+        } else {
+            let victim = ways
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.state == EntryState::Valid)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            if victim.is_some() {
+                self.stats.evictions += 1;
+            }
+            victim
+        };
+
+        match way {
+            Some(i) => {
+                ways[i] = Entry {
+                    state: EntryState::Pending,
+                    vpn,
+                    pfn: Pfn::new(0),
+                    last_used: tick,
+                };
+                self.pending_count += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `vpn`'s set already holds a pending reservation for this
+    /// exact VPN (tag match — enables In-TLB MSHR merging).
+    pub fn has_pending(&self, vpn: Vpn) -> bool {
+        let set = self.set_of(vpn);
+        self.sets[set]
+            .iter()
+            .any(|e| e.state == EntryState::Pending && e.vpn == vpn)
+    }
+
+    /// Completes an In-TLB-tracked miss (Figure 13 steps 4-6): clears the
+    /// pending bit of every tag-matching way and installs the translation
+    /// into one of them. Returns the number of pending ways cleared.
+    pub fn clear_pending_and_fill(&mut self, vpn: Vpn, pfn: Pfn) -> usize {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let mut cleared = 0;
+        let mut filled = false;
+        for e in &mut self.sets[set] {
+            if e.state == EntryState::Pending && e.vpn == vpn {
+                cleared += 1;
+                if filled {
+                    *e = Entry::invalid();
+                } else {
+                    e.state = EntryState::Valid;
+                    e.pfn = pfn;
+                    e.last_used = tick;
+                    filled = true;
+                    self.stats.fills += 1;
+                }
+            }
+        }
+        self.pending_count -= cleared;
+        cleared
+    }
+
+    /// Aborts an In-TLB-tracked miss without installing a translation
+    /// (page-fault path): every tag-matching pending way is invalidated.
+    /// Returns the number of ways cleared.
+    pub fn clear_pending(&mut self, vpn: Vpn) -> usize {
+        let set = self.set_of(vpn);
+        let mut cleared = 0;
+        for e in &mut self.sets[set] {
+            if e.state == EntryState::Pending && e.vpn == vpn {
+                *e = Entry::invalid();
+                cleared += 1;
+            }
+        }
+        self.pending_count -= cleared;
+        cleared
+    }
+
+    /// Invalidates every entry (TLB shootdown / address-space switch).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for e in set {
+                *e = Entry::invalid();
+            }
+        }
+        self.pending_count = 0;
+    }
+
+    /// Number of valid translations currently cached.
+    pub fn valid_entries(&self) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|e| e.state == EntryState::Valid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        // 2 sets x 2 ways.
+        Tlb::new(TlbConfig {
+            name: "tiny".into(),
+            entries: 4,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tiny();
+        assert_eq!(t.lookup(Vpn::new(8)), None);
+        t.fill(Vpn::new(8), Pfn::new(3));
+        assert_eq!(t.lookup(Vpn::new(8)), Some(Pfn::new(3)));
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 1, 1));
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats() {
+        let mut t = tiny();
+        t.fill(Vpn::new(1), Pfn::new(1));
+        assert_eq!(t.probe(Vpn::new(1)), Some(Pfn::new(1)));
+        assert_eq!(t.probe(Vpn::new(9)), None);
+        assert_eq!(t.stats().hits + t.stats().misses, 0);
+    }
+
+    #[test]
+    fn lru_eviction_in_set() {
+        let mut t = tiny();
+        // VPNs 0, 2, 4 all map to set 0 (2 sets).
+        t.fill(Vpn::new(0), Pfn::new(10));
+        t.fill(Vpn::new(2), Pfn::new(12));
+        t.lookup(Vpn::new(0)); // refresh 0; 2 is LRU
+        t.fill(Vpn::new(4), Pfn::new(14));
+        assert_eq!(t.probe(Vpn::new(0)), Some(Pfn::new(10)));
+        assert_eq!(t.probe(Vpn::new(2)), None, "LRU way evicted");
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refill_same_vpn_updates_in_place() {
+        let mut t = tiny();
+        t.fill(Vpn::new(6), Pfn::new(1));
+        t.fill(Vpn::new(6), Pfn::new(2));
+        assert_eq!(t.probe(Vpn::new(6)), Some(Pfn::new(2)));
+        assert_eq!(t.valid_entries(), 1);
+        assert_eq!(t.stats().evictions, 0);
+    }
+
+    #[test]
+    fn pending_reservation_survives_fills() {
+        let mut t = tiny();
+        assert!(t.reserve_pending(Vpn::new(0)));
+        assert!(t.has_pending(Vpn::new(0)));
+        assert_eq!(t.pending_entries(), 1);
+        // Fill two other lines into set 0 — only one non-pending way left,
+        // so the second fill evicts the first; the pending way is untouched.
+        t.fill(Vpn::new(2), Pfn::new(1));
+        t.fill(Vpn::new(4), Pfn::new(2));
+        assert!(t.has_pending(Vpn::new(0)));
+        assert_eq!(t.probe(Vpn::new(4)), Some(Pfn::new(2)));
+        assert_eq!(t.probe(Vpn::new(2)), None);
+    }
+
+    #[test]
+    fn fill_fails_when_all_ways_pending() {
+        let mut t = tiny();
+        assert!(t.reserve_pending(Vpn::new(0)));
+        assert!(t.reserve_pending(Vpn::new(2)));
+        assert!(!t.fill(Vpn::new(4), Pfn::new(9)), "no way available");
+        assert!(!t.reserve_pending(Vpn::new(6)), "set exhausted");
+    }
+
+    #[test]
+    fn pending_lookup_is_a_miss() {
+        let mut t = tiny();
+        t.reserve_pending(Vpn::new(0));
+        assert_eq!(t.lookup(Vpn::new(0)), None, "pending entries do not hit");
+    }
+
+    #[test]
+    fn clear_pending_resolves_all_matching_ways() {
+        let mut t = tiny();
+        assert!(t.reserve_pending(Vpn::new(0)));
+        assert!(t.reserve_pending(Vpn::new(0)), "tag-matching merge allowed");
+        assert_eq!(t.pending_entries(), 2);
+        let cleared = t.clear_pending_and_fill(Vpn::new(0), Pfn::new(77));
+        assert_eq!(cleared, 2);
+        assert_eq!(t.pending_entries(), 0);
+        assert_eq!(t.probe(Vpn::new(0)), Some(Pfn::new(77)));
+        // Exactly one way holds the translation; the other was freed.
+        assert_eq!(t.valid_entries(), 1);
+    }
+
+    #[test]
+    fn reserving_evicts_valid_translation() {
+        let mut t = tiny();
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.fill(Vpn::new(2), Pfn::new(2));
+        assert!(t.reserve_pending(Vpn::new(4)));
+        assert_eq!(t.stats().evictions, 1, "pollution is real");
+        assert_eq!(t.valid_entries(), 1);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = tiny();
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.reserve_pending(Vpn::new(2));
+        t.flush();
+        assert_eq!(t.valid_entries(), 0);
+        assert_eq!(t.pending_entries(), 0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut t = tiny();
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.lookup(Vpn::new(0));
+        t.lookup(Vpn::new(2));
+        assert!((t.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulation time, measured in GPU core cycles.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in GPU core clock cycles (1500 MHz in the
+/// paper's Table 3 configuration).
+///
+/// `Cycle` is a *point*; durations are plain `u64` cycle counts, so
+/// `Cycle + u64 = Cycle` and `Cycle - Cycle = u64`.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_types::Cycle;
+/// let start = Cycle::new(100);
+/// let end = start + 40;
+/// assert_eq!(end - start, 40);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero, the start of simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle point from a raw count.
+    pub const fn new(value: u64) -> Self {
+        Cycle(value)
+    }
+
+    /// Raw cycle count since simulation start.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Advances this point by one cycle, returning the new point.
+    #[must_use]
+    pub const fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is in the
+    /// future (useful for defensive latency accounting).
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The later of two time points.
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("cycle subtraction went negative")
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let c = Cycle::new(5);
+        assert_eq!((c + 7) - c, 7);
+        assert_eq!(c.next().value(), 6);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Cycle::new(3);
+        let late = Cycle::new(10);
+        assert_eq!(late.since(early), 7);
+        assert_eq!(early.since(late), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn sub_panics_on_time_reversal() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(Cycle::new(4).max(Cycle::new(9)), Cycle::new(9));
+    }
+}

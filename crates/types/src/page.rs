@@ -1,0 +1,180 @@
+//! Page sizes, virtual page numbers and physical frame numbers.
+
+use crate::{PhysAddr, VirtAddr};
+use std::fmt;
+
+/// Supported translation granularities.
+///
+/// The paper uses 64 KB as the base GPU page size ("widely supported by
+/// conventional GPUs") and evaluates 2 MB large pages in the sensitivity
+/// study; 4 KB is included for completeness of the substrate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB pages (CPU-style base pages).
+    Size4K,
+    /// 64 KiB pages — the paper's default GPU page size.
+    #[default]
+    Size64K,
+    /// 2 MiB large pages — used in the large-page sensitivity study.
+    Size2M,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.offset_bits()
+    }
+
+    /// Number of page-offset bits.
+    pub const fn offset_bits(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size64K => 16,
+            PageSize::Size2M => 21,
+        }
+    }
+
+    /// Virtual page number of an address at this granularity.
+    pub fn vpn_of(self, va: VirtAddr) -> Vpn {
+        Vpn(va.value() >> self.offset_bits())
+    }
+
+    /// Physical frame number of an address at this granularity.
+    pub fn pfn_of(self, pa: PhysAddr) -> Pfn {
+        Pfn(pa.value() >> self.offset_bits())
+    }
+
+    /// First virtual address of a page.
+    pub fn base_of_vpn(self, vpn: Vpn) -> VirtAddr {
+        VirtAddr::new(vpn.0 << self.offset_bits())
+    }
+
+    /// First physical address of a frame.
+    pub fn base_of_pfn(self, pfn: Pfn) -> PhysAddr {
+        PhysAddr::new(pfn.0 << self.offset_bits())
+    }
+
+    /// Byte offset of an address within its page.
+    pub fn offset_of(self, va: VirtAddr) -> u64 {
+        va.value() & (self.bytes() - 1)
+    }
+
+    /// Translates a full virtual address given the frame that its page maps
+    /// to (keeps the page offset).
+    pub fn translate(self, va: VirtAddr, pfn: Pfn) -> PhysAddr {
+        PhysAddr::new(self.base_of_pfn(pfn).value() | self.offset_of(va))
+    }
+
+    /// Number of pages needed to cover `bytes` bytes (rounded up).
+    pub fn pages_for(self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes())
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KB"),
+            PageSize::Size64K => write!(f, "64KB"),
+            PageSize::Size2M => write!(f, "2MB"),
+        }
+    }
+}
+
+/// A virtual page number. Meaningful only together with a [`PageSize`].
+///
+/// # Example
+///
+/// ```
+/// use swgpu_types::{PageSize, VirtAddr};
+/// let vpn = PageSize::Size64K.vpn_of(VirtAddr::new(0x2_0000));
+/// assert_eq!(vpn.value(), 2);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpn(pub u64);
+
+/// A physical frame number. Meaningful only together with a [`PageSize`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pfn(pub u64);
+
+macro_rules! pn_impls {
+    ($name:ident) => {
+        impl $name {
+            /// Creates a page/frame number from a raw value.
+            pub const fn new(v: u64) -> Self {
+                Self(v)
+            }
+
+            /// Raw page/frame number.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+pn_impls!(Vpn);
+pn_impls!(Pfn);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(PageSize::Size64K.bytes(), 64 * 1024);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+    }
+
+    #[test]
+    fn vpn_round_trip() {
+        for size in [PageSize::Size4K, PageSize::Size64K, PageSize::Size2M] {
+            let va = VirtAddr::new(0x1_2345_6789);
+            let vpn = size.vpn_of(va);
+            let rebuilt = size.base_of_vpn(vpn).value() + size.offset_of(va);
+            assert_eq!(rebuilt, va.value(), "{size}");
+        }
+    }
+
+    #[test]
+    fn translate_preserves_offset() {
+        let size = PageSize::Size64K;
+        let va = VirtAddr::new(0x3_0000 + 0x123);
+        let pa = size.translate(va, Pfn::new(7));
+        assert_eq!(pa.value(), 7 * 0x1_0000 + 0x123);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let s = PageSize::Size64K;
+        assert_eq!(s.pages_for(0), 0);
+        assert_eq!(s.pages_for(1), 1);
+        assert_eq!(s.pages_for(64 * 1024), 1);
+        assert_eq!(s.pages_for(64 * 1024 + 1), 2);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(PageSize::Size64K.to_string(), "64KB");
+        assert_eq!(Vpn::new(0x1f).to_string(), "0x1f");
+    }
+}

@@ -1,0 +1,114 @@
+//! Page table entry encoding.
+//!
+//! Entries are stored in simulated physical memory as raw 64-bit words so
+//! that both the hardware walkers and the software PW Warps read the *same*
+//! bytes when traversing the page table — the simulator does not cheat by
+//! looking up a side table.
+
+use crate::Pfn;
+use std::fmt;
+
+/// A 64-bit page table entry (also used for page *directory* entries at
+/// non-leaf levels, where the frame number points at the next-level table).
+///
+/// Layout (low to high): bit 0 = valid, bits 1..48 = frame number,
+/// remaining bits reserved-as-zero.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_types::{Pfn, Pte};
+/// let pte = Pte::valid(Pfn::new(0x1234));
+/// assert!(pte.is_valid());
+/// assert_eq!(pte.pfn(), Pfn::new(0x1234));
+/// assert_eq!(Pte::from_raw(pte.raw()), pte);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Pte(u64);
+
+const VALID_BIT: u64 = 1;
+const PFN_SHIFT: u32 = 1;
+const PFN_MASK: u64 = (1u64 << 47) - 1;
+
+impl Pte {
+    /// Size of an in-memory entry in bytes.
+    pub const SIZE_BYTES: u64 = 8;
+
+    /// The canonical invalid (not-present) entry: all zero.
+    pub const INVALID: Pte = Pte(0);
+
+    /// Creates a valid entry pointing at `pfn`.
+    pub const fn valid(pfn: Pfn) -> Self {
+        Pte(VALID_BIT | ((pfn.0 & PFN_MASK) << PFN_SHIFT))
+    }
+
+    /// Reinterprets a raw 64-bit word as an entry.
+    pub const fn from_raw(raw: u64) -> Self {
+        Pte(raw)
+    }
+
+    /// Raw 64-bit encoding, as stored in simulated memory.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the entry maps a page / next-level table.
+    pub const fn is_valid(self) -> bool {
+        self.0 & VALID_BIT != 0
+    }
+
+    /// Frame number the entry points at (the mapped frame for a leaf PTE,
+    /// the next-level table frame for a PDE). Zero for invalid entries.
+    pub const fn pfn(self) -> Pfn {
+        Pfn((self.0 >> PFN_SHIFT) & PFN_MASK)
+    }
+}
+
+impl fmt::Debug for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "Pte(valid, pfn={:#x})", self.pfn().0)
+        } else {
+            write!(f, "Pte(invalid)")
+        }
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_is_all_zero() {
+        assert_eq!(Pte::INVALID.raw(), 0);
+        assert!(!Pte::INVALID.is_valid());
+    }
+
+    #[test]
+    fn round_trips_pfn() {
+        for raw_pfn in [0u64, 1, 0x7fff_ffff, (1 << 47) - 1] {
+            let pte = Pte::valid(Pfn::new(raw_pfn));
+            assert!(pte.is_valid());
+            assert_eq!(pte.pfn().value(), raw_pfn);
+            assert_eq!(Pte::from_raw(pte.raw()), pte);
+        }
+    }
+
+    #[test]
+    fn pfn_is_masked_to_47_bits() {
+        let pte = Pte::valid(Pfn::new(u64::MAX));
+        assert_eq!(pte.pfn().value(), (1 << 47) - 1);
+    }
+
+    #[test]
+    fn debug_distinguishes_validity() {
+        assert_eq!(format!("{:?}", Pte::INVALID), "Pte(invalid)");
+        assert!(format!("{:?}", Pte::valid(Pfn::new(2))).contains("valid"));
+    }
+}

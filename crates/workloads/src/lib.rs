@@ -1,0 +1,44 @@
+//! Synthetic GPU workload generators standing in for the paper's 20
+//! benchmarks (Table 4).
+//!
+//! We have neither CUDA hardware nor the authors' SASS traces, so each
+//! benchmark is reproduced as a *page-level address-stream generator*
+//! capturing the property the paper's evaluation actually exercises: how
+//! many distinct pages a warp instruction touches, with what locality, and
+//! how fast the footprint is swept. The generators are deterministic
+//! (hash-based, no hidden RNG state) so every simulation is reproducible.
+//!
+//! Pattern families:
+//!
+//! * [`Pattern::Streaming`] — fully coalesced sequential sweeps (2dc, fft,
+//!   histo, red, scan, gemm, cc, kc): one page per warp access, high TLB
+//!   hit rates.
+//! * [`Pattern::StridedSweep`] — page-granular strides (sy2k, gesv): every
+//!   access lands on a fresh page, thrashing the L2 TLB.
+//! * [`Pattern::Stencil`] — multi-row stencils (st2d): a few pages per
+//!   access.
+//! * [`Pattern::Gather`] — random gathers with tunable locality (graph
+//!   kernels bc/dc/sssp/gc/bfs, xsbench, gups): up to 32 distinct pages
+//!   per warp instruction.
+//! * [`Pattern::SetSkewedGather`] — spmv's pathology: gathers concentrated
+//!   on a handful of L2 TLB set indices, which caps how much the In-TLB
+//!   MSHR can help (Figure 24's spmv discussion).
+//! * [`Pattern::Wavefront`] — nw's anti-diagonal sweep: each lane on its
+//!   own row ⇒ its own page.
+//!
+//! [`table4`] returns the full benchmark registry with the paper's
+//! footprints, MPKI and required-PTW classification; [`microbench`] builds
+//! the Figure 4 concurrency microbenchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod micro;
+mod pattern;
+mod spec;
+mod workload;
+
+pub use micro::{microbench, Microbench};
+pub use pattern::Pattern;
+pub use spec::{by_abbr, irregular, regular, table4, BenchmarkSpec, WorkloadClass};
+pub use workload::{Workload, WorkloadParams};

@@ -1,0 +1,324 @@
+//! Address-stream pattern families.
+
+use swgpu_types::{VirtAddr, LANES_PER_WARP};
+
+/// Deterministic 64-bit mixer (SplitMix64 finalizer) used for all
+/// "randomness" in workload generation — reproducible and stateless.
+pub(crate) fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A page-level access-pattern family. Each variant generates the lane
+/// addresses of one warp load given the warp's identity and a step
+/// counter; see the crate docs for which benchmarks map to which family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Coalesced sequential sweep: warp `w`'s step `s` reads 128
+    /// consecutive bytes at its private slice. One page per access.
+    Streaming,
+    /// Coalesced rows visited with a page-sized (or larger) stride: each
+    /// access touches a fresh page (sy2k, gesv).
+    StridedSweep {
+        /// Bytes between consecutive accesses of one warp.
+        stride_bytes: u64,
+    },
+    /// A vertical stencil: lanes split across `rows` rows that are
+    /// `row_bytes` apart, so one access touches `rows` pages when rows
+    /// exceed the page size (st2d).
+    Stencil {
+        /// Number of rows read per access.
+        rows: u8,
+        /// Bytes per matrix row.
+        row_bytes: u64,
+    },
+    /// Per-lane random gathers. With probability `hot_permille`/1000 a
+    /// lane stays in a small hot region (frontier locality of graph
+    /// kernels); otherwise it lands anywhere in the footprint.
+    Gather {
+        /// Probability (in permille) of a hot-region access.
+        hot_permille: u16,
+        /// Hot region size as a divisor of the footprint (e.g. 64 ⇒
+        /// footprint/64 bytes of hot data).
+        hot_divisor: u64,
+    },
+    /// Gathers with a per-set hot spot: `skew_permille`/1000 of lanes land
+    /// on pages confined to `distinct_sets` L2 TLB set indices (64 sets at
+    /// 1024 entries / 16 ways), the rest anywhere — the spmv pathology
+    /// whose In-TLB reservations pile up in a few sets (Figure 24).
+    SetSkewedGather {
+        /// Number of distinct L2 TLB sets the skewed pages fall into.
+        distinct_sets: u64,
+        /// Probability (permille) that a lane accesses the skewed sets.
+        skew_permille: u16,
+    },
+    /// Anti-diagonal wavefront: lane `i` reads row `base_row + i`, so each
+    /// lane is on its own page when rows are page-sized (nw).
+    Wavefront {
+        /// Bytes per matrix row.
+        row_bytes: u64,
+    },
+}
+
+/// Number of L2 TLB sets assumed by [`Pattern::SetSkewedGather`] (1024
+/// entries, 16-way — Table 3).
+pub(crate) const L2_TLB_SETS: u64 = 64;
+
+impl Pattern {
+    /// Generates the lane addresses of one warp load.
+    ///
+    /// * `footprint` — mapped bytes available (addresses stay inside).
+    /// * `warp_seed` — globally unique *mixed* warp identity (randomness).
+    /// * `warp_global` — raw global warp index (structured locality).
+    /// * `warps_per_sm` — co-resident warps (CTA tiling for streaming).
+    /// * `step` — the warp's memory-instruction counter.
+    /// * `page_bytes` — translation granularity (used by set-skewed
+    ///   generation to align to pages).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn lane_addrs(
+        &self,
+        footprint: u64,
+        warp_seed: u64,
+        warp_global: u64,
+        warps_per_sm: u64,
+        step: u64,
+        page_bytes: u64,
+    ) -> Vec<VirtAddr> {
+        let lanes = LANES_PER_WARP as u64;
+        match *self {
+            Pattern::Streaming => {
+                // CTA tiling: each SM streams a contiguous slice, and its
+                // resident warps walk *adjacent* 128-byte chunks — so the
+                // whole SM works within one page at a time and the L1 TLB
+                // almost always hits (the paper's regular-app regime).
+                let wps = warps_per_sm.max(1);
+                let sm = warp_global / wps;
+                let warp_in_sm = warp_global % wps;
+                let slice_base = (sm.wrapping_mul(0x1000_0000)) % footprint;
+                let chunk = step * wps + warp_in_sm;
+                let off = (slice_base + chunk * 128) % footprint;
+                (0..lanes)
+                    .map(|l| VirtAddr::new((off + l * 4) % footprint))
+                    .collect()
+            }
+            Pattern::StridedSweep { stride_bytes } => {
+                let start = mix(warp_seed) % footprint;
+                let off = (start + step * stride_bytes) % footprint;
+                (0..lanes).map(|l| VirtAddr::new((off + l * 4) % footprint)).collect()
+            }
+            Pattern::Stencil { rows, row_bytes } => {
+                let total_rows = (footprint / row_bytes).max(rows as u64);
+                let row0 = (mix(warp_seed) + step) % total_rows;
+                let col = (step * 128) % row_bytes;
+                let lanes_per_row = lanes / rows as u64;
+                (0..lanes)
+                    .map(|l| {
+                        let r = (row0 + l / lanes_per_row.max(1)) % total_rows;
+                        let addr = r * row_bytes + (col + (l % lanes_per_row.max(1)) * 4) % row_bytes;
+                        VirtAddr::new(addr % footprint)
+                    })
+                    .collect()
+            }
+            Pattern::Gather { hot_permille, hot_divisor } => {
+                let hot_bytes = (footprint / hot_divisor.max(1)).max(4096);
+                (0..lanes)
+                    .map(|l| {
+                        let h = mix(warp_seed ^ (step << 8) ^ l);
+                        let addr = if (h % 1000) < u64::from(hot_permille) {
+                            mix(h) % hot_bytes
+                        } else {
+                            mix(h ^ 0xABCD) % footprint
+                        };
+                        VirtAddr::new(addr & !3)
+                    })
+                    .collect()
+            }
+            Pattern::SetSkewedGather {
+                distinct_sets,
+                skew_permille,
+            } => {
+                let pages = (footprint / page_bytes).max(1);
+                (0..lanes)
+                    .map(|l| {
+                        let h = mix(warp_seed ^ (step << 8) ^ l);
+                        let page = if (h % 1000) < u64::from(skew_permille) {
+                            // Constrain the page index so vpn % 64 takes
+                            // only `distinct_sets` values.
+                            let set = h % distinct_sets.max(1);
+                            let group = mix(h) % pages.div_ceil(L2_TLB_SETS).max(1);
+                            (group * L2_TLB_SETS + set) % pages
+                        } else {
+                            mix(h ^ 0x5EED) % pages
+                        };
+                        VirtAddr::new(page * page_bytes + ((mix(h ^ 7) % page_bytes) & !3))
+                    })
+                    .collect()
+            }
+            Pattern::Wavefront { row_bytes } => {
+                let total_rows = (footprint / row_bytes).max(lanes);
+                let base_row = (mix(warp_seed) + step) % total_rows;
+                let col = mix(warp_seed ^ step) % (row_bytes / 4);
+                (0..lanes)
+                    .map(|l| {
+                        let r = (base_row + l) % total_rows;
+                        VirtAddr::new((r * row_bytes + col * 4) % footprint)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use swgpu_types::PageSize;
+
+    const FOOT: u64 = 256 * 1024 * 1024; // 256 MB
+    const PAGE: u64 = 64 * 1024;
+
+    fn distinct_pages(addrs: &[VirtAddr]) -> usize {
+        addrs
+            .iter()
+            .map(|a| a.value() / PAGE)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    #[test]
+    fn streaming_is_coalesced() {
+        let p = Pattern::Streaming;
+        for step in 0..50 {
+            let addrs = p.lane_addrs(FOOT, 3, 3, 16, step, PAGE);
+            assert!(distinct_pages(&addrs) <= 2, "step {step}");
+        }
+    }
+
+    #[test]
+    fn gather_is_divergent() {
+        let p = Pattern::Gather {
+            hot_permille: 0,
+            hot_divisor: 1,
+        };
+        let addrs = p.lane_addrs(FOOT, 3, 3, 16, 0, PAGE);
+        assert!(distinct_pages(&addrs) >= 28, "{}", distinct_pages(&addrs));
+    }
+
+    #[test]
+    fn hot_gather_has_locality() {
+        let p = Pattern::Gather {
+            hot_permille: 900,
+            hot_divisor: 4096,
+        };
+        let hot_bytes = FOOT / 4096;
+        let mut hot_hits = 0;
+        let mut total = 0;
+        for step in 0..100 {
+            for a in p.lane_addrs(FOOT, 5, 5, 16, step, PAGE) {
+                total += 1;
+                if a.value() < hot_bytes {
+                    hot_hits += 1;
+                }
+            }
+        }
+        let frac = hot_hits as f64 / total as f64;
+        assert!(frac > 0.8, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn wavefront_one_page_per_lane() {
+        let p = Pattern::Wavefront { row_bytes: PAGE };
+        let addrs = p.lane_addrs(FOOT, 1, 1, 16, 7, PAGE);
+        assert_eq!(distinct_pages(&addrs), 32);
+    }
+
+    #[test]
+    fn set_skew_concentrates_tlb_sets() {
+        let p = Pattern::SetSkewedGather {
+            distinct_sets: 4,
+            skew_permille: 1000,
+        };
+        let mut sets = BTreeSet::new();
+        for step in 0..200 {
+            for a in p.lane_addrs(FOOT, 9, 9, 16, step, PAGE) {
+                sets.insert((a.value() / PAGE) % L2_TLB_SETS);
+            }
+        }
+        assert!(sets.len() <= 4, "sets touched: {}", sets.len());
+        // A partial skew still reaches the whole footprint.
+        let p = Pattern::SetSkewedGather {
+            distinct_sets: 4,
+            skew_permille: 700,
+        };
+        let mut pages = BTreeSet::new();
+        let mut skewed = 0u64;
+        let mut total = 0u64;
+        for step in 0..400 {
+            for a in p.lane_addrs(FOOT, 9, 9, 16, step, PAGE) {
+                let page = a.value() / PAGE;
+                pages.insert(page);
+                total += 1;
+                if page % L2_TLB_SETS < 4 {
+                    skewed += 1;
+                }
+            }
+        }
+        assert!(pages.len() > 1000, "distinct pages: {}", pages.len());
+        let frac = skewed as f64 / total as f64;
+        assert!(frac > 0.6, "skewed fraction {frac}");
+    }
+
+    #[test]
+    fn strided_sweep_changes_page_every_step() {
+        let p = Pattern::StridedSweep {
+            stride_bytes: PAGE,
+        };
+        let a0 = p.lane_addrs(FOOT, 2, 2, 16, 0, PAGE);
+        let a1 = p.lane_addrs(FOOT, 2, 2, 16, 1, PAGE);
+        assert_ne!(a0[0].value() / PAGE, a1[0].value() / PAGE);
+        assert!(distinct_pages(&a0) <= 2);
+    }
+
+    #[test]
+    fn stencil_touches_rows_pages() {
+        let p = Pattern::Stencil {
+            rows: 4,
+            row_bytes: PAGE,
+        };
+        let addrs = p.lane_addrs(FOOT, 0, 0, 16, 0, PAGE);
+        let d = distinct_pages(&addrs);
+        assert!((2..=5).contains(&d), "distinct pages {d}");
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let patterns = [
+            Pattern::Streaming,
+            Pattern::StridedSweep { stride_bytes: PAGE },
+            Pattern::Stencil { rows: 3, row_bytes: PAGE },
+            Pattern::Gather { hot_permille: 500, hot_divisor: 64 },
+            Pattern::SetSkewedGather { distinct_sets: 4, skew_permille: 700 },
+            Pattern::Wavefront { row_bytes: PAGE },
+        ];
+        let page = PageSize::Size64K;
+        for p in patterns {
+            for step in 0..50 {
+                for a in p.lane_addrs(FOOT, 11, 11, 16, step, page.bytes()) {
+                    assert!(a.value() < FOOT, "{p:?} escaped footprint: {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Pattern::Gather { hot_permille: 300, hot_divisor: 64 };
+        assert_eq!(
+            p.lane_addrs(FOOT, 42, 42, 16, 17, PAGE),
+            p.lane_addrs(FOOT, 42, 42, 16, 17, PAGE)
+        );
+    }
+}

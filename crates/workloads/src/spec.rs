@@ -1,0 +1,355 @@
+//! The Table 4 benchmark registry.
+
+use crate::pattern::Pattern;
+use crate::workload::{Workload, WorkloadParams};
+
+/// Irregular vs. regular, by the paper's criterion: irregular workloads
+/// need more than 32 concurrent page walkers to hide queueing delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// High L2 TLB MPKI; requires 256–1024 PTWs (top of Table 4).
+    Irregular,
+    /// Minimal TLB pressure; 32 PTWs suffice (bottom of Table 4).
+    Regular,
+}
+
+/// One benchmark row of Table 4, plus the synthetic pattern standing in
+/// for its SASS trace.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkSpec {
+    /// Full benchmark name as in Table 4.
+    pub name: &'static str,
+    /// Table 4 abbreviation (used everywhere in figures).
+    pub abbr: &'static str,
+    /// Irregular / regular classification.
+    pub class: WorkloadClass,
+    /// Memory footprint in MB (Table 4).
+    pub footprint_mb: u64,
+    /// L2 TLB misses per kilo-instruction the paper measured (reference
+    /// only; our synthetic streams are checked for regime, not digits).
+    pub paper_mpki: f64,
+    /// Concurrent page walkers the paper found the benchmark needs.
+    pub paper_required_ptws: u32,
+    /// Whether the footprint can be scaled beyond 2 MB-page L2 TLB
+    /// coverage — the 10 benchmarks used in Figures 6 and 25.
+    pub scalable: bool,
+    /// Synthetic address-stream family.
+    pub pattern: Pattern,
+    /// Dependency-latency cycles of the compute instruction between
+    /// successive loads (models arithmetic intensity).
+    pub compute_cycles: u32,
+}
+
+impl BenchmarkSpec {
+    /// Instantiates the workload generator for this benchmark.
+    pub fn build(&self, params: WorkloadParams) -> Workload {
+        Workload::new(*self, params)
+    }
+}
+
+const KB64: u64 = 64 * 1024;
+
+/// The full 20-benchmark registry of Table 4, irregular first.
+pub fn table4() -> Vec<BenchmarkSpec> {
+    vec![
+        // ---- Irregular (required PTWs > 32) ----
+        BenchmarkSpec {
+            name: "betweenness centr",
+            abbr: "bc",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 1194,
+            paper_mpki: 9.0819,
+            paper_required_ptws: 256,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 500, hot_divisor: 512 },
+            compute_cycles: 24,
+        },
+        BenchmarkSpec {
+            name: "degree centr",
+            abbr: "dc",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 1138,
+            paper_mpki: 26.17,
+            paper_required_ptws: 512,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 350, hot_divisor: 256 },
+            compute_cycles: 12,
+        },
+        BenchmarkSpec {
+            name: "sssp",
+            abbr: "sssp",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 1788,
+            paper_mpki: 30.2808,
+            paper_required_ptws: 512,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 300, hot_divisor: 256 },
+            compute_cycles: 10,
+        },
+        BenchmarkSpec {
+            name: "graph coloring",
+            abbr: "gc",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 1294,
+            paper_mpki: 13.7029,
+            paper_required_ptws: 256,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 450, hot_divisor: 384 },
+            compute_cycles: 18,
+        },
+        BenchmarkSpec {
+            name: "nw",
+            abbr: "nw",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 612,
+            paper_mpki: 44.5329,
+            paper_required_ptws: 512,
+            scalable: true,
+            pattern: Pattern::Wavefront { row_bytes: KB64 },
+            compute_cycles: 8,
+        },
+        BenchmarkSpec {
+            name: "stencil2d",
+            abbr: "st2d",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 612,
+            paper_mpki: 4.8493,
+            paper_required_ptws: 256,
+            scalable: false,
+            pattern: Pattern::Stencil { rows: 4, row_bytes: KB64 },
+            compute_cycles: 20,
+        },
+        BenchmarkSpec {
+            name: "xsbench",
+            abbr: "xsb",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 360,
+            paper_mpki: 57.9595,
+            paper_required_ptws: 512,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 120, hot_divisor: 64 },
+            compute_cycles: 8,
+        },
+        BenchmarkSpec {
+            name: "bfs",
+            abbr: "bfs",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 1396,
+            paper_mpki: 22.1519,
+            paper_required_ptws: 256,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 400, hot_divisor: 256 },
+            compute_cycles: 14,
+        },
+        BenchmarkSpec {
+            name: "syr2k",
+            abbr: "sy2k",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 192,
+            paper_mpki: 120.696,
+            paper_required_ptws: 1024,
+            scalable: false,
+            pattern: Pattern::Wavefront { row_bytes: KB64 },
+            compute_cycles: 4,
+        },
+        BenchmarkSpec {
+            name: "spmv",
+            abbr: "spmv",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 288,
+            paper_mpki: 2517.196,
+            paper_required_ptws: 512,
+            scalable: true,
+            pattern: Pattern::SetSkewedGather { distinct_sets: 8, skew_permille: 700 },
+            compute_cycles: 2,
+        },
+        BenchmarkSpec {
+            name: "gesummv",
+            abbr: "gesv",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 226,
+            paper_mpki: 1320.543,
+            paper_required_ptws: 512,
+            scalable: true,
+            pattern: Pattern::Wavefront { row_bytes: 2 * KB64 },
+            compute_cycles: 2,
+        },
+        BenchmarkSpec {
+            name: "gups",
+            abbr: "gups",
+            class: WorkloadClass::Irregular,
+            footprint_mb: 308,
+            paper_mpki: 318.8202,
+            paper_required_ptws: 1024,
+            scalable: true,
+            pattern: Pattern::Gather { hot_permille: 0, hot_divisor: 1 },
+            compute_cycles: 2,
+        },
+        // ---- Regular (required PTWs <= 32) ----
+        BenchmarkSpec {
+            name: "connected comp",
+            abbr: "cc",
+            class: WorkloadClass::Regular,
+            footprint_mb: 2306,
+            paper_mpki: 0.1309,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 20,
+        },
+        BenchmarkSpec {
+            name: "kcore",
+            abbr: "kc",
+            class: WorkloadClass::Regular,
+            footprint_mb: 1152,
+            paper_mpki: 0.5271,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 18,
+        },
+        BenchmarkSpec {
+            name: "2dconv",
+            abbr: "2dc",
+            class: WorkloadClass::Regular,
+            footprint_mb: 1120,
+            paper_mpki: 0.0767,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 26,
+        },
+        BenchmarkSpec {
+            name: "fft",
+            abbr: "fft",
+            class: WorkloadClass::Regular,
+            footprint_mb: 610,
+            paper_mpki: 0.077,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 24,
+        },
+        BenchmarkSpec {
+            name: "histogram",
+            abbr: "histo",
+            class: WorkloadClass::Regular,
+            footprint_mb: 1124,
+            paper_mpki: 0.0976,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 16,
+        },
+        BenchmarkSpec {
+            name: "reduction",
+            abbr: "red",
+            class: WorkloadClass::Regular,
+            footprint_mb: 1124,
+            paper_mpki: 0.3383,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 12,
+        },
+        BenchmarkSpec {
+            name: "scan",
+            abbr: "scan",
+            class: WorkloadClass::Regular,
+            footprint_mb: 516,
+            paper_mpki: 0.1458,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 14,
+        },
+        BenchmarkSpec {
+            name: "gemm",
+            abbr: "gemm",
+            class: WorkloadClass::Regular,
+            footprint_mb: 288,
+            paper_mpki: 0.0614,
+            paper_required_ptws: 32,
+            scalable: false,
+            pattern: Pattern::Streaming,
+            compute_cycles: 28,
+        },
+    ]
+}
+
+/// The 12 irregular benchmarks.
+pub fn irregular() -> Vec<BenchmarkSpec> {
+    table4()
+        .into_iter()
+        .filter(|b| b.class == WorkloadClass::Irregular)
+        .collect()
+}
+
+/// The 8 regular benchmarks.
+pub fn regular() -> Vec<BenchmarkSpec> {
+    table4()
+        .into_iter()
+        .filter(|b| b.class == WorkloadClass::Regular)
+        .collect()
+}
+
+/// Looks up a benchmark by its Table 4 abbreviation.
+pub fn by_abbr(abbr: &str) -> Option<BenchmarkSpec> {
+    table4().into_iter().find(|b| b.abbr == abbr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table4_shape() {
+        let all = table4();
+        assert_eq!(all.len(), 20);
+        assert_eq!(irregular().len(), 12);
+        assert_eq!(regular().len(), 8);
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let all = table4();
+        let mut abbrs: Vec<_> = all.iter().map(|b| b.abbr).collect();
+        abbrs.sort_unstable();
+        abbrs.dedup();
+        assert_eq!(abbrs.len(), 20);
+    }
+
+    #[test]
+    fn classification_follows_required_ptws() {
+        for b in table4() {
+            match b.class {
+                WorkloadClass::Irregular => assert!(b.paper_required_ptws > 32, "{}", b.abbr),
+                WorkloadClass::Regular => assert_eq!(b.paper_required_ptws, 32, "{}", b.abbr),
+            }
+        }
+    }
+
+    #[test]
+    fn ten_scalable_benchmarks() {
+        assert_eq!(table4().iter().filter(|b| b.scalable).count(), 10);
+    }
+
+    #[test]
+    fn lookup_by_abbr() {
+        assert_eq!(by_abbr("gups").unwrap().footprint_mb, 308);
+        assert!(by_abbr("nope").is_none());
+    }
+
+    #[test]
+    fn irregular_mpki_dominates_regular() {
+        let min_irr = irregular()
+            .iter()
+            .map(|b| b.paper_mpki)
+            .fold(f64::INFINITY, f64::min);
+        let max_reg = regular()
+            .iter()
+            .map(|b| b.paper_mpki)
+            .fold(0.0, f64::max);
+        assert!(min_irr > max_reg);
+    }
+}

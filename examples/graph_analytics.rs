@@ -1,0 +1,77 @@
+//! Graph analytics scenario: the workload class the paper's introduction
+//! motivates. Runs a BFS-style frontier traversal under every translation
+//! design the paper compares — baseline, NHA coalescing, FS-HPT,
+//! SoftWalker (± In-TLB MSHR) and the hardware/software hybrid — and
+//! prints the walk-latency decomposition that explains the ranking.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use softwalker_repro::{by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams};
+
+fn run(mode_label: &str, tweak: impl FnOnce(&mut GpuConfig)) -> (String, SimStats) {
+    let mut cfg = GpuConfig {
+        sms: 16,
+        max_warps: 16,
+        ..GpuConfig::default()
+    };
+    tweak(&mut cfg);
+    let spec = by_abbr("bfs").expect("bfs is in the registry");
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: 4,
+        footprint_percent: 100,
+        page_size: cfg.page_size,
+    });
+    (
+        mode_label.to_string(),
+        GpuSimulator::new(cfg, Box::new(wl)).run(),
+    )
+}
+
+fn main() {
+    println!("bfs frontier traversal (1.4 GB graph, 64 KB pages)\n");
+    let runs = vec![
+        run("baseline 32 PTWs", |_| {}),
+        run("NHA coalescing", |c| c.ptw.nha = true),
+        run("FS-HPT hashed table", |c| {
+            c.mode = TranslationMode::HashedPtw;
+        }),
+        run("SoftWalker w/o In-TLB", |c| {
+            c.mode = TranslationMode::SoftWalker { in_tlb_mshr: false };
+        }),
+        run("SoftWalker", |c| {
+            c.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        }),
+        run("SW Hybrid", |c| {
+            c.mode = TranslationMode::Hybrid { in_tlb_mshr: true };
+        }),
+    ];
+
+    let base_cycles = runs[0].1.cycles;
+    println!(
+        "{:<24} {:>9} {:>8} {:>12} {:>12} {:>12}",
+        "design", "cycles", "speedup", "queue (cyc)", "access (cyc)", "MSHR fails"
+    );
+    for (label, s) in &runs {
+        println!(
+            "{:<24} {:>9} {:>7.2}x {:>12.0} {:>12.0} {:>12}",
+            label,
+            s.cycles,
+            base_cycles as f64 / s.cycles as f64,
+            s.walk.avg_queue(),
+            s.walk.avg_access(),
+            s.l2_mshr_failure_events,
+        );
+    }
+
+    println!(
+        "\nReading the table: the baseline's walk latency is almost all queueing \
+         (limited walkers); NHA and FS-HPT trim work per walk but not walk \
+         throughput; SoftWalker's ~{} concurrent software walkers eliminate the \
+         queue, and the In-TLB MSHR lets enough misses be outstanding to feed them.",
+        16 * 32
+    );
+}

@@ -1,0 +1,103 @@
+//! Property tests on the TLB array: LRU behaviour, pending-state
+//! isolation, and agreement with a reference model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use swgpu_tlb::{Tlb, TlbConfig};
+use swgpu_types::{Pfn, Vpn};
+
+/// A reference "infinite TLB": a plain map. The real TLB may evict, so
+/// the invariant is one-sided — every real hit must agree with the map,
+/// and a real hit can never occur for an uninserted VPN.
+#[derive(Default)]
+struct RefTlb {
+    map: HashMap<u64, u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hits_always_agree_with_reference(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
+        assoc in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        // assoc ∈ {1,2,4,8} all divide 16, giving a power-of-two set count.
+        let mut tlb = Tlb::new(TlbConfig {
+            name: "prop".into(),
+            entries: 16,
+            assoc,
+        });
+        let mut reference = RefTlb::default();
+        for (vpn, is_fill) in ops {
+            if is_fill {
+                let pfn = vpn + 1000;
+                tlb.fill(Vpn::new(vpn), Pfn::new(pfn));
+                reference.map.insert(vpn, pfn);
+            } else if let Some(pfn) = tlb.lookup(Vpn::new(vpn)) {
+                // A hit must agree with the reference and must have been
+                // inserted at some point.
+                prop_assert_eq!(Some(&pfn.value()), reference.map.get(&vpn));
+            }
+        }
+    }
+
+    #[test]
+    fn valid_entries_never_exceed_capacity(
+        vpns in prop::collection::vec(0u64..256, 1..300),
+    ) {
+        let mut tlb = Tlb::new(TlbConfig { name: "cap".into(), entries: 32, assoc: 4 });
+        for v in vpns {
+            tlb.fill(Vpn::new(v), Pfn::new(v));
+            prop_assert!(tlb.valid_entries() <= 32);
+        }
+    }
+
+    #[test]
+    fn pending_and_valid_counts_are_consistent(
+        ops in prop::collection::vec((0u64..32, 0u8..3), 1..200),
+    ) {
+        let mut tlb = Tlb::new(TlbConfig { name: "mix".into(), entries: 16, assoc: 4 });
+        let mut outstanding: Vec<u64> = Vec::new();
+        for (vpn, op) in ops {
+            match op {
+                0 => {
+                    tlb.fill(Vpn::new(vpn), Pfn::new(vpn));
+                }
+                1 => {
+                    if tlb.reserve_pending(Vpn::new(vpn)) {
+                        outstanding.push(vpn);
+                    }
+                }
+                _ => {
+                    if let Some(pos) = outstanding.iter().position(|&v| v == vpn) {
+                        let cleared = tlb.clear_pending_and_fill(Vpn::new(vpn), Pfn::new(vpn));
+                        prop_assert!(cleared >= 1);
+                        // Remove every occurrence — clear resolves all
+                        // tag-matching ways.
+                        outstanding.retain(|&v| v != vpn);
+                        let _ = pos;
+                    }
+                }
+            }
+            prop_assert_eq!(tlb.pending_entries(), outstanding.len());
+            prop_assert!(tlb.valid_entries() + tlb.pending_entries() <= 16);
+        }
+    }
+
+    #[test]
+    fn recently_used_entries_survive_thrash(
+        victims in prop::collection::vec(0u64..1024, 16..64),
+    ) {
+        // Fully-associative 32-entry TLB: an entry touched every iteration
+        // must never be evicted by LRU.
+        let mut tlb = Tlb::new(TlbConfig { name: "lru".into(), entries: 32, assoc: 32 });
+        let hot = Vpn::new(1 << 40);
+        tlb.fill(hot, Pfn::new(7));
+        for v in victims {
+            prop_assert_eq!(tlb.lookup(hot), Some(Pfn::new(7)), "hot entry evicted");
+            tlb.fill(Vpn::new(v), Pfn::new(v));
+        }
+        prop_assert_eq!(tlb.lookup(hot), Some(Pfn::new(7)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Statistical checks on the synthetic workload generators: the paper's
+//! benchmark classification must be an emergent property of the address
+//! streams, not an assertion.
+
+use std::collections::BTreeSet;
+use swgpu_types::{PageSize, SmId, WarpId};
+use swgpu_workloads::{irregular, regular, table4, WorkloadClass, WorkloadParams};
+
+fn params() -> WorkloadParams {
+    WorkloadParams {
+        sms: 4,
+        warps_per_sm: 8,
+        mem_instrs_per_warp: 32,
+        footprint_percent: 100,
+        page_size: PageSize::Size64K,
+    }
+}
+
+/// Average distinct pages touched per warp load, sampled over several
+/// warps — the quantity that drives TLB pressure.
+fn avg_pages_per_load(spec: &swgpu_workloads::BenchmarkSpec) -> f64 {
+    let wl = spec.build(params());
+    let page = PageSize::Size64K;
+    let mut total_pages = 0usize;
+    let mut loads = 0usize;
+    for smi in 0..2u16 {
+        for wpi in 0..4u16 {
+            for step in 0..16u64 {
+                let addrs = wl.lane_addrs(SmId::new(smi), WarpId::new(wpi), step);
+                let pages: BTreeSet<u64> =
+                    addrs.iter().map(|a| a.value() / page.bytes()).collect();
+                total_pages += pages.len();
+                loads += 1;
+            }
+        }
+    }
+    total_pages as f64 / loads as f64
+}
+
+#[test]
+fn irregular_loads_touch_many_pages_regular_few() {
+    for spec in table4() {
+        let avg = avg_pages_per_load(&spec);
+        match spec.class {
+            WorkloadClass::Irregular => assert!(
+                avg > 2.5,
+                "{}: irregular benchmark only touches {avg:.1} pages/load",
+                spec.abbr
+            ),
+            WorkloadClass::Regular => assert!(
+                avg < 1.5,
+                "{}: regular benchmark touches {avg:.1} pages/load",
+                spec.abbr
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_irregular_stream_exceeds_l2_tlb_reach() {
+    // Sweeping the stream must visit more distinct pages than the 1024
+    // L2 TLB entries can hold — otherwise the benchmark cannot pressure
+    // the translation system (the Table 4 design requirement).
+    for spec in irregular() {
+        let wl = spec.build(params());
+        let page = PageSize::Size64K;
+        let mut pages = BTreeSet::new();
+        for smi in 0..4u16 {
+            for wpi in 0..8u16 {
+                for step in 0..32u64 {
+                    for a in wl.lane_addrs(SmId::new(smi), WarpId::new(wpi), step) {
+                        pages.insert(a.value() / page.bytes());
+                    }
+                }
+            }
+        }
+        // st2d and nw sweep structured fronts: they accumulate reach over
+        // the whole kernel rather than instantly; everything else must
+        // overflow the TLB within this short sample.
+        let threshold = match spec.abbr {
+            "st2d" | "nw" => 256,
+            _ => 1024,
+        };
+        assert!(
+            pages.len() > threshold,
+            "{}: only {} distinct pages sampled",
+            spec.abbr,
+            pages.len()
+        );
+    }
+}
+
+#[test]
+fn regular_streams_reuse_pages_within_an_sm() {
+    // CTA tiling: within one SM, consecutive warp loads should hit the
+    // same page most of the time (that is what keeps regular apps' L1
+    // TLB hit rates high).
+    for spec in regular() {
+        let wl = spec.build(params());
+        let page = PageSize::Size64K;
+        let mut pages = BTreeSet::new();
+        let mut loads = 0;
+        for wpi in 0..8u16 {
+            for step in 0..8u64 {
+                for a in wl.lane_addrs(SmId::new(0), WarpId::new(wpi), step) {
+                    pages.insert(a.value() / page.bytes());
+                }
+                loads += 1;
+            }
+        }
+        assert!(
+            pages.len() * 8 < loads,
+            "{}: {} pages across {} loads — not tiled",
+            spec.abbr,
+            pages.len(),
+            loads
+        );
+    }
+}
+
+#[test]
+fn footprints_match_table4() {
+    for spec in table4() {
+        let wl = spec.build(WorkloadParams {
+            footprint_percent: 100,
+            ..params()
+        });
+        assert_eq!(
+            wl.footprint_bytes(),
+            spec.footprint_mb * 1024 * 1024,
+            "{}",
+            spec.abbr
+        );
+    }
+}
