@@ -1,0 +1,21 @@
+#!/bin/sh
+# The full tier-1 gate, runnable locally or in CI:
+#   sh ci/check.sh
+# Fails on the first broken step. Mirrors .github/workflows/ci.yml.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -51,8 +51,14 @@ fn bench_mshr(c: &mut Criterion) {
         });
     });
     g.bench_function("in_tlb_overflow_cycle", |b| {
-        let mut l2: L2TlbComplex<u32> =
-            L2TlbComplex::new(TlbConfig::l2(), TlbMshrConfig { entries: 1, max_merges: 1 }, 1024);
+        let mut l2: L2TlbComplex<u32> = L2TlbComplex::new(
+            TlbConfig::l2(),
+            TlbMshrConfig {
+                entries: 1,
+                max_merges: 1,
+            },
+            1024,
+        );
         l2.access(Vpn::new(u64::MAX), 0); // pin the single dedicated MSHR
         let mut i = 0u64;
         b.iter(|| {

@@ -1,0 +1,225 @@
+//! On-disk JSON artifacts for completed simulation runs.
+//!
+//! Every cell the experiment runner executes is persisted under the run
+//! cache directory (default `target/swgpu-runs/`) as one JSON file named
+//! `<cell key>.json`. The file doubles as the cross-binary baseline
+//! cache — running `fig16` then `fig18` re-simulates nothing — and as a
+//! machine-readable artifact for external plotting/analysis tooling.
+//!
+//! Schema (version 1, flat except for the nested stats object):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "key": "bfs-fp100-a1b2c3d4e5f60718",
+//!   "workload": "bfs-fp100",
+//!   "config": "a1b2c3d4e5f60718",
+//!   "stats": { ...SimStats::to_json()... }
+//! }
+//! ```
+//!
+//! `config` is [`swgpu_sim::GpuConfig::fingerprint`]; `stats` round-trips
+//! through [`swgpu_sim::SimStats::from_json`]. Unknown top-level keys are
+//! ignored on read so the schema can grow.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use swgpu_sim::SimStats;
+
+/// Current artifact schema version. Readers reject other versions (the
+/// runner then just re-simulates and overwrites).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One persisted run: identity plus the full statistics object.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// The runner's cache key (`<workload>-<config fingerprint>`).
+    pub key: String,
+    /// Human-readable workload component of the key.
+    pub workload: String,
+    /// The `GpuConfig::fingerprint` the run used.
+    pub config: String,
+    /// The simulation result.
+    pub stats: SimStats,
+}
+
+impl RunArtifact {
+    /// Serializes the artifact (schema version 1).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":{},\"key\":\"{}\",\"workload\":\"{}\",\"config\":\"{}\",\"stats\":{}}}",
+            SCHEMA_VERSION,
+            self.key,
+            self.workload,
+            self.config,
+            self.stats.to_json()
+        )
+    }
+
+    /// Parses an artifact written by [`RunArtifact::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for malformed input or a
+    /// schema version mismatch.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let schema = extract_number(json, "schema")? as u32;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "artifact schema {schema} != supported {SCHEMA_VERSION}"
+            ));
+        }
+        let stats_json = extract_object(json, "stats")?;
+        Ok(RunArtifact {
+            key: extract_string(json, "key")?,
+            workload: extract_string(json, "workload")?,
+            config: extract_string(json, "config")?,
+            stats: SimStats::from_json(stats_json)?,
+        })
+    }
+
+    /// The artifact's path inside `dir`.
+    pub fn path_in(dir: &Path, key: &str) -> PathBuf {
+        dir.join(format!("{key}.json"))
+    }
+
+    /// Writes the artifact into `dir` (created on demand), atomically:
+    /// a temporary file is renamed into place so concurrent runner
+    /// processes never observe torn JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let final_path = Self::path_in(dir, &self.key);
+        let tmp_path = dir.join(format!(".{}.{}.tmp", self.key, std::process::id()));
+        fs::write(&tmp_path, self.to_json())?;
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(final_path)
+    }
+
+    /// Loads the artifact for `key` from `dir`, returning `None` when it
+    /// does not exist or fails to parse (the caller re-simulates).
+    pub fn load_from(dir: &Path, key: &str) -> Option<Self> {
+        let text = fs::read_to_string(Self::path_in(dir, key)).ok()?;
+        let artifact = Self::from_json(&text).ok()?;
+        // A key collision between different runs would silently serve the
+        // wrong stats; the key check makes that a cache miss instead.
+        (artifact.key == key).then_some(artifact)
+    }
+}
+
+/// Extracts the raw text of `"name": <number>` from a flat JSON level.
+fn extract_number(json: &str, name: &str) -> Result<f64, String> {
+    let raw = extract_raw(json, name)?;
+    raw.parse::<f64>()
+        .map_err(|e| format!("bad number for {name:?}: {e}"))
+}
+
+/// Extracts `"name": "<string>"` (no escape support — keys and
+/// fingerprints are `[A-Za-z0-9._x-]` only).
+fn extract_string(json: &str, name: &str) -> Result<String, String> {
+    let raw = extract_raw(json, name)?;
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("{name:?} is not a string"))
+}
+
+/// Extracts the `{...}` object value of `"name"` (the object itself must
+/// be flat, which holds for the stats payload).
+fn extract_object<'j>(json: &'j str, name: &str) -> Result<&'j str, String> {
+    let marker = format!("\"{name}\":");
+    let at = json
+        .find(&marker)
+        .ok_or_else(|| format!("missing key {name:?}"))?;
+    let rest = &json[at + marker.len()..];
+    let open = rest
+        .find('{')
+        .ok_or_else(|| format!("{name:?} is not an object"))?;
+    let close = rest[open..]
+        .find('}')
+        .ok_or_else(|| format!("unterminated object for {name:?}"))?;
+    Ok(&rest[open..open + close + 1])
+}
+
+/// Extracts the raw (unparsed) scalar value text of `"name"`. Scalar
+/// values in this schema (numbers, `[A-Za-z0-9._x-]` strings) never
+/// contain `,` or `}`, so the value ends at the first of either.
+fn extract_raw<'j>(json: &'j str, name: &str) -> Result<&'j str, String> {
+    let marker = format!("\"{name}\":");
+    let at = json
+        .find(&marker)
+        .ok_or_else(|| format!("missing key {name:?}"))?;
+    let rest = &json[at + marker.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunArtifact {
+        let mut stats = SimStats {
+            cycles: 4242,
+            instructions: 99,
+            ..SimStats::default()
+        };
+        stats.walk.record(10, 20);
+        RunArtifact {
+            key: "bfs-fp100-0123456789abcdef".into(),
+            workload: "bfs-fp100".into(),
+            config: "0123456789abcdef".into(),
+            stats,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let a = sample();
+        let parsed = RunArtifact::from_json(&a.to_json()).expect("parse");
+        assert_eq!(parsed.key, a.key);
+        assert_eq!(parsed.workload, a.workload);
+        assert_eq!(parsed.config, a.config);
+        assert_eq!(parsed.stats.to_json(), a.stats.to_json());
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let bad = sample()
+            .to_json()
+            .replacen("\"schema\":1", "\"schema\":2", 1);
+        assert!(RunArtifact::from_json(&bad).is_err());
+    }
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-artifacts")
+            .join(format!("{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_and_load_round_trip() {
+        let dir = test_dir("round-trip");
+        let a = sample();
+        let path = a.write_to(&dir).expect("write");
+        assert!(path.ends_with("bfs-fp100-0123456789abcdef.json"));
+        let loaded = RunArtifact::load_from(&dir, &a.key).expect("load");
+        assert_eq!(loaded.stats.cycles, 4242);
+        // A different key misses.
+        assert!(RunArtifact::load_from(&dir, "other-key").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_miss() {
+        let dir = test_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(RunArtifact::path_in(&dir, "bad"), "{not json").unwrap();
+        assert!(RunArtifact::load_from(&dir, "bad").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

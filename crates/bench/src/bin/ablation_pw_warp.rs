@@ -12,7 +12,7 @@
 //!    suffice to feed every SM.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::irregular;
 
 /// A 4-benchmark representative subset keeps the sweeps affordable.
@@ -39,13 +39,48 @@ fn geo_speedup(
     geomean(&xs)
 }
 
+type ConfigTweak = Box<dyn Fn(&mut swgpu_sim::GpuConfig)>;
+
+/// Every SoftWalker configuration the three sweeps visit, as prefetch
+/// cells (mirrors the `geo_speedup` calls in `main`).
+fn sweep_cells(h: swgpu_bench::Harness) -> Vec<Cell> {
+    let mut tweaks: Vec<ConfigTweak> = Vec::new();
+    for threads in [4usize, 8, 16, 32, 64] {
+        tweaks.push(Box::new(move |c| {
+            c.pw_warp.threads = threads;
+            c.pw_warp.softpwb_entries = threads;
+        }));
+    }
+    for (setup, per_level) in [(1u32, 1u32), (6, 3), (12, 6), (24, 12), (48, 24)] {
+        tweaks.push(Box::new(move |c| {
+            c.pw_warp.setup_instrs = setup;
+            c.pw_warp.per_level_instrs = per_level;
+        }));
+    }
+    for rate in [1usize, 2, 4, 8] {
+        tweaks.push(Box::new(move |c| c.dispatches_per_cycle = rate));
+    }
+
+    let mut matrix = Vec::new();
+    for spec in subset() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for tweak in &tweaks {
+            let mut cfg = SystemConfig::SoftWalker.build(h.scale);
+            tweak(&mut cfg);
+            matrix.push(Cell::bench(&spec, cfg));
+        }
+    }
+    matrix
+}
+
 fn main() {
     let h = parse_args();
+    prefetch(&sweep_cells(h));
+
     let base_cycles: Vec<u64> = subset()
         .iter()
         .map(|spec| runner::run(spec, SystemConfig::Baseline, h.scale).cycles)
         .collect();
-    eprintln!("[ablation] baselines done");
 
     let mut t1 = Table::new(vec!["PW threads / SoftPWB".into(), "speedup".into()]);
     for threads in [4usize, 8, 16, 32, 64] {
@@ -54,7 +89,6 @@ fn main() {
             c.pw_warp.softpwb_entries = threads;
         });
         t1.row(vec![threads.to_string(), fmt_x(x)]);
-        eprintln!("[ablation] threads={threads} done");
     }
 
     let mut t2 = Table::new(vec!["setup/per-level instrs".into(), "speedup".into()]);
@@ -64,19 +98,19 @@ fn main() {
             c.pw_warp.per_level_instrs = per_level;
         });
         t2.row(vec![format!("{setup}/{per_level}"), fmt_x(x)]);
-        eprintln!("[ablation] instrs={setup}/{per_level} done");
     }
 
     let mut t3 = Table::new(vec!["dispatches/cycle".into(), "speedup".into()]);
     for rate in [1usize, 2, 4, 8] {
         let x = geo_speedup(h, &base_cycles, |c| c.dispatches_per_cycle = rate);
         t3.row(vec![rate.to_string(), fmt_x(x)]);
-        eprintln!("[ablation] dispatch={rate} done");
     }
 
     println!("Ablation 1 — PW threads per SM (paper fixes 32):\n");
     t1.print(h.csv);
-    println!("\nAblation 2 — walk-routine instruction overhead (paper's routine ≈ 6 setup + 3/level):\n");
+    println!(
+        "\nAblation 2 — walk-routine instruction overhead (paper's routine ≈ 6 setup + 3/level):\n"
+    );
     t2.print(h.csv);
     println!("\nAblation 3 — Request Distributor dispatch rate:\n");
     t3.print(h.csv);

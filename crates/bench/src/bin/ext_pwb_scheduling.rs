@@ -9,12 +9,22 @@
 //! percentages while SoftWalker moves multiples.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_ptw::PwbPolicy;
 use swgpu_workloads::irregular;
 
 fn main() {
     let h = parse_args();
+    let mut matrix = Vec::new();
+    for spec in irregular() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        let mut sched_cfg = SystemConfig::Baseline.build(h.scale);
+        sched_cfg.ptw.pwb_policy = PwbPolicy::WarpShortestFirst;
+        matrix.push(Cell::bench(&spec, sched_cfg));
+        matrix.push(Cell::bench(&spec, SystemConfig::SoftWalker.build(h.scale)));
+    }
+    prefetch(&matrix);
+
     let mut table = Table::new(vec![
         "bench".into(),
         "PW-sched [85]".into(),
@@ -34,12 +44,7 @@ fn main() {
         let x_sw = s_sw.speedup_over(&base);
         sched.push(x_sched);
         sw.push(x_sw);
-        table.row(vec![
-            spec.abbr.to_string(),
-            fmt_x(x_sched),
-            fmt_x(x_sw),
-        ]);
-        eprintln!("[ext-sched] {} done", spec.abbr);
+        table.row(vec![spec.abbr.to_string(), fmt_x(x_sched), fmt_x(x_sw)]);
     }
     table.row(vec![
         "geomean".into(),

@@ -6,37 +6,40 @@
 //! the walkers saturate; at 256 concurrent walks it is ~4x the
 //! single-walk latency.
 
-use swgpu_bench::{parse_args, Table};
-use swgpu_sim::{GpuConfig, GpuSimulator};
-use swgpu_workloads::microbench;
+use swgpu_bench::{parse_args, prefetch, Cell, Runner, Table};
+use swgpu_sim::GpuConfig;
 
 fn main() {
     let h = parse_args();
     let accesses_per_warp: u32 = 16;
+    let concurrency = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     let mut table = Table::new(vec![
         "concurrent walks".into(),
         "avg access latency (cyc)".into(),
         "vs 1 walk".into(),
     ]);
 
-    let mut first = None;
-    for concurrent in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+    let cell_at = |concurrent: usize| {
         let cfg = GpuConfig {
             sms: 32.min(concurrent.max(1)),
             max_warps: concurrent.div_ceil(32.min(concurrent.max(1))).max(1),
             ..GpuConfig::default()
         };
         let warps_per_sm = cfg.max_warps;
-        let wl = microbench(
+        Cell::micro(
+            cfg,
             concurrent,
             warps_per_sm,
             accesses_per_warp,
             4 * 1024 * 1024 * 1024,
-            cfg.page_size,
-        );
-        let footprint = wl.footprint_bytes();
-        let stats =
-            GpuSimulator::new_with_footprint(cfg, Box::new(wl), footprint).run();
+        )
+    };
+    let cells: Vec<Cell> = concurrency.iter().map(|&c| cell_at(c)).collect();
+    prefetch(&cells);
+
+    let mut first = None;
+    for (cell, &concurrent) in cells.iter().zip(&concurrency) {
+        let stats = Runner::global().get(cell);
         // Each single-lane warp issues its accesses serially, so per-access
         // latency is total runtime divided by the per-warp access count.
         let latency = stats.cycles as f64 / f64::from(accesses_per_warp);
@@ -46,7 +49,6 @@ fn main() {
             format!("{latency:.0}"),
             format!("{:.2}x", latency / base),
         ]);
-        eprintln!("[fig04] {concurrent} walks done");
     }
 
     println!("Figure 4 — memory access latency vs concurrent page walks (32-PTW baseline)");

@@ -6,12 +6,27 @@
 //! irregular apps need 256–1024.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::{table4, WorkloadClass};
 
 fn main() {
     let h = parse_args();
     let ptw_counts = [64usize, 128, 256, 512, 1024];
+
+    let mut matrix = Vec::new();
+    for spec in table4() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for &n in &ptw_counts {
+            let sys = SystemConfig::ScaledPtw {
+                walkers: n,
+                scale_mshrs: true,
+            };
+            matrix.push(Cell::bench(&spec, sys.build(h.scale)));
+        }
+        matrix.push(Cell::bench(&spec, SystemConfig::Ideal.build(h.scale)));
+    }
+    prefetch(&matrix);
+
     let mut headers = vec!["bench".to_string(), "class".to_string()];
     headers.extend(ptw_counts.iter().map(|n| format!("{n}PTW")));
     headers.push("Ideal".into());
@@ -48,7 +63,6 @@ fn main() {
         }
         cells.push(fmt_x(x));
         table.row(cells);
-        eprintln!("[fig05] {} done", spec.abbr);
     }
 
     let mut avg = vec!["geomean".to_string(), "all".to_string()];

@@ -7,45 +7,67 @@
 //! complementary to prior work.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
-use swgpu_workloads::table4;
+use swgpu_bench::{
+    geomean, parse_args, prefetch, runner, Cell, Runner, Scale, SystemConfig, Table,
+};
+use swgpu_workloads::{table4, BenchmarkSpec};
+
+/// The (config, footprint%) cell for `walkers` PTWs under one of the two
+/// prior techniques — must mirror `run_at` below exactly so the prefetch
+/// warms the same cache keys.
+fn cell_at(spec: &BenchmarkSpec, scale: Scale, walkers: usize, large_pages: bool) -> Cell {
+    let mut cfg = SystemConfig::ScaledPtw {
+        walkers,
+        scale_mshrs: true,
+    }
+    .build(scale);
+    let pct = if large_pages {
+        cfg = cfg.with_large_pages();
+        runner::LARGE_PAGE_FOOTPRINT_PERCENT
+    } else {
+        cfg.ptw.nha = true;
+        100
+    };
+    Cell::bench_scaled(spec, cfg, pct)
+}
 
 fn main() {
     let h = parse_args();
     let ptws = [32usize, 128, 512];
 
-    for (title, large_pages) in [("(a) with NHA coalescing", false), ("(b) with 2MB pages", true)] {
+    let mut matrix = Vec::new();
+    for spec in table4().into_iter().filter(|b| b.scalable) {
+        for large_pages in [false, true] {
+            for &n in &ptws {
+                matrix.push(cell_at(&spec, h.scale, n, large_pages));
+            }
+        }
+    }
+    prefetch(&matrix);
+
+    for (title, large_pages) in [
+        ("(a) with NHA coalescing", false),
+        ("(b) with 2MB pages", true),
+    ] {
         let mut headers = vec!["bench".to_string()];
         headers.extend(ptws.iter().map(|n| format!("{n}PTW")));
         let mut table = Table::new(headers);
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); ptws.len()];
 
         for spec in table4().into_iter().filter(|b| b.scalable) {
-            let run_at = |walkers: usize| {
-                let mut cfg = SystemConfig::ScaledPtw {
-                    walkers,
-                    scale_mshrs: true,
-                }
-                .build(h.scale);
-                let pct = if large_pages {
-                    cfg = cfg.with_large_pages();
-                    runner::LARGE_PAGE_FOOTPRINT_PERCENT
-                } else {
-                    cfg.ptw.nha = true;
-                    100
-                };
-                runner::run_config(&spec, cfg, pct)
-            };
-            let base = run_at(32);
+            let base = Runner::global().get(&cell_at(&spec, h.scale, 32, large_pages));
             let mut cells = vec![spec.abbr.to_string()];
             for (i, &n) in ptws.iter().enumerate() {
-                let s = if n == 32 { base.clone() } else { run_at(n) };
+                let s = if n == 32 {
+                    base.clone()
+                } else {
+                    Runner::global().get(&cell_at(&spec, h.scale, n, large_pages))
+                };
                 let x = s.speedup_over(&base);
                 cols[i].push(x);
                 cells.push(fmt_x(x));
             }
             table.row(cells);
-            eprintln!("[fig06{}] {} done", if large_pages { "b" } else { "a" }, spec.abbr);
         }
         let mut avg = vec!["geomean".to_string()];
         for c in &cols {

@@ -5,7 +5,7 @@
 //! walk latency for irregular applications.
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::irregular;
 
 fn main() {
@@ -39,6 +39,17 @@ fn main() {
     let mut q_tot = vec![0u64; configs.len()];
     let mut a_tot = vec![0u64; configs.len()];
 
+    let matrix: Vec<Cell> = irregular()
+        .iter()
+        .flat_map(|spec| {
+            configs
+                .iter()
+                .map(|(_, sys)| Cell::bench(spec, sys.build(h.scale)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    prefetch(&matrix);
+
     for spec in irregular() {
         for (i, (label, sys)) in configs.iter().enumerate() {
             let s = runner::run(&spec, *sys, h.scale);
@@ -52,7 +63,6 @@ fn main() {
             q_tot[i] += s.walk.queue_cycles;
             a_tot[i] += s.walk.access_cycles;
         }
-        eprintln!("[fig07] {} done", spec.abbr);
     }
     for (i, (label, _)) in configs.iter().enumerate() {
         let frac = q_tot[i] as f64 / (q_tot[i] + a_tot[i]).max(1) as f64;

@@ -5,11 +5,16 @@
 //! cycles are memory or scoreboard stalls.
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::{table4, WorkloadClass};
 
 fn main() {
     let h = parse_args();
+    let matrix: Vec<Cell> = table4()
+        .iter()
+        .map(|spec| Cell::bench(spec, SystemConfig::Baseline.build(h.scale)))
+        .collect();
+    prefetch(&matrix);
     let mut table = Table::new(vec![
         "bench".into(),
         "class".into(),
@@ -40,7 +45,6 @@ fn main() {
             WorkloadClass::Irregular => irr_stall.push(stalled),
             WorkloadClass::Regular => reg_stall.push(stalled),
         }
-        eprintln!("[fig08] {} done", spec.abbr);
     }
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

@@ -8,11 +8,14 @@
 //! same walk burst through all three configurations with lifecycle
 //! tracing enabled and renders the measured timelines.
 
-use swgpu_bench::{parse_args, Table};
-use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
-use swgpu_workloads::microbench;
+use swgpu_bench::{parse_args, prefetch, Cell, Runner, Table};
+use swgpu_sim::{GpuConfig, TranslationMode};
 
-fn run(mode: TranslationMode, label: &str) -> (String, SimStats) {
+/// A burst of 512 concurrent single-lane walkers, each walking fresh
+/// pages — deep enough to saturate 32 PTWs, the shape of the paper's
+/// Figure 9 sketch. The non-zero trace cap makes the runner simulate
+/// live (walk traces are not persisted in artifacts).
+fn cell(mode: TranslationMode) -> Cell {
     let cfg = GpuConfig {
         sms: 16,
         max_warps: 32,
@@ -20,15 +23,7 @@ fn run(mode: TranslationMode, label: &str) -> (String, SimStats) {
         walk_trace_cap: 4096,
         ..GpuConfig::default()
     };
-    // A burst of 512 concurrent single-lane walkers, each walking fresh
-    // pages — deep enough to saturate 32 PTWs, the shape of the paper's
-    // Figure 9 sketch.
-    let wl = microbench(512, 32, 4, 8 * 1024 * 1024 * 1024, cfg.page_size);
-    let footprint = wl.footprint_bytes();
-    (
-        label.to_string(),
-        GpuSimulator::new_with_footprint(cfg, Box::new(wl), footprint).run(),
-    )
+    Cell::micro(cfg, 512, 32, 4, 8 * 1024 * 1024 * 1024)
 }
 
 /// Renders one walk as `....QQQQAAAA` (queueing then access), scaled.
@@ -46,14 +41,21 @@ fn lane(rec: &swgpu_sim::WalkRecord, origin: u64, scale: u64) -> String {
 
 fn main() {
     let h = parse_args();
-    let runs = vec![
-        run(TranslationMode::IdealPtw, "ideal HW (enough PTWs)"),
-        run(TranslationMode::HardwarePtw, "baseline (32 PTWs)"),
-        run(
+    let scenarios = [
+        (TranslationMode::IdealPtw, "ideal HW (enough PTWs)"),
+        (TranslationMode::HardwarePtw, "baseline (32 PTWs)"),
+        (
             TranslationMode::SoftWalker { in_tlb_mshr: true },
             "SoftWalker",
         ),
     ];
+    let cells: Vec<Cell> = scenarios.iter().map(|&(mode, _)| cell(mode)).collect();
+    prefetch(&cells);
+    let runs: Vec<(String, swgpu_sim::SimStats)> = scenarios
+        .iter()
+        .zip(&cells)
+        .map(|(&(_, label), c)| (label.to_string(), Runner::global().get(c)))
+        .collect();
 
     let mut summary = Table::new(vec![
         "scenario".into(),
@@ -69,11 +71,7 @@ fn main() {
 
     for (label, s) in &runs {
         let recs = s.walk_trace.records();
-        let origin = recs
-            .iter()
-            .map(|r| r.issued_at.value())
-            .min()
-            .unwrap_or(0);
+        let origin = recs.iter().map(|r| r.issued_at.value()).min().unwrap_or(0);
         let horizon = recs
             .iter()
             .map(|r| r.completed_at.value())

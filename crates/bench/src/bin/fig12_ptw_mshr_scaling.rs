@@ -7,11 +7,11 @@
 //! 63.7%. Both must scale together.
 
 use swgpu_bench::report::{fmt_pct, fmt_x};
-use swgpu_bench::{geomean, parse_args, runner, Scale, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, Scale, SystemConfig, Table};
 use swgpu_sim::GpuConfig;
 use swgpu_workloads::{irregular, BenchmarkSpec};
 
-fn run(spec: &BenchmarkSpec, scale: Scale, sys: SystemConfig, large: bool) -> swgpu_sim::SimStats {
+fn cell(spec: &BenchmarkSpec, scale: Scale, sys: SystemConfig, large: bool) -> Cell {
     let mut cfg: GpuConfig = sys.build(scale);
     let pct = if large {
         cfg = cfg.with_large_pages();
@@ -19,17 +19,52 @@ fn run(spec: &BenchmarkSpec, scale: Scale, sys: SystemConfig, large: bool) -> sw
     } else {
         100
     };
-    runner::run_config(spec, cfg, pct)
+    Cell::bench_scaled(spec, cfg, pct)
+}
+
+fn run(spec: &BenchmarkSpec, scale: Scale, sys: SystemConfig, large: bool) -> swgpu_sim::SimStats {
+    swgpu_bench::Runner::global().get(&cell(spec, scale, sys, large))
+}
+
+/// Every system configuration one sub-figure sweeps.
+fn systems(factors: &[usize]) -> Vec<SystemConfig> {
+    let mut all = vec![SystemConfig::Baseline, SystemConfig::Ideal];
+    for &f in factors {
+        all.push(SystemConfig::ScaledPtw {
+            walkers: 32 * f,
+            scale_mshrs: false,
+        });
+        all.push(SystemConfig::ScaledMshr { entries: 128 * f });
+        all.push(SystemConfig::ScaledPtw {
+            walkers: 32 * f,
+            scale_mshrs: true,
+        });
+    }
+    all
 }
 
 fn main() {
     let h = parse_args();
     let factors = [2usize, 4, 8];
 
+    let mut matrix = Vec::new();
+    for large in [false, true] {
+        for spec in irregular() {
+            for sys in systems(&factors) {
+                matrix.push(cell(&spec, h.scale, sys, large));
+            }
+        }
+    }
+    prefetch(&matrix);
+
     for large in [false, true] {
         let page = if large { "2MB" } else { "64KB" };
         let mut headers = vec!["strategy".to_string()];
-        headers.extend(factors.iter().map(|f| format!("x{f} (={} PTWs/{} MSHRs)", 32 * f, 128 * f)));
+        headers.extend(
+            factors
+                .iter()
+                .map(|f| format!("x{f} (={} PTWs/{} MSHRs)", 32 * f, 128 * f)),
+        );
         headers.push("% of ideal @max".into());
         let mut table = Table::new(headers);
 
@@ -74,7 +109,6 @@ fn main() {
                 }
                 last_geo = geomean(&xs);
                 cells.push(fmt_x(last_geo));
-                eprintln!("[fig12 {page}] {name} x{f} done");
             }
             // "% of ideal": how much of the ideal's gain the strategy
             // captured at the largest factor.

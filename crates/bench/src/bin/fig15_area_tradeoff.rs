@@ -6,8 +6,14 @@
 
 use swgpu_area::{relative_area, softwalker_relative_area, PtwAreaConfig};
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, Scale, SystemConfig, Table};
-use swgpu_workloads::irregular;
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, Scale, SystemConfig, Table};
+use swgpu_workloads::{irregular, BenchmarkSpec};
+
+fn cell(spec: &BenchmarkSpec, sys: SystemConfig, ports: usize, scale: Scale) -> Cell {
+    let mut cfg = sys.build(scale);
+    cfg.ptw.pwb_ports = ports;
+    Cell::bench(spec, cfg)
+}
 
 fn speedup_geomean(sys: SystemConfig, ports: usize, scale: Scale, base_cycles: &[u64]) -> f64 {
     let mut xs = Vec::new();
@@ -30,12 +36,30 @@ fn main() {
         "speedup (geomean irregular)".into(),
     ]);
 
+    let hw_points: Vec<(usize, usize)> = [32usize, 64, 128, 256]
+        .iter()
+        .flat_map(|&w| [1usize, 2, 4].iter().map(move |&p| (w, p)))
+        .filter(|&(w, p)| !(w == 32 && p == 1))
+        .collect();
+    let mut matrix = Vec::new();
+    for spec in irregular() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for &(walkers, ports) in &hw_points {
+            let sys = SystemConfig::ScaledPtw {
+                walkers,
+                scale_mshrs: true,
+            };
+            matrix.push(cell(&spec, sys, ports, h.scale));
+        }
+        matrix.push(cell(&spec, SystemConfig::SoftWalker, 1, h.scale));
+    }
+    prefetch(&matrix);
+
     // Baselines once, reused for every configuration's speedup.
     let base_cycles: Vec<u64> = irregular()
         .iter()
         .map(|spec| runner::run(spec, SystemConfig::Baseline, h.scale).cycles)
         .collect();
-    eprintln!("[fig15] baselines done");
 
     for &walkers in &[32usize, 64, 128, 256] {
         for &ports in &[1usize, 2, 4] {
@@ -55,7 +79,6 @@ fn main() {
                 format!("{area:.1}"),
                 fmt_x(x),
             ]);
-            eprintln!("[fig15] {walkers}PTW/{ports}p done");
         }
     }
 

@@ -6,7 +6,7 @@
 //! SoftWalker 2.24x (3.94x irregular), Ideal 2.58x.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::{table4, WorkloadClass};
 
 fn main() {
@@ -19,6 +19,16 @@ fn main() {
         SystemConfig::Hybrid,
         SystemConfig::Ideal,
     ];
+
+    let mut matrix = Vec::new();
+    for spec in table4() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for sys in systems {
+            matrix.push(Cell::bench(&spec, sys.build(h.scale)));
+        }
+    }
+    prefetch(&matrix);
+
     let mut headers = vec!["bench".to_string(), "class".to_string()];
     headers.extend(systems.iter().map(|s| s.label()));
     let mut table = Table::new(headers);
@@ -39,7 +49,6 @@ fn main() {
             cells.push(fmt_x(x));
         }
         table.row(cells);
-        eprintln!("[fig16] {} done", spec.abbr);
     }
 
     let mut avg = vec!["geomean".to_string(), "all".to_string()];

@@ -6,7 +6,7 @@
 //! SM↔L2TLB communication.
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::{table4, WorkloadClass};
 
 fn main() {
@@ -16,7 +16,21 @@ fn main() {
         SystemConfig::FsHpt,
         SystemConfig::SoftWalker,
     ];
-    let mut headers = vec!["bench".to_string(), "class".to_string(), "base walk (cyc)".into()];
+
+    let mut matrix = Vec::new();
+    for spec in table4() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for sys in systems {
+            matrix.push(Cell::bench(&spec, sys.build(h.scale)));
+        }
+    }
+    prefetch(&matrix);
+
+    let mut headers = vec![
+        "bench".to_string(),
+        "class".to_string(),
+        "base walk (cyc)".into(),
+    ];
     for s in &systems {
         headers.push(format!("{} norm", s.label()));
         headers.push(format!("{} queue-share", s.label()));
@@ -49,7 +63,6 @@ fn main() {
             cells.push(fmt_pct(s.walk.queue_fraction()));
         }
         table.row(cells);
-        eprintln!("[fig18] {} done", spec.abbr);
     }
 
     println!("Figure 18 — normalized page-walk latency (1.0 = baseline)");

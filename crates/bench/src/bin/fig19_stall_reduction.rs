@@ -5,11 +5,19 @@
 //! regular apps can see up to +10% more stalls (negative reduction).
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::{table4, WorkloadClass};
 
 fn main() {
     let h = parse_args();
+    let matrix: Vec<Cell> = table4()
+        .iter()
+        .flat_map(|spec| {
+            [SystemConfig::Baseline, SystemConfig::SoftWalker]
+                .map(|sys| Cell::bench(spec, sys.build(h.scale)))
+        })
+        .collect();
+    prefetch(&matrix);
     let mut table = Table::new(vec![
         "bench".into(),
         "class".into(),
@@ -35,7 +43,6 @@ fn main() {
             WorkloadClass::Irregular => irr.push(red),
             WorkloadClass::Regular => reg.push(red),
         }
-        eprintln!("[fig19] {} done", spec.abbr);
     }
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

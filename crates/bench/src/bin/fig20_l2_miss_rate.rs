@@ -6,11 +6,19 @@
 //! underutilized (irregular apps use only ~6.7% of DRAM bandwidth).
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::{table4, WorkloadClass};
 
 fn main() {
     let h = parse_args();
+    let matrix: Vec<Cell> = table4()
+        .iter()
+        .flat_map(|spec| {
+            [SystemConfig::Baseline, SystemConfig::SoftWalker]
+                .map(|sys| Cell::bench(spec, sys.build(h.scale)))
+        })
+        .collect();
+    prefetch(&matrix);
     let mut table = Table::new(vec![
         "bench".into(),
         "class".into(),
@@ -39,12 +47,14 @@ fn main() {
         if spec.class == WorkloadClass::Irregular {
             base_utils.push(base.dram_utilization);
         }
-        eprintln!("[fig20] {} done", spec.abbr);
     }
 
     println!("Figure 20 — L2 data cache miss rate (baseline vs SoftWalker)");
     println!("(paper: miss rate unchanged; baseline irregular DRAM utilization ~6.7%)\n");
     table.print(h.csv);
     let avg = base_utils.iter().sum::<f64>() / base_utils.len().max(1) as f64;
-    println!("mean baseline DRAM utilization (irregular): {}", fmt_pct(avg));
+    println!(
+        "mean baseline DRAM utilization (irregular): {}",
+        fmt_pct(avg)
+    );
 }

@@ -7,7 +7,7 @@
 //! pollute the L2 TLB while walkers, not MSHRs, are the bottleneck.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::irregular;
 
 fn main() {
@@ -33,6 +33,15 @@ fn main() {
     headers.extend(labels.iter().map(|s| s.to_string()));
     let mut table = Table::new(headers);
 
+    let mut matrix = Vec::new();
+    for spec in irregular() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for sys in systems {
+            matrix.push(Cell::bench(&spec, sys.build(h.scale)));
+        }
+    }
+    prefetch(&matrix);
+
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
     for spec in irregular() {
         let base = runner::run(&spec, SystemConfig::Baseline, h.scale);
@@ -44,7 +53,6 @@ fn main() {
             cells.push(fmt_x(x));
         }
         table.row(cells);
-        eprintln!("[fig21] {} done", spec.abbr);
     }
     let mut avg = vec!["geomean".to_string()];
     for c in &cols {

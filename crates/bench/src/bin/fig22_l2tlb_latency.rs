@@ -6,7 +6,7 @@
 //! because queueing (not communication) dominates baseline walk latency.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::table4;
 
 fn main() {
@@ -15,6 +15,17 @@ fn main() {
     let mut headers = vec!["bench".to_string()];
     headers.extend(latencies.iter().map(|l| format!("{l}cyc")));
     let mut table = Table::new(headers);
+
+    let mut matrix = Vec::new();
+    for spec in table4() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for &lat in &latencies {
+            let mut cfg = SystemConfig::SoftWalker.build(h.scale);
+            cfg.l2_tlb_latency = lat;
+            matrix.push(Cell::bench(&spec, cfg));
+        }
+    }
+    prefetch(&matrix);
 
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
     for spec in table4() {
@@ -31,7 +42,6 @@ fn main() {
             cells.push(fmt_x(x));
         }
         table.row(cells);
-        eprintln!("[fig22] {} done", spec.abbr);
     }
     let mut avg = vec!["geomean".to_string()];
     for c in &cols {

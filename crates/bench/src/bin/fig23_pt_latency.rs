@@ -7,7 +7,7 @@
 //! baseline's queues.
 
 use swgpu_bench::report::{fmt_pct, fmt_x};
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::irregular;
 
 fn main() {
@@ -18,6 +18,19 @@ fn main() {
         "speedup (geomean irregular)".into(),
         "queue-delay reduction".into(),
     ]);
+
+    let mut matrix = Vec::new();
+    for &lat in &latencies {
+        for spec in irregular() {
+            for sys in [SystemConfig::Baseline, SystemConfig::SoftWalker] {
+                matrix.push(Cell::bench(
+                    &spec,
+                    sys.build(h.scale).with_fixed_walk_latency(lat),
+                ));
+            }
+        }
+    }
+    prefetch(&matrix);
 
     for &lat in &latencies {
         let mut speedups = Vec::new();
@@ -40,7 +53,6 @@ fn main() {
             fmt_x(geomean(&speedups)),
             fmt_pct(red),
         ]);
-        eprintln!("[fig23] {lat} cyc done");
     }
 
     println!("Figure 23 — impact of per-level page-table access latency (irregular set)");

@@ -7,7 +7,7 @@
 //! misses contend within a few sets.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::table4;
 
 fn main() {
@@ -16,6 +16,16 @@ fn main() {
     let mut headers = vec!["bench".to_string()];
     headers.extend(capacities.iter().map(|c| format!("InTLB={c}")));
     let mut table = Table::new(headers);
+
+    let mut matrix = Vec::new();
+    for spec in table4() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for &cap in &capacities {
+            let sys = SystemConfig::SwWithCapacity { in_tlb_max: cap };
+            matrix.push(Cell::bench(&spec, sys.build(h.scale)));
+        }
+    }
+    prefetch(&matrix);
 
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); capacities.len()];
     for spec in table4() {
@@ -32,7 +42,6 @@ fn main() {
             cells.push(fmt_x(x));
         }
         table.row(cells);
-        eprintln!("[fig24] {} done", spec.abbr);
     }
     let mut avg = vec!["geomean".to_string()];
     for c in &cols {

@@ -6,7 +6,7 @@
 //! gesv 2.29x, and xsb/spmv/gups keep large 5.1x/4.5x/7.0x gains.
 
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::table4;
 
 fn main() {
@@ -17,14 +17,25 @@ fn main() {
         "speedup (2MB pages)".into(),
     ]);
 
+    let matrix: Vec<Cell> = table4()
+        .iter()
+        .filter(|b| b.scalable)
+        .flat_map(|spec| {
+            [SystemConfig::Baseline, SystemConfig::SoftWalker].map(|sys| {
+                Cell::bench_scaled(
+                    spec,
+                    sys.build(h.scale).with_large_pages(),
+                    runner::LARGE_PAGE_FOOTPRINT_PERCENT,
+                )
+            })
+        })
+        .collect();
+    prefetch(&matrix);
+
     let mut speedups = Vec::new();
     for spec in table4().into_iter().filter(|b| b.scalable) {
-        let base_cfg = SystemConfig::Baseline
-            .build(h.scale)
-            .with_large_pages();
-        let sw_cfg = SystemConfig::SoftWalker
-            .build(h.scale)
-            .with_large_pages();
+        let base_cfg = SystemConfig::Baseline.build(h.scale).with_large_pages();
+        let sw_cfg = SystemConfig::SoftWalker.build(h.scale).with_large_pages();
         let pct = runner::LARGE_PAGE_FOOTPRINT_PERCENT;
         let base = runner::run_config(&spec, base_cfg, pct);
         let sw = runner::run_config(&spec, sw_cfg, pct);
@@ -35,7 +46,6 @@ fn main() {
             format!("{}x", pct / 100),
             fmt_x(x),
         ]);
-        eprintln!("[fig25] {} done", spec.abbr);
     }
 
     println!("Figure 25 — SoftWalker speedup with 2 MB pages (scaled footprints)");

@@ -7,7 +7,7 @@
 
 use softwalker::DistributorPolicy;
 use swgpu_bench::report::fmt_x;
-use swgpu_bench::{geomean, parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{geomean, parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::irregular;
 
 fn main() {
@@ -17,6 +17,17 @@ fn main() {
         ("Random", DistributorPolicy::Random),
         ("StallAware", DistributorPolicy::StallAware),
     ];
+
+    let mut matrix = Vec::new();
+    for spec in irregular() {
+        matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
+        for (_, policy) in policies {
+            let mut cfg = SystemConfig::SoftWalker.build(h.scale);
+            cfg.distributor_policy = policy;
+            matrix.push(Cell::bench(&spec, cfg));
+        }
+    }
+    prefetch(&matrix);
     let mut headers = vec!["bench".to_string()];
     headers.extend(policies.iter().map(|(n, _)| n.to_string()));
     let mut table = Table::new(headers);
@@ -35,7 +46,6 @@ fn main() {
             cells.push(fmt_x(x));
         }
         table.row(cells);
-        eprintln!("[fig26] {} done", spec.abbr);
     }
     let mut avg = vec!["geomean".to_string()];
     for c in &cols {

@@ -8,8 +8,14 @@ fn main() {
     let c = GpuConfig::default();
     let mut t = Table::new(vec!["component".into(), "parameter".into()]);
     t.row(vec!["# of SMs".into(), format!("{} SMs", c.sms)]);
-    t.row(vec!["Clock frequency".into(), "1500 MHz (all latencies in core cycles)".into()]);
-    t.row(vec!["Max # of warps".into(), format!("{} warps per SM", c.max_warps)]);
+    t.row(vec![
+        "Clock frequency".into(),
+        "1500 MHz (all latencies in core cycles)".into(),
+    ]);
+    t.row(vec![
+        "Max # of warps".into(),
+        format!("{} warps per SM", c.max_warps),
+    ]);
     t.row(vec![
         "L1 TLB (per SM)".into(),
         format!(
@@ -60,7 +66,10 @@ fn main() {
             c.dram.channels, c.dram.service_cycles, c.dram.latency
         ),
     ]);
-    t.row(vec!["Page table".into(), "four-level radix page table".into()]);
+    t.row(vec![
+        "Page table".into(),
+        "four-level radix page table".into(),
+    ]);
     t.row(vec![
         "Page walk cache".into(),
         format!("{} entries, fully-associative", c.pwc_entries),

@@ -6,11 +6,16 @@
 //! above regular ones, matching the paper's classification boundary
 //! (required PTWs > 32).
 
-use swgpu_bench::{parse_args, runner, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
 use swgpu_workloads::table4;
 
 fn main() {
     let h = parse_args();
+    let matrix: Vec<Cell> = table4()
+        .iter()
+        .map(|spec| Cell::bench(spec, SystemConfig::Baseline.build(h.scale)))
+        .collect();
+    prefetch(&matrix);
     let mut table = Table::new(vec![
         "name".into(),
         "abbr".into(),
@@ -36,7 +41,6 @@ fn main() {
             format!("{:.1}%", s.l1_tlb.hit_rate() * 100.0),
             format!("{:.1}%", s.l2_tlb.hit_rate() * 100.0),
         ]);
-        eprintln!("[table4] {} done", spec.abbr);
     }
 
     println!("Table 4 — benchmarks (paper values vs this reproduction's synthetic streams)");

@@ -2,8 +2,8 @@
 //! In-TLB MSHR's pending bits, as the paper reports them.
 
 use swgpu_area::{
-    cam_area, controller_bitmap_bits, in_tlb_pending_bits, ptw_subsystem_area,
-    relative_area, softwalker_bits_per_sm, softwalker_relative_area, PtwAreaConfig,
+    cam_area, controller_bitmap_bits, in_tlb_pending_bits, ptw_subsystem_area, relative_area,
+    softwalker_bits_per_sm, softwalker_relative_area, PtwAreaConfig,
 };
 use swgpu_bench::Table;
 
@@ -46,10 +46,7 @@ fn main() {
     ]);
     t.row(vec![
         "PWB CAM, 1 -> 4 ports (area ratio)".into(),
-        format!(
-            "{:.1}x",
-            cam_area(128, 96, 4) / cam_area(128, 96, 1)
-        ),
+        format!("{:.1}x", cam_area(128, 96, 4) / cam_area(128, 96, 1)),
         "super-linear port scaling".into(),
     ]);
 

@@ -15,8 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod report;
 pub mod runner;
 
+pub use artifact::RunArtifact;
 pub use report::{geomean, Table};
-pub use runner::{parse_args, Harness, Scale, SystemConfig};
+pub use runner::{
+    parse_args, prefetch, Cell, CellWorkload, Harness, Runner, RunnerCounters, Scale, SystemConfig,
+};

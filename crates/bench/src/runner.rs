@@ -1,8 +1,31 @@
-//! Shared simulation runners for the figure harnesses.
+//! The shared experiment runner for the figure harnesses.
+//!
+//! Every figure/table binary executes its `(GpuConfig, workload)` cells
+//! through one process-wide [`Runner`], which provides:
+//!
+//! * **Parallelism** — [`Runner::run_cells`] executes cells on a
+//!   `std::thread::scope` worker pool sized by `--jobs N` (default: all
+//!   available cores). Binaries declare their full cell matrix up front
+//!   via [`prefetch`], then format results through the (now warm) cache.
+//! * **Memoization** — completed runs are cached in-process *and* on disk
+//!   under `target/swgpu-runs/` (override with `SWGPU_RUN_CACHE`), keyed
+//!   by workload identity + [`GpuConfig::fingerprint`]. Running `fig16`
+//!   then `fig18` repeats no baseline simulation. `--refresh` ignores and
+//!   rewrites disk entries; `--no-cache` disables the disk cache.
+//! * **Artifacts & observability** — each simulated cell is persisted as
+//!   a JSON [`crate::artifact::RunArtifact`] and reported with a progress
+//!   line; batch summaries include the cache-hit split.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::artifact::RunArtifact;
 use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
 use swgpu_types::PageSize;
-use swgpu_workloads::{BenchmarkSpec, WorkloadParams};
+use swgpu_workloads::{by_abbr, microbench, BenchmarkSpec, WorkloadParams};
 
 /// Run sizing: the full Table 3 machine, or a reduced one for iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,12 +69,35 @@ pub struct Harness {
     pub scale: Scale,
     /// Emit CSV after the table.
     pub csv: bool,
+    /// Worker threads for the experiment runner (`--jobs N`; default
+    /// available parallelism).
+    pub jobs: usize,
+    /// Ignore existing disk-cache entries and rewrite them (`--refresh`).
+    pub refresh: bool,
+    /// Disable the on-disk run cache entirely (`--no-cache`).
+    pub no_cache: bool,
 }
 
-/// Parses the common `--quick` / `--csv` flags (unknown flags are
-/// ignored so binaries can add their own).
+/// Parses the common harness flags (unknown flags are ignored so
+/// binaries can add their own): `--quick`, `--csv`, `--jobs N`,
+/// `--refresh`, `--no-cache`.
 pub fn parse_args() -> Harness {
-    let args: Vec<String> = std::env::args().collect();
+    parse_arg_list(std::env::args().skip(1))
+}
+
+fn parse_arg_list(args: impl Iterator<Item = String>) -> Harness {
+    let args: Vec<String> = args.collect();
+    let jobs_value = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--jobs=").map(str::to_string))
+        });
+    let jobs = jobs_value
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(default_jobs);
     Harness {
         scale: if args.iter().any(|a| a == "--quick") {
             Scale::Quick
@@ -59,7 +105,17 @@ pub fn parse_args() -> Harness {
             Scale::Full
         },
         csv: args.iter().any(|a| a == "--csv"),
+        jobs: jobs.max(1),
+        refresh: args.iter().any(|a| a == "--refresh"),
+        no_cache: args.iter().any(|a| a == "--no-cache"),
     }
+}
+
+/// Default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// One of the named system configurations the paper compares. Everything
@@ -173,6 +229,348 @@ impl SystemConfig {
     }
 }
 
+/// The workload half of an experiment cell. Closure-free by design: a
+/// workload must be *keyable* (for the run cache) and *rebuildable on a
+/// worker thread*, neither of which a `FnOnce` tweak can provide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellWorkload {
+    /// A Table 4 benchmark, with its footprint scaled to
+    /// `footprint_percent`% of the Table 4 size (100 = as published).
+    Bench {
+        /// The benchmark abbreviation (`by_abbr` key, e.g. `"bfs"`).
+        abbr: String,
+        /// Footprint scale in percent (Figures 6/25 sweep this).
+        footprint_percent: u64,
+    },
+    /// The Figure 4/9 synthetic walk-contention microbenchmark.
+    Micro {
+        /// Concurrent single-lane walker warps.
+        concurrent: usize,
+        /// Warps packed per SM.
+        warps_per_sm: usize,
+        /// Accesses each warp issues.
+        accesses_per_warp: u32,
+        /// Virtual footprint the accesses stride across.
+        footprint_bytes: u64,
+    },
+}
+
+impl CellWorkload {
+    /// A stable, filesystem-safe identity string for this workload.
+    pub fn key(&self) -> String {
+        match self {
+            CellWorkload::Bench {
+                abbr,
+                footprint_percent,
+            } => format!("{abbr}-fp{footprint_percent}"),
+            CellWorkload::Micro {
+                concurrent,
+                warps_per_sm,
+                accesses_per_warp,
+                footprint_bytes,
+            } => format!(
+                "micro-c{concurrent}-w{warps_per_sm}-a{accesses_per_warp}-f{footprint_bytes}"
+            ),
+        }
+    }
+}
+
+/// One experiment cell: a complete simulator configuration plus the
+/// workload identity to drive through it. Cells are the unit of
+/// scheduling, memoization, and artifact persistence.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The full simulator configuration (fingerprinted for the cache key).
+    pub cfg: GpuConfig,
+    /// The workload to run.
+    pub workload: CellWorkload,
+}
+
+impl Cell {
+    /// A benchmark cell at the published (100%) footprint.
+    pub fn bench(spec: &BenchmarkSpec, cfg: GpuConfig) -> Self {
+        Self::bench_scaled(spec, cfg, 100)
+    }
+
+    /// A benchmark cell with a scaled footprint.
+    pub fn bench_scaled(spec: &BenchmarkSpec, cfg: GpuConfig, footprint_percent: u64) -> Self {
+        Cell {
+            cfg,
+            workload: CellWorkload::Bench {
+                abbr: spec.abbr.to_string(),
+                footprint_percent,
+            },
+        }
+    }
+
+    /// A microbenchmark cell (page size comes from `cfg`).
+    pub fn micro(
+        cfg: GpuConfig,
+        concurrent: usize,
+        warps_per_sm: usize,
+        accesses_per_warp: u32,
+        footprint_bytes: u64,
+    ) -> Self {
+        Cell {
+            cfg,
+            workload: CellWorkload::Micro {
+                concurrent,
+                warps_per_sm,
+                accesses_per_warp,
+                footprint_bytes,
+            },
+        }
+    }
+
+    /// The cell's cache key: `<workload key>-<config fingerprint>`.
+    pub fn key(&self) -> String {
+        format!("{}-{}", self.workload.key(), self.cfg.fingerprint())
+    }
+
+    /// Runs the simulation for this cell (no caching — see [`Runner`]).
+    pub fn simulate(&self) -> SimStats {
+        let cfg = self.cfg.clone();
+        match &self.workload {
+            CellWorkload::Bench {
+                abbr,
+                footprint_percent,
+            } => {
+                let spec = by_abbr(abbr)
+                    .unwrap_or_else(|| panic!("unknown benchmark abbreviation {abbr:?}"));
+                let wl = spec.build(WorkloadParams {
+                    sms: cfg.sms,
+                    warps_per_sm: cfg.max_warps,
+                    mem_instrs_per_warp: match cfg.sms {
+                        0..=16 => Scale::Quick.mem_instrs(),
+                        _ => Scale::Full.mem_instrs(),
+                    },
+                    footprint_percent: *footprint_percent,
+                    page_size: cfg.page_size,
+                });
+                GpuSimulator::new(cfg, Box::new(wl)).run()
+            }
+            CellWorkload::Micro {
+                concurrent,
+                warps_per_sm,
+                accesses_per_warp,
+                footprint_bytes,
+            } => {
+                let wl = microbench(
+                    *concurrent,
+                    *warps_per_sm,
+                    *accesses_per_warp,
+                    *footprint_bytes,
+                    cfg.page_size,
+                );
+                let footprint = wl.footprint_bytes();
+                GpuSimulator::new_with_footprint(cfg, Box::new(wl), footprint).run()
+            }
+        }
+    }
+}
+
+/// Where the runner resolved a cell's result from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// Fresh simulation this process.
+    Simulated,
+    /// In-process memo hit.
+    Memo,
+    /// On-disk artifact hit (possibly written by another binary).
+    Disk,
+}
+
+impl CellSource {
+    fn label(self) -> &'static str {
+        match self {
+            CellSource::Simulated => "sim",
+            CellSource::Memo => "memo",
+            CellSource::Disk => "cache",
+        }
+    }
+}
+
+/// Cache-hit accounting for a [`Runner`] (cumulative per process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerCounters {
+    /// Cells actually simulated.
+    pub simulated: u64,
+    /// Cells served from the in-process memo.
+    pub memo_hits: u64,
+    /// Cells served from on-disk artifacts.
+    pub disk_hits: u64,
+}
+
+impl RunnerCounters {
+    /// Total cell resolutions.
+    pub fn total(&self) -> u64 {
+        self.simulated + self.memo_hits + self.disk_hits
+    }
+}
+
+/// The shared experiment runner: a worker pool over a two-level
+/// (in-process + on-disk) run cache. See the module docs for the
+/// behaviour summary.
+pub struct Runner {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    refresh: bool,
+    memo: Mutex<HashMap<String, SimStats>>,
+    counters: Mutex<RunnerCounters>,
+}
+
+impl Runner {
+    /// Builds a runner. `cache_dir: None` disables the disk cache;
+    /// `refresh` ignores (and overwrites) existing disk entries.
+    pub fn new(jobs: usize, cache_dir: Option<PathBuf>, refresh: bool) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            cache_dir,
+            refresh,
+            memo: Mutex::new(HashMap::new()),
+            counters: Mutex::new(RunnerCounters::default()),
+        }
+    }
+
+    /// Builds a runner from parsed harness flags.
+    pub fn from_harness(h: &Harness) -> Self {
+        let dir = (!h.no_cache).then(default_cache_dir);
+        Self::new(h.jobs, dir, h.refresh)
+    }
+
+    /// The process-wide runner every figure binary shares, configured
+    /// from the command line on first use.
+    pub fn global() -> &'static Runner {
+        static GLOBAL: OnceLock<Runner> = OnceLock::new();
+        GLOBAL.get_or_init(|| Runner::from_harness(&parse_args()))
+    }
+
+    /// Cache-hit accounting so far.
+    pub fn counters(&self) -> RunnerCounters {
+        *self.counters.lock().unwrap()
+    }
+
+    /// Resolves one cell: memo, then disk, then simulation. The result is
+    /// memoized and (for fresh simulations) persisted as an artifact.
+    pub fn get(&self, cell: &Cell) -> SimStats {
+        self.resolve(cell).0
+    }
+
+    fn resolve(&self, cell: &Cell) -> (SimStats, CellSource) {
+        let key = cell.key();
+        if let Some(stats) = self.memo.lock().unwrap().get(&key).cloned() {
+            self.counters.lock().unwrap().memo_hits += 1;
+            return (stats, CellSource::Memo);
+        }
+        // Walk traces are not serialized, so cells that need them (a
+        // non-zero trace cap) must simulate live; their artifacts are
+        // still written for external tooling.
+        let disk_readable = !self.refresh && cell.cfg.walk_trace_cap == 0;
+        if disk_readable {
+            if let Some(dir) = &self.cache_dir {
+                if let Some(artifact) = RunArtifact::load_from(dir, &key) {
+                    self.counters.lock().unwrap().disk_hits += 1;
+                    self.memo
+                        .lock()
+                        .unwrap()
+                        .insert(key, artifact.stats.clone());
+                    return (artifact.stats, CellSource::Disk);
+                }
+            }
+        }
+        let stats = cell.simulate();
+        if let Some(dir) = &self.cache_dir {
+            let artifact = RunArtifact {
+                key: key.clone(),
+                workload: cell.workload.key(),
+                config: cell.cfg.fingerprint(),
+                stats: stats.clone(),
+            };
+            if let Err(e) = artifact.write_to(dir) {
+                eprintln!("[runner] warning: failed to write artifact {key}: {e}");
+            }
+        }
+        self.counters.lock().unwrap().simulated += 1;
+        self.memo.lock().unwrap().insert(key, stats.clone());
+        (stats, CellSource::Simulated)
+    }
+
+    /// Executes a batch of cells on the worker pool and returns their
+    /// stats in input order. Cells sharing a key (e.g. one baseline
+    /// compared against many systems) are resolved once.
+    pub fn run_cells(&self, cells: &[Cell]) -> Vec<SimStats> {
+        let mut keys = Vec::with_capacity(cells.len());
+        let mut unique: Vec<&Cell> = Vec::new();
+        {
+            let mut seen: HashMap<String, ()> = HashMap::new();
+            for cell in cells {
+                let key = cell.key();
+                if seen.insert(key.clone(), ()).is_none() {
+                    unique.push(cell);
+                }
+                keys.push(key);
+            }
+        }
+        let total = unique.len();
+        let workers = self.jobs.min(total.max(1));
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let batch_start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let cell = unique[i];
+                    let cell_start = Instant::now();
+                    let (_, source) = self.resolve(cell);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "[runner] {finished}/{total} {} ({}, {:.2}s)",
+                        cell.key(),
+                        source.label(),
+                        cell_start.elapsed().as_secs_f64()
+                    );
+                });
+            }
+        });
+        let c = self.counters();
+        eprintln!(
+            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits",
+            cells.len(),
+            total,
+            batch_start.elapsed().as_secs_f64(),
+            workers,
+            c.simulated,
+            c.memo_hits,
+            c.disk_hits
+        );
+        let memo = self.memo.lock().unwrap();
+        keys.iter().map(|k| memo[k].clone()).collect()
+    }
+}
+
+/// The on-disk run cache directory: `$SWGPU_RUN_CACHE` when set, else
+/// the workspace's `target/swgpu-runs/` (anchored to the source tree, not
+/// the working directory, so every binary shares one cache).
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("SWGPU_RUN_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/swgpu-runs")
+        })
+}
+
+/// Warms the global runner's cache for `cells` in parallel. Binaries
+/// declare their full cell matrix up front, prefetch it, then keep their
+/// (serial) formatting loops — every subsequent [`run`]/[`run_with`]/
+/// [`run_config`] call hits the memo.
+pub fn prefetch(cells: &[Cell]) {
+    Runner::global().run_cells(cells);
+}
+
 /// Runs one benchmark under one system configuration.
 pub fn run(spec: &BenchmarkSpec, system: SystemConfig, scale: Scale) -> SimStats {
     run_with(spec, system, scale, |c| c)
@@ -180,6 +578,8 @@ pub fn run(spec: &BenchmarkSpec, system: SystemConfig, scale: Scale) -> SimStats
 
 /// Runs one benchmark under one system configuration, letting the caller
 /// tweak the configuration (latency sweeps, page size, footprint scale).
+/// The tweaked configuration is fingerprinted, so every distinct tweak is
+/// a distinct cache cell.
 pub fn run_with(
     spec: &BenchmarkSpec,
     system: SystemConfig,
@@ -193,17 +593,7 @@ pub fn run_with(
 /// Runs one benchmark under an explicit configuration with a footprint
 /// percentage (Figures 6/25 scale footprints).
 pub fn run_config(spec: &BenchmarkSpec, cfg: GpuConfig, footprint_percent: u64) -> SimStats {
-    let wl = spec.build(WorkloadParams {
-        sms: cfg.sms,
-        warps_per_sm: cfg.max_warps,
-        mem_instrs_per_warp: match cfg.sms {
-            0..=16 => Scale::Quick.mem_instrs(),
-            _ => Scale::Full.mem_instrs(),
-        },
-        footprint_percent,
-        page_size: cfg.page_size,
-    });
-    GpuSimulator::new(cfg, Box::new(wl)).run()
+    Runner::global().get(&Cell::bench_scaled(spec, cfg, footprint_percent))
 }
 
 /// The footprint multiplier used when running with 2 MB pages: the paper
@@ -262,5 +652,50 @@ mod tests {
         let s = run(&spec, SystemConfig::Baseline, Scale::Quick);
         assert!(!s.timed_out);
         assert!(s.instructions > 0);
+    }
+
+    #[test]
+    fn parse_jobs_flag_forms() {
+        let parse = |args: &[&str]| parse_arg_list(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--jobs", "3"]).jobs, 3);
+        assert_eq!(parse(&["--jobs=5", "--quick"]).jobs, 5);
+        assert_eq!(parse(&["--jobs", "0"]).jobs, 1, "jobs is clamped to >= 1");
+        let h = parse(&["--quick", "--csv", "--refresh", "--no-cache"]);
+        assert_eq!(h.scale, Scale::Quick);
+        assert!(h.csv && h.refresh && h.no_cache);
+        assert_eq!(h.jobs, default_jobs());
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_distinct() {
+        let spec = by_abbr("bfs").unwrap();
+        let cfg = SystemConfig::Baseline.build(Scale::Quick);
+        let a = Cell::bench(&spec, cfg.clone());
+        let b = Cell::bench(&spec, cfg.clone());
+        assert_eq!(a.key(), b.key(), "same cell, same key");
+        assert!(a.key().starts_with("bfs-fp100-"));
+        let sw = Cell::bench(&spec, SystemConfig::SoftWalker.build(Scale::Quick));
+        assert_ne!(a.key(), sw.key(), "different config, different key");
+        let scaled = Cell::bench_scaled(&spec, cfg.clone(), 200);
+        assert_ne!(a.key(), scaled.key(), "different footprint, different key");
+        let micro = Cell::micro(cfg, 4, 4, 4, 1 << 20);
+        assert!(micro.key().starts_with("micro-c4-w4-a4-f1048576-"));
+    }
+
+    #[test]
+    fn runner_dedups_and_memoizes() {
+        let spec = by_abbr("gemm").unwrap();
+        let cell = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let runner = Runner::new(2, None, false);
+        // Four copies of the same cell: one simulation, in-batch dedup.
+        let out = runner.run_cells(&vec![cell.clone(); 4]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(runner.counters().simulated, 1);
+        assert_eq!(runner.counters().memo_hits, 0);
+        // A repeat batch is all memo hits.
+        runner.run_cells(std::slice::from_ref(&cell));
+        assert_eq!(runner.counters().simulated, 1);
+        assert_eq!(runner.counters().memo_hits, 1);
+        assert_eq!(out[0].to_json(), runner.get(&cell).to_json());
     }
 }

@@ -1,0 +1,122 @@
+//! Regression tests for the experiment runner's headline guarantees:
+//!
+//! 1. **Determinism under parallelism** — running the same cell matrix on
+//!    one worker and on four workers yields byte-identical per-cell
+//!    `SimStats::to_json` output.
+//! 2. **Cache behaviour** — a second invocation over the same matrix
+//!    resolves 100% from cache (in-process memo within a runner, on-disk
+//!    artifacts across runners), with zero re-simulation.
+
+use std::path::PathBuf;
+
+use swgpu_bench::{Cell, Runner, Scale, SystemConfig};
+use swgpu_workloads::by_abbr;
+
+/// A fresh per-test scratch directory inside the workspace `target/`.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-artifacts")
+        .join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Two benchmarks x two translation modes at quick scale — the smallest
+/// matrix the acceptance criteria call for.
+fn matrix() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for abbr in ["bfs", "gemm"] {
+        let spec = by_abbr(abbr).expect("known benchmark");
+        for sys in [SystemConfig::Baseline, SystemConfig::SoftWalker] {
+            cells.push(Cell::bench(&spec, sys.build(Scale::Quick)));
+        }
+    }
+    cells
+}
+
+#[test]
+fn results_are_byte_identical_across_jobs_1_and_4() {
+    let cells = matrix();
+    let serial = Runner::new(1, None, false).run_cells(&cells);
+    let parallel = Runner::new(4, None, false).run_cells(&cells);
+    assert_eq!(serial.len(), parallel.len());
+    for ((s, p), cell) in serial.iter().zip(&parallel).zip(&cells) {
+        assert_eq!(
+            s.to_json(),
+            p.to_json(),
+            "cell {} diverged between --jobs 1 and --jobs 4",
+            cell.key()
+        );
+    }
+}
+
+#[test]
+fn second_invocation_is_all_memo_hits() {
+    let cells = matrix();
+    let runner = Runner::new(4, None, false);
+    let first = runner.run_cells(&cells);
+    assert_eq!(runner.counters().simulated as usize, cells.len());
+    let second = runner.run_cells(&cells);
+    let c = runner.counters();
+    assert_eq!(c.simulated as usize, cells.len(), "nothing re-simulated");
+    assert_eq!(c.memo_hits as usize, cells.len(), "100% memo hits");
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_across_runners() {
+    let dir = scratch("runner-disk");
+    let cells = matrix();
+
+    // First "binary": everything simulates and is persisted.
+    let writer = Runner::new(4, Some(dir.clone()), false);
+    let written = writer.run_cells(&cells);
+    assert_eq!(writer.counters().simulated as usize, cells.len());
+
+    // Second "binary" (fresh runner, same cache): 100% disk hits and
+    // byte-identical stats — the fig16-then-fig18 baseline-reuse path.
+    let reader = Runner::new(4, Some(dir.clone()), false);
+    let reread = reader.run_cells(&cells);
+    let c = reader.counters();
+    assert_eq!(c.simulated, 0, "a cached cell must never re-simulate");
+    assert_eq!(c.disk_hits as usize, cells.len(), "100% disk-cache hits");
+    for (a, b) in written.iter().zip(&reread) {
+        assert_eq!(a.to_json(), b.to_json(), "disk round-trip changed stats");
+    }
+
+    // --refresh ignores the cache and re-simulates.
+    let refresher = Runner::new(4, Some(dir.clone()), true);
+    refresher.run_cells(&cells);
+    assert_eq!(refresher.counters().simulated as usize, cells.len());
+    assert_eq!(refresher.counters().disk_hits, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_cells_bypass_disk_reads_but_keep_traces() {
+    let dir = scratch("runner-trace");
+    let spec = by_abbr("bfs").expect("known benchmark");
+    let mut cfg = SystemConfig::Baseline.build(Scale::Quick);
+    cfg.walk_trace_cap = 64;
+    let cell = Cell::bench(&spec, cfg);
+
+    let first = Runner::new(2, Some(dir.clone()), false);
+    let stats = first.run_cells(std::slice::from_ref(&cell));
+    assert!(
+        !stats[0].walk_trace.records().is_empty(),
+        "trace cells must come from a live simulation"
+    );
+
+    // A fresh runner must NOT serve the (trace-less) artifact for a cell
+    // that needs walk traces.
+    let second = Runner::new(2, Some(dir.clone()), false);
+    let again = second.run_cells(std::slice::from_ref(&cell));
+    assert_eq!(second.counters().disk_hits, 0);
+    assert_eq!(second.counters().simulated, 1);
+    assert!(!again[0].walk_trace.records().is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

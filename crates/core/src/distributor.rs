@@ -111,14 +111,22 @@ impl RequestDistributor {
         let pick = match self.policy {
             DistributorPolicy::RoundRobin => self.pick_round_robin(|_| true),
             DistributorPolicy::Random => {
-                let free: Vec<usize> = (0..n)
-                    .filter(|&i| self.counters[i] < self.capacity)
-                    .collect();
-                if free.is_empty() {
-                    None
-                } else {
-                    Some(free[self.rng.gen_range(0..free.len())])
+                // Reservoir pick: the k-th free core replaces the current
+                // choice with probability 1/k, which is uniform over all
+                // free cores without materializing a candidate list —
+                // select_core runs every cycle, so this path must not
+                // allocate.
+                let mut chosen = None;
+                let mut free = 0usize;
+                for (i, &c) in self.counters.iter().enumerate() {
+                    if c < self.capacity {
+                        free += 1;
+                        if self.rng.gen_range(0..free) == 0 {
+                            chosen = Some(i);
+                        }
+                    }
                 }
+                chosen
             }
             DistributorPolicy::StallAware => self
                 .pick_round_robin(|i| stalled.get(i).copied().unwrap_or(false))
@@ -203,6 +211,30 @@ mod tests {
             seen[sm.index()] = true;
         }
         assert!(seen.iter().all(|&s| s), "seen={seen:?}");
+    }
+
+    #[test]
+    fn random_policy_is_seeded_deterministic() {
+        let run = || {
+            let mut d = RequestDistributor::new(DistributorPolicy::Random, 8, 4);
+            let picks: Vec<u16> = (0..24)
+                .map(|_| d.select_core(&[]).unwrap().value())
+                .collect();
+            picks
+        };
+        assert_eq!(run(), run(), "same seed must give the same dispatch order");
+    }
+
+    #[test]
+    fn random_policy_is_roughly_uniform_over_free_cores() {
+        let mut d = RequestDistributor::new(DistributorPolicy::Random, 4, u32::MAX);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[d.select_core(&[]).unwrap().index()] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed pick counts: {counts:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal harness surface its benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Unlike real criterion there is no statistical analysis: each benchmark
+//! is warmed once and then timed over an adaptive batch, and a single
+//! `name: time/iter` line is printed. Passing `--test` (as `cargo test
+//! --benches` does) runs every closure exactly once without timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long the timing loop runs per benchmark (upper bound).
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Runs one benchmark body repeatedly and reports time per iteration.
+pub struct Bencher {
+    test_mode: bool,
+    last_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `body` over an adaptive batch (or runs it once in `--test`
+    /// mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            self.last_ns_per_iter = Some(0.0);
+            return;
+        }
+        // Warm-up + first estimate.
+        let t0 = Instant::now();
+        black_box(body());
+        let first = t0.elapsed();
+        // Pick an iteration count that keeps total time under TARGET.
+        let per_iter = first.max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        let elapsed = t1.elapsed();
+        self.last_ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// A named group of benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample sizing.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`;
+        // `cargo bench -- <filter>` passes a substring filter.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one top-level benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            last_ns_per_iter: None,
+        };
+        f(&mut b);
+        match b.last_ns_per_iter {
+            Some(ns) if !self.test_mode => {
+                if ns >= 1_000_000.0 {
+                    println!("{id}: {:.3} ms/iter", ns / 1_000_000.0);
+                } else if ns >= 1_000.0 {
+                    println!("{id}: {:.3} us/iter", ns / 1_000.0);
+                } else {
+                    println!("{id}: {ns:.1} ns/iter");
+                }
+            }
+            Some(_) => println!("{id}: ok (test mode)"),
+            None => println!("{id}: no measurement (body never called iter)"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_body() {
+        let mut b = Bencher {
+            test_mode: false,
+            last_ns_per_iter: None,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(x)
+        });
+        assert!(b.last_ns_per_iter.is_some());
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            last_ns_per_iter: None,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+}

@@ -294,11 +294,7 @@ impl Cache {
         self.stats.misses += 1;
         // The fill request targets the sector base and reuses the first
         // waiter's id so the lower level's completion can be matched back.
-        let fill = MemReq::new(
-            req.id,
-            swgpu_types::PhysAddr::new(sector_addr),
-            req.kind,
-        );
+        let fill = MemReq::new(req.id, swgpu_types::PhysAddr::new(sector_addr), req.kind);
         self.fill_queue.push_after(now, self.cfg.hit_latency, fill);
         AccessOutcome::Miss
     }
@@ -421,7 +417,10 @@ mod tests {
         assert_eq!(c.access(Cycle::ZERO, req(1, 0x100)), AccessOutcome::Miss);
         fill_round_trip(&mut c, Cycle::ZERO);
         assert_eq!(c.pop_response(Cycle::new(2000)).unwrap().id, MemReqId(1));
-        assert_eq!(c.access(Cycle::new(2000), req(2, 0x104)), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(Cycle::new(2000), req(2, 0x104)),
+            AccessOutcome::Hit
+        );
         // Hit latency is respected.
         assert!(c.pop_response(Cycle::new(2003)).is_none());
         assert_eq!(c.pop_response(Cycle::new(2004)).unwrap().id, MemReqId(2));
@@ -482,10 +481,16 @@ mod tests {
         }
         assert_eq!(c.stats().evictions, 0);
         // Touch 0x100 so 0x000 becomes the LRU line.
-        assert_eq!(c.access(Cycle::new(5000), req(3, 0x100)), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(Cycle::new(5000), req(3, 0x100)),
+            AccessOutcome::Hit
+        );
         c.pop_response(Cycle::new(9000));
         // A third line in the set evicts the LRU (0x000).
-        assert_eq!(c.access(Cycle::new(9001), req(4, 0x200)), AccessOutcome::Miss);
+        assert_eq!(
+            c.access(Cycle::new(9001), req(4, 0x200)),
+            AccessOutcome::Miss
+        );
         fill_round_trip(&mut c, Cycle::new(9001));
         c.pop_response(Cycle::new(12000));
         assert_eq!(c.stats().evictions, 1);

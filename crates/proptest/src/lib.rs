@@ -1,0 +1,402 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the strategy/`proptest!` subset its property tests use:
+//! integer-range strategies, tuples, `prop::collection::{vec,
+//! btree_set}`, `prop::sample::select`, `any::<bool>()`,
+//! `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream are deliberate and documented:
+//!
+//! * **No shrinking.** A failing case panics with its inputs via the
+//!   standard assertion message; cases are deterministic (seeded from the
+//!   test name and case index) so failures reproduce exactly.
+//! * `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` are plain
+//!   assertion wrappers rather than early-`Err` returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (mirror of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values (mirror of `proptest::strategy::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Samples one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi == <$t>::MAX {
+                    if lo == <$t>::MIN { return rng.gen_range(<$t>::MIN..<$t>::MAX); }
+                    return rng.gen_range((lo - 1)..hi) + 1;
+                }
+                rng.gen_range(lo..hi + 1)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (mirror of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind [`any`] for `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn new_value(&self, rng: &mut StdRng) -> bool {
+        rng.gen_range(0u8..2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $name:ident),*) => {$(
+        /// Strategy behind [`any`] for the corresponding integer type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name;
+        impl Strategy for $name {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..<$t>::MAX)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = $name;
+            fn arbitrary() -> $name { $name }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+    usize => AnyUsize, i32 => AnyI32, i64 => AnyI64);
+
+/// The canonical strategy for `T` (mirror of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The `prop::` namespace (mirror of `proptest::prelude::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// A vector of values from `element`, with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.start..self.len.end);
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+        /// a range.
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A set of values from `element` with size in `size` (best
+        /// effort: sampling stops early if the element domain is nearly
+        /// exhausted, but always yields at least one element when
+        /// `size.start >= 1`).
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn new_value(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+                let target = rng.gen_range(self.size.start..self.size.end).max(1);
+                let mut set = BTreeSet::new();
+                let mut attempts = 0usize;
+                while set.len() < target && attempts < target * 64 {
+                    set.insert(self.element.new_value(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy choosing uniformly among a fixed list of options.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// Uniformly selects one of `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+    }
+}
+
+/// Deterministically seeds the RNG for one test case. Public for the
+/// `proptest!` macro expansion only.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Property assertion (plain `assert!` wrapper — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion (plain `assert_eq!` wrapper).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion (plain `assert_ne!` wrapper).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines deterministic property tests (mirror of `proptest::proptest!`).
+///
+/// Supports the forms used in this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        @with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    let strategy = ($($strat,)+);
+                    let ($($arg,)+) = $crate::Strategy::new_value(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Everything the tests import (mirror of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::case_rng("ranges", 0);
+        for _ in 0..500 {
+            let v = Strategy::new_value(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::case_rng("vec", 1);
+        for _ in 0..100 {
+            let v = Strategy::new_value(&prop::collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_nonempty() {
+        let mut rng = crate::case_rng("set", 2);
+        for _ in 0..50 {
+            let s = Strategy::new_value(
+                &prop::collection::btree_set(0u64..(1 << 20), 1..24),
+                &mut rng,
+            );
+            assert!(!s.is_empty() && s.len() < 24);
+        }
+    }
+
+    #[test]
+    fn select_only_yields_options() {
+        let mut rng = crate::case_rng("select", 3);
+        for _ in 0..100 {
+            let v = Strategy::new_value(&prop::sample::select(vec![1usize, 2, 4, 8]), &mut rng);
+            assert!([1, 2, 4, 8].contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..10)
+            .map(|c| Strategy::new_value(&(0u64..1000), &mut crate::case_rng("d", c)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| Strategy::new_value(&(0u64..1000), &mut crate::case_rng("d", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(xs in prop::collection::vec((0u64..64, any::<bool>()), 1..20)) {
+            prop_assert!(!xs.is_empty());
+            for (x, _) in xs {
+                prop_assert!(x < 64);
+            }
+        }
+    }
+}

@@ -213,7 +213,7 @@ mod tests {
         // Level-1 prefixes differ only above bit 9.
         pwc.fill(Vpn::new(0x200), 2, PhysAddr::new(0xaaa0));
         let hit = pwc.lookup(Vpn::new(0x200 + 5)); // same level-2 prefix? 0x205>>18 == 0
-        // Level 2 prefix = vpn >> 18; both are 0, so this *does* hit.
+                                                   // Level 2 prefix = vpn >> 18; both are 0, so this *does* hit.
         assert!(hit.hit);
         // A VPN beyond the level-2 coverage misses.
         let miss = pwc.lookup(Vpn::new(1 << 18));

@@ -144,7 +144,10 @@ mod tests {
     fn map_and_translate() {
         let (mut pt, mut alloc, mut mem) = setup();
         pt.map(Vpn::new(0x1_2345), Pfn::new(0xabc), &mut alloc, &mut mem);
-        assert_eq!(pt.translate(Vpn::new(0x1_2345), &mem), Some(Pfn::new(0xabc)));
+        assert_eq!(
+            pt.translate(Vpn::new(0x1_2345), &mem),
+            Some(Pfn::new(0xabc))
+        );
     }
 
     #[test]

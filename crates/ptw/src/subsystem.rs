@@ -149,8 +149,14 @@ struct PendingWalk {
 
 #[derive(Debug)]
 enum Engine {
-    Radix { level: u8, node: PhysAddr },
-    Hashed { probe_idx: usize, addrs: Vec<PhysAddr> },
+    Radix {
+        level: u8,
+        node: PhysAddr,
+    },
+    Hashed {
+        probe_idx: usize,
+        addrs: Vec<PhysAddr>,
+    },
 }
 
 #[derive(Debug)]
@@ -470,9 +476,9 @@ impl PtwSubsystem {
                             // Directory-level fault: every coalesced VPN
                             // shares the faulting path.
                             let walk = self.active.remove(&walk_id).expect("present");
-                        self.release_owners(&walk.reqs);
                             self.release_owners(&walk.reqs);
-                    self.release_owners(&walk.reqs);
+                            self.release_owners(&walk.reqs);
+                            self.release_owners(&walk.reqs);
                             let results = walk
                                 .reqs
                                 .iter()
@@ -510,7 +516,7 @@ impl PtwSubsystem {
                     if *probe_idx >= addrs.len() {
                         let walk = self.active.remove(&walk_id).expect("present");
                         self.release_owners(&walk.reqs);
-                    self.release_owners(&walk.reqs);
+                        self.release_owners(&walk.reqs);
                         let results = vec![WalkResult {
                             vpn,
                             pfn: None,
@@ -831,11 +837,7 @@ mod tests {
                 warp_a
             )));
         }
-        assert!(sub.enqueue(WalkRequest::with_owner(
-            Vpn::new(100),
-            Cycle::ZERO,
-            warp_b
-        )));
+        assert!(sub.enqueue(WalkRequest::with_owner(Vpn::new(100), Cycle::ZERO, warp_b)));
         let (done, _) = run_to_idle(&mut sub, &mut rig, Cycle::ZERO, 50);
         assert_eq!(done.len(), 5);
         // Warp B's single walk (enqueued last) must complete before warp

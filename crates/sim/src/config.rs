@@ -206,6 +206,25 @@ impl GpuConfig {
         self
     }
 
+    /// A stable 64-bit fingerprint over every configuration field,
+    /// rendered as 16 hex digits. Two configurations share a fingerprint
+    /// iff their `Debug` representations agree, which covers every public
+    /// knob — the experiment runner keys its run cache on this (plus the
+    /// workload identity), so any config change busts the cache.
+    ///
+    /// The fingerprint is FNV-1a over the `Debug` rendering: stable
+    /// across runs and platforms for a given source revision, and
+    /// intentionally *not* stable across revisions that add or rename
+    /// config fields (stale cache entries must not be reused).
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// Validates cross-field consistency.
     ///
     /// # Panics
@@ -260,6 +279,21 @@ mod tests {
         assert!(TranslationMode::Hybrid { in_tlb_mshr: false }.uses_software_walkers());
         assert!(!TranslationMode::HardwarePtw.in_tlb_enabled());
         assert!(TranslationMode::SoftWalker { in_tlb_mshr: true }.in_tlb_enabled());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let base = GpuConfig::default();
+        assert_eq!(base.fingerprint(), GpuConfig::default().fingerprint());
+        assert_eq!(base.fingerprint().len(), 16);
+        let mut tweaked = GpuConfig::default();
+        tweaked.l2_tlb_latency += 1;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+        let sw = GpuConfig {
+            mode: TranslationMode::SoftWalker { in_tlb_mshr: true },
+            ..GpuConfig::default()
+        };
+        assert_ne!(base.fingerprint(), sw.fingerprint());
     }
 
     #[test]

@@ -4,9 +4,7 @@ use crate::instr::{coalesce, InstrSource, WarpInstr};
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessKind, AccessOutcome, Cache, CacheConfig, CacheStats, MemReq};
 use swgpu_tlb::{MshrOutcome, Tlb, TlbConfig, TlbMshr, TlbMshrConfig, TlbStats};
-use swgpu_types::{
-    Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, SmId, VirtAddr, Vpn, WarpId,
-};
+use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, SmId, VirtAddr, Vpn, WarpId};
 
 /// Static configuration of one SM (Table 3 defaults via [`SmConfig::new`]).
 #[derive(Debug, Clone)]
@@ -303,7 +301,10 @@ impl Sm {
             MshrOutcome::Merged => {}
             MshrOutcome::Full => {
                 self.stats.l1_mshr_failures += 1;
-                self.tlb_retry_q.push_back(TlbLookup { retried: true, ..lk });
+                self.tlb_retry_q.push_back(TlbLookup {
+                    retried: true,
+                    ..lk
+                });
             }
         }
     }
@@ -555,7 +556,10 @@ mod tests {
         src.assign(
             SmId::new(0),
             WarpId::new(0),
-            vec![WarpInstr::Compute { cycles: 5 }, WarpInstr::Compute { cycles: 5 }],
+            vec![
+                WarpInstr::Compute { cycles: 5 },
+                WarpInstr::Compute { cycles: 5 },
+            ],
         );
         let cycles = run_standalone(&mut sm, &mut src, 1000);
         assert!(cycles >= 10, "two dependent 5-cycle instructions");

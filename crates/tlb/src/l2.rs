@@ -343,8 +343,14 @@ mod tests {
         assert_eq!(l2.fail_walk(Vpn::new(2)), vec![1]);
         assert_eq!(l2.pending_in_tlb(), 0);
         // Neither VPN was installed.
-        assert!(matches!(l2.access(Vpn::new(1), 9), L2MissOutcome::MissNewWalk));
-        assert!(matches!(l2.access(Vpn::new(2), 9), L2MissOutcome::MissNewWalk));
+        assert!(matches!(
+            l2.access(Vpn::new(1), 9),
+            L2MissOutcome::MissNewWalk
+        ));
+        assert!(matches!(
+            l2.access(Vpn::new(2), 9),
+            L2MissOutcome::MissNewWalk
+        ));
     }
 
     #[test]

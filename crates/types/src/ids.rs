@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn small_ids_index_containers() {
         let sm = SmId::new(7);
-        let v = vec![0u8; 16];
+        let v = [0u8; 16];
         assert_eq!(v[sm.index()], 0);
         assert_eq!(sm.value(), 7);
     }

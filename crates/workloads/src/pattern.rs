@@ -106,7 +106,9 @@ impl Pattern {
             Pattern::StridedSweep { stride_bytes } => {
                 let start = mix(warp_seed) % footprint;
                 let off = (start + step * stride_bytes) % footprint;
-                (0..lanes).map(|l| VirtAddr::new((off + l * 4) % footprint)).collect()
+                (0..lanes)
+                    .map(|l| VirtAddr::new((off + l * 4) % footprint))
+                    .collect()
             }
             Pattern::Stencil { rows, row_bytes } => {
                 let total_rows = (footprint / row_bytes).max(rows as u64);
@@ -116,12 +118,16 @@ impl Pattern {
                 (0..lanes)
                     .map(|l| {
                         let r = (row0 + l / lanes_per_row.max(1)) % total_rows;
-                        let addr = r * row_bytes + (col + (l % lanes_per_row.max(1)) * 4) % row_bytes;
+                        let addr =
+                            r * row_bytes + (col + (l % lanes_per_row.max(1)) * 4) % row_bytes;
                         VirtAddr::new(addr % footprint)
                     })
                     .collect()
             }
-            Pattern::Gather { hot_permille, hot_divisor } => {
+            Pattern::Gather {
+                hot_permille,
+                hot_divisor,
+            } => {
                 let hot_bytes = (footprint / hot_divisor.max(1)).max(4096);
                 (0..lanes)
                     .map(|l| {
@@ -273,9 +279,7 @@ mod tests {
 
     #[test]
     fn strided_sweep_changes_page_every_step() {
-        let p = Pattern::StridedSweep {
-            stride_bytes: PAGE,
-        };
+        let p = Pattern::StridedSweep { stride_bytes: PAGE };
         let a0 = p.lane_addrs(FOOT, 2, 2, 16, 0, PAGE);
         let a1 = p.lane_addrs(FOOT, 2, 2, 16, 1, PAGE);
         assert_ne!(a0[0].value() / PAGE, a1[0].value() / PAGE);
@@ -298,9 +302,18 @@ mod tests {
         let patterns = [
             Pattern::Streaming,
             Pattern::StridedSweep { stride_bytes: PAGE },
-            Pattern::Stencil { rows: 3, row_bytes: PAGE },
-            Pattern::Gather { hot_permille: 500, hot_divisor: 64 },
-            Pattern::SetSkewedGather { distinct_sets: 4, skew_permille: 700 },
+            Pattern::Stencil {
+                rows: 3,
+                row_bytes: PAGE,
+            },
+            Pattern::Gather {
+                hot_permille: 500,
+                hot_divisor: 64,
+            },
+            Pattern::SetSkewedGather {
+                distinct_sets: 4,
+                skew_permille: 700,
+            },
             Pattern::Wavefront { row_bytes: PAGE },
         ];
         let page = PageSize::Size64K;
@@ -315,7 +328,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let p = Pattern::Gather { hot_permille: 300, hot_divisor: 64 };
+        let p = Pattern::Gather {
+            hot_permille: 300,
+            hot_divisor: 64,
+        };
         assert_eq!(
             p.lane_addrs(FOOT, 42, 42, 16, 17, PAGE),
             p.lane_addrs(FOOT, 42, 42, 16, 17, PAGE)

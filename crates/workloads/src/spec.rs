@@ -61,7 +61,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 9.0819,
             paper_required_ptws: 256,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 500, hot_divisor: 512 },
+            pattern: Pattern::Gather {
+                hot_permille: 500,
+                hot_divisor: 512,
+            },
             compute_cycles: 24,
         },
         BenchmarkSpec {
@@ -72,7 +75,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 26.17,
             paper_required_ptws: 512,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 350, hot_divisor: 256 },
+            pattern: Pattern::Gather {
+                hot_permille: 350,
+                hot_divisor: 256,
+            },
             compute_cycles: 12,
         },
         BenchmarkSpec {
@@ -83,7 +89,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 30.2808,
             paper_required_ptws: 512,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 300, hot_divisor: 256 },
+            pattern: Pattern::Gather {
+                hot_permille: 300,
+                hot_divisor: 256,
+            },
             compute_cycles: 10,
         },
         BenchmarkSpec {
@@ -94,7 +103,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 13.7029,
             paper_required_ptws: 256,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 450, hot_divisor: 384 },
+            pattern: Pattern::Gather {
+                hot_permille: 450,
+                hot_divisor: 384,
+            },
             compute_cycles: 18,
         },
         BenchmarkSpec {
@@ -116,7 +128,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 4.8493,
             paper_required_ptws: 256,
             scalable: false,
-            pattern: Pattern::Stencil { rows: 4, row_bytes: KB64 },
+            pattern: Pattern::Stencil {
+                rows: 4,
+                row_bytes: KB64,
+            },
             compute_cycles: 20,
         },
         BenchmarkSpec {
@@ -127,7 +142,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 57.9595,
             paper_required_ptws: 512,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 120, hot_divisor: 64 },
+            pattern: Pattern::Gather {
+                hot_permille: 120,
+                hot_divisor: 64,
+            },
             compute_cycles: 8,
         },
         BenchmarkSpec {
@@ -138,7 +156,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 22.1519,
             paper_required_ptws: 256,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 400, hot_divisor: 256 },
+            pattern: Pattern::Gather {
+                hot_permille: 400,
+                hot_divisor: 256,
+            },
             compute_cycles: 14,
         },
         BenchmarkSpec {
@@ -160,7 +181,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 2517.196,
             paper_required_ptws: 512,
             scalable: true,
-            pattern: Pattern::SetSkewedGather { distinct_sets: 8, skew_permille: 700 },
+            pattern: Pattern::SetSkewedGather {
+                distinct_sets: 8,
+                skew_permille: 700,
+            },
             compute_cycles: 2,
         },
         BenchmarkSpec {
@@ -171,7 +195,9 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 1320.543,
             paper_required_ptws: 512,
             scalable: true,
-            pattern: Pattern::Wavefront { row_bytes: 2 * KB64 },
+            pattern: Pattern::Wavefront {
+                row_bytes: 2 * KB64,
+            },
             compute_cycles: 2,
         },
         BenchmarkSpec {
@@ -182,7 +208,10 @@ pub fn table4() -> Vec<BenchmarkSpec> {
             paper_mpki: 318.8202,
             paper_required_ptws: 1024,
             scalable: true,
-            pattern: Pattern::Gather { hot_permille: 0, hot_divisor: 1 },
+            pattern: Pattern::Gather {
+                hot_permille: 0,
+                hot_divisor: 1,
+            },
             compute_cycles: 2,
         },
         // ---- Regular (required PTWs <= 32) ----
@@ -346,10 +375,7 @@ mod tests {
             .iter()
             .map(|b| b.paper_mpki)
             .fold(f64::INFINITY, f64::min);
-        let max_reg = regular()
-            .iter()
-            .map(|b| b.paper_mpki)
-            .fold(0.0, f64::max);
+        let max_reg = regular().iter().map(|b| b.paper_mpki).fold(0.0, f64::max);
         assert!(min_irr > max_reg);
     }
 }

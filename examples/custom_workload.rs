@@ -40,7 +40,7 @@ impl InstrSource for PointerChase {
         // All 32 lanes follow 32 parallel lists — each lane's next node is
         // on its own page.
         let addrs = (0..32u64)
-            .map(|lane| VirtAddr::new(mix(seed ^ (lane << 48)) % self.footprint & !7))
+            .map(|lane| VirtAddr::new((mix(seed ^ (lane << 48)) % self.footprint) & !7))
             .collect();
         Some(WarpInstr::Load { addrs })
     }
@@ -50,7 +50,10 @@ fn main() {
     let footprint = 512 * 1024 * 1024;
     for (label, mode) in [
         ("baseline", TranslationMode::HardwarePtw),
-        ("SoftWalker", TranslationMode::SoftWalker { in_tlb_mshr: true }),
+        (
+            "SoftWalker",
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+        ),
     ] {
         let cfg = GpuConfig {
             sms: 8,
@@ -63,8 +66,7 @@ fn main() {
             hops_per_warp: 6,
             progress: Default::default(),
         };
-        let stats =
-            GpuSimulator::new_with_footprint(cfg, Box::new(workload), footprint).run();
+        let stats = GpuSimulator::new_with_footprint(cfg, Box::new(workload), footprint).run();
         println!("{}\n", summary(&format!("pointer chase / {label}"), &stats));
     }
     println!(

@@ -8,7 +8,9 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use softwalker_repro::{by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams};
+use softwalker_repro::{
+    by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams,
+};
 
 fn run(mode_label: &str, tweak: impl FnOnce(&mut GpuConfig)) -> (String, SimStats) {
     let mut cfg = GpuConfig {

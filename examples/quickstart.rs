@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use softwalker_repro::{by_abbr, summary, GpuConfig, GpuSimulator, TranslationMode, WorkloadParams};
+use softwalker_repro::{
+    by_abbr, summary, GpuConfig, GpuSimulator, TranslationMode, WorkloadParams,
+};
 
 fn main() {
     // A reduced GPU (16 SMs) so the example finishes in seconds; drop the
@@ -48,5 +50,7 @@ fn main() {
 
     let speedup = results[1].speedup_over(&results[0]);
     println!("SoftWalker speedup over baseline: {speedup:.2}x");
-    println!("(the paper reports 2.24x on average across all 20 benchmarks, 3.94x for irregular ones)");
+    println!(
+        "(the paper reports 2.24x on average across all 20 benchmarks, 3.94x for irregular ones)"
+    );
 }

@@ -58,7 +58,13 @@ fn main() {
     let start = pwc.lookup(cold_vpn);
     unit.accept(
         Cycle::ZERO,
-        SwWalkRequest::new(cold_vpn, Cycle::ZERO, Cycle::ZERO, start.level, start.node_base),
+        SwWalkRequest::new(
+            cold_vpn,
+            Cycle::ZERO,
+            Cycle::ZERO,
+            start.level,
+            start.node_base,
+        ),
     );
     let completions = drain(&mut unit, &mem, &mut pwc, &mut ids);
     assert_eq!(completions[0].pfn, None, "walk must fault");
@@ -79,7 +85,13 @@ fn main() {
     let start = pwc.lookup(cold_vpn);
     unit.accept(
         Cycle::ZERO,
-        SwWalkRequest::new(cold_vpn, Cycle::ZERO, Cycle::ZERO, start.level, start.node_base),
+        SwWalkRequest::new(
+            cold_vpn,
+            Cycle::ZERO,
+            Cycle::ZERO,
+            start.level,
+            start.node_base,
+        ),
     );
     let replay = drain(&mut unit, &mem, &mut pwc, &mut ids);
     assert_eq!(replay[0].pfn, Some(pfn));

@@ -1,7 +1,9 @@
 //! The simulator must be fully deterministic: identical configurations
 //! and workloads produce bit-identical statistics.
 
-use softwalker_repro::{by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams};
+use softwalker_repro::{
+    by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams,
+};
 
 fn run_once(mode: TranslationMode) -> SimStats {
     let cfg = GpuConfig {

@@ -1,7 +1,9 @@
 //! Cross-crate end-to-end tests: the paper's qualitative results must
 //! hold on small configurations.
 
-use softwalker_repro::{by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams};
+use softwalker_repro::{
+    by_abbr, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams,
+};
 
 fn run(abbr: &str, mode: TranslationMode, tweak: impl FnOnce(&mut GpuConfig)) -> SimStats {
     let mut cfg = GpuConfig {
@@ -61,14 +63,25 @@ fn queueing_dominates_baseline_walks_for_irregular() {
 #[test]
 fn softwalker_ordering_matches_figure_16() {
     let base = run("gups", TranslationMode::HardwarePtw, |_| {});
-    let sw_no = run("gups", TranslationMode::SoftWalker { in_tlb_mshr: false }, |_| {});
-    let sw = run("gups", TranslationMode::SoftWalker { in_tlb_mshr: true }, |_| {});
+    let sw_no = run(
+        "gups",
+        TranslationMode::SoftWalker { in_tlb_mshr: false },
+        |_| {},
+    );
+    let sw = run(
+        "gups",
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        |_| {},
+    );
     let ideal = run("gups", TranslationMode::IdealPtw, |_| {});
     let x_no = sw_no.speedup_over(&base);
     let x_sw = sw.speedup_over(&base);
     let x_ideal = ideal.speedup_over(&base);
     assert!(x_no > 1.2, "SW w/o In-TLB should already win: {x_no:.2}");
-    assert!(x_sw > x_no, "In-TLB MSHR must add speedup: {x_sw:.2} vs {x_no:.2}");
+    assert!(
+        x_sw > x_no,
+        "In-TLB MSHR must add speedup: {x_sw:.2} vs {x_no:.2}"
+    );
     assert!(
         x_ideal >= x_sw * 0.9,
         "ideal ({x_ideal:.2}) should be at least near SoftWalker ({x_sw:.2})"
@@ -78,7 +91,11 @@ fn softwalker_ordering_matches_figure_16() {
 #[test]
 fn softwalker_reduces_walk_latency_sharply() {
     let base = run("nw", TranslationMode::HardwarePtw, |_| {});
-    let sw = run("nw", TranslationMode::SoftWalker { in_tlb_mshr: true }, |_| {});
+    let sw = run(
+        "nw",
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        |_| {},
+    );
     let reduction = 1.0 - sw.walk.avg_total() / base.walk.avg_total();
     assert!(
         reduction > 0.5,
@@ -90,7 +107,11 @@ fn softwalker_reduces_walk_latency_sharply() {
 #[test]
 fn softwalker_reduces_stalls_on_irregular() {
     let base = run("sssp", TranslationMode::HardwarePtw, |_| {});
-    let sw = run("sssp", TranslationMode::SoftWalker { in_tlb_mshr: true }, |_| {});
+    let sw = run(
+        "sssp",
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        |_| {},
+    );
     assert!(
         sw.stall_reduction_vs(&base) > 0.3,
         "stall reduction {:.2}",
@@ -101,7 +122,11 @@ fn softwalker_reduces_stalls_on_irregular() {
 #[test]
 fn regular_apps_barely_affected_by_softwalker() {
     let base = run("2dc", TranslationMode::HardwarePtw, |_| {});
-    let sw = run("2dc", TranslationMode::SoftWalker { in_tlb_mshr: true }, |_| {});
+    let sw = run(
+        "2dc",
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        |_| {},
+    );
     let slowdown = base.speedup_over(&sw); // >1 means SW is slower
     assert!(
         slowdown < 1.25,
@@ -122,12 +147,20 @@ fn regular_apps_barely_affected_by_softwalker() {
 #[test]
 fn larger_l2_tlb_latency_degrades_gently() {
     let base = run("xsb", TranslationMode::HardwarePtw, |_| {});
-    let fast = run("xsb", TranslationMode::SoftWalker { in_tlb_mshr: true }, |c| {
-        c.l2_tlb_latency = 40;
-    });
-    let slow = run("xsb", TranslationMode::SoftWalker { in_tlb_mshr: true }, |c| {
-        c.l2_tlb_latency = 200;
-    });
+    let fast = run(
+        "xsb",
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        |c| {
+            c.l2_tlb_latency = 40;
+        },
+    );
+    let slow = run(
+        "xsb",
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        |c| {
+            c.l2_tlb_latency = 200;
+        },
+    );
     let x_fast = fast.speedup_over(&base);
     let x_slow = slow.speedup_over(&base);
     assert!(x_fast >= x_slow, "{x_fast:.2} vs {x_slow:.2}");
@@ -145,7 +178,7 @@ fn larger_l2_tlb_latency_degrades_gently() {
 fn large_pages_reduce_walk_pressure() {
     let small = run("gups", TranslationMode::HardwarePtw, |_| {});
     let large = run("gups", TranslationMode::HardwarePtw, |c| {
-        *c = std::mem::replace(c, GpuConfig::default()).with_large_pages();
+        *c = std::mem::take(c).with_large_pages();
         c.sms = 12;
         c.max_warps = 12;
     });

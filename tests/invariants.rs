@@ -3,7 +3,7 @@
 //! cache/DRAM pipeline conserves requests.
 
 use proptest::prelude::*;
-use swgpu_mem::{AccessKind, AccessOutcome, Cache, CacheConfig, Dram, DramConfig, MemReq};
+use swgpu_mem::{AccessKind, Cache, CacheConfig, Dram, DramConfig, MemReq};
 use swgpu_tlb::{L2MissOutcome, L2TlbComplex, TlbConfig, TlbMshrConfig};
 use swgpu_types::{Cycle, MemReqId, Pfn, PhysAddr, Vpn};
 
@@ -92,7 +92,7 @@ proptest! {
                 accepted += 1;
             }
             // Service fills and drain responses aggressively.
-            now = now + 3;
+            now += 3;
             while let Some(fill) = cache.pop_fill_request(now) {
                 cache.complete_fill(now, fill);
             }
@@ -101,7 +101,7 @@ proptest! {
             }
         }
         // Final drain.
-        now = now + 10;
+        now += 10;
         while let Some(fill) = cache.pop_fill_request(now) {
             cache.complete_fill(now, fill);
         }

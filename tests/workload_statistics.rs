@@ -27,8 +27,7 @@ fn avg_pages_per_load(spec: &swgpu_workloads::BenchmarkSpec) -> f64 {
         for wpi in 0..4u16 {
             for step in 0..16u64 {
                 let addrs = wl.lane_addrs(SmId::new(smi), WarpId::new(wpi), step);
-                let pages: BTreeSet<u64> =
-                    addrs.iter().map(|a| a.value() / page.bytes()).collect();
+                let pages: BTreeSet<u64> = addrs.iter().map(|a| a.value() / page.bytes()).collect();
                 total_pages += pages.len();
                 loads += 1;
             }
