@@ -18,4 +18,7 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> fault-injection smoke (release)"
+cargo run --release -q -p swgpu-bench --bin fault_smoke
+
 echo "All checks passed."

@@ -103,12 +103,43 @@ impl RunArtifact {
     /// Loads the artifact for `key` from `dir`, returning `None` when it
     /// does not exist or fails to parse (the caller re-simulates).
     pub fn load_from(dir: &Path, key: &str) -> Option<Self> {
-        let text = fs::read_to_string(Self::path_in(dir, key)).ok()?;
-        let artifact = Self::from_json(&text).ok()?;
-        // A key collision between different runs would silently serve the
-        // wrong stats; the key check makes that a cache miss instead.
-        (artifact.key == key).then_some(artifact)
+        match Self::probe(dir, key) {
+            LoadOutcome::Loaded(a) => Some(*a),
+            LoadOutcome::Missing | LoadOutcome::Corrupt(_) => None,
+        }
     }
+
+    /// Probes the disk cache for `key`, distinguishing a missing entry
+    /// from a present-but-unreadable one so the caller can quarantine
+    /// corrupt files instead of silently re-simulating over them forever.
+    pub fn probe(dir: &Path, key: &str) -> LoadOutcome {
+        let text = match fs::read_to_string(Self::path_in(dir, key)) {
+            Ok(text) => text,
+            Err(_) => return LoadOutcome::Missing,
+        };
+        match Self::from_json(&text) {
+            // A key collision between different runs would silently serve
+            // the wrong stats; treat mismatched content as corruption.
+            Ok(a) if a.key == key => LoadOutcome::Loaded(Box::new(a)),
+            Ok(a) => {
+                LoadOutcome::Corrupt(format!("artifact claims key {:?}, expected {key:?}", a.key))
+            }
+            Err(e) => LoadOutcome::Corrupt(e),
+        }
+    }
+}
+
+/// Outcome of [`RunArtifact::probe`].
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// No artifact on disk for this key.
+    Missing,
+    /// A file exists but cannot be trusted (parse failure, schema
+    /// mismatch, or embedded-key mismatch). Carries the reason.
+    Corrupt(String),
+    /// The artifact parsed and matches the requested key (boxed to keep
+    /// the enum small — `SimStats` is hundreds of bytes).
+    Loaded(Box<RunArtifact>),
 }
 
 /// Extracts the raw text of `"name": <number>` from a flat JSON level.
@@ -220,6 +251,38 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(RunArtifact::path_in(&dir, "bad"), "{not json").unwrap();
         assert!(RunArtifact::load_from(&dir, "bad").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn probe_distinguishes_missing_from_corrupt() {
+        let dir = test_dir("probe");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            RunArtifact::probe(&dir, "absent"),
+            LoadOutcome::Missing
+        ));
+        // A truncated write (e.g. the process died mid-write before the
+        // atomic rename existed) must read as corrupt, not missing.
+        let a = sample();
+        let full = a.to_json();
+        std::fs::write(RunArtifact::path_in(&dir, &a.key), &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            RunArtifact::probe(&dir, &a.key),
+            LoadOutcome::Corrupt(_)
+        ));
+        // An artifact whose embedded key disagrees with its filename is
+        // corrupt too (it would serve the wrong run's stats).
+        a.write_to(&dir).expect("write");
+        std::fs::rename(
+            RunArtifact::path_in(&dir, &a.key),
+            RunArtifact::path_in(&dir, "imposter"),
+        )
+        .unwrap();
+        assert!(matches!(
+            RunArtifact::probe(&dir, "imposter"),
+            LoadOutcome::Corrupt(_)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,99 @@
+//! Fault-injection smoke test: runs a small workload under an armed
+//! [`FaultPlan`] on each walker configuration and verifies the recovery
+//! pipeline end to end. Exits nonzero (for CI) if any run times out,
+//! loses an injected fault, or leaks one to the UVM fault path.
+//!
+//! Usage: `fault_smoke [--seed N]`
+
+use swgpu_bench::{Cell, Scale, SystemConfig};
+use swgpu_sim::SimStats;
+use swgpu_types::FaultPlan;
+use swgpu_workloads::by_abbr;
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        pte_corrupt_rate: 0.05,
+        mem_drop_rate: 0.05,
+        mem_delay_rate: 0.05,
+        stuck_thread_rate: 0.02,
+        ..FaultPlan::default()
+    }
+}
+
+fn check(label: &str, stats: &SimStats) -> Result<(), String> {
+    if stats.timed_out {
+        return Err(format!("{label}: run timed out under injection"));
+    }
+    let f = &stats.fault;
+    if f.injected_total() == 0 {
+        return Err(format!("{label}: storm rates injected nothing"));
+    }
+    if f.injected_total() != f.recovered_injections + f.escalated_injections {
+        return Err(format!(
+            "{label}: conservation violated — {} injected != {} recovered + {} escalated",
+            f.injected_total(),
+            f.recovered_injections,
+            f.escalated_injections
+        ));
+    }
+    if f.unrecoverable_faults != 0 || stats.faults != 0 {
+        return Err(format!(
+            "{label}: injected faults leaked to the UVM path ({} unrecoverable, {} page faults)",
+            f.unrecoverable_faults, stats.faults
+        ));
+    }
+    if f.fault_replays != f.fault_escalations {
+        return Err(format!(
+            "{label}: {} escalations but {} replays",
+            f.fault_escalations, f.fault_replays
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xf00d);
+
+    let spec = by_abbr("gups").expect("known benchmark");
+    let mut failures = 0;
+    for system in [
+        SystemConfig::Baseline,
+        SystemConfig::SoftWalker,
+        SystemConfig::Hybrid,
+    ] {
+        let label = system.label();
+        let mut cfg = system.build(Scale::Quick);
+        cfg.fault_plan = plan(seed);
+        let stats = Cell::bench_scaled(&spec, cfg, 20).simulate();
+        match check(&label, &stats) {
+            Ok(()) => {
+                let f = &stats.fault;
+                println!(
+                    "[fault-smoke] {label}: ok — {} injected ({} recovered / {} escalated), \
+                     {} watchdog timeouts, {} retries, {} replays",
+                    f.injected_total(),
+                    f.recovered_injections,
+                    f.escalated_injections,
+                    f.watchdog_timeouts,
+                    f.walk_retries,
+                    f.fault_replays
+                );
+            }
+            Err(why) => {
+                eprintln!("[fault-smoke] FAIL — {why}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("[fault-smoke] all walker configurations recovered (seed {seed:#x})");
+}

@@ -19,8 +19,9 @@ pub mod artifact;
 pub mod report;
 pub mod runner;
 
-pub use artifact::RunArtifact;
+pub use artifact::{LoadOutcome, RunArtifact};
 pub use report::{geomean, Table};
 pub use runner::{
-    parse_args, prefetch, Cell, CellWorkload, Harness, Runner, RunnerCounters, Scale, SystemConfig,
+    parse_args, prefetch, Cell, CellError, CellWorkload, Harness, Runner, RunnerCounters, Scale,
+    SystemConfig,
 };

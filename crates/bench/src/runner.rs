@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::artifact::RunArtifact;
+use crate::artifact::{LoadOutcome, RunArtifact};
 use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
 use swgpu_types::PageSize;
 use swgpu_workloads::{by_abbr, microbench, BenchmarkSpec, WorkloadParams};
@@ -399,12 +399,46 @@ pub struct RunnerCounters {
     pub memo_hits: u64,
     /// Cells served from on-disk artifacts.
     pub disk_hits: u64,
+    /// Cells whose simulation panicked (caught; the batch continued).
+    pub failed: u64,
+    /// Corrupt disk artifacts set aside (renamed `*.json.corrupt`) and
+    /// re-simulated.
+    pub quarantined: u64,
 }
 
 impl RunnerCounters {
-    /// Total cell resolutions.
+    /// Total successful cell resolutions.
     pub fn total(&self) -> u64 {
         self.simulated + self.memo_hits + self.disk_hits
+    }
+}
+
+/// A cell whose simulation panicked. The runner catches the panic so one
+/// diverging configuration cannot take down a whole batch (and with it
+/// the results of every healthy cell).
+#[derive(Debug, Clone)]
+pub struct CellError {
+    /// The failing cell's cache key.
+    pub key: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -468,13 +502,28 @@ impl Runner {
         let disk_readable = !self.refresh && cell.cfg.walk_trace_cap == 0;
         if disk_readable {
             if let Some(dir) = &self.cache_dir {
-                if let Some(artifact) = RunArtifact::load_from(dir, &key) {
-                    self.counters.lock().unwrap().disk_hits += 1;
-                    self.memo
-                        .lock()
-                        .unwrap()
-                        .insert(key, artifact.stats.clone());
-                    return (artifact.stats, CellSource::Disk);
+                match RunArtifact::probe(dir, &key) {
+                    LoadOutcome::Loaded(artifact) => {
+                        self.counters.lock().unwrap().disk_hits += 1;
+                        self.memo
+                            .lock()
+                            .unwrap()
+                            .insert(key, artifact.stats.clone());
+                        return (artifact.stats, CellSource::Disk);
+                    }
+                    LoadOutcome::Corrupt(why) => {
+                        // Set the unreadable file aside (it may still be
+                        // useful for a post-mortem) and fall through to a
+                        // fresh simulation, which rewrites the entry.
+                        self.counters.lock().unwrap().quarantined += 1;
+                        let path = RunArtifact::path_in(dir, &key);
+                        let quarantine = path.with_extension("json.corrupt");
+                        eprintln!("[runner] warning: quarantining corrupt artifact {key}: {why}");
+                        if let Err(e) = std::fs::rename(&path, &quarantine) {
+                            eprintln!("[runner] warning: quarantine rename failed: {e}");
+                        }
+                    }
+                    LoadOutcome::Missing => {}
                 }
             }
         }
@@ -495,10 +544,66 @@ impl Runner {
         (stats, CellSource::Simulated)
     }
 
+    /// Resolves one cell, converting a panicking simulation into a
+    /// [`CellError`] instead of unwinding into the caller. Neither cache
+    /// lock is held while the simulation runs, so a caught panic cannot
+    /// poison the runner.
+    pub fn get_checked(&self, cell: &Cell) -> Result<SimStats, CellError> {
+        self.resolve_checked(cell).map(|(stats, _)| stats)
+    }
+
+    fn resolve_checked(&self, cell: &Cell) -> Result<(SimStats, CellSource), CellError> {
+        let key = cell.key();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.resolve(cell))).map_err(
+            |payload| {
+                self.counters.lock().unwrap().failed += 1;
+                CellError {
+                    key,
+                    message: panic_message(payload),
+                }
+            },
+        )
+    }
+
     /// Executes a batch of cells on the worker pool and returns their
     /// stats in input order. Cells sharing a key (e.g. one baseline
     /// compared against many systems) are resolved once.
+    ///
+    /// # Panics
+    ///
+    /// Panics — after the whole batch has finished, so every healthy
+    /// cell's artifact is on disk — if any cell's simulation panicked.
+    /// Callers that want to handle per-cell failures use
+    /// [`Runner::run_cells_checked`].
     pub fn run_cells(&self, cells: &[Cell]) -> Vec<SimStats> {
+        let results = self.run_cells_checked(cells);
+        let mut seen = std::collections::HashSet::new();
+        let failures: Vec<&CellError> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .filter(|e| seen.insert(e.key.clone()))
+            .collect();
+        assert!(
+            failures.is_empty(),
+            "{} cell(s) failed:\n{}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|e| format!("  {e}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        results
+            .into_iter()
+            .map(|r| r.expect("checked above"))
+            .collect()
+    }
+
+    /// Executes a batch of cells on the worker pool, mapping each input
+    /// cell to `Ok(stats)` or the [`CellError`] describing its panic. A
+    /// crashing cell never aborts the batch: every other cell still
+    /// simulates, reports, and persists its artifact.
+    pub fn run_cells_checked(&self, cells: &[Cell]) -> Vec<Result<SimStats, CellError>> {
         let mut keys = Vec::with_capacity(cells.len());
         let mut unique: Vec<&Cell> = Vec::new();
         {
@@ -516,6 +621,8 @@ impl Runner {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let batch_start = Instant::now();
+        let results: Mutex<HashMap<String, Result<SimStats, CellError>>> =
+            Mutex::new(HashMap::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -525,30 +632,39 @@ impl Runner {
                     }
                     let cell = unique[i];
                     let cell_start = Instant::now();
-                    let (_, source) = self.resolve(cell);
+                    let outcome = self.resolve_checked(cell);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let label = match &outcome {
+                        Ok((_, source)) => source.label(),
+                        Err(_) => "FAILED",
+                    };
                     eprintln!(
-                        "[runner] {finished}/{total} {} ({}, {:.2}s)",
+                        "[runner] {finished}/{total} {} ({label}, {:.2}s)",
                         cell.key(),
-                        source.label(),
                         cell_start.elapsed().as_secs_f64()
                     );
+                    results
+                        .lock()
+                        .unwrap()
+                        .insert(cell.key(), outcome.map(|(stats, _)| stats));
                 });
             }
         });
         let c = self.counters();
         eprintln!(
-            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits",
+            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits, {} failed, {} quarantined",
             cells.len(),
             total,
             batch_start.elapsed().as_secs_f64(),
             workers,
             c.simulated,
             c.memo_hits,
-            c.disk_hits
+            c.disk_hits,
+            c.failed,
+            c.quarantined
         );
-        let memo = self.memo.lock().unwrap();
-        keys.iter().map(|k| memo[k].clone()).collect()
+        let results = results.into_inner().unwrap();
+        keys.iter().map(|k| results[k].clone()).collect()
     }
 }
 
@@ -680,6 +796,83 @@ mod tests {
         assert_ne!(a.key(), scaled.key(), "different footprint, different key");
         let micro = Cell::micro(cfg, 4, 4, 4, 1 << 20);
         assert!(micro.key().starts_with("micro-c4-w4-a4-f1048576-"));
+    }
+
+    fn test_cache_dir(tag: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-runner-cache")
+            .join(format!("{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn truncated_disk_artifact_is_quarantined_and_resimulated() {
+        let dir = test_cache_dir("truncated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = by_abbr("gemm").unwrap();
+        let cell = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let key = cell.key();
+        // Seed the cache with a good artifact, then truncate it in place
+        // (as if a pre-atomic-write process had died mid-write).
+        let seeder = Runner::new(1, Some(dir.clone()), false);
+        let stats = seeder.get(&cell);
+        let path = RunArtifact::path_in(&dir, &key);
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        // A fresh runner (cold memo) must treat it as a miss, quarantine
+        // the file, re-simulate, and rewrite a readable artifact.
+        let runner = Runner::new(1, Some(dir.clone()), false);
+        let again = runner.get(&cell);
+        assert_eq!(again.to_json(), stats.to_json());
+        assert_eq!(runner.counters().quarantined, 1);
+        assert_eq!(runner.counters().simulated, 1);
+        assert_eq!(runner.counters().disk_hits, 0);
+        assert!(path.with_extension("json.corrupt").exists());
+        assert!(RunArtifact::load_from(&dir, &key).is_some(), "rewritten");
+        // The quarantined copy does not shadow the fresh artifact.
+        let reread = Runner::new(1, Some(dir.clone()), false);
+        reread.get(&cell);
+        assert_eq!(reread.counters().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_cell_fails_without_aborting_the_batch() {
+        let spec = by_abbr("gemm").unwrap();
+        let good = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let mut bad = good.clone();
+        bad.workload = CellWorkload::Bench {
+            abbr: "no-such-benchmark".into(),
+            footprint_percent: 100,
+        };
+        let runner = Runner::new(2, None, false);
+        let results = runner.run_cells_checked(&[good.clone(), bad, good.clone()]);
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().expect_err("bad cell must fail");
+        assert!(err.message.contains("no-such-benchmark"), "{err}");
+        assert!(results[2].is_ok(), "healthy cells still resolve");
+        assert_eq!(runner.counters().failed, 1);
+        assert_eq!(runner.counters().simulated, 1);
+        // The runner stays usable after a caught panic (no poisoned locks).
+        assert!(runner.get_checked(&good).is_ok());
+    }
+
+    #[test]
+    fn run_cells_panics_after_finishing_the_batch() {
+        let spec = by_abbr("gemm").unwrap();
+        let good = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let mut bad = good.clone();
+        bad.workload = CellWorkload::Bench {
+            abbr: "missing".into(),
+            footprint_percent: 100,
+        };
+        let runner = Runner::new(1, None, false);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run_cells(&[bad, good.clone()])
+        }));
+        assert!(outcome.is_err(), "legacy API must still fail loudly");
+        // ...but only after the healthy cell completed.
+        assert_eq!(runner.counters().simulated, 1);
+        assert_eq!(runner.counters().failed, 1);
     }
 
     #[test]

@@ -6,7 +6,14 @@
 //! reported by a hardware page walker (§5.5), so the existing demand-paging
 //! protocol — allocate/migrate the page, install the PTE, replay — works
 //! unchanged.
+//!
+//! The buffer is a bounded hardware structure: under a pathological fault
+//! storm it drops its *oldest* records rather than growing without bound,
+//! counting each eviction. The driver's replay protocol does not depend on
+//! the records themselves (escalated translations are routed to the driver
+//! directly), so a dropped record loses observability, never a translation.
 
+use std::collections::VecDeque;
 use swgpu_types::{Cycle, Vpn};
 
 /// One logged page fault.
@@ -20,8 +27,9 @@ pub struct FaultRecord {
     pub at: Cycle,
 }
 
-/// An append-only fault log with a read-and-clear drain, as the UVM driver
-/// consumes it.
+/// A bounded fault log with a read-and-clear drain, as the UVM driver
+/// consumes it. When full, the oldest record is dropped to make room
+/// (and counted).
 ///
 /// # Example
 ///
@@ -36,20 +44,62 @@ pub struct FaultRecord {
 /// assert_eq!(drained[0].vpn, Vpn::new(9));
 /// assert!(fb.is_empty());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultBuffer {
-    records: Vec<FaultRecord>,
+    records: VecDeque<FaultRecord>,
+    capacity: usize,
+    overflow_dropped: u64,
+}
+
+impl Default for FaultBuffer {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl FaultBuffer {
-    /// Creates an empty buffer.
+    /// Default capacity: matches the SoftPWB sizing (one slot per
+    /// potentially-faulting in-flight walk, with headroom).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates an empty buffer with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends a fault record (the `FFB` instruction).
+    /// Creates an empty buffer bounded at `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a fault buffer that can hold nothing
+    /// would silently discard every record).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "fault buffer capacity must be positive");
+        Self {
+            records: VecDeque::new(),
+            capacity,
+            overflow_dropped: 0,
+        }
+    }
+
+    /// Maximum records held before drop-oldest kicks in.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted because the buffer was full.
+    pub fn overflow_dropped(&self) -> u64 {
+        self.overflow_dropped
+    }
+
+    /// Appends a fault record (the `FFB` instruction), evicting the
+    /// oldest record when at capacity.
     pub fn record(&mut self, rec: FaultRecord) {
-        self.records.push(rec);
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.overflow_dropped += 1;
+        }
+        self.records.push_back(rec);
     }
 
     /// Number of unconsumed faults.
@@ -64,7 +114,7 @@ impl FaultBuffer {
 
     /// Reads and clears the log, in arrival order.
     pub fn drain(&mut self) -> Vec<FaultRecord> {
-        std::mem::take(&mut self.records)
+        self.records.drain(..).collect()
     }
 
     /// Iterates pending faults without consuming them.
@@ -116,5 +166,29 @@ mod tests {
         });
         assert_eq!(fb.iter().count(), 1);
         assert_eq!(fb.len(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut fb = FaultBuffer::with_capacity(2);
+        for i in 0..5 {
+            fb.record(FaultRecord {
+                vpn: Vpn::new(i),
+                level: 1,
+                at: Cycle::new(i),
+            });
+        }
+        assert_eq!(fb.len(), 2);
+        assert_eq!(fb.overflow_dropped(), 3);
+        let drained = fb.drain();
+        // The newest two records survive.
+        assert_eq!(drained[0].vpn, Vpn::new(3));
+        assert_eq!(drained[1].vpn, Vpn::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = FaultBuffer::with_capacity(0);
     }
 }

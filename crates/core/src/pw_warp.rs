@@ -14,8 +14,12 @@ use crate::fault::{FaultBuffer, FaultRecord};
 use crate::softpwb::SoftPwb;
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessKind, MemReq, PhysMem};
-use swgpu_pt::{PageWalkCache, RadixPageTable, LEAF_LEVEL};
-use swgpu_types::{Cycle, IdGen, MemReqId, Pfn, PhysAddr, Vpn};
+use swgpu_pt::{read_pte_checked, PageWalkCache, RadixPageTable, LEAF_LEVEL};
+use swgpu_types::fault::site;
+use swgpu_types::{
+    Cycle, DelayQueue, FaultInjectionStats, FaultInjector, FaultPlan, IdGen, MemReqId, Pfn,
+    PhysAddr, Vpn,
+};
 
 /// A walk request as dispatched to an SM by the Request Distributor.
 ///
@@ -107,6 +111,9 @@ pub struct PwWarpConfig {
     pub per_level_instrs: u32,
     /// Instructions to finish: the `FL2T` fill (line 26).
     pub finish_instrs: u32,
+    /// Fault-buffer capacity: records beyond this evict the oldest
+    /// (counted via [`FaultBuffer::overflow_dropped`]).
+    pub fault_buffer_entries: usize,
 }
 
 impl Default for PwWarpConfig {
@@ -117,6 +124,7 @@ impl Default for PwWarpConfig {
             setup_instrs: 6,
             per_level_instrs: 3,
             finish_instrs: 1,
+            fault_buffer_entries: FaultBuffer::DEFAULT_CAPACITY,
         }
     }
 }
@@ -126,6 +134,7 @@ impl PwWarpConfig {
         assert!(self.threads > 0, "PW warp needs at least one thread");
         assert!(self.softpwb_entries > 0, "SoftPWB needs entries");
         assert!(self.finish_instrs > 0, "FL2T costs at least one issue");
+        assert!(self.fault_buffer_entries > 0, "fault buffer needs entries");
     }
 }
 
@@ -156,8 +165,16 @@ enum Action {
 #[derive(Debug, Clone, Copy)]
 enum ThreadState {
     Idle,
-    NeedIssue { remaining: u32, action: Action },
+    NeedIssue {
+        remaining: u32,
+        action: Action,
+    },
     WaitMem,
+    /// Fault injection wedged the thread; only the watchdog frees it.
+    Stuck,
+    /// Backoff wait before re-executing the `LDPT` whose decode was
+    /// corrupted.
+    WaitRetry,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +187,32 @@ struct ThreadWalk {
     started_at: Cycle,
     level: u8,
     node: PhysAddr,
+    /// Bounded-backoff retries consumed (watchdog restarts and corrupted
+    /// reads both count).
+    retries: u32,
+    /// Injected faults attributed to this walk, credited to recovered /
+    /// escalated counters when the walk ends.
+    pending_inj: u64,
+    /// Generation counter invalidating stale watchdog deadlines.
+    gen: u64,
+    /// Outstanding `LDPT`, if any (cancelled on watchdog timeout).
+    wait_id: Option<MemReqId>,
+}
+
+/// Per-SM fault injection + recovery state; present only when a
+/// nonzero-rate [`FaultPlan`] is armed.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// PTE-corruption stream for this SM's `LDPT` decodes.
+    inj: FaultInjector,
+    /// Stuck-thread stream, drawn once per walk assignment.
+    stuck_inj: FaultInjector,
+    stats: FaultInjectionStats,
+    /// `(thread_idx, gen)` watchdog deadlines.
+    watchdog: DelayQueue<(usize, u64)>,
+    /// `(thread_idx, gen)` backoff retries.
+    retry_wake: DelayQueue<(usize, u64)>,
 }
 
 #[derive(Debug)]
@@ -207,6 +250,11 @@ pub struct PwWarpUnit {
     completions: VecDeque<SwCompletion>,
     faults: FaultBuffer,
     stats: PwWarpStats,
+    fault: Option<FaultState>,
+    // Per-thread-slot generation floor: a new walk on a reused slot
+    // continues past the previous walk's final generation, so watchdog
+    // or retry deadlines armed for the old walk can never match it.
+    gen_base: Vec<u64>,
 }
 
 impl PwWarpUnit {
@@ -231,10 +279,45 @@ impl PwWarpUnit {
             mem_out: VecDeque::new(),
             mem_wait: HashMap::new(),
             completions: VecDeque::new(),
-            faults: FaultBuffer::new(),
+            faults: FaultBuffer::with_capacity(cfg.fault_buffer_entries),
+            gen_base: vec![0; cfg.threads],
             stats: PwWarpStats::default(),
+            fault: None,
             cfg,
         }
+    }
+
+    /// Arms fault injection + recovery per `plan` for the PW Warp on SM
+    /// `sm_index` (each SM draws an independent, reproducible stream). A
+    /// disabled plan leaves the unit in its inert baseline state.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, sm_index: u64) {
+        if plan.enabled() {
+            self.fault = Some(FaultState {
+                inj: FaultInjector::new_instance(plan.seed, site::PW_WARP_PTE, sm_index),
+                stuck_inj: FaultInjector::new_instance(plan.seed, site::STUCK_THREAD, sm_index),
+                plan: plan.clone(),
+                stats: FaultInjectionStats::default(),
+                watchdog: DelayQueue::new(),
+                retry_wake: DelayQueue::new(),
+            });
+        }
+    }
+
+    /// Counters for faults injected at / recovered by this unit,
+    /// including fault-buffer overflow drops.
+    pub fn fault_stats(&self) -> FaultInjectionStats {
+        let mut s = self
+            .fault
+            .as_ref()
+            .map(|f| {
+                let mut s = f.stats;
+                s.merge(&f.inj.stats);
+                s.merge(&f.stuck_inj.stats);
+                s
+            })
+            .unwrap_or_default();
+        s.fault_buffer_overflow_drops += self.faults.overflow_dropped();
+        s
     }
 
     /// The unit's configuration.
@@ -277,12 +360,95 @@ impl PwWarpUnit {
         self.pwb.insert(req, now).is_some()
     }
 
-    /// Advances one cycle: assigns valid SoftPWB entries to idle threads
-    /// and issues at most one PW instruction. Returns `true` if the issue
-    /// port was consumed.
+    /// Advances one cycle: fires watchdogs and pending retries, assigns
+    /// valid SoftPWB entries to idle threads and issues at most one PW
+    /// instruction. Returns `true` if the issue port was consumed.
     pub fn tick(&mut self, now: Cycle, ids: &mut IdGen) -> bool {
+        if self.fault.is_some() {
+            self.tick_fault(now);
+        }
         self.assign_threads(now);
         self.issue_one(now, ids)
+    }
+
+    /// Fires due watchdog deadlines and backoff retries. Only called when
+    /// a fault plan is armed.
+    fn tick_fault(&mut self, now: Cycle) {
+        loop {
+            let fs = self.fault.as_mut().expect("tick_fault without plan");
+            if let Some((idx, gen)) = fs.retry_wake.pop_ready(now) {
+                let t = &mut self.threads[idx];
+                let Some(walk) = t.walk.as_ref() else {
+                    continue;
+                };
+                if walk.gen != gen || !matches!(t.state, ThreadState::WaitRetry) {
+                    continue;
+                }
+                t.state = ThreadState::NeedIssue {
+                    remaining: 1,
+                    action: Action::Ldpt,
+                };
+                self.issue_queue.push_back(idx);
+                continue;
+            }
+            let Some((idx, gen)) = fs.watchdog.pop_ready(now) else {
+                break;
+            };
+            let t = &mut self.threads[idx];
+            let Some(walk) = t.walk.as_mut() else {
+                continue;
+            };
+            let hung = matches!(t.state, ThreadState::Stuck | ThreadState::WaitMem);
+            if walk.gen != gen || !hung {
+                continue;
+            }
+            fs.stats.watchdog_timeouts += 1;
+            walk.gen += 1;
+            if let Some(id) = walk.wait_id.take() {
+                // A late response for the cancelled LDPT becomes a no-op
+                // instead of a double-advance.
+                self.mem_wait.remove(&id);
+            }
+            if walk.retries >= fs.plan.max_retries {
+                self.escalate(idx, now);
+            } else {
+                walk.retries += 1;
+                fs.stats.walk_retries += 1;
+                // A stuck thread restarts the walk routine from scratch;
+                // a lost LDPT is simply re-executed.
+                let remaining = if matches!(t.state, ThreadState::Stuck) {
+                    self.cfg.setup_instrs.max(1)
+                } else {
+                    1
+                };
+                t.state = ThreadState::NeedIssue {
+                    remaining,
+                    action: Action::Ldpt,
+                };
+                self.issue_queue.push_back(idx);
+            }
+        }
+    }
+
+    /// Abandons a walk whose retry budget is spent: logs an `FFB` record
+    /// and completes with `pfn: None` so the simulator escalates the
+    /// translation to the UVM driver.
+    fn escalate(&mut self, idx: usize, now: Cycle) {
+        let walk = self.threads[idx]
+            .walk
+            .as_mut()
+            .expect("escalate without walk");
+        let (vpn, level, pending) = (walk.vpn, walk.level, walk.pending_inj);
+        walk.pending_inj = 0;
+        self.faults.record(FaultRecord {
+            vpn,
+            level,
+            at: now,
+        });
+        let fs = self.fault.as_mut().expect("escalation without plan");
+        fs.stats.fault_escalations += 1;
+        fs.stats.escalated_injections += pending;
+        self.finish(idx, None, now);
     }
 
     fn assign_threads(&mut self, now: Cycle) {
@@ -303,6 +469,10 @@ impl PwWarpUnit {
                 started_at: now,
                 level: req.start_level,
                 node: req.node_base,
+                retries: 0,
+                pending_inj: 0,
+                gen: self.gen_base[idx],
+                wait_id: None,
             });
             t.state = ThreadState::NeedIssue {
                 remaining: self.cfg.setup_instrs.max(1),
@@ -310,6 +480,21 @@ impl PwWarpUnit {
             };
             self.issue_queue.push_back(idx);
             self.active_walks += 1;
+            if let Some(fs) = self.fault.as_mut() {
+                if fs.stuck_inj.fire(fs.plan.stuck_thread_rate) {
+                    // The thread wedges before executing; the watchdog
+                    // restarts (or ultimately escalates) the walk.
+                    fs.stuck_inj.stats.injected_stuck_threads += 1;
+                    let t = &mut self.threads[idx];
+                    let walk = t.walk.as_mut().expect("just assigned");
+                    walk.pending_inj += 1;
+                    let gen = walk.gen;
+                    t.state = ThreadState::Stuck;
+                    self.issue_queue.retain(|&q| q != idx);
+                    let deadline = now + fs.plan.backoff_cycles(0);
+                    fs.watchdog.push(deadline, (idx, gen));
+                }
+            }
         }
     }
 
@@ -344,6 +529,12 @@ impl PwWarpUnit {
                     .push_back(MemReq::new(id, addr, AccessKind::PageTable));
                 self.stats.ldpt_reads += 1;
                 self.threads[idx].state = ThreadState::WaitMem;
+                if let Some(fs) = self.fault.as_mut() {
+                    let walk = self.threads[idx].walk.as_mut().expect("walk present");
+                    walk.wait_id = Some(id);
+                    let deadline = now + fs.plan.backoff_cycles(walk.retries);
+                    fs.watchdog.push(deadline, (idx, walk.gen));
+                }
             }
             Action::Fl2t(pfn) => self.finish(idx, pfn, now),
             Action::Ffb(level) => {
@@ -360,6 +551,14 @@ impl PwWarpUnit {
 
     fn finish(&mut self, idx: usize, pfn: Option<Pfn>, now: Cycle) {
         let walk = self.threads[idx].walk.take().expect("finish without walk");
+        if let Some(fs) = self.fault.as_mut() {
+            // The walk reached a real conclusion, so every injection still
+            // attributed to it was overcome (escalations zero this first).
+            fs.stats.recovered_injections += walk.pending_inj;
+        }
+        // The next walk on this slot must outrun every deadline armed for
+        // this one.
+        self.gen_base[idx] = walk.gen + 1;
         self.pwb.complete(walk.slot);
         self.threads[idx].state = ThreadState::Idle;
         self.idle_threads.push(idx);
@@ -391,6 +590,7 @@ impl PwWarpUnit {
     pub fn on_mem_response(
         &mut self,
         id: MemReqId,
+        now: Cycle,
         mem: &PhysMem,
         pwc: &mut PageWalkCache,
     ) -> bool {
@@ -398,8 +598,31 @@ impl PwWarpUnit {
             return false;
         };
         let walk = self.threads[idx].walk.as_mut().expect("walk in flight");
+        if self.fault.is_some() {
+            walk.wait_id = None;
+            walk.gen += 1;
+        }
         let addr = RadixPageTable::entry_addr(walk.level, walk.node, walk.vpn);
-        let pte = swgpu_types::Pte::from_raw(mem.read_u64(addr));
+        let inj = self
+            .fault
+            .as_mut()
+            .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
+        let (pte, corrupted) = read_pte_checked(mem, addr, inj);
+        if corrupted {
+            walk.pending_inj += 1;
+            let fs = self.fault.as_mut().expect("corruption without plan");
+            if walk.retries >= fs.plan.max_retries {
+                self.escalate(idx, now);
+            } else {
+                walk.retries += 1;
+                walk.gen += 1;
+                fs.stats.walk_retries += 1;
+                let wake = now + fs.plan.backoff_cycles(walk.retries);
+                fs.retry_wake.push(wake, (idx, walk.gen));
+                self.threads[idx].state = ThreadState::WaitRetry;
+            }
+            return true;
+        }
         if walk.level == LEAF_LEVEL {
             let action = if pte.is_valid() {
                 Action::Fl2t(Some(pte.pfn()))
@@ -427,6 +650,24 @@ impl PwWarpUnit {
         }
         // Every post-memory continuation competes for the issue port.
         self.issue_queue.push_back(idx);
+        true
+    }
+
+    /// Notifies the unit that an `LDPT` it issued was dropped by fault
+    /// injection (no response will arrive). Returns whether the id
+    /// belonged to this unit. Recovery happens via the already-armed
+    /// watchdog deadline.
+    pub fn on_mem_dropped(&mut self, id: MemReqId) -> bool {
+        let Some(idx) = self.mem_wait.remove(&id) else {
+            return false;
+        };
+        let walk = self.threads[idx]
+            .walk
+            .as_mut()
+            .expect("drop for unknown walk");
+        walk.pending_inj += 1;
+        // Leave WaitMem + wait_id armed: the watchdog distinguishes
+        // "waiting" from "advancing" by them and will re-issue.
         true
     }
 
@@ -482,7 +723,7 @@ mod tests {
                 inflight.push(now + mem_lat, req.id);
             }
             while let Some(id) = inflight.pop_ready(now) {
-                unit.on_mem_response(id, &rig.mem, &mut rig.pwc);
+                unit.on_mem_response(id, now, &rig.mem, &mut rig.pwc);
             }
             while let Some(c) = unit.pop_completion() {
                 done.push(c);
@@ -596,6 +837,146 @@ mod tests {
         // Idle unit does not consume the port.
         let mut idle_unit = PwWarpUnit::new(PwWarpConfig::default());
         assert!(!idle_unit.tick(Cycle::ZERO, &mut rig.ids));
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_inert() {
+        let mut rig = Rig::new(16);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        unit.set_fault_plan(&FaultPlan::default(), 0);
+        assert!(unit.fault.is_none(), "zero-rate plan must not arm");
+        let req = rig.request(3, Cycle::ZERO);
+        unit.accept(Cycle::ZERO, req);
+        let (done, _) = run(&mut unit, &mut rig, 100);
+        assert_eq!(done.len(), 1);
+        assert!(!unit.fault_stats().any());
+    }
+
+    #[test]
+    fn stuck_thread_recovers_via_watchdog_restart() {
+        let mut rig = Rig::new(16);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        unit.set_fault_plan(
+            &FaultPlan {
+                seed: 5,
+                stuck_thread_rate: 1.0,
+                watchdog_cycles: 300,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let req = rig.request(3, Cycle::ZERO);
+        unit.accept(Cycle::ZERO, req);
+        let (done, end) = run(&mut unit, &mut rig, 50);
+        assert_eq!(done.len(), 1);
+        let expect = rig.space.mappings().nth(3).unwrap().1;
+        assert_eq!(done[0].pfn, Some(expect), "walk completed after restart");
+        assert!(end.value() >= 300, "watchdog delay must be visible");
+        let fs = unit.fault_stats();
+        assert_eq!(fs.injected_stuck_threads, 1);
+        assert_eq!(fs.watchdog_timeouts, 1);
+        assert_eq!(fs.recovered_injections, 1);
+        assert_eq!(fs.injected_total(), fs.recovered_injections);
+    }
+
+    #[test]
+    fn corruption_conserved_across_many_walks() {
+        let mut rig = Rig::new(512);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        unit.set_fault_plan(
+            &FaultPlan {
+                seed: 9,
+                pte_corrupt_rate: 0.3,
+                watchdog_cycles: 1_000,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        for i in 0..32u64 {
+            let req = rig.request(i * 16, Cycle::ZERO);
+            assert!(unit.accept(Cycle::ZERO, req));
+        }
+        let (done, _) = run(&mut unit, &mut rig, 50);
+        assert_eq!(done.len(), 32, "every walk must conclude");
+        let fs = unit.fault_stats();
+        assert!(fs.injected_pte_corruptions > 0);
+        assert_eq!(
+            fs.injected_total(),
+            fs.recovered_injections + fs.escalated_injections,
+            "injected faults leaked: {fs:?}"
+        );
+        // Escalated walks surfaced as faults (pfn None) for the driver.
+        let escalated_pfn_none = done.iter().filter(|c| c.pfn.is_none()).count() as u64;
+        assert_eq!(escalated_pfn_none, fs.fault_escalations);
+    }
+
+    #[test]
+    fn dropped_ldpt_recovers_via_watchdog() {
+        let mut rig = Rig::new(16);
+        let mut unit = PwWarpUnit::new(PwWarpConfig::default());
+        unit.set_fault_plan(
+            &FaultPlan {
+                seed: 0,
+                mem_drop_rate: 1.0, // arms the plan; drops injected manually
+                watchdog_cycles: 400,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let req = rig.request(3, Cycle::ZERO);
+        unit.accept(Cycle::ZERO, req);
+        let mut now = Cycle::ZERO;
+        let mut inflight: DelayQueue<MemReqId> = DelayQueue::new();
+        let mut dropped_first = false;
+        let mut done = Vec::new();
+        for _ in 0..1_000_000 {
+            unit.tick(now, &mut rig.ids);
+            while let Some(req) = unit.pop_mem_request() {
+                if !dropped_first {
+                    dropped_first = true;
+                    assert!(unit.on_mem_dropped(req.id));
+                } else {
+                    inflight.push(now + 50, req.id);
+                }
+            }
+            while let Some(id) = inflight.pop_ready(now) {
+                unit.on_mem_response(id, now, &rig.mem, &mut rig.pwc);
+            }
+            while let Some(c) = unit.pop_completion() {
+                done.push(c);
+            }
+            if unit.is_idle() && inflight.is_empty() {
+                break;
+            }
+            now = now.next();
+        }
+        assert_eq!(done.len(), 1, "walk never completed after drop");
+        let expect = rig.space.mappings().nth(3).unwrap().1;
+        assert_eq!(done[0].pfn, Some(expect));
+        let fs = unit.fault_stats();
+        assert_eq!(fs.watchdog_timeouts, 1);
+        assert_eq!(fs.recovered_injections, 1);
+    }
+
+    #[test]
+    fn fault_buffer_cap_bounds_memory_under_fault_storm() {
+        let mut rig = Rig::new(2);
+        let mut unit = PwWarpUnit::new(PwWarpConfig {
+            fault_buffer_entries: 4,
+            ..PwWarpConfig::default()
+        });
+        // 16 genuinely-unmapped walks, capacity 4: the buffer drops the
+        // oldest 12 records but every walk still completes (faulting).
+        for i in 0..16u64 {
+            let req = rig.request(0x5_0000 + i * 16, Cycle::ZERO);
+            assert!(unit.accept(Cycle::ZERO, req));
+        }
+        let (done, _) = run(&mut unit, &mut rig, 10);
+        assert_eq!(done.len(), 16);
+        assert!(done.iter().all(|c| c.pfn.is_none()));
+        assert_eq!(unit.fault_buffer().len(), 4);
+        assert_eq!(unit.fault_buffer().overflow_dropped(), 12);
+        assert_eq!(unit.fault_stats().fault_buffer_overflow_drops, 12);
     }
 
     #[test]

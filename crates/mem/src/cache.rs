@@ -6,9 +6,9 @@
 //! in-flight sector and *rejects* new misses when full (an "MSHR failure",
 //! which the paper measures for the L2 in Figure 20).
 
-use crate::req::MemReq;
+use crate::req::{AccessKind, MemReq};
 use std::collections::{HashMap, VecDeque};
-use swgpu_types::{Cycle, DelayQueue};
+use swgpu_types::{Cycle, DelayQueue, FaultInjectionStats, FaultInjector};
 
 /// Static geometry and timing of one cache.
 #[derive(Debug, Clone)]
@@ -200,6 +200,10 @@ pub struct Cache {
     responses: VecDeque<MemReq>,
     use_tick: u64,
     stats: CacheStats,
+    /// Fault injection: when set, completed page-table responses are
+    /// dropped with the given rate (the requester's watchdog re-issues).
+    fault: Option<(FaultInjector, f64)>,
+    dropped: VecDeque<MemReq>,
 }
 
 impl Cache {
@@ -221,7 +225,32 @@ impl Cache {
             responses: VecDeque::new(),
             use_tick: 0,
             stats: CacheStats::default(),
+            fault: None,
+            dropped: VecDeque::new(),
         }
+    }
+
+    /// Arms response-drop fault injection: completed [`AccessKind::PageTable`]
+    /// responses are discarded with probability `rate`. Dropped requests are
+    /// retrievable via [`Cache::pop_dropped`] so the owner can attribute the
+    /// loss; data traffic is never dropped (SMs have no watchdog).
+    pub fn set_fault_injector(&mut self, inj: FaultInjector, rate: f64) {
+        self.fault = Some((inj, rate));
+    }
+
+    /// Counters for faults injected at this cache.
+    pub fn fault_stats(&self) -> FaultInjectionStats {
+        self.fault
+            .as_ref()
+            .map(|(inj, _)| inj.stats)
+            .unwrap_or_default()
+    }
+
+    /// Pops a response that was dropped by fault injection (the request is
+    /// complete from the cache's point of view — fill done, MSHR released —
+    /// but the requester never hears back).
+    pub fn pop_dropped(&mut self) -> Option<MemReq> {
+        self.dropped.pop_front()
     }
 
     /// The cache's configuration.
@@ -361,11 +390,25 @@ impl Cache {
     }
 
     /// Pops the next completed request (hit or filled miss) ready at `now`.
+    /// Page-table responses may be discarded here by fault injection; see
+    /// [`Cache::set_fault_injector`].
     pub fn pop_response(&mut self, now: Cycle) -> Option<MemReq> {
-        if let Some(req) = self.hit_queue.pop_ready(now) {
+        loop {
+            let req = match self.hit_queue.pop_ready(now) {
+                Some(req) => req,
+                None => self.responses.pop_front()?,
+            };
+            if req.kind == AccessKind::PageTable {
+                if let Some((inj, rate)) = self.fault.as_mut() {
+                    if inj.fire(*rate) {
+                        inj.stats.injected_mem_drops += 1;
+                        self.dropped.push_back(req);
+                        continue;
+                    }
+                }
+            }
             return Some(req);
         }
-        self.responses.pop_front()
     }
 
     /// Whether the cache has any work in flight (hits in the pipe, fills
@@ -535,5 +578,26 @@ mod tests {
     fn spurious_fill_panics() {
         let mut c = tiny_cache();
         c.complete_fill(Cycle::ZERO, req(9, 0x100));
+    }
+
+    #[test]
+    fn drop_injection_discards_page_table_responses_only() {
+        use swgpu_types::fault::site;
+        let mut c = tiny_cache();
+        c.set_fault_injector(FaultInjector::new(3, site::L2D_DROP), 1.0);
+        let pt = MemReq::new(MemReqId(1), PhysAddr::new(0x100), AccessKind::PageTable);
+        let data = MemReq::new(MemReqId(2), PhysAddr::new(0x200), AccessKind::Data);
+        assert_eq!(c.access(Cycle::ZERO, pt), AccessOutcome::Miss);
+        assert_eq!(c.access(Cycle::ZERO, data), AccessOutcome::Miss);
+        fill_round_trip(&mut c, Cycle::ZERO);
+        // The page-table response vanishes; the data response survives.
+        let got = c.pop_response(Cycle::new(2000)).expect("data response");
+        assert_eq!(got.id, MemReqId(2));
+        assert!(c.pop_response(Cycle::new(2000)).is_none());
+        assert_eq!(c.fault_stats().injected_mem_drops, 1);
+        assert_eq!(c.pop_dropped().expect("dropped req").id, MemReqId(1));
+        assert!(c.pop_dropped().is_none());
+        // The cache itself is clean: the sector filled and the MSHR freed.
+        assert!(c.is_idle());
     }
 }

@@ -9,8 +9,8 @@
 //! latency when the memory system is underutilized (which it is: the paper
 //! measures only 6.7% bandwidth use for irregular apps at baseline).
 
-use crate::req::MemReq;
-use swgpu_types::{Cycle, DelayQueue};
+use crate::req::{AccessKind, MemReq};
+use swgpu_types::{Cycle, DelayQueue, FaultInjectionStats, FaultInjector};
 
 /// DRAM timing parameters.
 #[derive(Debug, Clone)]
@@ -80,6 +80,9 @@ pub struct Dram {
     channel_free_at: Vec<Cycle>,
     inflight: DelayQueue<MemReq>,
     stats: DramStats,
+    /// Fault injection: page-table accesses are stretched by
+    /// `extra_cycles` with probability `rate`.
+    fault: Option<(FaultInjector, f64, u64)>,
 }
 
 impl Dram {
@@ -99,8 +102,25 @@ impl Dram {
             channel_free_at: vec![Cycle::ZERO; cfg.channels],
             inflight: DelayQueue::new(),
             stats: DramStats::default(),
+            fault: None,
             cfg,
         }
+    }
+
+    /// Arms access-delay fault injection: [`AccessKind::PageTable`]
+    /// accesses complete `extra_cycles` later with probability `rate`.
+    /// Delayed accesses still complete on their own — no recovery needed —
+    /// but they exercise the requesters' watchdog timeout paths.
+    pub fn set_fault_injector(&mut self, inj: FaultInjector, rate: f64, extra_cycles: u64) {
+        self.fault = Some((inj, rate, extra_cycles));
+    }
+
+    /// Counters for faults injected at this DRAM.
+    pub fn fault_stats(&self) -> FaultInjectionStats {
+        self.fault
+            .as_ref()
+            .map(|(inj, _, _)| inj.stats)
+            .unwrap_or_default()
     }
 
     /// The DRAM configuration.
@@ -125,7 +145,15 @@ impl Dram {
         let ch = self.channel_of(req.addr.value());
         let start = now.max(self.channel_free_at[ch]);
         self.channel_free_at[ch] = start + self.cfg.service_cycles;
-        let done = start + self.cfg.service_cycles + self.cfg.latency;
+        let mut done = start + self.cfg.service_cycles + self.cfg.latency;
+        if req.kind == AccessKind::PageTable {
+            if let Some((inj, rate, extra)) = self.fault.as_mut() {
+                if inj.fire(*rate) {
+                    inj.stats.injected_mem_delays += 1;
+                    done += *extra;
+                }
+            }
+        }
         self.stats.requests += 1;
         self.stats.busy_cycles += self.cfg.service_cycles;
         self.inflight.push(done, req);
@@ -215,5 +243,25 @@ mod tests {
         d.access(Cycle::ZERO, req(2, 256));
         let util = d.stats().bandwidth_utilization(2, 10);
         assert!((util - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_injection_stretches_page_table_accesses_only() {
+        use swgpu_types::fault::site;
+        let mut d = Dram::new(DramConfig {
+            channels: 2,
+            latency: 100,
+            service_cycles: 2,
+            interleave_bytes: 256,
+        });
+        d.set_fault_injector(FaultInjector::new(3, site::DRAM_DELAY), 1.0, 500);
+        let pt = MemReq::new(MemReqId(1), PhysAddr::new(0), AccessKind::PageTable);
+        let data = MemReq::new(MemReqId(2), PhysAddr::new(256), AccessKind::Data);
+        assert_eq!(d.access(Cycle::ZERO, pt), Cycle::new(602));
+        assert_eq!(d.access(Cycle::ZERO, data), Cycle::new(102));
+        assert_eq!(d.fault_stats().injected_mem_delays, 1);
+        // Delayed requests still complete on their own.
+        assert_eq!(d.pop_complete(Cycle::new(102)).unwrap().id, MemReqId(2));
+        assert_eq!(d.pop_complete(Cycle::new(602)).unwrap().id, MemReqId(1));
     }
 }

@@ -1,0 +1,94 @@
+//! Fault-injected page-table entry reads.
+//!
+//! Every walker (hardware PTW pool and software PW Warps) decodes
+//! page-table entries out of [`PhysMem`] once the timed memory access for
+//! the entry completes. Routing that decode through [`read_pte_checked`]
+//! gives the fault-injection layer a single choke point for *transient
+//! PTE corruption*: with some probability the reader observes an invalid
+//! entry instead of the real bytes. The corruption is transient — the
+//! backing store is untouched — so re-reading the same address on retry
+//! observes the true entry, which is exactly the recovery the watchdog /
+//! bounded-retry machinery implements.
+//!
+//! Injected corruption always yields [`Pte::from_raw(0)`] (invalid),
+//! never a garbage-but-valid pointer, so the page walk cache can never be
+//! poisoned by an injected fault (PWC fills only happen on valid PDEs).
+
+use swgpu_mem::PhysMem;
+use swgpu_types::{FaultInjector, PhysAddr, Pte};
+
+/// Reads the page-table entry at `addr`, optionally through a fault
+/// injector. Returns the observed entry plus whether this particular read
+/// was corrupted by injection.
+///
+/// With `inj == None` (or a zero corruption rate) this is exactly
+/// `Pte::from_raw(mem.read_u64(addr))`.
+pub fn read_pte_checked(
+    mem: &PhysMem,
+    addr: PhysAddr,
+    inj: Option<(&mut FaultInjector, f64)>,
+) -> (Pte, bool) {
+    let real = Pte::from_raw(mem.read_u64(addr));
+    if let Some((inj, rate)) = inj {
+        // Only corrupt reads that would have succeeded: injecting on an
+        // already-invalid entry would be indistinguishable from a real
+        // fault and would break the conservation accounting.
+        if real.is_valid() && inj.fire(rate) {
+            inj.stats.injected_pte_corruptions += 1;
+            return (Pte::from_raw(0), true);
+        }
+    }
+    (real, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgpu_types::fault::site;
+
+    #[test]
+    fn uninjected_read_is_transparent() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(
+            PhysAddr::new(0x1000),
+            Pte::valid(swgpu_types::Pfn::new(5)).raw(),
+        );
+        let (pte, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x1000), None);
+        assert!(pte.is_valid());
+        assert!(!corrupted);
+    }
+
+    #[test]
+    fn full_rate_corrupts_valid_entries_only() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(
+            PhysAddr::new(0x1000),
+            Pte::valid(swgpu_types::Pfn::new(5)).raw(),
+        );
+        let mut inj = FaultInjector::new(1, site::PTW_PTE);
+        let (pte, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 1.0)));
+        assert!(!pte.is_valid());
+        assert!(corrupted);
+        assert_eq!(inj.stats.injected_pte_corruptions, 1);
+
+        // A genuinely-invalid entry is never "corrupted".
+        let (pte, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x2000), Some((&mut inj, 1.0)));
+        assert!(!pte.is_valid());
+        assert!(!corrupted);
+        assert_eq!(inj.stats.injected_pte_corruptions, 1);
+    }
+
+    #[test]
+    fn retry_after_corruption_sees_real_entry() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(
+            PhysAddr::new(0x1000),
+            Pte::valid(swgpu_types::Pfn::new(5)).raw(),
+        );
+        let mut inj = FaultInjector::new(1, site::PTW_PTE);
+        let (_, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 1.0)));
+        assert!(corrupted);
+        let (pte, _) = read_pte_checked(&mem, PhysAddr::new(0x1000), None);
+        assert!(pte.is_valid(), "corruption must be transient");
+    }
+}

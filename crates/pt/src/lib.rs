@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 
 mod alloc;
+mod checked;
 mod hashed;
 mod pwc;
 mod radix;
 mod space;
 
 pub use alloc::FrameAllocator;
+pub use checked::read_pte_checked;
 pub use hashed::{HashedPageTable, HashedWalk, HptFullError};
 pub use pwc::{PageWalkCache, PwcStart, PwcStats};
 pub use radix::{RadixPageTable, LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};

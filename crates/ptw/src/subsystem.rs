@@ -3,8 +3,12 @@
 use crate::request::{TableRef, WalkCompletion, WalkContext, WalkRequest, WalkResult};
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessKind, MemReq};
-use swgpu_pt::{RadixPageTable, LEAF_LEVEL};
-use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, PhysAddr, Pte};
+use swgpu_pt::{read_pte_checked, RadixPageTable, LEAF_LEVEL};
+use swgpu_types::fault::site;
+use swgpu_types::{
+    Cycle, DelayQueue, FaultInjectionStats, FaultInjector, FaultPlan, IdGen, MemReqId, PhysAddr,
+    Pte,
+};
 
 /// How pending walks are picked from the PWB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +168,33 @@ struct ActiveWalk {
     reqs: Vec<WalkRequest>,
     started_at: Cycle,
     engine: Engine,
+    /// Bounded-backoff retries consumed so far (watchdog re-issues and
+    /// corrupted-read retries both count).
+    retries: u32,
+    /// Injected faults attributed to this walk and not yet resolved;
+    /// credited to `recovered_injections` on completion or to
+    /// `escalated_injections` on escalation.
+    pending_inj: u64,
+    /// Generation counter: bumped whenever the walk makes progress so
+    /// stale watchdog deadlines are ignored.
+    gen: u64,
+    /// Outstanding memory read, if any (cancelled on watchdog timeout).
+    wait_id: Option<MemReqId>,
+}
+
+/// Fault-injection + recovery state, present only when a nonzero-rate
+/// [`FaultPlan`] is armed. When absent, every fault-path branch in the
+/// subsystem is skipped and behavior is bit-identical to the baseline.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    inj: FaultInjector,
+    stats: FaultInjectionStats,
+    /// Pending watchdog deadlines: `(walk_id, gen)`, stale if the walk's
+    /// generation moved on.
+    watchdog: DelayQueue<(u64, u64)>,
+    /// Backoff-delayed retries of corrupted reads: `(walk_id, gen)`.
+    retry_wake: DelayQueue<(u64, u64)>,
 }
 
 /// The hardware page-walk subsystem: a PWB feeding a pool of walkers.
@@ -189,6 +220,7 @@ pub struct PtwSubsystem {
     fixed_wake: DelayQueue<u64>,
     completions: VecDeque<WalkCompletion>,
     stats: WalkStats,
+    fault: Option<FaultState>,
 }
 
 impl PtwSubsystem {
@@ -210,7 +242,34 @@ impl PtwSubsystem {
             fixed_wake: DelayQueue::new(),
             completions: VecDeque::new(),
             stats: WalkStats::default(),
+            fault: None,
         }
+    }
+
+    /// Arms fault injection + recovery per `plan`. A disabled plan (all
+    /// rates zero) leaves the subsystem in its inert baseline state.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.enabled() {
+            self.fault = Some(FaultState {
+                inj: FaultInjector::new(plan.seed, site::PTW_PTE),
+                plan: plan.clone(),
+                stats: FaultInjectionStats::default(),
+                watchdog: DelayQueue::new(),
+                retry_wake: DelayQueue::new(),
+            });
+        }
+    }
+
+    /// Counters for faults injected at / recovered by this subsystem.
+    pub fn fault_stats(&self) -> FaultInjectionStats {
+        self.fault
+            .as_ref()
+            .map(|f| {
+                let mut s = f.stats;
+                s.merge(&f.inj.stats);
+                s
+            })
+            .unwrap_or_default()
     }
 
     /// The subsystem's configuration.
@@ -335,9 +394,13 @@ impl PtwSubsystem {
         }
     }
 
-    /// Advances the subsystem one cycle: wakes fixed-latency walks and
-    /// starts new walks on idle walkers (bounded by PWB ports).
+    /// Advances the subsystem one cycle: fires watchdogs and pending
+    /// retries, wakes fixed-latency walks and starts new walks on idle
+    /// walkers (bounded by PWB ports).
     pub fn tick(&mut self, now: Cycle, ctx: &mut WalkContext<'_>, ids: &mut IdGen) {
+        if self.fault.is_some() {
+            self.tick_fault(now, ids);
+        }
         while let Some(walk_id) = self.fixed_wake.pop_ready(now) {
             self.advance(walk_id, now, ctx, ids);
         }
@@ -379,6 +442,10 @@ impl PtwSubsystem {
             reqs: pending.reqs,
             started_at: now,
             engine,
+            retries: 0,
+            pending_inj: 0,
+            gen: 0,
+            wait_id: None,
         };
         let addr = Self::current_read_addr(&walk);
         self.active.insert(walk_id, walk);
@@ -403,11 +470,141 @@ impl PtwSubsystem {
                 self.mem_wait.insert(id, walk_id);
                 self.mem_out
                     .push_back(MemReq::new(id, addr, AccessKind::PageTable));
+                if let Some(fs) = self.fault.as_mut() {
+                    let walk = self.active.get_mut(&walk_id).expect("issuing unknown walk");
+                    walk.wait_id = Some(id);
+                    let deadline = now + fs.plan.backoff_cycles(walk.retries);
+                    fs.watchdog.push(deadline, (walk_id, walk.gen));
+                }
             }
             WalkTiming::FixedPerLevel(lat) => {
                 self.fixed_wake.push(now + lat, walk_id);
             }
         }
+    }
+
+    /// Fires due watchdog deadlines and backoff retries. Only called when
+    /// a fault plan is armed.
+    fn tick_fault(&mut self, now: Cycle, ids: &mut IdGen) {
+        loop {
+            let fs = self.fault.as_mut().expect("tick_fault without plan");
+            if let Some((walk_id, gen)) = fs.retry_wake.pop_ready(now) {
+                let Some(walk) = self.active.get(&walk_id) else {
+                    continue;
+                };
+                if walk.gen != gen {
+                    continue;
+                }
+                let addr = Self::current_read_addr(walk);
+                self.issue_read(walk_id, addr, now, ids);
+                continue;
+            }
+            let Some((walk_id, gen)) = fs.watchdog.pop_ready(now) else {
+                break;
+            };
+            let stale = match self.active.get(&walk_id) {
+                Some(walk) => walk.gen != gen || walk.wait_id.is_none(),
+                None => true,
+            };
+            if stale {
+                continue;
+            }
+            self.fault.as_mut().expect("armed").stats.watchdog_timeouts += 1;
+            let walk = self.active.get_mut(&walk_id).expect("checked above");
+            if let Some(id) = walk.wait_id.take() {
+                // A response for the cancelled read may still arrive (a
+                // delay, not a drop, tripped the watchdog); removing the
+                // mapping makes it a no-op instead of a double-advance.
+                self.mem_wait.remove(&id);
+            }
+            walk.gen += 1;
+            self.retry_or_escalate(walk_id, now, ids);
+        }
+    }
+
+    /// Consumes one retry for `walk_id` (re-issuing its current read
+    /// immediately), or escalates it when the retry budget is spent.
+    fn retry_or_escalate(&mut self, walk_id: u64, now: Cycle, ids: &mut IdGen) {
+        let fs = self.fault.as_mut().expect("fault path without plan");
+        let max_retries = fs.plan.max_retries;
+        let walk = self
+            .active
+            .get_mut(&walk_id)
+            .expect("retrying unknown walk");
+        if walk.retries >= max_retries {
+            self.escalate(walk_id, now);
+            return;
+        }
+        walk.retries += 1;
+        fs.stats.walk_retries += 1;
+        let addr = Self::current_read_addr(walk);
+        self.issue_read(walk_id, addr, now, ids);
+    }
+
+    /// Schedules a backoff-delayed retry for a walk whose read decoded a
+    /// corrupted entry, or escalates it when the retry budget is spent.
+    fn schedule_retry_or_escalate(&mut self, walk_id: u64, now: Cycle) {
+        let fs = self.fault.as_mut().expect("fault path without plan");
+        let max_retries = fs.plan.max_retries;
+        let walk = self
+            .active
+            .get_mut(&walk_id)
+            .expect("retrying unknown walk");
+        if walk.retries >= max_retries {
+            self.escalate(walk_id, now);
+            return;
+        }
+        walk.retries += 1;
+        walk.gen += 1;
+        fs.stats.walk_retries += 1;
+        let wake = now + fs.plan.backoff_cycles(walk.retries);
+        fs.retry_wake.push(wake, (walk_id, walk.gen));
+    }
+
+    /// Hands a walk to the fault buffer / driver: every VPN completes
+    /// with `pfn: None` and the attributed injections are counted as
+    /// escalated. The owner (the full simulator) routes these fault
+    /// results through the UVM driver for repair + replay.
+    fn escalate(&mut self, walk_id: u64, now: Cycle) {
+        let walk = self
+            .active
+            .remove(&walk_id)
+            .expect("escalating unknown walk");
+        if let Some(id) = walk.wait_id {
+            self.mem_wait.remove(&id);
+        }
+        self.release_owners(&walk.reqs);
+        let fs = self.fault.as_mut().expect("escalation without plan");
+        fs.stats.fault_escalations += 1;
+        fs.stats.escalated_injections += walk.pending_inj;
+        let results = walk
+            .reqs
+            .iter()
+            .map(|r| WalkResult {
+                vpn: r.vpn,
+                pfn: None,
+                issued_at: r.issued_at,
+            })
+            .collect();
+        self.complete(walk.started_at, now, results);
+    }
+
+    /// Notifies the subsystem that a memory read it issued was dropped by
+    /// fault injection (it will never get a response). Returns whether
+    /// the id belonged to this subsystem. Recovery happens via the
+    /// already-armed watchdog deadline.
+    pub fn on_mem_dropped(&mut self, id: MemReqId) -> bool {
+        let Some(walk_id) = self.mem_wait.remove(&id) else {
+            return false;
+        };
+        let walk = self
+            .active
+            .get_mut(&walk_id)
+            .expect("drop for unknown walk");
+        walk.pending_inj += 1;
+        // Leave wait_id armed: the watchdog uses it to tell "waiting on
+        // memory" from "advancing"; the timeout fires and re-issues.
+        true
     }
 
     /// Next memory read destined for the L2 data cache, if any.
@@ -433,37 +630,69 @@ impl PtwSubsystem {
         }
     }
 
+    /// Credits a finishing walk's attributed injections as recovered:
+    /// the walk reached its true conclusion despite them.
+    fn credit_recovered(&mut self, pending_inj: u64) {
+        if let Some(fs) = self.fault.as_mut() {
+            fs.stats.recovered_injections += pending_inj;
+        }
+    }
+
     /// One level's data is available: decode it and descend / complete.
     fn advance(&mut self, walk_id: u64, now: Cycle, ctx: &mut WalkContext<'_>, ids: &mut IdGen) {
         let walk = self
             .active
             .get_mut(&walk_id)
             .expect("advance() on unknown walk");
+        if self.fault.is_some() {
+            // Progress: the pending read (if any) resolved, so any armed
+            // watchdog deadline for it is now stale.
+            walk.wait_id = None;
+            walk.gen += 1;
+        }
         match &mut walk.engine {
             Engine::Radix { level, node } => {
                 let vpn = walk.reqs[0].vpn;
                 if *level == LEAF_LEVEL {
                     // Leaf sector available: decode each coalesced VPN's PTE.
                     let node = *node;
+                    let mut corrupted_n = 0u64;
+                    let mut results = Vec::with_capacity(walk.reqs.len());
+                    for r in walk.reqs.iter() {
+                        let addr = RadixPageTable::entry_addr(LEAF_LEVEL, node, r.vpn);
+                        let inj = self
+                            .fault
+                            .as_mut()
+                            .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
+                        let (pte, corrupted) = read_pte_checked(ctx.mem, addr, inj);
+                        corrupted_n += u64::from(corrupted);
+                        results.push(WalkResult {
+                            vpn: r.vpn,
+                            pfn: pte.is_valid().then(|| pte.pfn()),
+                            issued_at: r.issued_at,
+                        });
+                    }
+                    if corrupted_n > 0 {
+                        walk.pending_inj += corrupted_n;
+                        self.schedule_retry_or_escalate(walk_id, now);
+                        return;
+                    }
                     let walk = self.active.remove(&walk_id).expect("present");
                     self.release_owners(&walk.reqs);
-                    let results = walk
-                        .reqs
-                        .iter()
-                        .map(|r| {
-                            let addr = RadixPageTable::entry_addr(LEAF_LEVEL, node, r.vpn);
-                            let pte = Pte::from_raw(ctx.mem.read_u64(addr));
-                            WalkResult {
-                                vpn: r.vpn,
-                                pfn: pte.is_valid().then(|| pte.pfn()),
-                                issued_at: r.issued_at,
-                            }
-                        })
-                        .collect();
+                    self.credit_recovered(walk.pending_inj);
                     self.complete(walk.started_at, now, results);
                 } else {
                     let addr = RadixPageTable::entry_addr(*level, *node, vpn);
-                    let pde = Pte::from_raw(ctx.mem.read_u64(addr));
+                    let inj = self
+                        .fault
+                        .as_mut()
+                        .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
+                    let (pde, corrupted) = read_pte_checked(ctx.mem, addr, inj);
+                    if corrupted {
+                        walk.pending_inj += 1;
+                        self.schedule_retry_or_escalate(walk_id, now);
+                        return;
+                    }
                     match RadixPageTable::next_node(pde) {
                         Some(next) => {
                             *level -= 1;
@@ -477,8 +706,7 @@ impl PtwSubsystem {
                             // shares the faulting path.
                             let walk = self.active.remove(&walk_id).expect("present");
                             self.release_owners(&walk.reqs);
-                            self.release_owners(&walk.reqs);
-                            self.release_owners(&walk.reqs);
+                            self.credit_recovered(walk.pending_inj);
                             let results = walk
                                 .reqs
                                 .iter()
@@ -505,6 +733,7 @@ impl PtwSubsystem {
                 if let Some(pte) = hpt.match_in_bucket(vpn, bucket, ctx.mem) {
                     let walk = self.active.remove(&walk_id).expect("present");
                     self.release_owners(&walk.reqs);
+                    self.credit_recovered(walk.pending_inj);
                     let results = vec![WalkResult {
                         vpn,
                         pfn: pte.is_valid().then(|| pte.pfn()),
@@ -516,7 +745,7 @@ impl PtwSubsystem {
                     if *probe_idx >= addrs.len() {
                         let walk = self.active.remove(&walk_id).expect("present");
                         self.release_owners(&walk.reqs);
-                        self.release_owners(&walk.reqs);
+                        self.credit_recovered(walk.pending_inj);
                         let results = vec![WalkResult {
                             vpn,
                             pfn: None,
@@ -864,6 +1093,146 @@ mod tests {
         let (done, _) = run_to_idle(&mut sub, &mut rig, Cycle::ZERO, 50);
         let order: Vec<u64> = done.iter().map(|c| c.results[0].vpn.value()).collect();
         assert_eq!(order, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_inert() {
+        let mut rig = Rig::new(8);
+        let mut sub = PtwSubsystem::new(PtwConfig::default());
+        sub.set_fault_plan(&FaultPlan::default());
+        assert!(sub.fault.is_none(), "zero-rate plan must not arm");
+        sub.enqueue(WalkRequest::new(Vpn::new(3), Cycle::ZERO));
+        let (done, _) = run_to_idle(&mut sub, &mut rig, Cycle::ZERO, 100);
+        assert_eq!(done.len(), 1);
+        assert!(!sub.fault_stats().any());
+    }
+
+    #[test]
+    fn corruption_is_retried_and_conserved() {
+        let mut rig = Rig::new(64);
+        let mut sub = PtwSubsystem::new(PtwConfig::default());
+        sub.set_fault_plan(&FaultPlan {
+            seed: 11,
+            pte_corrupt_rate: 0.25,
+            watchdog_cycles: 2_000,
+            ..FaultPlan::default()
+        });
+        for i in 0..16u64 {
+            assert!(sub.enqueue(WalkRequest::new(Vpn::new(i * 8), Cycle::ZERO)));
+        }
+        let (done, _) = run_to_idle(&mut sub, &mut rig, Cycle::ZERO, 50);
+        let delivered: usize = done.iter().map(|c| c.results.len()).sum();
+        assert_eq!(delivered, 16, "every translation must complete");
+        let fs = sub.fault_stats();
+        assert!(fs.injected_pte_corruptions > 0, "rate 0.25 never fired");
+        assert_eq!(
+            fs.injected_total(),
+            fs.recovered_injections + fs.escalated_injections,
+            "injected faults leaked: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn permanent_corruption_escalates_after_bounded_retries() {
+        let mut rig = Rig::new(8);
+        let mut sub = PtwSubsystem::new(PtwConfig::default());
+        sub.set_fault_plan(&FaultPlan {
+            seed: 1,
+            pte_corrupt_rate: 1.0,
+            max_retries: 2,
+            watchdog_cycles: 1_000,
+            ..FaultPlan::default()
+        });
+        sub.enqueue(WalkRequest::new(Vpn::new(3), Cycle::ZERO));
+        let (done, _) = run_to_idle(&mut sub, &mut rig, Cycle::ZERO, 50);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].results[0].pfn, None, "escalations fault-complete");
+        let fs = sub.fault_stats();
+        assert_eq!(fs.fault_escalations, 1);
+        assert_eq!(fs.walk_retries, 2, "retry budget fully consumed");
+        assert_eq!(fs.injected_total(), fs.escalated_injections);
+        assert_eq!(fs.recovered_injections, 0);
+    }
+
+    #[test]
+    fn dropped_response_recovers_via_watchdog() {
+        let mut rig = Rig::new(8);
+        let mut sub = PtwSubsystem::new(PtwConfig::default());
+        sub.set_fault_plan(&FaultPlan {
+            seed: 0,
+            // Drops are injected by the cache, not the PTW; arm the plan
+            // via a rate that never fires here so the watchdog is live.
+            mem_drop_rate: 1.0,
+            watchdog_cycles: 500,
+            ..FaultPlan::default()
+        });
+        sub.enqueue(WalkRequest::new(Vpn::new(3), Cycle::ZERO));
+        let mut now = Cycle::ZERO;
+        let mut inflight: DelayQueue<MemReqId> = DelayQueue::new();
+        let mut dropped_first = false;
+        let mut done = Vec::new();
+        for _ in 0..1_000_000u64 {
+            {
+                let (mut ctx, ids) = rig.parts();
+                sub.tick(now, &mut ctx, ids);
+            }
+            while let Some(req) = sub.pop_mem_request() {
+                if !dropped_first {
+                    dropped_first = true;
+                    assert!(sub.on_mem_dropped(req.id), "drop must be attributed");
+                } else {
+                    inflight.push(now + 50, req.id);
+                }
+            }
+            while let Some(id) = inflight.pop_ready(now) {
+                let (mut ctx, ids) = rig.parts();
+                sub.on_mem_response(id, now, &mut ctx, ids);
+            }
+            while let Some(c) = sub.pop_completion() {
+                done.push(c);
+            }
+            if sub.is_idle() && inflight.is_empty() {
+                break;
+            }
+            now = now.next();
+        }
+        assert_eq!(done.len(), 1, "walk never completed after drop");
+        let expect = rig.space.mappings().nth(3).unwrap().1;
+        assert_eq!(done[0].results[0].pfn, Some(expect));
+        let fs = sub.fault_stats();
+        assert_eq!(fs.watchdog_timeouts, 1);
+        assert_eq!(fs.walk_retries, 1);
+        assert_eq!(fs.recovered_injections, 1, "the drop resolved in place");
+    }
+
+    #[test]
+    fn multi_owner_fault_completion_releases_owner_once() {
+        // Regression: the directory-fault path used to call
+        // release_owners three times, corrupting owner_counts for warps
+        // with several outstanding walks.
+        use crate::request::WalkOwner;
+        use swgpu_types::{SmId, WarpId};
+        let mut rig = Rig::new(2);
+        let mut sub = PtwSubsystem::new(PtwConfig {
+            pwb_policy: PwbPolicy::WarpShortestFirst,
+            ..PtwConfig::default()
+        });
+        let warp: WalkOwner = Some((SmId::new(0), WarpId::new(0)));
+        // One unmapped VPN (directory fault) and two mapped, same owner.
+        assert!(sub.enqueue(WalkRequest::with_owner(
+            Vpn::new(0x7_0000),
+            Cycle::ZERO,
+            warp
+        )));
+        assert!(sub.enqueue(WalkRequest::with_owner(Vpn::new(0), Cycle::ZERO, warp)));
+        assert!(sub.enqueue(WalkRequest::with_owner(Vpn::new(1), Cycle::ZERO, warp)));
+        let (done, _) = run_to_idle(&mut sub, &mut rig, Cycle::ZERO, 10);
+        assert_eq!(done.iter().map(|c| c.results.len()).sum::<usize>(), 3);
+        assert!(
+            sub.owner_counts.is_empty(),
+            "owner accounting leaked: {:?}",
+            sub.owner_counts
+        );
     }
 
     #[test]

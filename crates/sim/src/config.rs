@@ -4,7 +4,7 @@ use softwalker::{DistributorPolicy, PwWarpConfig};
 use swgpu_mem::{CacheConfig, DramConfig};
 use swgpu_ptw::{PtwConfig, WalkTiming};
 use swgpu_tlb::{TlbConfig, TlbMshrConfig};
-use swgpu_types::PageSize;
+use swgpu_types::{FaultPlan, PageSize};
 
 /// Which machinery resolves L2 TLB misses — one variant per configuration
 /// the paper evaluates.
@@ -120,6 +120,12 @@ pub struct GpuConfig {
     /// [`crate::WalkTrace`] (0 disables; used by the Figure 9 timeline
     /// harness).
     pub walk_trace_cap: usize,
+    /// Deterministic fault injection + recovery knobs. All rates default
+    /// to zero, which leaves every injection site unarmed: a zero-rate
+    /// run is cycle- and stats-identical to a build without the fault
+    /// layer. The plan participates in [`GpuConfig::fingerprint`], so
+    /// changing it busts the experiment runner's cache.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for GpuConfig {
@@ -149,6 +155,7 @@ impl Default for GpuConfig {
             scrambled_frames: true,
             max_cycles: 50_000_000,
             walk_trace_cap: 0,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -238,6 +245,23 @@ impl GpuConfig {
             self.pw_warp.softpwb_entries >= 1,
             "SoftPWB must hold requests"
         );
+        for (name, rate) in [
+            ("pte_corrupt_rate", self.fault_plan.pte_corrupt_rate),
+            ("mem_drop_rate", self.fault_plan.mem_drop_rate),
+            ("mem_delay_rate", self.fault_plan.mem_delay_rate),
+            ("stuck_thread_rate", self.fault_plan.stuck_thread_rate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "fault plan {name} must be a probability, got {rate}"
+            );
+        }
+        if self.fault_plan.enabled() {
+            assert!(
+                self.fault_plan.watchdog_cycles > 0,
+                "an armed fault plan needs a positive watchdog timeout"
+            );
+        }
     }
 }
 
@@ -294,6 +318,32 @@ mod tests {
             ..GpuConfig::default()
         };
         assert_ne!(base.fingerprint(), sw.fingerprint());
+    }
+
+    #[test]
+    fn fault_plan_defaults_disabled_and_fingerprints() {
+        let base = GpuConfig::default();
+        assert!(!base.fault_plan.enabled());
+        base.validate();
+        let mut faulty = GpuConfig::default();
+        faulty.fault_plan.pte_corrupt_rate = 0.01;
+        faulty.validate();
+        assert_ne!(
+            base.fingerprint(),
+            faulty.fingerprint(),
+            "an armed plan must bust the run cache"
+        );
+        let mut reseeded = faulty.clone();
+        reseeded.fault_plan.seed = 1;
+        assert_ne!(faulty.fingerprint(), reseeded.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn fault_rate_out_of_range_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.fault_plan.mem_drop_rate = 1.5;
+        cfg.validate();
     }
 
     #[test]

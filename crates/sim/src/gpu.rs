@@ -2,15 +2,20 @@
 
 use crate::config::{GpuConfig, TranslationMode};
 use crate::stats::SimStats;
-use softwalker::{DistributorPolicy, PwWarpUnit, RequestDistributor, SwWalkRequest};
+use softwalker::{
+    DistributorPolicy, FaultBuffer, FaultRecord, PwWarpUnit, RequestDistributor, SwWalkRequest,
+};
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessOutcome, Cache, Dram, MemReq, PhysMem};
 use swgpu_pt::{AddressSpace, HashedPageTable, PageWalkCache};
-use swgpu_ptw::{PtwSubsystem, TableRef, WalkContext, WalkRequest};
+use swgpu_ptw::{PtwSubsystem, TableRef, WalkContext, WalkOwner, WalkRequest};
 use swgpu_sm::{InstrSource, Sm, SmConfig};
 use swgpu_tlb::{L2MissOutcome, L2TlbComplex};
 use swgpu_types::WarpId;
-use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, Pfn, SmId, VirtAddr, Vpn};
+use swgpu_types::{
+    fault::site, Cycle, DelayQueue, FaultInjectionStats, FaultInjector, IdGen, MemReqId, Pfn, SmId,
+    VirtAddr, Vpn,
+};
 
 /// Who issued a memory request into the shared L2 data cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +66,12 @@ pub struct GpuSimulator {
     pwb_retry: VecDeque<WalkRequest>,
     l2d_retry: VecDeque<MemReq>,
     mem_owner: HashMap<MemReqId, MemOwner>,
+    // Fault recovery: escalated translations waiting on the simulated
+    // UVM driver, hardware-walk fault records (the PW Warps log into
+    // their own per-SM buffers), and the driver-side counters.
+    driver_q: DelayQueue<(Vpn, Cycle)>,
+    hw_faults: FaultBuffer,
+    fault_counters: FaultInjectionStats,
     // Retry budgets: rejected requests are re-attempted only as capacity
     // is actually freed (2 retries per completion, covering merge
     // opportunities), so a saturated cycle costs O(freed) instead of
@@ -162,14 +173,34 @@ impl GpuSimulator {
             cfg.pw_warp.softpwb_entries as u32,
         );
 
+        let mut ptw = PtwSubsystem::new(cfg.ptw.clone());
+        let mut l2d = Cache::new(cfg.l2d.clone());
+        let mut dram = Dram::new(cfg.dram.clone());
+        let mut pw_warps = pw_warps;
+        let plan = &cfg.fault_plan;
+        if plan.enabled() {
+            ptw.set_fault_plan(plan);
+            l2d.set_fault_injector(
+                FaultInjector::new(plan.seed, site::L2D_DROP),
+                plan.mem_drop_rate,
+            );
+            dram.set_fault_injector(
+                FaultInjector::new(plan.seed, site::DRAM_DELAY),
+                plan.mem_delay_rate,
+                plan.mem_delay_cycles,
+            );
+            for (i, pw) in pw_warps.iter_mut().enumerate() {
+                pw.set_fault_plan(plan, i as u64);
+            }
+        }
         Self {
             sms,
             pw_warps,
             l2,
             pwc,
-            ptw: PtwSubsystem::new(cfg.ptw.clone()),
-            l2d: Cache::new(cfg.l2d.clone()),
-            dram: Dram::new(cfg.dram.clone()),
+            ptw,
+            l2d,
+            dram,
             phys,
             space,
             hashed,
@@ -185,6 +216,9 @@ impl GpuSimulator {
             pwb_retry: VecDeque::new(),
             l2d_retry: VecDeque::new(),
             mem_owner: HashMap::new(),
+            driver_q: DelayQueue::new(),
+            hw_faults: FaultBuffer::with_capacity(cfg.pw_warp.fault_buffer_entries),
+            fault_counters: FaultInjectionStats::default(),
             l2_retry_budget: 0,
             l2d_retry_budget: 0,
             stats: SimStats {
@@ -228,6 +262,7 @@ impl GpuSimulator {
             && self.fl2t_ret.is_empty()
             && self.pwb_retry.is_empty()
             && self.l2d_retry.is_empty()
+            && self.driver_q.is_empty()
             && self.ptw.is_idle()
             && self.pw_warps.iter().all(PwWarpUnit::is_idle)
             && self.l2d.is_idle()
@@ -250,6 +285,43 @@ impl GpuSimulator {
         // L2D responses route back to their owners.
         while let Some(resp) = self.l2d.pop_response(now) {
             self.route_l2d_response(resp);
+        }
+
+        // Responses discarded by fault injection: tell the walker that
+        // issued the read (so it can attribute the loss to its in-flight
+        // walk); its already-armed watchdog performs the recovery.
+        while let Some(dropped) = self.l2d.pop_dropped() {
+            let attributed = match self.mem_owner.remove(&dropped.id) {
+                Some(MemOwner::Ptw) => self.ptw.on_mem_dropped(dropped.id),
+                Some(MemOwner::PwWarp(i)) => self.pw_warps[i].on_mem_dropped(dropped.id),
+                owner => panic!(
+                    "dropped non-page-table response {:?} ({owner:?})",
+                    dropped.id
+                ),
+            };
+            if !attributed {
+                // The walker's watchdog had already given up on this read
+                // and re-issued it before the drop landed; the injection
+                // hit a request nobody was waiting for, so it is recovered
+                // by construction.
+                self.fault_counters.recovered_injections += 1;
+            }
+        }
+
+        // The simulated UVM driver: escalated translations arrive here
+        // after `driver_latency` cycles. If the page is genuinely mapped
+        // (the escalation came from injected faults), the driver has
+        // "repaired" the PTE and replays the walk through the normal
+        // machinery; otherwise the fault is real and completes as one.
+        while let Some((vpn, issued_at)) = self.driver_q.pop_ready(now) {
+            if self.space.radix().translate(vpn, &self.phys).is_some() {
+                self.fault_counters.fault_replays += 1;
+                self.launch_walk(vpn, issued_at, None);
+            } else {
+                self.fault_counters.unrecoverable_faults += 1;
+                let queue = now.since(issued_at);
+                self.finish_translation(vpn, None, queue, 0);
+            }
         }
 
         // L2D misses go to DRAM.
@@ -288,7 +360,16 @@ impl GpuSimulator {
                 completed_at: now,
                 walker: crate::WalkerKind::Software,
             });
-            self.finish_translation(c.vpn, c.pfn, queue, access);
+            if c.pfn.is_none() && self.cfg.fault_plan.enabled() {
+                // Faulted walk under an armed plan: hand it to the
+                // driver rather than failing the translation outright.
+                self.driver_q.push(
+                    now + self.cfg.fault_plan.driver_latency,
+                    (c.vpn, c.issued_at),
+                );
+            } else {
+                self.finish_translation(c.vpn, c.pfn, queue, access);
+            }
         }
 
         // L2 TLB request processing: budgeted retries first (capacity is
@@ -357,7 +438,22 @@ impl GpuSimulator {
                         completed_at: c.completed_at,
                         walker: crate::WalkerKind::Hardware,
                     });
-                    self.finish_translation(r.vpn, r.pfn, queue, access);
+                    if r.pfn.is_none() && self.cfg.fault_plan.enabled() {
+                        // Hardware walks have no FFB instruction; the
+                        // walker reports the fault directly (level 0 =
+                        // escalation, the walk level is not preserved).
+                        self.hw_faults.record(FaultRecord {
+                            vpn: r.vpn,
+                            level: 0,
+                            at: now,
+                        });
+                        self.driver_q.push(
+                            now + self.cfg.fault_plan.driver_latency,
+                            (r.vpn, r.issued_at),
+                        );
+                    } else {
+                        self.finish_translation(r.vpn, r.pfn, queue, access);
+                    }
                 }
             }
         }
@@ -415,7 +511,7 @@ impl GpuSimulator {
                     .on_mem_response(resp.id, self.now, &mut ctx, &mut self.ids);
             }
             Some(MemOwner::PwWarp(i)) => {
-                self.pw_warps[i].on_mem_response(resp.id, &self.phys, &mut self.pwc);
+                self.pw_warps[i].on_mem_response(resp.id, self.now, &self.phys, &mut self.pwc);
             }
             None => panic!("L2D response {:?} has no registered owner", resp.id),
         }
@@ -454,7 +550,7 @@ impl GpuSimulator {
                 if fresh {
                     self.stats.fresh_l2_misses += 1;
                 }
-                self.launch_walk(p.vpn, p.first_seen, (p.sm, p.warp));
+                self.launch_walk(p.vpn, p.first_seen, Some((p.sm, p.warp)));
             }
             L2MissOutcome::MissMerged => {
                 if fresh {
@@ -474,8 +570,8 @@ impl GpuSimulator {
         }
     }
 
-    fn launch_walk(&mut self, vpn: Vpn, issued_at: Cycle, owner: (SmId, WarpId)) {
-        let req = WalkRequest::with_owner(vpn, issued_at, Some(owner));
+    fn launch_walk(&mut self, vpn: Vpn, issued_at: Cycle, owner: WalkOwner) {
+        let req = WalkRequest::with_owner(vpn, issued_at, owner);
         match self.cfg.mode {
             TranslationMode::HardwarePtw
             | TranslationMode::HashedPtw
@@ -584,6 +680,15 @@ impl GpuSimulator {
             agg.total_execution += s.total_execution;
         }
         self.stats.distributor = self.distributor.stats();
+        let mut fault = self.fault_counters;
+        fault.merge(&self.ptw.fault_stats());
+        for pw in &self.pw_warps {
+            fault.merge(&pw.fault_stats());
+        }
+        fault.merge(&self.l2d.fault_stats());
+        fault.merge(&self.dram.fault_stats());
+        fault.fault_buffer_overflow_drops += self.hw_faults.overflow_dropped();
+        self.stats.fault = fault;
         let channels = self.cfg.dram.channels;
         self.stats.finish(self.now, channels);
         self.stats
@@ -760,6 +865,116 @@ mod tests {
             assert!(r.started_at <= r.completed_at);
             assert_eq!(r.walker, crate::WalkerKind::Hardware);
         }
+    }
+
+    fn run_with_plan(mode: TranslationMode, plan: swgpu_types::FaultPlan) -> SimStats {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = mode;
+        cfg.fault_plan = plan;
+        let spec = by_abbr("gups").unwrap();
+        let wl = spec.build(WorkloadParams {
+            sms: cfg.sms,
+            warps_per_sm: cfg.max_warps,
+            mem_instrs_per_warp: 3,
+            footprint_percent: 20,
+            page_size: cfg.page_size,
+        });
+        GpuSimulator::new(cfg, Box::new(wl)).run()
+    }
+
+    fn storm_plan() -> swgpu_types::FaultPlan {
+        swgpu_types::FaultPlan {
+            seed: 0xf00d,
+            pte_corrupt_rate: 0.05,
+            mem_drop_rate: 0.05,
+            mem_delay_rate: 0.05,
+            stuck_thread_rate: 0.02,
+            ..swgpu_types::FaultPlan::default()
+        }
+    }
+
+    fn assert_conserved(s: &SimStats) {
+        assert!(!s.timed_out, "faulty run must still drain");
+        assert!(
+            s.fault.injected_total() > 0,
+            "storm rates must actually inject something"
+        );
+        assert_eq!(
+            s.fault.injected_total(),
+            s.fault.recovered_injections + s.fault.escalated_injections,
+            "every injected fault must be recovered or escalated: {:?}",
+            s.fault
+        );
+        // The footprint is fully mapped, so the driver can repair every
+        // escalation: none may surface as a real page fault.
+        assert_eq!(s.fault.unrecoverable_faults, 0);
+        assert_eq!(s.faults, 0, "injected faults must not leak to the UVM path");
+        assert_eq!(s.sm.xlat_faults, 0);
+        assert_eq!(
+            s.fault.fault_replays, s.fault.fault_escalations,
+            "every escalation must be replayed"
+        );
+    }
+
+    #[test]
+    fn fault_storm_recovers_on_software_walkers() {
+        let s = run_with_plan(
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            storm_plan(),
+        );
+        assert_conserved(&s);
+        assert!(s.fault.injected_stuck_threads > 0 || s.fault.injected_pte_corruptions > 0);
+    }
+
+    #[test]
+    fn fault_storm_recovers_on_hardware_walkers() {
+        let s = run_with_plan(TranslationMode::HardwarePtw, storm_plan());
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn fault_storm_recovers_on_hybrid() {
+        let s = run_with_plan(TranslationMode::Hybrid { in_tlb_mshr: true }, storm_plan());
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let a = run_with_plan(
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            storm_plan(),
+        );
+        let b = run_with_plan(
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            storm_plan(),
+        );
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "same seed must replay byte-identically"
+        );
+        let mut reseeded = storm_plan();
+        reseeded.seed ^= 1;
+        let c = run_with_plan(TranslationMode::SoftWalker { in_tlb_mshr: true }, reseeded);
+        assert_ne!(
+            a.fault, c.fault,
+            "a different seed must draw a different schedule"
+        );
+    }
+
+    #[test]
+    fn zero_rate_plan_is_inert() {
+        // A seed alone must not arm anything.
+        let plan = swgpu_types::FaultPlan {
+            seed: 0xdead_beef,
+            ..Default::default()
+        };
+        let s = run_with_plan(TranslationMode::SoftWalker { in_tlb_mshr: true }, plan);
+        assert!(
+            !s.fault.any(),
+            "zero rates must leave every counter at zero"
+        );
+        assert!(!s.to_json().contains("fault_"));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use softwalker::{DistributorStats, PwWarpStats};
 use swgpu_mem::{CacheStats, DramStats};
 use swgpu_sm::SmStats;
 use swgpu_tlb::InTlbStats;
-use swgpu_types::Cycle;
+use swgpu_types::{Cycle, FaultInjectionStats};
 
 /// Page-walk latency decomposition aggregated over every completed
 /// translation — the raw material of Figures 7, 18 and 23.
@@ -113,6 +113,10 @@ pub struct SimStats {
     pub distributor: DistributorStats,
     /// Page faults observed (UVM path).
     pub faults: u64,
+    /// Fault-injection and recovery counters, summed over every
+    /// injection site (all zero — and omitted from the JSON — unless the
+    /// run armed a [`swgpu_types::FaultPlan`]).
+    pub fault: FaultInjectionStats,
     /// Lifecycle records of the first walks, when tracing was enabled.
     pub walk_trace: crate::WalkTrace,
 }
@@ -199,7 +203,20 @@ impl std::fmt::Display for SimStats {
             self.sm.stall_fraction() * 100.0,
             self.l2d.miss_rate() * 100.0,
             self.dram_utilization * 100.0
-        )
+        )?;
+        if self.fault.any() {
+            write!(
+                f,
+                "\nfault injection: {} injected ({} recovered / {} escalated) | {} replayed | {} unrecoverable | {} buffer drops",
+                self.fault.injected_total(),
+                self.fault.recovered_injections,
+                self.fault.escalated_injections,
+                self.fault.fault_replays,
+                self.fault.unrecoverable_faults,
+                self.fault.fault_buffer_overflow_drops
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -371,6 +388,50 @@ impl SimStats {
             self.in_tlb.dedicated_rejections as f64,
         );
         num("in_tlb_total_failures", self.in_tlb.total_failures as f64);
+        // The fault block is emitted only when fault injection actually
+        // happened: a zero-rate run stays byte-identical to artifacts
+        // written before the fault layer existed.
+        if self.fault.any() {
+            num(
+                "fault_injected_pte_corruptions",
+                self.fault.injected_pte_corruptions as f64,
+            );
+            num(
+                "fault_injected_mem_drops",
+                self.fault.injected_mem_drops as f64,
+            );
+            num(
+                "fault_injected_mem_delays",
+                self.fault.injected_mem_delays as f64,
+            );
+            num(
+                "fault_injected_stuck_threads",
+                self.fault.injected_stuck_threads as f64,
+            );
+            num(
+                "fault_recovered_injections",
+                self.fault.recovered_injections as f64,
+            );
+            num(
+                "fault_escalated_injections",
+                self.fault.escalated_injections as f64,
+            );
+            num(
+                "fault_watchdog_timeouts",
+                self.fault.watchdog_timeouts as f64,
+            );
+            num("fault_walk_retries", self.fault.walk_retries as f64);
+            num("fault_escalations", self.fault.fault_escalations as f64);
+            num("fault_replays", self.fault.fault_replays as f64);
+            num(
+                "fault_unrecoverable",
+                self.fault.unrecoverable_faults as f64,
+            );
+            num(
+                "fault_buffer_overflow_drops",
+                self.fault.fault_buffer_overflow_drops as f64,
+            );
+        }
         format!("{{{}}}", fields.join(","))
     }
 
@@ -470,6 +531,20 @@ impl SimStats {
         s.in_tlb.in_tlb_merges = int("in_tlb_merges");
         s.in_tlb.dedicated_rejections = int("in_tlb_dedicated_rejections");
         s.in_tlb.total_failures = int("in_tlb_total_failures");
+        // Absent fault keys (artifacts from runs without injection, or
+        // written before the fault layer existed) parse as zero.
+        s.fault.injected_pte_corruptions = int("fault_injected_pte_corruptions");
+        s.fault.injected_mem_drops = int("fault_injected_mem_drops");
+        s.fault.injected_mem_delays = int("fault_injected_mem_delays");
+        s.fault.injected_stuck_threads = int("fault_injected_stuck_threads");
+        s.fault.recovered_injections = int("fault_recovered_injections");
+        s.fault.escalated_injections = int("fault_escalated_injections");
+        s.fault.watchdog_timeouts = int("fault_watchdog_timeouts");
+        s.fault.walk_retries = int("fault_walk_retries");
+        s.fault.fault_escalations = int("fault_escalations");
+        s.fault.fault_replays = int("fault_replays");
+        s.fault.unrecoverable_faults = int("fault_unrecoverable");
+        s.fault.fault_buffer_overflow_drops = int("fault_buffer_overflow_drops");
         Ok(s)
     }
 }
@@ -553,6 +628,44 @@ mod json_tests {
         assert_eq!(parsed.cycles, s.cycles);
         assert_eq!(parsed.walk.queue_cycles, s.walk.queue_cycles);
         assert!((parsed.ipc() - s.ipc()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fault_block_omitted_when_inert() {
+        let s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        let j = s.to_json();
+        assert!(
+            !j.contains("fault_"),
+            "zero-rate runs must serialize without fault keys: {j}"
+        );
+        // Display stays on the legacy layout too.
+        assert!(!s.to_string().contains("fault injection"));
+    }
+
+    #[test]
+    fn fault_block_round_trips() {
+        let mut s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        s.fault.injected_pte_corruptions = 5;
+        s.fault.injected_mem_drops = 2;
+        s.fault.recovered_injections = 6;
+        s.fault.escalated_injections = 1;
+        s.fault.watchdog_timeouts = 2;
+        s.fault.walk_retries = 7;
+        s.fault.fault_escalations = 1;
+        s.fault.fault_replays = 1;
+        s.fault.fault_buffer_overflow_drops = 3;
+        let j = s.to_json();
+        assert!(j.contains("\"fault_injected_pte_corruptions\":5"));
+        let parsed = SimStats::from_json(&j).expect("parse");
+        assert_eq!(parsed.fault, s.fault);
+        assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
+        assert!(s.to_string().contains("fault injection: 7 injected"));
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Deterministic fault injection for the translation pipeline.
+//!
+//! The simulator's fault path (invalid PTE → `FFB`/fault buffer → UVM
+//! driver repair → replay) is only exercisable if something can *make* a
+//! walk fail. [`FaultPlan`] describes a seeded, per-site fault workload:
+//! transient PTE corruption at page-table reads, dropped or delayed memory
+//! responses for walker traffic, and stuck PW threads. All rates default
+//! to zero, in which case every injection site is a provable no-op — no
+//! RNG is constructed and no random numbers are drawn, so a zero-rate run
+//! is cycle- and stats-identical to a build without the layer.
+//!
+//! Each injection site owns a [`FaultInjector`] seeded from
+//! `plan.seed ^ SITE_SALT (^ instance)`, so outcomes are independent of
+//! call interleaving across sites and fully reproducible for a fixed seed.
+
+/// Per-site fault rates, recovery parameters and the RNG seed.
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently at each
+/// eligible event. The plan is carried by `GpuConfig`, so it participates
+/// in the config fingerprint and therefore in run-cache keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every injection-site RNG (salted per site).
+    pub seed: u64,
+    /// Probability that a page-table entry read returns a transiently
+    /// corrupted (invalid) entry instead of the real bytes.
+    pub pte_corrupt_rate: f64,
+    /// Probability that a completed page-table memory response is dropped
+    /// (the requester's watchdog must re-issue it).
+    pub mem_drop_rate: f64,
+    /// Probability that a page-table DRAM access is delayed by
+    /// [`FaultPlan::mem_delay_cycles`].
+    pub mem_delay_rate: f64,
+    /// Extra latency applied to delayed accesses.
+    pub mem_delay_cycles: u64,
+    /// Probability that a PW thread wedges when a walk is assigned to it
+    /// (recovered by the watchdog restarting the walk).
+    pub stuck_thread_rate: f64,
+    /// Base per-walk watchdog timeout; retry `k` waits
+    /// `watchdog_cycles << k` (exponential backoff).
+    pub watchdog_cycles: u64,
+    /// Retries before a walk is escalated to the fault buffer / driver.
+    pub max_retries: u32,
+    /// Cycles the simulated UVM driver takes to repair a PTE and trigger
+    /// the replay of an escalated translation.
+    pub driver_latency: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            pte_corrupt_rate: 0.0,
+            mem_drop_rate: 0.0,
+            mem_delay_rate: 0.0,
+            mem_delay_cycles: 500,
+            stuck_thread_rate: 0.0,
+            watchdog_cycles: 5_000,
+            max_retries: 3,
+            driver_latency: 2_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether any injection site can fire. When false the entire layer
+    /// is inert and the simulator behaves exactly as if it did not exist.
+    pub fn enabled(&self) -> bool {
+        self.pte_corrupt_rate > 0.0
+            || self.mem_drop_rate > 0.0
+            || self.mem_delay_rate > 0.0
+            || self.stuck_thread_rate > 0.0
+    }
+
+    /// Watchdog deadline delta for a walk that has already retried
+    /// `retries` times (exponential backoff, saturating shift).
+    pub fn backoff_cycles(&self, retries: u32) -> u64 {
+        let shift = retries.min(16);
+        self.watchdog_cycles.saturating_mul(1u64 << shift)
+    }
+}
+
+/// Site salts: injectors at different sites must draw independent
+/// streams even though they share the plan seed.
+pub mod site {
+    /// Page-table entry reads by the hardware PTW pool.
+    pub const PTW_PTE: u64 = 0x9e37_79b9_7f4a_7c15;
+    /// Page-table entry reads by a PW Warp (salted again by SM index).
+    pub const PW_WARP_PTE: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    /// L2 data cache response drops.
+    pub const L2D_DROP: u64 = 0x1656_67b1_9e37_79f9;
+    /// DRAM access delays.
+    pub const DRAM_DELAY: u64 = 0x27d4_eb2f_1656_67c5;
+    /// Stuck-thread injection at walk assignment (salted by SM index).
+    pub const STUCK_THREAD: u64 = 0x8545_03b8_bf58_476d;
+}
+
+/// Counters kept by each injection site and summed into `SimStats`.
+///
+/// The conservation invariant is `injected_total() ==
+/// recovered_injections + escalated_injections` once the simulation
+/// drains: every injected fault is either recovered in place
+/// (retry/watchdog) or escalated to the driver — never silently lost.
+/// Delays are accounted separately (they perturb timing but need no
+/// recovery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjectionStats {
+    /// PTE reads that returned a transiently corrupted (invalid) entry.
+    pub injected_pte_corruptions: u64,
+    /// Page-table memory responses dropped in flight.
+    pub injected_mem_drops: u64,
+    /// Page-table DRAM accesses delayed by `mem_delay_cycles`.
+    pub injected_mem_delays: u64,
+    /// PW threads wedged at walk assignment.
+    pub injected_stuck_threads: u64,
+    /// Injected faults whose walk subsequently completed in place.
+    pub recovered_injections: u64,
+    /// Injected faults whose walk was escalated to the fault buffer.
+    pub escalated_injections: u64,
+    /// Watchdog deadline expirations that re-issued a stalled walk step.
+    pub watchdog_timeouts: u64,
+    /// Bounded-backoff walk retries (any cause).
+    pub walk_retries: u64,
+    /// Walks handed to the fault buffer / driver after retries ran out.
+    pub fault_escalations: u64,
+    /// Escalated translations replayed after the driver repaired the PTE.
+    pub fault_replays: u64,
+    /// Escalated translations the driver could not repair (the page is
+    /// genuinely unmapped): completed as a real page fault.
+    pub unrecoverable_faults: u64,
+    /// Fault-buffer records evicted by the capacity cap (drop-oldest).
+    pub fault_buffer_overflow_drops: u64,
+}
+
+impl FaultInjectionStats {
+    /// Total recovery-requiring injections (delays excluded: they perturb
+    /// timing but every delayed access still completes on its own).
+    pub fn injected_total(&self) -> u64 {
+        self.injected_pte_corruptions + self.injected_mem_drops + self.injected_stuck_threads
+    }
+
+    /// Whether any counter is nonzero (drives conditional JSON emission).
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+
+    /// Accumulates another site's counters into this one.
+    pub fn merge(&mut self, other: &FaultInjectionStats) {
+        self.injected_pte_corruptions += other.injected_pte_corruptions;
+        self.injected_mem_drops += other.injected_mem_drops;
+        self.injected_mem_delays += other.injected_mem_delays;
+        self.injected_stuck_threads += other.injected_stuck_threads;
+        self.recovered_injections += other.recovered_injections;
+        self.escalated_injections += other.escalated_injections;
+        self.watchdog_timeouts += other.watchdog_timeouts;
+        self.walk_retries += other.walk_retries;
+        self.fault_escalations += other.fault_escalations;
+        self.fault_replays += other.fault_replays;
+        self.unrecoverable_faults += other.unrecoverable_faults;
+        self.fault_buffer_overflow_drops += other.fault_buffer_overflow_drops;
+    }
+}
+
+/// A per-site deterministic fault source: a salted SplitMix64 stream plus
+/// the site's counters.
+///
+/// The RNG is inlined (rather than depending on a rand crate) so the
+/// lowest-level crates can inject without new dependencies, and so the
+/// stream is pinned to this exact algorithm forever — fault schedules are
+/// part of experiment reproducibility.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+    /// Counters for everything this site injected or recovered.
+    pub stats: FaultInjectionStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector for one site of the plan.
+    pub fn new(seed: u64, salt: u64) -> Self {
+        Self {
+            state: seed ^ salt,
+            stats: FaultInjectionStats::default(),
+        }
+    }
+
+    /// Creates an injector for one instance of a replicated site (e.g.
+    /// the PW Warp on SM `instance`).
+    pub fn new_instance(seed: u64, salt: u64, instance: u64) -> Self {
+        Self::new(seed, salt ^ instance.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Draws one Bernoulli trial at `rate`. A rate ≤ 0 returns false
+    /// *without advancing the RNG*, so disabled sites stay byte-inert.
+    pub fn fire(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        // 53-bit mantissa conversion, same convention as the vendored
+        // rand stub's `gen_bool`.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disabled() {
+        let plan = FaultPlan::default();
+        assert!(!plan.enabled());
+    }
+
+    #[test]
+    fn nonzero_rate_enables() {
+        let plan = FaultPlan {
+            pte_corrupt_rate: 0.01,
+            ..FaultPlan::default()
+        };
+        assert!(plan.enabled());
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let plan = FaultPlan {
+            watchdog_cycles: 100,
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.backoff_cycles(0), 100);
+        assert_eq!(plan.backoff_cycles(1), 200);
+        assert_eq!(plan.backoff_cycles(3), 800);
+        // Huge retry counts must not overflow.
+        assert!(plan.backoff_cycles(200) >= plan.backoff_cycles(16));
+    }
+
+    #[test]
+    fn zero_rate_draws_nothing() {
+        let mut inj = FaultInjector::new(42, site::PTW_PTE);
+        let before = inj.state;
+        for _ in 0..100 {
+            assert!(!inj.fire(0.0));
+        }
+        assert_eq!(inj.state, before, "disabled site advanced its RNG");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultInjector::new(7, site::L2D_DROP);
+        let mut b = FaultInjector::new(7, site::L2D_DROP);
+        let fire_a: Vec<bool> = (0..256).map(|_| a.fire(0.3)).collect();
+        let fire_b: Vec<bool> = (0..256).map(|_| b.fire(0.3)).collect();
+        assert_eq!(fire_a, fire_b);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let mut a = FaultInjector::new(7, site::PTW_PTE);
+        let mut b = FaultInjector::new(7, site::L2D_DROP);
+        let fire_a: Vec<bool> = (0..256).map(|_| a.fire(0.5)).collect();
+        let fire_b: Vec<bool> = (0..256).map(|_| b.fire(0.5)).collect();
+        assert_ne!(fire_a, fire_b);
+    }
+
+    #[test]
+    fn instances_draw_independent_streams() {
+        let mut a = FaultInjector::new_instance(7, site::STUCK_THREAD, 0);
+        let mut b = FaultInjector::new_instance(7, site::STUCK_THREAD, 1);
+        let fire_a: Vec<bool> = (0..256).map(|_| a.fire(0.5)).collect();
+        let fire_b: Vec<bool> = (0..256).map(|_| b.fire(0.5)).collect();
+        assert_ne!(fire_a, fire_b);
+    }
+
+    #[test]
+    fn rate_roughly_respected() {
+        let mut inj = FaultInjector::new(123, site::DRAM_DELAY);
+        let hits = (0..10_000).filter(|_| inj.fire(0.1)).count();
+        assert!((800..1200).contains(&hits), "got {hits} hits at rate 0.1");
+    }
+
+    #[test]
+    fn stats_conservation_helpers() {
+        let mut s = FaultInjectionStats {
+            injected_pte_corruptions: 2,
+            injected_mem_drops: 1,
+            injected_stuck_threads: 3,
+            injected_mem_delays: 99, // excluded from the invariant
+            ..FaultInjectionStats::default()
+        };
+        assert_eq!(s.injected_total(), 6);
+        assert!(s.any());
+        let other = FaultInjectionStats {
+            recovered_injections: 4,
+            escalated_injections: 2,
+            ..FaultInjectionStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(
+            s.injected_total(),
+            s.recovered_injections + s.escalated_injections
+        );
+        assert!(!FaultInjectionStats::default().any());
+    }
+}

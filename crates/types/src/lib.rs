@@ -23,6 +23,7 @@
 
 mod addr;
 mod cycle;
+pub mod fault;
 mod ids;
 mod page;
 mod pte;
@@ -30,6 +31,7 @@ mod queue;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use cycle::Cycle;
+pub use fault::{FaultInjectionStats, FaultInjector, FaultPlan};
 pub use ids::{
     ChannelId, InstrId, LaneId, MemReqId, SmId, WalkerId, WarpId, XlatId, LANES_PER_WARP,
 };

@@ -32,7 +32,7 @@ fn drain(
             inflight.push(now + 100, req.id);
         }
         while let Some(id) = inflight.pop_ready(now) {
-            unit.on_mem_response(id, mem, pwc);
+            unit.on_mem_response(id, now, mem, pwc);
         }
         while let Some(c) = unit.pop_completion() {
             done.push(c);

@@ -1,0 +1,125 @@
+//! End-to-end properties of the deterministic fault-injection pipeline:
+//!
+//! * a zero-rate [`FaultPlan`] is a byte-level no-op (the seed alone must
+//!   not perturb a run or add stats keys);
+//! * an armed plan is reproducible — same seed, same schedule, same
+//!   stats;
+//! * **conservation** — every injected fault is either recovered in
+//!   place (watchdog + retry) or escalated through the fault-buffer /
+//!   driver-replay path; none leak to the UVM far-fault path and none
+//!   are simply lost.
+
+use proptest::prelude::*;
+use softwalker_repro::{
+    by_abbr, FaultPlan, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams,
+};
+
+fn run_once(mode: TranslationMode, plan: FaultPlan) -> SimStats {
+    let cfg = GpuConfig {
+        sms: 4,
+        max_warps: 8,
+        mode,
+        fault_plan: plan,
+        ..GpuConfig::default()
+    };
+    let spec = by_abbr("gups").unwrap();
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: 3,
+        footprint_percent: 20,
+        page_size: cfg.page_size,
+    });
+    GpuSimulator::new(cfg, Box::new(wl)).run()
+}
+
+const MODES: [TranslationMode; 3] = [
+    TranslationMode::HardwarePtw,
+    TranslationMode::SoftWalker { in_tlb_mshr: true },
+    TranslationMode::Hybrid { in_tlb_mshr: true },
+];
+
+#[test]
+fn zero_rate_plan_is_a_byte_level_no_op() {
+    for mode in MODES {
+        let baseline = run_once(mode, FaultPlan::default());
+        let seeded = run_once(
+            mode,
+            FaultPlan {
+                seed: 0x5eed,
+                ..FaultPlan::default()
+            },
+        );
+        assert_eq!(
+            baseline.to_json(),
+            seeded.to_json(),
+            "{mode:?}: a disarmed plan's seed leaked into the simulation"
+        );
+        assert!(
+            !seeded.to_json().contains("fault_"),
+            "{mode:?}: inert runs must not emit fault keys"
+        );
+    }
+}
+
+#[test]
+fn armed_runs_reproduce_bit_identically() {
+    let plan = FaultPlan {
+        seed: 0xf00d,
+        pte_corrupt_rate: 0.05,
+        mem_drop_rate: 0.05,
+        mem_delay_rate: 0.05,
+        stuck_thread_rate: 0.02,
+        ..FaultPlan::default()
+    };
+    for mode in MODES {
+        let a = run_once(mode, plan.clone());
+        let b = run_once(mode, plan.clone());
+        assert_eq!(a.to_json(), b.to_json(), "{mode:?}: same seed diverged");
+        assert!(
+            a.fault.injected_total() > 0,
+            "{mode:?}: storm injected nothing"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For arbitrary (bounded) rates and seeds, on every walker
+    /// configuration: the run drains, every injected fault is recovered
+    /// or escalated, and no injected fault surfaces as a page fault.
+    #[test]
+    fn every_injected_fault_is_recovered_or_escalated(
+        seed in 0u64..1_000_000,
+        corrupt_pm in 0u32..60,
+        drop_pm in 0u32..60,
+        delay_pm in 0u32..60,
+        stuck_pm in 0u32..25,
+        mode_idx in 0usize..3,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            pte_corrupt_rate: f64::from(corrupt_pm) / 1000.0,
+            mem_drop_rate: f64::from(drop_pm) / 1000.0,
+            mem_delay_rate: f64::from(delay_pm) / 1000.0,
+            stuck_thread_rate: f64::from(stuck_pm) / 1000.0,
+            ..FaultPlan::default()
+        };
+        let stats = run_once(MODES[mode_idx], plan);
+        prop_assert!(!stats.timed_out, "run under injection timed out");
+        let f = &stats.fault;
+        prop_assert_eq!(
+            f.injected_total(),
+            f.recovered_injections + f.escalated_injections,
+            "lost an injected fault: {:?}",
+            f
+        );
+        prop_assert_eq!(f.unrecoverable_faults, 0, "driver replay failed: {:?}", f);
+        prop_assert_eq!(stats.faults, 0, "injected fault leaked to UVM: {:?}", f);
+        prop_assert_eq!(
+            f.fault_replays, f.fault_escalations,
+            "escalation without replay: {:?}", f
+        );
+    }
+}

@@ -75,7 +75,7 @@ fn sw_walk(space: &AddressSpace, mem: &PhysMem, vpn: Vpn) -> Option<Pfn> {
             inflight.push(now + 20, req.id);
         }
         while let Some(id) = inflight.pop_ready(now) {
-            unit.on_mem_response(id, mem, &mut pwc);
+            unit.on_mem_response(id, now, mem, &mut pwc);
         }
         if let Some(c) = unit.pop_completion() {
             return c.pfn;

@@ -113,7 +113,7 @@ proptest! {
                 inflight.push(now + lat, req.id);
             }
             while let Some(id) = inflight.pop_ready(now) {
-                unit.on_mem_response(id, &mem, &mut pwc);
+                unit.on_mem_response(id, now, &mem, &mut pwc);
             }
             while let Some(c) = unit.pop_completion() {
                 results.push((c.vpn.value(), c.pfn));
