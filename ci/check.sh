@@ -21,4 +21,20 @@ cargo test -q --workspace
 echo "==> fault-injection smoke (release)"
 cargo run --release -q -p swgpu-bench --bin fault_smoke
 
+echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
+# Two invocations of the same figure against a scratch cache: the first
+# populates it, the second must simulate nothing — including the
+# trace-capped Figure 9 cells, whose walk traces ride in the schema-v2
+# artifacts.
+SWGPU_RUN_CACHE="target/ci-run-cache-$$" ; export SWGPU_RUN_CACHE
+rm -rf "$SWGPU_RUN_CACHE"
+cargo run --release -q -p swgpu-bench --bin fig09_timeline -- --quick >/dev/null 2>&1
+second=$(cargo run --release -q -p swgpu-bench --bin fig09_timeline -- --quick 2>&1 >/dev/null | grep "totals:")
+rm -rf "$SWGPU_RUN_CACHE"
+unset SWGPU_RUN_CACHE
+case "$second" in
+  *"totals: 0 simulated,"*) echo "    cache hit: $second" ;;
+  *) echo "FAIL: second fig09 run re-simulated: $second"; exit 1 ;;
+esac
+
 echo "All checks passed."

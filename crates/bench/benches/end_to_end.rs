@@ -1,37 +1,61 @@
-//! Criterion end-to-end benchmark: simulated-cycles-per-second of the
-//! full GPU under the baseline and SoftWalker modes on a small contended
-//! workload. Guards whole-simulator throughput regressions.
+//! Criterion end-to-end benchmark: the full GPU under the baseline and
+//! SoftWalker modes on a small contended workload, resolved through the
+//! experiment runner's two-level cache (memo + disk artifacts), exactly
+//! the way the figure binaries resolve their cells. Guards both
+//! whole-simulator throughput and the cache's resolution overhead: on a
+//! warm cache every iteration after the first is a memo/disk hit, and
+//! the counters report printed at the end shows the split.
+//!
+//! A trace-capped SoftWalker variant exercises the schema-v2 walk-trace
+//! payload path, which is cache-served like any other cell.
+
+use std::sync::OnceLock;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use swgpu_sim::{GpuConfig, GpuSimulator, TranslationMode};
-use swgpu_workloads::{by_abbr, WorkloadParams};
+use swgpu_bench::runner::default_cache_dir;
+use swgpu_bench::{Cell, Runner, Scale, SystemConfig};
+use swgpu_sim::GpuConfig;
+use swgpu_workloads::by_abbr;
 
-fn run_once(mode: TranslationMode) -> u64 {
-    let mut cfg = GpuConfig::quick_test();
-    cfg.sms = 4;
-    cfg.max_warps = 8;
-    cfg.mode = mode;
+/// One process-wide runner backed by the shared disk cache, so repeat
+/// `cargo bench` invocations disk-hit instead of re-simulating.
+fn runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(|| Runner::new(1, Some(default_cache_dir()), false))
+}
+
+fn small_cell(sys: SystemConfig, trace_cap: usize) -> Cell {
     let spec = by_abbr("xsb").expect("known benchmark");
-    let wl = spec.build(WorkloadParams {
-        sms: cfg.sms,
-        warps_per_sm: cfg.max_warps,
-        mem_instrs_per_warp: 2,
-        footprint_percent: 100,
-        page_size: cfg.page_size,
-    });
-    GpuSimulator::new(cfg, Box::new(wl)).run().cycles
+    let cfg = GpuConfig {
+        sms: 4,
+        max_warps: 8,
+        walk_trace_cap: trace_cap,
+        ..sys.build(Scale::Quick)
+    };
+    Cell::bench(&spec, cfg)
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     g.bench_function("baseline_xsb_small", |b| {
-        b.iter(|| run_once(TranslationMode::HardwarePtw))
+        let cell = small_cell(SystemConfig::Baseline, 0);
+        b.iter(|| runner().get(&cell).cycles)
     });
     g.bench_function("softwalker_xsb_small", |b| {
-        b.iter(|| run_once(TranslationMode::SoftWalker { in_tlb_mshr: true }))
+        let cell = small_cell(SystemConfig::SoftWalker, 0);
+        b.iter(|| runner().get(&cell).cycles)
+    });
+    g.bench_function("softwalker_xsb_traced", |b| {
+        let cell = small_cell(SystemConfig::SoftWalker, 256);
+        b.iter(|| runner().get(&cell).walk_trace.records().len())
     });
     g.finish();
+    let counters = runner().counters();
+    eprintln!(
+        "[end_to_end] cache split: {} simulated, {} memo hits, {} disk hits",
+        counters.simulated, counters.memo_hits, counters.disk_hits
+    );
 }
 
 criterion_group!(benches, bench_end_to_end);

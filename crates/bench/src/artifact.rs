@@ -6,30 +6,49 @@
 //! cache — running `fig16` then `fig18` re-simulates nothing — and as a
 //! machine-readable artifact for external plotting/analysis tooling.
 //!
-//! Schema (version 1, flat except for the nested stats object):
+//! Schema (version 2, flat except for the nested stats object and the
+//! trailing walk-trace payload):
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "key": "bfs-fp100-a1b2c3d4e5f60718",
 //!   "workload": "bfs-fp100",
 //!   "config": "a1b2c3d4e5f60718",
-//!   "stats": { ...SimStats::to_json()... }
+//!   "trace_cap": 4096,
+//!   "stats": { ...SimStats::to_json()... },
+//!   "walk_trace": [[vpn, issued, started, completed, walker], ...]
 //! }
 //! ```
 //!
 //! `config` is [`swgpu_sim::GpuConfig::fingerprint`]; `stats` round-trips
-//! through [`swgpu_sim::SimStats::from_json`]. Unknown top-level keys are
-//! ignored on read so the schema can grow.
+//! through [`swgpu_sim::SimStats::from_json`]. `trace_cap` records the
+//! `GpuConfig::walk_trace_cap` the run used; `walk_trace` is the
+//! [`swgpu_sim::WalkTrace`] payload and is present exactly when
+//! `0 < trace_cap <= MAX_TRACE_RECORDS` (it stays at the top level — and
+//! last — because the stats object must remain flat for its
+//! comma-splitting parser). Unknown top-level keys are ignored on read so
+//! the schema can grow.
+//!
+//! Migration: artifacts with any other schema version probe as
+//! [`LoadOutcome::Stale`] — the runner silently re-simulates and
+//! overwrites them; they are *not* quarantined like corrupt files.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use swgpu_sim::SimStats;
+use swgpu_sim::{SimStats, WalkTrace};
 
-/// Current artifact schema version. Readers reject other versions (the
-/// runner then just re-simulates and overwrites).
-pub const SCHEMA_VERSION: u32 = 1;
+/// Current artifact schema version. Readers report other versions as
+/// stale (the runner then just re-simulates and overwrites).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Upper bound on persisted walk-trace records. Runs configured with a
+/// larger `walk_trace_cap` write their artifact *without* the payload, so
+/// absurd caps cannot bloat the cache; such artifacts never satisfy a
+/// trace-requesting cell and those cells simulate live, as they always
+/// did before traces were persisted.
+pub const MAX_TRACE_RECORDS: usize = 65_536;
 
 /// One persisted run: identity plus the full statistics object.
 #[derive(Debug, Clone)]
@@ -45,16 +64,39 @@ pub struct RunArtifact {
 }
 
 impl RunArtifact {
-    /// Serializes the artifact (schema version 1).
+    /// The walk-trace cap (`GpuConfig::walk_trace_cap`) the run used,
+    /// taken from the stats' trace collector.
+    pub fn trace_cap(&self) -> usize {
+        self.stats.walk_trace.cap()
+    }
+
+    /// Whether the serialized form carries (or carried) the walk-trace
+    /// payload: present exactly when `0 < trace_cap <= MAX_TRACE_RECORDS`.
+    pub fn has_trace_payload(&self) -> bool {
+        let cap = self.trace_cap();
+        cap > 0 && cap <= MAX_TRACE_RECORDS
+    }
+
+    /// Serializes the artifact (schema version 2). The walk-trace payload
+    /// goes last so the flat scalar fields and the flat stats object stay
+    /// parseable by the simple extractors below.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"schema\":{},\"key\":\"{}\",\"workload\":\"{}\",\"config\":\"{}\",\"stats\":{}}}",
+        let mut json = format!(
+            "{{\"schema\":{},\"key\":\"{}\",\"workload\":\"{}\",\"config\":\"{}\",\
+             \"trace_cap\":{},\"stats\":{}",
             SCHEMA_VERSION,
             self.key,
             self.workload,
             self.config,
+            self.trace_cap(),
             self.stats.to_json()
-        )
+        );
+        if self.has_trace_payload() {
+            json.push_str(",\"walk_trace\":");
+            json.push_str(&self.stats.walk_trace.to_json());
+        }
+        json.push('}');
+        json
     }
 
     /// Parses an artifact written by [`RunArtifact::to_json`].
@@ -62,7 +104,8 @@ impl RunArtifact {
     /// # Errors
     ///
     /// Returns a description of the problem for malformed input or a
-    /// schema version mismatch.
+    /// schema version mismatch (use [`RunArtifact::probe`] to tell stale
+    /// schemas apart from corruption).
     pub fn from_json(json: &str) -> Result<Self, String> {
         let schema = extract_number(json, "schema")? as u32;
         if schema != SCHEMA_VERSION {
@@ -71,11 +114,21 @@ impl RunArtifact {
             ));
         }
         let stats_json = extract_object(json, "stats")?;
+        let mut stats = SimStats::from_json(stats_json)?;
+        let trace_cap = extract_number(json, "trace_cap")? as usize;
+        if trace_cap > 0 && trace_cap <= MAX_TRACE_RECORDS {
+            let payload = extract_array(json, "walk_trace")?;
+            stats.walk_trace = WalkTrace::from_json(trace_cap, payload)?;
+        } else {
+            // No payload on disk: an empty collector with the recorded
+            // cap preserves the cap for staleness checks.
+            stats.walk_trace = WalkTrace::new(trace_cap);
+        }
         Ok(RunArtifact {
             key: extract_string(json, "key")?,
             workload: extract_string(json, "workload")?,
             config: extract_string(json, "config")?,
-            stats: SimStats::from_json(stats_json)?,
+            stats,
         })
     }
 
@@ -105,18 +158,31 @@ impl RunArtifact {
     pub fn load_from(dir: &Path, key: &str) -> Option<Self> {
         match Self::probe(dir, key) {
             LoadOutcome::Loaded(a) => Some(*a),
-            LoadOutcome::Missing | LoadOutcome::Corrupt(_) => None,
+            LoadOutcome::Missing | LoadOutcome::Stale(_) | LoadOutcome::Corrupt(_) => None,
         }
     }
 
     /// Probes the disk cache for `key`, distinguishing a missing entry
-    /// from a present-but-unreadable one so the caller can quarantine
-    /// corrupt files instead of silently re-simulating over them forever.
+    /// from a stale (old-schema) one and from a present-but-unreadable
+    /// one, so the caller can quarantine corrupt files instead of
+    /// silently re-simulating over them forever while letting old-schema
+    /// artifacts be rebuilt without drama.
     pub fn probe(dir: &Path, key: &str) -> LoadOutcome {
         let text = match fs::read_to_string(Self::path_in(dir, key)) {
             Ok(text) => text,
             Err(_) => return LoadOutcome::Missing,
         };
+        // Check the schema version before attempting a full parse: an
+        // artifact written by an older (or newer) binary is an expected
+        // migration case, not corruption.
+        if let Ok(schema) = extract_number(&text, "schema") {
+            let schema = schema as u32;
+            if schema != SCHEMA_VERSION {
+                return LoadOutcome::Stale(format!(
+                    "artifact schema {schema}, current {SCHEMA_VERSION}"
+                ));
+            }
+        }
         match Self::from_json(&text) {
             // A key collision between different runs would silently serve
             // the wrong stats; treat mismatched content as corruption.
@@ -134,8 +200,11 @@ impl RunArtifact {
 pub enum LoadOutcome {
     /// No artifact on disk for this key.
     Missing,
-    /// A file exists but cannot be trusted (parse failure, schema
-    /// mismatch, or embedded-key mismatch). Carries the reason.
+    /// An intact artifact from a different schema version. The caller
+    /// re-simulates and overwrites; no quarantine. Carries the versions.
+    Stale(String),
+    /// A file exists but cannot be trusted (parse failure or embedded-key
+    /// mismatch). Carries the reason.
     Corrupt(String),
     /// The artifact parsed and matches the requested key (boxed to keep
     /// the enum small — `SimStats` is hundreds of bytes).
@@ -176,6 +245,33 @@ fn extract_object<'j>(json: &'j str, name: &str) -> Result<&'j str, String> {
     Ok(&rest[open..open + close + 1])
 }
 
+/// Extracts the `[...]` array value of `"name"`, matching brackets to
+/// arbitrary depth (the walk-trace payload is an array of arrays).
+fn extract_array<'j>(json: &'j str, name: &str) -> Result<&'j str, String> {
+    let marker = format!("\"{name}\":");
+    let at = json
+        .find(&marker)
+        .ok_or_else(|| format!("missing key {name:?}"))?;
+    let rest = &json[at + marker.len()..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| format!("{name:?} is not an array"))?;
+    let mut depth = 0usize;
+    for (i, b) in rest[open..].bytes().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&rest[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unterminated array for {name:?}"))
+}
+
 /// Extracts the raw (unparsed) scalar value text of `"name"`. Scalar
 /// values in this schema (numbers, `[A-Za-z0-9._x-]` strings) never
 /// contain `,` or `}`, so the value ends at the first of either.
@@ -208,6 +304,30 @@ mod tests {
         }
     }
 
+    fn sample_with_trace(cap: usize) -> RunArtifact {
+        use swgpu_sim::{WalkRecord, WalkerKind};
+        use swgpu_types::{Cycle, Vpn};
+        let mut a = sample();
+        let records = vec![
+            WalkRecord {
+                vpn: Vpn::new(7),
+                issued_at: Cycle::new(10),
+                started_at: Cycle::new(110),
+                completed_at: Cycle::new(310),
+                walker: WalkerKind::Hardware,
+            },
+            WalkRecord {
+                vpn: Vpn::new(9),
+                issued_at: Cycle::new(20),
+                started_at: Cycle::new(25),
+                completed_at: Cycle::new(400),
+                walker: WalkerKind::Software,
+            },
+        ];
+        a.stats.walk_trace = WalkTrace::from_parts(cap, records);
+        a
+    }
+
     #[test]
     fn artifact_round_trips() {
         let a = sample();
@@ -216,14 +336,62 @@ mod tests {
         assert_eq!(parsed.workload, a.workload);
         assert_eq!(parsed.config, a.config);
         assert_eq!(parsed.stats.to_json(), a.stats.to_json());
+        assert_eq!(parsed.trace_cap(), 0);
+        assert!(!parsed.has_trace_payload());
+    }
+
+    #[test]
+    fn trace_payload_round_trips() {
+        let a = sample_with_trace(4096);
+        let json = a.to_json();
+        assert!(json.contains("\"trace_cap\":4096"));
+        assert!(json.contains("\"walk_trace\":[["));
+        let parsed = RunArtifact::from_json(&json).expect("parse");
+        assert_eq!(parsed.trace_cap(), 4096);
+        assert_eq!(
+            parsed.stats.walk_trace.records(),
+            a.stats.walk_trace.records()
+        );
+        assert_eq!(parsed.to_json(), json, "round trip is byte-identical");
+    }
+
+    #[test]
+    fn oversized_trace_cap_omits_payload() {
+        let a = sample_with_trace(MAX_TRACE_RECORDS + 1);
+        let json = a.to_json();
+        assert!(!json.contains("walk_trace"), "{json}");
+        let parsed = RunArtifact::from_json(&json).expect("parse");
+        assert_eq!(parsed.trace_cap(), MAX_TRACE_RECORDS + 1);
+        assert!(parsed.stats.walk_trace.is_empty());
+        assert!(!parsed.has_trace_payload());
+    }
+
+    #[test]
+    fn trace_requesting_artifact_without_payload_is_rejected() {
+        // A v2 artifact claiming a payload-eligible cap but missing the
+        // payload is torn/hand-edited: a parse error, not a default.
+        let json = sample_with_trace(8).to_json();
+        let stripped = json.split(",\"walk_trace\"").next().unwrap().to_string() + "}";
+        assert!(RunArtifact::from_json(&stripped).is_err());
     }
 
     #[test]
     fn schema_mismatch_is_rejected() {
         let bad = sample()
             .to_json()
-            .replacen("\"schema\":1", "\"schema\":2", 1);
+            .replacen("\"schema\":2", "\"schema\":1", 1);
         assert!(RunArtifact::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn extract_array_matches_nested_brackets() {
+        let json = "{\"walk_trace\":[[1,2],[3,[4]]],\"after\":1}";
+        assert_eq!(
+            extract_array(json, "walk_trace").unwrap(),
+            "[[1,2],[3,[4]]]"
+        );
+        assert!(extract_array(json, "missing").is_err());
+        assert!(extract_array("{\"walk_trace\":[[1,2]", "walk_trace").is_err());
     }
 
     fn test_dir(tag: &str) -> std::path::PathBuf {
@@ -283,6 +451,21 @@ mod tests {
             RunArtifact::probe(&dir, "imposter"),
             LoadOutcome::Corrupt(_)
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_schema_probes_stale_not_corrupt() {
+        let dir = test_dir("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = sample();
+        let v1 = a.to_json().replacen("\"schema\":2", "\"schema\":1", 1);
+        std::fs::write(RunArtifact::path_in(&dir, &a.key), v1).unwrap();
+        assert!(matches!(
+            RunArtifact::probe(&dir, &a.key),
+            LoadOutcome::Stale(_)
+        ));
+        assert!(RunArtifact::load_from(&dir, &a.key).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -6,25 +6,12 @@
 //! slightly longer per-walk processing from instruction execution and
 //! SM↔L2TLB communication — the "green boxes"). This harness runs the
 //! same walk burst through all three configurations with lifecycle
-//! tracing enabled and renders the measured timelines.
+//! tracing enabled and renders the measured timelines. The traces are
+//! persisted in the schema-v2 run artifacts, so a repeat invocation
+//! serves every cell from the disk cache and re-simulates nothing.
 
+use swgpu_bench::runner::fig09_cells;
 use swgpu_bench::{parse_args, prefetch, Cell, Runner, Table};
-use swgpu_sim::{GpuConfig, TranslationMode};
-
-/// A burst of 512 concurrent single-lane walkers, each walking fresh
-/// pages — deep enough to saturate 32 PTWs, the shape of the paper's
-/// Figure 9 sketch. The non-zero trace cap makes the runner simulate
-/// live (walk traces are not persisted in artifacts).
-fn cell(mode: TranslationMode) -> Cell {
-    let cfg = GpuConfig {
-        sms: 16,
-        max_warps: 32,
-        mode,
-        walk_trace_cap: 4096,
-        ..GpuConfig::default()
-    };
-    Cell::micro(cfg, 512, 32, 4, 8 * 1024 * 1024 * 1024)
-}
 
 /// Renders one walk as `....QQQQAAAA` (queueing then access), scaled.
 fn lane(rec: &swgpu_sim::WalkRecord, origin: u64, scale: u64) -> String {
@@ -41,20 +28,12 @@ fn lane(rec: &swgpu_sim::WalkRecord, origin: u64, scale: u64) -> String {
 
 fn main() {
     let h = parse_args();
-    let scenarios = [
-        (TranslationMode::IdealPtw, "ideal HW (enough PTWs)"),
-        (TranslationMode::HardwarePtw, "baseline (32 PTWs)"),
-        (
-            TranslationMode::SoftWalker { in_tlb_mshr: true },
-            "SoftWalker",
-        ),
-    ];
-    let cells: Vec<Cell> = scenarios.iter().map(|&(mode, _)| cell(mode)).collect();
+    let scenarios = fig09_cells(h.scale);
+    let cells: Vec<Cell> = scenarios.iter().map(|(c, _)| c.clone()).collect();
     prefetch(&cells);
     let runs: Vec<(String, swgpu_sim::SimStats)> = scenarios
         .iter()
-        .zip(&cells)
-        .map(|(&(_, label), c)| (label.to_string(), Runner::global().get(c)))
+        .map(|(c, label)| (label.to_string(), Runner::global().get(c)))
         .collect();
 
     let mut summary = Table::new(vec![

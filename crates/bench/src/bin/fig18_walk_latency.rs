@@ -4,10 +4,41 @@
 //! Paper headline: SoftWalker cuts total walk latency by 72.8% on average
 //! (NHA −20%, FS-HPT −16%); regular apps see up to +18% from the added
 //! SM↔L2TLB communication.
+//!
+//! Beyond the mean, a trace-capped tail-latency section reports per-walk
+//! p50/p95/p99 for a few representative irregular benchmarks under the
+//! baseline and SoftWalker, from the persisted walk-trace payloads (so
+//! repeat runs serve them from the disk cache).
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
-use swgpu_workloads::{table4, WorkloadClass};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, Runner, SystemConfig, Table};
+use swgpu_sim::GpuConfig;
+use swgpu_workloads::{by_abbr, table4, WorkloadClass};
+
+/// Benchmarks sampled for the tail-latency section: the highest-MPKI
+/// irregular gathers plus bfs (frontier locality) and spmv (set skew).
+const TAIL_BENCHES: [&str; 4] = ["gups", "xsb", "bfs", "spmv"];
+
+/// Walks recorded per tail cell — enough for stable p99 digits.
+const TAIL_TRACE_CAP: usize = 2048;
+
+/// A trace-capped variant of a system's configuration for `abbr`.
+fn tail_cell(abbr: &str, sys: SystemConfig, scale: swgpu_bench::Scale) -> Cell {
+    let spec = by_abbr(abbr).expect("known benchmark");
+    let cfg = GpuConfig {
+        walk_trace_cap: TAIL_TRACE_CAP,
+        ..sys.build(scale)
+    };
+    Cell::bench(&spec, cfg)
+}
+
+/// The `q`-th percentile (0..=100) of per-walk total latency.
+fn percentile(sorted: &[u64], q: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * q / 100]
+}
 
 fn main() {
     let h = parse_args();
@@ -17,11 +48,17 @@ fn main() {
         SystemConfig::SoftWalker,
     ];
 
+    let tail_systems = [SystemConfig::Baseline, SystemConfig::SoftWalker];
     let mut matrix = Vec::new();
     for spec in table4() {
         matrix.push(Cell::bench(&spec, SystemConfig::Baseline.build(h.scale)));
         for sys in systems {
             matrix.push(Cell::bench(&spec, sys.build(h.scale)));
+        }
+    }
+    for abbr in TAIL_BENCHES {
+        for sys in tail_systems {
+            matrix.push(tail_cell(abbr, sys, h.scale));
         }
     }
     prefetch(&matrix);
@@ -77,4 +114,38 @@ fn main() {
             mean(&norm_irr[i]),
         );
     }
+
+    // Tail latency from the walk-trace payloads: queueing behind the
+    // 32-PTW pool shows up as a fat tail the mean under-reports.
+    println!("\nWalk tail latency, per-walk cycles (first {TAIL_TRACE_CAP} walks traced)");
+    let mut tail = Table::new(vec![
+        "bench".into(),
+        "system".into(),
+        "walks".into(),
+        "p50".into(),
+        "p95".into(),
+        "p99".into(),
+    ]);
+    for abbr in TAIL_BENCHES {
+        for sys in tail_systems {
+            let cell = tail_cell(abbr, sys, h.scale);
+            let s = Runner::global().get(&cell);
+            let mut totals: Vec<u64> = s
+                .walk_trace
+                .records()
+                .iter()
+                .map(|r| r.total_cycles())
+                .collect();
+            totals.sort_unstable();
+            tail.row(vec![
+                abbr.to_string(),
+                sys.label(),
+                totals.len().to_string(),
+                percentile(&totals, 50).to_string(),
+                percentile(&totals, 95).to_string(),
+                percentile(&totals, 99).to_string(),
+            ]);
+        }
+    }
+    tail.print(h.csv);
 }

@@ -13,8 +13,14 @@
 //!   then `fig18` repeats no baseline simulation. `--refresh` ignores and
 //!   rewrites disk entries; `--no-cache` disables the disk cache.
 //! * **Artifacts & observability** — each simulated cell is persisted as
-//!   a JSON [`crate::artifact::RunArtifact`] and reported with a progress
-//!   line; batch summaries include the cache-hit split.
+//!   a JSON [`crate::artifact::RunArtifact`] (schema v2, including any
+//!   bounded walk-trace payload, so trace-requesting cells are cacheable
+//!   too) and reported with a progress line; batch summaries include the
+//!   cache-hit split.
+//! * **Shared page-table prebuilds** — cells whose workloads share a
+//!   footprint reuse one deterministic pre-built memory image
+//!   ([`swgpu_sim::PrebuiltMemory`]) instead of re-mapping every page per
+//!   cell.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -23,7 +29,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::artifact::{LoadOutcome, RunArtifact};
-use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
+use swgpu_sim::{GpuConfig, GpuSimulator, PrebuiltMemory, SimStats, TranslationMode};
 use swgpu_types::PageSize;
 use swgpu_workloads::{by_abbr, microbench, BenchmarkSpec, WorkloadParams};
 
@@ -208,11 +214,16 @@ impl SystemConfig {
             SystemConfig::SoftWalker => {
                 cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
             }
+            SystemConfig::SwWithCapacity { in_tlb_max: 0 } => {
+                // Zero capacity means "no In-TLB MSHR at all": identical
+                // to SwNoInTlb, rather than silently clamping to 1 entry
+                // (which would simulate a different — and misleading —
+                // one-entry design point).
+                cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: false };
+            }
             SystemConfig::SwWithCapacity { in_tlb_max } => {
-                cfg.mode = TranslationMode::SoftWalker {
-                    in_tlb_mshr: in_tlb_max > 0,
-                };
-                cfg.in_tlb_max = in_tlb_max.max(1);
+                cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+                cfg.in_tlb_max = in_tlb_max;
             }
             SystemConfig::Hybrid => {
                 cfg.mode = TranslationMode::Hybrid { in_tlb_mshr: true };
@@ -327,9 +338,15 @@ impl Cell {
         format!("{}-{}", self.workload.key(), self.cfg.fingerprint())
     }
 
-    /// Runs the simulation for this cell (no caching — see [`Runner`]).
-    pub fn simulate(&self) -> SimStats {
-        let cfg = self.cfg.clone();
+    /// Builds the instruction source for this cell and reports the
+    /// footprint it needs mapped. The footprint is what the runner keys
+    /// its shared page-table prebuild store on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark abbreviation.
+    fn build_source(&self) -> (Box<dyn swgpu_sm::InstrSource>, u64) {
+        let cfg = &self.cfg;
         match &self.workload {
             CellWorkload::Bench {
                 abbr,
@@ -347,7 +364,8 @@ impl Cell {
                     footprint_percent: *footprint_percent,
                     page_size: cfg.page_size,
                 });
-                GpuSimulator::new(cfg, Box::new(wl)).run()
+                let footprint = wl.footprint_bytes();
+                (Box::new(wl), footprint)
             }
             CellWorkload::Micro {
                 concurrent,
@@ -363,9 +381,15 @@ impl Cell {
                     cfg.page_size,
                 );
                 let footprint = wl.footprint_bytes();
-                GpuSimulator::new_with_footprint(cfg, Box::new(wl), footprint).run()
+                (Box::new(wl), footprint)
             }
         }
+    }
+
+    /// Runs the simulation for this cell (no caching — see [`Runner`]).
+    pub fn simulate(&self) -> SimStats {
+        let (source, footprint) = self.build_source();
+        GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint).run()
     }
 }
 
@@ -401,9 +425,19 @@ pub struct RunnerCounters {
     pub disk_hits: u64,
     /// Cells whose simulation panicked (caught; the batch continued).
     pub failed: u64,
-    /// Corrupt disk artifacts set aside (renamed `*.json.corrupt`) and
+    /// Corrupt disk artifacts set aside (renamed `*.json.corrupt*`) and
     /// re-simulated.
     pub quarantined: u64,
+    /// Quarantines that found an earlier quarantine file already in
+    /// place and had to pick a suffixed name instead of clobbering it.
+    pub quarantine_collisions: u64,
+    /// Intact artifacts skipped for schema or trace-cap reasons (silently
+    /// re-simulated and overwritten; never quarantined).
+    pub stale: u64,
+    /// Page-table images built for the shared prebuild store.
+    pub pt_prebuilds: u64,
+    /// Simulations that reused a prebuilt page-table image.
+    pub pt_prebuild_hits: u64,
 }
 
 impl RunnerCounters {
@@ -450,6 +484,10 @@ pub struct Runner {
     cache_dir: Option<PathBuf>,
     refresh: bool,
     memo: Mutex<HashMap<String, SimStats>>,
+    // Shared page-table prebuild store: one built memory image per
+    // distinct (page bytes, scrambling, footprint bytes); cells sharing a
+    // footprint clone the image instead of re-mapping every page.
+    prebuilds: Mutex<HashMap<(u64, bool, u64), std::sync::Arc<PrebuiltMemory>>>,
     counters: Mutex<RunnerCounters>,
 }
 
@@ -462,6 +500,7 @@ impl Runner {
             cache_dir,
             refresh,
             memo: Mutex::new(HashMap::new()),
+            prebuilds: Mutex::new(HashMap::new()),
             counters: Mutex::new(RunnerCounters::default()),
         }
     }
@@ -496,14 +535,10 @@ impl Runner {
             self.counters.lock().unwrap().memo_hits += 1;
             return (stats, CellSource::Memo);
         }
-        // Walk traces are not serialized, so cells that need them (a
-        // non-zero trace cap) must simulate live; their artifacts are
-        // still written for external tooling.
-        let disk_readable = !self.refresh && cell.cfg.walk_trace_cap == 0;
-        if disk_readable {
+        if !self.refresh {
             if let Some(dir) = &self.cache_dir {
                 match RunArtifact::probe(dir, &key) {
-                    LoadOutcome::Loaded(artifact) => {
+                    LoadOutcome::Loaded(artifact) if self.artifact_serves(cell, &artifact) => {
                         self.counters.lock().unwrap().disk_hits += 1;
                         self.memo
                             .lock()
@@ -511,23 +546,24 @@ impl Runner {
                             .insert(key, artifact.stats.clone());
                         return (artifact.stats, CellSource::Disk);
                     }
+                    LoadOutcome::Loaded(_) | LoadOutcome::Stale(_) => {
+                        // An intact artifact from another schema version,
+                        // or one whose stored trace cap does not match
+                        // what this cell asked for: silently re-simulate
+                        // and overwrite. Not corruption, no quarantine.
+                        self.counters.lock().unwrap().stale += 1;
+                    }
                     LoadOutcome::Corrupt(why) => {
                         // Set the unreadable file aside (it may still be
                         // useful for a post-mortem) and fall through to a
                         // fresh simulation, which rewrites the entry.
-                        self.counters.lock().unwrap().quarantined += 1;
-                        let path = RunArtifact::path_in(dir, &key);
-                        let quarantine = path.with_extension("json.corrupt");
-                        eprintln!("[runner] warning: quarantining corrupt artifact {key}: {why}");
-                        if let Err(e) = std::fs::rename(&path, &quarantine) {
-                            eprintln!("[runner] warning: quarantine rename failed: {e}");
-                        }
+                        self.quarantine(dir, &key, &why);
                     }
                     LoadOutcome::Missing => {}
                 }
             }
         }
-        let stats = cell.simulate();
+        let stats = self.simulate_cell(cell);
         if let Some(dir) = &self.cache_dir {
             let artifact = RunArtifact {
                 key: key.clone(),
@@ -542,6 +578,66 @@ impl Runner {
         self.counters.lock().unwrap().simulated += 1;
         self.memo.lock().unwrap().insert(key, stats.clone());
         (stats, CellSource::Simulated)
+    }
+
+    /// Whether a loaded artifact can satisfy `cell`'s request. The trace
+    /// cap must match exactly, and a trace-requesting cell additionally
+    /// needs the payload to actually have been persisted (caps above
+    /// [`crate::artifact::MAX_TRACE_RECORDS`] are written without one).
+    fn artifact_serves(&self, cell: &Cell, artifact: &RunArtifact) -> bool {
+        artifact.trace_cap() == cell.cfg.walk_trace_cap
+            && (cell.cfg.walk_trace_cap == 0 || artifact.has_trace_payload())
+    }
+
+    /// Renames a corrupt artifact out of the cache without clobbering any
+    /// earlier quarantine of the same key: `<key>.json.corrupt`, then
+    /// `.corrupt.1`, `.corrupt.2`, ...
+    fn quarantine(&self, dir: &std::path::Path, key: &str, why: &str) {
+        let path = RunArtifact::path_in(dir, key);
+        let mut quarantine = path.with_extension("json.corrupt");
+        let mut suffix = 0u32;
+        while quarantine.exists() {
+            suffix += 1;
+            quarantine = path.with_extension(format!("json.corrupt.{suffix}"));
+        }
+        {
+            let mut c = self.counters.lock().unwrap();
+            c.quarantined += 1;
+            if suffix > 0 {
+                c.quarantine_collisions += 1;
+            }
+        }
+        eprintln!("[runner] warning: quarantining corrupt artifact {key}: {why}");
+        if let Err(e) = std::fs::rename(&path, &quarantine) {
+            eprintln!("[runner] warning: quarantine rename failed: {e}");
+        }
+    }
+
+    /// Simulates a cell through the shared page-table prebuild store.
+    fn simulate_cell(&self, cell: &Cell) -> SimStats {
+        let (source, footprint) = cell.build_source();
+        let prebuilt = self.prebuilt(cell.cfg.page_size, cell.cfg.scrambled_frames, footprint);
+        GpuSimulator::new_with_prebuilt(cell.cfg.clone(), source, prebuilt).run()
+    }
+
+    /// Fetches (or builds) the shared memory image for a footprint. The
+    /// image is built outside the store lock; a racing worker may build
+    /// the same image redundantly, but both count as builds and the store
+    /// keeps exactly one.
+    fn prebuilt(&self, page: PageSize, scrambled: bool, footprint: u64) -> PrebuiltMemory {
+        let key = (page.bytes(), scrambled, footprint);
+        if let Some(img) = self.prebuilds.lock().unwrap().get(&key) {
+            let img = std::sync::Arc::clone(img);
+            self.counters.lock().unwrap().pt_prebuild_hits += 1;
+            return (*img).clone();
+        }
+        let img = std::sync::Arc::new(PrebuiltMemory::build(page, scrambled, footprint));
+        self.counters.lock().unwrap().pt_prebuilds += 1;
+        let img = match self.prebuilds.lock().unwrap().entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => std::sync::Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => std::sync::Arc::clone(v.insert(img)),
+        };
+        (*img).clone()
     }
 
     /// Resolves one cell, converting a panicking simulation into a
@@ -652,7 +748,7 @@ impl Runner {
         });
         let c = self.counters();
         eprintln!(
-            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits, {} failed, {} quarantined",
+            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits, {} failed, {} quarantined, {} stale, {} pt prebuilds ({} reused)",
             cells.len(),
             total,
             batch_start.elapsed().as_secs_f64(),
@@ -661,7 +757,10 @@ impl Runner {
             c.memo_hits,
             c.disk_hits,
             c.failed,
-            c.quarantined
+            c.quarantined,
+            c.stale,
+            c.pt_prebuilds,
+            c.pt_prebuild_hits
         );
         let results = results.into_inner().unwrap();
         keys.iter().map(|k| results[k].clone()).collect()
@@ -710,6 +809,47 @@ pub fn run_with(
 /// percentage (Figures 6/25 scale footprints).
 pub fn run_config(spec: &BenchmarkSpec, cfg: GpuConfig, footprint_percent: u64) -> SimStats {
     Runner::global().get(&Cell::bench_scaled(spec, cfg, footprint_percent))
+}
+
+/// The Figure 9 timeline cell set: one trace-capped microbenchmark cell
+/// per sketched scenario (ideal hardware, the 32-PTW baseline, and
+/// SoftWalker), labelled as the figure labels them. Shared between the
+/// `fig09_timeline` binary and the cache tests that pin trace-cell
+/// caching behaviour. All three cells share one footprint, so the
+/// runner's page-table prebuild store builds exactly one image for the
+/// whole set.
+pub fn fig09_cells(scale: Scale) -> Vec<(Cell, &'static str)> {
+    let (sms, warps, trace_cap, concurrent, accesses, footprint): (_, _, _, _, u32, u64) =
+        match scale {
+            // A burst of 512 concurrent single-lane walkers, each walking
+            // fresh pages — deep enough to saturate 32 PTWs, the shape of
+            // the paper's Figure 9 sketch.
+            Scale::Full => (16, 32, 4096, 512, 4, 8 * 1024 * 1024 * 1024),
+            Scale::Quick => (8, 16, 1024, 128, 4, 1024 * 1024 * 1024),
+        };
+    [
+        (TranslationMode::IdealPtw, "ideal HW (enough PTWs)"),
+        (TranslationMode::HardwarePtw, "baseline (32 PTWs)"),
+        (
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            "SoftWalker",
+        ),
+    ]
+    .into_iter()
+    .map(|(mode, label)| {
+        let cfg = GpuConfig {
+            sms,
+            max_warps: warps,
+            mode,
+            walk_trace_cap: trace_cap,
+            ..GpuConfig::default()
+        };
+        (
+            Cell::micro(cfg, concurrent, warps, accesses, footprint),
+            label,
+        )
+    })
+    .collect()
 }
 
 /// The footprint multiplier used when running with 2 MB pages: the paper
@@ -873,6 +1013,87 @@ mod tests {
         // ...but only after the healthy cell completed.
         assert_eq!(runner.counters().simulated, 1);
         assert_eq!(runner.counters().failed, 1);
+    }
+
+    #[test]
+    fn sw_with_zero_capacity_is_sw_no_intlb() {
+        let zero = SystemConfig::SwWithCapacity { in_tlb_max: 0 }.build(Scale::Quick);
+        let none = SystemConfig::SwNoInTlb.build(Scale::Quick);
+        assert_eq!(
+            zero.mode,
+            TranslationMode::SoftWalker { in_tlb_mshr: false }
+        );
+        assert_eq!(
+            zero.fingerprint(),
+            none.fingerprint(),
+            "zero capacity must be the same design point as SwNoInTlb"
+        );
+        // Both validate (no silent clamp hiding an in_tlb_max of 0).
+        zero.validate();
+        // The non-zero path keeps the requested capacity with the
+        // mechanism on.
+        let eight = SystemConfig::SwWithCapacity { in_tlb_max: 8 }.build(Scale::Quick);
+        assert_eq!(
+            eight.mode,
+            TranslationMode::SoftWalker { in_tlb_mshr: true }
+        );
+        assert_eq!(eight.in_tlb_max, 8);
+        eight.validate();
+    }
+
+    #[test]
+    fn repeated_corruption_quarantines_without_clobbering() {
+        let dir = test_cache_dir("requarantine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = by_abbr("gemm").unwrap();
+        let cell = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let key = cell.key();
+        let path = RunArtifact::path_in(&dir, &key);
+        for round in 0..3u32 {
+            let runner = Runner::new(1, Some(dir.clone()), false);
+            runner.get(&cell);
+            // Corrupt the freshly written artifact for the next round.
+            let full = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &full[..full.len() / 2 + round as usize]).unwrap();
+        }
+        let runner = Runner::new(1, Some(dir.clone()), false);
+        runner.get(&cell);
+        // All three corrupted generations survive side by side.
+        assert!(path.with_extension("json.corrupt").exists());
+        assert!(path.with_extension("json.corrupt.1").exists());
+        assert!(path.with_extension("json.corrupt.2").exists());
+        assert_eq!(runner.counters().quarantined, 1);
+        assert_eq!(runner.counters().quarantine_collisions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cells_sharing_a_footprint_share_one_prebuild() {
+        let runner = Runner::new(1, None, false);
+        let cells: Vec<Cell> = fig09_cells(Scale::Quick)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        assert_eq!(cells.len(), 3);
+        runner.run_cells(&cells);
+        let c = runner.counters();
+        assert_eq!(c.simulated, 3);
+        assert_eq!(c.pt_prebuilds, 1, "one image for the shared footprint");
+        assert_eq!(c.pt_prebuild_hits, 2, "the other two cells reuse it");
+    }
+
+    #[test]
+    fn prebuilt_simulation_matches_fresh_simulation() {
+        let (cell, _) = &fig09_cells(Scale::Quick)[1];
+        let fresh = cell.simulate();
+        let runner = Runner::new(1, None, false);
+        let via_store = runner.get(cell);
+        assert_eq!(fresh.to_json(), via_store.to_json());
+        assert_eq!(
+            fresh.walk_trace.records(),
+            via_store.walk_trace.records(),
+            "prebuilt path must be bit-identical, traces included"
+        );
     }
 
     #[test]

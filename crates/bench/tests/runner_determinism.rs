@@ -96,27 +96,68 @@ fn disk_cache_round_trips_across_runners() {
 }
 
 #[test]
-fn trace_cells_bypass_disk_reads_but_keep_traces() {
+fn trace_cells_disk_hit_with_traces_restored() {
     let dir = scratch("runner-trace");
     let spec = by_abbr("bfs").expect("known benchmark");
     let mut cfg = SystemConfig::Baseline.build(Scale::Quick);
     cfg.walk_trace_cap = 64;
-    let cell = Cell::bench(&spec, cfg);
+    let cell = Cell::bench(&spec, cfg.clone());
 
     let first = Runner::new(2, Some(dir.clone()), false);
     let stats = first.run_cells(std::slice::from_ref(&cell));
     assert!(
         !stats[0].walk_trace.records().is_empty(),
-        "trace cells must come from a live simulation"
+        "the trace cap must produce records"
     );
 
-    // A fresh runner must NOT serve the (trace-less) artifact for a cell
-    // that needs walk traces.
+    // A fresh runner serves the artifact from disk — schema v2 persists
+    // the walk-trace payload — with zero re-simulation and the exact
+    // records restored.
     let second = Runner::new(2, Some(dir.clone()), false);
     let again = second.run_cells(std::slice::from_ref(&cell));
-    assert_eq!(second.counters().disk_hits, 0);
-    assert_eq!(second.counters().simulated, 1);
-    assert!(!again[0].walk_trace.records().is_empty());
+    assert_eq!(second.counters().simulated, 0, "0 simulated on re-run");
+    assert_eq!(second.counters().disk_hits, 1);
+    assert_eq!(
+        again[0].walk_trace.records(),
+        stats[0].walk_trace.records(),
+        "restored trace must match the live one"
+    );
+    assert_eq!(again[0].to_json(), stats[0].to_json());
+
+    // The cached artifact only serves the cap it was recorded with: a
+    // different cap is a different config fingerprint (hence key), so it
+    // simulates fresh rather than serving mismatched traces.
+    let mut other = cfg.clone();
+    other.walk_trace_cap = 32;
+    let other_cell = Cell::bench(&spec, other);
+    let third = Runner::new(2, Some(dir.clone()), false);
+    let other_stats = third.run_cells(std::slice::from_ref(&other_cell));
+    assert_eq!(third.counters().simulated, 1);
+    assert!(other_stats[0].walk_trace.records().len() <= 32);
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_cells_are_deterministic_across_job_counts() {
+    let cells: Vec<Cell> = swgpu_bench::runner::fig09_cells(Scale::Quick)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+    let serial = Runner::new(1, None, false).run_cells(&cells);
+    let parallel = Runner::new(4, None, false).run_cells(&cells);
+    for ((s, p), cell) in serial.iter().zip(&parallel).zip(&cells) {
+        assert_eq!(
+            s.to_json(),
+            p.to_json(),
+            "cell {} diverged between --jobs 1 and --jobs 4",
+            cell.key()
+        );
+        assert_eq!(
+            s.walk_trace.records(),
+            p.walk_trace.records(),
+            "cell {} traces diverged across job counts",
+            cell.key()
+        );
+    }
 }

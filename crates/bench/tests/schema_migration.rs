@@ -1,0 +1,146 @@
+//! Artifact schema-migration regression tests: old-schema, truncated,
+//! and trace-cap-mismatched artifacts must all be *re-simulated* — never
+//! surfaced as hard errors — and the schema-v2 trace payload must make a
+//! repeat of the Figure 9 (trace-capped) cell set fully cache-served.
+
+use std::path::PathBuf;
+
+use swgpu_bench::runner::fig09_cells;
+use swgpu_bench::{Cell, RunArtifact, Runner, Scale, SystemConfig};
+use swgpu_workloads::by_abbr;
+
+/// A fresh per-test scratch directory inside the workspace `target/`.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-artifacts")
+        .join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn sample_cell() -> Cell {
+    let spec = by_abbr("gemm").expect("known benchmark");
+    Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick))
+}
+
+#[test]
+fn v1_artifact_is_resimulated_not_an_error() {
+    let dir = scratch("migrate-v1");
+    let cell = sample_cell();
+    let key = cell.key();
+
+    // Seed a valid v2 artifact, then rewrite it as a v1 file: the v1
+    // schema had no trace_cap / walk_trace fields and schema:1.
+    let writer = Runner::new(1, Some(dir.clone()), false);
+    let stats = writer.get(&cell);
+    let path = RunArtifact::path_in(&dir, &key);
+    let v2 = std::fs::read_to_string(&path).unwrap();
+    let v1 = v2
+        .replacen("\"schema\":2", "\"schema\":1", 1)
+        .replacen("\"trace_cap\":0,", "", 1);
+    std::fs::write(&path, v1).unwrap();
+
+    let reader = Runner::new(1, Some(dir.clone()), false);
+    let again = reader.get(&cell);
+    let c = reader.counters();
+    assert_eq!(c.simulated, 1, "stale schema re-simulates");
+    assert_eq!(c.stale, 1);
+    assert_eq!(c.quarantined, 0, "old schemas are not corruption");
+    assert_eq!(c.disk_hits, 0);
+    assert_eq!(again.to_json(), stats.to_json());
+    // The entry was silently upgraded in place: no *.corrupt files, and
+    // the next runner disk-hits on the fresh v2 artifact.
+    assert!(!path.with_extension("json.corrupt").exists());
+    let upgraded = Runner::new(1, Some(dir.clone()), false);
+    upgraded.get(&cell);
+    assert_eq!(upgraded.counters().disk_hits, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_v2_artifact_is_quarantined_and_resimulated() {
+    let dir = scratch("migrate-truncated");
+    // Use a trace-capped cell so the truncation can land inside the
+    // walk-trace payload as well as the stats object.
+    let (cell, _) = fig09_cells(Scale::Quick).swap_remove(0);
+    let key = cell.key();
+
+    let writer = Runner::new(1, Some(dir.clone()), false);
+    let stats = writer.get(&cell);
+    let path = RunArtifact::path_in(&dir, &key);
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() - full.len() / 4]).unwrap();
+
+    let reader = Runner::new(1, Some(dir.clone()), false);
+    let again = reader.get(&cell);
+    let c = reader.counters();
+    assert_eq!(c.simulated, 1);
+    assert_eq!(c.quarantined, 1, "torn files are quarantined");
+    assert_eq!(c.stale, 0);
+    assert_eq!(again.to_json(), stats.to_json());
+    assert!(path.with_extension("json.corrupt").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_cap_mismatched_v2_artifact_is_resimulated() {
+    let dir = scratch("migrate-capmismatch");
+    let (cell, _) = fig09_cells(Scale::Quick).swap_remove(2);
+    let cap = cell.cfg.walk_trace_cap;
+    assert!(cap > 0, "fig09 cells are trace-capped");
+    let key = cell.key();
+
+    let writer = Runner::new(1, Some(dir.clone()), false);
+    let stats = writer.get(&cell);
+    let path = RunArtifact::path_in(&dir, &key);
+    // Rewrite the stored cap: the file stays a perfectly parseable v2
+    // artifact, but it no longer answers this cell's trace request.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let mismatched = json.replacen(
+        &format!("\"trace_cap\":{cap}"),
+        &format!("\"trace_cap\":{}", cap / 2),
+        1,
+    );
+    assert_ne!(json, mismatched, "cap rewrite must take effect");
+    std::fs::write(&path, mismatched).unwrap();
+
+    let reader = Runner::new(1, Some(dir.clone()), false);
+    let again = reader.get(&cell);
+    let c = reader.counters();
+    assert_eq!(c.simulated, 1, "cap mismatch re-simulates");
+    assert_eq!(c.stale, 1);
+    assert_eq!(c.quarantined, 0, "a cap mismatch is not corruption");
+    assert_eq!(again.to_json(), stats.to_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn second_run_of_fig09_cells_simulates_nothing() {
+    let dir = scratch("migrate-fig09-rerun");
+    let cells: Vec<Cell> = fig09_cells(Scale::Quick)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+
+    let first = Runner::new(2, Some(dir.clone()), false);
+    let a = first.run_cells(&cells);
+    assert_eq!(first.counters().simulated as usize, cells.len());
+
+    // The acceptance criterion: a second invocation (fresh runner, same
+    // cache — i.e. re-running the fig09_timeline binary) simulates zero
+    // cells even though every cell requests walk traces.
+    let second = Runner::new(2, Some(dir.clone()), false);
+    let b = second.run_cells(&cells);
+    let c = second.counters();
+    assert_eq!(c.simulated, 0, "0 simulated cells on the second run");
+    assert_eq!(c.disk_hits as usize, cells.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_json(), y.to_json());
+        assert_eq!(x.walk_trace.records(), y.walk_trace.records());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

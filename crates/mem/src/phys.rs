@@ -25,7 +25,10 @@ const WORDS_PER_GRANULE: usize = (GRANULE_BYTES / 8) as usize;
 /// assert_eq!(mem.read_u64(PhysAddr::new(0x1000)), 0xdead_beef);
 /// assert_eq!(mem.read_u64(PhysAddr::new(0x9_0000)), 0);
 /// ```
-#[derive(Debug, Default)]
+/// Cloning deep-copies every backed granule — the experiment runner's
+/// page-table prebuild store clones one built memory image per cell
+/// instead of replaying the whole mapping sequence.
+#[derive(Debug, Default, Clone)]
 pub struct PhysMem {
     granules: HashMap<u64, Box<[u64; WORDS_PER_GRANULE]>>,
 }

@@ -28,7 +28,7 @@ use swgpu_types::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
 /// assert!(space.translate(VirtAddr::new(0x10_1234), &mem).is_some());
 /// assert!(space.translate(VirtAddr::new(0x90_0000), &mem).is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     page_size: PageSize,
     alloc: FrameAllocator,

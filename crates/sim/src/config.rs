@@ -2,7 +2,7 @@
 
 use softwalker::{DistributorPolicy, PwWarpConfig};
 use swgpu_mem::{CacheConfig, DramConfig};
-use swgpu_ptw::{PtwConfig, WalkTiming};
+use swgpu_ptw::{PtwConfig, PwbPolicy, WalkTiming};
 use swgpu_tlb::{TlbConfig, TlbMshrConfig};
 use swgpu_types::{FaultPlan, PageSize};
 
@@ -214,22 +214,88 @@ impl GpuConfig {
     }
 
     /// A stable 64-bit fingerprint over every configuration field,
-    /// rendered as 16 hex digits. Two configurations share a fingerprint
-    /// iff their `Debug` representations agree, which covers every public
-    /// knob — the experiment runner keys its run cache on this (plus the
-    /// workload identity), so any config change busts the cache.
+    /// rendered as 16 hex digits — the experiment runner keys its run
+    /// cache on this (plus the workload identity), so any config change
+    /// busts the cache.
     ///
-    /// The fingerprint is FNV-1a over the `Debug` rendering: stable
-    /// across runs and platforms for a given source revision, and
-    /// intentionally *not* stable across revisions that add or rename
-    /// config fields (stale cache entries must not be reused).
+    /// The fingerprint is FNV-1a over the *explicit field values* (every
+    /// struct is exhaustively destructured, so adding a field without
+    /// hashing it is a compile error), **not** over a `Debug` rendering:
+    /// a cosmetic `Debug` format change must neither invalidate nor alias
+    /// cached baselines. The resulting value is pinned by a
+    /// golden-fingerprint test; an accidental change to what is hashed
+    /// fails that test loudly instead of silently corrupting the cache.
     pub fn fingerprint(&self) -> String {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in format!("{self:?}").bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
+        let GpuConfig {
+            sms,
+            max_warps,
+            page_size,
+            l1_tlb,
+            l1_mshr,
+            l1_tlb_latency,
+            l2_tlb,
+            l2_mshr,
+            l2_tlb_latency,
+            xlat_return_latency,
+            in_tlb_max,
+            l1d,
+            l2d,
+            dram,
+            pwc_entries,
+            ptw,
+            pw_warp,
+            distributor_policy,
+            dispatches_per_cycle,
+            mode,
+            force_in_tlb,
+            scrambled_frames,
+            max_cycles,
+            walk_trace_cap,
+            fault_plan,
+        } = self;
+        let mut h = Fnv::new();
+        h.usize(*sms);
+        h.usize(*max_warps);
+        h.u64(page_size.bytes());
+        hash_tlb(&mut h, l1_tlb);
+        hash_tlb_mshr(&mut h, l1_mshr);
+        h.u64(*l1_tlb_latency);
+        hash_tlb(&mut h, l2_tlb);
+        hash_tlb_mshr(&mut h, l2_mshr);
+        h.u64(*l2_tlb_latency);
+        h.u64(*xlat_return_latency);
+        h.usize(*in_tlb_max);
+        hash_cache(&mut h, l1d);
+        hash_cache(&mut h, l2d);
+        hash_dram(&mut h, dram);
+        h.usize(*pwc_entries);
+        hash_ptw(&mut h, ptw);
+        hash_pw_warp(&mut h, pw_warp);
+        h.u64(match distributor_policy {
+            DistributorPolicy::RoundRobin => 0,
+            DistributorPolicy::Random => 1,
+            DistributorPolicy::StallAware => 2,
+        });
+        h.usize(*dispatches_per_cycle);
+        match mode {
+            TranslationMode::HardwarePtw => h.u64(0),
+            TranslationMode::HashedPtw => h.u64(1),
+            TranslationMode::IdealPtw => h.u64(2),
+            TranslationMode::SoftWalker { in_tlb_mshr } => {
+                h.u64(3);
+                h.bool(*in_tlb_mshr);
+            }
+            TranslationMode::Hybrid { in_tlb_mshr } => {
+                h.u64(4);
+                h.bool(*in_tlb_mshr);
+            }
         }
-        format!("{h:016x}")
+        h.bool(*force_in_tlb);
+        h.bool(*scrambled_frames);
+        h.u64(*max_cycles);
+        h.usize(*walk_trace_cap);
+        hash_fault_plan(&mut h, fault_plan);
+        format!("{:016x}", h.finish())
     }
 
     /// Validates cross-field consistency.
@@ -262,7 +328,183 @@ impl GpuConfig {
                 "an armed fault plan needs a positive watchdog timeout"
             );
         }
+        if self.mode.in_tlb_enabled() || self.force_in_tlb {
+            assert!(
+                self.in_tlb_max > 0,
+                "In-TLB MSHR is enabled but in_tlb_max is 0; disable the \
+                 mechanism explicitly (in_tlb_mshr: false / SwNoInTlb) instead"
+            );
+        }
     }
+}
+
+/// FNV-1a accumulator behind [`GpuConfig::fingerprint`]. All writes are
+/// fixed-width (strings are length-prefixed), so two configurations can
+/// only collide if a full 64-bit FNV collision occurs.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.u64(u64::from(v));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_tlb(h: &mut Fnv, c: &TlbConfig) {
+    let TlbConfig {
+        name,
+        entries,
+        assoc,
+    } = c;
+    h.str(name);
+    h.usize(*entries);
+    h.usize(*assoc);
+}
+
+fn hash_tlb_mshr(h: &mut Fnv, c: &TlbMshrConfig) {
+    let TlbMshrConfig {
+        entries,
+        max_merges,
+    } = c;
+    h.usize(*entries);
+    h.usize(*max_merges);
+}
+
+fn hash_cache(h: &mut Fnv, c: &CacheConfig) {
+    let CacheConfig {
+        name,
+        size_bytes,
+        assoc,
+        line_bytes,
+        sector_bytes,
+        hit_latency,
+        mshr_entries,
+        mshr_max_merges,
+    } = c;
+    h.str(name);
+    h.u64(*size_bytes);
+    h.usize(*assoc);
+    h.u64(*line_bytes);
+    h.u64(*sector_bytes);
+    h.u64(*hit_latency);
+    h.usize(*mshr_entries);
+    h.usize(*mshr_max_merges);
+}
+
+fn hash_dram(h: &mut Fnv, c: &DramConfig) {
+    let DramConfig {
+        channels,
+        latency,
+        service_cycles,
+        interleave_bytes,
+    } = c;
+    h.usize(*channels);
+    h.u64(*latency);
+    h.u64(*service_cycles);
+    h.u64(*interleave_bytes);
+}
+
+fn hash_ptw(h: &mut Fnv, c: &PtwConfig) {
+    let PtwConfig {
+        walkers,
+        pwb_entries,
+        pwb_ports,
+        nha,
+        sector_bytes,
+        timing,
+        pwb_policy,
+    } = c;
+    h.usize(*walkers);
+    h.usize(*pwb_entries);
+    h.usize(*pwb_ports);
+    h.bool(*nha);
+    h.u64(*sector_bytes);
+    match timing {
+        WalkTiming::Memory => h.u64(0),
+        WalkTiming::FixedPerLevel(cycles) => {
+            h.u64(1);
+            h.u64(*cycles);
+        }
+    }
+    h.u64(match pwb_policy {
+        PwbPolicy::Fifo => 0,
+        PwbPolicy::WarpShortestFirst => 1,
+    });
+}
+
+fn hash_pw_warp(h: &mut Fnv, c: &PwWarpConfig) {
+    let PwWarpConfig {
+        threads,
+        softpwb_entries,
+        setup_instrs,
+        per_level_instrs,
+        finish_instrs,
+        fault_buffer_entries,
+    } = c;
+    h.usize(*threads);
+    h.usize(*softpwb_entries);
+    h.u32(*setup_instrs);
+    h.u32(*per_level_instrs);
+    h.u32(*finish_instrs);
+    h.usize(*fault_buffer_entries);
+}
+
+fn hash_fault_plan(h: &mut Fnv, p: &FaultPlan) {
+    let FaultPlan {
+        seed,
+        pte_corrupt_rate,
+        mem_drop_rate,
+        mem_delay_rate,
+        mem_delay_cycles,
+        stuck_thread_rate,
+        watchdog_cycles,
+        max_retries,
+        driver_latency,
+    } = p;
+    h.u64(*seed);
+    h.f64(*pte_corrupt_rate);
+    h.f64(*mem_drop_rate);
+    h.f64(*mem_delay_rate);
+    h.u64(*mem_delay_cycles);
+    h.f64(*stuck_thread_rate);
+    h.u64(*watchdog_cycles);
+    h.u32(*max_retries);
+    h.u64(*driver_latency);
 }
 
 #[cfg(test)]
@@ -305,6 +547,68 @@ mod tests {
         assert!(TranslationMode::SoftWalker { in_tlb_mshr: true }.in_tlb_enabled());
     }
 
+    /// The pinned fingerprint of `GpuConfig::default()`. The experiment
+    /// runner's disk cache keys on this value: if it drifts, every cached
+    /// baseline is silently invalidated (or worse, aliased). Any change
+    /// to the config fields or the hashing scheme must be *deliberate* —
+    /// update this constant only when the cache is meant to be busted.
+    const GOLDEN_DEFAULT_FINGERPRINT: &str = "e2d406ba07f931c1";
+
+    #[test]
+    fn fingerprint_is_pinned() {
+        assert_eq!(
+            GpuConfig::default().fingerprint(),
+            GOLDEN_DEFAULT_FINGERPRINT,
+            "GpuConfig::fingerprint drifted — this invalidates every \
+             cached baseline; if intentional, update the golden constant"
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_every_knob() {
+        // One perturbation per field family; every one must produce a
+        // distinct fingerprint (a knob the hash misses would silently
+        // alias cache entries).
+        type Tweak = Box<dyn Fn(&mut GpuConfig)>;
+        let tweaks: Vec<Tweak> = vec![
+            Box::new(|c| c.sms += 1),
+            Box::new(|c| c.max_warps += 1),
+            Box::new(|c| c.page_size = PageSize::Size2M),
+            Box::new(|c| c.l1_tlb.entries += 1),
+            Box::new(|c| c.l1_mshr.max_merges += 1),
+            Box::new(|c| c.l1_tlb_latency += 1),
+            Box::new(|c| c.l2_tlb.assoc += 1),
+            Box::new(|c| c.l2_mshr.entries += 1),
+            Box::new(|c| c.l2_tlb_latency += 1),
+            Box::new(|c| c.xlat_return_latency += 1),
+            Box::new(|c| c.in_tlb_max += 1),
+            Box::new(|c| c.l1d.size_bytes += 128),
+            Box::new(|c| c.l2d.hit_latency += 1),
+            Box::new(|c| c.dram.channels += 1),
+            Box::new(|c| c.pwc_entries += 1),
+            Box::new(|c| c.ptw.walkers += 1),
+            Box::new(|c| c.ptw.timing = WalkTiming::FixedPerLevel(100)),
+            Box::new(|c| c.ptw.pwb_policy = PwbPolicy::WarpShortestFirst),
+            Box::new(|c| c.pw_warp.threads += 1),
+            Box::new(|c| c.distributor_policy = DistributorPolicy::Random),
+            Box::new(|c| c.dispatches_per_cycle += 1),
+            Box::new(|c| c.mode = TranslationMode::SoftWalker { in_tlb_mshr: true }),
+            Box::new(|c| c.force_in_tlb = true),
+            Box::new(|c| c.scrambled_frames = false),
+            Box::new(|c| c.max_cycles += 1),
+            Box::new(|c| c.walk_trace_cap = 64),
+            Box::new(|c| c.fault_plan.seed = 7),
+        ];
+        let mut prints = vec![GpuConfig::default().fingerprint()];
+        for tweak in &tweaks {
+            let mut cfg = GpuConfig::default();
+            tweak(&mut cfg);
+            prints.push(cfg.fingerprint());
+        }
+        let unique: std::collections::HashSet<&String> = prints.iter().collect();
+        assert_eq!(unique.len(), prints.len(), "fingerprint aliased a knob");
+    }
+
     #[test]
     fn fingerprint_distinguishes_configs() {
         let base = GpuConfig::default();
@@ -343,6 +647,32 @@ mod tests {
     fn fault_rate_out_of_range_rejected() {
         let mut cfg = GpuConfig::quick_test();
         cfg.fault_plan.mem_drop_rate = 1.5;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "in_tlb_max is 0")]
+    fn in_tlb_enabled_with_zero_capacity_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        cfg.in_tlb_max = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "in_tlb_max is 0")]
+    fn forced_in_tlb_with_zero_capacity_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.force_in_tlb = true;
+        cfg.in_tlb_max = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn in_tlb_disabled_allows_zero_capacity() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: false };
+        cfg.in_tlb_max = 0;
         cfg.validate();
     }
 

@@ -38,6 +38,47 @@ struct PendingL2 {
     counted_failure: bool,
 }
 
+/// A physical memory image with the workload footprint already mapped.
+///
+/// Building one is deterministic in `(page_size, scrambled, footprint
+/// bytes)`: the frame allocator and radix table insertions depend on
+/// nothing else. The experiment runner exploits this by building the
+/// image once per distinct footprint and handing each cell a clone via
+/// [`GpuSimulator::new_with_prebuilt`].
+#[derive(Debug, Clone)]
+pub struct PrebuiltMemory {
+    page_size: swgpu_types::PageSize,
+    scrambled: bool,
+    phys: PhysMem,
+    space: AddressSpace,
+}
+
+impl PrebuiltMemory {
+    /// Maps `footprint_bytes` of virtual address space starting at 0 into
+    /// a fresh physical memory, exactly as
+    /// [`GpuSimulator::new_with_footprint`] would.
+    pub fn build(page_size: swgpu_types::PageSize, scrambled: bool, footprint_bytes: u64) -> Self {
+        let mut phys = PhysMem::new();
+        let mut space = if scrambled {
+            AddressSpace::new_scrambled(page_size, &mut phys)
+        } else {
+            AddressSpace::new(page_size, &mut phys)
+        };
+        space.map_region(VirtAddr::new(0), footprint_bytes, &mut phys);
+        Self {
+            page_size,
+            scrambled,
+            phys,
+            space,
+        }
+    }
+
+    /// Number of pages the image has mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.space.mapped_pages()
+    }
+}
+
 /// The assembled GPU. See the crate-level example for usage; construct
 /// with a configuration and a boxed workload, then [`GpuSimulator::run`].
 pub struct GpuSimulator {
@@ -113,9 +154,30 @@ impl GpuSimulator {
     ///
     /// Panics if the configuration is inconsistent.
     pub fn new_with_footprint(
-        mut cfg: GpuConfig,
+        cfg: GpuConfig,
         source: Box<dyn InstrSource>,
         footprint_bytes: u64,
+    ) -> Self {
+        let prebuilt = PrebuiltMemory::build(cfg.page_size, cfg.scrambled_frames, footprint_bytes);
+        Self::new_with_prebuilt(cfg, source, prebuilt)
+    }
+
+    /// Builds the GPU around a pre-built memory image ([`PrebuiltMemory`])
+    /// instead of mapping the footprint from scratch. Identical results
+    /// to [`GpuSimulator::new_with_footprint`] — the page-table build is
+    /// deterministic in `(page size, scrambling, footprint)` — but cells
+    /// sharing a footprint can clone one image instead of paying the
+    /// per-page mapping walk every time (the experiment runner's prebuild
+    /// store does exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or the prebuilt image
+    /// was built for a different page size / scrambling than `cfg` uses.
+    pub fn new_with_prebuilt(
+        mut cfg: GpuConfig,
+        source: Box<dyn InstrSource>,
+        prebuilt: PrebuiltMemory,
     ) -> Self {
         cfg.validate();
         if cfg.mode == TranslationMode::IdealPtw {
@@ -123,13 +185,19 @@ impl GpuSimulator {
             // TLB MSHRs regardless of what the rest of the config says.
             cfg = cfg.ideal();
         }
-        let mut phys = PhysMem::new();
-        let mut space = if cfg.scrambled_frames {
-            AddressSpace::new_scrambled(cfg.page_size, &mut phys)
-        } else {
-            AddressSpace::new(cfg.page_size, &mut phys)
-        };
-        space.map_region(VirtAddr::new(0), footprint_bytes, &mut phys);
+        assert_eq!(
+            prebuilt.page_size, cfg.page_size,
+            "prebuilt memory image page size does not match the config"
+        );
+        assert_eq!(
+            prebuilt.scrambled, cfg.scrambled_frames,
+            "prebuilt memory image frame scrambling does not match the config"
+        );
+        let PrebuiltMemory {
+            mut phys,
+            mut space,
+            ..
+        } = prebuilt;
 
         let hashed = match cfg.mode {
             TranslationMode::HashedPtw => Some(space.build_hashed(&mut phys)),

@@ -45,6 +45,6 @@ mod stats;
 mod trace;
 
 pub use config::{GpuConfig, TranslationMode};
-pub use gpu::GpuSimulator;
+pub use gpu::{GpuSimulator, PrebuiltMemory};
 pub use stats::{SimStats, WalkLatencyStats};
 pub use trace::{WalkRecord, WalkTrace, WalkerKind};

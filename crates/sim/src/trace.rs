@@ -66,6 +66,19 @@ impl WalkTrace {
         }
     }
 
+    /// Reconstructs a collector from persisted records (run-artifact
+    /// loading). Records beyond `cap` are dropped, preserving the
+    /// invariant that a trace never exceeds its cap.
+    pub fn from_parts(cap: usize, mut records: Vec<WalkRecord>) -> Self {
+        records.truncate(cap);
+        Self { records, cap }
+    }
+
+    /// The record cap this collector was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Whether the collector still accepts records.
     pub fn accepting(&self) -> bool {
         self.records.len() < self.cap
@@ -91,6 +104,84 @@ impl WalkTrace {
     /// Whether nothing was collected.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Serializes the collected records as a JSON array of fixed-shape
+    /// number arrays: `[[vpn, issued, started, completed, walker], ...]`
+    /// with `walker` 0 = hardware, 1 = software. The cap is *not* part of
+    /// this payload — the run artifact stores it alongside so a loaded
+    /// trace can be validated against the requesting configuration.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "[{},{},{},{},{}]",
+                    r.vpn.value(),
+                    r.issued_at.value(),
+                    r.started_at.value(),
+                    r.completed_at.value(),
+                    match r.walker {
+                        WalkerKind::Hardware => 0,
+                        WalkerKind::Software => 1,
+                    }
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+
+    /// Parses a payload produced by [`WalkTrace::to_json`] into a
+    /// collector with the given `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed row if `json` is not
+    /// an array of 5-number arrays.
+    pub fn from_json(cap: usize, json: &str) -> Result<Self, String> {
+        let body = json
+            .trim()
+            .strip_prefix('[')
+            .and_then(|rest| rest.strip_suffix(']'))
+            .ok_or_else(|| "walk trace is not a JSON array".to_string())?;
+        let mut records = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let open = rest
+                .strip_prefix('[')
+                .ok_or_else(|| format!("walk trace row does not start with '[': {rest:.40?}"))?;
+            let close = open
+                .find(']')
+                .ok_or_else(|| "unterminated walk trace row".to_string())?;
+            let fields: Vec<u64> = open[..close]
+                .split(',')
+                .map(|f| {
+                    f.trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad walk trace number {f:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            let [vpn, issued, started, completed, walker] = fields[..] else {
+                return Err(format!(
+                    "walk trace row has {} fields, expected 5",
+                    fields.len()
+                ));
+            };
+            records.push(WalkRecord {
+                vpn: Vpn::new(vpn),
+                issued_at: Cycle::new(issued),
+                started_at: Cycle::new(started),
+                completed_at: Cycle::new(completed),
+                walker: match walker {
+                    0 => WalkerKind::Hardware,
+                    1 => WalkerKind::Software,
+                    other => return Err(format!("bad walker kind {other}")),
+                },
+            });
+            rest = open[close + 1..].trim_start_matches(',').trim();
+        }
+        Ok(Self::from_parts(cap, records))
     }
 }
 
@@ -132,5 +223,46 @@ mod tests {
         let mut t = WalkTrace::new(0);
         t.record(rec(0, 1, 2));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_records_and_cap() {
+        let mut t = WalkTrace::new(8);
+        t.record(rec(10, 110, 310));
+        t.record(WalkRecord {
+            walker: WalkerKind::Software,
+            ..rec(20, 25, 400)
+        });
+        let j = t.to_json();
+        assert!(j.starts_with("[[") && j.ends_with("]]"), "{j}");
+        let back = WalkTrace::from_json(8, &j).expect("parse");
+        assert_eq!(back.cap(), 8);
+        assert_eq!(back.records(), t.records());
+        assert_eq!(back.to_json(), j, "round trip must be byte-identical");
+    }
+
+    #[test]
+    fn empty_trace_serializes_as_empty_array() {
+        let t = WalkTrace::new(4);
+        assert_eq!(t.to_json(), "[]");
+        let back = WalkTrace::from_json(4, "[]").expect("parse");
+        assert!(back.is_empty());
+        assert_eq!(back.cap(), 4);
+    }
+
+    #[test]
+    fn from_parts_enforces_cap() {
+        let records = vec![rec(0, 1, 2), rec(3, 4, 5), rec(6, 7, 8)];
+        let t = WalkTrace::from_parts(2, records);
+        assert_eq!(t.len(), 2);
+        assert!(!t.accepting());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(WalkTrace::from_json(4, "{}").is_err());
+        assert!(WalkTrace::from_json(4, "[[1,2,3]]").is_err(), "short row");
+        assert!(WalkTrace::from_json(4, "[[1,2,3,4,7]]").is_err(), "walker");
+        assert!(WalkTrace::from_json(4, "[[1,2,3,4,x]]").is_err());
     }
 }

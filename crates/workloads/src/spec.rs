@@ -45,6 +45,16 @@ impl BenchmarkSpec {
     pub fn build(&self, params: WorkloadParams) -> Workload {
         Workload::new(*self, params)
     }
+
+    /// Mapped bytes a run at `footprint_percent` of the Table 4 footprint
+    /// needs, floored at 16 pages so even tiny quick-test scalings map
+    /// something. This is *the* footprint formula — `Workload::new` uses
+    /// it, and the experiment runner keys its shared page-table prebuild
+    /// store on the value, so cells with equal results here can share one
+    /// built page table.
+    pub fn footprint_bytes(&self, footprint_percent: u64, page_size: swgpu_types::PageSize) -> u64 {
+        (self.footprint_mb * 1024 * 1024 * footprint_percent / 100).max(page_size.bytes() * 16)
+    }
 }
 
 const KB64: u64 = 64 * 1024;
@@ -367,6 +377,33 @@ mod tests {
     fn lookup_by_abbr() {
         assert_eq!(by_abbr("gups").unwrap().footprint_mb, 308);
         assert!(by_abbr("nope").is_none());
+    }
+
+    #[test]
+    fn footprint_helper_matches_workload() {
+        use swgpu_types::PageSize;
+        for b in table4() {
+            for pct in [1, 5, 100] {
+                let params = WorkloadParams {
+                    footprint_percent: pct,
+                    page_size: PageSize::Size64K,
+                    ..WorkloadParams::default()
+                };
+                let wl = b.build(params);
+                assert_eq!(
+                    wl.footprint_bytes(),
+                    b.footprint_bytes(pct, PageSize::Size64K),
+                    "{} at {pct}%",
+                    b.abbr
+                );
+            }
+        }
+        // The 16-page floor kicks in for tiny scalings.
+        let gups = by_abbr("gups").unwrap();
+        assert_eq!(
+            gups.footprint_bytes(0, swgpu_types::PageSize::Size2M),
+            16 * swgpu_types::PageSize::Size2M.bytes()
+        );
     }
 
     #[test]

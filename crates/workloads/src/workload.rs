@@ -74,8 +74,7 @@ pub struct Workload {
 impl Workload {
     /// Builds the generator. See [`BenchmarkSpec::build`].
     pub fn new(spec: BenchmarkSpec, params: WorkloadParams) -> Self {
-        let footprint = (spec.footprint_mb * 1024 * 1024 * params.footprint_percent / 100)
-            .max(params.page_size.bytes() * 16);
+        let footprint = spec.footprint_bytes(params.footprint_percent, params.page_size);
         Self {
             spec,
             params,
