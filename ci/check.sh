@@ -24,7 +24,7 @@ cargo run --release -q -p swgpu-bench --bin fault_smoke
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the
-# trace-capped Figure 9 cells, whose walk traces ride in the schema-v2
+# trace-capped Figure 9 cells, whose walk traces ride in the schema-v3
 # artifacts.
 SWGPU_RUN_CACHE="target/ci-run-cache-$$" ; export SWGPU_RUN_CACHE
 rm -rf "$SWGPU_RUN_CACHE"
@@ -35,6 +35,33 @@ unset SWGPU_RUN_CACHE
 case "$second" in
   *"totals: 0 simulated,"*) echo "    cache hit: $second" ;;
   *) echo "FAIL: second fig09 run re-simulated: $second"; exit 1 ;;
+esac
+
+echo "==> observability trace export (fig09 --trace-out: Perfetto JSON)"
+# Obs-armed fig09 against its own scratch cache: the exported Chrome
+# trace must self-validate (the binary prints "trace OK" only after
+# swgpu_obs::validate_json passes), contain duration spans ("ph":"X")
+# and counter tracks ("ph":"C"), and a repeat invocation must serve the
+# obs-bearing artifacts entirely from disk.
+SWGPU_RUN_CACHE="target/ci-obs-cache-$$" ; export SWGPU_RUN_CACHE
+TRACE_DIR="target/ci-obs-traces-$$"
+rm -rf "$SWGPU_RUN_CACHE" "$TRACE_DIR"
+out=$(cargo run --release -q -p swgpu-bench --bin fig09_timeline -- --quick --trace-out "$TRACE_DIR" 2>/dev/null)
+case "$out" in
+  *"trace OK:"*) echo "    traces exported and validated" ;;
+  *) echo "FAIL: fig09 --trace-out printed no 'trace OK' line"; exit 1 ;;
+esac
+for f in "$TRACE_DIR"/fig09-*.json; do
+  [ -s "$f" ] || { echo "FAIL: empty trace file $f"; exit 1; }
+  grep -q '"ph":"X"' "$f" || { echo "FAIL: no duration spans in $f"; exit 1; }
+  grep -q '"ph":"C"' "$f" || { echo "FAIL: no counter track in $f"; exit 1; }
+done
+second=$(cargo run --release -q -p swgpu-bench --bin fig09_timeline -- --quick --trace-out "$TRACE_DIR" 2>&1 >/dev/null | grep "totals:")
+rm -rf "$SWGPU_RUN_CACHE" "$TRACE_DIR"
+unset SWGPU_RUN_CACHE
+case "$second" in
+  *"totals: 0 simulated,"*) echo "    obs cache hit: $second" ;;
+  *) echo "FAIL: second obs-armed fig09 run re-simulated: $second"; exit 1 ;;
 esac
 
 echo "All checks passed."

@@ -6,18 +6,19 @@
 //! cache — running `fig16` then `fig18` re-simulates nothing — and as a
 //! machine-readable artifact for external plotting/analysis tooling.
 //!
-//! Schema (version 2, flat except for the nested stats object and the
-//! trailing walk-trace payload):
+//! Schema (version 3, flat except for the nested stats object and the
+//! trailing walk-trace / observability payloads):
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
 //!   "key": "bfs-fp100-a1b2c3d4e5f60718",
 //!   "workload": "bfs-fp100",
 //!   "config": "a1b2c3d4e5f60718",
 //!   "trace_cap": 4096,
 //!   "stats": { ...SimStats::to_json()... },
-//!   "walk_trace": [[vpn, issued, started, completed, walker], ...]
+//!   "walk_trace": [[vpn, issued, started, completed, walker], ...],
+//!   "obs": { ...swgpu_obs::ObsReport::to_json()... }
 //! }
 //! ```
 //!
@@ -25,23 +26,27 @@
 //! through [`swgpu_sim::SimStats::from_json`]. `trace_cap` records the
 //! `GpuConfig::walk_trace_cap` the run used; `walk_trace` is the
 //! [`swgpu_sim::WalkTrace`] payload and is present exactly when
-//! `0 < trace_cap <= MAX_TRACE_RECORDS` (it stays at the top level — and
-//! last — because the stats object must remain flat for its
-//! comma-splitting parser). Unknown top-level keys are ignored on read so
-//! the schema can grow.
+//! `0 < trace_cap <= MAX_TRACE_RECORDS` (it stays at the top level —
+//! after the stats — because the stats object must remain flat for its
+//! comma-splitting parser). `obs` is the [`swgpu_sim::ObsReport`] of an
+//! observability-enabled run and is present exactly when the run armed
+//! [`swgpu_sim::ObsConfig`]; obs-off artifacts serialize byte-identically
+//! to schema v2 modulo the version digit. Unknown top-level keys are
+//! ignored on read so the schema can grow.
 //!
-//! Migration: artifacts with any other schema version probe as
+//! Migration: artifacts with any other schema version (v2 from before the
+//! observability layer, v1 from before persisted traces) probe as
 //! [`LoadOutcome::Stale`] — the runner silently re-simulates and
 //! overwrites them; they are *not* quarantined like corrupt files.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use swgpu_sim::{SimStats, WalkTrace};
+use swgpu_sim::{ObsReport, SimStats, WalkTrace};
 
 /// Current artifact schema version. Readers report other versions as
 /// stale (the runner then just re-simulates and overwrites).
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Upper bound on persisted walk-trace records. Runs configured with a
 /// larger `walk_trace_cap` write their artifact *without* the payload, so
@@ -77,9 +82,15 @@ impl RunArtifact {
         cap > 0 && cap <= MAX_TRACE_RECORDS
     }
 
-    /// Serializes the artifact (schema version 2). The walk-trace payload
-    /// goes last so the flat scalar fields and the flat stats object stay
-    /// parseable by the simple extractors below.
+    /// Whether the serialized form carries the observability payload:
+    /// present exactly when the run attached an [`ObsReport`].
+    pub fn has_obs_payload(&self) -> bool {
+        self.stats.obs.is_some()
+    }
+
+    /// Serializes the artifact (schema version 3). The walk-trace and
+    /// observability payloads go last so the flat scalar fields and the
+    /// flat stats object stay parseable by the simple extractors below.
     pub fn to_json(&self) -> String {
         let mut json = format!(
             "{{\"schema\":{},\"key\":\"{}\",\"workload\":\"{}\",\"config\":\"{}\",\
@@ -94,6 +105,10 @@ impl RunArtifact {
         if self.has_trace_payload() {
             json.push_str(",\"walk_trace\":");
             json.push_str(&self.stats.walk_trace.to_json());
+        }
+        if let Some(obs) = self.stats.obs.as_deref() {
+            json.push_str(",\"obs\":");
+            json.push_str(&obs.to_json());
         }
         json.push('}');
         json
@@ -123,6 +138,11 @@ impl RunArtifact {
             // No payload on disk: an empty collector with the recorded
             // cap preserves the cap for staleness checks.
             stats.walk_trace = WalkTrace::new(trace_cap);
+        }
+        if let Ok(obs_json) = extract_nested_object(json, "obs") {
+            let report = ObsReport::from_json(obs_json)
+                .ok_or_else(|| "malformed obs payload".to_string())?;
+            stats.obs = Some(Box::new(report));
         }
         Ok(RunArtifact {
             key: extract_string(json, "key")?,
@@ -243,6 +263,34 @@ fn extract_object<'j>(json: &'j str, name: &str) -> Result<&'j str, String> {
         .find('}')
         .ok_or_else(|| format!("unterminated object for {name:?}"))?;
     Ok(&rest[open..open + close + 1])
+}
+
+/// Extracts the `{...}` object value of `"name"`, matching braces to
+/// arbitrary depth (the obs payload nests objects and arrays). Safe here
+/// because no string value in the artifact schema contains a brace.
+fn extract_nested_object<'j>(json: &'j str, name: &str) -> Result<&'j str, String> {
+    let marker = format!("\"{name}\":");
+    let at = json
+        .find(&marker)
+        .ok_or_else(|| format!("missing key {name:?}"))?;
+    let rest = &json[at + marker.len()..];
+    let open = rest
+        .find('{')
+        .ok_or_else(|| format!("{name:?} is not an object"))?;
+    let mut depth = 0usize;
+    for (i, b) in rest[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&rest[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("unterminated object for {name:?}"))
 }
 
 /// Extracts the `[...]` array value of `"name"`, matching brackets to
@@ -366,9 +414,44 @@ mod tests {
         assert!(!parsed.has_trace_payload());
     }
 
+    fn sample_with_obs() -> RunArtifact {
+        use swgpu_obs::{Registry, SpanKind, SpanRecorder};
+        let mut a = sample();
+        let mut reg = Registry::new(128, 16);
+        let h = reg.hist("walk_total_cycles");
+        reg.observe(h, 30);
+        let s = reg.series("softpwb_occupancy");
+        reg.sample(s, 3);
+        let mut rec = SpanRecorder::new(64);
+        rec.instant(SpanKind::Dispatch, 0, 42, 7, 1);
+        a.stats.obs = Some(Box::new(ObsReport::from_instruments(reg, rec)));
+        a
+    }
+
+    #[test]
+    fn obs_payload_round_trips() {
+        let a = sample_with_obs();
+        let json = a.to_json();
+        assert!(json.contains(",\"obs\":{"));
+        let parsed = RunArtifact::from_json(&json).expect("parse");
+        assert!(parsed.has_obs_payload());
+        assert_eq!(parsed.stats.obs, a.stats.obs);
+        assert_eq!(parsed.to_json(), json, "round trip is byte-identical");
+    }
+
+    #[test]
+    fn obs_off_artifact_matches_v2_layout() {
+        // The acceptance bar for the schema bump: an obs-off artifact is
+        // byte-identical to what schema v2 wrote, modulo the version
+        // digit. Anything else would invalidate every cached cell.
+        let json = sample().to_json();
+        assert!(!json.contains("\"obs\""));
+        assert!(json.starts_with("{\"schema\":3,\"key\":"));
+    }
+
     #[test]
     fn trace_requesting_artifact_without_payload_is_rejected() {
-        // A v2 artifact claiming a payload-eligible cap but missing the
+        // An artifact claiming a payload-eligible cap but missing the
         // payload is torn/hand-edited: a parse error, not a default.
         let json = sample_with_trace(8).to_json();
         let stripped = json.split(",\"walk_trace\"").next().unwrap().to_string() + "}";
@@ -379,7 +462,7 @@ mod tests {
     fn schema_mismatch_is_rejected() {
         let bad = sample()
             .to_json()
-            .replacen("\"schema\":2", "\"schema\":1", 1);
+            .replacen("\"schema\":3", "\"schema\":2", 1);
         assert!(RunArtifact::from_json(&bad).is_err());
     }
 
@@ -459,13 +542,19 @@ mod tests {
         let dir = test_dir("stale");
         std::fs::create_dir_all(&dir).unwrap();
         let a = sample();
-        let v1 = a.to_json().replacen("\"schema\":2", "\"schema\":1", 1);
-        std::fs::write(RunArtifact::path_in(&dir, &a.key), v1).unwrap();
-        assert!(matches!(
-            RunArtifact::probe(&dir, &a.key),
-            LoadOutcome::Stale(_)
-        ));
-        assert!(RunArtifact::load_from(&dir, &a.key).is_none());
+        // Both pre-obs generations must migrate the same way: a v2
+        // artifact (pre-observability) and a v1 artifact (pre-trace).
+        for old in [2u32, 1] {
+            let stale = a
+                .to_json()
+                .replacen("\"schema\":3", &format!("\"schema\":{old}"), 1);
+            std::fs::write(RunArtifact::path_in(&dir, &a.key), stale).unwrap();
+            assert!(matches!(
+                RunArtifact::probe(&dir, &a.key),
+                LoadOutcome::Stale(_)
+            ));
+            assert!(RunArtifact::load_from(&dir, &a.key).is_none());
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -24,7 +24,7 @@ fn subset() -> Vec<swgpu_workloads::BenchmarkSpec> {
 }
 
 fn geo_speedup(
-    h: swgpu_bench::Harness,
+    h: &swgpu_bench::Harness,
     base_cycles: &[u64],
     tweak: impl Fn(&mut swgpu_sim::GpuConfig) + Copy,
 ) -> f64 {
@@ -43,7 +43,7 @@ type ConfigTweak = Box<dyn Fn(&mut swgpu_sim::GpuConfig)>;
 
 /// Every SoftWalker configuration the three sweeps visit, as prefetch
 /// cells (mirrors the `geo_speedup` calls in `main`).
-fn sweep_cells(h: swgpu_bench::Harness) -> Vec<Cell> {
+fn sweep_cells(h: &swgpu_bench::Harness) -> Vec<Cell> {
     let mut tweaks: Vec<ConfigTweak> = Vec::new();
     for threads in [4usize, 8, 16, 32, 64] {
         tweaks.push(Box::new(move |c| {
@@ -75,7 +75,7 @@ fn sweep_cells(h: swgpu_bench::Harness) -> Vec<Cell> {
 
 fn main() {
     let h = parse_args();
-    prefetch(&sweep_cells(h));
+    prefetch(&sweep_cells(&h));
 
     let base_cycles: Vec<u64> = subset()
         .iter()
@@ -84,7 +84,7 @@ fn main() {
 
     let mut t1 = Table::new(vec!["PW threads / SoftPWB".into(), "speedup".into()]);
     for threads in [4usize, 8, 16, 32, 64] {
-        let x = geo_speedup(h, &base_cycles, |c| {
+        let x = geo_speedup(&h, &base_cycles, |c| {
             c.pw_warp.threads = threads;
             c.pw_warp.softpwb_entries = threads;
         });
@@ -93,7 +93,7 @@ fn main() {
 
     let mut t2 = Table::new(vec!["setup/per-level instrs".into(), "speedup".into()]);
     for (setup, per_level) in [(1u32, 1u32), (6, 3), (12, 6), (24, 12), (48, 24)] {
-        let x = geo_speedup(h, &base_cycles, |c| {
+        let x = geo_speedup(&h, &base_cycles, |c| {
             c.pw_warp.setup_instrs = setup;
             c.pw_warp.per_level_instrs = per_level;
         });
@@ -102,7 +102,7 @@ fn main() {
 
     let mut t3 = Table::new(vec!["dispatches/cycle".into(), "speedup".into()]);
     for rate in [1usize, 2, 4, 8] {
-        let x = geo_speedup(h, &base_cycles, |c| c.dispatches_per_cycle = rate);
+        let x = geo_speedup(&h, &base_cycles, |c| c.dispatches_per_cycle = rate);
         t3.row(vec![rate.to_string(), fmt_x(x)]);
     }
 

@@ -3,10 +3,25 @@
 //!
 //! Paper headline: at the 32-PTW baseline, queueing delay is 95% of total
 //! walk latency for irregular applications.
+//!
+//! A second, observability-backed section breaks the same story down by
+//! *distribution*: per-walk queue vs access p50/p95/p99 at the baseline,
+//! from the log2 histograms the obs layer embeds in schema-v3 artifacts.
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, Runner, SystemConfig, Table};
+use swgpu_sim::{GpuConfig, ObsConfig};
 use swgpu_workloads::irregular;
+
+/// The baseline cell for `spec` with the observability layer armed, so
+/// the run artifact carries per-walk queue/access latency histograms.
+fn observed_baseline(spec: &swgpu_workloads::BenchmarkSpec, scale: swgpu_bench::Scale) -> Cell {
+    let cfg = GpuConfig {
+        obs: ObsConfig::enabled(),
+        ..SystemConfig::Baseline.build(scale)
+    };
+    Cell::bench(spec, cfg)
+}
 
 fn main() {
     let h = parse_args();
@@ -39,7 +54,7 @@ fn main() {
     let mut q_tot = vec![0u64; configs.len()];
     let mut a_tot = vec![0u64; configs.len()];
 
-    let matrix: Vec<Cell> = irregular()
+    let mut matrix: Vec<Cell> = irregular()
         .iter()
         .flat_map(|spec| {
             configs
@@ -48,6 +63,7 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
+    matrix.extend(irregular().iter().map(|s| observed_baseline(s, h.scale)));
     prefetch(&matrix);
 
     for spec in irregular() {
@@ -78,4 +94,34 @@ fn main() {
     println!("Figure 7 — walk latency breakdown vs #PTWs (irregular set)");
     println!("(paper: queueing is 95% of walk latency at 32 PTWs and shrinks as PTWs scale)\n");
     table.print(h.csv);
+
+    // Distribution view at the 32-PTW baseline: queueing dominates at
+    // every percentile, not just on average. Values are log2-bucket
+    // upper bounds from the obs histograms in the run artifacts.
+    println!("\nPer-walk latency distribution at 32 PTWs (obs histograms, log2 buckets)");
+    let mut dist = Table::new(vec![
+        "bench".into(),
+        "queue p50".into(),
+        "queue p95".into(),
+        "queue p99".into(),
+        "access p50".into(),
+        "access p95".into(),
+        "access p99".into(),
+    ]);
+    for spec in irregular() {
+        let s = Runner::global().get(&observed_baseline(&spec, h.scale));
+        let report = s.obs.as_deref().expect("obs armed");
+        let queue = report.histogram("walk_queue_cycles").expect("queue hist");
+        let access = report.histogram("walk_access_cycles").expect("access hist");
+        dist.row(vec![
+            spec.abbr.to_string(),
+            queue.percentile(0.50).to_string(),
+            queue.percentile(0.95).to_string(),
+            queue.percentile(0.99).to_string(),
+            access.percentile(0.50).to_string(),
+            access.percentile(0.95).to_string(),
+            access.percentile(0.99).to_string(),
+        ]);
+    }
+    dist.print(h.csv);
 }

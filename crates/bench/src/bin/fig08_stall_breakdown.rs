@@ -3,17 +3,45 @@
 //!
 //! Paper headline: for irregular applications nearly 90% of scheduler
 //! cycles are memory or scoreboard stalls.
+//!
+//! A second, observability-backed section ties the stalls to the walk
+//! machinery: sampled PTW queue depth and L2-TLB MSHR occupancy
+//! time-series plus the per-SM stall histogram, from the obs payloads in
+//! the schema-v3 run artifacts.
 
 use swgpu_bench::report::fmt_pct;
-use swgpu_bench::{parse_args, prefetch, runner, Cell, SystemConfig, Table};
-use swgpu_workloads::{table4, WorkloadClass};
+use swgpu_bench::{parse_args, prefetch, runner, Cell, Runner, SystemConfig, Table};
+use swgpu_sim::{GpuConfig, ObsConfig};
+use swgpu_workloads::{by_abbr, table4, WorkloadClass};
+
+/// Benchmarks for the obs-backed section: two irregular, two regular.
+const OBS_BENCHES: [&str; 4] = ["gups", "bfs", "gemm", "fft"];
+
+/// The baseline cell for `abbr` with the observability layer armed.
+fn observed_cell(abbr: &str, scale: swgpu_bench::Scale) -> Cell {
+    let spec = by_abbr(abbr).expect("known benchmark");
+    let cfg = GpuConfig {
+        obs: ObsConfig::enabled(),
+        ..SystemConfig::Baseline.build(scale)
+    };
+    Cell::bench(&spec, cfg)
+}
+
+/// Mean of a sampled time-series window (0 when empty).
+fn series_mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<u64>() as f64 / samples.len() as f64
+}
 
 fn main() {
     let h = parse_args();
-    let matrix: Vec<Cell> = table4()
+    let mut matrix: Vec<Cell> = table4()
         .iter()
         .map(|spec| Cell::bench(spec, SystemConfig::Baseline.build(h.scale)))
         .collect();
+    matrix.extend(OBS_BENCHES.iter().map(|a| observed_cell(a, h.scale)));
     prefetch(&matrix);
     let mut table = Table::new(vec![
         "bench".into(),
@@ -56,4 +84,34 @@ fn main() {
         fmt_pct(avg(&irr_stall)),
         fmt_pct(avg(&reg_stall))
     );
+
+    // Tie the stalls to the walk machinery: irregular apps keep the HW
+    // PTW queue and L2-TLB MSHRs saturated while regular apps barely
+    // touch them. Occupancies are means over the obs sampled windows;
+    // per-SM stall p50/max come from the obs histogram.
+    println!("\nWalk-machinery pressure at the baseline (obs time-series + histograms)");
+    let mut obs_table = Table::new(vec![
+        "bench".into(),
+        "mean PTW queue depth".into(),
+        "mean MSHR in-flight".into(),
+        "SM stall p50 (cyc)".into(),
+        "SM stall max (cyc)".into(),
+    ]);
+    for abbr in OBS_BENCHES {
+        let s = Runner::global().get(&observed_cell(abbr, h.scale));
+        let report = s.obs.as_deref().expect("obs armed");
+        let pwb = report.time_series("hw_pwb_depth").expect("pwb series");
+        let mshr = report
+            .time_series("l2_mshr_dedicated")
+            .expect("mshr series");
+        let stall = report.histogram("sm_stall_cycles").expect("stall hist");
+        obs_table.row(vec![
+            abbr.to_string(),
+            format!("{:.1}", series_mean(&pwb.samples())),
+            format!("{:.1}", series_mean(&mshr.samples())),
+            stall.percentile(0.50).to_string(),
+            stall.max().to_string(),
+        ]);
+    }
+    obs_table.print(h.csv);
 }

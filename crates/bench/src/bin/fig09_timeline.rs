@@ -7,11 +7,52 @@
 //! SM↔L2TLB communication — the "green boxes"). This harness runs the
 //! same walk burst through all three configurations with lifecycle
 //! tracing enabled and renders the measured timelines. The traces are
-//! persisted in the schema-v2 run artifacts, so a repeat invocation
+//! persisted in the schema-v3 run artifacts, so a repeat invocation
 //! serves every cell from the disk cache and re-simulates nothing.
+//!
+//! With `--trace-out <dir>`, the cells additionally arm the
+//! observability layer ([`swgpu_sim::ObsConfig`]) and each scenario's
+//! span/counter report is exported as a Chrome trace-event JSON file
+//! (`fig09-<scenario>.json`) loadable in <https://ui.perfetto.dev>.
 
-use swgpu_bench::runner::fig09_cells;
+use std::path::Path;
+
+use swgpu_bench::runner::{fig09_cells, fig09_cells_observed};
 use swgpu_bench::{parse_args, prefetch, Cell, Runner, Table};
+
+/// Lowercases a scenario label into a filename slug (`Hardware PTW` →
+/// `hardware-ptw`).
+fn slugify(label: &str) -> String {
+    let mut slug = String::with_capacity(label.len());
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() {
+            slug.push(ch.to_ascii_lowercase());
+        } else if !slug.ends_with('-') {
+            slug.push('-');
+        }
+    }
+    slug.trim_matches('-').to_string()
+}
+
+/// Exports one scenario's obs report as a validated Chrome trace JSON.
+fn export_trace(dir: &Path, label: &str, stats: &swgpu_sim::SimStats) {
+    let Some(report) = stats.obs.as_deref() else {
+        eprintln!("warning: no obs report for {label}; trace skipped");
+        return;
+    };
+    let trace = swgpu_obs::to_chrome_trace(report);
+    swgpu_obs::validate_json(&trace)
+        .unwrap_or_else(|e| panic!("exported trace for {label} is not valid JSON: {e}"));
+    let path = dir.join(format!("fig09-{}.json", slugify(label)));
+    std::fs::write(&path, &trace).expect("write trace file");
+    println!(
+        "trace OK: {} ({} bytes, {} spans, {} histograms)",
+        path.display(),
+        trace.len(),
+        report.spans.len(),
+        report.histograms.len()
+    );
+}
 
 /// Renders one walk as `....QQQQAAAA` (queueing then access), scaled.
 fn lane(rec: &swgpu_sim::WalkRecord, origin: u64, scale: u64) -> String {
@@ -28,7 +69,11 @@ fn lane(rec: &swgpu_sim::WalkRecord, origin: u64, scale: u64) -> String {
 
 fn main() {
     let h = parse_args();
-    let scenarios = fig09_cells(h.scale);
+    let scenarios = if h.trace_out.is_some() {
+        fig09_cells_observed(h.scale)
+    } else {
+        fig09_cells(h.scale)
+    };
     let cells: Vec<Cell> = scenarios.iter().map(|(c, _)| c.clone()).collect();
     prefetch(&cells);
     let runs: Vec<(String, swgpu_sim::SimStats)> = scenarios
@@ -85,4 +130,12 @@ fn main() {
     }
 
     summary.print(h.csv);
+
+    if let Some(dir) = &h.trace_out {
+        std::fs::create_dir_all(dir).expect("create trace output dir");
+        println!();
+        for (label, s) in &runs {
+            export_trace(dir, label, s);
+        }
+    }
 }

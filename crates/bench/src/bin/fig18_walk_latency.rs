@@ -5,39 +5,31 @@
 //! (NHA −20%, FS-HPT −16%); regular apps see up to +18% from the added
 //! SM↔L2TLB communication.
 //!
-//! Beyond the mean, a trace-capped tail-latency section reports per-walk
-//! p50/p95/p99 for a few representative irregular benchmarks under the
-//! baseline and SoftWalker, from the persisted walk-trace payloads (so
-//! repeat runs serve them from the disk cache).
+//! Beyond the mean, an observability-backed tail-latency section reports
+//! per-walk p50/p95/p99 for a few representative irregular benchmarks
+//! under the baseline and SoftWalker, derived from the log2 latency
+//! histograms the obs layer embeds in the schema-v3 run artifacts — every
+//! walk is counted (no trace cap) and repeat runs serve the histograms
+//! from the disk cache.
 
 use swgpu_bench::report::fmt_pct;
 use swgpu_bench::{parse_args, prefetch, runner, Cell, Runner, SystemConfig, Table};
-use swgpu_sim::GpuConfig;
+use swgpu_sim::{GpuConfig, ObsConfig};
 use swgpu_workloads::{by_abbr, table4, WorkloadClass};
 
 /// Benchmarks sampled for the tail-latency section: the highest-MPKI
 /// irregular gathers plus bfs (frontier locality) and spmv (set skew).
 const TAIL_BENCHES: [&str; 4] = ["gups", "xsb", "bfs", "spmv"];
 
-/// Walks recorded per tail cell — enough for stable p99 digits.
-const TAIL_TRACE_CAP: usize = 2048;
-
-/// A trace-capped variant of a system's configuration for `abbr`.
+/// An observability-armed variant of a system's configuration for
+/// `abbr`: the `walk_total_cycles` histogram covers *every* walk.
 fn tail_cell(abbr: &str, sys: SystemConfig, scale: swgpu_bench::Scale) -> Cell {
     let spec = by_abbr(abbr).expect("known benchmark");
     let cfg = GpuConfig {
-        walk_trace_cap: TAIL_TRACE_CAP,
+        obs: ObsConfig::enabled(),
         ..sys.build(scale)
     };
     Cell::bench(&spec, cfg)
-}
-
-/// The `q`-th percentile (0..=100) of per-walk total latency.
-fn percentile(sorted: &[u64], q: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[(sorted.len() - 1) * q / 100]
 }
 
 fn main() {
@@ -115,9 +107,11 @@ fn main() {
         );
     }
 
-    // Tail latency from the walk-trace payloads: queueing behind the
+    // Tail latency from the obs latency histograms: queueing behind the
     // 32-PTW pool shows up as a fat tail the mean under-reports.
-    println!("\nWalk tail latency, per-walk cycles (first {TAIL_TRACE_CAP} walks traced)");
+    // Percentiles are log2-bucket upper bounds (the obs histogram trades
+    // exactness for O(1) memory over millions of walks).
+    println!("\nWalk tail latency, per-walk cycles (obs histograms; all walks counted)");
     let mut tail = Table::new(vec![
         "bench".into(),
         "system".into(),
@@ -125,25 +119,24 @@ fn main() {
         "p50".into(),
         "p95".into(),
         "p99".into(),
+        "max".into(),
     ]);
     for abbr in TAIL_BENCHES {
         for sys in tail_systems {
             let cell = tail_cell(abbr, sys, h.scale);
             let s = Runner::global().get(&cell);
-            let mut totals: Vec<u64> = s
-                .walk_trace
-                .records()
-                .iter()
-                .map(|r| r.total_cycles())
-                .collect();
-            totals.sort_unstable();
+            let report = s.obs.as_deref().expect("obs armed on tail cells");
+            let hist = report
+                .histogram("walk_total_cycles")
+                .expect("walk latency histogram present");
             tail.row(vec![
                 abbr.to_string(),
                 sys.label(),
-                totals.len().to_string(),
-                percentile(&totals, 50).to_string(),
-                percentile(&totals, 95).to_string(),
-                percentile(&totals, 99).to_string(),
+                hist.count().to_string(),
+                hist.percentile(0.50).to_string(),
+                hist.percentile(0.95).to_string(),
+                hist.percentile(0.99).to_string(),
+                hist.max().to_string(),
             ]);
         }
     }

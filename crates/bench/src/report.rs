@@ -98,13 +98,25 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (headers + rows).
+    /// Renders as CSV (headers + rows). Cells containing commas, double
+    /// quotes, or newlines are quoted per RFC 4180 (embedded quotes are
+    /// doubled); plain cells pass through unquoted.
     pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
         let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
+        for line in std::iter::once(&self.headers).chain(&self.rows) {
+            for (j, cell) in line.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(cell));
+            }
             out.push('\n');
         }
         out
@@ -165,6 +177,17 @@ mod tests {
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells_per_rfc4180() {
+        let mut t = Table::new(vec!["metric".into(), "value".into()]);
+        t.row(vec!["queue, then access".into(), "95%".into()]);
+        t.row(vec!["say \"hi\"".into(), "a\nb".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "metric,value\n\"queue, then access\",95%\n\"say \"\"hi\"\"\",\"a\nb\"\n"
+        );
     }
 
     #[test]

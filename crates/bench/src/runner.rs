@@ -8,15 +8,20 @@
 //!   available cores). Binaries declare their full cell matrix up front
 //!   via [`prefetch`], then format results through the (now warm) cache.
 //! * **Memoization** — completed runs are cached in-process *and* on disk
-//!   under `target/swgpu-runs/` (override with `SWGPU_RUN_CACHE`), keyed
+//!   under `target/swgpu-runs/` (override with `SWGPU_RUN_CACHE`, or the
+//!   coarser `SWGPU_RUNS_DIR` for per-checkout/per-CI-shard roots), keyed
 //!   by workload identity + [`GpuConfig::fingerprint`]. Running `fig16`
 //!   then `fig18` repeats no baseline simulation. `--refresh` ignores and
 //!   rewrites disk entries; `--no-cache` disables the disk cache.
 //! * **Artifacts & observability** — each simulated cell is persisted as
-//!   a JSON [`crate::artifact::RunArtifact`] (schema v2, including any
-//!   bounded walk-trace payload, so trace-requesting cells are cacheable
+//!   a JSON [`crate::artifact::RunArtifact`] (schema v3, including any
+//!   bounded walk-trace payload and the [`swgpu_sim::ObsReport`] of
+//!   obs-enabled cells, so trace- and obs-requesting cells are cacheable
 //!   too) and reported with a progress line; batch summaries include the
-//!   cache-hit split.
+//!   cache-hit split, and every invocation writes a `manifest.json` next
+//!   to the artifacts recording per-cell outcome, wall time and pool
+//!   utilization. `--trace-out <dir>` asks a harness to export Perfetto
+//!   traces of its obs-enabled cells into `<dir>`.
 //! * **Shared page-table prebuilds** — cells whose workloads share a
 //!   footprint reuse one deterministic pre-built memory image
 //!   ([`swgpu_sim::PrebuiltMemory`]) instead of re-mapping every page per
@@ -69,7 +74,7 @@ impl Scale {
 }
 
 /// CLI options shared by every harness binary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Harness {
     /// Run sizing.
     pub scale: Scale,
@@ -82,26 +87,31 @@ pub struct Harness {
     pub refresh: bool,
     /// Disable the on-disk run cache entirely (`--no-cache`).
     pub no_cache: bool,
+    /// Directory to export Perfetto traces of obs-enabled cells into
+    /// (`--trace-out <dir>`). Harnesses without an obs story ignore it.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Parses the common harness flags (unknown flags are ignored so
 /// binaries can add their own): `--quick`, `--csv`, `--jobs N`,
-/// `--refresh`, `--no-cache`.
+/// `--refresh`, `--no-cache`, `--trace-out <dir>`.
 pub fn parse_args() -> Harness {
     parse_arg_list(std::env::args().skip(1))
 }
 
 fn parse_arg_list(args: impl Iterator<Item = String>) -> Harness {
     let args: Vec<String> = args.collect();
-    let jobs_value = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--jobs=").map(str::to_string))
-        });
-    let jobs = jobs_value
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+            .or_else(|| {
+                let prefixed = format!("{flag}=");
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&prefixed).map(str::to_string))
+            })
+    };
+    let jobs = flag_value("--jobs")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or_else(default_jobs);
     Harness {
@@ -114,6 +124,7 @@ fn parse_arg_list(args: impl Iterator<Item = String>) -> Harness {
         jobs: jobs.max(1),
         refresh: args.iter().any(|a| a == "--refresh"),
         no_cache: args.iter().any(|a| a == "--no-cache"),
+        trace_out: flag_value("--trace-out").map(PathBuf::from),
     }
 }
 
@@ -476,6 +487,22 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Per-invocation observability of the runner itself: everything the
+/// `manifest.json` written next to the artifacts records.
+#[derive(Debug, Default)]
+struct ManifestState {
+    /// Batches executed so far this invocation.
+    batches: u64,
+    /// Wall-clock milliseconds spent inside batches.
+    wall_ms: u128,
+    /// Summed per-cell wall milliseconds (the pool's busy time).
+    busy_ms: u128,
+    /// Available pool capacity: Σ workers × batch wall milliseconds.
+    capacity_ms: u128,
+    /// Per-cell records in completion order.
+    cells: Vec<(String, &'static str, u128)>,
+}
+
 /// The shared experiment runner: a worker pool over a two-level
 /// (in-process + on-disk) run cache. See the module docs for the
 /// behaviour summary.
@@ -489,6 +516,7 @@ pub struct Runner {
     // footprint clone the image instead of re-mapping every page.
     prebuilds: Mutex<HashMap<(u64, bool, u64), std::sync::Arc<PrebuiltMemory>>>,
     counters: Mutex<RunnerCounters>,
+    manifest: Mutex<ManifestState>,
 }
 
 impl Runner {
@@ -502,6 +530,7 @@ impl Runner {
             memo: Mutex::new(HashMap::new()),
             prebuilds: Mutex::new(HashMap::new()),
             counters: Mutex::new(RunnerCounters::default()),
+            manifest: Mutex::new(ManifestState::default()),
         }
     }
 
@@ -584,9 +613,13 @@ impl Runner {
     /// cap must match exactly, and a trace-requesting cell additionally
     /// needs the payload to actually have been persisted (caps above
     /// [`crate::artifact::MAX_TRACE_RECORDS`] are written without one).
+    /// Likewise the obs payload must be present exactly when the cell
+    /// arms observability (the fingerprint already separates obs-on from
+    /// obs-off keys; this guards hand-copied or torn artifacts).
     fn artifact_serves(&self, cell: &Cell, artifact: &RunArtifact) -> bool {
         artifact.trace_cap() == cell.cfg.walk_trace_cap
             && (cell.cfg.walk_trace_cap == 0 || artifact.has_trace_payload())
+            && artifact.has_obs_payload() == cell.cfg.obs.enabled
     }
 
     /// Renames a corrupt artifact out of the cache without clobbering any
@@ -739,6 +772,12 @@ impl Runner {
                         cell.key(),
                         cell_start.elapsed().as_secs_f64()
                     );
+                    {
+                        let wall = cell_start.elapsed().as_millis();
+                        let mut m = self.manifest.lock().unwrap();
+                        m.busy_ms += wall;
+                        m.cells.push((cell.key(), label, wall));
+                    }
                     results
                         .lock()
                         .unwrap()
@@ -762,16 +801,69 @@ impl Runner {
             c.pt_prebuilds,
             c.pt_prebuild_hits
         );
+        {
+            let wall = batch_start.elapsed().as_millis();
+            let mut m = self.manifest.lock().unwrap();
+            m.batches += 1;
+            m.wall_ms += wall;
+            m.capacity_ms += wall * workers as u128;
+        }
+        self.write_manifest();
         let results = results.into_inner().unwrap();
         keys.iter().map(|k| results[k].clone()).collect()
+    }
+
+    /// Writes (atomically, tmp + rename) the invocation's `manifest.json`
+    /// next to the artifacts: per-cell key/outcome/wall-time plus the
+    /// worker-pool utilization. Rewritten after every batch so the file
+    /// always reflects the whole invocation so far. Skipped when the disk
+    /// cache is off. Purely observational — nothing reads it back.
+    fn write_manifest(&self) {
+        let Some(dir) = &self.cache_dir else { return };
+        let m = self.manifest.lock().unwrap();
+        let utilization = if m.capacity_ms == 0 {
+            0.0
+        } else {
+            m.busy_ms as f64 / m.capacity_ms as f64
+        };
+        let cells: Vec<String> = m
+            .cells
+            .iter()
+            .map(|(key, outcome, wall)| {
+                format!("{{\"key\":\"{key}\",\"outcome\":\"{outcome}\",\"wall_ms\":{wall}}}")
+            })
+            .collect();
+        let json = format!(
+            "{{\"jobs\":{},\"batches\":{},\"wall_ms\":{},\"busy_ms\":{},\
+             \"pool_utilization\":{:.4},\"cells\":[{}]}}",
+            self.jobs,
+            m.batches,
+            m.wall_ms,
+            m.busy_ms,
+            utilization,
+            cells.join(",")
+        );
+        drop(m);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let tmp = dir.join(format!(".manifest.{}.tmp", std::process::id()));
+            std::fs::write(&tmp, &json)?;
+            std::fs::rename(&tmp, dir.join("manifest.json"))
+        };
+        if let Err(e) = write() {
+            eprintln!("[runner] warning: failed to write manifest.json: {e}");
+        }
     }
 }
 
 /// The on-disk run cache directory: `$SWGPU_RUN_CACHE` when set, else
-/// the workspace's `target/swgpu-runs/` (anchored to the source tree, not
-/// the working directory, so every binary shares one cache).
+/// `$SWGPU_RUNS_DIR` (the coarser root CI shards and multi-checkout
+/// setups point at scratch space), else the workspace's
+/// `target/swgpu-runs/` (anchored to the source tree, not the working
+/// directory, so every binary shares one cache).
 pub fn default_cache_dir() -> PathBuf {
     std::env::var_os("SWGPU_RUN_CACHE")
+        .or_else(|| std::env::var_os("SWGPU_RUNS_DIR"))
         .map(PathBuf::from)
         .unwrap_or_else(|| {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/swgpu-runs")
@@ -850,6 +942,24 @@ pub fn fig09_cells(scale: Scale) -> Vec<(Cell, &'static str)> {
         )
     })
     .collect()
+}
+
+/// The Figure 9 cell set with the observability layer armed on every
+/// cell: full walk-lifecycle spans, occupancy time-series and latency
+/// histograms ride along in the schema-v3 artifacts, ready for Perfetto
+/// export. Obs-enabled cells fingerprint differently from the plain
+/// [`fig09_cells`], so the two sets cache side by side.
+pub fn fig09_cells_observed(scale: Scale) -> Vec<(Cell, &'static str)> {
+    fig09_cells(scale)
+        .into_iter()
+        .map(|(mut cell, label)| {
+            cell.cfg.obs = swgpu_sim::ObsConfig {
+                sample_interval: 256,
+                ..swgpu_sim::ObsConfig::enabled()
+            };
+            (cell, label)
+        })
+        .collect()
 }
 
 /// The footprint multiplier used when running with 2 MB pages: the paper

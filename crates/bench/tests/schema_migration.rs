@@ -1,11 +1,12 @@
 //! Artifact schema-migration regression tests: old-schema, truncated,
 //! and trace-cap-mismatched artifacts must all be *re-simulated* — never
-//! surfaced as hard errors — and the schema-v2 trace payload must make a
-//! repeat of the Figure 9 (trace-capped) cell set fully cache-served.
+//! surfaced as hard errors — and the schema-v3 trace/obs payloads must
+//! make a repeat of the Figure 9 cell set (plain and observed) fully
+//! cache-served.
 
 use std::path::PathBuf;
 
-use swgpu_bench::runner::fig09_cells;
+use swgpu_bench::runner::{fig09_cells, fig09_cells_observed};
 use swgpu_bench::{Cell, RunArtifact, Runner, Scale, SystemConfig};
 use swgpu_workloads::by_abbr;
 
@@ -24,42 +25,59 @@ fn sample_cell() -> Cell {
 }
 
 #[test]
-fn v1_artifact_is_resimulated_not_an_error() {
-    let dir = scratch("migrate-v1");
-    let cell = sample_cell();
-    let key = cell.key();
+fn old_schema_artifacts_are_resimulated_not_errors() {
+    // Rewrites cover both prior generations: v2 (schema digit only — the
+    // layout is otherwise v3-compatible when obs was off) and v1 (no
+    // trace_cap / walk_trace fields either).
+    for (tag, downgrade) in [
+        ("migrate-v2", {
+            fn v2(s: &str) -> String {
+                s.replacen("\"schema\":3", "\"schema\":2", 1)
+            }
+            v2 as fn(&str) -> String
+        }),
+        ("migrate-v1", {
+            fn v1(s: &str) -> String {
+                s.replacen("\"schema\":3", "\"schema\":1", 1)
+                    .replacen("\"trace_cap\":0,", "", 1)
+            }
+            v1 as fn(&str) -> String
+        }),
+    ] {
+        let dir = scratch(tag);
+        let cell = sample_cell();
+        let key = cell.key();
 
-    // Seed a valid v2 artifact, then rewrite it as a v1 file: the v1
-    // schema had no trace_cap / walk_trace fields and schema:1.
-    let writer = Runner::new(1, Some(dir.clone()), false);
-    let stats = writer.get(&cell);
-    let path = RunArtifact::path_in(&dir, &key);
-    let v2 = std::fs::read_to_string(&path).unwrap();
-    let v1 = v2
-        .replacen("\"schema\":2", "\"schema\":1", 1)
-        .replacen("\"trace_cap\":0,", "", 1);
-    std::fs::write(&path, v1).unwrap();
+        // Seed a valid v3 artifact, then rewrite it as an old-schema file.
+        let writer = Runner::new(1, Some(dir.clone()), false);
+        let stats = writer.get(&cell);
+        let path = RunArtifact::path_in(&dir, &key);
+        let v3 = std::fs::read_to_string(&path).unwrap();
+        let old = downgrade(&v3);
+        assert_ne!(old, v3, "downgrade must take effect ({tag})");
+        std::fs::write(&path, old).unwrap();
 
-    let reader = Runner::new(1, Some(dir.clone()), false);
-    let again = reader.get(&cell);
-    let c = reader.counters();
-    assert_eq!(c.simulated, 1, "stale schema re-simulates");
-    assert_eq!(c.stale, 1);
-    assert_eq!(c.quarantined, 0, "old schemas are not corruption");
-    assert_eq!(c.disk_hits, 0);
-    assert_eq!(again.to_json(), stats.to_json());
-    // The entry was silently upgraded in place: no *.corrupt files, and
-    // the next runner disk-hits on the fresh v2 artifact.
-    assert!(!path.with_extension("json.corrupt").exists());
-    let upgraded = Runner::new(1, Some(dir.clone()), false);
-    upgraded.get(&cell);
-    assert_eq!(upgraded.counters().disk_hits, 1);
+        let reader = Runner::new(1, Some(dir.clone()), false);
+        let again = reader.get(&cell);
+        let c = reader.counters();
+        assert_eq!(c.simulated, 1, "stale schema re-simulates ({tag})");
+        assert_eq!(c.stale, 1, "{tag}");
+        assert_eq!(c.quarantined, 0, "old schemas are not corruption ({tag})");
+        assert_eq!(c.disk_hits, 0, "{tag}");
+        assert_eq!(again.to_json(), stats.to_json());
+        // The entry was silently upgraded in place: no *.corrupt files,
+        // and the next runner disk-hits on the fresh v3 artifact.
+        assert!(!path.with_extension("json.corrupt").exists());
+        let upgraded = Runner::new(1, Some(dir.clone()), false);
+        upgraded.get(&cell);
+        assert_eq!(upgraded.counters().disk_hits, 1, "{tag}");
 
-    std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 #[test]
-fn truncated_v2_artifact_is_quarantined_and_resimulated() {
+fn truncated_artifact_is_quarantined_and_resimulated() {
     let dir = scratch("migrate-truncated");
     // Use a trace-capped cell so the truncation can land inside the
     // walk-trace payload as well as the stats object.
@@ -85,7 +103,7 @@ fn truncated_v2_artifact_is_quarantined_and_resimulated() {
 }
 
 #[test]
-fn trace_cap_mismatched_v2_artifact_is_resimulated() {
+fn trace_cap_mismatched_artifact_is_resimulated() {
     let dir = scratch("migrate-capmismatch");
     let (cell, _) = fig09_cells(Scale::Quick).swap_remove(2);
     let cap = cell.cfg.walk_trace_cap;
@@ -95,7 +113,7 @@ fn trace_cap_mismatched_v2_artifact_is_resimulated() {
     let writer = Runner::new(1, Some(dir.clone()), false);
     let stats = writer.get(&cell);
     let path = RunArtifact::path_in(&dir, &key);
-    // Rewrite the stored cap: the file stays a perfectly parseable v2
+    // Rewrite the stored cap: the file stays a perfectly parseable v3
     // artifact, but it no longer answers this cell's trace request.
     let json = std::fs::read_to_string(&path).unwrap();
     let mismatched = json.replacen(
@@ -113,6 +131,64 @@ fn trace_cap_mismatched_v2_artifact_is_resimulated() {
     assert_eq!(c.stale, 1);
     assert_eq!(c.quarantined, 0, "a cap mismatch is not corruption");
     assert_eq!(again.to_json(), stats.to_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn obs_stripped_artifact_for_observed_cell_is_resimulated() {
+    let dir = scratch("migrate-obs-stripped");
+    let (cell, _) = fig09_cells_observed(Scale::Quick).swap_remove(0);
+    assert!(cell.cfg.obs.enabled, "observed fig09 cells arm obs");
+    let key = cell.key();
+
+    let writer = Runner::new(1, Some(dir.clone()), false);
+    let stats = writer.get(&cell);
+    assert!(stats.obs.is_some(), "observed run carries a report");
+    let path = RunArtifact::path_in(&dir, &key);
+    // Excise the obs payload: the file stays a parseable v3 artifact
+    // (obs is optional) but no longer answers this observed cell.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let start = json.find(",\"obs\":").expect("obs payload present");
+    let stripped = format!("{}}}", &json[..start]);
+    std::fs::write(&path, stripped).unwrap();
+
+    let reader = Runner::new(1, Some(dir.clone()), false);
+    let again = reader.get(&cell);
+    let c = reader.counters();
+    assert_eq!(c.simulated, 1, "missing obs payload re-simulates");
+    assert_eq!(c.stale, 1);
+    assert_eq!(c.quarantined, 0, "a stripped payload is not corruption");
+    assert_eq!(again.to_json(), stats.to_json());
+    assert_eq!(again.obs, stats.obs, "re-simulated report matches");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn second_run_of_observed_fig09_cells_simulates_nothing() {
+    let dir = scratch("migrate-fig09-obs-rerun");
+    let cells: Vec<Cell> = fig09_cells_observed(Scale::Quick)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+
+    let first = Runner::new(2, Some(dir.clone()), false);
+    let a = first.run_cells(&cells);
+    assert_eq!(first.counters().simulated as usize, cells.len());
+
+    // Re-running fig09_timeline --trace-out must serve every observed
+    // cell from disk, round-tripping the full obs report.
+    let second = Runner::new(2, Some(dir.clone()), false);
+    let b = second.run_cells(&cells);
+    let c = second.counters();
+    assert_eq!(c.simulated, 0, "0 simulated cells on the second run");
+    assert_eq!(c.disk_hits as usize, cells.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_json(), y.to_json());
+        assert!(y.obs.is_some());
+        assert_eq!(x.obs, y.obs, "obs report survives the disk round-trip");
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -14,11 +14,11 @@ use crate::fault::{FaultBuffer, FaultRecord};
 use crate::softpwb::SoftPwb;
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessKind, MemReq, PhysMem};
-use swgpu_pt::{read_pte_checked, PageWalkCache, RadixPageTable, LEAF_LEVEL};
+use swgpu_pt::{read_pte_observed, PageWalkCache, RadixPageTable, LEAF_LEVEL};
 use swgpu_types::fault::site;
 use swgpu_types::{
     Cycle, DelayQueue, FaultInjectionStats, FaultInjector, FaultPlan, IdGen, MemReqId, Pfn,
-    PhysAddr, Vpn,
+    PhysAddr, PteReadEvent, Vpn,
 };
 
 /// A walk request as dispatched to an SM by the Request Distributor.
@@ -255,6 +255,11 @@ pub struct PwWarpUnit {
     // continues past the previous walk's final generation, so watchdog
     // or retry deadlines armed for the old walk can never match it.
     gen_base: Vec<u64>,
+    // Observation: when armed, every decoded PTE level is buffered here
+    // for the owning simulator to drain into its span recorder. Disarmed
+    // (the default) the buffer stays empty and untouched.
+    observed: bool,
+    obs_events: Vec<PteReadEvent>,
 }
 
 impl PwWarpUnit {
@@ -283,8 +288,31 @@ impl PwWarpUnit {
             gen_base: vec![0; cfg.threads],
             stats: PwWarpStats::default(),
             fault: None,
+            observed: false,
+            obs_events: Vec::new(),
             cfg,
         }
+    }
+
+    /// Arms or disarms per-level PTE-read observation. Observation is
+    /// pure bookkeeping: it never changes walk timing or results.
+    pub fn set_observed(&mut self, on: bool) {
+        self.observed = on;
+    }
+
+    /// Drains the buffered [`PteReadEvent`]s (empty unless observed).
+    pub fn drain_obs_events(&mut self) -> Vec<PteReadEvent> {
+        std::mem::take(&mut self.obs_events)
+    }
+
+    /// Walks currently executing on threads of this PW Warp.
+    pub fn active_walks(&self) -> usize {
+        self.active_walks
+    }
+
+    /// SoftPWB slots currently holding requests (capacity − free).
+    pub fn pwb_occupancy(&self) -> usize {
+        self.pwb.capacity() - self.pwb.free_slots()
     }
 
     /// Arms fault injection + recovery per `plan` for the PW Warp on SM
@@ -603,11 +631,13 @@ impl PwWarpUnit {
             walk.gen += 1;
         }
         let addr = RadixPageTable::entry_addr(walk.level, walk.node, walk.vpn);
+        let (vpn, level) = (walk.vpn, walk.level);
         let inj = self
             .fault
             .as_mut()
             .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
-        let (pte, corrupted) = read_pte_checked(mem, addr, inj);
+        let sink = self.observed.then_some(&mut self.obs_events);
+        let (pte, corrupted) = read_pte_observed(mem, addr, inj, vpn, level, now, sink);
         if corrupted {
             walk.pending_inj += 1;
             let fs = self.fault.as_mut().expect("corruption without plan");

@@ -1,0 +1,203 @@
+//! Log2-bucketed latency histograms.
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i - 1]`. 64 buckets cover the full `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-size log2-bucketed histogram of `u64` samples (cycle counts).
+///
+/// Recording is O(1) (a `leading_zeros` and an increment), so histograms
+/// are cheap enough for per-translation observation. Percentiles are
+/// derived from the buckets and are therefore upper bounds with at most
+/// 2x relative error — ample for the p50/p95/p99 tail summaries of
+/// Figure 18.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.percentile(0.5) >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index holding `value`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `idx`.
+fn upper_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_of(value).min(HIST_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied `(bucket_index, count)` pairs in ascending bucket order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Restores a histogram from `(bucket_index, count)` pairs plus the
+    /// exact sum/max carried alongside in the serialized form. Pairs with
+    /// out-of-range indices are ignored.
+    pub fn from_parts(pairs: &[(usize, u64)], sum: u64, max: u64) -> Self {
+        let mut h = Self::new();
+        for &(i, c) in pairs {
+            if i < HIST_BUCKETS {
+                h.buckets[i] += c;
+                h.count += c;
+            }
+        }
+        h.sum = sum;
+        h.max = max;
+        h
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound: the
+    /// smallest bucket boundary below which at least `q` of the samples
+    /// fall. Returns 0 for an empty histogram; the top sample is clamped
+    /// to [`Histogram::max`] so `percentile(1.0) == max()`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(upper_bound(1), 1);
+        assert_eq!(upper_bound(2), 3);
+        assert_eq!(upper_bound(63), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= 500, "upper bound property: {p50}");
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 500_500);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 4096, 123_456] {
+            h.record(v);
+        }
+        let pairs: Vec<_> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(&pairs, h.sum(), h.max());
+        assert_eq!(back, h);
+    }
+}

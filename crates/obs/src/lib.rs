@@ -1,0 +1,44 @@
+//! **swgpu-obs**: the cycle-accurate observability layer.
+//!
+//! The simulator's figures are *temporal* — walk timelines (Figure 9),
+//! latency/stall breakdowns (Figures 7/8), and tail distributions
+//! (Figure 18) — but aggregate end-of-run counters can't answer "what was
+//! the PW-Warp doing at cycle 40k?". This crate provides the substrate
+//! that can, with a strict zero-overhead-when-disabled contract:
+//!
+//! * [`SpanRecorder`] — bounded, cycle-stamped [`Span`]s for walk
+//!   lifecycle phases, PW-Warp busy intervals ([`BusyTracker`]),
+//!   per-level PTE reads, distributor dispatches and fault events.
+//! * [`Registry`] — named counters, log2-bucketed [`Histogram`]s and
+//!   ring-buffered [`TimeSeries`] behind cheap interned handles.
+//! * [`ObsReport`] — the serializable end-of-run bundle, embedded in
+//!   schema-v3 run artifacts with an exact JSON round trip.
+//! * [`to_chrome_trace`] — Chrome trace-event / Perfetto JSON export,
+//!   openable in <https://ui.perfetto.dev>.
+//! * [`ObsConfig`] — the validated, fingerprint-participating knob block
+//!   (`GpuConfig::obs`), off by default.
+//!
+//! The component crates (ptw, core) never depend on this crate: they
+//! buffer tiny `swgpu_types::PteReadEvent`s when observation is armed,
+//! and the full simulator drains those buffers into the recorder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod hist;
+pub mod json;
+mod perfetto;
+mod registry;
+mod report;
+mod series;
+mod span;
+
+pub use config::ObsConfig;
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use json::validate_json;
+pub use perfetto::to_chrome_trace;
+pub use registry::{CounterId, HistId, Registry, SeriesId};
+pub use report::ObsReport;
+pub use series::TimeSeries;
+pub use span::{BusyTracker, Span, SpanKind, SpanRecorder};

@@ -1,0 +1,178 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! The emitted document loads directly in [ui.perfetto.dev] (or
+//! `chrome://tracing`): drag-and-drop the file, or use "Open trace file".
+//! Spans become `"ph":"X"` complete events, instants become `"ph":"i"`,
+//! and each sampled time-series becomes a `"ph":"C"` counter track.
+//! Timestamps are simulated GPU cycles passed through as microseconds —
+//! absolute units don't matter for inspection, relative durations do.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::report::ObsReport;
+use crate::span::SpanKind;
+
+/// Thread-id lane a span renders on: walk-lifecycle spans share per-kind
+/// lanes, per-SM tracks get disjoint ranges so every SM is its own row.
+fn tid_of(kind: SpanKind, track: u32) -> u64 {
+    match kind {
+        SpanKind::HwQueue | SpanKind::HwWalk => 1,
+        SpanKind::PteRead => 2,
+        SpanKind::Dispatch => 3,
+        SpanKind::Fault => 4,
+        SpanKind::PwWarpBusy => 100 + track as u64,
+        SpanKind::SwQueue | SpanKind::SwPwbWait | SpanKind::SwExec => 200 + track as u64,
+    }
+}
+
+fn lane_name(kind: SpanKind, track: u32) -> String {
+    match kind {
+        SpanKind::HwQueue | SpanKind::HwWalk => "HW PTW pool".to_string(),
+        SpanKind::PteRead => "PTE reads".to_string(),
+        SpanKind::Dispatch => "Distributor".to_string(),
+        SpanKind::Fault => "Faults".to_string(),
+        SpanKind::PwWarpBusy => format!("SM {track} PW-Warp issue"),
+        SpanKind::SwQueue | SpanKind::SwPwbWait | SpanKind::SwExec => {
+            format!("SM {track} SW walks")
+        }
+    }
+}
+
+/// Renders a report as a Chrome trace-event JSON document.
+pub fn to_chrome_trace(report: &ObsReport) -> String {
+    let mut out = String::with_capacity(8192 + report.spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&ev);
+    };
+
+    // Lane metadata: name each (pid, tid) pair once.
+    let mut named: Vec<u64> = Vec::new();
+    for s in &report.spans {
+        let tid = tid_of(s.kind, s.track);
+        if !named.contains(&tid) {
+            named.push(tid);
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    lane_name(s.kind, s.track)
+                ),
+            );
+        }
+    }
+
+    for s in &report.spans {
+        let tid = tid_of(s.kind, s.track);
+        let name = s.kind.name();
+        if s.kind.is_instant() {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"walk\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"vpn\":{},\"aux\":{}}}}}",
+                    s.start, s.vpn, s.aux
+                ),
+            );
+        } else {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"walk\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"vpn\":{},\"aux\":{}}}}}",
+                    s.start,
+                    s.duration(),
+                    s.vpn,
+                    s.aux
+                ),
+            );
+        }
+    }
+
+    for (name, series) in &report.series {
+        let first_idx = series.first_index();
+        for (i, v) in series.samples().iter().enumerate() {
+            let ts = (first_idx + i as u64) * report.interval;
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
+                     \"args\":{{\"value\":{v}}}}}",
+                ),
+            );
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::registry::Registry;
+    use crate::span::{Span, SpanRecorder};
+
+    fn sample_report() -> ObsReport {
+        let mut reg = Registry::new(64, 16);
+        let s = reg.series("pwb_occupancy");
+        for v in [1u64, 4, 2] {
+            reg.sample(s, v);
+        }
+        let mut spans = SpanRecorder::new(16);
+        spans.record(Span {
+            kind: SpanKind::HwWalk,
+            track: 0,
+            start: 10,
+            end: 300,
+            vpn: 7,
+            aux: 0,
+        });
+        spans.record(Span {
+            kind: SpanKind::PwWarpBusy,
+            track: 2,
+            start: 5,
+            end: 9,
+            vpn: 0,
+            aux: 0,
+        });
+        spans.instant(SpanKind::PteRead, 0, 42, 7, 3);
+        ObsReport::from_instruments(reg, spans)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_spans_and_counters() {
+        let trace = to_chrome_trace(&sample_report());
+        validate_json(&trace).expect("exporter must emit valid JSON");
+        assert!(trace.contains("\"ph\":\"X\""), "complete spans present");
+        assert!(trace.contains("\"ph\":\"C\""), "counter track present");
+        assert!(trace.contains("\"ph\":\"i\""), "instants present");
+        assert!(trace.contains("\"ph\":\"M\""), "lane names present");
+        assert!(trace.contains("SM 2 PW-Warp issue"));
+        assert!(trace.contains("pwb_occupancy"));
+    }
+
+    #[test]
+    fn counter_timestamps_use_the_sampling_interval() {
+        let trace = to_chrome_trace(&sample_report());
+        assert!(trace.contains("\"ts\":0,"));
+        assert!(trace.contains("\"ts\":64,"));
+        assert!(trace.contains("\"ts\":128,"));
+    }
+
+    #[test]
+    fn empty_report_still_exports_valid_json() {
+        let trace = to_chrome_trace(&ObsReport::default());
+        validate_json(&trace).expect("valid");
+        assert!(trace.contains("\"traceEvents\":[]"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Ring-buffered sampled time-series.
+
+/// A bounded ring buffer of periodic `u64` samples (occupancies, queue
+/// depths) taken every `interval` cycles.
+///
+/// The series remembers how many samples were ever pushed, so after
+/// wrap-around the retained window still reconstructs absolute sample
+/// times: the i-th retained sample (0-based) was taken at cycle
+/// `(first_index() + i) * interval`.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_obs::TimeSeries;
+/// let mut s = TimeSeries::new(2);
+/// s.push(10);
+/// s.push(20);
+/// s.push(30); // evicts the sample at index 0
+/// assert_eq!(s.first_index(), 1);
+/// assert_eq!(s.samples(), vec![20, 30]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    buf: Vec<u64>,
+    cap: usize,
+    /// Ring head: index in `buf` of the oldest retained sample.
+    head: usize,
+    /// Samples ever pushed (≥ retained length).
+    pushed: u64,
+}
+
+impl TimeSeries {
+    /// An empty series retaining at most `cap` samples (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, value: u64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.pushed += 1;
+    }
+
+    /// Samples ever pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples were ever retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Global index of the oldest retained sample (0 until eviction).
+    pub fn first_index(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Restores a series from its serialized window.
+    pub fn from_parts(cap: usize, first_index: u64, samples: Vec<u64>) -> Self {
+        let cap = cap.max(1).max(samples.len());
+        let pushed = first_index + samples.len() as u64;
+        Self {
+            buf: samples,
+            cap,
+            head: 0,
+            pushed,
+        }
+    }
+}
+
+/// Logical equality: two series are equal when they retain the same
+/// window at the same global offset, regardless of internal ring
+/// rotation (which a serialize/deserialize round trip normalizes away).
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.pushed == other.pushed && self.samples() == other.samples()
+    }
+}
+
+impl Eq for TimeSeries {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let mut s = TimeSeries::new(3);
+        for v in 1..=5u64 {
+            s.push(v * 10);
+        }
+        assert_eq!(s.samples(), vec![30, 40, 50]);
+        assert_eq!(s.first_index(), 2);
+        assert_eq!(s.total_pushed(), 5);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut s = TimeSeries::new(8);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.samples(), vec![1, 2]);
+        assert_eq!(s.first_index(), 0);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_window() {
+        let mut s = TimeSeries::new(4);
+        for v in 0..9u64 {
+            s.push(v);
+        }
+        let back = TimeSeries::from_parts(4, s.first_index(), s.samples());
+        assert_eq!(back.samples(), s.samples());
+        assert_eq!(back.first_index(), s.first_index());
+    }
+}

@@ -1,0 +1,262 @@
+//! Cycle-stamped spans and instant events.
+
+/// What a [`Span`] describes. Instant kinds have `start == end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Hardware walk: issue → walker start (PWB queueing).
+    HwQueue,
+    /// Hardware walk: walker start → completion (page-table access).
+    HwWalk,
+    /// Software walk: issue → distributor dispatch.
+    SwQueue,
+    /// Software walk: SoftPWB arrival → PW-Warp thread pickup.
+    SwPwbWait,
+    /// Software walk: thread pickup → FL2T completion.
+    SwExec,
+    /// Instant: one page-table level decoded (`aux` = radix level).
+    PteRead,
+    /// PW Warp issue port busy interval (`track` = SM index).
+    PwWarpBusy,
+    /// Instant: distributor dispatched a walk to a core (`aux` = SM).
+    Dispatch,
+    /// Instant: a translation took the fault/driver-replay path.
+    Fault,
+}
+
+impl SpanKind {
+    /// Stable numeric code used by the serialized form.
+    pub fn code(self) -> u64 {
+        match self {
+            SpanKind::HwQueue => 0,
+            SpanKind::HwWalk => 1,
+            SpanKind::SwQueue => 2,
+            SpanKind::SwPwbWait => 3,
+            SpanKind::SwExec => 4,
+            SpanKind::PteRead => 5,
+            SpanKind::PwWarpBusy => 6,
+            SpanKind::Dispatch => 7,
+            SpanKind::Fault => 8,
+        }
+    }
+
+    /// Inverse of [`SpanKind::code`].
+    pub fn from_code(code: u64) -> Option<Self> {
+        Some(match code {
+            0 => SpanKind::HwQueue,
+            1 => SpanKind::HwWalk,
+            2 => SpanKind::SwQueue,
+            3 => SpanKind::SwPwbWait,
+            4 => SpanKind::SwExec,
+            5 => SpanKind::PteRead,
+            6 => SpanKind::PwWarpBusy,
+            7 => SpanKind::Dispatch,
+            8 => SpanKind::Fault,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name used by the Perfetto exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::HwQueue => "hw_queue",
+            SpanKind::HwWalk => "hw_walk",
+            SpanKind::SwQueue => "sw_queue",
+            SpanKind::SwPwbWait => "sw_pwb_wait",
+            SpanKind::SwExec => "sw_exec",
+            SpanKind::PteRead => "pte_read",
+            SpanKind::PwWarpBusy => "pw_warp_busy",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Fault => "fault",
+        }
+    }
+
+    /// Whether this kind is an instant (zero-duration) event.
+    pub fn is_instant(self) -> bool {
+        matches!(
+            self,
+            SpanKind::PteRead | SpanKind::Dispatch | SpanKind::Fault
+        )
+    }
+}
+
+/// One cycle-stamped interval (or instant) on a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What happened.
+    pub kind: SpanKind,
+    /// Track the span renders on: SM index for per-core events, 0 for
+    /// subsystem-global ones.
+    pub track: u32,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (== `start` for instants).
+    pub end: u64,
+    /// VPN involved, or 0 when not applicable.
+    pub vpn: u64,
+    /// Kind-specific payload (radix level, target SM, fault code).
+    pub aux: u64,
+}
+
+impl Span {
+    /// Duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A bounded span buffer: records up to `cap` spans and counts the rest
+/// as dropped rather than growing without limit (the streaming-export
+/// ROADMAP item lifts this).
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    spans: Vec<Span>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl SpanRecorder {
+    /// A recorder retaining at most `cap` spans.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            spans: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records a span, or counts it dropped when at capacity.
+    pub fn record(&mut self, span: Span) {
+        if self.spans.len() < self.cap {
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records an instant event at `at`.
+    pub fn instant(&mut self, kind: SpanKind, track: u32, at: u64, vpn: u64, aux: u64) {
+        self.record(Span {
+            kind,
+            track,
+            start: at,
+            end: at,
+            vpn,
+            aux,
+        });
+    }
+
+    /// Retained spans in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the recorder, yielding `(spans, dropped)`.
+    pub fn into_parts(self) -> (Vec<Span>, u64) {
+        (self.spans, self.dropped)
+    }
+}
+
+/// Coalesces per-cycle busy bits into [`SpanKind::PwWarpBusy`] intervals:
+/// N consecutive busy cycles become one span instead of N.
+#[derive(Debug, Clone, Copy)]
+pub struct BusyTracker {
+    track: u32,
+    open: Option<(u64, u64)>,
+}
+
+impl BusyTracker {
+    /// A tracker rendering onto `track`.
+    pub fn new(track: u32) -> Self {
+        Self { track, open: None }
+    }
+
+    /// Reports this cycle's busy bit. Closing a run emits its span.
+    pub fn tick(&mut self, now: u64, busy: bool, out: &mut SpanRecorder) {
+        match (self.open, busy) {
+            (None, true) => self.open = Some((now, now)),
+            (Some((start, last)), true) if now == last + 1 => {
+                self.open = Some((start, now));
+            }
+            (Some(_), true) => {
+                // Non-contiguous tick (the owner skipped cycles): close
+                // the stale run and open a fresh one.
+                self.flush(out);
+                self.open = Some((now, now));
+            }
+            (Some(_), false) => self.flush(out),
+            (None, false) => {}
+        }
+    }
+
+    /// Closes any open run (end of simulation).
+    pub fn flush(&mut self, out: &mut SpanRecorder) {
+        if let Some((start, last)) = self.open.take() {
+            out.record(Span {
+                kind: SpanKind::PwWarpBusy,
+                track: self.track,
+                start,
+                // A run of busy cycles [start, last] occupies the issue
+                // port through the end of cycle `last`.
+                end: last + 1,
+                vpn: 0,
+                aux: 0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=8u64 {
+            let k = SpanKind::from_code(code).expect("valid code");
+            assert_eq!(k.code(), code);
+        }
+        assert_eq!(SpanKind::from_code(99), None);
+    }
+
+    #[test]
+    fn recorder_drops_beyond_capacity() {
+        let mut r = SpanRecorder::new(2);
+        for i in 0..5u64 {
+            r.instant(SpanKind::Dispatch, 0, i, 0, 0);
+        }
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn busy_tracker_coalesces_runs() {
+        let mut r = SpanRecorder::new(16);
+        let mut b = BusyTracker::new(3);
+        for now in 0..10u64 {
+            b.tick(now, (2..5).contains(&now) || (7..9).contains(&now), &mut r);
+        }
+        b.flush(&mut r);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start, spans[0].end), (2, 5));
+        assert_eq!((spans[1].start, spans[1].end), (7, 9));
+        assert!(spans.iter().all(|s| s.track == 3));
+    }
+
+    #[test]
+    fn busy_tracker_closes_on_gap() {
+        let mut r = SpanRecorder::new(16);
+        let mut b = BusyTracker::new(0);
+        b.tick(0, true, &mut r);
+        b.tick(5, true, &mut r); // gap: cycles 1..4 unobserved
+        b.flush(&mut r);
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!((r.spans()[0].start, r.spans()[0].end), (0, 1));
+        assert_eq!((r.spans()[1].start, r.spans()[1].end), (5, 6));
+    }
+}

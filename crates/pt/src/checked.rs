@@ -15,7 +15,7 @@
 //! poisoned by an injected fault (PWC fills only happen on valid PDEs).
 
 use swgpu_mem::PhysMem;
-use swgpu_types::{FaultInjector, PhysAddr, Pte};
+use swgpu_types::{Cycle, FaultInjector, PhysAddr, Pte, PteReadEvent, Vpn};
 
 /// Reads the page-table entry at `addr`, optionally through a fault
 /// injector. Returns the observed entry plus whether this particular read
@@ -39,6 +39,36 @@ pub fn read_pte_checked(
         }
     }
     (real, false)
+}
+
+/// [`read_pte_checked`] with an optional observation sink: when `sink` is
+/// `Some`, a cycle-stamped [`PteReadEvent`] recording the walk's VPN and
+/// the radix `level` being decoded is appended before the read.
+///
+/// This is the per-PT-level choke point of the observability layer: both
+/// walker implementations (the hardware PTW pool and the software PW
+/// Warps) route every level's decode through here, so arming their sinks
+/// yields a complete per-level event stream for a walk without touching
+/// timing — the push is pure bookkeeping and the read is byte-identical
+/// to the unobserved path. With `sink == None` this *is*
+/// `read_pte_checked`.
+pub fn read_pte_observed(
+    mem: &PhysMem,
+    addr: PhysAddr,
+    inj: Option<(&mut FaultInjector, f64)>,
+    vpn: Vpn,
+    level: u8,
+    now: Cycle,
+    sink: Option<&mut Vec<PteReadEvent>>,
+) -> (Pte, bool) {
+    if let Some(sink) = sink {
+        sink.push(PteReadEvent {
+            vpn,
+            level,
+            at: now,
+        });
+    }
+    read_pte_checked(mem, addr, inj)
 }
 
 #[cfg(test)]
@@ -90,5 +120,35 @@ mod tests {
         assert!(corrupted);
         let (pte, _) = read_pte_checked(&mem, PhysAddr::new(0x1000), None);
         assert!(pte.is_valid(), "corruption must be transient");
+    }
+
+    #[test]
+    fn observed_read_records_event_and_matches_unobserved() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(
+            PhysAddr::new(0x1000),
+            Pte::valid(swgpu_types::Pfn::new(5)).raw(),
+        );
+        let mut sink = Vec::new();
+        let (pte, corrupted) = read_pte_observed(
+            &mem,
+            PhysAddr::new(0x1000),
+            None,
+            Vpn::new(42),
+            2,
+            Cycle::new(7),
+            Some(&mut sink),
+        );
+        let (plain, _) = read_pte_checked(&mem, PhysAddr::new(0x1000), None);
+        assert_eq!(pte, plain, "observation must not perturb the read");
+        assert!(!corrupted);
+        assert_eq!(
+            sink,
+            vec![PteReadEvent {
+                vpn: Vpn::new(42),
+                level: 2,
+                at: Cycle::new(7),
+            }]
+        );
     }
 }

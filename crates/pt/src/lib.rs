@@ -28,7 +28,7 @@ mod radix;
 mod space;
 
 pub use alloc::FrameAllocator;
-pub use checked::read_pte_checked;
+pub use checked::{read_pte_checked, read_pte_observed};
 pub use hashed::{HashedPageTable, HashedWalk, HptFullError};
 pub use pwc::{PageWalkCache, PwcStart, PwcStats};
 pub use radix::{RadixPageTable, LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};

@@ -3,11 +3,11 @@
 use crate::request::{TableRef, WalkCompletion, WalkContext, WalkRequest, WalkResult};
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessKind, MemReq};
-use swgpu_pt::{read_pte_checked, RadixPageTable, LEAF_LEVEL};
+use swgpu_pt::{read_pte_observed, RadixPageTable, LEAF_LEVEL};
 use swgpu_types::fault::site;
 use swgpu_types::{
     Cycle, DelayQueue, FaultInjectionStats, FaultInjector, FaultPlan, IdGen, MemReqId, PhysAddr,
-    Pte,
+    Pte, PteReadEvent,
 };
 
 /// How pending walks are picked from the PWB.
@@ -221,6 +221,11 @@ pub struct PtwSubsystem {
     completions: VecDeque<WalkCompletion>,
     stats: WalkStats,
     fault: Option<FaultState>,
+    // Observation: when armed, every decoded PTE level is buffered here
+    // for the owning simulator to drain into its span recorder. Disarmed
+    // (the default) the buffer stays empty and untouched.
+    observed: bool,
+    obs_events: Vec<PteReadEvent>,
 }
 
 impl PtwSubsystem {
@@ -243,7 +248,20 @@ impl PtwSubsystem {
             completions: VecDeque::new(),
             stats: WalkStats::default(),
             fault: None,
+            observed: false,
+            obs_events: Vec::new(),
         }
+    }
+
+    /// Arms or disarms per-level PTE-read observation. Observation is
+    /// pure bookkeeping: it never changes walk timing or results.
+    pub fn set_observed(&mut self, on: bool) {
+        self.observed = on;
+    }
+
+    /// Drains the buffered [`PteReadEvent`]s (empty unless observed).
+    pub fn drain_obs_events(&mut self) -> Vec<PteReadEvent> {
+        std::mem::take(&mut self.obs_events)
     }
 
     /// Arms fault injection + recovery per `plan`. A disabled plan (all
@@ -664,7 +682,9 @@ impl PtwSubsystem {
                             .fault
                             .as_mut()
                             .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
-                        let (pte, corrupted) = read_pte_checked(ctx.mem, addr, inj);
+                        let sink = self.observed.then_some(&mut self.obs_events);
+                        let (pte, corrupted) =
+                            read_pte_observed(ctx.mem, addr, inj, r.vpn, LEAF_LEVEL, now, sink);
                         corrupted_n += u64::from(corrupted);
                         results.push(WalkResult {
                             vpn: r.vpn,
@@ -683,11 +703,14 @@ impl PtwSubsystem {
                     self.complete(walk.started_at, now, results);
                 } else {
                     let addr = RadixPageTable::entry_addr(*level, *node, vpn);
+                    let lvl = *level;
                     let inj = self
                         .fault
                         .as_mut()
                         .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
-                    let (pde, corrupted) = read_pte_checked(ctx.mem, addr, inj);
+                    let sink = self.observed.then_some(&mut self.obs_events);
+                    let (pde, corrupted) =
+                        read_pte_observed(ctx.mem, addr, inj, vpn, lvl, now, sink);
                     if corrupted {
                         walk.pending_inj += 1;
                         self.schedule_retry_or_escalate(walk_id, now);

@@ -2,6 +2,7 @@
 
 use softwalker::{DistributorPolicy, PwWarpConfig};
 use swgpu_mem::{CacheConfig, DramConfig};
+use swgpu_obs::ObsConfig;
 use swgpu_ptw::{PtwConfig, PwbPolicy, WalkTiming};
 use swgpu_tlb::{TlbConfig, TlbMshrConfig};
 use swgpu_types::{FaultPlan, PageSize};
@@ -126,6 +127,13 @@ pub struct GpuConfig {
     /// layer. The plan participates in [`GpuConfig::fingerprint`], so
     /// changing it busts the experiment runner's cache.
     pub fault_plan: FaultPlan,
+    /// Observability knobs (spans, sampled time-series, histograms).
+    /// Disabled by default; a disabled config records nothing, leaves
+    /// stats byte-identical to the pre-observability behavior and —
+    /// crucially — does not participate in [`GpuConfig::fingerprint`],
+    /// so obs-off fingerprints (and every cached baseline) are
+    /// unchanged. An *enabled* config is hashed and busts the cache.
+    pub obs: ObsConfig,
 }
 
 impl Default for GpuConfig {
@@ -156,6 +164,7 @@ impl Default for GpuConfig {
             max_cycles: 50_000_000,
             walk_trace_cap: 0,
             fault_plan: FaultPlan::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -252,6 +261,7 @@ impl GpuConfig {
             max_cycles,
             walk_trace_cap,
             fault_plan,
+            obs,
         } = self;
         let mut h = Fnv::new();
         h.usize(*sms);
@@ -295,6 +305,7 @@ impl GpuConfig {
         h.u64(*max_cycles);
         h.usize(*walk_trace_cap);
         hash_fault_plan(&mut h, fault_plan);
+        hash_obs(&mut h, obs);
         format!("{:016x}", h.finish())
     }
 
@@ -328,6 +339,7 @@ impl GpuConfig {
                 "an armed fault plan needs a positive watchdog timeout"
             );
         }
+        self.obs.validate();
         if self.mode.in_tlb_enabled() || self.force_in_tlb {
             assert!(
                 self.in_tlb_max > 0,
@@ -484,6 +496,28 @@ fn hash_pw_warp(h: &mut Fnv, c: &PwWarpConfig) {
     h.usize(*fault_buffer_entries);
 }
 
+/// Hashes the observability block **only when enabled**. A disabled
+/// block contributes no bytes at all, so every obs-off configuration
+/// fingerprints exactly as it did before the field existed — the golden
+/// pin proves it. Enabling observation (or changing an enabled block's
+/// knobs) writes a marker plus the knob values, busting the cache for
+/// obs-carrying artifacts only.
+fn hash_obs(h: &mut Fnv, o: &ObsConfig) {
+    let ObsConfig {
+        enabled,
+        sample_interval,
+        series_capacity,
+        span_capacity,
+    } = o;
+    if !enabled {
+        return;
+    }
+    h.u64(0x4f42_5321); // "OBS!" marker
+    h.u64(*sample_interval);
+    h.usize(*series_capacity);
+    h.usize(*span_capacity);
+}
+
 fn hash_fault_plan(h: &mut Fnv, p: &FaultPlan) {
     let FaultPlan {
         seed,
@@ -598,6 +632,13 @@ mod tests {
             Box::new(|c| c.max_cycles += 1),
             Box::new(|c| c.walk_trace_cap = 64),
             Box::new(|c| c.fault_plan.seed = 7),
+            Box::new(|c| c.obs = ObsConfig::enabled()),
+            Box::new(|c| {
+                c.obs = ObsConfig {
+                    sample_interval: 2048,
+                    ..ObsConfig::enabled()
+                }
+            }),
         ];
         let mut prints = vec![GpuConfig::default().fingerprint()];
         for tweak in &tweaks {
@@ -640,6 +681,39 @@ mod tests {
         let mut reseeded = faulty.clone();
         reseeded.fault_plan.seed = 1;
         assert_ne!(faulty.fingerprint(), reseeded.fingerprint());
+    }
+
+    #[test]
+    fn disabled_obs_leaves_fingerprint_unchanged() {
+        // The zero-overhead contract extends to the cache key: an obs-off
+        // config hashes identically no matter what the (ignored) knobs
+        // say, and identically to the pre-observability golden pin.
+        let mut weird_knobs = GpuConfig::default();
+        weird_knobs.obs.sample_interval = 99;
+        weird_knobs.obs.series_capacity = 7;
+        assert_eq!(weird_knobs.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+
+        let on = GpuConfig {
+            obs: ObsConfig::enabled(),
+            ..GpuConfig::default()
+        };
+        on.validate();
+        assert_ne!(
+            on.fingerprint(),
+            GOLDEN_DEFAULT_FINGERPRINT,
+            "enabled observation must bust the cache"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval")]
+    fn enabled_obs_with_zero_interval_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.obs = ObsConfig {
+            sample_interval: 0,
+            ..ObsConfig::enabled()
+        };
+        cfg.validate();
     }
 
     #[test]

@@ -7,6 +7,9 @@ use softwalker::{
 };
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessOutcome, Cache, Dram, MemReq, PhysMem};
+use swgpu_obs::{
+    BusyTracker, CounterId, HistId, ObsReport, Registry, SeriesId, Span, SpanKind, SpanRecorder,
+};
 use swgpu_pt::{AddressSpace, HashedPageTable, PageWalkCache};
 use swgpu_ptw::{PtwSubsystem, TableRef, WalkContext, WalkOwner, WalkRequest};
 use swgpu_sm::{InstrSource, Sm, SmConfig};
@@ -36,6 +39,92 @@ struct PendingL2 {
     vpn: Vpn,
     first_seen: Cycle,
     counted_failure: bool,
+}
+
+/// Live observability instruments, allocated only when
+/// [`swgpu_obs::ObsConfig::enabled`] is set. The simulator holds this
+/// behind an `Option<Box<_>>` so a disabled run pays one pointer of
+/// state and a handful of `is_some` branches — nothing else.
+struct ObsState {
+    reg: Registry,
+    rec: SpanRecorder,
+    /// Per-SM PW-Warp issue-port busy coalescers.
+    busy: Vec<BusyTracker>,
+    /// Next cycle at which the time-series sample.
+    next_sample: u64,
+    interval: u64,
+    // Histogram handles (walk-latency decomposition, per-SM stalls).
+    h_walk_total: HistId,
+    h_walk_queue: HistId,
+    h_walk_access: HistId,
+    h_sm_stall: HistId,
+    // Counter handles.
+    c_dispatches: CounterId,
+    c_pte_reads: CounterId,
+    c_driver_replays: CounterId,
+    // Sampled-occupancy series handles.
+    s_softpwb: SeriesId,
+    s_pw_active: SeriesId,
+    s_hw_pwb: SeriesId,
+    s_hw_active: SeriesId,
+    s_mshr_dedicated: SeriesId,
+    s_mshr_in_tlb: SeriesId,
+    s_mshr_overflow: SeriesId,
+    s_dispatch_q: SeriesId,
+}
+
+impl ObsState {
+    fn new(cfg: &swgpu_obs::ObsConfig, sms: usize) -> Self {
+        let mut reg = Registry::new(cfg.sample_interval, cfg.series_capacity);
+        let h_walk_total = reg.hist("walk_total_cycles");
+        let h_walk_queue = reg.hist("walk_queue_cycles");
+        let h_walk_access = reg.hist("walk_access_cycles");
+        let h_sm_stall = reg.hist("sm_stall_cycles");
+        let c_dispatches = reg.counter("distributor_dispatches");
+        let c_pte_reads = reg.counter("pte_reads");
+        let c_driver_replays = reg.counter("driver_replays");
+        let s_softpwb = reg.series("softpwb_occupancy");
+        let s_pw_active = reg.series("pw_active_walks");
+        let s_hw_pwb = reg.series("hw_pwb_depth");
+        let s_hw_active = reg.series("hw_active_walks");
+        let s_mshr_dedicated = reg.series("l2_mshr_dedicated");
+        let s_mshr_in_tlb = reg.series("l2_mshr_in_tlb");
+        let s_mshr_overflow = reg.series("l2_mshr_overflow_waiting");
+        let s_dispatch_q = reg.series("dispatch_queue_depth");
+        Self {
+            reg,
+            rec: SpanRecorder::new(cfg.span_capacity),
+            busy: (0..sms).map(|i| BusyTracker::new(i as u32)).collect(),
+            next_sample: 0,
+            interval: cfg.sample_interval,
+            h_walk_total,
+            h_walk_queue,
+            h_walk_access,
+            h_sm_stall,
+            c_dispatches,
+            c_pte_reads,
+            c_driver_replays,
+            s_softpwb,
+            s_pw_active,
+            s_hw_pwb,
+            s_hw_active,
+            s_mshr_dedicated,
+            s_mshr_in_tlb,
+            s_mshr_overflow,
+            s_dispatch_q,
+        }
+    }
+
+    fn span(&mut self, kind: SpanKind, track: u32, start: Cycle, end: Cycle, vpn: Vpn) {
+        self.rec.record(Span {
+            kind,
+            track,
+            start: start.value(),
+            end: end.value(),
+            vpn: vpn.value(),
+            aux: 0,
+        });
+    }
 }
 
 /// A physical memory image with the workload footprint already mapped.
@@ -119,6 +208,9 @@ pub struct GpuSimulator {
     // O(backlog).
     l2_retry_budget: usize,
     l2d_retry_budget: usize,
+    // Observability instruments; `None` (the default) costs nothing on
+    // the hot path beyond a branch per hook.
+    obs: Option<Box<ObsState>>,
     stats: SimStats,
 }
 
@@ -261,6 +353,15 @@ impl GpuSimulator {
                 pw.set_fault_plan(plan, i as u64);
             }
         }
+        let obs = if cfg.obs.enabled {
+            ptw.set_observed(true);
+            for pw in &mut pw_warps {
+                pw.set_observed(true);
+            }
+            Some(Box::new(ObsState::new(&cfg.obs, cfg.sms)))
+        } else {
+            None
+        };
         Self {
             sms,
             pw_warps,
@@ -289,6 +390,7 @@ impl GpuSimulator {
             fault_counters: FaultInjectionStats::default(),
             l2_retry_budget: 0,
             l2d_retry_budget: 0,
+            obs,
             stats: SimStats {
                 walk_trace: crate::WalkTrace::new(cfg.walk_trace_cap),
                 ..SimStats::default()
@@ -343,6 +445,7 @@ impl GpuSimulator {
     #[allow(clippy::needless_range_loop)]
     fn step(&mut self) {
         let now = self.now;
+        self.sample_obs(now);
 
         // DRAM completions fill the L2D.
         while let Some(req) = self.dram.pop_complete(now) {
@@ -382,8 +485,15 @@ impl GpuSimulator {
         // "repaired" the PTE and replays the walk through the normal
         // machinery; otherwise the fault is real and completes as one.
         while let Some((vpn, issued_at)) = self.driver_q.pop_ready(now) {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.rec
+                    .instant(SpanKind::Fault, 0, now.value(), vpn.value(), 0);
+            }
             if self.space.radix().translate(vpn, &self.phys).is_some() {
                 self.fault_counters.fault_replays += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.reg.inc(o.c_driver_replays, 1);
+                }
                 self.launch_walk(vpn, issued_at, None);
             } else {
                 self.fault_counters.unrecoverable_faults += 1;
@@ -421,6 +531,12 @@ impl GpuSimulator {
                 + c.finished_at.since(c.started_at)
                 + self.cfg.l2_tlb_latency;
             self.stats.sw_walks += 1;
+            if let Some(o) = self.obs.as_deref_mut() {
+                let t = sm_idx as u32;
+                o.span(SpanKind::SwQueue, t, c.issued_at, c.dispatched_at, c.vpn);
+                o.span(SpanKind::SwPwbWait, t, c.arrived_at, c.started_at, c.vpn);
+                o.span(SpanKind::SwExec, t, c.started_at, c.finished_at, c.vpn);
+            }
             self.stats.walk_trace.record(crate::WalkRecord {
                 vpn: c.vpn,
                 issued_at: c.issued_at,
@@ -499,6 +615,10 @@ impl GpuSimulator {
                 for r in c.results {
                     let queue = c.started_at.since(r.issued_at);
                     let access = c.completed_at.since(c.started_at);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.span(SpanKind::HwQueue, 0, r.issued_at, c.started_at, r.vpn);
+                        o.span(SpanKind::HwWalk, 0, c.started_at, c.completed_at, r.vpn);
+                    }
                     self.stats.walk_trace.record(crate::WalkRecord {
                         vpn: r.vpn,
                         issued_at: r.issued_at,
@@ -526,6 +646,23 @@ impl GpuSimulator {
             }
         }
 
+        // Drain cycle-stamped PTE-read events buffered by the walkers
+        // (both kinds stamp their own timestamps, so draining once per
+        // cycle preserves event times exactly).
+        if let Some(o) = self.obs.as_deref_mut() {
+            let events = self.ptw.drain_obs_events();
+            o.reg.inc(o.c_pte_reads, events.len() as u64);
+            for e in events {
+                o.rec.instant(
+                    SpanKind::PteRead,
+                    0,
+                    e.at.value(),
+                    e.vpn.value(),
+                    u64::from(e.level),
+                );
+            }
+        }
+
         // PW Warps: tick (claiming issue ports), then SMs.
         let mut pw_issued = vec![false; self.sms.len()];
         for i in 0..self.pw_warps.len() {
@@ -537,6 +674,24 @@ impl GpuSimulator {
             }
             while let Some(c) = self.pw_warps[i].pop_completion() {
                 self.fl2t_ret.push(now + self.cfg.l2_tlb_latency, (i, c));
+            }
+            if let Some(o) = self.obs.as_deref_mut() {
+                let events = self.pw_warps[i].drain_obs_events();
+                o.reg.inc(o.c_pte_reads, events.len() as u64);
+                for e in events {
+                    o.rec.instant(
+                        SpanKind::PteRead,
+                        i as u32,
+                        e.at.value(),
+                        e.vpn.value(),
+                        u64::from(e.level),
+                    );
+                }
+            }
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            for (i, tracker) in o.busy.iter_mut().enumerate() {
+                tracker.tick(now.value(), pw_issued[i], &mut o.rec);
             }
         }
 
@@ -554,6 +709,31 @@ impl GpuSimulator {
                 self.issue_l2d(req);
             }
         }
+    }
+
+    /// Samples every registered time-series when the cycle hits the
+    /// configured interval. No-op (one branch) when observability is off.
+    fn sample_obs(&mut self, now: Cycle) {
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        if now.value() < o.next_sample {
+            return;
+        }
+        o.next_sample = now.value() + o.interval;
+        let softpwb: usize = self.pw_warps.iter().map(PwWarpUnit::pwb_occupancy).sum();
+        let pw_active: usize = self.pw_warps.iter().map(PwWarpUnit::active_walks).sum();
+        o.reg.sample(o.s_softpwb, softpwb as u64);
+        o.reg.sample(o.s_pw_active, pw_active as u64);
+        o.reg.sample(o.s_hw_pwb, self.ptw.pwb_depth() as u64);
+        o.reg.sample(o.s_hw_active, self.ptw.active_walks() as u64);
+        o.reg
+            .sample(o.s_mshr_dedicated, self.l2.dedicated_in_flight() as u64);
+        o.reg
+            .sample(o.s_mshr_in_tlb, self.l2.pending_in_tlb() as u64);
+        o.reg
+            .sample(o.s_mshr_overflow, self.l2.overflow_waiting() as u64);
+        o.reg.sample(o.s_dispatch_q, self.dispatch_q.len() as u64);
     }
 
     fn table_ref<'a>(hashed: &'a Option<HashedPageTable>, space: &'a AddressSpace) -> TableRef<'a> {
@@ -678,6 +858,16 @@ impl GpuSimulator {
                 break;
             };
             self.dispatch_q.pop_front();
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.rec.instant(
+                    SpanKind::Dispatch,
+                    0,
+                    self.now.value(),
+                    vpn.value(),
+                    sm.index() as u64,
+                );
+                o.reg.inc(o.c_dispatches, 1);
+            }
             let start = self.pwc.lookup(vpn);
             let req = SwWalkRequest::new(vpn, issued_at, self.now, start.level, start.node_base);
             self.sw_to_sm
@@ -687,6 +877,11 @@ impl GpuSimulator {
 
     fn finish_translation(&mut self, vpn: Vpn, pfn: Option<Pfn>, queue: u64, access: u64) {
         self.stats.walk.record(queue, access);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.reg.observe(o.h_walk_queue, queue);
+            o.reg.observe(o.h_walk_access, access);
+            o.reg.observe(o.h_walk_total, queue + access);
+        }
         self.l2_retry_budget = self.l2_retry_budget.saturating_add(2);
         let waiters = match pfn {
             Some(p) => self.l2.complete_walk(vpn, p),
@@ -757,6 +952,15 @@ impl GpuSimulator {
         fault.merge(&self.dram.fault_stats());
         fault.fault_buffer_overflow_drops += self.hw_faults.overflow_dropped();
         self.stats.fault = fault;
+        if let Some(mut o) = self.obs.take() {
+            for tracker in &mut o.busy {
+                tracker.flush(&mut o.rec);
+            }
+            for sm in &self.sms {
+                o.reg.observe(o.h_sm_stall, sm.stats().stall_cycles());
+            }
+            self.stats.obs = Some(Box::new(ObsReport::from_instruments(o.reg, o.rec)));
+        }
         let channels = self.cfg.dram.channels;
         self.stats.finish(self.now, channels);
         self.stats
@@ -1043,6 +1247,82 @@ mod tests {
             "zero rates must leave every counter at zero"
         );
         assert!(!s.to_json().contains("fault_"));
+    }
+
+    fn run_observed(mode: TranslationMode) -> SimStats {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = mode;
+        cfg.obs = swgpu_obs::ObsConfig {
+            sample_interval: 64,
+            ..swgpu_obs::ObsConfig::enabled()
+        };
+        let spec = by_abbr("gups").unwrap();
+        let wl = spec.build(WorkloadParams {
+            sms: cfg.sms,
+            warps_per_sm: cfg.max_warps,
+            mem_instrs_per_warp: 3,
+            footprint_percent: 20,
+            page_size: cfg.page_size,
+        });
+        GpuSimulator::new(cfg, Box::new(wl)).run()
+    }
+
+    #[test]
+    fn disabled_obs_attaches_no_report() {
+        let s = run_bench("gups", TranslationMode::HardwarePtw, 3);
+        assert!(s.obs.is_none(), "obs off must not allocate a report");
+    }
+
+    #[test]
+    fn observed_software_run_captures_walk_lifecycle() {
+        let s = run_observed(TranslationMode::SoftWalker { in_tlb_mshr: true });
+        assert!(!s.timed_out);
+        let obs = s.obs.as_deref().expect("obs armed");
+        let kinds: Vec<_> = obs.spans.iter().map(|sp| sp.kind).collect();
+        for kind in [
+            swgpu_obs::SpanKind::SwQueue,
+            swgpu_obs::SpanKind::SwPwbWait,
+            swgpu_obs::SpanKind::SwExec,
+            swgpu_obs::SpanKind::PteRead,
+            swgpu_obs::SpanKind::Dispatch,
+            swgpu_obs::SpanKind::PwWarpBusy,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind:?} spans");
+        }
+        // Span ordering invariants hold on every lifecycle interval.
+        for sp in &obs.spans {
+            assert!(sp.start <= sp.end, "reversed span {sp:?}");
+        }
+        // The walk-latency histograms saw exactly the translations the
+        // scalar stats counted.
+        let total = obs.histogram("walk_total_cycles").expect("hist");
+        assert_eq!(total.count(), s.walk.translations);
+        assert!(total.percentile(0.99) >= total.percentile(0.50));
+        // Occupancy series sampled on the configured 64-cycle interval.
+        assert_eq!(obs.interval, 64);
+        let occ = obs.time_series("softpwb_occupancy").expect("series");
+        assert_eq!(occ.total_pushed(), s.cycles / 64 + 1);
+        // Every dispatched walk shows up on the dispatch counter.
+        assert_eq!(obs.counter("distributor_dispatches"), Some(s.sw_walks));
+    }
+
+    #[test]
+    fn observed_hardware_run_captures_hw_spans() {
+        let s = run_observed(TranslationMode::HardwarePtw);
+        let obs = s.obs.as_deref().expect("obs armed");
+        let kinds: Vec<_> = obs.spans.iter().map(|sp| sp.kind).collect();
+        assert!(kinds.contains(&swgpu_obs::SpanKind::HwQueue));
+        assert!(kinds.contains(&swgpu_obs::SpanKind::HwWalk));
+        assert!(kinds.contains(&swgpu_obs::SpanKind::PteRead));
+        assert!(obs.counter("pte_reads").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn observing_does_not_perturb_timing() {
+        let base = run_bench("gups", TranslationMode::SoftWalker { in_tlb_mshr: true }, 3);
+        let observed = run_observed(TranslationMode::SoftWalker { in_tlb_mshr: true });
+        assert_eq!(base.cycles, observed.cycles, "obs must be timing-neutral");
+        assert_eq!(base.to_json(), observed.to_json());
     }
 
     #[test]

@@ -47,4 +47,5 @@ mod trace;
 pub use config::{GpuConfig, TranslationMode};
 pub use gpu::{GpuSimulator, PrebuiltMemory};
 pub use stats::{SimStats, WalkLatencyStats};
+pub use swgpu_obs::{ObsConfig, ObsReport};
 pub use trace::{WalkRecord, WalkTrace, WalkerKind};

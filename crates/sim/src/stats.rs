@@ -119,6 +119,12 @@ pub struct SimStats {
     pub fault: FaultInjectionStats,
     /// Lifecycle records of the first walks, when tracing was enabled.
     pub walk_trace: crate::WalkTrace,
+    /// Observability report (spans, histograms, time-series), present
+    /// only when the run armed [`swgpu_obs::ObsConfig`]. Deliberately
+    /// *not* serialized by [`SimStats::to_json`] — the flat-JSON stats
+    /// object stays byte-identical whether or not observability ran;
+    /// the experiment-artifact layer persists the report separately.
+    pub obs: Option<Box<swgpu_obs::ObsReport>>,
 }
 
 impl SimStats {

@@ -81,6 +81,12 @@ impl SmStats {
             + self.idle_cycles
     }
 
+    /// Total stalled cycles (memory + scoreboard) — the per-SM quantity
+    /// the observability layer histograms across cores.
+    pub fn stall_cycles(&self) -> u64 {
+        self.mem_stall_cycles + self.scoreboard_stall_cycles
+    }
+
     /// Fraction of cycles stalled (memory + scoreboard) — Figure 8's
     /// headline (~90% for irregular apps).
     pub fn stall_fraction(&self) -> f64 {

@@ -127,6 +127,13 @@ impl<M> L2TlbComplex<M> {
         self.mshr.in_flight() + self.overflow_waiters.len()
     }
 
+    /// Requesters parked in the overflow wait list because every MSHR
+    /// (dedicated and In-TLB alike) was occupied — a gauge the
+    /// observability layer samples to expose MSHR pressure over time.
+    pub fn overflow_waiting(&self) -> usize {
+        self.overflow_waiters.len()
+    }
+
     /// Direct read-only access to the TLB array.
     pub fn tlb(&self) -> &Tlb {
         &self.tlb

@@ -25,6 +25,7 @@ mod addr;
 mod cycle;
 pub mod fault;
 mod ids;
+pub mod obs;
 mod page;
 mod pte;
 mod queue;
@@ -35,6 +36,7 @@ pub use fault::{FaultInjectionStats, FaultInjector, FaultPlan};
 pub use ids::{
     ChannelId, InstrId, LaneId, MemReqId, SmId, WalkerId, WarpId, XlatId, LANES_PER_WARP,
 };
+pub use obs::PteReadEvent;
 pub use page::{PageSize, Pfn, Vpn};
 pub use pte::Pte;
 pub use queue::DelayQueue;

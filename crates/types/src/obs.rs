@@ -1,0 +1,24 @@
+//! Minimal observability event types shared by the walkers.
+//!
+//! The observability layer proper lives in `swgpu-obs`, which sits *above*
+//! the component crates in the dependency graph. The walkers (hardware PTW
+//! pool, PW Warps) therefore cannot talk to the recorder directly; instead
+//! they buffer these small cycle-stamped events when observation is armed,
+//! and the full simulator drains the buffers into the recorder each cycle.
+//! When observation is off the buffers stay empty and nothing is pushed —
+//! the zero-overhead-when-disabled contract.
+
+use crate::{Cycle, Vpn};
+
+/// A single page-table-entry read observed at a walker, stamped with the
+/// radix level being decoded (3 = root directory, 0 = leaf). Produced by
+/// `swgpu_pt::read_pte_observed` call sites in both walker implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteReadEvent {
+    /// The VPN whose walk performed the read.
+    pub vpn: Vpn,
+    /// Radix level of the entry (LEAF_LEVEL = 0).
+    pub level: u8,
+    /// Cycle at which the read's data became available.
+    pub at: Cycle,
+}
