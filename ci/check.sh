@@ -21,10 +21,17 @@ cargo test -q --workspace
 echo "==> fault-injection smoke (release)"
 cargo run --release -q -p swgpu-bench --bin fault_smoke
 
+echo "==> event-kernel smoke (dense equivalence + skipped-cycle floor)"
+# Drain-heavy cells on both simulation kernels: statistics must be
+# byte-identical, and the event kernel must skip a healthy fraction of
+# cycles (a regression to per-cycle ticking keeps equivalence but
+# fails the floor).
+cargo run --release -q -p swgpu-bench --bin kernel_smoke
+
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the
-# trace-capped Figure 9 cells, whose walk traces ride in the schema-v3
+# trace-capped Figure 9 cells, whose walk traces ride in the schema-v4
 # artifacts.
 SWGPU_RUN_CACHE="target/ci-run-cache-$$" ; export SWGPU_RUN_CACHE
 rm -rf "$SWGPU_RUN_CACHE"

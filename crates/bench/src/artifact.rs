@@ -6,12 +6,12 @@
 //! cache — running `fig16` then `fig18` re-simulates nothing — and as a
 //! machine-readable artifact for external plotting/analysis tooling.
 //!
-//! Schema (version 3, flat except for the nested stats object and the
+//! Schema (version 4, flat except for the nested stats object and the
 //! trailing walk-trace / observability payloads):
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "key": "bfs-fp100-a1b2c3d4e5f60718",
 //!   "workload": "bfs-fp100",
 //!   "config": "a1b2c3d4e5f60718",
@@ -34,10 +34,12 @@
 //! to schema v2 modulo the version digit. Unknown top-level keys are
 //! ignored on read so the schema can grow.
 //!
-//! Migration: artifacts with any other schema version (v2 from before the
-//! observability layer, v1 from before persisted traces) probe as
-//! [`LoadOutcome::Stale`] — the runner silently re-simulates and
-//! overwrites them; they are *not* quarantined like corrupt files.
+//! Migration: artifacts with any other schema version (v3 from before the
+//! event-scheduled kernel's `kernel_steps` / `kernel_cycles_skipped`
+//! stats counters, v2 from before the observability layer, v1 from
+//! before persisted traces) probe as [`LoadOutcome::Stale`] — the runner
+//! silently re-simulates and overwrites them; they are *not* quarantined
+//! like corrupt files.
 
 use std::fs;
 use std::io;
@@ -46,7 +48,7 @@ use swgpu_sim::{ObsReport, SimStats, WalkTrace};
 
 /// Current artifact schema version. Readers report other versions as
 /// stale (the runner then just re-simulates and overwrites).
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Upper bound on persisted walk-trace records. Runs configured with a
 /// larger `walk_trace_cap` write their artifact *without* the payload, so
@@ -88,7 +90,7 @@ impl RunArtifact {
         self.stats.obs.is_some()
     }
 
-    /// Serializes the artifact (schema version 3). The walk-trace and
+    /// Serializes the artifact (schema version 4). The walk-trace and
     /// observability payloads go last so the flat scalar fields and the
     /// flat stats object stay parseable by the simple extractors below.
     pub fn to_json(&self) -> String {
@@ -441,12 +443,14 @@ mod tests {
 
     #[test]
     fn obs_off_artifact_matches_v2_layout() {
-        // The acceptance bar for the schema bump: an obs-off artifact is
+        // The acceptance bar for the schema bumps: an obs-off artifact is
         // byte-identical to what schema v2 wrote, modulo the version
-        // digit. Anything else would invalidate every cached cell.
+        // digit (v4 added two stats keys inside the nested stats object,
+        // not at the artifact layer). Anything else would invalidate
+        // every cached cell.
         let json = sample().to_json();
         assert!(!json.contains("\"obs\""));
-        assert!(json.starts_with("{\"schema\":3,\"key\":"));
+        assert!(json.starts_with("{\"schema\":4,\"key\":"));
     }
 
     #[test]
@@ -462,7 +466,7 @@ mod tests {
     fn schema_mismatch_is_rejected() {
         let bad = sample()
             .to_json()
-            .replacen("\"schema\":3", "\"schema\":2", 1);
+            .replacen("\"schema\":4", "\"schema\":3", 1);
         assert!(RunArtifact::from_json(&bad).is_err());
     }
 
@@ -542,12 +546,13 @@ mod tests {
         let dir = test_dir("stale");
         std::fs::create_dir_all(&dir).unwrap();
         let a = sample();
-        // Both pre-obs generations must migrate the same way: a v2
-        // artifact (pre-observability) and a v1 artifact (pre-trace).
-        for old in [2u32, 1] {
+        // Every older generation must migrate the same way: a v3
+        // artifact (pre-kernel-counters), a v2 artifact
+        // (pre-observability) and a v1 artifact (pre-trace).
+        for old in [3u32, 2, 1] {
             let stale = a
                 .to_json()
-                .replacen("\"schema\":3", &format!("\"schema\":{old}"), 1);
+                .replacen("\"schema\":4", &format!("\"schema\":{old}"), 1);
             std::fs::write(RunArtifact::path_in(&dir, &a.key), stale).unwrap();
             assert!(matches!(
                 RunArtifact::probe(&dir, &a.key),

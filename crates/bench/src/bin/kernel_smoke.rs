@@ -1,0 +1,130 @@
+//! Event-kernel smoke test: runs drain-heavy cells (long memory-latency
+//! tails, sparse fault-recovery wakes) on both the event-scheduled
+//! kernel and the dense reference loop, and verifies that
+//!
+//! 1. the two produce **byte-identical** statistics JSON,
+//! 2. the schedule counters tile the run (`steps + skipped == cycles+1`),
+//! 3. the event kernel actually skips cycles, with a floor on the
+//!    skipped fraction — a regression that silently degrades the kernel
+//!    to per-cycle ticking keeps equivalence but fails here.
+//!
+//! Exits nonzero (for CI) on any violation.
+
+use swgpu_bench::{Cell, Scale, SystemConfig};
+use swgpu_sim::SimStats;
+use swgpu_types::FaultPlan;
+use swgpu_workloads::by_abbr;
+
+/// Minimum fraction of simulated cycles the event kernel must skip on
+/// every smoke cell. The single-SM low-occupancy cells below are
+/// dominated by 80-cycle L2 TLB hops and DRAM round-trips; observed
+/// fractions sit between 0.60 and 0.79, so 0.25 leaves headroom
+/// without tolerating a degenerate schedule.
+const MIN_SKIPPED_FRACTION: f64 = 0.25;
+
+/// A delay-heavy storm: long injected memory delays force the sparsest
+/// wakes in the system (watchdog deadlines, retry backoff timers).
+fn delay_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xd31a,
+        mem_delay_rate: 0.10,
+        stuck_thread_rate: 0.02,
+        ..FaultPlan::default()
+    }
+}
+
+fn check(label: &str, event: &SimStats, dense: &SimStats) -> Result<(), String> {
+    if event.to_json() != dense.to_json() {
+        return Err(format!(
+            "{label}: event kernel diverged from dense reference"
+        ));
+    }
+    if event.timed_out {
+        return Err(format!("{label}: smoke cell must drain, but timed out"));
+    }
+    if event.kernel_steps + event.kernel_cycles_skipped != event.cycles + 1 {
+        return Err(format!(
+            "{label}: schedule accounting does not tile — {} steps + {} skipped != {} cycles + 1",
+            event.kernel_steps, event.kernel_cycles_skipped, event.cycles
+        ));
+    }
+    if event.kernel_cycles_skipped == 0 {
+        return Err(format!("{label}: event kernel never skipped a cycle"));
+    }
+    let fraction = event.kernel_cycles_skipped as f64 / (event.cycles + 1) as f64;
+    if fraction < MIN_SKIPPED_FRACTION {
+        return Err(format!(
+            "{label}: skipped fraction {fraction:.3} below floor {MIN_SKIPPED_FRACTION}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut failures = 0;
+    let mut cells: Vec<(String, Cell)> = Vec::new();
+
+    // Drain-heavy benchmark cells: one SM with a handful of warps, so
+    // there is not enough parallelism to cover the 80-cycle L2 TLB hops
+    // and DRAM round-trips — most of the run is quiescent waiting.
+    for abbr in ["gups", "bfs"] {
+        let spec = by_abbr(abbr).expect("known benchmark");
+        for system in [
+            SystemConfig::Baseline,
+            SystemConfig::SoftWalker,
+            SystemConfig::Hybrid,
+        ] {
+            let mut cfg = system.build(Scale::Quick);
+            cfg.sms = 1;
+            cfg.max_warps = 2;
+            cells.push((
+                format!("{abbr}/{}", system.label()),
+                Cell::bench_scaled(&spec, cfg, 20),
+            ));
+        }
+    }
+
+    // A fault-delay cell per walker kind: injected delays and stuck
+    // threads make recovery timers the only pending events for long
+    // stretches.
+    let spec = by_abbr("gups").expect("known benchmark");
+    for system in [SystemConfig::Baseline, SystemConfig::SoftWalker] {
+        let mut cfg = system.build(Scale::Quick);
+        cfg.sms = 1;
+        cfg.max_warps = 2;
+        cfg.fault_plan = delay_plan();
+        cells.push((
+            format!("gups+delay/{}", system.label()),
+            Cell::bench_scaled(&spec, cfg, 20),
+        ));
+    }
+
+    for (label, cell) in &cells {
+        let event = cell.simulate();
+        let dense = cell.simulate_dense();
+        match check(label, &event, &dense) {
+            Ok(()) => {
+                let fraction = event.kernel_cycles_skipped as f64 / (event.cycles + 1) as f64;
+                println!(
+                    "[kernel-smoke] {label}: ok — {} cycles, {} steps, {} skipped ({:.1}%)",
+                    event.cycles,
+                    event.kernel_steps,
+                    event.kernel_cycles_skipped,
+                    100.0 * fraction
+                );
+            }
+            Err(why) => {
+                eprintln!("[kernel-smoke] FAIL — {why}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "[kernel-smoke] all {} cells byte-identical with the dense reference",
+        cells.len()
+    );
+}

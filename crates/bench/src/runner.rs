@@ -402,6 +402,15 @@ impl Cell {
         let (source, footprint) = self.build_source();
         GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint).run()
     }
+
+    /// Runs the cell on the dense reference kernel, executing every
+    /// cycle instead of jumping between scheduled events. Produces
+    /// byte-identical [`SimStats`] to [`Cell::simulate`]; exists so CI
+    /// can cross-check the two kernels on real bench cells.
+    pub fn simulate_dense(&self) -> SimStats {
+        let (source, footprint) = self.build_source();
+        GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint).run_dense()
+    }
 }
 
 /// Where the runner resolved a cell's result from.

@@ -77,5 +77,43 @@ fn enabling_obs_does_not_perturb_simulation_outcomes() {
             report.histogram("walk_total_cycles").is_some(),
             "report carries the walk latency histogram"
         );
+        // The event kernel executes extra steps at obs sample boundaries
+        // (so the gap-aware time series sees every interval), but the
+        // schedule counters are derived from the event schedule alone —
+        // arming obs must not move them.
+        assert_eq!(
+            p.kernel_steps,
+            o.kernel_steps,
+            "observing changed the executed-step count for cell {}",
+            cell.key()
+        );
+        assert_eq!(
+            p.kernel_cycles_skipped,
+            o.kernel_cycles_skipped,
+            "observing changed the skipped-cycle count for cell {}",
+            cell.key()
+        );
+    }
+}
+
+#[test]
+fn event_kernel_skips_cycles_on_every_matrix_cell() {
+    // Not a tautology of the equality test above: these cells go through
+    // the bench Runner (prebuilt memory images, artifact plumbing) and
+    // still must exercise real cycle-skipping — 80-cycle L2 TLB hops and
+    // DRAM round-trips dominate the quick-scale cells.
+    let stats = Runner::new(2, None, false).run_cells(&matrix());
+    for (s, cell) in stats.iter().zip(&matrix()) {
+        assert!(
+            s.kernel_cycles_skipped > 0,
+            "event kernel never skipped on cell {}",
+            cell.key()
+        );
+        assert_eq!(
+            s.kernel_steps + s.kernel_cycles_skipped,
+            s.cycles + 1,
+            "schedule accounting does not tile cell {}",
+            cell.key()
+        );
     }
 }

@@ -707,6 +707,34 @@ impl PwWarpUnit {
     }
 }
 
+impl swgpu_types::Component for PwWarpUnit {
+    /// Immediate work — a thread awaiting the issue port, a valid SoftPWB
+    /// entry with an idle thread to take it, an un-routed `LDPT` or an
+    /// un-drained completion — demands the very next cycle. Otherwise the
+    /// only self-scheduled wakes are the fault watchdog and backoff-retry
+    /// deadlines (a stuck thread leaves `issue_queue` entirely; only its
+    /// watchdog revives it). Threads parked in `mem_wait` are revived by
+    /// the memory side's completion event.
+    fn next_event(&self) -> Option<Cycle> {
+        if !self.issue_queue.is_empty()
+            || (self.pwb.valid_count() > 0 && !self.idle_threads.is_empty())
+            || !self.mem_out.is_empty()
+            || !self.completions.is_empty()
+        {
+            return Some(Cycle::ZERO);
+        }
+        let fs = self.fault.as_ref()?;
+        match (fs.watchdog.next_ready(), fs.retry_wake.next_ready()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        PwWarpUnit::is_idle(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

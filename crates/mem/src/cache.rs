@@ -421,6 +421,27 @@ impl Cache {
     }
 }
 
+impl swgpu_types::Component for Cache {
+    /// The earliest of the hit pipeline and the fill-issue pipeline, or
+    /// "immediately" while completed responses (or fault-dropped ones)
+    /// wait to be drained. MSHR entries whose fill request has already
+    /// been handed to the lower level carry no event of their own — the
+    /// lower level's completion is the event.
+    fn next_event(&self) -> Option<Cycle> {
+        if !self.responses.is_empty() || !self.dropped.is_empty() {
+            return Some(Cycle::ZERO);
+        }
+        match (self.hit_queue.next_ready(), self.fill_queue.next_ready()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        Cache::is_idle(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

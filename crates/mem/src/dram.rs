@@ -171,6 +171,19 @@ impl Dram {
     }
 }
 
+impl swgpu_types::Component for Dram {
+    /// The earliest in-flight completion. Channel occupancy needs no
+    /// event of its own: `channel_free_at` only stamps *future* accesses,
+    /// which are themselves driven by other components' events.
+    fn next_event(&self) -> Option<Cycle> {
+        self.inflight.next_ready()
+    }
+
+    fn is_idle(&self) -> bool {
+        Dram::is_idle(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

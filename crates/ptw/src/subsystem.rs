@@ -807,6 +807,37 @@ impl PtwSubsystem {
     }
 }
 
+impl swgpu_types::Component for PtwSubsystem {
+    /// Immediate work — a startable PWB entry, an un-routed memory
+    /// request or an un-drained completion — demands the very next cycle.
+    /// Otherwise the subsystem sleeps until its earliest timed wake: a
+    /// fixed-latency walk step, a fault watchdog deadline or a delayed
+    /// retry. Walks parked in `mem_wait` need no event of their own; the
+    /// DRAM/L2D completion that revives them is the memory side's event.
+    fn next_event(&self) -> Option<Cycle> {
+        if (!self.pwb.is_empty() && self.active.len() < self.cfg.walkers)
+            || !self.mem_out.is_empty()
+            || !self.completions.is_empty()
+        {
+            return Some(Cycle::ZERO);
+        }
+        let mut next = self.fixed_wake.next_ready();
+        if let Some(f) = &self.fault {
+            for cand in [f.watchdog.next_ready(), f.retry_wake.next_ready()] {
+                next = match (next, cand) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        next
+    }
+
+    fn is_idle(&self) -> bool {
+        PtwSubsystem::is_idle(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@ use crate::stats::SimStats;
 use softwalker::{
     DistributorPolicy, FaultBuffer, FaultRecord, PwWarpUnit, RequestDistributor, SwWalkRequest,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use swgpu_mem::{AccessOutcome, Cache, Dram, MemReq, PhysMem};
 use swgpu_obs::{
     BusyTracker, CounterId, HistId, ObsReport, Registry, SeriesId, Span, SpanKind, SpanRecorder,
@@ -16,8 +16,8 @@ use swgpu_sm::{InstrSource, Sm, SmConfig};
 use swgpu_tlb::{L2MissOutcome, L2TlbComplex};
 use swgpu_types::WarpId;
 use swgpu_types::{
-    fault::site, Cycle, DelayQueue, FaultInjectionStats, FaultInjector, IdGen, MemReqId, Pfn, SmId,
-    VirtAddr, Vpn,
+    fault::site, Component, Cycle, FaultInjectionStats, FaultInjector, IdGen, MemReqId, Pfn, Port,
+    SmId, VirtAddr, Vpn,
 };
 
 /// Who issued a memory request into the shared L2 data cache.
@@ -186,20 +186,23 @@ pub struct GpuSimulator {
     distributor: RequestDistributor,
     ids: IdGen,
     now: Cycle,
-    // Inter-component queues.
-    to_l2: DelayQueue<(SmId, WarpId, Vpn, Cycle)>,
-    l2_retry: VecDeque<PendingL2>,
-    xlat_ret: DelayQueue<(SmId, Vpn, Option<Pfn>)>,
-    dispatch_q: VecDeque<(Vpn, Cycle)>,
-    sw_to_sm: DelayQueue<(usize, SwWalkRequest)>,
-    fl2t_ret: DelayQueue<(usize, softwalker::SwCompletion)>,
-    pwb_retry: VecDeque<WalkRequest>,
-    l2d_retry: VecDeque<MemReq>,
+    // Inter-component ports. Latency ports carry fixed-delay messages
+    // (L2 TLB hops, translation returns, driver replays); FIFO ports are
+    // plain backlogs (dispatch queue, retry queues). Both feed the event
+    // kernel's drain/wake derivation uniformly via `Component`.
+    to_l2: Port<(SmId, WarpId, Vpn, Cycle)>,
+    l2_retry: Port<PendingL2>,
+    xlat_ret: Port<(SmId, Vpn, Option<Pfn>)>,
+    dispatch_q: Port<(Vpn, Cycle)>,
+    sw_to_sm: Port<(usize, SwWalkRequest)>,
+    fl2t_ret: Port<(usize, softwalker::SwCompletion)>,
+    pwb_retry: Port<WalkRequest>,
+    l2d_retry: Port<MemReq>,
     mem_owner: HashMap<MemReqId, MemOwner>,
     // Fault recovery: escalated translations waiting on the simulated
     // UVM driver, hardware-walk fault records (the PW Warps log into
     // their own per-SM buffers), and the driver-side counters.
-    driver_q: DelayQueue<(Vpn, Cycle)>,
+    driver_q: Port<(Vpn, Cycle)>,
     hw_faults: FaultBuffer,
     fault_counters: FaultInjectionStats,
     // Retry budgets: rejected requests are re-attempted only as capacity
@@ -212,6 +215,40 @@ pub struct GpuSimulator {
     // the hot path beyond a branch per hook.
     obs: Option<Box<ObsState>>,
     stats: SimStats,
+}
+
+/// The single source of truth for what the event kernel drives: every
+/// port, every gated backlog (with its gate condition), and every timed
+/// component. `is_drained` and `next_event_wake` both expand from this
+/// list, so adding a queue or component in one place wires it into both
+/// the drain check and the wake schedule — forgetting it is a compile
+/// error at the use site, not a silent hang.
+///
+/// `dispatch_q` is deliberately an *ungated* port: while it is non-empty
+/// the dense loop consults the distributor (consuming RNG and counting
+/// blocked cycles) every single cycle, so the kernel must too.
+macro_rules! with_kernel_inventory {
+    ($self:ident, $port:ident, $gated:ident, $comp:ident) => {
+        $port!(to_l2);
+        $port!(xlat_ret);
+        $port!(sw_to_sm);
+        $port!(fl2t_ret);
+        $port!(driver_q);
+        $port!(dispatch_q);
+        $gated!(l2_retry, $self.l2_retry_budget > 0);
+        $gated!(l2d_retry, $self.l2d_retry_budget > 0);
+        $gated!(pwb_retry, $self.ptw.pwb_depth() < $self.cfg.ptw.pwb_entries);
+        $comp!($self.ptw);
+        $comp!($self.l2);
+        $comp!($self.l2d);
+        $comp!($self.dram);
+        for sm in &$self.sms {
+            $comp!((*sm));
+        }
+        for pw in &$self.pw_warps {
+            $comp!((*pw));
+        }
+    };
 }
 
 impl std::fmt::Debug for GpuSimulator {
@@ -376,16 +413,16 @@ impl GpuSimulator {
             distributor,
             ids: IdGen::new(),
             now: Cycle::ZERO,
-            to_l2: DelayQueue::new(),
-            l2_retry: VecDeque::new(),
-            xlat_ret: DelayQueue::new(),
-            dispatch_q: VecDeque::new(),
-            sw_to_sm: DelayQueue::new(),
-            fl2t_ret: DelayQueue::new(),
-            pwb_retry: VecDeque::new(),
-            l2d_retry: VecDeque::new(),
+            to_l2: Port::new(),
+            l2_retry: Port::new(),
+            xlat_ret: Port::new(),
+            dispatch_q: Port::new(),
+            sw_to_sm: Port::new(),
+            fl2t_ret: Port::new(),
+            pwb_retry: Port::new(),
+            l2d_retry: Port::new(),
             mem_owner: HashMap::new(),
-            driver_q: DelayQueue::new(),
+            driver_q: Port::new(),
             hw_faults: FaultBuffer::with_capacity(cfg.pw_warp.fault_buffer_entries),
             fault_counters: FaultInjectionStats::default(),
             l2_retry_budget: 0,
@@ -406,9 +443,41 @@ impl GpuSimulator {
         &self.space
     }
 
-    /// Runs to completion (or the cycle cap) and returns the statistics.
+    /// Runs to completion (or the cycle cap) on the event-scheduled
+    /// kernel: between events the clock jumps straight to the next
+    /// pending wake instead of executing empty cycles. Produces
+    /// byte-identical statistics to [`GpuSimulator::run_dense`].
     pub fn run(mut self) -> SimStats {
+        self.run_loop(false);
+        self.finalize()
+    }
+
+    /// Runs to completion executing *every* cycle — the dense reference
+    /// mode the event kernel is validated against. Same statistics as
+    /// [`GpuSimulator::run`] (including the `kernel_*` counters, which
+    /// both modes derive from the event schedule alone), just slower on
+    /// workloads with long quiescent stretches.
+    pub fn run_dense(mut self) -> SimStats {
+        self.run_loop(true);
+        self.finalize()
+    }
+
+    /// The kernel loop shared by both modes. `sim_target` is the next
+    /// cycle the event schedule demands; cycle 0 is always scheduled.
+    /// Dense mode executes every cycle but runs the *same* schedule
+    /// arithmetic, so `kernel_steps` / `kernel_cycles_skipped` agree
+    /// byte-for-byte across modes. Event mode additionally wakes at
+    /// observability sample boundaries (those steps are no-ops for
+    /// simulation state — every component's next event is provably
+    /// later) and bulk-accounts the skipped cycles into the SMs' stall
+    /// taxonomy, which is frozen across a gap.
+    fn run_loop(&mut self, dense: bool) {
+        let mut sim_target = 0u64;
         loop {
+            let scheduled = self.now.value() >= sim_target;
+            if scheduled {
+                self.stats.kernel_steps += 1;
+            }
             self.step();
             if self.is_drained() {
                 break;
@@ -417,26 +486,104 @@ impl GpuSimulator {
                 self.stats.timed_out = true;
                 break;
             }
-            self.now = self.now.next();
+            if scheduled {
+                // Clamping to the cycle cap makes a timeout fire at
+                // exactly `max_cycles` in both modes.
+                let t = self.next_event_wake().min(self.cfg.max_cycles);
+                self.stats.kernel_cycles_skipped += t - self.now.value() - 1;
+                sim_target = t;
+            }
+            let wake = if dense {
+                self.now.value() + 1
+            } else {
+                let mut w = sim_target;
+                if let Some(o) = self.obs.as_deref() {
+                    w = w.min(o.next_sample);
+                }
+                let gap = w.saturating_sub(self.now.value() + 1);
+                if gap > 0 {
+                    for sm in &mut self.sms {
+                        sm.account_quiet_cycles(gap);
+                    }
+                }
+                w
+            };
+            self.now = Cycle::new(wake.max(self.now.value() + 1));
         }
-        self.finalize()
     }
 
+    /// Derives drained-ness and the next wake from one shared inventory
+    /// of every port and component the kernel drives, so the two can
+    /// never fall out of sync with each other (the predecessor of this
+    /// code hand-maintained a 13-clause drain list).
+    ///
+    /// Gated FIFO backlogs (budgeted retries, the bounded hardware PWB)
+    /// contribute a wake only while their gate is open — a closed-gate
+    /// backlog is exactly the case the dense loop no-ops on every cycle,
+    /// and the budget/capacity that re-opens a gate is only ever minted
+    /// by another component's event. They always block draining.
     fn is_drained(&self) -> bool {
-        self.sms.iter().all(Sm::is_done)
-            && self.to_l2.is_empty()
-            && self.l2_retry.is_empty()
-            && self.xlat_ret.is_empty()
-            && self.dispatch_q.is_empty()
-            && self.sw_to_sm.is_empty()
-            && self.fl2t_ret.is_empty()
-            && self.pwb_retry.is_empty()
-            && self.l2d_retry.is_empty()
-            && self.driver_q.is_empty()
-            && self.ptw.is_idle()
-            && self.pw_warps.iter().all(PwWarpUnit::is_idle)
-            && self.l2d.is_idle()
-            && self.dram.is_idle()
+        let mut drained = true;
+        macro_rules! port {
+            ($f:ident) => {
+                drained &= self.$f.is_empty();
+            };
+        }
+        macro_rules! gated {
+            ($f:ident, $open:expr) => {
+                drained &= self.$f.is_empty();
+            };
+        }
+        macro_rules! comp {
+            ($e:expr) => {
+                drained &= Component::is_idle(&$e);
+            };
+        }
+        with_kernel_inventory!(self, port, gated, comp);
+        drained
+    }
+
+    /// The earliest cycle at which any component has pending work,
+    /// clamped to `now + 1` (an event at or before `now` means "the very
+    /// next cycle"). Must only be called on a live (un-drained)
+    /// simulator; a component that holds work without scheduling an
+    /// event is a bug, downgraded in release builds to per-cycle
+    /// stepping so both modes still agree (they then run to the cap
+    /// together).
+    fn next_event_wake(&self) -> u64 {
+        let now = self.now.value();
+        let mut next = u64::MAX;
+        macro_rules! upd {
+            ($e:expr) => {
+                if let Some(c) = $e {
+                    next = next.min(c.value().max(now + 1));
+                }
+            };
+        }
+        macro_rules! port {
+            ($f:ident) => {
+                upd!(Component::next_event(&self.$f));
+            };
+        }
+        macro_rules! gated {
+            ($f:ident, $open:expr) => {
+                if !self.$f.is_empty() && $open {
+                    next = next.min(now + 1);
+                }
+            };
+        }
+        macro_rules! comp {
+            ($e:expr) => {
+                upd!(Component::next_event(&$e));
+            };
+        }
+        with_kernel_inventory!(self, port, gated, comp);
+        debug_assert!(next != u64::MAX, "live simulator with no pending event");
+        if next == u64::MAX {
+            now + 1
+        } else {
+            next
+        }
     }
 
     /// One core cycle.
@@ -484,7 +631,7 @@ impl GpuSimulator {
         // (the escalation came from injected faults), the driver has
         // "repaired" the PTE and replays the walk through the normal
         // machinery; otherwise the fault is real and completes as one.
-        while let Some((vpn, issued_at)) = self.driver_q.pop_ready(now) {
+        while let Some((vpn, issued_at)) = self.driver_q.recv(now) {
             if let Some(o) = self.obs.as_deref_mut() {
                 o.rec
                     .instant(SpanKind::Fault, 0, now.value(), vpn.value(), 0);
@@ -512,19 +659,18 @@ impl GpuSimulator {
         let n = self.l2d_retry_budget.min(self.l2d_retry.len());
         if n > 0 {
             self.l2d_retry_budget -= n;
-            let retries: Vec<MemReq> = self.l2d_retry.drain(..n).collect();
-            for req in retries {
+            for req in self.l2d_retry.take(n) {
                 self.issue_l2d_inner(req, true);
             }
         }
 
         // Translation responses reach the SMs' L1 complexes.
-        while let Some((sm, vpn, pfn)) = self.xlat_ret.pop_ready(now) {
+        while let Some((sm, vpn, pfn)) = self.xlat_ret.recv(now) {
             self.sms[sm.index()].on_translation(now, vpn, pfn);
         }
 
         // FL2T completions arrive back at the L2 TLB.
-        while let Some((sm_idx, c)) = self.fl2t_ret.pop_ready(now) {
+        while let Some((sm_idx, c)) = self.fl2t_ret.recv(now) {
             self.distributor.on_fill(SmId::new(sm_idx as u16));
             let queue = c.dispatched_at.since(c.issued_at) + c.softpwb_wait();
             let access = c.arrived_at.since(c.dispatched_at)
@@ -547,7 +693,7 @@ impl GpuSimulator {
             if c.pfn.is_none() && self.cfg.fault_plan.enabled() {
                 // Faulted walk under an armed plan: hand it to the
                 // driver rather than failing the translation outright.
-                self.driver_q.push(
+                self.driver_q.send(
                     now + self.cfg.fault_plan.driver_latency,
                     (c.vpn, c.issued_at),
                 );
@@ -561,12 +707,11 @@ impl GpuSimulator {
         let n = self.l2_retry_budget.min(self.l2_retry.len());
         if n > 0 {
             self.l2_retry_budget -= n;
-            let pending: Vec<PendingL2> = self.l2_retry.drain(..n).collect();
-            for p in pending {
+            for p in self.l2_retry.take(n) {
                 self.process_l2(p, false);
             }
         }
-        while let Some((sm, warp, vpn, first_seen)) = self.to_l2.pop_ready(now) {
+        while let Some((sm, warp, vpn, first_seen)) = self.to_l2.recv(now) {
             self.process_l2(
                 PendingL2 {
                     sm,
@@ -592,7 +737,7 @@ impl GpuSimulator {
         self.dispatch_software_walks();
 
         // Dispatched requests arrive at SoftPWBs.
-        while let Some((sm_idx, req)) = self.sw_to_sm.pop_ready(now) {
+        while let Some((sm_idx, req)) = self.sw_to_sm.recv(now) {
             let accepted = self.pw_warps[sm_idx].accept(now, req);
             assert!(accepted, "distributor oversubscribed a SoftPWB");
         }
@@ -635,7 +780,7 @@ impl GpuSimulator {
                             level: 0,
                             at: now,
                         });
-                        self.driver_q.push(
+                        self.driver_q.send(
                             now + self.cfg.fault_plan.driver_latency,
                             (r.vpn, r.issued_at),
                         );
@@ -673,7 +818,7 @@ impl GpuSimulator {
                 self.issue_l2d(req);
             }
             while let Some(c) = self.pw_warps[i].pop_completion() {
-                self.fl2t_ret.push(now + self.cfg.l2_tlb_latency, (i, c));
+                self.fl2t_ret.send(now + self.cfg.l2_tlb_latency, (i, c));
             }
             if let Some(o) = self.obs.as_deref_mut() {
                 let events = self.pw_warps[i].drain_obs_events();
@@ -699,7 +844,7 @@ impl GpuSimulator {
             let sm = &mut self.sms[i];
             sm.tick(now, self.source.as_mut(), &mut self.ids, !pw_issued[i]);
             while let Some((vpn, warp)) = sm.pop_l2_tlb_request() {
-                self.to_l2.push(
+                self.to_l2.send(
                     now + self.cfg.l2_tlb_latency,
                     (SmId::new(i as u16), warp, vpn, now),
                 );
@@ -789,7 +934,7 @@ impl GpuSimulator {
                     // backlog cannot starve once all walks have drained.
                     self.l2_retry_budget += 1;
                 }
-                self.xlat_ret.push(
+                self.xlat_ret.send(
                     self.now + self.cfg.xlat_return_latency,
                     (p.sm, p.vpn, Some(pfn)),
                 );
@@ -871,7 +1016,7 @@ impl GpuSimulator {
             let start = self.pwc.lookup(vpn);
             let req = SwWalkRequest::new(vpn, issued_at, self.now, start.level, start.node_base);
             self.sw_to_sm
-                .push(self.now + self.cfg.l2_tlb_latency, (sm.index(), req));
+                .send(self.now + self.cfg.l2_tlb_latency, (sm.index(), req));
         }
     }
 
@@ -892,7 +1037,7 @@ impl GpuSimulator {
         };
         for sm in waiters {
             self.xlat_ret
-                .push(self.now + self.cfg.xlat_return_latency, (sm, vpn, pfn));
+                .send(self.now + self.cfg.xlat_return_latency, (sm, vpn, pfn));
         }
     }
 

@@ -69,6 +69,14 @@ pub struct SimStats {
     pub cycles: u64,
     /// Whether the run hit the safety cycle limit instead of finishing.
     pub timed_out: bool,
+    /// Cycles the event-scheduled kernel actually executed (`step` calls).
+    /// Identical between the event kernel and the dense reference mode:
+    /// both count only cycles the event schedule demanded.
+    pub kernel_steps: u64,
+    /// Cycles the event-scheduled kernel jumped over because no component
+    /// had a pending event. `kernel_steps + kernel_cycles_skipped ==
+    /// cycles + 1` on drained runs (cycle 0 is always executed).
+    pub kernel_cycles_skipped: u64,
     /// Warp instructions issued across all SMs.
     pub instructions: u64,
     /// Memory (load) instructions issued.
@@ -394,6 +402,8 @@ impl SimStats {
             self.in_tlb.dedicated_rejections as f64,
         );
         num("in_tlb_total_failures", self.in_tlb.total_failures as f64);
+        num("kernel_steps", self.kernel_steps as f64);
+        num("kernel_cycles_skipped", self.kernel_cycles_skipped as f64);
         // The fault block is emitted only when fault injection actually
         // happened: a zero-rate run stays byte-identical to artifacts
         // written before the fault layer existed.
@@ -537,6 +547,8 @@ impl SimStats {
         s.in_tlb.in_tlb_merges = int("in_tlb_merges");
         s.in_tlb.dedicated_rejections = int("in_tlb_dedicated_rejections");
         s.in_tlb.total_failures = int("in_tlb_total_failures");
+        s.kernel_steps = int("kernel_steps");
+        s.kernel_cycles_skipped = int("kernel_cycles_skipped");
         // Absent fault keys (artifacts from runs without injection, or
         // written before the fault layer existed) parse as zero.
         s.fault.injected_pte_corruptions = int("fault_injected_pte_corruptions");

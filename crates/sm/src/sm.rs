@@ -513,6 +513,62 @@ impl Sm {
     pub fn is_stalled(&self) -> bool {
         self.ready_count == 0 && self.finished_count < self.warps.len()
     }
+
+    /// Accounts `n` cycles the event kernel skipped over without ticking
+    /// this SM. During such a gap the SM provably cannot issue
+    /// (`ready_count == 0`, else it would have demanded a wake) and its
+    /// warp census is frozen (state changes only at events), so the dense
+    /// loop would have charged every one of those cycles to exactly the
+    /// class [`Sm::issue`] picks from the same census — including
+    /// `idle_cycles` on fully-retired SMs, which dense keeps ticking.
+    pub fn account_quiet_cycles(&mut self, n: u64) {
+        debug_assert_eq!(self.ready_count, 0, "skipped over an issueable SM");
+        if self.mem_count > 0 {
+            self.stats.mem_stall_cycles += n;
+        } else if self.compute_count > 0 {
+            self.stats.scoreboard_stall_cycles += n;
+        } else {
+            self.stats.idle_cycles += n;
+        }
+    }
+}
+
+impl swgpu_types::Component for Sm {
+    /// Immediate work — an issueable warp, a budgeted retry, or an
+    /// un-drained outbound request — demands the very next cycle (a ready
+    /// warp also covers retirement scans: warps retire on their first
+    /// issue attempt). Otherwise the SM sleeps until its earliest timed
+    /// wake: a compute completion, a serialized TLB lookup or LSU data
+    /// access becoming ready, or L1D hit/fill timing. Warps parked on the
+    /// L2 TLB or L2D (`l1_mshr` / `mem_owner`) are revived by those
+    /// components' events.
+    fn next_event(&self) -> Option<Cycle> {
+        if self.ready_count > 0
+            || (!self.tlb_retry_q.is_empty() && self.tlb_retry_budget > 0)
+            || (!self.data_retry_q.is_empty() && self.data_retry_budget > 0)
+            || !self.l2_tlb_out.is_empty()
+            || !self.mem_out.is_empty()
+        {
+            return Some(Cycle::ZERO);
+        }
+        let mut next: Option<Cycle> = None;
+        for cand in [
+            self.compute_wake_q.next_ready(),
+            self.tlb_lookup_q.next_ready(),
+            self.data_issue_q.next_ready(),
+            swgpu_types::Component::next_event(&self.l1d),
+        ] {
+            next = match (next, cand) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        next
+    }
+
+    fn is_idle(&self) -> bool {
+        self.is_done()
+    }
 }
 
 #[cfg(test)]

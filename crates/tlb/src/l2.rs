@@ -234,6 +234,23 @@ impl<M> L2TlbComplex<M> {
     }
 }
 
+impl<M> swgpu_types::Component for L2TlbComplex<M> {
+    /// The complex is combinational — every state change happens inside a
+    /// caller-driven `access`/`complete_walk`/`fail_walk`, so it never
+    /// schedules an event of its own. Each in-flight walk it tracks is
+    /// owned by a live walker (or a queued request) elsewhere, whose
+    /// events drive completion; if that ever stops being true, the walk
+    /// leaked and the kernel surfaces it as a visible timeout instead of
+    /// silently dropping the waiters.
+    fn next_event(&self) -> Option<swgpu_types::Cycle> {
+        None
+    }
+
+    fn is_idle(&self) -> bool {
+        self.walks_in_flight() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,40 @@
+//! The [`Component`] trait: the contract every timed simulation unit
+//! offers the event-scheduled kernel.
+//!
+//! The top-level simulator no longer advances time one cycle at a time.
+//! Instead it asks every component (and every [`crate::Port`]) for the
+//! earliest cycle at which it could make progress, jumps `now` to the
+//! minimum, and executes a normal step there. For that to be sound each
+//! component must uphold two guarantees:
+//!
+//! * **No missed events.** If ticking the component at some future cycle
+//!   `t` would change any state (including statistics), then
+//!   [`Component::next_event`] must return `Some(e)` with `e <= t`.
+//!   Returning an event *earlier* than necessary is safe — the kernel
+//!   executes a step that turns out to be a no-op, exactly like the dense
+//!   loop always did — but returning one *late* silently diverges the
+//!   simulation, and returning `None` while work is pending hangs it.
+//! * **Quiescent ticks are no-ops.** Ticking the component on a cycle
+//!   with no pending event must not change any simulation state, so that
+//!   skipping such cycles is unobservable.
+//!
+//! A returned cycle at or before the caller's `now` means "can progress
+//! on the very next cycle"; the kernel clamps every event to `now + 1`.
+
+use crate::Cycle;
+
+/// A simulation unit with its own notion of pending work.
+pub trait Component {
+    /// The earliest cycle at which this component can make progress, or
+    /// `None` when it has nothing in flight. Values at or before the
+    /// caller's current cycle mean "immediately" (the caller clamps to
+    /// `now + 1`). Being conservatively early is safe; being late is a
+    /// simulation-divergence bug, and `None` with pending work is a hang.
+    fn next_event(&self) -> Option<Cycle>;
+
+    /// Whether the component holds no in-flight work at all. The kernel
+    /// derives end-of-simulation from "every port empty and every
+    /// component idle", so under-reporting here hangs the run and
+    /// over-reporting truncates it.
+    fn is_idle(&self) -> bool;
+}

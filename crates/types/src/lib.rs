@@ -22,15 +22,18 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod component;
 mod cycle;
 pub mod fault;
 mod ids;
 pub mod obs;
 mod page;
+mod port;
 mod pte;
 mod queue;
 
 pub use addr::{PhysAddr, VirtAddr};
+pub use component::Component;
 pub use cycle::Cycle;
 pub use fault::{FaultInjectionStats, FaultInjector, FaultPlan};
 pub use ids::{
@@ -38,6 +41,7 @@ pub use ids::{
 };
 pub use obs::PteReadEvent;
 pub use page::{PageSize, Pfn, Vpn};
+pub use port::Port;
 pub use pte::Pte;
 pub use queue::DelayQueue;
 

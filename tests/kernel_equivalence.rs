@@ -1,0 +1,226 @@
+//! Event-kernel ⇔ dense-loop equivalence.
+//!
+//! The simulator's event-scheduled kernel ([`GpuSimulator::run`]) jumps
+//! the clock across quiescent stretches; the dense reference mode
+//! ([`GpuSimulator::run_dense`]) executes every cycle. The two must
+//! produce **byte-identical** statistics JSON on every benchmark × mode —
+//! any divergence means a component advertised its next event too late
+//! (missed work) or mutated state on a cycle the schedule skipped.
+//!
+//! Two layers:
+//! * a fixed sweep over all Table 4 benchmarks × all translation modes;
+//! * a property test over random (workload, mode, scale, fault plan)
+//!   cells, including armed fault injection — the watchdog / backoff /
+//!   driver-replay machinery is the hardest thing to schedule correctly.
+
+use proptest::prelude::*;
+use softwalker_repro::{
+    by_abbr, table4, FaultPlan, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams,
+};
+
+const ALL_MODES: [TranslationMode; 7] = [
+    TranslationMode::HardwarePtw,
+    TranslationMode::HashedPtw,
+    TranslationMode::IdealPtw,
+    TranslationMode::SoftWalker { in_tlb_mshr: true },
+    TranslationMode::SoftWalker { in_tlb_mshr: false },
+    TranslationMode::Hybrid { in_tlb_mshr: true },
+    TranslationMode::Hybrid { in_tlb_mshr: false },
+];
+
+struct Cell {
+    abbr: &'static str,
+    mode: TranslationMode,
+    sms: usize,
+    warps: usize,
+    instrs: u32,
+    footprint_percent: u64,
+    plan: FaultPlan,
+}
+
+fn build(cell: &Cell) -> GpuSimulator {
+    let mut cfg = GpuConfig::quick_test();
+    cfg.sms = cell.sms;
+    cfg.max_warps = cell.warps;
+    cfg.mode = cell.mode;
+    cfg.fault_plan = cell.plan.clone();
+    let spec = by_abbr(cell.abbr).expect("known benchmark");
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: cell.instrs,
+        footprint_percent: cell.footprint_percent,
+        page_size: cfg.page_size,
+    });
+    GpuSimulator::new(cfg, Box::new(wl))
+}
+
+/// Runs the cell on both kernels and checks byte equality plus the
+/// schedule-accounting invariant. Returns the event-kernel stats.
+fn assert_equivalent(cell: &Cell) -> SimStats {
+    let event = build(cell).run();
+    let dense = build(cell).run_dense();
+    assert_eq!(
+        event.to_json(),
+        dense.to_json(),
+        "{} / {:?}: event kernel diverged from dense reference",
+        cell.abbr,
+        cell.mode
+    );
+    assert!(
+        !event.timed_out,
+        "{} / {:?}: equivalence cell must drain",
+        cell.abbr, cell.mode
+    );
+    // Every cycle is either executed or skipped; cycle 0 is always
+    // executed, so the two counters tile [0, cycles] exactly.
+    assert_eq!(
+        event.kernel_steps + event.kernel_cycles_skipped,
+        event.cycles + 1,
+        "{} / {:?}: schedule accounting does not tile the run",
+        cell.abbr,
+        cell.mode
+    );
+    event
+}
+
+#[test]
+fn every_benchmark_and_mode_is_byte_identical() {
+    let mut total_skipped = 0u64;
+    for spec in table4() {
+        for mode in ALL_MODES {
+            let s = assert_equivalent(&Cell {
+                abbr: spec.abbr,
+                mode,
+                sms: 2,
+                warps: 4,
+                instrs: 2,
+                footprint_percent: 10,
+                plan: FaultPlan::default(),
+            });
+            total_skipped += s.kernel_cycles_skipped;
+        }
+    }
+    // The sweep as a whole must actually exercise cycle-skipping: the
+    // 80-cycle L2 TLB hops and 160-cycle DRAM waits leave wide gaps.
+    assert!(
+        total_skipped > 0,
+        "event kernel never skipped a cycle across the whole sweep"
+    );
+}
+
+#[test]
+fn fault_recovery_cells_are_byte_identical() {
+    // Armed watchdogs, backoff retries and driver replays schedule the
+    // sparsest wakes in the system; sweep them on every walker kind.
+    let plan = FaultPlan {
+        seed: 0xe7e7,
+        pte_corrupt_rate: 0.05,
+        mem_drop_rate: 0.05,
+        mem_delay_rate: 0.05,
+        stuck_thread_rate: 0.02,
+        ..FaultPlan::default()
+    };
+    for mode in [
+        TranslationMode::HardwarePtw,
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        TranslationMode::Hybrid { in_tlb_mshr: true },
+    ] {
+        let s = assert_equivalent(&Cell {
+            abbr: "gups",
+            mode,
+            sms: 4,
+            warps: 8,
+            instrs: 3,
+            footprint_percent: 20,
+            plan: plan.clone(),
+        });
+        assert!(
+            s.fault.injected_total() > 0,
+            "{mode:?}: storm cell must actually inject faults"
+        );
+    }
+}
+
+#[test]
+fn observability_cells_are_byte_identical() {
+    // Obs-on runs wake at sample boundaries between events; those extra
+    // steps must stay no-ops for simulation state.
+    for mode in [
+        TranslationMode::HardwarePtw,
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+    ] {
+        let make = || {
+            let mut cfg = GpuConfig::quick_test();
+            cfg.mode = mode;
+            cfg.obs = swgpu_obs::ObsConfig {
+                sample_interval: 64,
+                ..swgpu_obs::ObsConfig::enabled()
+            };
+            let spec = by_abbr("gups").expect("known benchmark");
+            let wl = spec.build(WorkloadParams {
+                sms: cfg.sms,
+                warps_per_sm: cfg.max_warps,
+                mem_instrs_per_warp: 3,
+                footprint_percent: 20,
+                page_size: cfg.page_size,
+            });
+            GpuSimulator::new(cfg, Box::new(wl))
+        };
+        let event = make().run();
+        let dense = make().run_dense();
+        assert_eq!(
+            event.to_json(),
+            dense.to_json(),
+            "{mode:?}: obs-armed event kernel diverged"
+        );
+        let occ = |s: &SimStats| {
+            s.obs
+                .as_deref()
+                .expect("obs armed")
+                .time_series("softpwb_occupancy")
+                .expect("series")
+                .total_pushed()
+        };
+        assert_eq!(
+            occ(&event),
+            occ(&dense),
+            "{mode:?}: gap-aware sampling changed the sample count"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn random_cells_are_byte_identical(
+        bench in prop::sample::select(vec!["gups", "bfs", "spmv", "gemm", "2dc", "xsb"]),
+        mode_idx in 0usize..ALL_MODES.len(),
+        instrs in 2u32..4,
+        footprint_percent in prop::sample::select(vec![10u64, 20, 50]),
+        faulty in any::<bool>(),
+        seed in 1u64..1_000_000,
+    ) {
+        let plan = if faulty {
+            FaultPlan {
+                seed,
+                pte_corrupt_rate: 0.03,
+                mem_drop_rate: 0.03,
+                mem_delay_rate: 0.03,
+                stuck_thread_rate: 0.01,
+                ..FaultPlan::default()
+            }
+        } else {
+            FaultPlan::default()
+        };
+        assert_equivalent(&Cell {
+            abbr: bench,
+            mode: ALL_MODES[mode_idx],
+            sms: 2,
+            warps: 6,
+            instrs,
+            footprint_percent,
+            plan,
+        });
+    }
+}
