@@ -28,10 +28,18 @@ echo "==> event-kernel smoke (dense equivalence + skipped-cycle floor)"
 # fails the floor).
 cargo run --release -q -p swgpu-bench --bin kernel_smoke
 
+echo "==> demand-paging smoke (release)"
+# Demand-paged cells on every walker kind: fault conservation
+# (major_faults == major_replays, software fills on PW Warps), bounded
+# eviction under a resident-page budget, at least one 64K coalesce on
+# the sequential-touch recipe, and a prebuilt-mode rerun that simulates
+# nothing (mm stays off the cache path).
+cargo run --release -q -p swgpu-bench --bin mm_smoke
+
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the
-# trace-capped Figure 9 cells, whose walk traces ride in the schema-v4
+# trace-capped Figure 9 cells, whose walk traces ride in the schema-v5
 # artifacts.
 SWGPU_RUN_CACHE="target/ci-run-cache-$$" ; export SWGPU_RUN_CACHE
 rm -rf "$SWGPU_RUN_CACHE"

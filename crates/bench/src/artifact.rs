@@ -6,12 +6,12 @@
 //! cache — running `fig16` then `fig18` re-simulates nothing — and as a
 //! machine-readable artifact for external plotting/analysis tooling.
 //!
-//! Schema (version 4, flat except for the nested stats object and the
+//! Schema (version 5, flat except for the nested stats object and the
 //! trailing walk-trace / observability payloads):
 //!
 //! ```json
 //! {
-//!   "schema": 4,
+//!   "schema": 5,
 //!   "key": "bfs-fp100-a1b2c3d4e5f60718",
 //!   "workload": "bfs-fp100",
 //!   "config": "a1b2c3d4e5f60718",
@@ -34,10 +34,12 @@
 //! to schema v2 modulo the version digit. Unknown top-level keys are
 //! ignored on read so the schema can grow.
 //!
-//! Migration: artifacts with any other schema version (v3 from before the
-//! event-scheduled kernel's `kernel_steps` / `kernel_cycles_skipped`
-//! stats counters, v2 from before the observability layer, v1 from
-//! before persisted traces) probe as [`LoadOutcome::Stale`] — the runner
+//! Migration: artifacts with any other schema version (v4 from before
+//! the demand-paged memory manager's `mm_*` / silent-corruption stats
+//! keys, v3 from before the event-scheduled kernel's `kernel_steps` /
+//! `kernel_cycles_skipped` stats counters, v2 from before the
+//! observability layer, v1 from before persisted traces) probe as
+//! [`LoadOutcome::Stale`] — the runner
 //! silently re-simulates and overwrites them; they are *not* quarantined
 //! like corrupt files.
 
@@ -48,7 +50,7 @@ use swgpu_sim::{ObsReport, SimStats, WalkTrace};
 
 /// Current artifact schema version. Readers report other versions as
 /// stale (the runner then just re-simulates and overwrites).
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Upper bound on persisted walk-trace records. Runs configured with a
 /// larger `walk_trace_cap` write their artifact *without* the payload, so
@@ -90,7 +92,7 @@ impl RunArtifact {
         self.stats.obs.is_some()
     }
 
-    /// Serializes the artifact (schema version 4). The walk-trace and
+    /// Serializes the artifact (schema version 5). The walk-trace and
     /// observability payloads go last so the flat scalar fields and the
     /// flat stats object stay parseable by the simple extractors below.
     pub fn to_json(&self) -> String {
@@ -445,12 +447,13 @@ mod tests {
     fn obs_off_artifact_matches_v2_layout() {
         // The acceptance bar for the schema bumps: an obs-off artifact is
         // byte-identical to what schema v2 wrote, modulo the version
-        // digit (v4 added two stats keys inside the nested stats object,
+        // digit (v4 and v5 added stats keys inside the nested stats
+        // object — v5's only for demand-paged / silent-corruption runs —
         // not at the artifact layer). Anything else would invalidate
         // every cached cell.
         let json = sample().to_json();
         assert!(!json.contains("\"obs\""));
-        assert!(json.starts_with("{\"schema\":4,\"key\":"));
+        assert!(json.starts_with("{\"schema\":5,\"key\":"));
     }
 
     #[test]
@@ -466,7 +469,7 @@ mod tests {
     fn schema_mismatch_is_rejected() {
         let bad = sample()
             .to_json()
-            .replacen("\"schema\":4", "\"schema\":3", 1);
+            .replacen("\"schema\":5", "\"schema\":4", 1);
         assert!(RunArtifact::from_json(&bad).is_err());
     }
 
@@ -546,13 +549,14 @@ mod tests {
         let dir = test_dir("stale");
         std::fs::create_dir_all(&dir).unwrap();
         let a = sample();
-        // Every older generation must migrate the same way: a v3
-        // artifact (pre-kernel-counters), a v2 artifact
-        // (pre-observability) and a v1 artifact (pre-trace).
-        for old in [3u32, 2, 1] {
+        // Every older generation must migrate the same way: a v4
+        // artifact (pre-demand-paging), a v3 artifact
+        // (pre-kernel-counters), a v2 artifact (pre-observability) and a
+        // v1 artifact (pre-trace).
+        for old in [4u32, 3, 2, 1] {
             let stale = a
                 .to_json()
-                .replacen("\"schema\":4", &format!("\"schema\":{old}"), 1);
+                .replacen("\"schema\":5", &format!("\"schema\":{old}"), 1);
             std::fs::write(RunArtifact::path_in(&dir, &a.key), stale).unwrap();
             assert!(matches!(
                 RunArtifact::probe(&dir, &a.key),

@@ -14,6 +14,7 @@ fn plan(seed: u64) -> FaultPlan {
     FaultPlan {
         seed,
         pte_corrupt_rate: 0.05,
+        pte_silent_corrupt_rate: 0.05,
         mem_drop_rate: 0.05,
         mem_delay_rate: 0.05,
         stuck_thread_rate: 0.02,
@@ -49,6 +50,16 @@ fn check(label: &str, stats: &SimStats) -> Result<(), String> {
             f.fault_escalations, f.fault_replays
         ));
     }
+    if f.injected_silent_corruptions == 0 {
+        return Err(format!("{label}: silent-corruption storm injected nothing"));
+    }
+    if f.detected_silent_corruptions != f.injected_silent_corruptions {
+        return Err(format!(
+            "{label}: silent corruption slipped past the parity check — \
+             {} injected but only {} detected (a wrong translation was consumed)",
+            f.injected_silent_corruptions, f.detected_silent_corruptions
+        ));
+    }
     Ok(())
 }
 
@@ -77,10 +88,12 @@ fn main() {
                 let f = &stats.fault;
                 println!(
                     "[fault-smoke] {label}: ok — {} injected ({} recovered / {} escalated), \
-                     {} watchdog timeouts, {} retries, {} replays",
+                     {} silent corruptions all detected, {} watchdog timeouts, {} retries, \
+                     {} replays",
                     f.injected_total(),
                     f.recovered_injections,
                     f.escalated_injections,
+                    f.detected_silent_corruptions,
                     f.watchdog_timeouts,
                     f.walk_retries,
                     f.fault_replays

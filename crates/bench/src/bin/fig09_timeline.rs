@@ -40,6 +40,14 @@ fn export_trace(dir: &Path, label: &str, stats: &swgpu_sim::SimStats) {
         eprintln!("warning: no obs report for {label}; trace skipped");
         return;
     };
+    if report.spans_dropped > 0 {
+        eprintln!(
+            "warning: span recorder for {label} overflowed ({} spans dropped); \
+             the exported trace is truncated — raise ObsConfig::max_spans to \
+             capture the full run",
+            report.spans_dropped
+        );
+    }
     let trace = swgpu_obs::to_chrome_trace(report);
     swgpu_obs::validate_json(&trace)
         .unwrap_or_else(|e| panic!("exported trace for {label} is not valid JSON: {e}"));

@@ -1,0 +1,206 @@
+//! Demand-paging smoke test: exercises the simulated driver/OS memory
+//! manager end to end and exits nonzero (for CI) on any violation.
+//!
+//! Checks, in order:
+//!
+//! 1. **Fault conservation** — a demand-paged run of an irregular
+//!    benchmark on each walker configuration first-touch-faults every
+//!    page exactly once and replays every serviced fault
+//!    (`major_faults == major_replays`), with nothing leaking to the UVM
+//!    fault path and software modes executing the fills on PW Warps.
+//! 2. **Oversubscription** — the same run under a tight resident-page
+//!    budget evicts, stays under the budget, and still conserves faults
+//!    (an evicted-then-retouched page is simply a fresh major fault).
+//! 3. **Coalescing** — a single-SM streaming workload over 4 KB base
+//!    pages touches pages in ascending order, so the manager's frame
+//!    allocator produces a physically contiguous run and must coalesce
+//!    at least one 64 KB group.
+//! 4. **Prebuilt-mode caching** — with the manager disabled (the
+//!    default), a rerun of the same cells through a cold runner serves
+//!    everything from the disk cache and simulates nothing: the mm
+//!    subsystem must not perturb prebuilt-mode fingerprints.
+//!
+//! Usage: `mm_smoke` (no flags; deterministic).
+
+use swgpu_bench::{Cell, Runner, Scale, SystemConfig};
+use swgpu_sim::{GpuConfig, GpuSimulator, SimStats};
+use swgpu_types::{MmConfig, PageSize};
+use swgpu_workloads::{by_abbr, WorkloadParams};
+
+/// The walker configurations the conservation checks sweep.
+const SYSTEMS: [SystemConfig; 3] = [
+    SystemConfig::Baseline,
+    SystemConfig::SoftWalker,
+    SystemConfig::Hybrid,
+];
+
+/// Shared conservation assertions for any demand-paged run.
+fn check_conservation(label: &str, stats: &SimStats) -> Result<(), String> {
+    if stats.timed_out {
+        return Err(format!("{label}: demand-paged run timed out"));
+    }
+    let m = &stats.mm;
+    if m.major_faults == 0 {
+        return Err(format!("{label}: no page was demand-faulted"));
+    }
+    if m.major_faults != m.major_replays {
+        return Err(format!(
+            "{label}: fault conservation violated — {} major faults but {} replays",
+            m.major_faults, m.major_replays
+        ));
+    }
+    if stats.faults != 0 {
+        return Err(format!(
+            "{label}: {} major faults leaked to the UVM fault path",
+            stats.faults
+        ));
+    }
+    Ok(())
+}
+
+/// Check 1: first-touch faulting conserves across walker configurations.
+fn check_demand_paging() -> Result<(), String> {
+    let spec = by_abbr("gups").expect("known benchmark");
+    for system in SYSTEMS {
+        let label = format!("{} demand-paged", system.label());
+        let mut cfg = system.build(Scale::Quick);
+        cfg.mm = MmConfig::demand_paged();
+        let stats = Cell::bench_scaled(&spec, cfg.clone(), 20).simulate();
+        check_conservation(&label, &stats)?;
+        let software = cfg.mode.uses_software_walkers();
+        if software && stats.mm.sw_fill_replays == 0 {
+            return Err(format!(
+                "{label}: software mode replayed no fill on a PW Warp"
+            ));
+        }
+        println!(
+            "[mm-smoke] {label}: ok — {} faults, {} replays ({} on PW Warps), peak {} resident",
+            stats.mm.major_faults,
+            stats.mm.major_replays,
+            stats.mm.sw_fill_replays,
+            stats.mm.resident_peak
+        );
+    }
+    Ok(())
+}
+
+/// Check 2: a tight budget forces eviction without breaking conservation.
+fn check_oversubscription() -> Result<(), String> {
+    let budget = 64;
+    let spec = by_abbr("gups").expect("known benchmark");
+    let mut cfg = SystemConfig::SoftWalker.build(Scale::Quick);
+    cfg.mm = MmConfig {
+        resident_page_budget: budget,
+        ..MmConfig::demand_paged()
+    };
+    let stats = Cell::bench_scaled(&spec, cfg, 20).simulate();
+    check_conservation("oversubscribed", &stats)?;
+    let m = &stats.mm;
+    if m.evictions == 0 {
+        return Err(format!(
+            "oversubscribed: budget {budget} forced no eviction ({} faults)",
+            m.major_faults
+        ));
+    }
+    if m.resident_peak > budget {
+        return Err(format!(
+            "oversubscribed: resident peak {} exceeds the budget {budget}",
+            m.resident_peak
+        ));
+    }
+    println!(
+        "[mm-smoke] oversubscribed: ok — {} faults, {} evictions, peak {} <= budget {budget}",
+        m.major_faults, m.evictions, m.resident_peak
+    );
+    Ok(())
+}
+
+/// Check 3: an in-order single-SM streaming workload over 4 KB base
+/// pages yields at least one transparent 64 KB coalesce.
+fn check_coalescing() -> Result<(), String> {
+    let spec = by_abbr("2dc").expect("known benchmark");
+    let cfg = GpuConfig {
+        sms: 1,
+        max_warps: 8,
+        page_size: PageSize::Size4K,
+        scrambled_frames: false,
+        mm: MmConfig::demand_paged(),
+        ..GpuConfig::default()
+    };
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: 96,
+        footprint_percent: 100,
+        page_size: cfg.page_size,
+    });
+    let footprint = wl.footprint_bytes();
+    let stats = GpuSimulator::new_with_footprint(cfg, Box::new(wl), footprint).run();
+    check_conservation("coalescing", &stats)?;
+    let m = &stats.mm;
+    if m.coalesces_64k == 0 {
+        return Err(format!(
+            "coalescing: sequential 4K touches produced no 64K group \
+             ({} faults, {} splinters)",
+            m.major_faults, m.splinters
+        ));
+    }
+    println!(
+        "[mm-smoke] coalescing: ok — {} faults coalesced into {} x 64K + {} x 2M groups",
+        m.major_faults, m.coalesces_64k, m.coalesces_2m
+    );
+    Ok(())
+}
+
+/// Check 4: prebuilt-mode (mm disabled) cells are untouched — a rerun
+/// through a cold runner is pure disk hits, zero simulations.
+fn check_prebuilt_rerun() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("swgpu-mm-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("prebuilt-rerun: mkdir failed: {e}"))?;
+    let spec = by_abbr("gemm").expect("known benchmark");
+    let cells: Vec<Cell> = SYSTEMS
+        .iter()
+        .map(|s| Cell::bench(&spec, s.build(Scale::Quick)))
+        .collect();
+    let warm = Runner::new(2, Some(dir.clone()), false);
+    warm.run_cells(&cells);
+    let rerun = Runner::new(2, Some(dir.clone()), false);
+    rerun.run_cells(&cells);
+    let c = rerun.counters();
+    std::fs::remove_dir_all(&dir).ok();
+    if c.simulated != 0 || c.disk_hits != cells.len() as u64 {
+        return Err(format!(
+            "prebuilt-rerun: expected {} pure disk hits, got {} simulated / {} hits",
+            cells.len(),
+            c.simulated,
+            c.disk_hits
+        ));
+    }
+    println!(
+        "[mm-smoke] prebuilt rerun: ok — {} cells served from cache, 0 re-simulated",
+        c.disk_hits
+    );
+    Ok(())
+}
+
+type Check = fn() -> Result<(), String>;
+
+fn main() {
+    let checks: [(&str, Check); 4] = [
+        ("demand paging", check_demand_paging),
+        ("oversubscription", check_oversubscription),
+        ("coalescing", check_coalescing),
+        ("prebuilt rerun", check_prebuilt_rerun),
+    ];
+    let mut failures = 0;
+    for (name, check) in checks {
+        if let Err(why) = check() {
+            eprintln!("[mm-smoke] FAIL ({name}) — {why}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("[mm-smoke] all demand-paging checks passed");
+}

@@ -19,13 +19,17 @@
 //!   obs-enabled cells, so trace- and obs-requesting cells are cacheable
 //!   too) and reported with a progress line; batch summaries include the
 //!   cache-hit split, and every invocation writes a `manifest.json` next
-//!   to the artifacts recording per-cell outcome, wall time and pool
-//!   utilization. `--trace-out <dir>` asks a harness to export Perfetto
-//!   traces of its obs-enabled cells into `<dir>`.
+//!   to the artifacts recording per-cell outcome, wall time, pool
+//!   utilization and the cell's `spans_dropped` count (nonzero when the
+//!   span recorder overflowed, i.e. the cell's trace is truncated).
+//!   `--trace-out <dir>` asks a harness to export Perfetto traces of its
+//!   obs-enabled cells into `<dir>`; exports built from a truncated
+//!   recorder warn on stderr.
 //! * **Shared page-table prebuilds** — cells whose workloads share a
 //!   footprint reuse one deterministic pre-built memory image
 //!   ([`swgpu_sim::PrebuiltMemory`]) instead of re-mapping every page per
-//!   cell.
+//!   cell. Demand-paged cells (`cfg.mm.enabled`) bypass the store: their
+//!   page table starts empty and fills on first touch.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -508,8 +512,11 @@ struct ManifestState {
     busy_ms: u128,
     /// Available pool capacity: Σ workers × batch wall milliseconds.
     capacity_ms: u128,
-    /// Per-cell records in completion order.
-    cells: Vec<(String, &'static str, u128)>,
+    /// Per-cell records in completion order: key, outcome label, wall
+    /// milliseconds, and the cell's observability span-drop count (0 for
+    /// obs-off cells; nonzero means the recorder hit its capacity and the
+    /// cell's span set — hence any Perfetto export of it — is truncated).
+    cells: Vec<(String, &'static str, u128, u64)>,
 }
 
 /// The shared experiment runner: a worker pool over a two-level
@@ -656,7 +663,14 @@ impl Runner {
     }
 
     /// Simulates a cell through the shared page-table prebuild store.
+    /// Demand-paged cells (`cfg.mm.enabled`) bypass the store entirely:
+    /// they start from an *empty* page table and populate it on first
+    /// touch, so a prebuilt image would be built only to be thrown away
+    /// (and would pollute the store with images no other cell reuses).
     fn simulate_cell(&self, cell: &Cell) -> SimStats {
+        if cell.cfg.mm.enabled {
+            return cell.simulate();
+        }
         let (source, footprint) = cell.build_source();
         let prebuilt = self.prebuilt(cell.cfg.page_size, cell.cfg.scrambled_frames, footprint);
         GpuSimulator::new_with_prebuilt(cell.cfg.clone(), source, prebuilt).run()
@@ -783,9 +797,14 @@ impl Runner {
                     );
                     {
                         let wall = cell_start.elapsed().as_millis();
+                        let spans_dropped = outcome
+                            .as_ref()
+                            .ok()
+                            .and_then(|(stats, _)| stats.obs.as_deref())
+                            .map_or(0, |r| r.spans_dropped);
                         let mut m = self.manifest.lock().unwrap();
                         m.busy_ms += wall;
-                        m.cells.push((cell.key(), label, wall));
+                        m.cells.push((cell.key(), label, wall, spans_dropped));
                     }
                     results
                         .lock()
@@ -838,8 +857,11 @@ impl Runner {
         let cells: Vec<String> = m
             .cells
             .iter()
-            .map(|(key, outcome, wall)| {
-                format!("{{\"key\":\"{key}\",\"outcome\":\"{outcome}\",\"wall_ms\":{wall}}}")
+            .map(|(key, outcome, wall, spans_dropped)| {
+                format!(
+                    "{{\"key\":\"{key}\",\"outcome\":\"{outcome}\",\"wall_ms\":{wall},\
+                     \"spans_dropped\":{spans_dropped}}}"
+                )
             })
             .collect();
         let json = format!(
@@ -1213,6 +1235,42 @@ mod tests {
             via_store.walk_trace.records(),
             "prebuilt path must be bit-identical, traces included"
         );
+    }
+
+    #[test]
+    fn mm_cells_bypass_the_prebuild_store() {
+        let spec = by_abbr("gemm").unwrap();
+        let mut cfg = SystemConfig::Baseline.build(Scale::Quick);
+        cfg.mm = swgpu_types::MmConfig::demand_paged();
+        let cell = Cell::bench(&spec, cfg);
+        let runner = Runner::new(1, None, false);
+        let stats = runner.get(&cell);
+        let c = runner.counters();
+        assert_eq!(c.simulated, 1);
+        assert_eq!(c.pt_prebuilds, 0, "demand paging never builds an image");
+        assert_eq!(c.pt_prebuild_hits, 0);
+        assert!(stats.mm.major_faults > 0, "first touches must fault");
+        assert_eq!(stats.mm.major_faults, stats.mm.major_replays);
+    }
+
+    #[test]
+    fn manifest_records_per_cell_span_drops() {
+        let dir = test_cache_dir("spans-dropped");
+        std::fs::create_dir_all(&dir).unwrap();
+        // An obs-enabled cell with a one-span recorder: everything past
+        // the first span is dropped, so the manifest must say so.
+        let (mut cell, _) = fig09_cells_observed(Scale::Quick).swap_remove(1);
+        cell.cfg.obs.span_capacity = 1;
+        let runner = Runner::new(1, Some(dir.clone()), false);
+        let stats = runner.run_cells(std::slice::from_ref(&cell));
+        let dropped = stats[0].obs.as_deref().expect("obs report").spans_dropped;
+        assert!(dropped > 0, "the one-span recorder must overflow");
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(
+            manifest.contains(&format!("\"spans_dropped\":{dropped}")),
+            "manifest must carry the cell's drop count: {manifest}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct SwWalkRequest {
     pub start_level: u8,
     /// Node base address serving `start_level`.
     pub node_base: PhysAddr,
+    /// Whether this walk replays a page the driver just populated on a
+    /// major fault — the memory-manager fill requests PW Warps service in
+    /// demand-paged mode (counted as `mm_sw_fill_replays`).
+    pub fill_replay: bool,
 }
 
 impl SwWalkRequest {
@@ -56,7 +60,14 @@ impl SwWalkRequest {
             dispatched_at,
             start_level,
             node_base,
+            fill_replay: false,
         }
+    }
+
+    /// Marks the request as the replay of a driver page fill.
+    pub fn as_fill_replay(mut self) -> Self {
+        self.fill_replay = true;
+        self
     }
 }
 
@@ -153,6 +164,9 @@ pub struct PwWarpStats {
     pub total_softpwb_wait: u64,
     /// Σ execution cycles over completed walks.
     pub total_execution: u64,
+    /// Successfully completed walks that replayed a driver page fill
+    /// (demand-paged mode only; surfaced as `mm_sw_fill_replays`).
+    pub fill_replays: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +201,8 @@ struct ThreadWalk {
     started_at: Cycle,
     level: u8,
     node: PhysAddr,
+    /// Whether this walk replays a driver page fill.
+    fill_replay: bool,
     /// Bounded-backoff retries consumed (watchdog restarts and corrupted
     /// reads both count).
     retries: u32,
@@ -497,6 +513,7 @@ impl PwWarpUnit {
                 started_at: now,
                 level: req.start_level,
                 node: req.node_base,
+                fill_replay: req.fill_replay,
                 retries: 0,
                 pending_inj: 0,
                 gen: self.gen_base[idx],
@@ -595,6 +612,9 @@ impl PwWarpUnit {
         if pfn.is_none() {
             self.stats.faults += 1;
         }
+        if walk.fill_replay && pfn.is_some() {
+            self.stats.fill_replays += 1;
+        }
         self.stats.total_softpwb_wait += walk.started_at.since(walk.arrived_at);
         self.stats.total_execution += now.since(walk.started_at);
         self.completions.push_back(SwCompletion {
@@ -632,10 +652,13 @@ impl PwWarpUnit {
         }
         let addr = RadixPageTable::entry_addr(walk.level, walk.node, walk.vpn);
         let (vpn, level) = (walk.vpn, walk.level);
-        let inj = self
-            .fault
-            .as_mut()
-            .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
+        let inj = self.fault.as_mut().map(|f| {
+            (
+                &mut f.inj,
+                f.plan.pte_corrupt_rate,
+                f.plan.pte_silent_corrupt_rate,
+            )
+        });
         let sink = self.observed.then_some(&mut self.obs_events);
         let (pte, corrupted) = read_pte_observed(mem, addr, inj, vpn, level, now, sink);
         if corrupted {

@@ -95,16 +95,13 @@ impl FrameAllocator {
         PhysAddr::new(base)
     }
 
-    /// Allocates one data frame.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the data region is exhausted (practically unreachable).
-    pub fn alloc_data_frame(&mut self) -> Pfn {
-        assert!(
-            self.next_data_index < self.data_frames_capacity,
-            "data frame region exhausted"
-        );
+    /// Allocates one data frame, or `None` if the region is exhausted —
+    /// the signal the demand-paging memory manager turns into an eviction
+    /// instead of a crash mid-run.
+    pub fn try_alloc_data_frame(&mut self) -> Option<Pfn> {
+        if self.next_data_index >= self.data_frames_capacity {
+            return None;
+        }
         let idx = if self.scramble {
             self.permute(self.next_data_index)
         } else {
@@ -112,7 +109,18 @@ impl FrameAllocator {
         };
         self.next_data_index += 1;
         let base_pfn = Self::DATA_REGION_BASE >> self.page_size.offset_bits();
-        Pfn::new(base_pfn + idx)
+        Some(Pfn::new(base_pfn + idx))
+    }
+
+    /// Allocates one data frame (legacy prebuilt path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data region is exhausted (practically unreachable
+    /// when prebuilding: benchmark footprints are far below 1 TiB).
+    pub fn alloc_data_frame(&mut self) -> Pfn {
+        self.try_alloc_data_frame()
+            .expect("data frame region exhausted")
     }
 
     /// Number of data frames allocated so far.
@@ -182,6 +190,17 @@ mod tests {
             assert!(base < FrameAllocator::DATA_REGION_BASE + (1 << 41));
         }
         assert!(differs, "scrambling had no effect");
+    }
+
+    #[test]
+    fn try_alloc_returns_none_on_exhaustion() {
+        let mut a = FrameAllocator::new(PageSize::Size2M);
+        let capacity = FrameAllocator::DATA_REGION_BYTES / PageSize::Size2M.bytes();
+        for _ in 0..capacity {
+            assert!(a.try_alloc_data_frame().is_some());
+        }
+        assert!(a.try_alloc_data_frame().is_none());
+        assert_eq!(a.data_frames_allocated(), capacity);
     }
 
     #[test]

@@ -4,37 +4,82 @@
 //! page-table entries out of [`PhysMem`] once the timed memory access for
 //! the entry completes. Routing that decode through [`read_pte_checked`]
 //! gives the fault-injection layer a single choke point for *transient
-//! PTE corruption*: with some probability the reader observes an invalid
+//! PTE corruption*: with some probability the reader observes a corrupted
 //! entry instead of the real bytes. The corruption is transient — the
 //! backing store is untouched — so re-reading the same address on retry
 //! observes the true entry, which is exactly the recovery the watchdog /
 //! bounded-retry machinery implements.
 //!
-//! Injected corruption always yields [`Pte::from_raw(0)`] (invalid),
-//! never a garbage-but-valid pointer, so the page walk cache can never be
-//! poisoned by an injected fault (PWC fills only happen on valid PDEs).
+//! Two corruption modes exist:
+//!
+//! * **Invalidating** (`pte_corrupt_rate`): the read observes
+//!   [`Pte::from_raw(0)`] — trivially noticed, since the walk simply
+//!   faults at that level.
+//! * **ValidButWrong** (`pte_silent_corrupt_rate`): the read observes an
+//!   entry with PFN bits flipped and the valid bit intact. Undetected,
+//!   this would silently translate to the wrong frame. The decode
+//!   verifies the entry's reserved parity nibble ([`Pte::parity_ok`]);
+//!   the injector always flips two adjacent bits inside one PFN nibble,
+//!   a pattern the XOR-fold parity is guaranteed to catch, so every
+//!   injection is detected and handled exactly like an invalidating
+//!   corruption (retry / escalate). The page walk cache can therefore
+//!   never be poisoned by an injected fault — PWC fills only happen on
+//!   valid, parity-consistent PDEs.
 
 use swgpu_mem::PhysMem;
 use swgpu_types::{Cycle, FaultInjector, PhysAddr, Pte, PteReadEvent, Vpn};
+
+/// Fault-injection context for one PTE read: the site's injector plus the
+/// invalidating and silent (valid-but-wrong) corruption rates.
+pub type PteInjection<'a> = (&'a mut FaultInjector, f64, f64);
+
+/// Flips two adjacent bits inside one nibble of the PFN field, leaving
+/// the valid bit and the stored parity nibble untouched. The nibble is
+/// chosen by the injector's stream; the fold of the flip mask is always
+/// `0b11 != 0`, so [`Pte::parity_ok`] is guaranteed to fail on the result.
+fn flip_pfn_bits(real: Pte, draw: u64) -> Pte {
+    // The PFN field is 47 bits at shift 1; nibbles 0..12 keep the 2-bit
+    // mask inside the field (4 * 11 + 1 = 45 < 47).
+    let nibble = draw % 12;
+    let mask = 0b11u64 << (4 * nibble);
+    Pte::from_raw(real.raw() ^ (mask << 1))
+}
 
 /// Reads the page-table entry at `addr`, optionally through a fault
 /// injector. Returns the observed entry plus whether this particular read
 /// was corrupted by injection.
 ///
-/// With `inj == None` (or a zero corruption rate) this is exactly
+/// With `inj == None` (or zero corruption rates) this is exactly
 /// `Pte::from_raw(mem.read_u64(addr))`.
 pub fn read_pte_checked(
     mem: &PhysMem,
     addr: PhysAddr,
-    inj: Option<(&mut FaultInjector, f64)>,
+    inj: Option<PteInjection<'_>>,
 ) -> (Pte, bool) {
     let real = Pte::from_raw(mem.read_u64(addr));
-    if let Some((inj, rate)) = inj {
+    if let Some((inj, rate, silent_rate)) = inj {
         // Only corrupt reads that would have succeeded: injecting on an
         // already-invalid entry would be indistinguishable from a real
         // fault and would break the conservation accounting.
         if real.is_valid() && inj.fire(rate) {
             inj.stats.injected_pte_corruptions += 1;
+            return (Pte::from_raw(0), true);
+        }
+        if real.is_valid() && inj.fire(silent_rate) {
+            inj.stats.injected_silent_corruptions += 1;
+            let observed = flip_pfn_bits(real, inj.draw_u64());
+            debug_assert!(observed.is_valid(), "silent corruption must stay valid");
+            if observed.parity_ok() {
+                // Unreachable by construction (the flip pattern is
+                // parity-covered), but if it ever were, the wrong
+                // translation would be consumed — exactly the blind spot
+                // the detected/injected invariant exists to expose.
+                return (observed, true);
+            }
+            inj.stats.detected_silent_corruptions += 1;
+            // Detected at decode: the reader discards the entry and
+            // treats the read as faulted, feeding the same watchdog /
+            // retry / escalation machinery as an invalidating corruption.
             return (Pte::from_raw(0), true);
         }
     }
@@ -55,7 +100,7 @@ pub fn read_pte_checked(
 pub fn read_pte_observed(
     mem: &PhysMem,
     addr: PhysAddr,
-    inj: Option<(&mut FaultInjector, f64)>,
+    inj: Option<PteInjection<'_>>,
     vpn: Vpn,
     level: u8,
     now: Cycle,
@@ -96,13 +141,15 @@ mod tests {
             Pte::valid(swgpu_types::Pfn::new(5)).raw(),
         );
         let mut inj = FaultInjector::new(1, site::PTW_PTE);
-        let (pte, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 1.0)));
+        let (pte, corrupted) =
+            read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 1.0, 0.0)));
         assert!(!pte.is_valid());
         assert!(corrupted);
         assert_eq!(inj.stats.injected_pte_corruptions, 1);
 
         // A genuinely-invalid entry is never "corrupted".
-        let (pte, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x2000), Some((&mut inj, 1.0)));
+        let (pte, corrupted) =
+            read_pte_checked(&mem, PhysAddr::new(0x2000), Some((&mut inj, 1.0, 0.0)));
         assert!(!pte.is_valid());
         assert!(!corrupted);
         assert_eq!(inj.stats.injected_pte_corruptions, 1);
@@ -116,10 +163,69 @@ mod tests {
             Pte::valid(swgpu_types::Pfn::new(5)).raw(),
         );
         let mut inj = FaultInjector::new(1, site::PTW_PTE);
-        let (_, corrupted) = read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 1.0)));
+        let (_, corrupted) =
+            read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 1.0, 0.0)));
         assert!(corrupted);
         let (pte, _) = read_pte_checked(&mem, PhysAddr::new(0x1000), None);
         assert!(pte.is_valid(), "corruption must be transient");
+    }
+
+    #[test]
+    fn silent_corruption_is_always_detected() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(
+            PhysAddr::new(0x1000),
+            Pte::valid(swgpu_types::Pfn::new(0x5a5a)).raw(),
+        );
+        let mut inj = FaultInjector::new(9, site::PTW_PTE);
+        for _ in 0..256 {
+            let (pte, corrupted) =
+                read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut inj, 0.0, 1.0)));
+            assert!(corrupted);
+            assert!(!pte.is_valid(), "detected corruption reads as faulted");
+        }
+        assert_eq!(inj.stats.injected_silent_corruptions, 256);
+        assert_eq!(
+            inj.stats.detected_silent_corruptions, 256,
+            "parity must catch every injected flip"
+        );
+    }
+
+    #[test]
+    fn silent_corruption_skips_invalid_entries() {
+        let mem = PhysMem::new();
+        let mut inj = FaultInjector::new(9, site::PTW_PTE);
+        let (pte, corrupted) =
+            read_pte_checked(&mem, PhysAddr::new(0x3000), Some((&mut inj, 0.0, 1.0)));
+        assert!(!pte.is_valid());
+        assert!(!corrupted);
+        assert_eq!(inj.stats.injected_silent_corruptions, 0);
+    }
+
+    #[test]
+    fn zero_silent_rate_draws_nothing() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(
+            PhysAddr::new(0x1000),
+            Pte::valid(swgpu_types::Pfn::new(5)).raw(),
+        );
+        let mut a = FaultInjector::new(7, site::PTW_PTE);
+        let mut b = FaultInjector::new(7, site::PTW_PTE);
+        // Drawing with silent_rate == 0 must leave the stream exactly
+        // where the two-rate-free path would: pre-silent-mode armed runs
+        // reproduce bit-identically.
+        for _ in 0..64 {
+            read_pte_checked(&mem, PhysAddr::new(0x1000), Some((&mut a, 0.5, 0.0)));
+            let real = Pte::from_raw(mem.read_u64(PhysAddr::new(0x1000)));
+            if real.is_valid() {
+                b.fire(0.5);
+            }
+        }
+        assert_eq!(
+            a.fire(0.5),
+            b.fire(0.5),
+            "silent-rate-0 path perturbed the RNG stream"
+        );
     }
 
     #[test]

@@ -23,13 +23,15 @@
 mod alloc;
 mod checked;
 mod hashed;
+mod mm;
 mod pwc;
 mod radix;
 mod space;
 
 pub use alloc::FrameAllocator;
-pub use checked::{read_pte_checked, read_pte_observed};
+pub use checked::{read_pte_checked, read_pte_observed, PteInjection};
 pub use hashed::{HashedPageTable, HashedWalk, HptFullError};
+pub use mm::{FillOutcome, MemoryManager};
 pub use pwc::{PageWalkCache, PwcStart, PwcStats};
 pub use radix::{RadixPageTable, LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};
 pub use space::AddressSpace;

@@ -1,0 +1,412 @@
+//! The simulated driver/OS memory manager: demand paging, Mosaic-style
+//! transparent coalescing, and LRU-ish eviction under a device-memory
+//! budget.
+//!
+//! The manager owns the *policy* side of demand paging; the simulator's
+//! fault path owns the timing. When a translation misses the page table
+//! (a **major fault**), the driver-replay machinery calls
+//! [`MemoryManager::service_fault`] after the configured fill latency:
+//! the manager populates the page (recycling an evicted frame when one is
+//! free), updates its coalescing bookkeeping, and reports which resident
+//! pages it had to evict so the caller can shoot down their TLB entries.
+//!
+//! Coalescing follows Mosaic's transparent scheme: when every base page
+//! of a 64 KiB or 2 MiB aligned run is populated *and* the backing frames
+//! happen to be physically contiguous and aligned, the run is promoted to
+//! a single large mapping — no data moves and no PTE changes, so every
+//! translation is identical before and after; only the bookkeeping (and
+//! the `mm_coalesces_*` counters) change. Evicting any constituent page
+//! *splinters* the large mapping back into base pages first.
+//!
+//! Eviction is fill-order FIFO over resident pages — "LRU-ish": the page
+//! faulted in longest ago is evicted first, without charging per-access
+//! bookkeeping to the simulation's hot path.
+
+use crate::space::AddressSpace;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use swgpu_mem::PhysMem;
+use swgpu_types::{MmConfig, MmStats, PageSize, Pfn, Vpn};
+
+/// Result of servicing one major fault: the frame the page landed in plus
+/// every page evicted to make room (whose stale TLB entries the caller
+/// must invalidate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Frame now backing the faulted page.
+    pub pfn: Pfn,
+    /// Pages unmapped to make room, in eviction order.
+    pub evicted: Vec<Vpn>,
+}
+
+/// Tracks population of aligned base-page runs of one large-page span.
+#[derive(Debug, Clone, Default)]
+struct GroupTracker {
+    /// Base pages per group; 0 disables the tracker (base page size is
+    /// already at or above the large-page size).
+    span: u64,
+    /// Populated-page count per group id (`vpn / span`).
+    populated: BTreeMap<u64, u64>,
+    /// Groups currently promoted to a large mapping.
+    coalesced: BTreeSet<u64>,
+}
+
+impl GroupTracker {
+    fn new(large_bytes: u64, base: PageSize) -> Self {
+        let span = if base.bytes() < large_bytes {
+            large_bytes / base.bytes()
+        } else {
+            0
+        };
+        Self {
+            span,
+            ..Self::default()
+        }
+    }
+
+    /// Records a populated page; returns the group id if the group just
+    /// became fully populated.
+    fn note_populated(&mut self, vpn: Vpn) -> Option<u64> {
+        if self.span == 0 {
+            return None;
+        }
+        let g = vpn.value() / self.span;
+        let count = self.populated.entry(g).or_insert(0);
+        *count += 1;
+        (*count == self.span).then_some(g)
+    }
+
+    /// Records an eviction; returns true if the page's group had been
+    /// coalesced (the caller counts the splinter).
+    fn note_evicted(&mut self, vpn: Vpn) -> bool {
+        if self.span == 0 {
+            return false;
+        }
+        let g = vpn.value() / self.span;
+        if let Some(count) = self.populated.get_mut(&g) {
+            *count -= 1;
+            if *count == 0 {
+                self.populated.remove(&g);
+            }
+        }
+        self.coalesced.remove(&g)
+    }
+
+    /// Whether the group's frames form a contiguous, span-aligned run —
+    /// the physical precondition for a transparent (no-copy) promotion.
+    fn contiguous_aligned(&self, g: u64, space: &AddressSpace) -> bool {
+        let base_vpn = g * self.span;
+        let Some(base_pfn) = space.pfn_of(Vpn::new(base_vpn)) else {
+            return false;
+        };
+        if base_pfn.value() % self.span != 0 {
+            return false;
+        }
+        (1..self.span)
+            .all(|i| space.pfn_of(Vpn::new(base_vpn + i)) == Some(Pfn::new(base_pfn.value() + i)))
+    }
+}
+
+/// The demand-paging memory manager. See the module docs for the model.
+///
+/// # Example
+///
+/// ```
+/// use swgpu_mem::PhysMem;
+/// use swgpu_pt::{AddressSpace, MemoryManager};
+/// use swgpu_types::{MmConfig, PageSize, Vpn};
+///
+/// let mut mem = PhysMem::new();
+/// let mut space = AddressSpace::new(PageSize::Size64K, &mut mem);
+/// let mut mm = MemoryManager::new(MmConfig::demand_paged(), space.page_size());
+/// let out = mm.service_fault(Vpn::new(7), &mut space, &mut mem);
+/// assert!(out.evicted.is_empty());
+/// assert_eq!(space.pfn_of(Vpn::new(7)), Some(out.pfn));
+/// assert_eq!(mm.stats().major_faults, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    cfg: MmConfig,
+    /// Resident pages in fill order (front = oldest = next victim).
+    resident: VecDeque<Vpn>,
+    /// Frames freed by eviction, recycled lowest-first for determinism.
+    free_frames: BTreeSet<u64>,
+    group_64k: GroupTracker,
+    group_2m: GroupTracker,
+    stats: MmStats,
+}
+
+impl MemoryManager {
+    /// Creates a manager for an address space using `base` pages.
+    pub fn new(cfg: MmConfig, base: PageSize) -> Self {
+        Self {
+            cfg,
+            resident: VecDeque::new(),
+            free_frames: BTreeSet::new(),
+            group_64k: GroupTracker::new(64 * 1024, base),
+            group_2m: GroupTracker::new(2 * 1024 * 1024, base),
+            stats: MmStats::default(),
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> MmStats {
+        self.stats
+    }
+
+    /// Mutable counters — the simulator credits `major_replays` here when
+    /// a replayed fill translation completes end to end.
+    pub fn stats_mut(&mut self) -> &mut MmStats {
+        &mut self.stats
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// Currently-coalesced (64 KiB, 2 MiB) group counts.
+    pub fn coalesced_groups(&self) -> (usize, usize) {
+        (
+            self.group_64k.coalesced.len(),
+            self.group_2m.coalesced.len(),
+        )
+    }
+
+    /// Services a major fault for `vpn`: evicts past the device-memory
+    /// budget if needed, populates the page (recycled frame first), and
+    /// updates coalescing state. Idempotent — a page that is already
+    /// resident (e.g. filled while this fault was queued) is returned
+    /// as-is without counting a second major fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame region is exhausted while nothing is resident
+    /// to evict (an impossible configuration: the region holds 1 TiB).
+    pub fn service_fault(
+        &mut self,
+        vpn: Vpn,
+        space: &mut AddressSpace,
+        mem: &mut PhysMem,
+    ) -> FillOutcome {
+        if let Some(pfn) = space.pfn_of(vpn) {
+            return FillOutcome {
+                pfn,
+                evicted: Vec::new(),
+            };
+        }
+
+        let mut evicted = Vec::new();
+        if self.cfg.resident_page_budget > 0 {
+            while self.resident.len() as u64 >= self.cfg.resident_page_budget {
+                match self.evict_one(space, mem) {
+                    Some(v) => evicted.push(v),
+                    None => break,
+                }
+            }
+        }
+
+        let pfn = loop {
+            if let Some(&raw) = self.free_frames.iter().next() {
+                self.free_frames.remove(&raw);
+                let pfn = Pfn::new(raw);
+                space.map_page_to(vpn, pfn, mem);
+                break pfn;
+            }
+            if let Some(pfn) = space.try_map_page(vpn, mem) {
+                break pfn;
+            }
+            // Region exhausted: free a frame by evicting the oldest page.
+            let victim = self
+                .evict_one(space, mem)
+                .expect("frame region exhausted with no resident pages");
+            evicted.push(victim);
+        };
+
+        self.resident.push_back(vpn);
+        self.stats.major_faults += 1;
+        self.stats.resident_peak = self.stats.resident_peak.max(self.resident.len() as u64);
+
+        if let Some(g) = self.group_64k.note_populated(vpn) {
+            if self.cfg.coalesce && self.group_64k.contiguous_aligned(g, space) {
+                self.group_64k.coalesced.insert(g);
+                self.stats.coalesces_64k += 1;
+            }
+        }
+        if let Some(g) = self.group_2m.note_populated(vpn) {
+            if self.cfg.coalesce && self.group_2m.contiguous_aligned(g, space) {
+                self.group_2m.coalesced.insert(g);
+                self.stats.coalesces_2m += 1;
+            }
+        }
+
+        FillOutcome { pfn, evicted }
+    }
+
+    /// Evicts the oldest resident page: splinters its coalesced groups,
+    /// zeroes its leaf PTE and recycles its frame. Returns the evicted
+    /// VPN (the caller owns TLB shootdown), or `None` if nothing is
+    /// resident.
+    fn evict_one(&mut self, space: &mut AddressSpace, mem: &mut PhysMem) -> Option<Vpn> {
+        let vpn = self.resident.pop_front()?;
+        let pfn = space
+            .unmap_page(vpn, mem)
+            .expect("resident page missing from the address space");
+        self.free_frames.insert(pfn.value());
+        self.stats.evictions += 1;
+        if self.group_64k.note_evicted(vpn) {
+            self.stats.splinters += 1;
+        }
+        if self.group_2m.note_evicted(vpn) {
+            self.stats.splinters += 1;
+        }
+        Some(vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cfg: MmConfig, base: PageSize) -> (MemoryManager, AddressSpace, PhysMem) {
+        let mut mem = PhysMem::new();
+        let space = AddressSpace::new(base, &mut mem);
+        let mm = MemoryManager::new(cfg, base);
+        (mm, space, mem)
+    }
+
+    #[test]
+    fn first_touch_counts_one_major_fault_per_page() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size4K);
+        for v in 0..10u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+            // A second fault on the same page is absorbed.
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        assert_eq!(mm.stats().major_faults, 10);
+        assert_eq!(mm.resident_pages(), 10);
+        assert_eq!(space.mapped_pages(), 10);
+        assert_eq!(mm.stats().resident_peak, 10);
+    }
+
+    #[test]
+    fn sequential_4k_run_coalesces_to_64k_and_2m() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size4K);
+        // 512 sequential 4K pages = one 2M group = 32 64K groups.
+        for v in 0..512u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        assert_eq!(mm.stats().coalesces_64k, 32);
+        assert_eq!(mm.stats().coalesces_2m, 1);
+        assert_eq!(mm.coalesced_groups(), (32, 1));
+    }
+
+    #[test]
+    fn coalescing_never_changes_translations() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size4K);
+        for v in 0..15u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        let before: Vec<_> = (0..15u64)
+            .map(|v| space.pfn_of(Vpn::new(v)).unwrap())
+            .collect();
+        // Page 15 completes the first 64K group.
+        mm.service_fault(Vpn::new(15), &mut space, &mut mem);
+        assert_eq!(mm.stats().coalesces_64k, 1);
+        let after: Vec<_> = (0..15u64)
+            .map(|v| space.pfn_of(Vpn::new(v)).unwrap())
+            .collect();
+        assert_eq!(before, after, "promotion moved data");
+    }
+
+    #[test]
+    fn scattered_frames_do_not_coalesce() {
+        let mut mem = PhysMem::new();
+        let mut space = AddressSpace::new_scrambled(PageSize::Size4K, &mut mem);
+        let mut mm = MemoryManager::new(MmConfig::demand_paged(), PageSize::Size4K);
+        for v in 0..512u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        assert_eq!(
+            mm.stats().coalesces_64k + mm.stats().coalesces_2m,
+            0,
+            "scrambled frames are not contiguous"
+        );
+    }
+
+    #[test]
+    fn budget_evicts_fifo_and_recycles_frames() {
+        let cfg = MmConfig {
+            resident_page_budget: 4,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size64K);
+        for v in 0..4u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        let frame0 = space.pfn_of(Vpn::new(0)).unwrap();
+        let out = mm.service_fault(Vpn::new(4), &mut space, &mut mem);
+        assert_eq!(out.evicted, vec![Vpn::new(0)], "oldest page evicted");
+        assert_eq!(out.pfn, frame0, "freed frame recycled");
+        assert_eq!(space.pfn_of(Vpn::new(0)), None);
+        assert_eq!(mm.resident_pages(), 4);
+        assert_eq!(mm.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_splinters_coalesced_group() {
+        let cfg = MmConfig {
+            resident_page_budget: 16,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size4K);
+        for v in 0..16u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        assert_eq!(mm.coalesced_groups(), (1, 0));
+        // Page 16 exceeds the budget: page 0 is evicted, splintering the
+        // coalesced 64K group.
+        let out = mm.service_fault(Vpn::new(16), &mut space, &mut mem);
+        assert_eq!(out.evicted, vec![Vpn::new(0)]);
+        assert_eq!(mm.stats().splinters, 1);
+        assert_eq!(mm.coalesced_groups(), (0, 0));
+    }
+
+    #[test]
+    fn evicted_page_round_trips_on_retouch() {
+        let cfg = MmConfig {
+            resident_page_budget: 2,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size64K);
+        mm.service_fault(Vpn::new(0), &mut space, &mut mem);
+        mm.service_fault(Vpn::new(1), &mut space, &mut mem);
+        mm.service_fault(Vpn::new(2), &mut space, &mut mem); // evicts 0
+        assert_eq!(space.pfn_of(Vpn::new(0)), None);
+        let out = mm.service_fault(Vpn::new(0), &mut space, &mut mem); // evicts 1
+        assert_eq!(out.evicted, vec![Vpn::new(1)]);
+        assert!(space.pfn_of(Vpn::new(0)).is_some());
+        assert_eq!(mm.stats().major_faults, 4, "re-touch is a new fault");
+    }
+
+    #[test]
+    fn base_2m_disables_coalescing() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size2M);
+        for v in 0..64u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        assert_eq!(mm.stats().coalesces_64k + mm.stats().coalesces_2m, 0);
+    }
+
+    #[test]
+    fn coalesce_knob_off_counts_nothing() {
+        let cfg = MmConfig {
+            coalesce: false,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size4K);
+        for v in 0..512u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        assert_eq!(mm.stats().coalesces_64k + mm.stats().coalesces_2m, 0);
+    }
+}

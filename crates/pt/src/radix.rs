@@ -100,6 +100,28 @@ impl RadixPageTable {
         mem.write_u64(leaf_addr, Pte::valid(pfn).raw());
     }
 
+    /// Removes a translation by zeroing the leaf entry. Intermediate
+    /// nodes are deliberately kept: in-flight walks (and the page walk
+    /// cache, which only holds upper-level entries) stay valid and simply
+    /// observe an invalid leaf — a page fault — instead of a dangling
+    /// directory pointer. Returns whether a mapping was present.
+    pub fn unmap(&mut self, vpn: Vpn, mem: &mut PhysMem) -> bool {
+        let mut node = self.root;
+        for level in (LEAF_LEVEL + 1..=ROOT_LEVEL).rev() {
+            let pde = Pte::from_raw(mem.read_u64(Self::entry_addr(level, node, vpn)));
+            if !pde.is_valid() {
+                return false;
+            }
+            node = PhysAddr::new(pde.pfn().value());
+        }
+        let leaf_addr = Self::entry_addr(LEAF_LEVEL, node, vpn);
+        if !Pte::from_raw(mem.read_u64(leaf_addr)).is_valid() {
+            return false;
+        }
+        mem.write_u64(leaf_addr, Pte::INVALID.raw());
+        true
+    }
+
     /// Functional (untimed) walk used by tests and by fault checking.
     /// Returns the mapped frame, or `None` if any level is invalid.
     pub fn translate(&self, vpn: Vpn, mem: &PhysMem) -> Option<Pfn> {
@@ -172,6 +194,30 @@ mod tests {
         assert_eq!(after_second, after_first, "sibling reuses the whole path");
         assert_eq!(pt.translate(Vpn::new(0x10), &mem), Some(Pfn::new(1)));
         assert_eq!(pt.translate(Vpn::new(0x11), &mem), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn unmap_clears_leaf_and_keeps_intermediates() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        pt.map(Vpn::new(0x10), Pfn::new(1), &mut alloc, &mut mem);
+        pt.map(Vpn::new(0x11), Pfn::new(2), &mut alloc, &mut mem);
+        let nodes = alloc.tables_allocated();
+        assert!(pt.unmap(Vpn::new(0x10), &mut mem));
+        assert_eq!(pt.translate(Vpn::new(0x10), &mem), None);
+        assert_eq!(pt.translate(Vpn::new(0x11), &mem), Some(Pfn::new(2)));
+        // Remapping reuses the intact intermediate path.
+        pt.map(Vpn::new(0x10), Pfn::new(3), &mut alloc, &mut mem);
+        assert_eq!(alloc.tables_allocated(), nodes, "no new nodes needed");
+        assert_eq!(pt.translate(Vpn::new(0x10), &mem), Some(Pfn::new(3)));
+    }
+
+    #[test]
+    fn unmap_of_unmapped_is_false() {
+        let (mut pt, mut alloc, mut mem) = setup();
+        assert!(!pt.unmap(Vpn::new(9), &mut mem));
+        pt.map(Vpn::new(9), Pfn::new(1), &mut alloc, &mut mem);
+        assert!(pt.unmap(Vpn::new(9), &mut mem));
+        assert!(!pt.unmap(Vpn::new(9), &mut mem), "second unmap is a no-op");
     }
 
     #[test]

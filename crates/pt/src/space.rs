@@ -95,6 +95,50 @@ impl AddressSpace {
         pfn
     }
 
+    /// Like [`AddressSpace::map_page`] but returns `None` (instead of
+    /// panicking) when the frame region is exhausted, so a demand-paging
+    /// caller can evict and retry with a recycled frame.
+    pub fn try_map_page(&mut self, vpn: Vpn, mem: &mut PhysMem) -> Option<Pfn> {
+        if let Some(&pfn) = self.mappings.get(&vpn) {
+            return Some(pfn);
+        }
+        let pfn = self.alloc.try_alloc_data_frame()?;
+        self.radix.map(vpn, pfn, &mut self.alloc, mem);
+        self.mappings.insert(vpn, pfn);
+        Some(pfn)
+    }
+
+    /// Maps `vpn` to a specific (recycled) frame — the memory manager's
+    /// path for reusing a frame freed by eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is already mapped: silently remapping would leak
+    /// the old frame.
+    pub fn map_page_to(&mut self, vpn: Vpn, pfn: Pfn, mem: &mut PhysMem) {
+        assert!(
+            !self.mappings.contains_key(&vpn),
+            "map_page_to over an existing mapping"
+        );
+        self.radix.map(vpn, pfn, &mut self.alloc, mem);
+        self.mappings.insert(vpn, pfn);
+    }
+
+    /// Removes the mapping for `vpn`, returning the freed frame (`None`
+    /// if the page was not mapped). Only the leaf PTE is zeroed;
+    /// intermediate nodes survive for remapping.
+    pub fn unmap_page(&mut self, vpn: Vpn, mem: &mut PhysMem) -> Option<Pfn> {
+        let pfn = self.mappings.remove(&vpn)?;
+        let was_mapped = self.radix.unmap(vpn, mem);
+        debug_assert!(was_mapped, "mappings and radix table out of sync");
+        Some(pfn)
+    }
+
+    /// The frame backing `vpn`, if mapped (no memory traffic).
+    pub fn pfn_of(&self, vpn: Vpn) -> Option<Pfn> {
+        self.mappings.get(&vpn).copied()
+    }
+
     /// Maps every page overlapping `[va_start, va_start + bytes)`.
     pub fn map_region(&mut self, va_start: VirtAddr, bytes: u64, mem: &mut PhysMem) {
         if bytes == 0 {
@@ -181,6 +225,22 @@ mod tests {
         let va = VirtAddr::new(0x20_1234);
         let pa = s.translate(va, &mem).unwrap();
         assert_eq!(pa.value() & 0xFFFF, 0x1234, "page offset preserved");
+    }
+
+    #[test]
+    fn unmap_frees_and_remap_recycles() {
+        let mut mem = PhysMem::new();
+        let mut s = AddressSpace::new(PageSize::Size64K, &mut mem);
+        let pfn = s.map_page(Vpn::new(3), &mut mem);
+        assert_eq!(s.pfn_of(Vpn::new(3)), Some(pfn));
+        assert_eq!(s.unmap_page(Vpn::new(3), &mut mem), Some(pfn));
+        assert_eq!(s.pfn_of(Vpn::new(3)), None);
+        assert_eq!(s.mapped_pages(), 0);
+        assert_eq!(s.unmap_page(Vpn::new(3), &mut mem), None);
+        // Recycle the freed frame explicitly.
+        s.map_page_to(Vpn::new(7), pfn, &mut mem);
+        assert_eq!(s.pfn_of(Vpn::new(7)), Some(pfn));
+        assert!(s.translate(VirtAddr::new(7 * 64 * 1024), &mem).is_some());
     }
 
     #[test]

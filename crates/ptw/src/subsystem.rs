@@ -678,10 +678,13 @@ impl PtwSubsystem {
                     let mut results = Vec::with_capacity(walk.reqs.len());
                     for r in walk.reqs.iter() {
                         let addr = RadixPageTable::entry_addr(LEAF_LEVEL, node, r.vpn);
-                        let inj = self
-                            .fault
-                            .as_mut()
-                            .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
+                        let inj = self.fault.as_mut().map(|f| {
+                            (
+                                &mut f.inj,
+                                f.plan.pte_corrupt_rate,
+                                f.plan.pte_silent_corrupt_rate,
+                            )
+                        });
                         let sink = self.observed.then_some(&mut self.obs_events);
                         let (pte, corrupted) =
                             read_pte_observed(ctx.mem, addr, inj, r.vpn, LEAF_LEVEL, now, sink);
@@ -704,10 +707,13 @@ impl PtwSubsystem {
                 } else {
                     let addr = RadixPageTable::entry_addr(*level, *node, vpn);
                     let lvl = *level;
-                    let inj = self
-                        .fault
-                        .as_mut()
-                        .map(|f| (&mut f.inj, f.plan.pte_corrupt_rate));
+                    let inj = self.fault.as_mut().map(|f| {
+                        (
+                            &mut f.inj,
+                            f.plan.pte_corrupt_rate,
+                            f.plan.pte_silent_corrupt_rate,
+                        )
+                    });
                     let sink = self.observed.then_some(&mut self.obs_events);
                     let (pde, corrupted) =
                         read_pte_observed(ctx.mem, addr, inj, vpn, lvl, now, sink);

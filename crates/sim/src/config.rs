@@ -5,7 +5,7 @@ use swgpu_mem::{CacheConfig, DramConfig};
 use swgpu_obs::ObsConfig;
 use swgpu_ptw::{PtwConfig, PwbPolicy, WalkTiming};
 use swgpu_tlb::{TlbConfig, TlbMshrConfig};
-use swgpu_types::{FaultPlan, PageSize};
+use swgpu_types::{FaultPlan, MmConfig, PageSize};
 
 /// Which machinery resolves L2 TLB misses — one variant per configuration
 /// the paper evaluates.
@@ -134,6 +134,15 @@ pub struct GpuConfig {
     /// so obs-off fingerprints (and every cached baseline) are
     /// unchanged. An *enabled* config is hashed and busts the cache.
     pub obs: ObsConfig,
+    /// Demand-paged memory manager (Mosaic-style driver/OS model). The
+    /// default is *disabled*: the simulator prebuilds the full page table
+    /// exactly as before, and — like [`GpuConfig::obs`] — a disabled
+    /// block contributes no bytes to [`GpuConfig::fingerprint`], so every
+    /// existing cached baseline keeps its key. When enabled, pages are
+    /// populated on first touch through the fault-buffer/driver-replay
+    /// machinery, contiguous 4 KB runs coalesce into 64 KB/2 MB mappings,
+    /// and a device-memory budget triggers LRU eviction.
+    pub mm: MmConfig,
 }
 
 impl Default for GpuConfig {
@@ -165,6 +174,7 @@ impl Default for GpuConfig {
             walk_trace_cap: 0,
             fault_plan: FaultPlan::default(),
             obs: ObsConfig::default(),
+            mm: MmConfig::default(),
         }
     }
 }
@@ -262,6 +272,7 @@ impl GpuConfig {
             walk_trace_cap,
             fault_plan,
             obs,
+            mm,
         } = self;
         let mut h = Fnv::new();
         h.usize(*sms);
@@ -306,6 +317,7 @@ impl GpuConfig {
         h.usize(*walk_trace_cap);
         hash_fault_plan(&mut h, fault_plan);
         hash_obs(&mut h, obs);
+        hash_mm(&mut h, mm);
         format!("{:016x}", h.finish())
     }
 
@@ -324,6 +336,10 @@ impl GpuConfig {
         );
         for (name, rate) in [
             ("pte_corrupt_rate", self.fault_plan.pte_corrupt_rate),
+            (
+                "pte_silent_corrupt_rate",
+                self.fault_plan.pte_silent_corrupt_rate,
+            ),
             ("mem_drop_rate", self.fault_plan.mem_drop_rate),
             ("mem_delay_rate", self.fault_plan.mem_delay_rate),
             ("stuck_thread_rate", self.fault_plan.stuck_thread_rate),
@@ -340,6 +356,17 @@ impl GpuConfig {
             );
         }
         self.obs.validate();
+        if self.mm.enabled {
+            assert!(
+                self.mm.fill_latency > 0,
+                "demand paging needs a positive driver fill latency"
+            );
+            assert!(
+                self.mode != TranslationMode::HashedPtw,
+                "demand paging requires the radix page table; the FS-HPT \
+                 hashed table has no incremental map/unmap path"
+            );
+        }
         if self.mode.in_tlb_enabled() || self.force_in_tlb {
             assert!(
                 self.in_tlb_max > 0,
@@ -522,6 +549,7 @@ fn hash_fault_plan(h: &mut Fnv, p: &FaultPlan) {
     let FaultPlan {
         seed,
         pte_corrupt_rate,
+        pte_silent_corrupt_rate,
         mem_drop_rate,
         mem_delay_rate,
         mem_delay_cycles,
@@ -539,6 +567,32 @@ fn hash_fault_plan(h: &mut Fnv, p: &FaultPlan) {
     h.u64(*watchdog_cycles);
     h.u32(*max_retries);
     h.u64(*driver_latency);
+    // Hashed only when armed so every pre-existing (silent-rate-zero)
+    // fingerprint — including the golden pin — is unchanged.
+    if *pte_silent_corrupt_rate > 0.0 {
+        h.u64(0x5343_4f52); // "SCOR" marker
+        h.f64(*pte_silent_corrupt_rate);
+    }
+}
+
+/// Hashes the memory-manager block **only when enabled** — same
+/// zero-overhead cache-key contract as [`hash_obs`]: a disabled block
+/// contributes no bytes, so prebuilt-mode fingerprints (and every cached
+/// baseline) are exactly what they were before the field existed.
+fn hash_mm(h: &mut Fnv, m: &MmConfig) {
+    let MmConfig {
+        enabled,
+        resident_page_budget,
+        fill_latency,
+        coalesce,
+    } = m;
+    if !enabled {
+        return;
+    }
+    h.u64(0x4d4d_4752); // "MMGR" marker
+    h.u64(*resident_page_budget);
+    h.u64(*fill_latency);
+    h.bool(*coalesce);
 }
 
 #[cfg(test)]
@@ -632,7 +686,15 @@ mod tests {
             Box::new(|c| c.max_cycles += 1),
             Box::new(|c| c.walk_trace_cap = 64),
             Box::new(|c| c.fault_plan.seed = 7),
+            Box::new(|c| c.fault_plan.pte_silent_corrupt_rate = 0.25),
             Box::new(|c| c.obs = ObsConfig::enabled()),
+            Box::new(|c| c.mm = MmConfig::demand_paged()),
+            Box::new(|c| {
+                c.mm = MmConfig {
+                    resident_page_budget: 4096,
+                    ..MmConfig::demand_paged()
+                }
+            }),
             Box::new(|c| {
                 c.obs = ObsConfig {
                     sample_interval: 2048,
@@ -703,6 +765,61 @@ mod tests {
             GOLDEN_DEFAULT_FINGERPRINT,
             "enabled observation must bust the cache"
         );
+    }
+
+    #[test]
+    fn disabled_mm_leaves_fingerprint_unchanged() {
+        // Like obs: an mm-off config hashes identically no matter what
+        // the (ignored) knobs say, and identically to the pre-mm golden
+        // pin — prebuilt-mode cached baselines keep their keys.
+        let mut weird_knobs = GpuConfig::default();
+        weird_knobs.mm.resident_page_budget = 17;
+        weird_knobs.mm.fill_latency = 999;
+        weird_knobs.mm.coalesce = false;
+        assert_eq!(weird_knobs.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+
+        let on = GpuConfig {
+            mm: MmConfig::demand_paged(),
+            ..GpuConfig::default()
+        };
+        on.validate();
+        assert_ne!(
+            on.fingerprint(),
+            GOLDEN_DEFAULT_FINGERPRINT,
+            "demand paging must bust the cache"
+        );
+    }
+
+    #[test]
+    fn zero_silent_rate_leaves_fingerprint_unchanged() {
+        assert_eq!(
+            GpuConfig::default().fingerprint(),
+            GOLDEN_DEFAULT_FINGERPRINT
+        );
+        let mut armed = GpuConfig::default();
+        armed.fault_plan.pte_silent_corrupt_rate = 0.01;
+        armed.validate();
+        assert_ne!(armed.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive driver fill latency")]
+    fn mm_with_zero_fill_latency_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mm = MmConfig {
+            fill_latency: 0,
+            ..MmConfig::demand_paged()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "radix page table")]
+    fn mm_with_hashed_table_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mm = MmConfig::demand_paged();
+        cfg.mode = TranslationMode::HashedPtw;
+        cfg.validate();
     }
 
     #[test]

@@ -5,12 +5,12 @@ use crate::stats::SimStats;
 use softwalker::{
     DistributorPolicy, FaultBuffer, FaultRecord, PwWarpUnit, RequestDistributor, SwWalkRequest,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use swgpu_mem::{AccessOutcome, Cache, Dram, MemReq, PhysMem};
 use swgpu_obs::{
     BusyTracker, CounterId, HistId, ObsReport, Registry, SeriesId, Span, SpanKind, SpanRecorder,
 };
-use swgpu_pt::{AddressSpace, HashedPageTable, PageWalkCache};
+use swgpu_pt::{AddressSpace, HashedPageTable, MemoryManager, PageWalkCache};
 use swgpu_ptw::{PtwSubsystem, TableRef, WalkContext, WalkOwner, WalkRequest};
 use swgpu_sm::{InstrSource, Sm, SmConfig};
 use swgpu_tlb::{L2MissOutcome, L2TlbComplex};
@@ -205,6 +205,12 @@ pub struct GpuSimulator {
     driver_q: Port<(Vpn, Cycle)>,
     hw_faults: FaultBuffer,
     fault_counters: FaultInjectionStats,
+    // Demand paging: the simulated driver/OS memory manager (None in the
+    // default prebuilt mode) and the VPNs whose fill replay is still in
+    // flight — their replayed walks are tagged so the PW Warps can count
+    // software fill replays. BTreeSet for deterministic iteration.
+    mm: Option<MemoryManager>,
+    pending_fills: BTreeSet<Vpn>,
     // Retry budgets: rejected requests are re-attempted only as capacity
     // is actually freed (2 retries per completion, covering merge
     // opportunities), so a saturated cycle costs O(freed) instead of
@@ -287,7 +293,10 @@ impl GpuSimulator {
         source: Box<dyn InstrSource>,
         footprint_bytes: u64,
     ) -> Self {
-        let prebuilt = PrebuiltMemory::build(cfg.page_size, cfg.scrambled_frames, footprint_bytes);
+        // Demand paging populates on first touch: skip the (possibly
+        // large) upfront mapping walk entirely.
+        let bytes = if cfg.mm.enabled { 0 } else { footprint_bytes };
+        let prebuilt = PrebuiltMemory::build(cfg.page_size, cfg.scrambled_frames, bytes);
         Self::new_with_prebuilt(cfg, source, prebuilt)
     }
 
@@ -327,6 +336,21 @@ impl GpuSimulator {
             mut space,
             ..
         } = prebuilt;
+        if cfg.mm.enabled && space.mapped_pages() > 0 {
+            // Demand paging owns population: a prebuilt image would make
+            // every page resident before the first touch, so start from
+            // an empty address space instead.
+            phys = PhysMem::new();
+            space = if cfg.scrambled_frames {
+                AddressSpace::new_scrambled(cfg.page_size, &mut phys)
+            } else {
+                AddressSpace::new(cfg.page_size, &mut phys)
+            };
+        }
+        let mm = cfg
+            .mm
+            .enabled
+            .then(|| MemoryManager::new(cfg.mm, cfg.page_size));
 
         let hashed = match cfg.mode {
             TranslationMode::HashedPtw => Some(space.build_hashed(&mut phys)),
@@ -425,6 +449,8 @@ impl GpuSimulator {
             driver_q: Port::new(),
             hw_faults: FaultBuffer::with_capacity(cfg.pw_warp.fault_buffer_entries),
             fault_counters: FaultInjectionStats::default(),
+            mm,
+            pending_fills: BTreeSet::new(),
             l2_retry_budget: 0,
             l2d_retry_budget: 0,
             obs,
@@ -642,6 +668,24 @@ impl GpuSimulator {
                     o.reg.inc(o.c_driver_replays, 1);
                 }
                 self.launch_walk(vpn, issued_at, None);
+            } else if let Some(mm) = self.mm.as_mut() {
+                // Major fault: the page is genuinely unmapped and demand
+                // paging is on. The driver populates it (possibly evicting
+                // past the budget), shoots the victims out of every TLB,
+                // and replays the walk through the normal machinery.
+                let outcome = mm.service_fault(vpn, &mut self.space, &mut self.phys);
+                mm.stats_mut().major_replays += 1;
+                for victim in outcome.evicted {
+                    self.l2.invalidate(victim);
+                    for sm in &mut self.sms {
+                        sm.invalidate_translation(victim);
+                    }
+                }
+                self.pending_fills.insert(vpn);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.reg.inc(o.c_driver_replays, 1);
+                }
+                self.launch_walk(vpn, issued_at, None);
             } else {
                 self.fault_counters.unrecoverable_faults += 1;
                 let queue = now.since(issued_at);
@@ -690,13 +734,12 @@ impl GpuSimulator {
                 completed_at: now,
                 walker: crate::WalkerKind::Software,
             });
-            if c.pfn.is_none() && self.cfg.fault_plan.enabled() {
-                // Faulted walk under an armed plan: hand it to the
-                // driver rather than failing the translation outright.
-                self.driver_q.send(
-                    now + self.cfg.fault_plan.driver_latency,
-                    (c.vpn, c.issued_at),
-                );
+            if c.pfn.is_none() && (self.cfg.fault_plan.enabled() || self.mm.is_some()) {
+                // Faulted walk under an armed plan or demand paging:
+                // hand it to the driver rather than failing the
+                // translation outright.
+                self.driver_q
+                    .send(now + self.driver_delay(c.vpn), (c.vpn, c.issued_at));
             } else {
                 self.finish_translation(c.vpn, c.pfn, queue, access);
             }
@@ -771,19 +814,25 @@ impl GpuSimulator {
                         completed_at: c.completed_at,
                         walker: crate::WalkerKind::Hardware,
                     });
-                    if r.pfn.is_none() && self.cfg.fault_plan.enabled() {
+                    if r.pfn.is_none() && (self.cfg.fault_plan.enabled() || self.mm.is_some()) {
                         // Hardware walks have no FFB instruction; the
                         // walker reports the fault directly (level 0 =
                         // escalation, the walk level is not preserved).
-                        self.hw_faults.record(FaultRecord {
-                            vpn: r.vpn,
-                            level: 0,
-                            at: now,
-                        });
-                        self.driver_q.send(
-                            now + self.cfg.fault_plan.driver_latency,
-                            (r.vpn, r.issued_at),
-                        );
+                        // Genuine major faults (demand paging) bypass the
+                        // bounded injection fault buffer — they are not
+                        // injections and must not consume its capacity.
+                        let injected = self.cfg.fault_plan.enabled()
+                            && (self.mm.is_none()
+                                || self.space.radix().translate(r.vpn, &self.phys).is_some());
+                        if injected {
+                            self.hw_faults.record(FaultRecord {
+                                vpn: r.vpn,
+                                level: 0,
+                                at: now,
+                            });
+                        }
+                        self.driver_q
+                            .send(now + self.driver_delay(r.vpn), (r.vpn, r.issued_at));
                     } else {
                         self.finish_translation(r.vpn, r.pfn, queue, access);
                     }
@@ -963,6 +1012,17 @@ impl GpuSimulator {
         }
     }
 
+    /// Driver service latency for a faulted walk on `vpn`: a genuinely
+    /// unmapped page under demand paging is a major fault (page-fill
+    /// cost); anything else is the injected-fault repair path.
+    fn driver_delay(&self, vpn: Vpn) -> u64 {
+        if self.mm.is_some() && self.space.radix().translate(vpn, &self.phys).is_none() {
+            self.cfg.mm.fill_latency
+        } else {
+            self.cfg.fault_plan.driver_latency
+        }
+    }
+
     fn launch_walk(&mut self, vpn: Vpn, issued_at: Cycle, owner: WalkOwner) {
         let req = WalkRequest::with_owner(vpn, issued_at, owner);
         match self.cfg.mode {
@@ -1014,13 +1074,18 @@ impl GpuSimulator {
                 o.reg.inc(o.c_dispatches, 1);
             }
             let start = self.pwc.lookup(vpn);
-            let req = SwWalkRequest::new(vpn, issued_at, self.now, start.level, start.node_base);
+            let mut req =
+                SwWalkRequest::new(vpn, issued_at, self.now, start.level, start.node_base);
+            if self.pending_fills.contains(&vpn) {
+                req = req.as_fill_replay();
+            }
             self.sw_to_sm
                 .send(self.now + self.cfg.l2_tlb_latency, (sm.index(), req));
         }
     }
 
     fn finish_translation(&mut self, vpn: Vpn, pfn: Option<Pfn>, queue: u64, access: u64) {
+        self.pending_fills.remove(&vpn);
         self.stats.walk.record(queue, access);
         if let Some(o) = self.obs.as_deref_mut() {
             o.reg.observe(o.h_walk_queue, queue);
@@ -1086,6 +1151,11 @@ impl GpuSimulator {
             agg.ldpt_reads += s.ldpt_reads;
             agg.total_softpwb_wait += s.total_softpwb_wait;
             agg.total_execution += s.total_execution;
+            agg.fill_replays += s.fill_replays;
+        }
+        if let Some(mm) = &self.mm {
+            self.stats.mm = mm.stats();
+            self.stats.mm.sw_fill_replays = self.stats.pw_warp.fill_replays;
         }
         self.stats.distributor = self.distributor.stats();
         let mut fault = self.fault_counters;

@@ -4,7 +4,7 @@ use softwalker::{DistributorStats, PwWarpStats};
 use swgpu_mem::{CacheStats, DramStats};
 use swgpu_sm::SmStats;
 use swgpu_tlb::InTlbStats;
-use swgpu_types::{Cycle, FaultInjectionStats};
+use swgpu_types::{Cycle, FaultInjectionStats, MmStats};
 
 /// Page-walk latency decomposition aggregated over every completed
 /// translation — the raw material of Figures 7, 18 and 23.
@@ -125,6 +125,11 @@ pub struct SimStats {
     /// injection site (all zero — and omitted from the JSON — unless the
     /// run armed a [`swgpu_types::FaultPlan`]).
     pub fault: FaultInjectionStats,
+    /// Demand-paged memory-manager counters (major faults, coalescing,
+    /// eviction). All zero — and omitted from the JSON — unless the run
+    /// enabled [`swgpu_types::MmConfig`]; prebuilt-mode stats stay
+    /// byte-identical to artifacts written before the manager existed.
+    pub mm: MmStats,
     /// Lifecycle records of the first walks, when tracing was enabled.
     pub walk_trace: crate::WalkTrace,
     /// Observability report (spans, histograms, time-series), present
@@ -228,6 +233,19 @@ impl std::fmt::Display for SimStats {
                 self.fault.fault_replays,
                 self.fault.unrecoverable_faults,
                 self.fault.fault_buffer_overflow_drops
+            )?;
+        }
+        if self.mm.any() {
+            write!(
+                f,
+                "\ndemand paging: {} major faults ({} replayed) | {} evictions | {} + {} coalesces (64K/2M) | {} splinters | {} resident peak",
+                self.mm.major_faults,
+                self.mm.major_replays,
+                self.mm.evictions,
+                self.mm.coalesces_64k,
+                self.mm.coalesces_2m,
+                self.mm.splinters,
+                self.mm.resident_peak
             )?;
         }
         Ok(())
@@ -447,6 +465,26 @@ impl SimStats {
                 "fault_buffer_overflow_drops",
                 self.fault.fault_buffer_overflow_drops as f64,
             );
+            num(
+                "fault_silent_corruptions_injected",
+                self.fault.injected_silent_corruptions as f64,
+            );
+            num(
+                "fault_silent_corruptions_detected",
+                self.fault.detected_silent_corruptions as f64,
+            );
+        }
+        // Same contract for the memory-manager block: only demand-paged
+        // runs carry mm keys.
+        if self.mm.any() {
+            num("fault_major_faults", self.mm.major_faults as f64);
+            num("fault_major_replays", self.mm.major_replays as f64);
+            num("mm_sw_fill_replays", self.mm.sw_fill_replays as f64);
+            num("mm_evictions", self.mm.evictions as f64);
+            num("mm_coalesces_64k", self.mm.coalesces_64k as f64);
+            num("mm_coalesces_2m", self.mm.coalesces_2m as f64);
+            num("mm_splinters", self.mm.splinters as f64);
+            num("mm_resident_peak", self.mm.resident_peak as f64);
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -563,6 +601,16 @@ impl SimStats {
         s.fault.fault_replays = int("fault_replays");
         s.fault.unrecoverable_faults = int("fault_unrecoverable");
         s.fault.fault_buffer_overflow_drops = int("fault_buffer_overflow_drops");
+        s.fault.injected_silent_corruptions = int("fault_silent_corruptions_injected");
+        s.fault.detected_silent_corruptions = int("fault_silent_corruptions_detected");
+        s.mm.major_faults = int("fault_major_faults");
+        s.mm.major_replays = int("fault_major_replays");
+        s.mm.sw_fill_replays = int("mm_sw_fill_replays");
+        s.mm.evictions = int("mm_evictions");
+        s.mm.coalesces_64k = int("mm_coalesces_64k");
+        s.mm.coalesces_2m = int("mm_coalesces_2m");
+        s.mm.splinters = int("mm_splinters");
+        s.mm.resident_peak = int("mm_resident_peak");
         Ok(s)
     }
 }
@@ -684,6 +732,60 @@ mod json_tests {
         assert_eq!(parsed.fault, s.fault);
         assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
         assert!(s.to_string().contains("fault injection: 7 injected"));
+    }
+
+    #[test]
+    fn mm_block_omitted_when_inert() {
+        let s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        let j = s.to_json();
+        assert!(
+            !j.contains("mm_") && !j.contains("fault_major"),
+            "prebuilt-mode runs must serialize without mm keys: {j}"
+        );
+        assert!(!s.to_string().contains("demand paging"));
+    }
+
+    #[test]
+    fn mm_block_round_trips() {
+        let mut s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        s.mm.major_faults = 40;
+        s.mm.major_replays = 40;
+        s.mm.sw_fill_replays = 12;
+        s.mm.evictions = 8;
+        s.mm.coalesces_64k = 2;
+        s.mm.coalesces_2m = 1;
+        s.mm.splinters = 3;
+        s.mm.resident_peak = 32;
+        let j = s.to_json();
+        assert!(j.contains("\"fault_major_faults\":40"));
+        assert!(j.contains("\"mm_resident_peak\":32"));
+        let parsed = SimStats::from_json(&j).expect("parse");
+        assert_eq!(parsed.mm, s.mm);
+        assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
+        assert!(s.to_string().contains("demand paging: 40 major faults"));
+    }
+
+    #[test]
+    fn silent_corruption_keys_round_trip() {
+        let mut s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        s.fault.injected_silent_corruptions = 9;
+        s.fault.detected_silent_corruptions = 9;
+        s.fault.recovered_injections = 9;
+        let j = s.to_json();
+        assert!(j.contains("\"fault_silent_corruptions_injected\":9"));
+        assert!(j.contains("\"fault_silent_corruptions_detected\":9"));
+        let parsed = SimStats::from_json(&j).expect("parse");
+        assert_eq!(parsed.fault, s.fault);
+        assert_eq!(parsed.to_json(), j);
     }
 
     #[test]

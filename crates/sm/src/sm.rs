@@ -496,6 +496,14 @@ impl Sm {
         }
     }
 
+    /// Single-page TLB shootdown from the memory manager: drops the L1
+    /// TLB's cached translation for an evicted page. In-flight L1-MSHR
+    /// misses are untouched — their walk completes against the updated
+    /// page table.
+    pub fn invalidate_translation(&mut self, vpn: Vpn) -> bool {
+        self.l1_tlb.invalidate(vpn)
+    }
+
     /// Delivers a completed L2D fill for an L1D miss this SM issued.
     pub fn on_mem_response(&mut self, now: Cycle, req: MemReq) {
         self.l1d.complete_fill(now, req);

@@ -197,6 +197,14 @@ impl<M> L2TlbComplex<M> {
         }
     }
 
+    /// Single-page shootdown: drops the cached translation for `vpn`
+    /// without disturbing in-flight MSHR walks (their waiters are still
+    /// released when the walk completes; the walk itself re-reads the
+    /// updated page table). Returns whether an entry was dropped.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        self.tlb.invalidate(vpn)
+    }
+
     /// Whether a walk for `vpn` is currently in flight (either path).
     pub fn is_walk_in_flight(&self, vpn: Vpn) -> bool {
         self.mshr.contains(vpn) || self.overflow_waiters.contains_key(&vpn)
@@ -375,6 +383,22 @@ mod tests {
             l2.access(Vpn::new(2), 9),
             L2MissOutcome::MissNewWalk
         ));
+    }
+
+    #[test]
+    fn invalidate_drops_translation_but_not_walks() {
+        let mut l2 = complex(4, 0);
+        l2.access(Vpn::new(1), 0);
+        l2.complete_walk(Vpn::new(1), Pfn::new(9));
+        l2.access(Vpn::new(2), 1); // walk in flight
+        assert!(l2.invalidate(Vpn::new(1)));
+        assert!(!l2.invalidate(Vpn::new(2)), "no cached entry to drop");
+        assert!(l2.is_walk_in_flight(Vpn::new(2)), "walk untouched");
+        assert!(matches!(
+            l2.access(Vpn::new(1), 2),
+            L2MissOutcome::MissNewWalk
+        ));
+        assert_eq!(l2.complete_walk(Vpn::new(2), Pfn::new(7)), vec![1]);
     }
 
     #[test]

@@ -329,6 +329,22 @@ impl Tlb {
         cleared
     }
 
+    /// Invalidates the valid translation for one VPN (single-page TLB
+    /// shootdown — the memory manager's eviction path). Pending (In-TLB
+    /// MSHR) ways are left alone: their in-flight walk will observe the
+    /// updated page table and complete or fault on its own. Returns
+    /// whether a valid entry was dropped.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let set = self.set_of(vpn);
+        for e in &mut self.sets[set] {
+            if e.state == EntryState::Valid && e.vpn == vpn {
+                *e = Entry::invalid();
+                return true;
+            }
+        }
+        false
+    }
+
     /// Invalidates every entry (TLB shootdown / address-space switch).
     pub fn flush(&mut self) {
         for set in &mut self.sets {
@@ -457,6 +473,23 @@ mod tests {
         assert!(t.reserve_pending(Vpn::new(4)));
         assert_eq!(t.stats().evictions, 1, "pollution is real");
         assert_eq!(t.valid_entries(), 1);
+    }
+
+    #[test]
+    fn invalidate_targets_one_vpn_and_spares_pending() {
+        let mut t = tiny();
+        // Even VPNs share set 0; the pending way goes to set 1 so the
+        // reservation does not evict a valid entry first.
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.fill(Vpn::new(2), Pfn::new(2));
+        t.reserve_pending(Vpn::new(5));
+        assert!(t.invalidate(Vpn::new(0)));
+        assert!(!t.invalidate(Vpn::new(0)), "already gone");
+        assert!(!t.invalidate(Vpn::new(5)), "pending ways are spared");
+        assert_eq!(t.probe(Vpn::new(0)), None);
+        assert_eq!(t.probe(Vpn::new(2)), Some(Pfn::new(2)));
+        assert_eq!(t.pending_entries(), 1);
+        assert_eq!(t.stats().evictions, 0, "shootdown is not an eviction");
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct FaultPlan {
     /// Probability that a page-table entry read returns a transiently
     /// corrupted (invalid) entry instead of the real bytes.
     pub pte_corrupt_rate: f64,
+    /// Probability that a page-table entry read returns a *valid but
+    /// wrong* entry: PFN bits flipped while the valid bit stays set. The
+    /// reader can only notice by verifying the PTE's parity nibble at
+    /// decode — the silent-corruption blind spot this mode exists to
+    /// exercise.
+    pub pte_silent_corrupt_rate: f64,
     /// Probability that a completed page-table memory response is dropped
     /// (the requester's watchdog must re-issue it).
     pub mem_drop_rate: f64,
@@ -51,6 +57,7 @@ impl Default for FaultPlan {
         Self {
             seed: 0,
             pte_corrupt_rate: 0.0,
+            pte_silent_corrupt_rate: 0.0,
             mem_drop_rate: 0.0,
             mem_delay_rate: 0.0,
             mem_delay_cycles: 500,
@@ -67,6 +74,7 @@ impl FaultPlan {
     /// is inert and the simulator behaves exactly as if it did not exist.
     pub fn enabled(&self) -> bool {
         self.pte_corrupt_rate > 0.0
+            || self.pte_silent_corrupt_rate > 0.0
             || self.mem_drop_rate > 0.0
             || self.mem_delay_rate > 0.0
             || self.stuck_thread_rate > 0.0
@@ -107,6 +115,14 @@ pub mod site {
 pub struct FaultInjectionStats {
     /// PTE reads that returned a transiently corrupted (invalid) entry.
     pub injected_pte_corruptions: u64,
+    /// PTE reads that returned a valid-but-wrong entry (PFN bits flipped,
+    /// valid bit intact).
+    pub injected_silent_corruptions: u64,
+    /// Silent corruptions caught by the parity check at decode. With the
+    /// parity-covered flip pattern the injector uses, this must equal
+    /// `injected_silent_corruptions` — a shortfall means a wrong
+    /// translation was consumed.
+    pub detected_silent_corruptions: u64,
     /// Page-table memory responses dropped in flight.
     pub injected_mem_drops: u64,
     /// Page-table DRAM accesses delayed by `mem_delay_cycles`.
@@ -136,7 +152,10 @@ impl FaultInjectionStats {
     /// Total recovery-requiring injections (delays excluded: they perturb
     /// timing but every delayed access still completes on its own).
     pub fn injected_total(&self) -> u64 {
-        self.injected_pte_corruptions + self.injected_mem_drops + self.injected_stuck_threads
+        self.injected_pte_corruptions
+            + self.injected_silent_corruptions
+            + self.injected_mem_drops
+            + self.injected_stuck_threads
     }
 
     /// Whether any counter is nonzero (drives conditional JSON emission).
@@ -147,6 +166,8 @@ impl FaultInjectionStats {
     /// Accumulates another site's counters into this one.
     pub fn merge(&mut self, other: &FaultInjectionStats) {
         self.injected_pte_corruptions += other.injected_pte_corruptions;
+        self.injected_silent_corruptions += other.injected_silent_corruptions;
+        self.detected_silent_corruptions += other.detected_silent_corruptions;
         self.injected_mem_drops += other.injected_mem_drops;
         self.injected_mem_delays += other.injected_mem_delays;
         self.injected_stuck_threads += other.injected_stuck_threads;
@@ -211,6 +232,14 @@ impl FaultInjector {
         // rand stub's `gen_bool`.
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         unit < rate
+    }
+
+    /// Draws one raw 64-bit value from the site's stream — used to pick
+    /// *which* bits a fired silent corruption flips. Only call after a
+    /// [`FaultInjector::fire`] returned true, so disarmed sites still
+    /// never advance their RNG.
+    pub fn draw_u64(&mut self) -> u64 {
+        self.next_u64()
     }
 }
 
@@ -294,16 +323,18 @@ mod tests {
     fn stats_conservation_helpers() {
         let mut s = FaultInjectionStats {
             injected_pte_corruptions: 2,
+            injected_silent_corruptions: 2,
+            detected_silent_corruptions: 2,
             injected_mem_drops: 1,
             injected_stuck_threads: 3,
             injected_mem_delays: 99, // excluded from the invariant
             ..FaultInjectionStats::default()
         };
-        assert_eq!(s.injected_total(), 6);
+        assert_eq!(s.injected_total(), 8);
         assert!(s.any());
         let other = FaultInjectionStats {
-            recovered_injections: 4,
-            escalated_injections: 2,
+            recovered_injections: 5,
+            escalated_injections: 3,
             ..FaultInjectionStats::default()
         };
         s.merge(&other);

@@ -26,6 +26,7 @@ mod component;
 mod cycle;
 pub mod fault;
 mod ids;
+pub mod mm;
 pub mod obs;
 mod page;
 mod port;
@@ -39,6 +40,7 @@ pub use fault::{FaultInjectionStats, FaultInjector, FaultPlan};
 pub use ids::{
     ChannelId, InstrId, LaneId, MemReqId, SmId, WalkerId, WarpId, XlatId, LANES_PER_WARP,
 };
+pub use mm::{MmConfig, MmStats};
 pub use obs::PteReadEvent;
 pub use page::{PageSize, Pfn, Vpn};
 pub use port::Port;

@@ -1,0 +1,141 @@
+//! Configuration and counters for the simulated driver/OS memory manager.
+//!
+//! With [`MmConfig::enabled`] false (the default) the manager does not
+//! exist: the page table is fully prebuilt before cycle 0 and every
+//! counter stays zero, so stats JSON is byte-identical to a build without
+//! the subsystem. Enabled, pages are populated on *first touch*: a
+//! translation that misses the page table becomes a **major fault**,
+//! serviced by the simulated driver after [`MmConfig::fill_latency`]
+//! cycles and then replayed through the normal walk machinery. On top of
+//! that sit Mosaic-style transparent coalescing of fully-populated
+//! contiguous base-page runs into 64 KiB / 2 MiB mappings (splintered
+//! again when a constituent page is evicted) and an LRU-ish eviction
+//! policy once the resident footprint exceeds a device-memory budget
+//! (oversubscription).
+
+/// Knobs of the demand-paging memory manager. Carried by `GpuConfig`, so
+/// an enabled manager participates in the config fingerprint (and a
+/// disabled one contributes nothing — run-cache keys are unchanged).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmConfig {
+    /// Master switch. Off = legacy prebuilt page table.
+    pub enabled: bool,
+    /// Maximum pages resident at once; 0 means unbounded (no eviction).
+    /// Models the device-memory budget that oversubscription exceeds.
+    pub resident_page_budget: u64,
+    /// Cycles the simulated driver takes to populate a page on a major
+    /// fault (allocate a frame, install the PTE) before the translation
+    /// is replayed.
+    pub fill_latency: u64,
+    /// Whether fully-populated, physically contiguous base-page runs are
+    /// transparently coalesced into 64 KiB / 2 MiB mappings.
+    pub coalesce: bool,
+}
+
+impl Default for MmConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            resident_page_budget: 0,
+            fill_latency: 2_000,
+            coalesce: true,
+        }
+    }
+}
+
+impl MmConfig {
+    /// A demand-paged configuration with default service latency, no
+    /// budget (no eviction) and coalescing on.
+    pub fn demand_paged() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters kept by the memory manager and surfaced through `SimStats`.
+///
+/// The conservation invariant is `major_faults == major_replays` once a
+/// run drains: every first-touch fault the driver services is replayed
+/// and completes — none leak or stall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmStats {
+    /// First-touch faults serviced by the driver (page populated).
+    pub major_faults: u64,
+    /// Serviced faults whose replayed translation completed.
+    pub major_replays: u64,
+    /// Replays of driver fills executed by PW Warps (software modes) —
+    /// the paper's handlers servicing fill requests, not just walks.
+    pub sw_fill_replays: u64,
+    /// Resident pages evicted to stay within the device-memory budget.
+    pub evictions: u64,
+    /// Base-page runs coalesced into a 64 KiB mapping.
+    pub coalesces_64k: u64,
+    /// Runs (or 64 KiB groups) coalesced into a 2 MiB mapping.
+    pub coalesces_2m: u64,
+    /// Coalesced mappings splintered back to base pages by a partial
+    /// unmap (eviction of a constituent page).
+    pub splinters: u64,
+    /// Peak number of simultaneously resident pages.
+    pub resident_peak: u64,
+}
+
+impl MmStats {
+    /// Whether any counter is nonzero (drives conditional JSON emission:
+    /// a disabled manager must not add stats keys).
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+
+    /// Accumulates another instance's counters (peak takes the max).
+    pub fn merge(&mut self, other: &MmStats) {
+        self.major_faults += other.major_faults;
+        self.major_replays += other.major_replays;
+        self.sw_fill_replays += other.sw_fill_replays;
+        self.evictions += other.evictions;
+        self.coalesces_64k += other.coalesces_64k;
+        self.coalesces_2m += other.coalesces_2m;
+        self.splinters += other.splinters;
+        self.resident_peak = self.resident_peak.max(other.resident_peak);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_silent() {
+        assert!(!MmConfig::default().enabled);
+        assert!(!MmStats::default().any());
+    }
+
+    #[test]
+    fn demand_paged_enables_with_defaults() {
+        let cfg = MmConfig::demand_paged();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.resident_page_budget, 0);
+        assert!(cfg.coalesce);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_peak() {
+        let mut a = MmStats {
+            major_faults: 2,
+            resident_peak: 5,
+            ..MmStats::default()
+        };
+        let b = MmStats {
+            major_faults: 3,
+            sw_fill_replays: 1,
+            resident_peak: 4,
+            ..MmStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.major_faults, 5);
+        assert_eq!(a.sw_fill_replays, 1);
+        assert_eq!(a.resident_peak, 5);
+        assert!(a.any());
+    }
+}

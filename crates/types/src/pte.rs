@@ -12,7 +12,12 @@ use std::fmt;
 /// non-leaf levels, where the frame number points at the next-level table).
 ///
 /// Layout (low to high): bit 0 = valid, bits 1..48 = frame number,
-/// remaining bits reserved-as-zero.
+/// bits 60..64 = a 4-bit XOR-fold parity of the frame number, remaining
+/// bits reserved-as-zero. The parity nibble is what makes *valid but
+/// wrong* corruption (a PFN bit flip that leaves the valid bit set)
+/// detectable at decode time: [`Pte::valid`] always writes a matching
+/// nibble, so any reader can call [`Pte::parity_ok`] on the observed
+/// bytes.
 ///
 /// # Example
 ///
@@ -29,6 +34,21 @@ pub struct Pte(u64);
 const VALID_BIT: u64 = 1;
 const PFN_SHIFT: u32 = 1;
 const PFN_MASK: u64 = (1u64 << 47) - 1;
+const PARITY_SHIFT: u32 = 60;
+const PARITY_MASK: u64 = 0xF;
+
+/// 4-bit XOR-fold of a (masked) frame number: every nibble of the PFN is
+/// XORed together. Any flip pattern whose own fold is nonzero — in
+/// particular any single-bit flip, and any two-adjacent-bit flip inside
+/// one nibble — changes the fold and is therefore detectable.
+const fn parity_of(pfn: u64) -> u64 {
+    let mut x = pfn & PFN_MASK;
+    x ^= x >> 32;
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x ^= x >> 4;
+    x & PARITY_MASK
+}
 
 impl Pte {
     /// Size of an in-memory entry in bytes.
@@ -37,9 +57,10 @@ impl Pte {
     /// The canonical invalid (not-present) entry: all zero.
     pub const INVALID: Pte = Pte(0);
 
-    /// Creates a valid entry pointing at `pfn`.
+    /// Creates a valid entry pointing at `pfn`, with the parity nibble
+    /// computed over the stored frame number.
     pub const fn valid(pfn: Pfn) -> Self {
-        Pte(VALID_BIT | ((pfn.0 & PFN_MASK) << PFN_SHIFT))
+        Pte(VALID_BIT | ((pfn.0 & PFN_MASK) << PFN_SHIFT) | (parity_of(pfn.0) << PARITY_SHIFT))
     }
 
     /// Reinterprets a raw 64-bit word as an entry.
@@ -61,6 +82,16 @@ impl Pte {
     /// the next-level table frame for a PDE). Zero for invalid entries.
     pub const fn pfn(self) -> Pfn {
         Pfn((self.0 >> PFN_SHIFT) & PFN_MASK)
+    }
+
+    /// Whether the stored parity nibble matches the stored frame number.
+    /// Invalid entries are vacuously consistent (the canonical invalid
+    /// encoding is all-zero). A `false` here means the bytes were
+    /// corrupted *after* being written by [`Pte::valid`] — the
+    /// valid-but-wrong case the fault layer injects.
+    pub const fn parity_ok(self) -> bool {
+        !self.is_valid()
+            || parity_of((self.0 >> PFN_SHIFT) & PFN_MASK) == (self.0 >> PARITY_SHIFT) & PARITY_MASK
     }
 }
 
@@ -110,5 +141,38 @@ mod tests {
     fn debug_distinguishes_validity() {
         assert_eq!(format!("{:?}", Pte::INVALID), "Pte(invalid)");
         assert!(format!("{:?}", Pte::valid(Pfn::new(2))).contains("valid"));
+    }
+
+    #[test]
+    fn parity_holds_for_constructed_entries() {
+        assert!(Pte::INVALID.parity_ok());
+        for raw_pfn in [0u64, 1, 0x1234, 0x7fff_ffff, (1 << 47) - 1] {
+            assert!(Pte::valid(Pfn::new(raw_pfn)).parity_ok());
+        }
+    }
+
+    #[test]
+    fn parity_detects_in_nibble_pfn_flips() {
+        // Flipping two adjacent bits inside one PFN nibble (the injector's
+        // corruption pattern) must always break parity: the fold of the
+        // flip mask is 0b11 != 0.
+        for raw_pfn in [0u64, 0x5a5a, (1 << 47) - 1] {
+            let good = Pte::valid(Pfn::new(raw_pfn));
+            for nibble in 0..12u32 {
+                let mask = 0b11u64 << (4 * nibble);
+                let bad = Pte::from_raw(good.raw() ^ (mask << 1));
+                assert!(bad.is_valid(), "flip must stay valid");
+                assert!(!bad.parity_ok(), "flip in nibble {nibble} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_detects_single_bit_flips() {
+        let good = Pte::valid(Pfn::new(0xdead_beef));
+        for bit in 0..47u32 {
+            let bad = Pte::from_raw(good.raw() ^ (1u64 << (bit + 1)));
+            assert!(!bad.parity_ok(), "single-bit flip at {bit} undetected");
+        }
     }
 }

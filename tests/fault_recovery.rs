@@ -40,6 +40,39 @@ const MODES: [TranslationMode; 3] = [
 ];
 
 #[test]
+fn silent_corruption_storm_is_always_detected() {
+    // A valid-but-wrong PTE (PFN bits flipped, valid bit intact) cannot
+    // fail a walk on its own — only the parity nibble check at leaf
+    // decode can catch it. Under a pure ValidButWrong storm every
+    // injection must be detected; a shortfall means some walk consumed a
+    // wrong translation silently.
+    let plan = FaultPlan {
+        seed: 0xbad,
+        pte_silent_corrupt_rate: 0.10,
+        ..FaultPlan::default()
+    };
+    for mode in MODES {
+        let s = run_once(mode, plan.clone());
+        assert!(!s.timed_out, "{mode:?}: storm run timed out");
+        let f = &s.fault;
+        assert!(
+            f.injected_silent_corruptions > 0,
+            "{mode:?}: storm injected nothing"
+        );
+        assert_eq!(
+            f.detected_silent_corruptions, f.injected_silent_corruptions,
+            "{mode:?}: a silent corruption slipped past the parity check"
+        );
+        assert_eq!(
+            f.injected_total(),
+            f.recovered_injections + f.escalated_injections,
+            "{mode:?}: detected corruption left the conservation ledger"
+        );
+        assert_eq!(s.faults, 0, "{mode:?}: corruption leaked to UVM");
+    }
+}
+
+#[test]
 fn zero_rate_plan_is_a_byte_level_no_op() {
     for mode in MODES {
         let baseline = run_once(mode, FaultPlan::default());
@@ -67,6 +100,7 @@ fn armed_runs_reproduce_bit_identically() {
     let plan = FaultPlan {
         seed: 0xf00d,
         pte_corrupt_rate: 0.05,
+        pte_silent_corrupt_rate: 0.05,
         mem_drop_rate: 0.05,
         mem_delay_rate: 0.05,
         stuck_thread_rate: 0.02,
@@ -92,15 +126,19 @@ proptest! {
     #[test]
     fn every_injected_fault_is_recovered_or_escalated(
         seed in 0u64..1_000_000,
-        corrupt_pm in 0u32..60,
+        // Two independent per-mille rates packed into one draw (the
+        // vendored proptest caps strategy tuples at six entries).
+        corrupt_both_pm in 0u32..3600,
         drop_pm in 0u32..60,
         delay_pm in 0u32..60,
         stuck_pm in 0u32..25,
         mode_idx in 0usize..3,
     ) {
+        let (corrupt_pm, silent_pm) = (corrupt_both_pm / 60, corrupt_both_pm % 60);
         let plan = FaultPlan {
             seed,
             pte_corrupt_rate: f64::from(corrupt_pm) / 1000.0,
+            pte_silent_corrupt_rate: f64::from(silent_pm) / 1000.0,
             mem_drop_rate: f64::from(drop_pm) / 1000.0,
             mem_delay_rate: f64::from(delay_pm) / 1000.0,
             stuck_thread_rate: f64::from(stuck_pm) / 1000.0,
@@ -114,6 +152,10 @@ proptest! {
             f.recovered_injections + f.escalated_injections,
             "lost an injected fault: {:?}",
             f
+        );
+        prop_assert_eq!(
+            f.detected_silent_corruptions, f.injected_silent_corruptions,
+            "silent corruption consumed undetected: {:?}", f
         );
         prop_assert_eq!(f.unrecoverable_faults, 0, "driver replay failed: {:?}", f);
         prop_assert_eq!(stats.faults, 0, "injected fault leaked to UVM: {:?}", f);

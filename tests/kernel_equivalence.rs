@@ -15,7 +15,8 @@
 
 use proptest::prelude::*;
 use softwalker_repro::{
-    by_abbr, table4, FaultPlan, GpuConfig, GpuSimulator, SimStats, TranslationMode, WorkloadParams,
+    by_abbr, table4, FaultPlan, GpuConfig, GpuSimulator, MmConfig, SimStats, TranslationMode,
+    WorkloadParams,
 };
 
 const ALL_MODES: [TranslationMode; 7] = [
@@ -139,6 +140,65 @@ fn fault_recovery_cells_are_byte_identical() {
             s.fault.injected_total() > 0,
             "{mode:?}: storm cell must actually inject faults"
         );
+    }
+}
+
+#[test]
+fn demand_paged_cells_are_byte_identical() {
+    // Demand paging schedules the sparsest wakes of all: a cold page
+    // table means every first touch detours through the driver queue
+    // (fill latency, then a replayed walk), and a tight budget adds
+    // eviction + re-fault cycles on top. Swept on every walker kind the
+    // manager supports (HashedPtw is rejected by validate(): the FS-HPT
+    // table has no incremental map path).
+    for budget in [0u64, 64] {
+        for mode in [
+            TranslationMode::HardwarePtw,
+            TranslationMode::IdealPtw,
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            TranslationMode::SoftWalker { in_tlb_mshr: false },
+            TranslationMode::Hybrid { in_tlb_mshr: true },
+        ] {
+            let make = || {
+                let mut cfg = GpuConfig::quick_test();
+                cfg.mode = mode;
+                cfg.mm = MmConfig {
+                    resident_page_budget: budget,
+                    ..MmConfig::demand_paged()
+                };
+                let spec = by_abbr("gups").expect("known benchmark");
+                let wl = spec.build(WorkloadParams {
+                    sms: cfg.sms,
+                    warps_per_sm: cfg.max_warps,
+                    mem_instrs_per_warp: 3,
+                    footprint_percent: 20,
+                    page_size: cfg.page_size,
+                });
+                GpuSimulator::new(cfg, Box::new(wl))
+            };
+            let event = make().run();
+            let dense = make().run_dense();
+            assert_eq!(
+                event.to_json(),
+                dense.to_json(),
+                "{mode:?} budget {budget}: demand-paged event kernel diverged"
+            );
+            assert!(!event.timed_out, "{mode:?} budget {budget}: must drain");
+            assert!(
+                event.mm.major_faults > 0,
+                "{mode:?} budget {budget}: cold page table must fault"
+            );
+            assert_eq!(
+                event.mm.major_faults, event.mm.major_replays,
+                "{mode:?} budget {budget}: fault conservation"
+            );
+            if budget > 0 {
+                assert!(
+                    event.mm.evictions > 0,
+                    "{mode:?}: budget {budget} must force eviction"
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,237 @@
+//! End-to-end properties of the demand-paged memory manager:
+//!
+//! * **first-touch accounting** — with no eviction pressure, the major
+//!   fault count equals the number of distinct pages the workload
+//!   touches (each page faults exactly once), and that count is a
+//!   property of the workload, not of the walker configuration;
+//! * **transparent coalescing** — promotion is pure bookkeeping: a run
+//!   with coalescing on retires the same instructions in the same
+//!   cycles as one with it off, differing only in the `mm_coalesces_*`
+//!   counters;
+//! * **eviction round-trips** — an oversubscribed run still drains and
+//!   retires the same work, paying for it with re-faults;
+//! * **determinism** — same cell, same stats bytes, across page sizes,
+//!   budgets, fault seeds and frame scrambling (proptest), and across
+//!   runner worker-pool widths (`--jobs 1` vs `--jobs 4`).
+
+use proptest::prelude::*;
+use softwalker_repro::{
+    by_abbr, FaultPlan, GpuConfig, GpuSimulator, MmConfig, PageSize, SimStats, TranslationMode,
+    WorkloadParams,
+};
+
+struct MmCell {
+    abbr: &'static str,
+    mode: TranslationMode,
+    page_size: PageSize,
+    footprint_percent: u64,
+    budget: u64,
+    coalesce: bool,
+    scrambled: bool,
+    plan: FaultPlan,
+}
+
+impl MmCell {
+    fn new(abbr: &'static str, mode: TranslationMode) -> Self {
+        Self {
+            abbr,
+            mode,
+            page_size: GpuConfig::default().page_size,
+            footprint_percent: 20,
+            budget: 0,
+            coalesce: true,
+            scrambled: false,
+            plan: FaultPlan::default(),
+        }
+    }
+
+    fn run(&self) -> SimStats {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = self.mode;
+        cfg.page_size = self.page_size;
+        cfg.scrambled_frames = self.scrambled;
+        cfg.fault_plan = self.plan.clone();
+        cfg.mm = MmConfig {
+            resident_page_budget: self.budget,
+            coalesce: self.coalesce,
+            ..MmConfig::demand_paged()
+        };
+        let spec = by_abbr(self.abbr).expect("known benchmark");
+        let wl = spec.build(WorkloadParams {
+            sms: cfg.sms,
+            warps_per_sm: cfg.max_warps,
+            mem_instrs_per_warp: 3,
+            footprint_percent: self.footprint_percent,
+            page_size: cfg.page_size,
+        });
+        let stats = GpuSimulator::new(cfg, Box::new(wl)).run();
+        assert!(
+            !stats.timed_out,
+            "{} / {:?}: timed out",
+            self.abbr, self.mode
+        );
+        stats
+    }
+}
+
+#[test]
+fn first_touch_faults_equal_touched_pages() {
+    for abbr in ["gups", "bfs", "spmv", "gemm", "2dc"] {
+        // With an unbounded budget nothing is ever evicted, so the peak
+        // resident count IS the distinct-page count of the workload —
+        // and conservation says each of those pages faulted exactly once.
+        let hw = MmCell::new(abbr, TranslationMode::HardwarePtw).run();
+        assert!(hw.mm.major_faults > 0, "{abbr}: nothing faulted");
+        assert_eq!(
+            hw.mm.major_faults, hw.mm.resident_peak,
+            "{abbr}: a touched page faulted more than once (or never)"
+        );
+        assert_eq!(hw.mm.major_faults, hw.mm.major_replays, "{abbr}");
+        assert_eq!(hw.mm.evictions, 0, "{abbr}: unbounded budget evicted");
+        assert_eq!(hw.faults, 0, "{abbr}: major fault leaked to UVM");
+        // The touched-page set is a workload property: software walkers
+        // must fault the exact same pages.
+        let sw = MmCell::new(abbr, TranslationMode::SoftWalker { in_tlb_mshr: true }).run();
+        assert_eq!(
+            hw.mm.major_faults, sw.mm.major_faults,
+            "{abbr}: fault count depends on the walker kind"
+        );
+        assert!(
+            sw.mm.sw_fill_replays > 0,
+            "{abbr}: software fills must run on PW Warps"
+        );
+    }
+}
+
+/// The coalescing recipe: one SM touching a streaming footprint of 4 KB
+/// pages in ascending order, so frames are handed out contiguously.
+fn coalescing_cell(coalesce: bool) -> SimStats {
+    let mut cfg = GpuConfig::quick_test();
+    cfg.sms = 1;
+    cfg.max_warps = 8;
+    cfg.page_size = PageSize::Size4K;
+    cfg.scrambled_frames = false;
+    cfg.mm = MmConfig {
+        coalesce,
+        ..MmConfig::demand_paged()
+    };
+    let spec = by_abbr("2dc").expect("known benchmark");
+    let wl = spec.build(WorkloadParams {
+        sms: cfg.sms,
+        warps_per_sm: cfg.max_warps,
+        mem_instrs_per_warp: 96,
+        footprint_percent: 100,
+        page_size: cfg.page_size,
+    });
+    GpuSimulator::new(cfg, Box::new(wl)).run()
+}
+
+#[test]
+fn coalescing_is_pure_bookkeeping() {
+    let on = coalescing_cell(true);
+    let off = coalescing_cell(false);
+    assert!(on.mm.coalesces_64k > 0, "recipe must coalesce");
+    assert_eq!(off.mm.coalesces_64k + off.mm.coalesces_2m, 0);
+    // Promotion never moves data or rewrites PTEs, so everything the
+    // simulation can observe — timing, translations, fault behaviour —
+    // is identical with the knob on or off.
+    assert_eq!(on.cycles, off.cycles, "coalescing changed timing");
+    assert_eq!(on.instructions, off.instructions);
+    assert_eq!(on.walk.translations, off.walk.translations);
+    assert_eq!(on.mm.major_faults, off.mm.major_faults);
+    assert_eq!(on.mm.evictions, off.mm.evictions);
+    assert_eq!(on.faults, off.faults);
+}
+
+#[test]
+fn oversubscribed_run_retires_the_same_work() {
+    let unbounded = MmCell::new("gups", TranslationMode::SoftWalker { in_tlb_mshr: true }).run();
+    let mut oversub = MmCell::new("gups", TranslationMode::SoftWalker { in_tlb_mshr: true });
+    oversub.budget = 64;
+    let oversub = oversub.run();
+    // Eviction costs re-faults, never correctness: the same instructions
+    // retire, and every extra fault is a round-trip through the driver.
+    assert_eq!(unbounded.instructions, oversub.instructions);
+    assert!(oversub.mm.evictions > 0, "budget 64 must evict");
+    assert!(oversub.mm.resident_peak <= 64);
+    assert!(
+        oversub.mm.major_faults > unbounded.mm.major_faults,
+        "re-touched evicted pages must re-fault"
+    );
+    assert_eq!(oversub.mm.major_faults, oversub.mm.major_replays);
+    assert_eq!(oversub.faults, 0);
+}
+
+#[test]
+fn runner_jobs_width_does_not_change_results() {
+    use swgpu_bench::{Cell, Runner, Scale, SystemConfig};
+    let spec = by_abbr("gups").expect("known benchmark");
+    let cells: Vec<Cell> = [
+        SystemConfig::Baseline,
+        SystemConfig::SoftWalker,
+        SystemConfig::Hybrid,
+    ]
+    .into_iter()
+    .map(|sys| {
+        let mut cfg = sys.build(Scale::Quick);
+        cfg.mm = MmConfig {
+            resident_page_budget: 256,
+            ..MmConfig::demand_paged()
+        };
+        Cell::bench_scaled(&spec, cfg, 20)
+    })
+    .collect();
+    let serial = Runner::new(1, None, false).run_cells(&cells);
+    let parallel = Runner::new(4, None, false).run_cells(&cells);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "worker-pool width changed a demand-paged result"
+        );
+        assert!(a.mm.major_faults > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same cell twice — across page sizes, budgets, frame scrambling
+    /// and fault seeds — must produce byte-identical stats JSON.
+    #[test]
+    fn demand_paged_runs_are_deterministic(
+        abbr in prop::sample::select(vec!["gups", "gemm", "2dc"]),
+        // Bit 0: 4 KB pages, bit 1: scrambled frames, bit 2: coalescing.
+        knobs in 0u8..8,
+        budget in prop::sample::select(vec![0u64, 32, 128]),
+        seed in 1u64..1_000_000,
+        faulty in any::<bool>(),
+    ) {
+        let (page_4k, scrambled, coalesce) =
+            (knobs & 1 != 0, knobs & 2 != 0, knobs & 4 != 0);
+        let mut cell = MmCell::new(abbr, TranslationMode::SoftWalker { in_tlb_mshr: true });
+        // 4 KB pages multiply the page count 16x; shrink the footprint
+        // so the proptest stays fast.
+        if page_4k {
+            cell.page_size = PageSize::Size4K;
+            cell.footprint_percent = 10;
+        }
+        cell.budget = budget;
+        cell.scrambled = scrambled;
+        cell.coalesce = coalesce;
+        if faulty {
+            cell.plan = FaultPlan {
+                seed,
+                pte_corrupt_rate: 0.02,
+                pte_silent_corrupt_rate: 0.02,
+                mem_drop_rate: 0.02,
+                ..FaultPlan::default()
+            };
+        }
+        let a = cell.run();
+        let b = cell.run();
+        prop_assert_eq!(a.to_json(), b.to_json(), "same cell diverged");
+        prop_assert!(a.mm.major_faults > 0);
+        prop_assert_eq!(a.mm.major_faults, a.mm.major_replays);
+    }
+}
