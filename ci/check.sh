@@ -36,6 +36,14 @@ echo "==> demand-paging smoke (release)"
 # nothing (mm stays off the cache path).
 cargo run --release -q -p swgpu-bench --bin mm_smoke
 
+echo "==> data-path fault smoke (release)"
+# Fill-pipeline fault storms on every walker kind: the data-path ledger
+# balances (injected = recovered + escalated + retired), the end-to-end
+# checksum catches every corrupted payload, an armed-but-zero plan is a
+# byte-level no-op, and a corruption-heavy recipe retires frames to the
+# allocator's bad-frame list.
+cargo run --release -q -p swgpu-bench --bin mm_fault_smoke
+
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the

@@ -1,0 +1,188 @@
+//! Data-path fault-injection smoke test: storms the demand-paging fill
+//! pipeline end to end and exits nonzero (for CI) on any violation.
+//!
+//! Checks, in order:
+//!
+//! 1. **Conservation under storm** — with every fill-pipeline fault site
+//!    armed (dropped / delayed / duplicated / corrupted fills, lost
+//!    shootdowns, stalled driver service), each walker configuration
+//!    drains and balances the data-path ledger: every
+//!    recovery-requiring injection is recovered in place, escalated
+//!    through the fault buffer, or resolved by retiring the frame — and
+//!    every corrupted payload is caught by the end-to-end checksum.
+//! 2. **Zero-rate transparency** — an armed-but-zero plan (seed set,
+//!    all data rates 0.0) on a demand-paged cell is a byte-level no-op:
+//!    identical stats JSON, no `mm_fault_*` / `data_*` keys emitted.
+//! 3. **Frame retirement** — a high-corruption recipe with the retire
+//!    threshold at 1 moves at least one repeatedly-failing physical
+//!    frame onto the allocator's bad-frame list and still conserves.
+//!
+//! Usage: `mm_fault_smoke` (no flags; deterministic).
+
+use swgpu_bench::{Cell, Scale, SystemConfig};
+use swgpu_sim::SimStats;
+use swgpu_types::{FaultPlan, MmConfig};
+use swgpu_workloads::by_abbr;
+
+/// The walker configurations the storm check sweeps.
+const SYSTEMS: [SystemConfig; 3] = [
+    SystemConfig::Baseline,
+    SystemConfig::SoftWalker,
+    SystemConfig::Hybrid,
+];
+
+/// Every fill-pipeline fault site armed at storm rates.
+fn storm_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xfee1_dead,
+        fill_drop_rate: 0.10,
+        fill_delay_rate: 0.05,
+        fill_duplicate_rate: 0.05,
+        fill_corrupt_rate: 0.05,
+        shootdown_drop_rate: 0.10,
+        driver_stuck_rate: 0.05,
+        ..FaultPlan::default()
+    }
+}
+
+/// A demand-paged gups cell under `plan` with a tight resident budget.
+fn run_cell(system: SystemConfig, plan: FaultPlan) -> SimStats {
+    let spec = by_abbr("gups").expect("known benchmark");
+    let mut cfg = system.build(Scale::Quick);
+    cfg.fault_plan = plan;
+    cfg.mm = MmConfig {
+        resident_page_budget: 64,
+        ..MmConfig::demand_paged()
+    };
+    Cell::bench_scaled(&spec, cfg, 20).simulate()
+}
+
+/// Shared ledger assertions for any armed data-path run.
+fn check_ledger(label: &str, stats: &SimStats) -> Result<(), String> {
+    if stats.timed_out {
+        return Err(format!("{label}: fill storm timed out"));
+    }
+    let f = &stats.mm_fault;
+    if f.injected_conserved() == 0 {
+        return Err(format!("{label}: storm injected nothing"));
+    }
+    let resolved = f.recovered_fills + f.escalated_fills + f.retired_fills;
+    if f.injected_conserved() != resolved {
+        return Err(format!(
+            "{label}: data-path conservation violated — {} injected but {} resolved ({f:?})",
+            f.injected_conserved(),
+            resolved
+        ));
+    }
+    if f.detected_corruptions != f.injected_fill_corruptions {
+        return Err(format!(
+            "{label}: checksum missed a corruption — {} injected, {} detected",
+            f.injected_fill_corruptions, f.detected_corruptions
+        ));
+    }
+    if stats.faults != 0 {
+        return Err(format!(
+            "{label}: {} fill faults leaked to the UVM fault path",
+            stats.faults
+        ));
+    }
+    Ok(())
+}
+
+/// Check 1: the full storm conserves on every walker configuration.
+fn check_storm_conservation() -> Result<(), String> {
+    for system in SYSTEMS {
+        let label = format!("{} fill storm", system.label());
+        let stats = run_cell(system, storm_plan());
+        check_ledger(&label, &stats)?;
+        let f = &stats.mm_fault;
+        if f.injected_fill_drops == 0 || f.fill_watchdog_timeouts == 0 {
+            return Err(format!(
+                "{label}: dropped fills must trip the watchdog \
+                 ({} drops, {} timeouts)",
+                f.injected_fill_drops, f.fill_watchdog_timeouts
+            ));
+        }
+        println!(
+            "[mm-fault-smoke] {label}: ok — {} injected \
+             ({} recovered / {} escalated / {} retired), {} corruptions detected",
+            f.injected_conserved(),
+            f.recovered_fills,
+            f.escalated_fills,
+            f.retired_fills,
+            f.detected_corruptions
+        );
+    }
+    Ok(())
+}
+
+/// Check 2: an armed-but-zero plan is byte-identical to no plan at all.
+fn check_zero_rate_transparency() -> Result<(), String> {
+    let baseline = run_cell(SystemConfig::SoftWalker, FaultPlan::default());
+    let armed = run_cell(
+        SystemConfig::SoftWalker,
+        FaultPlan {
+            seed: 0x5eed,
+            ..FaultPlan::default()
+        },
+    );
+    if baseline.to_json() != armed.to_json() {
+        return Err(
+            "zero-rate: an armed-but-zero plan's seed perturbed a demand-paged run".to_string(),
+        );
+    }
+    let json = armed.to_json();
+    if json.contains("mm_fault_") || json.contains("data_") {
+        return Err("zero-rate: inert run emitted data-path fault keys".to_string());
+    }
+    println!("[mm-fault-smoke] zero-rate: ok — armed-but-zero plan is a byte-level no-op");
+    Ok(())
+}
+
+/// Check 3: a corruption-heavy recipe retires at least one frame.
+fn check_frame_retirement() -> Result<(), String> {
+    let stats = run_cell(
+        SystemConfig::SoftWalker,
+        FaultPlan {
+            seed: 0xbad_f111,
+            fill_corrupt_rate: 0.25,
+            frame_retire_threshold: 1,
+            ..FaultPlan::default()
+        },
+    );
+    check_ledger("retirement", &stats)?;
+    let f = &stats.mm_fault;
+    if f.frames_retired == 0 {
+        return Err(format!(
+            "retirement: {} corruptions at threshold 1 retired no frame ({f:?})",
+            f.detected_corruptions
+        ));
+    }
+    println!(
+        "[mm-fault-smoke] retirement: ok — {} corruptions detected, \
+         {} frames on the bad-frame list",
+        f.detected_corruptions, f.frames_retired
+    );
+    Ok(())
+}
+
+type Check = fn() -> Result<(), String>;
+
+fn main() {
+    let checks: [(&str, Check); 3] = [
+        ("storm conservation", check_storm_conservation),
+        ("zero-rate transparency", check_zero_rate_transparency),
+        ("frame retirement", check_frame_retirement),
+    ];
+    let mut failures = 0;
+    for (name, check) in checks {
+        if let Err(why) = check() {
+            eprintln!("[mm-fault-smoke] FAIL ({name}) — {why}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("[mm-fault-smoke] all data-path fault checks passed");
+}

@@ -448,7 +448,11 @@ pub struct RunnerCounters {
     /// Cells served from on-disk artifacts.
     pub disk_hits: u64,
     /// Cells whose simulation panicked (caught; the batch continued).
+    /// Counted only after the automatic retry also failed.
     pub failed: u64,
+    /// Cells whose first simulation attempt panicked and were retried
+    /// once with a fresh simulation (the retry itself may still fail).
+    pub retried: u64,
     /// Corrupt disk artifacts set aside (renamed `*.json.corrupt*`) and
     /// re-simulated.
     pub quarantined: u64,
@@ -513,10 +517,11 @@ struct ManifestState {
     /// Available pool capacity: Σ workers × batch wall milliseconds.
     capacity_ms: u128,
     /// Per-cell records in completion order: key, outcome label, wall
-    /// milliseconds, and the cell's observability span-drop count (0 for
+    /// milliseconds, the cell's observability span-drop count (0 for
     /// obs-off cells; nonzero means the recorder hit its capacity and the
-    /// cell's span set — hence any Perfetto export of it — is truncated).
-    cells: Vec<(String, &'static str, u128, u64)>,
+    /// cell's span set — hence any Perfetto export of it — is truncated),
+    /// and how many times the cell's panicked simulation was retried.
+    cells: Vec<(String, &'static str, u128, u64, u64)>,
 }
 
 /// The shared experiment runner: a worker pool over a two-level
@@ -705,16 +710,40 @@ impl Runner {
     }
 
     fn resolve_checked(&self, cell: &Cell) -> Result<(SimStats, CellSource), CellError> {
+        self.resolve_with_retry(cell).0
+    }
+
+    /// Resolves a cell, retrying a panicked resolution once with a fresh
+    /// attempt before giving up: a cell that tripped over transient state
+    /// (e.g. a corrupt artifact racing its quarantine) deserves a second
+    /// chance, while a deterministically-panicking cell fails on the
+    /// retry exactly as it would have on the first attempt. Returns the
+    /// retry count (0 or 1) for the manifest. No cache state is written
+    /// by a panicked attempt, so the retry simulates from scratch.
+    fn resolve_with_retry(&self, cell: &Cell) -> (Result<(SimStats, CellSource), CellError>, u64) {
         let key = cell.key();
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.resolve(cell))).map_err(
-            |payload| {
-                self.counters.lock().unwrap().failed += 1;
-                CellError {
-                    key,
+        let attempt = || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.resolve(cell))).map_err(
+                |payload| CellError {
+                    key: key.clone(),
                     message: panic_message(payload),
+                },
+            )
+        };
+        match attempt() {
+            Ok(ok) => (Ok(ok), 0),
+            Err(first) => {
+                eprintln!("[runner] warning: {first}; retrying once with a fresh simulation");
+                self.counters.lock().unwrap().retried += 1;
+                match attempt() {
+                    Ok(ok) => (Ok(ok), 1),
+                    Err(second) => {
+                        self.counters.lock().unwrap().failed += 1;
+                        (Err(second), 1)
+                    }
                 }
-            },
-        )
+            }
+        }
     }
 
     /// Executes a batch of cells on the worker pool and returns their
@@ -784,7 +813,7 @@ impl Runner {
                     }
                     let cell = unique[i];
                     let cell_start = Instant::now();
-                    let outcome = self.resolve_checked(cell);
+                    let (outcome, retries) = self.resolve_with_retry(cell);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let label = match &outcome {
                         Ok((_, source)) => source.label(),
@@ -804,7 +833,8 @@ impl Runner {
                             .map_or(0, |r| r.spans_dropped);
                         let mut m = self.manifest.lock().unwrap();
                         m.busy_ms += wall;
-                        m.cells.push((cell.key(), label, wall, spans_dropped));
+                        m.cells
+                            .push((cell.key(), label, wall, spans_dropped, retries));
                     }
                     results
                         .lock()
@@ -815,7 +845,7 @@ impl Runner {
         });
         let c = self.counters();
         eprintln!(
-            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits, {} failed, {} quarantined, {} stale, {} pt prebuilds ({} reused)",
+            "[runner] batch of {} cells ({} unique) in {:.2}s on {} worker(s); totals: {} simulated, {} memo hits, {} disk hits, {} failed, {} retried, {} quarantined, {} stale, {} pt prebuilds ({} reused)",
             cells.len(),
             total,
             batch_start.elapsed().as_secs_f64(),
@@ -824,6 +854,7 @@ impl Runner {
             c.memo_hits,
             c.disk_hits,
             c.failed,
+            c.retried,
             c.quarantined,
             c.stale,
             c.pt_prebuilds,
@@ -857,10 +888,10 @@ impl Runner {
         let cells: Vec<String> = m
             .cells
             .iter()
-            .map(|(key, outcome, wall, spans_dropped)| {
+            .map(|(key, outcome, wall, spans_dropped, retries)| {
                 format!(
                     "{{\"key\":\"{key}\",\"outcome\":\"{outcome}\",\"wall_ms\":{wall},\
-                     \"spans_dropped\":{spans_dropped}}}"
+                     \"spans_dropped\":{spans_dropped},\"cell_retries\":{retries}}}"
                 )
             })
             .collect();
@@ -1135,6 +1166,36 @@ mod tests {
         assert_eq!(runner.counters().simulated, 1);
         // The runner stays usable after a caught panic (no poisoned locks).
         assert!(runner.get_checked(&good).is_ok());
+    }
+
+    #[test]
+    fn panicked_cell_is_retried_once_and_manifest_records_it() {
+        let dir = test_cache_dir("cell-retries");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = by_abbr("gemm").unwrap();
+        let good = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let mut bad = good.clone();
+        bad.workload = CellWorkload::Bench {
+            abbr: "still-missing".into(),
+            footprint_percent: 100,
+        };
+        let runner = Runner::new(1, Some(dir.clone()), false);
+        let results = runner.run_cells_checked(&[bad, good]);
+        assert!(results[0].is_err(), "deterministic panic fails both tries");
+        assert!(results[1].is_ok());
+        // Exactly one retry was spent on the bad cell before it failed.
+        assert_eq!(runner.counters().retried, 1);
+        assert_eq!(runner.counters().failed, 1);
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(
+            manifest.contains("\"cell_retries\":1"),
+            "manifest must record the bad cell's retry: {manifest}"
+        );
+        assert!(
+            manifest.contains("\"cell_retries\":0"),
+            "manifest must record the clean cell's zero retries: {manifest}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

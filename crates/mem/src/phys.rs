@@ -65,6 +65,18 @@ impl PhysMem {
         g[word] = value;
     }
 
+    /// Flips the given bits of an aligned 64-bit word in place — the fault
+    /// injector's primitive for corrupting a stored payload without knowing
+    /// (or preserving) what was there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn xor_u64(&mut self, addr: PhysAddr, mask: u64) {
+        let current = self.read_u64(addr);
+        self.write_u64(addr, current ^ mask);
+    }
+
     /// Number of 4 KiB granules currently backed (a proxy for the simulated
     /// page-table footprint).
     pub fn backed_granules(&self) -> usize {
@@ -107,6 +119,17 @@ mod tests {
         assert_eq!(mem.backed_granules(), 2);
         assert_eq!(mem.read_u64(PhysAddr::new(0)), 1);
         assert_eq!(mem.read_u64(PhysAddr::new(GRANULE_BYTES)), 2);
+    }
+
+    #[test]
+    fn xor_flips_bits_in_place() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(PhysAddr::new(0x3000), 0b1010);
+        mem.xor_u64(PhysAddr::new(0x3000), 0b0110);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x3000)), 0b1100);
+        // Unbacked word: xor against the implicit zero allocates backing.
+        mem.xor_u64(PhysAddr::new(0x9000), 0xff);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x9000)), 0xff);
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum SpanKind {
     Dispatch,
     /// Instant: a translation took the fault/driver-replay path.
     Fault,
+    /// Instant: a fill watchdog re-issued a dropped driver fill
+    /// completion (`aux` = retry number).
+    FillRetry,
 }
 
 impl SpanKind {
@@ -36,6 +39,7 @@ impl SpanKind {
             SpanKind::PwWarpBusy => 6,
             SpanKind::Dispatch => 7,
             SpanKind::Fault => 8,
+            SpanKind::FillRetry => 9,
         }
     }
 
@@ -51,6 +55,7 @@ impl SpanKind {
             6 => SpanKind::PwWarpBusy,
             7 => SpanKind::Dispatch,
             8 => SpanKind::Fault,
+            9 => SpanKind::FillRetry,
             _ => return None,
         })
     }
@@ -67,6 +72,7 @@ impl SpanKind {
             SpanKind::PwWarpBusy => "pw_warp_busy",
             SpanKind::Dispatch => "dispatch",
             SpanKind::Fault => "fault",
+            SpanKind::FillRetry => "fill_retry",
         }
     }
 
@@ -74,7 +80,7 @@ impl SpanKind {
     pub fn is_instant(self) -> bool {
         matches!(
             self,
-            SpanKind::PteRead | SpanKind::Dispatch | SpanKind::Fault
+            SpanKind::PteRead | SpanKind::Dispatch | SpanKind::Fault | SpanKind::FillRetry
         )
     }
 }
@@ -216,7 +222,7 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=8u64 {
+        for code in 0..=9u64 {
             let k = SpanKind::from_code(code).expect("valid code");
             assert_eq!(k.code(), code);
         }

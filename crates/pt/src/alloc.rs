@@ -1,5 +1,6 @@
 //! Physical frame allocation for page tables and mapped data.
 
+use std::collections::BTreeSet;
 use swgpu_types::{PageSize, Pfn, PhysAddr};
 
 /// Size of one radix page-table node: 512 entries x 8 bytes.
@@ -33,6 +34,7 @@ pub struct FrameAllocator {
     next_data_index: u64,
     scramble: bool,
     data_frames_capacity: u64,
+    retired: BTreeSet<u64>,
 }
 
 impl FrameAllocator {
@@ -55,6 +57,7 @@ impl FrameAllocator {
             next_data_index: 0,
             scramble: false,
             data_frames_capacity: Self::DATA_REGION_BYTES / page_size.bytes(),
+            retired: BTreeSet::new(),
         }
     }
 
@@ -99,17 +102,40 @@ impl FrameAllocator {
     /// the signal the demand-paging memory manager turns into an eviction
     /// instead of a crash mid-run.
     pub fn try_alloc_data_frame(&mut self) -> Option<Pfn> {
-        if self.next_data_index >= self.data_frames_capacity {
-            return None;
+        loop {
+            if self.next_data_index >= self.data_frames_capacity {
+                return None;
+            }
+            let idx = if self.scramble {
+                self.permute(self.next_data_index)
+            } else {
+                self.next_data_index
+            };
+            self.next_data_index += 1;
+            let base_pfn = Self::DATA_REGION_BASE >> self.page_size.offset_bits();
+            let pfn = Pfn::new(base_pfn + idx);
+            if !self.retired.contains(&pfn.value()) {
+                return Some(pfn);
+            }
+            // Bad frame: skip it and keep walking the region.
         }
-        let idx = if self.scramble {
-            self.permute(self.next_data_index)
-        } else {
-            self.next_data_index
-        };
-        self.next_data_index += 1;
-        let base_pfn = Self::DATA_REGION_BASE >> self.page_size.offset_bits();
-        Some(Pfn::new(base_pfn + idx))
+    }
+
+    /// Marks a frame as bad: it will never be handed out again, even if
+    /// freed back by the memory manager. Models hardware page retirement
+    /// after repeated data-path failures.
+    pub fn retire_frame(&mut self, pfn: Pfn) {
+        self.retired.insert(pfn.value());
+    }
+
+    /// Whether a frame has been retired to the bad-frame list.
+    pub fn is_retired(&self, pfn: Pfn) -> bool {
+        self.retired.contains(&pfn.value())
+    }
+
+    /// Number of frames on the bad-frame list.
+    pub fn retired_frames(&self) -> u64 {
+        self.retired.len() as u64
     }
 
     /// Allocates one data frame (legacy prebuilt path).
@@ -201,6 +227,20 @@ mod tests {
         }
         assert!(a.try_alloc_data_frame().is_none());
         assert_eq!(a.data_frames_allocated(), capacity);
+    }
+
+    #[test]
+    fn retired_frames_are_never_reissued() {
+        let mut a = FrameAllocator::new(PageSize::Size64K);
+        let f0 = a.alloc_data_frame();
+        let mut b = FrameAllocator::new(PageSize::Size64K);
+        b.retire_frame(f0);
+        assert!(b.is_retired(f0));
+        assert_eq!(b.retired_frames(), 1);
+        let got = b.alloc_data_frame();
+        assert_ne!(got, f0, "allocator reissued a retired frame");
+        // The very next sequential frame is handed out instead.
+        assert_eq!(got.value(), f0.value() + 1);
     }
 
     #[test]

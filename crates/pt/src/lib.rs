@@ -31,7 +31,7 @@ mod space;
 pub use alloc::FrameAllocator;
 pub use checked::{read_pte_checked, read_pte_observed, PteInjection};
 pub use hashed::{HashedPageTable, HashedWalk, HptFullError};
-pub use mm::{FillOutcome, MemoryManager};
+pub use mm::{FillOutcome, FrameCheck, MemoryManager};
 pub use pwc::{PageWalkCache, PwcStart, PwcStats};
 pub use radix::{RadixPageTable, LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};
 pub use space::AddressSpace;

@@ -18,14 +18,27 @@
 //! the `mm_coalesces_*` counters) change. Evicting any constituent page
 //! *splinters* the large mapping back into base pages first.
 //!
-//! Eviction is fill-order FIFO over resident pages — "LRU-ish": the page
-//! faulted in longest ago is evicted first, without charging per-access
-//! bookkeeping to the simulation's hot path.
+//! Eviction victim selection is an [`MmEvictPolicy`] axis: fill-order
+//! FIFO (the historical default — the page faulted in longest ago goes
+//! first, no per-access bookkeeping) or a clock second-chance LRU
+//! approximation (each translation delivery sets a reference bit; the
+//! evictor skips and clears referenced pages until it finds an
+//! unreferenced victim).
+//!
+//! When the simulator arms data-path fault injection, the manager also
+//! owns the *integrity* side: every fresh fill stamps the frame's base
+//! word with a deterministic checksum ([`swgpu_types::data_checksum`]
+//! keyed by VPN and a per-fill generation), verified when an SM consumes
+//! the page. A frame that repeatedly fails verification is retired to the
+//! allocator's bad-frame list (hardware page retirement) and the page
+//! re-filled elsewhere.
 
 use crate::space::AddressSpace;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use swgpu_mem::PhysMem;
-use swgpu_types::{MmConfig, MmStats, PageSize, Pfn, Vpn};
+use swgpu_types::{
+    data_checksum, MmConfig, MmEvictPolicy, MmFaultStats, MmStats, PageSize, Pfn, Vpn,
+};
 
 /// Result of servicing one major fault: the frame the page landed in plus
 /// every page evicted to make room (whose stale TLB entries the caller
@@ -36,6 +49,31 @@ pub struct FillOutcome {
     pub pfn: Pfn,
     /// Pages unmapped to make room, in eviction order.
     pub evicted: Vec<Vpn>,
+    /// Checksum generation stamped into the frame (0 when data-path fault
+    /// checking is off, or when the page was already resident).
+    pub generation: u64,
+}
+
+/// Verdict of an end-to-end data check when a translation delivers a
+/// frame to a consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameCheck {
+    /// Checksum matches the stamp (or checking is disabled).
+    Ok,
+    /// The frame is no longer backing this page — a stale translation
+    /// survived a (dropped) TLB shootdown.
+    Stale,
+    /// The frame backs this page but its payload checksum is wrong:
+    /// silent data-path corruption, now detected.
+    Corrupt,
+}
+
+/// What a fresh fill stamped into a frame, kept so later verification
+/// can recompute the expected checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameStamp {
+    vpn: Vpn,
+    generation: u64,
 }
 
 /// Tracks population of aligned base-page runs of one large-page span.
@@ -126,6 +164,7 @@ impl GroupTracker {
 #[derive(Debug, Clone)]
 pub struct MemoryManager {
     cfg: MmConfig,
+    base: PageSize,
     /// Resident pages in fill order (front = oldest = next victim).
     resident: VecDeque<Vpn>,
     /// Frames freed by eviction, recycled lowest-first for determinism.
@@ -133,6 +172,20 @@ pub struct MemoryManager {
     group_64k: GroupTracker,
     group_2m: GroupTracker,
     stats: MmStats,
+    /// Clock reference bits (LRU policy only; untouched under FIFO so
+    /// FIFO-configured runs stay cycle-identical to earlier builds).
+    ref_bits: BTreeSet<Vpn>,
+    /// Checksum stamps by frame number. Empty unless data-path fault
+    /// checking is armed.
+    stamps: BTreeMap<u64, FrameStamp>,
+    /// Verification failures per frame; at `verify_threshold` the frame
+    /// is retired.
+    fail_counts: BTreeMap<u64, u32>,
+    /// `Some(threshold)` arms checksum stamping/verification.
+    verify_threshold: Option<u32>,
+    /// Monotonic fill-generation counter (advances only while armed).
+    generation: u64,
+    fault_stats: MmFaultStats,
 }
 
 impl MemoryManager {
@@ -140,17 +193,37 @@ impl MemoryManager {
     pub fn new(cfg: MmConfig, base: PageSize) -> Self {
         Self {
             cfg,
+            base,
             resident: VecDeque::new(),
             free_frames: BTreeSet::new(),
             group_64k: GroupTracker::new(64 * 1024, base),
             group_2m: GroupTracker::new(2 * 1024 * 1024, base),
             stats: MmStats::default(),
+            ref_bits: BTreeSet::new(),
+            stamps: BTreeMap::new(),
+            fail_counts: BTreeMap::new(),
+            verify_threshold: None,
+            generation: 0,
+            fault_stats: MmFaultStats::default(),
         }
+    }
+
+    /// Arms end-to-end data checking: fills stamp a checksum, deliveries
+    /// verify it, and a frame failing `threshold` times is retired.
+    pub fn set_data_fault_checking(&mut self, threshold: u32) {
+        self.verify_threshold = Some(threshold.max(1));
     }
 
     /// Accumulated counters.
     pub fn stats(&self) -> MmStats {
         self.stats
+    }
+
+    /// Data-path fault counters accumulated inside the manager (scrub
+    /// detections, retirements); the simulator merges these into the
+    /// run-level `mm_fault_*` stats at finalize.
+    pub fn fault_stats(&self) -> MmFaultStats {
+        self.fault_stats
     }
 
     /// Mutable counters — the simulator credits `major_replays` here when
@@ -189,9 +262,14 @@ impl MemoryManager {
         mem: &mut PhysMem,
     ) -> FillOutcome {
         if let Some(pfn) = space.pfn_of(vpn) {
+            let generation = self
+                .stamps
+                .get(&pfn.value())
+                .map_or(0, |stamp| stamp.generation);
             return FillOutcome {
                 pfn,
                 evicted: Vec::new(),
+                generation,
             };
         }
 
@@ -239,19 +317,127 @@ impl MemoryManager {
             }
         }
 
-        FillOutcome { pfn, evicted }
+        let mut generation = 0;
+        if self.verify_threshold.is_some() {
+            self.generation += 1;
+            generation = self.generation;
+            mem.write_u64(
+                self.base.base_of_pfn(pfn),
+                data_checksum(vpn.value(), generation),
+            );
+            self.stamps
+                .insert(pfn.value(), FrameStamp { vpn, generation });
+        }
+
+        FillOutcome {
+            pfn,
+            evicted,
+            generation,
+        }
     }
 
-    /// Evicts the oldest resident page: splinters its coalesced groups,
-    /// zeroes its leaf PTE and recycles its frame. Returns the evicted
-    /// VPN (the caller owns TLB shootdown), or `None` if nothing is
-    /// resident.
+    /// Records a translation delivery for `vpn` — sets the clock
+    /// reference bit under the LRU policy; a no-op under FIFO.
+    pub fn touch(&mut self, vpn: Vpn) {
+        if self.cfg.evict == MmEvictPolicy::Lru {
+            self.ref_bits.insert(vpn);
+        }
+    }
+
+    /// End-to-end data check when a translation delivers `(vpn, pfn)` to
+    /// a consumer. Always [`FrameCheck::Ok`] while checking is unarmed.
+    pub fn verify(&self, vpn: Vpn, pfn: Pfn, mem: &PhysMem) -> FrameCheck {
+        if self.verify_threshold.is_none() {
+            return FrameCheck::Ok;
+        }
+        let Some(stamp) = self.stamps.get(&pfn.value()) else {
+            return FrameCheck::Stale;
+        };
+        if stamp.vpn != vpn {
+            return FrameCheck::Stale;
+        }
+        if mem.read_u64(self.base.base_of_pfn(pfn)) != data_checksum(vpn.value(), stamp.generation)
+        {
+            return FrameCheck::Corrupt;
+        }
+        FrameCheck::Ok
+    }
+
+    /// Garbles the payload of a frame in place — the injector's corrupt-
+    /// fill primitive. The mask is forced odd so at least one bit flips.
+    pub fn corrupt_frame(&self, pfn: Pfn, garble: u64, mem: &mut PhysMem) {
+        mem.xor_u64(self.base.base_of_pfn(pfn), garble | 1);
+    }
+
+    /// Pulls a corrupt page out of service: unmaps it, splinters its
+    /// coalesced groups, and disposes of the frame — retired to the
+    /// allocator's bad-frame list once it has failed
+    /// `verify_threshold` checks (returns `true`), otherwise recycled
+    /// through the free list (returns `false`). The caller owns TLB
+    /// shootdown and the re-fill.
+    pub fn quarantine_page(
+        &mut self,
+        vpn: Vpn,
+        space: &mut AddressSpace,
+        mem: &mut PhysMem,
+    ) -> bool {
+        let Some(pfn) = space.unmap_page(vpn, mem) else {
+            return false;
+        };
+        self.resident.retain(|&v| v != vpn);
+        self.ref_bits.remove(&vpn);
+        if self.group_64k.note_evicted(vpn) {
+            self.stats.splinters += 1;
+        }
+        if self.group_2m.note_evicted(vpn) {
+            self.stats.splinters += 1;
+        }
+        self.stamps.remove(&pfn.value());
+        self.dispose_failed_frame(pfn, space)
+    }
+
+    /// Bumps a frame's failure count and either retires it (at the
+    /// threshold; returns `true`) or recycles it through the free list.
+    fn dispose_failed_frame(&mut self, pfn: Pfn, space: &mut AddressSpace) -> bool {
+        let count = self.fail_counts.entry(pfn.value()).or_insert(0);
+        *count += 1;
+        let threshold = self.verify_threshold.unwrap_or(u32::MAX);
+        if *count >= threshold {
+            space.retire_frame(pfn);
+            self.fault_stats.frames_retired += 1;
+            true
+        } else {
+            self.free_frames.insert(pfn.value());
+            false
+        }
+    }
+
+    /// Evicts one resident page per the configured policy: splinters its
+    /// coalesced groups, zeroes its leaf PTE and recycles its frame.
+    /// Returns the evicted VPN (the caller owns TLB shootdown), or
+    /// `None` if nothing is resident.
     fn evict_one(&mut self, space: &mut AddressSpace, mem: &mut PhysMem) -> Option<Vpn> {
-        let vpn = self.resident.pop_front()?;
+        let vpn = match self.cfg.evict {
+            MmEvictPolicy::Fifo => self.resident.pop_front()?,
+            MmEvictPolicy::Lru => {
+                // Clock second-chance, bounded by one full lap so an
+                // all-referenced set still yields a victim (the oldest).
+                let mut lap = self.resident.len();
+                loop {
+                    let v = self.resident.pop_front()?;
+                    if lap > 0 && self.ref_bits.remove(&v) {
+                        self.resident.push_back(v);
+                        lap -= 1;
+                    } else {
+                        self.ref_bits.remove(&v);
+                        break v;
+                    }
+                }
+            }
+        };
         let pfn = space
             .unmap_page(vpn, mem)
             .expect("resident page missing from the address space");
-        self.free_frames.insert(pfn.value());
         self.stats.evictions += 1;
         if self.group_64k.note_evicted(vpn) {
             self.stats.splinters += 1;
@@ -259,6 +445,23 @@ impl MemoryManager {
         if self.group_2m.note_evicted(vpn) {
             self.stats.splinters += 1;
         }
+        // Eviction scrub: a corrupt fill that was never consumed still
+        // has to be *detected* (corruptions injected == detected), and a
+        // flaky frame still accrues toward retirement.
+        if self.verify_threshold.is_some() {
+            let verdict = self.verify(vpn, pfn, mem);
+            self.stamps.remove(&pfn.value());
+            if verdict == FrameCheck::Corrupt {
+                self.fault_stats.detected_corruptions += 1;
+                if self.dispose_failed_frame(pfn, space) {
+                    self.fault_stats.retired_fills += 1;
+                } else {
+                    self.fault_stats.recovered_fills += 1;
+                }
+                return Some(vpn);
+            }
+        }
+        self.free_frames.insert(pfn.value());
         Some(vpn)
     }
 }
@@ -408,5 +611,138 @@ mod tests {
             mm.service_fault(Vpn::new(v), &mut space, &mut mem);
         }
         assert_eq!(mm.stats().coalesces_64k + mm.stats().coalesces_2m, 0);
+    }
+
+    #[test]
+    fn lru_clock_gives_referenced_pages_a_second_chance() {
+        let cfg = MmConfig {
+            resident_page_budget: 4,
+            evict: MmEvictPolicy::Lru,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size64K);
+        for v in 0..4u64 {
+            mm.service_fault(Vpn::new(v), &mut space, &mut mem);
+        }
+        mm.touch(Vpn::new(0));
+        // Clock skips referenced page 0 (clearing its bit), evicts 1.
+        let out = mm.service_fault(Vpn::new(4), &mut space, &mut mem);
+        assert_eq!(out.evicted, vec![Vpn::new(1)]);
+        assert!(space.pfn_of(Vpn::new(0)).is_some());
+        // Bit was cleared by the skip: 0 (now oldest unreferenced after 2)
+        // is next once 2 goes. Without a fresh touch, 2 leads the queue.
+        let out = mm.service_fault(Vpn::new(5), &mut space, &mut mem);
+        assert_eq!(out.evicted, vec![Vpn::new(2)]);
+    }
+
+    #[test]
+    fn lru_with_all_pages_referenced_still_evicts_the_oldest() {
+        let cfg = MmConfig {
+            resident_page_budget: 2,
+            evict: MmEvictPolicy::Lru,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size64K);
+        mm.service_fault(Vpn::new(0), &mut space, &mut mem);
+        mm.service_fault(Vpn::new(1), &mut space, &mut mem);
+        mm.touch(Vpn::new(0));
+        mm.touch(Vpn::new(1));
+        let out = mm.service_fault(Vpn::new(2), &mut space, &mut mem);
+        assert_eq!(
+            out.evicted,
+            vec![Vpn::new(0)],
+            "full lap falls back to FIFO"
+        );
+    }
+
+    #[test]
+    fn lru_without_touches_matches_fifo_order() {
+        for evict in [MmEvictPolicy::Fifo, MmEvictPolicy::Lru] {
+            let cfg = MmConfig {
+                resident_page_budget: 3,
+                evict,
+                ..MmConfig::demand_paged()
+            };
+            let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size64K);
+            let mut evicted = Vec::new();
+            for v in 0..8u64 {
+                evicted.extend(mm.service_fault(Vpn::new(v), &mut space, &mut mem).evicted);
+            }
+            let expect: Vec<_> = (0..5u64).map(Vpn::new).collect();
+            assert_eq!(evicted, expect, "policy {evict:?} diverged without touches");
+        }
+    }
+
+    #[test]
+    fn checksum_stamped_verified_and_corruption_detected() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size64K);
+        mm.set_data_fault_checking(2);
+        let out = mm.service_fault(Vpn::new(7), &mut space, &mut mem);
+        assert_eq!(out.generation, 1);
+        assert_eq!(mm.verify(Vpn::new(7), out.pfn, &mem), FrameCheck::Ok);
+        // Idempotent re-fault reports the original generation.
+        let again = mm.service_fault(Vpn::new(7), &mut space, &mut mem);
+        assert_eq!(again.generation, 1);
+        // A frame this page never mapped reads as stale.
+        assert_eq!(
+            mm.verify(Vpn::new(8), out.pfn, &mem),
+            FrameCheck::Stale,
+            "wrong vpn must not verify"
+        );
+        mm.corrupt_frame(out.pfn, 0xdead, &mut mem);
+        assert_eq!(mm.verify(Vpn::new(7), out.pfn, &mem), FrameCheck::Corrupt);
+    }
+
+    #[test]
+    fn repeatedly_failing_frame_is_retired_and_refilled_elsewhere() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size64K);
+        mm.set_data_fault_checking(2);
+        let first = mm.service_fault(Vpn::new(3), &mut space, &mut mem);
+        mm.corrupt_frame(first.pfn, 1, &mut mem);
+        // First failure: frame recycled, not yet retired.
+        assert!(!mm.quarantine_page(Vpn::new(3), &mut space, &mut mem));
+        assert_eq!(space.retired_frames(), 0);
+        // Re-fill lands on the recycled (lowest free) frame — same pfn.
+        let second = mm.service_fault(Vpn::new(3), &mut space, &mut mem);
+        assert_eq!(second.pfn, first.pfn);
+        assert_eq!(mm.verify(Vpn::new(3), second.pfn, &mem), FrameCheck::Ok);
+        mm.corrupt_frame(second.pfn, 2, &mut mem);
+        // Second failure hits the threshold: retired for good.
+        assert!(mm.quarantine_page(Vpn::new(3), &mut space, &mut mem));
+        assert_eq!(space.retired_frames(), 1);
+        assert_eq!(mm.fault_stats().frames_retired, 1);
+        let third = mm.service_fault(Vpn::new(3), &mut space, &mut mem);
+        assert_ne!(third.pfn, first.pfn, "retired frame reissued");
+    }
+
+    #[test]
+    fn eviction_scrub_detects_unconsumed_corruption() {
+        let cfg = MmConfig {
+            resident_page_budget: 1,
+            ..MmConfig::demand_paged()
+        };
+        let (mut mm, mut space, mut mem) = setup(cfg, PageSize::Size64K);
+        mm.set_data_fault_checking(8);
+        let out = mm.service_fault(Vpn::new(0), &mut space, &mut mem);
+        mm.corrupt_frame(out.pfn, 0xff00, &mut mem);
+        // Budget forces eviction of page 0; the scrub catches the
+        // corruption nobody consumed.
+        mm.service_fault(Vpn::new(1), &mut space, &mut mem);
+        assert_eq!(mm.fault_stats().detected_corruptions, 1);
+        assert_eq!(mm.fault_stats().recovered_fills, 1);
+        assert_eq!(mm.fault_stats().retired_fills, 0);
+    }
+
+    #[test]
+    fn unarmed_manager_never_touches_payload_memory() {
+        let (mut mm, mut space, mut mem) = setup(MmConfig::demand_paged(), PageSize::Size64K);
+        let out = mm.service_fault(Vpn::new(5), &mut space, &mut mem);
+        assert_eq!(out.generation, 0);
+        assert_eq!(
+            mem.read_u64(PageSize::Size64K.base_of_pfn(out.pfn)),
+            0,
+            "unarmed fill must not stamp data frames"
+        );
+        assert_eq!(mm.verify(Vpn::new(5), out.pfn, &mem), FrameCheck::Ok);
     }
 }

@@ -190,6 +190,18 @@ impl AddressSpace {
     pub fn table_nodes(&self) -> u64 {
         self.alloc.tables_allocated()
     }
+
+    /// Retires a frame to the allocator's bad-frame list so it is never
+    /// handed out again — the memory manager's page-retirement path for
+    /// frames that repeatedly fail the data checksum.
+    pub fn retire_frame(&mut self, pfn: Pfn) {
+        self.alloc.retire_frame(pfn);
+    }
+
+    /// Number of frames on the allocator's bad-frame list.
+    pub fn retired_frames(&self) -> u64 {
+        self.alloc.retired_frames()
+    }
 }
 
 #[cfg(test)]

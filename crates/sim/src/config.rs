@@ -5,7 +5,7 @@ use swgpu_mem::{CacheConfig, DramConfig};
 use swgpu_obs::ObsConfig;
 use swgpu_ptw::{PtwConfig, PwbPolicy, WalkTiming};
 use swgpu_tlb::{TlbConfig, TlbMshrConfig};
-use swgpu_types::{FaultPlan, MmConfig, PageSize};
+use swgpu_types::{FaultPlan, MmConfig, MmEvictPolicy, PageSize};
 
 /// Which machinery resolves L2 TLB misses — one variant per configuration
 /// the paper evaluates.
@@ -343,6 +343,12 @@ impl GpuConfig {
             ("mem_drop_rate", self.fault_plan.mem_drop_rate),
             ("mem_delay_rate", self.fault_plan.mem_delay_rate),
             ("stuck_thread_rate", self.fault_plan.stuck_thread_rate),
+            ("fill_drop_rate", self.fault_plan.fill_drop_rate),
+            ("fill_delay_rate", self.fault_plan.fill_delay_rate),
+            ("fill_duplicate_rate", self.fault_plan.fill_duplicate_rate),
+            ("fill_corrupt_rate", self.fault_plan.fill_corrupt_rate),
+            ("shootdown_drop_rate", self.fault_plan.shootdown_drop_rate),
+            ("driver_stuck_rate", self.fault_plan.driver_stuck_rate),
         ] {
             assert!(
                 (0.0..=1.0).contains(&rate),
@@ -353,6 +359,22 @@ impl GpuConfig {
             assert!(
                 self.fault_plan.watchdog_cycles > 0,
                 "an armed fault plan needs a positive watchdog timeout"
+            );
+        }
+        if self.fault_plan.data_path_enabled() {
+            assert!(
+                self.mm.enabled,
+                "data-path fault rates target the demand-paging pipeline; \
+                 enable the memory manager or zero the fill/shootdown/driver \
+                 rates"
+            );
+            assert!(
+                self.fault_plan.fill_delay_rate <= 0.0 || self.fault_plan.fill_delay_cycles > 0,
+                "an armed fill-delay site needs a positive delay"
+            );
+            assert!(
+                self.fault_plan.frame_retire_threshold >= 1,
+                "frame retirement needs a threshold of at least one failure"
             );
         }
         self.obs.validate();
@@ -557,6 +579,14 @@ fn hash_fault_plan(h: &mut Fnv, p: &FaultPlan) {
         watchdog_cycles,
         max_retries,
         driver_latency,
+        fill_drop_rate,
+        fill_delay_rate,
+        fill_delay_cycles,
+        fill_duplicate_rate,
+        fill_corrupt_rate,
+        shootdown_drop_rate,
+        driver_stuck_rate,
+        frame_retire_threshold,
     } = p;
     h.u64(*seed);
     h.f64(*pte_corrupt_rate);
@@ -573,6 +603,19 @@ fn hash_fault_plan(h: &mut Fnv, p: &FaultPlan) {
         h.u64(0x5343_4f52); // "SCOR" marker
         h.f64(*pte_silent_corrupt_rate);
     }
+    // Same contract for the demand-paging data-path block: all-zero rates
+    // contribute no bytes, so every pre-existing fingerprint is intact.
+    if p.data_path_enabled() {
+        h.u64(0x4450_5448); // "DPTH" marker
+        h.f64(*fill_drop_rate);
+        h.f64(*fill_delay_rate);
+        h.u64(*fill_delay_cycles);
+        h.f64(*fill_duplicate_rate);
+        h.f64(*fill_corrupt_rate);
+        h.f64(*shootdown_drop_rate);
+        h.f64(*driver_stuck_rate);
+        h.u32(*frame_retire_threshold);
+    }
 }
 
 /// Hashes the memory-manager block **only when enabled** — same
@@ -585,6 +628,7 @@ fn hash_mm(h: &mut Fnv, m: &MmConfig) {
         resident_page_budget,
         fill_latency,
         coalesce,
+        evict,
     } = m;
     if !enabled {
         return;
@@ -593,6 +637,12 @@ fn hash_mm(h: &mut Fnv, m: &MmConfig) {
     h.u64(*resident_page_budget);
     h.u64(*fill_latency);
     h.bool(*coalesce);
+    // The historical FIFO policy contributes no bytes, so every cached
+    // FIFO (and pre-policy-axis) fingerprint is unchanged.
+    if *evict != MmEvictPolicy::Fifo {
+        h.u64(0x4c52_5545); // "LRUE" marker
+        h.u64(1);
+    }
 }
 
 #[cfg(test)]
@@ -687,6 +737,46 @@ mod tests {
             Box::new(|c| c.walk_trace_cap = 64),
             Box::new(|c| c.fault_plan.seed = 7),
             Box::new(|c| c.fault_plan.pte_silent_corrupt_rate = 0.25),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.fill_drop_rate = 0.25;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.fill_delay_rate = 0.25;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.fill_delay_rate = 0.25;
+                c.fault_plan.fill_delay_cycles = 5_000;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.fill_duplicate_rate = 0.25;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.fill_corrupt_rate = 0.25;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.shootdown_drop_rate = 0.25;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.driver_stuck_rate = 0.25;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig::demand_paged();
+                c.fault_plan.fill_corrupt_rate = 0.25;
+                c.fault_plan.frame_retire_threshold = 9;
+            }),
+            Box::new(|c| {
+                c.mm = MmConfig {
+                    evict: MmEvictPolicy::Lru,
+                    ..MmConfig::demand_paged()
+                }
+            }),
             Box::new(|c| c.obs = ObsConfig::enabled()),
             Box::new(|c| c.mm = MmConfig::demand_paged()),
             Box::new(|c| {
@@ -800,6 +890,64 @@ mod tests {
         armed.fault_plan.pte_silent_corrupt_rate = 0.01;
         armed.validate();
         assert_ne!(armed.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+    }
+
+    #[test]
+    fn zero_data_path_rates_leave_fingerprint_unchanged() {
+        // Non-rate data-path knobs (delay length, retire threshold) are
+        // ignored while every rate is zero — same contract as the silent
+        // corrupt rate above, so the golden pin survives the new fields.
+        let mut idle_knobs = GpuConfig::default();
+        idle_knobs.fault_plan.fill_delay_cycles = 123;
+        idle_knobs.fault_plan.frame_retire_threshold = 42;
+        assert_eq!(idle_knobs.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+
+        let mut armed = GpuConfig {
+            mm: MmConfig::demand_paged(),
+            ..GpuConfig::default()
+        };
+        armed.fault_plan.fill_drop_rate = 0.01;
+        armed.validate();
+        let mm_only = GpuConfig {
+            mm: MmConfig::demand_paged(),
+            ..GpuConfig::default()
+        };
+        assert_ne!(
+            armed.fingerprint(),
+            mm_only.fingerprint(),
+            "armed data-path rates must bust the cache"
+        );
+    }
+
+    #[test]
+    fn fifo_evict_policy_leaves_fingerprint_unchanged() {
+        // FIFO is the pre-policy-axis behaviour: an enabled manager with
+        // FIFO eviction hashes exactly as it did before the enum existed.
+        let fifo = GpuConfig {
+            mm: MmConfig::demand_paged(),
+            ..GpuConfig::default()
+        };
+        let lru = GpuConfig {
+            mm: MmConfig {
+                evict: MmEvictPolicy::Lru,
+                ..MmConfig::demand_paged()
+            },
+            ..GpuConfig::default()
+        };
+        lru.validate();
+        assert_ne!(fifo.fingerprint(), lru.fingerprint());
+        // Disabled manager ignores the policy knob entirely.
+        let mut off = GpuConfig::default();
+        off.mm.evict = MmEvictPolicy::Lru;
+        assert_eq!(off.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand-paging pipeline")]
+    fn data_path_rates_without_mm_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.fault_plan.fill_corrupt_rate = 0.5;
+        cfg.validate();
     }
 
     #[test]

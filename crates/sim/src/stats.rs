@@ -4,7 +4,7 @@ use softwalker::{DistributorStats, PwWarpStats};
 use swgpu_mem::{CacheStats, DramStats};
 use swgpu_sm::SmStats;
 use swgpu_tlb::InTlbStats;
-use swgpu_types::{Cycle, FaultInjectionStats, MmStats};
+use swgpu_types::{Cycle, FaultInjectionStats, MmFaultStats, MmStats};
 
 /// Page-walk latency decomposition aggregated over every completed
 /// translation — the raw material of Figures 7, 18 and 23.
@@ -130,6 +130,11 @@ pub struct SimStats {
     /// enabled [`swgpu_types::MmConfig`]; prebuilt-mode stats stay
     /// byte-identical to artifacts written before the manager existed.
     pub mm: MmStats,
+    /// Demand-paging data-path fault counters (dropped/duplicated/
+    /// corrupted fills, shootdown drops, watchdog recovery, frame
+    /// retirement). All zero — and omitted from the JSON — unless the
+    /// run armed the data-path sites of a [`swgpu_types::FaultPlan`].
+    pub mm_fault: MmFaultStats,
     /// Lifecycle records of the first walks, when tracing was enabled.
     pub walk_trace: crate::WalkTrace,
     /// Observability report (spans, histograms, time-series), present
@@ -246,6 +251,19 @@ impl std::fmt::Display for SimStats {
                 self.mm.coalesces_2m,
                 self.mm.splinters,
                 self.mm.resident_peak
+            )?;
+        }
+        if self.mm_fault.any() {
+            write!(
+                f,
+                "\nmm faults: {} injected ({} recovered / {} escalated / {} retired) | {} corruptions detected | {} stale hits | {} frames retired",
+                self.mm_fault.injected_conserved(),
+                self.mm_fault.recovered_fills,
+                self.mm_fault.escalated_fills,
+                self.mm_fault.retired_fills,
+                self.mm_fault.detected_corruptions,
+                self.mm_fault.detected_stale_hits,
+                self.mm_fault.frames_retired
             )?;
         }
         Ok(())
@@ -486,6 +504,60 @@ impl SimStats {
             num("mm_splinters", self.mm.splinters as f64);
             num("mm_resident_peak", self.mm.resident_peak as f64);
         }
+        // And for the data-path fault block: only runs that armed the
+        // demand-paging fault sites carry mm_fault/data keys.
+        if self.mm_fault.any() {
+            num(
+                "mm_fault_injected_fill_drops",
+                self.mm_fault.injected_fill_drops as f64,
+            );
+            num(
+                "mm_fault_injected_fill_delays",
+                self.mm_fault.injected_fill_delays as f64,
+            );
+            num(
+                "mm_fault_injected_fill_duplicates",
+                self.mm_fault.injected_fill_duplicates as f64,
+            );
+            num(
+                "mm_fault_injected_fill_corruptions",
+                self.mm_fault.injected_fill_corruptions as f64,
+            );
+            num(
+                "mm_fault_injected_shootdown_drops",
+                self.mm_fault.injected_shootdown_drops as f64,
+            );
+            num(
+                "mm_fault_injected_driver_stalls",
+                self.mm_fault.injected_driver_stalls as f64,
+            );
+            num(
+                "data_corruptions_detected",
+                self.mm_fault.detected_corruptions as f64,
+            );
+            num(
+                "data_stale_hits_detected",
+                self.mm_fault.detected_stale_hits as f64,
+            );
+            num(
+                "mm_fault_recovered_fills",
+                self.mm_fault.recovered_fills as f64,
+            );
+            num(
+                "mm_fault_escalated_fills",
+                self.mm_fault.escalated_fills as f64,
+            );
+            num("mm_fault_retired_fills", self.mm_fault.retired_fills as f64);
+            num(
+                "mm_fault_frames_retired",
+                self.mm_fault.frames_retired as f64,
+            );
+            num(
+                "mm_fault_fill_watchdog_timeouts",
+                self.mm_fault.fill_watchdog_timeouts as f64,
+            );
+            num("mm_fault_fill_retries", self.mm_fault.fill_retries as f64);
+        }
         format!("{{{}}}", fields.join(","))
     }
 
@@ -611,6 +683,20 @@ impl SimStats {
         s.mm.coalesces_2m = int("mm_coalesces_2m");
         s.mm.splinters = int("mm_splinters");
         s.mm.resident_peak = int("mm_resident_peak");
+        s.mm_fault.injected_fill_drops = int("mm_fault_injected_fill_drops");
+        s.mm_fault.injected_fill_delays = int("mm_fault_injected_fill_delays");
+        s.mm_fault.injected_fill_duplicates = int("mm_fault_injected_fill_duplicates");
+        s.mm_fault.injected_fill_corruptions = int("mm_fault_injected_fill_corruptions");
+        s.mm_fault.injected_shootdown_drops = int("mm_fault_injected_shootdown_drops");
+        s.mm_fault.injected_driver_stalls = int("mm_fault_injected_driver_stalls");
+        s.mm_fault.detected_corruptions = int("data_corruptions_detected");
+        s.mm_fault.detected_stale_hits = int("data_stale_hits_detected");
+        s.mm_fault.recovered_fills = int("mm_fault_recovered_fills");
+        s.mm_fault.escalated_fills = int("mm_fault_escalated_fills");
+        s.mm_fault.retired_fills = int("mm_fault_retired_fills");
+        s.mm_fault.frames_retired = int("mm_fault_frames_retired");
+        s.mm_fault.fill_watchdog_timeouts = int("mm_fault_fill_watchdog_timeouts");
+        s.mm_fault.fill_retries = int("mm_fault_fill_retries");
         Ok(s)
     }
 }
@@ -769,6 +855,54 @@ mod json_tests {
         assert_eq!(parsed.mm, s.mm);
         assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
         assert!(s.to_string().contains("demand paging: 40 major faults"));
+    }
+
+    #[test]
+    fn mm_fault_block_omitted_when_inert() {
+        let mut s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        // Even with the demand-paging block live, zero data-path
+        // counters keep the mm_fault/data keys out of the JSON.
+        s.mm.major_faults = 4;
+        s.mm.major_replays = 4;
+        let j = s.to_json();
+        assert!(
+            !j.contains("mm_fault_") && !j.contains("data_"),
+            "runs without armed data-path sites must not carry mm_fault keys: {j}"
+        );
+        assert!(!s.to_string().contains("mm faults"));
+    }
+
+    #[test]
+    fn mm_fault_block_round_trips() {
+        let mut s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        s.mm_fault.injected_fill_drops = 6;
+        s.mm_fault.injected_fill_delays = 2;
+        s.mm_fault.injected_fill_duplicates = 3;
+        s.mm_fault.injected_fill_corruptions = 4;
+        s.mm_fault.injected_shootdown_drops = 1;
+        s.mm_fault.injected_driver_stalls = 5;
+        s.mm_fault.detected_corruptions = 4;
+        s.mm_fault.detected_stale_hits = 1;
+        s.mm_fault.recovered_fills = 17;
+        s.mm_fault.escalated_fills = 1;
+        s.mm_fault.retired_fills = 1;
+        s.mm_fault.frames_retired = 1;
+        s.mm_fault.fill_watchdog_timeouts = 7;
+        s.mm_fault.fill_retries = 6;
+        let j = s.to_json();
+        assert!(j.contains("\"mm_fault_injected_fill_drops\":6"));
+        assert!(j.contains("\"data_corruptions_detected\":4"));
+        assert!(j.contains("\"mm_fault_frames_retired\":1"));
+        let parsed = SimStats::from_json(&j).expect("parse");
+        assert_eq!(parsed.mm_fault, s.mm_fault);
+        assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
+        assert!(s.to_string().contains("mm faults: 19 injected"));
     }
 
     #[test]

@@ -50,6 +50,32 @@ pub struct FaultPlan {
     /// Cycles the simulated UVM driver takes to repair a PTE and trigger
     /// the replay of an escalated translation.
     pub driver_latency: u64,
+    /// Probability that a driver fill completion is dropped (the
+    /// generation-counted fill watchdog must re-issue it).
+    pub fill_drop_rate: f64,
+    /// Probability that a driver fill completion is delayed by
+    /// [`FaultPlan::fill_delay_cycles`].
+    pub fill_delay_rate: f64,
+    /// Extra latency applied to delayed fill completions.
+    pub fill_delay_cycles: u64,
+    /// Probability that a driver fill completion is duplicated: a second,
+    /// spurious completion arrives for an already-delivered fill and must
+    /// be absorbed without double-completing the translation.
+    pub fill_duplicate_rate: f64,
+    /// Probability that a fill's data payload lands corrupted in the
+    /// frame. The end-to-end checksum stamped at fill time is what makes
+    /// this *detectable* at consumption instead of silent.
+    pub fill_corrupt_rate: f64,
+    /// Probability that the TLB-shootdown message for an evicted page is
+    /// lost, leaving a stale translation in the shared L2 TLB.
+    pub shootdown_drop_rate: f64,
+    /// Probability that the driver queue wedges on a request and sits on
+    /// it for another `driver_latency` before servicing (bounded by
+    /// `max_retries` per request).
+    pub driver_stuck_rate: f64,
+    /// Checksum failures a physical frame may accumulate before it is
+    /// retired to the allocator's bad-frame list instead of being reused.
+    pub frame_retire_threshold: u32,
 }
 
 impl Default for FaultPlan {
@@ -65,6 +91,14 @@ impl Default for FaultPlan {
             watchdog_cycles: 5_000,
             max_retries: 3,
             driver_latency: 2_000,
+            fill_drop_rate: 0.0,
+            fill_delay_rate: 0.0,
+            fill_delay_cycles: 3_000,
+            fill_duplicate_rate: 0.0,
+            fill_corrupt_rate: 0.0,
+            shootdown_drop_rate: 0.0,
+            driver_stuck_rate: 0.0,
+            frame_retire_threshold: 2,
         }
     }
 }
@@ -80,12 +114,39 @@ impl FaultPlan {
             || self.stuck_thread_rate > 0.0
     }
 
+    /// Whether any demand-paging data-path site can fire. Independent of
+    /// [`FaultPlan::enabled`] (the walk sites): a plan may storm the fill
+    /// pipeline while leaving page-table walks untouched, and vice versa.
+    pub fn data_path_enabled(&self) -> bool {
+        self.fill_drop_rate > 0.0
+            || self.fill_delay_rate > 0.0
+            || self.fill_duplicate_rate > 0.0
+            || self.fill_corrupt_rate > 0.0
+            || self.shootdown_drop_rate > 0.0
+            || self.driver_stuck_rate > 0.0
+    }
+
     /// Watchdog deadline delta for a walk that has already retried
     /// `retries` times (exponential backoff, saturating shift).
     pub fn backoff_cycles(&self, retries: u32) -> u64 {
         let shift = retries.min(16);
         self.watchdog_cycles.saturating_mul(1u64 << shift)
     }
+}
+
+/// The deterministic end-to-end data checksum stamped into a frame's
+/// first word at fill time and re-derived at consumption. Keyed by the
+/// page *and* the fill generation so a stale frame (filled for an earlier
+/// tenant, or an earlier fill of the same page) never verifies.
+pub fn data_checksum(vpn: u64, generation: u64) -> u64 {
+    let mut z = vpn
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(generation.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    // Never stamp 0: an unbacked frame reads as 0, and a checksum that
+    // collides with "no data" would make a lost fill look verified.
+    (z ^ (z >> 31)) | 1
 }
 
 /// Site salts: injectors at different sites must draw independent
@@ -101,6 +162,14 @@ pub mod site {
     pub const DRAM_DELAY: u64 = 0x27d4_eb2f_1656_67c5;
     /// Stuck-thread injection at walk assignment (salted by SM index).
     pub const STUCK_THREAD: u64 = 0x8545_03b8_bf58_476d;
+    /// Driver fill completions (drop / delay / duplicate decisions).
+    pub const FILL_COMPLETE: u64 = 0x94d0_49bb_1331_11eb;
+    /// Fill data payload corruption (and the garble pattern draw).
+    pub const FILL_PAYLOAD: u64 = 0xd6e8_feb8_6659_fd93;
+    /// TLB-shootdown message drops on eviction.
+    pub const SHOOTDOWN: u64 = 0xbf58_476d_1ce4_e5b9;
+    /// Stuck driver-queue service.
+    pub const DRIVER_QUEUE: u64 = 0x2545_f491_4f6c_dd1d;
 }
 
 /// Counters kept by each injection site and summed into `SimStats`.
@@ -179,6 +248,94 @@ impl FaultInjectionStats {
         self.fault_replays += other.fault_replays;
         self.unrecoverable_faults += other.unrecoverable_faults;
         self.fault_buffer_overflow_drops += other.fault_buffer_overflow_drops;
+    }
+}
+
+/// Counters for the demand-paging data-path fault pipeline, summed into
+/// `SimStats` as the `mm_fault_*` / `data_*` block.
+///
+/// Two conservation invariants hold once the simulation drains:
+///
+/// 1. [`MmFaultStats::injected_conserved`] `== recovered_fills +
+///    escalated_fills + retired_fills` — every recovery-requiring
+///    injection is eventually recovered in place, escalated to the fault
+///    buffer / driver replay, or resolved by retiring the failing frame.
+///    Delays are excluded (a delayed completion still arrives on its
+///    own), mirroring the walk-side convention.
+/// 2. `injected_fill_corruptions == detected_corruptions` — the
+///    end-to-end checksum catches every corrupted payload, at
+///    consumption or at the eviction-time scrub; a shortfall means an SM
+///    consumed bad data silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmFaultStats {
+    /// Driver fill completions dropped in flight.
+    pub injected_fill_drops: u64,
+    /// Driver fill completions delayed by `fill_delay_cycles`.
+    pub injected_fill_delays: u64,
+    /// Spurious duplicate fill completions injected.
+    pub injected_fill_duplicates: u64,
+    /// Fill payloads corrupted in the frame at fill time.
+    pub injected_fill_corruptions: u64,
+    /// TLB-shootdown messages lost on eviction.
+    pub injected_shootdown_drops: u64,
+    /// Driver-queue service stalls injected.
+    pub injected_driver_stalls: u64,
+    /// Checksum mismatches caught (at consumption or eviction scrub).
+    pub detected_corruptions: u64,
+    /// Stale translations caught by the consumption check: an L2 TLB hit
+    /// (or a completion that raced an eviction) whose frame no longer
+    /// belongs to the page. Not part of the conservation sum — staleness
+    /// is the *symptom*; the dropped shootdown that caused it is the
+    /// injection being conserved.
+    pub detected_stale_hits: u64,
+    /// Injections that resolved through the normal machinery (the fill
+    /// completed, a duplicate was absorbed, a stale entry was refreshed).
+    pub recovered_fills: u64,
+    /// Injections resolved by escalating the fill to the fault buffer
+    /// and a last-resort driver replay.
+    pub escalated_fills: u64,
+    /// Injections resolved by retiring the failing frame and re-filling
+    /// the page elsewhere.
+    pub retired_fills: u64,
+    /// Physical frames moved to the allocator's bad-frame list.
+    pub frames_retired: u64,
+    /// Fill-watchdog deadline expirations.
+    pub fill_watchdog_timeouts: u64,
+    /// Bounded-backoff fill completion re-issues.
+    pub fill_retries: u64,
+}
+
+impl MmFaultStats {
+    /// Total recovery-requiring data-path injections (delays excluded).
+    pub fn injected_conserved(&self) -> u64 {
+        self.injected_fill_drops
+            + self.injected_fill_duplicates
+            + self.injected_fill_corruptions
+            + self.injected_shootdown_drops
+            + self.injected_driver_stalls
+    }
+
+    /// Whether any counter is nonzero (drives conditional JSON emission).
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+
+    /// Accumulates another component's counters into this one.
+    pub fn merge(&mut self, other: &MmFaultStats) {
+        self.injected_fill_drops += other.injected_fill_drops;
+        self.injected_fill_delays += other.injected_fill_delays;
+        self.injected_fill_duplicates += other.injected_fill_duplicates;
+        self.injected_fill_corruptions += other.injected_fill_corruptions;
+        self.injected_shootdown_drops += other.injected_shootdown_drops;
+        self.injected_driver_stalls += other.injected_driver_stalls;
+        self.detected_corruptions += other.detected_corruptions;
+        self.detected_stale_hits += other.detected_stale_hits;
+        self.recovered_fills += other.recovered_fills;
+        self.escalated_fills += other.escalated_fills;
+        self.retired_fills += other.retired_fills;
+        self.frames_retired += other.frames_retired;
+        self.fill_watchdog_timeouts += other.fill_watchdog_timeouts;
+        self.fill_retries += other.fill_retries;
     }
 }
 
@@ -317,6 +474,68 @@ mod tests {
         let mut inj = FaultInjector::new(123, site::DRAM_DELAY);
         let hits = (0..10_000).filter(|_| inj.fire(0.1)).count();
         assert!((800..1200).contains(&hits), "got {hits} hits at rate 0.1");
+    }
+
+    #[test]
+    fn data_path_arming_is_independent_of_walk_arming() {
+        let walk_only = FaultPlan {
+            pte_corrupt_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        assert!(walk_only.enabled() && !walk_only.data_path_enabled());
+        for set in [
+            |p: &mut FaultPlan| p.fill_drop_rate = 0.1,
+            |p: &mut FaultPlan| p.fill_delay_rate = 0.1,
+            |p: &mut FaultPlan| p.fill_duplicate_rate = 0.1,
+            |p: &mut FaultPlan| p.fill_corrupt_rate = 0.1,
+            |p: &mut FaultPlan| p.shootdown_drop_rate = 0.1,
+            |p: &mut FaultPlan| p.driver_stuck_rate = 0.1,
+        ] {
+            let mut plan = FaultPlan::default();
+            set(&mut plan);
+            assert!(plan.data_path_enabled() && !plan.enabled());
+        }
+    }
+
+    #[test]
+    fn data_checksum_is_keyed_by_page_and_generation() {
+        assert_eq!(data_checksum(7, 1), data_checksum(7, 1));
+        assert_ne!(data_checksum(7, 1), data_checksum(8, 1));
+        assert_ne!(data_checksum(7, 1), data_checksum(7, 2));
+        for v in 0..64 {
+            assert_ne!(data_checksum(v, v), 0, "checksum collides with zero");
+        }
+    }
+
+    #[test]
+    fn mm_fault_stats_conservation_helpers() {
+        let mut s = MmFaultStats {
+            injected_fill_drops: 2,
+            injected_fill_duplicates: 1,
+            injected_fill_corruptions: 3,
+            injected_shootdown_drops: 1,
+            injected_driver_stalls: 1,
+            injected_fill_delays: 50, // excluded from the invariant
+            detected_stale_hits: 9,   // symptom counter, also excluded
+            ..MmFaultStats::default()
+        };
+        assert_eq!(s.injected_conserved(), 8);
+        assert!(s.any());
+        let other = MmFaultStats {
+            recovered_fills: 5,
+            escalated_fills: 2,
+            retired_fills: 1,
+            frames_retired: 1,
+            detected_corruptions: 3,
+            ..MmFaultStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(
+            s.injected_conserved(),
+            s.recovered_fills + s.escalated_fills + s.retired_fills
+        );
+        assert_eq!(s.injected_fill_corruptions, s.detected_corruptions);
+        assert!(!MmFaultStats::default().any());
     }
 
     #[test]

@@ -36,11 +36,11 @@ mod queue;
 pub use addr::{PhysAddr, VirtAddr};
 pub use component::Component;
 pub use cycle::Cycle;
-pub use fault::{FaultInjectionStats, FaultInjector, FaultPlan};
+pub use fault::{data_checksum, FaultInjectionStats, FaultInjector, FaultPlan, MmFaultStats};
 pub use ids::{
     ChannelId, InstrId, LaneId, MemReqId, SmId, WalkerId, WarpId, XlatId, LANES_PER_WARP,
 };
-pub use mm::{MmConfig, MmStats};
+pub use mm::{MmConfig, MmEvictPolicy, MmStats};
 pub use obs::PteReadEvent;
 pub use page::{PageSize, Pfn, Vpn};
 pub use port::Port;

@@ -13,6 +13,22 @@
 //! policy once the resident footprint exceeds a device-memory budget
 //! (oversubscription).
 
+/// Which resident page the manager evicts when the device-memory budget
+/// is exceeded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MmEvictPolicy {
+    /// Fill order: the page resident longest is evicted first,
+    /// regardless of use. The historical (and default) policy — runs
+    /// configured with it are cycle-identical to builds that predate the
+    /// policy axis.
+    #[default]
+    Fifo,
+    /// Clock (second-chance) LRU approximation: each translation
+    /// delivery sets the page's reference bit; the evictor skips (and
+    /// clears) referenced pages until it finds an unreferenced victim.
+    Lru,
+}
+
 /// Knobs of the demand-paging memory manager. Carried by `GpuConfig`, so
 /// an enabled manager participates in the config fingerprint (and a
 /// disabled one contributes nothing — run-cache keys are unchanged).
@@ -30,6 +46,8 @@ pub struct MmConfig {
     /// Whether fully-populated, physically contiguous base-page runs are
     /// transparently coalesced into 64 KiB / 2 MiB mappings.
     pub coalesce: bool,
+    /// Eviction victim selection under budget pressure.
+    pub evict: MmEvictPolicy,
 }
 
 impl Default for MmConfig {
@@ -39,6 +57,7 @@ impl Default for MmConfig {
             resident_page_budget: 0,
             fill_latency: 2_000,
             coalesce: true,
+            evict: MmEvictPolicy::Fifo,
         }
     }
 }
@@ -117,6 +136,7 @@ mod tests {
         assert!(cfg.enabled);
         assert_eq!(cfg.resident_page_budget, 0);
         assert!(cfg.coalesce);
+        assert_eq!(cfg.evict, MmEvictPolicy::Fifo);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 pub use softwalker::{DistributorPolicy, PwWarpConfig, PwWarpUnit, SwWalkRequest};
 pub use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
-pub use swgpu_types::{FaultPlan, MmConfig, PageSize};
+pub use swgpu_types::{FaultPlan, MmConfig, MmEvictPolicy, PageSize};
 pub use swgpu_workloads::{by_abbr, irregular, regular, table4, Workload, WorkloadParams};
 
 /// Formats the run metrics examples care about as a short multi-line

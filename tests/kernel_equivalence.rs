@@ -203,6 +203,62 @@ fn demand_paged_cells_are_byte_identical() {
 }
 
 #[test]
+fn faulted_demand_paged_cells_are_byte_identical() {
+    // The data-path fault machinery schedules everything the kernel can
+    // get wrong at once: fill watchdogs at exponential-backoff deadlines,
+    // delayed fill replays, re-queued (stalled) driver requests, and
+    // refills after checksum-triggered quarantines. All of it is
+    // port-driven, so the event kernel must reproduce the dense
+    // reference bit for bit under a full storm.
+    let plan = FaultPlan {
+        seed: 0xfee1_dead,
+        fill_drop_rate: 0.10,
+        fill_delay_rate: 0.05,
+        fill_duplicate_rate: 0.05,
+        fill_corrupt_rate: 0.05,
+        shootdown_drop_rate: 0.10,
+        driver_stuck_rate: 0.05,
+        ..FaultPlan::default()
+    };
+    for mode in [
+        TranslationMode::HardwarePtw,
+        TranslationMode::SoftWalker { in_tlb_mshr: true },
+        TranslationMode::Hybrid { in_tlb_mshr: true },
+    ] {
+        let make = || {
+            let mut cfg = GpuConfig::quick_test();
+            cfg.mode = mode;
+            cfg.fault_plan = plan.clone();
+            cfg.mm = MmConfig {
+                resident_page_budget: 64,
+                ..MmConfig::demand_paged()
+            };
+            let spec = by_abbr("gups").expect("known benchmark");
+            let wl = spec.build(WorkloadParams {
+                sms: cfg.sms,
+                warps_per_sm: cfg.max_warps,
+                mem_instrs_per_warp: 3,
+                footprint_percent: 20,
+                page_size: cfg.page_size,
+            });
+            GpuSimulator::new(cfg, Box::new(wl))
+        };
+        let event = make().run();
+        let dense = make().run_dense();
+        assert_eq!(
+            event.to_json(),
+            dense.to_json(),
+            "{mode:?}: fill-storm event kernel diverged from dense reference"
+        );
+        assert!(!event.timed_out, "{mode:?}: fill-storm cell must drain");
+        assert!(
+            event.mm_fault.injected_conserved() > 0,
+            "{mode:?}: fill-storm cell must actually inject"
+        );
+    }
+}
+
+#[test]
 fn observability_cells_are_byte_identical() {
     // Obs-on runs wake at sample boundaries between events; those extra
     // steps must stay no-ops for simulation state.

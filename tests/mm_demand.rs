@@ -16,8 +16,8 @@
 
 use proptest::prelude::*;
 use softwalker_repro::{
-    by_abbr, FaultPlan, GpuConfig, GpuSimulator, MmConfig, PageSize, SimStats, TranslationMode,
-    WorkloadParams,
+    by_abbr, FaultPlan, GpuConfig, GpuSimulator, MmConfig, MmEvictPolicy, PageSize, SimStats,
+    TranslationMode, WorkloadParams,
 };
 
 struct MmCell {
@@ -28,6 +28,7 @@ struct MmCell {
     budget: u64,
     coalesce: bool,
     scrambled: bool,
+    evict: MmEvictPolicy,
     plan: FaultPlan,
 }
 
@@ -41,6 +42,7 @@ impl MmCell {
             budget: 0,
             coalesce: true,
             scrambled: false,
+            evict: MmEvictPolicy::default(),
             plan: FaultPlan::default(),
         }
     }
@@ -54,6 +56,7 @@ impl MmCell {
         cfg.mm = MmConfig {
             resident_page_budget: self.budget,
             coalesce: self.coalesce,
+            evict: self.evict,
             ..MmConfig::demand_paged()
         };
         let spec = by_abbr(self.abbr).expect("known benchmark");
@@ -160,6 +163,127 @@ fn oversubscribed_run_retires_the_same_work() {
     );
     assert_eq!(oversub.mm.major_faults, oversub.mm.major_replays);
     assert_eq!(oversub.faults, 0);
+}
+
+#[test]
+fn explicit_fifo_eviction_is_the_default_cycle_for_cycle() {
+    // FIFO is the default policy: spelling it out must not perturb a
+    // single stats byte, and must not move the config fingerprint (the
+    // prebuilt sweep cache stays valid). LRU is a genuinely different
+    // machine and must re-key the cache.
+    let mut dflt = MmCell::new("gups", TranslationMode::SoftWalker { in_tlb_mshr: true });
+    dflt.budget = 64;
+    let mut fifo = MmCell::new("gups", TranslationMode::SoftWalker { in_tlb_mshr: true });
+    fifo.budget = 64;
+    fifo.evict = MmEvictPolicy::Fifo;
+    assert_eq!(
+        dflt.run().to_json(),
+        fifo.run().to_json(),
+        "explicit FIFO diverged from the default policy"
+    );
+    let mut base = GpuConfig::quick_test();
+    base.mm = MmConfig::demand_paged();
+    let mut named_fifo = base.clone();
+    named_fifo.mm.evict = MmEvictPolicy::Fifo;
+    assert_eq!(
+        base.fingerprint(),
+        named_fifo.fingerprint(),
+        "naming the default eviction policy re-keyed the cache"
+    );
+    let mut lru = base.clone();
+    lru.mm.evict = MmEvictPolicy::Lru;
+    assert_ne!(
+        base.fingerprint(),
+        lru.fingerprint(),
+        "LRU eviction must participate in the fingerprint"
+    );
+}
+
+#[test]
+fn lru_eviction_drains_and_conserves() {
+    let make = || {
+        let mut cell = MmCell::new("gups", TranslationMode::SoftWalker { in_tlb_mshr: true });
+        cell.budget = 64;
+        cell.evict = MmEvictPolicy::Lru;
+        cell
+    };
+    let lru = make().run();
+    // The clock hand changes *which* page goes, never the paging
+    // contract: the budget holds, every fault is replayed, nothing
+    // leaks to the UVM path, and the same instructions retire.
+    assert!(lru.mm.evictions > 0, "budget 64 must evict under LRU");
+    assert!(lru.mm.resident_peak <= 64);
+    assert_eq!(lru.mm.major_faults, lru.mm.major_replays);
+    assert_eq!(lru.faults, 0);
+    let mut fifo = MmCell::new("gups", TranslationMode::SoftWalker { in_tlb_mshr: true });
+    fifo.budget = 64;
+    assert_eq!(
+        lru.instructions,
+        fifo.run().instructions,
+        "eviction policy changed the retired work"
+    );
+    assert_eq!(
+        lru.to_json(),
+        make().run().to_json(),
+        "LRU run is not deterministic"
+    );
+}
+
+/// The data-path fault recipe shared by the `--jobs` width and
+/// dense ⇔ event equivalence tests: every fill-pipeline site armed.
+fn data_storm_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xfee1_dead,
+        fill_drop_rate: 0.10,
+        fill_delay_rate: 0.05,
+        fill_duplicate_rate: 0.05,
+        fill_corrupt_rate: 0.05,
+        shootdown_drop_rate: 0.10,
+        driver_stuck_rate: 0.05,
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn runner_jobs_width_does_not_change_faulted_results() {
+    // Fault-storm cells under demand paging are the most
+    // schedule-sensitive thing the runner executes (watchdogs, backoff
+    // retries, delayed replays): a worker-pool race would show here
+    // first.
+    use swgpu_bench::{Cell, Runner, Scale, SystemConfig};
+    let spec = by_abbr("gups").expect("known benchmark");
+    let cells: Vec<Cell> = [
+        SystemConfig::Baseline,
+        SystemConfig::SoftWalker,
+        SystemConfig::Hybrid,
+    ]
+    .into_iter()
+    .map(|sys| {
+        let mut cfg = sys.build(Scale::Quick);
+        cfg.mm = MmConfig {
+            resident_page_budget: 64,
+            ..MmConfig::demand_paged()
+        };
+        cfg.fault_plan = data_storm_plan();
+        Cell::bench_scaled(&spec, cfg, 20)
+    })
+    .collect();
+    let serial = Runner::new(1, None, false).run_cells(&cells);
+    let parallel = Runner::new(4, None, false).run_cells(&cells);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "worker-pool width changed a faulted demand-paged result"
+        );
+        let f = &a.mm_fault;
+        assert!(f.injected_conserved() > 0, "storm cell injected nothing");
+        assert_eq!(
+            f.injected_conserved(),
+            f.recovered_fills + f.escalated_fills + f.retired_fills,
+            "data-path conservation violated: {f:?}"
+        );
+    }
 }
 
 #[test]
