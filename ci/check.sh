@@ -44,6 +44,13 @@ echo "==> data-path fault smoke (release)"
 # allocator's bad-frame list.
 cargo run --release -q -p swgpu-bench --bin mm_fault_smoke
 
+echo "==> translation-policy smoke (release)"
+# Dead-entry replacement + translation prefetch: explicit default knobs
+# are a byte-level no-op (stats and fingerprint), DeadBlock clears its
+# MPKI floor on an irregular cell, and the prefetch ledger conserves
+# (issued = useful + late + evicted + in-flight) deterministically.
+cargo run --release -q -p swgpu-bench --bin policy_smoke
+
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the

@@ -57,6 +57,9 @@ pub struct RequestDistributor {
     counters: Vec<u32>,
     capacity: u32,
     rr_ptr: usize,
+    /// Separate rotation pointer for prefetch placement, so prefetching
+    /// never perturbs the demand-dispatch order (or the RNG stream).
+    pf_ptr: usize,
     rng: StdRng,
     stats: DistributorStats,
 }
@@ -76,6 +79,7 @@ impl RequestDistributor {
             counters: vec![0; cores],
             capacity: per_core_capacity,
             rr_ptr: 0,
+            pf_ptr: 0,
             rng: StdRng::seed_from_u64(0x50f7_3a1c),
             stats: DistributorStats::default(),
         }
@@ -151,6 +155,25 @@ impl RequestDistributor {
         (0..n)
             .map(|step| (self.rr_ptr + step) % n)
             .find(|&i| self.counters[i] < self.capacity && extra(i))
+    }
+
+    /// Places a translation *prefetch* on a core whose PW warp has idle
+    /// threads (`idle[i]`), rotating independently of the demand pointer
+    /// so prefetching never changes which core the next demand walk gets.
+    /// The core's in-flight counter is charged like a demand dispatch —
+    /// the prefetch's `FL2T` fill releases it via [`Self::on_fill`] — so
+    /// SoftPWB capacity is still never oversubscribed. Returns `None`
+    /// (without counting a block) when no idle core has capacity.
+    pub fn select_idle_core(&mut self, idle: &[bool]) -> Option<SmId> {
+        let n = self.counters.len();
+        let pick = (0..n)
+            .map(|step| (self.pf_ptr + step) % n)
+            .find(|&i| self.counters[i] < self.capacity && idle.get(i).copied().unwrap_or(false));
+        let i = pick?;
+        self.counters[i] += 1;
+        self.pf_ptr = (i + 1) % n;
+        self.stats.dispatched += 1;
+        Some(SmId::new(i as u16))
     }
 
     /// A core's `FL2T` fill arrived back at the L2 TLB (Figure 11 step 4):
@@ -258,6 +281,32 @@ mod tests {
         let mut sorted = picks.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn idle_selection_rotates_without_moving_the_demand_pointer() {
+        let mut d = RequestDistributor::new(DistributorPolicy::RoundRobin, 4, 8);
+        // Prefetch placement only considers idle cores and rotates among
+        // them on its own pointer.
+        let idle = [true, false, true, false];
+        assert_eq!(d.select_idle_core(&idle), Some(SmId::new(0)));
+        assert_eq!(d.select_idle_core(&idle), Some(SmId::new(2)));
+        assert_eq!(d.select_idle_core(&idle), Some(SmId::new(0)));
+        // The demand pointer is untouched: the next demand dispatch still
+        // starts at core 0.
+        assert_eq!(d.select_core(&[]), Some(SmId::new(0)));
+        assert_eq!(d.in_flight(SmId::new(0)), 3);
+    }
+
+    #[test]
+    fn idle_selection_respects_capacity_and_idleness() {
+        let mut d = RequestDistributor::new(DistributorPolicy::RoundRobin, 2, 1);
+        assert_eq!(d.select_idle_core(&[false, false]), None, "nobody idle");
+        assert_eq!(d.select_idle_core(&[true, false]), Some(SmId::new(0)));
+        assert_eq!(d.select_idle_core(&[true, false]), None, "core 0 full");
+        assert_eq!(d.stats().blocked, 0, "prefetch misses are not blocks");
+        d.on_fill(SmId::new(0));
+        assert_eq!(d.select_idle_core(&[true, true]), Some(SmId::new(1)));
     }
 
     #[test]

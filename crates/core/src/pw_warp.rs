@@ -43,6 +43,10 @@ pub struct SwWalkRequest {
     /// major fault — the memory-manager fill requests PW Warps service in
     /// demand-paged mode (counted as `mm_sw_fill_replays`).
     pub fill_replay: bool,
+    /// Whether this walk was issued speculatively by the translation
+    /// prefetcher rather than by a demand miss (its fill installs with
+    /// the prefetch tag in the L2 TLB).
+    pub prefetch: bool,
 }
 
 impl SwWalkRequest {
@@ -61,12 +65,19 @@ impl SwWalkRequest {
             start_level,
             node_base,
             fill_replay: false,
+            prefetch: false,
         }
     }
 
     /// Marks the request as the replay of a driver page fill.
     pub fn as_fill_replay(mut self) -> Self {
         self.fill_replay = true;
+        self
+    }
+
+    /// Marks the request as a speculative translation prefetch.
+    pub fn as_prefetch(mut self) -> Self {
+        self.prefetch = true;
         self
     }
 }
@@ -167,6 +178,9 @@ pub struct PwWarpStats {
     /// Successfully completed walks that replayed a driver page fill
     /// (demand-paged mode only; surfaced as `mm_sw_fill_replays`).
     pub fill_replays: u64,
+    /// Successfully completed walks that were speculative translation
+    /// prefetches.
+    pub prefetch_walks: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -203,6 +217,8 @@ struct ThreadWalk {
     node: PhysAddr,
     /// Whether this walk replays a driver page fill.
     fill_replay: bool,
+    /// Whether this walk is a speculative translation prefetch.
+    prefetch: bool,
     /// Bounded-backoff retries consumed (watchdog restarts and corrupted
     /// reads both count).
     retries: u32,
@@ -390,6 +406,12 @@ impl PwWarpUnit {
         self.faults.drain()
     }
 
+    /// Number of walker threads currently idle — spare walk capacity the
+    /// translation prefetcher may borrow without delaying demand walks.
+    pub fn idle_thread_slots(&self) -> usize {
+        self.idle_threads.len()
+    }
+
     /// Whether no walk is queued or executing.
     pub fn is_idle(&self) -> bool {
         self.pwb.free_slots() == self.pwb.capacity()
@@ -514,6 +536,7 @@ impl PwWarpUnit {
                 level: req.start_level,
                 node: req.node_base,
                 fill_replay: req.fill_replay,
+                prefetch: req.prefetch,
                 retries: 0,
                 pending_inj: 0,
                 gen: self.gen_base[idx],
@@ -614,6 +637,9 @@ impl PwWarpUnit {
         }
         if walk.fill_replay && pfn.is_some() {
             self.stats.fill_replays += 1;
+        }
+        if walk.prefetch && pfn.is_some() {
+            self.stats.prefetch_walks += 1;
         }
         self.stats.total_softpwb_wait += walk.started_at.since(walk.arrived_at);
         self.stats.total_execution += now.since(walk.started_at);

@@ -21,6 +21,7 @@ fn tid_of(kind: SpanKind, track: u32) -> u64 {
         SpanKind::Dispatch => 3,
         SpanKind::Fault => 4,
         SpanKind::FillRetry => 5,
+        SpanKind::Prefetch => 6,
         SpanKind::PwWarpBusy => 100 + track as u64,
         SpanKind::SwQueue | SpanKind::SwPwbWait | SpanKind::SwExec => 200 + track as u64,
     }
@@ -33,6 +34,7 @@ fn lane_name(kind: SpanKind, track: u32) -> String {
         SpanKind::Dispatch => "Distributor".to_string(),
         SpanKind::Fault => "Faults".to_string(),
         SpanKind::FillRetry => "Fill retries".to_string(),
+        SpanKind::Prefetch => "Prefetches".to_string(),
         SpanKind::PwWarpBusy => format!("SM {track} PW-Warp issue"),
         SpanKind::SwQueue | SpanKind::SwPwbWait | SpanKind::SwExec => {
             format!("SM {track} SW walks")

@@ -24,6 +24,9 @@ pub enum SpanKind {
     /// Instant: a fill watchdog re-issued a dropped driver fill
     /// completion (`aux` = retry number).
     FillRetry,
+    /// Instant: the distributor issued a translation prefetch into an
+    /// idle PW-Warp thread (`aux` = SM index).
+    Prefetch,
 }
 
 impl SpanKind {
@@ -40,6 +43,7 @@ impl SpanKind {
             SpanKind::Dispatch => 7,
             SpanKind::Fault => 8,
             SpanKind::FillRetry => 9,
+            SpanKind::Prefetch => 10,
         }
     }
 
@@ -56,6 +60,7 @@ impl SpanKind {
             7 => SpanKind::Dispatch,
             8 => SpanKind::Fault,
             9 => SpanKind::FillRetry,
+            10 => SpanKind::Prefetch,
             _ => return None,
         })
     }
@@ -73,6 +78,7 @@ impl SpanKind {
             SpanKind::Dispatch => "dispatch",
             SpanKind::Fault => "fault",
             SpanKind::FillRetry => "fill_retry",
+            SpanKind::Prefetch => "prefetch",
         }
     }
 
@@ -80,7 +86,11 @@ impl SpanKind {
     pub fn is_instant(self) -> bool {
         matches!(
             self,
-            SpanKind::PteRead | SpanKind::Dispatch | SpanKind::Fault | SpanKind::FillRetry
+            SpanKind::PteRead
+                | SpanKind::Dispatch
+                | SpanKind::Fault
+                | SpanKind::FillRetry
+                | SpanKind::Prefetch
         )
     }
 }
@@ -222,7 +232,7 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for code in 0..=9u64 {
+        for code in 0..=10u64 {
             let k = SpanKind::from_code(code).expect("valid code");
             assert_eq!(k.code(), code);
         }

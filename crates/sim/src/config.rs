@@ -4,7 +4,7 @@ use softwalker::{DistributorPolicy, PwWarpConfig};
 use swgpu_mem::{CacheConfig, DramConfig};
 use swgpu_obs::ObsConfig;
 use swgpu_ptw::{PtwConfig, PwbPolicy, WalkTiming};
-use swgpu_tlb::{TlbConfig, TlbMshrConfig};
+use swgpu_tlb::{ReplPolicy, TlbConfig, TlbMshrConfig};
 use swgpu_types::{FaultPlan, MmConfig, MmEvictPolicy, PageSize};
 
 /// Which machinery resolves L2 TLB misses — one variant per configuration
@@ -59,6 +59,35 @@ impl TranslationMode {
     }
 }
 
+/// WaSP-style translation-prefetch knobs for the Request Distributor
+/// (software-walker modes only): each cycle the distributor peeks up to
+/// `lookahead` future loads per warp stream and issues up to `degree`
+/// prefetch walks into *idle* PW-Warp threads. Prefetched fills land in
+/// the shared L2 TLB tagged, so an unused prefetch is preferentially
+/// evicted and its fate (useful / late / evicted) is counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Master switch. Disabled (the default) is fully inert: no extra
+    /// work, no stats, and no bytes in [`GpuConfig::fingerprint`].
+    pub enabled: bool,
+    /// Future load instructions to peek per warp stream.
+    pub lookahead: u32,
+    /// Maximum prefetch walks issued per cycle.
+    pub degree: u32,
+}
+
+impl PrefetchConfig {
+    /// An enabled prefetcher with modest defaults (4-load lookahead,
+    /// 2 prefetches per cycle).
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            lookahead: 4,
+            degree: 2,
+        }
+    }
+}
+
 /// Full-system configuration. [`GpuConfig::default`] reproduces Table 3;
 /// every field the paper sweeps is public.
 #[derive(Debug, Clone)]
@@ -107,6 +136,10 @@ pub struct GpuConfig {
     pub distributor_policy: DistributorPolicy,
     /// Dispatches the Request Distributor can perform per cycle.
     pub dispatches_per_cycle: usize,
+    /// Translation prefetch into idle PW-Warp threads (software-walker
+    /// modes only). Disabled by default; like [`GpuConfig::obs`], a
+    /// disabled block contributes no bytes to [`GpuConfig::fingerprint`].
+    pub prefetch: PrefetchConfig,
     /// Translation machinery under test.
     pub mode: TranslationMode,
     /// Force-enable the In-TLB MSHR even for hardware-walker modes — the
@@ -167,6 +200,7 @@ impl Default for GpuConfig {
             pw_warp: PwWarpConfig::default(),
             distributor_policy: DistributorPolicy::RoundRobin,
             dispatches_per_cycle: 2,
+            prefetch: PrefetchConfig::default(),
             mode: TranslationMode::HardwarePtw,
             force_in_tlb: false,
             scrambled_frames: true,
@@ -265,6 +299,7 @@ impl GpuConfig {
             pw_warp,
             distributor_policy,
             dispatches_per_cycle,
+            prefetch,
             mode,
             force_in_tlb,
             scrambled_frames,
@@ -318,6 +353,7 @@ impl GpuConfig {
         hash_fault_plan(&mut h, fault_plan);
         hash_obs(&mut h, obs);
         hash_mm(&mut h, mm);
+        hash_prefetch(&mut h, prefetch);
         format!("{:016x}", h.finish())
     }
 
@@ -389,6 +425,21 @@ impl GpuConfig {
                  hashed table has no incremental map/unmap path"
             );
         }
+        if self.prefetch.enabled {
+            assert!(
+                self.mode.uses_software_walkers(),
+                "translation prefetch issues walks into idle PW-Warp \
+                 threads; it requires a software-walker mode"
+            );
+            assert!(
+                self.prefetch.lookahead > 0,
+                "an enabled prefetcher needs a positive lookahead"
+            );
+            assert!(
+                self.prefetch.degree > 0,
+                "an enabled prefetcher needs a positive degree"
+            );
+        }
         if self.mode.in_tlb_enabled() || self.force_in_tlb {
             assert!(
                 self.in_tlb_max > 0,
@@ -451,10 +502,18 @@ fn hash_tlb(h: &mut Fnv, c: &TlbConfig) {
         name,
         entries,
         assoc,
+        repl,
     } = c;
     h.str(name);
     h.usize(*entries);
     h.usize(*assoc);
+    // The baseline LRU policy contributes no bytes, so every cached
+    // pre-policy-axis fingerprint — including the golden pin — is
+    // unchanged.
+    if *repl != ReplPolicy::Lru {
+        h.u64(0x5245_504c); // "REPL" marker
+        h.u64(1);
+    }
 }
 
 fn hash_tlb_mshr(h: &mut Fnv, c: &TlbMshrConfig) {
@@ -645,6 +704,24 @@ fn hash_mm(h: &mut Fnv, m: &MmConfig) {
     }
 }
 
+/// Hashes the translation-prefetch block **only when enabled** — same
+/// zero-overhead cache-key contract as [`hash_obs`]/[`hash_mm`]: a
+/// disabled block contributes no bytes, so every prefetch-off
+/// fingerprint (and every cached baseline) is unchanged.
+fn hash_prefetch(h: &mut Fnv, p: &PrefetchConfig) {
+    let PrefetchConfig {
+        enabled,
+        lookahead,
+        degree,
+    } = p;
+    if !enabled {
+        return;
+    }
+    h.u64(0x5046_4348); // "PFCH" marker
+    h.u32(*lookahead);
+    h.u32(*degree);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +867,19 @@ mod tests {
                     sample_interval: 2048,
                     ..ObsConfig::enabled()
                 }
+            }),
+            Box::new(|c| c.l1_tlb.repl = ReplPolicy::DeadBlock),
+            Box::new(|c| c.l2_tlb.repl = ReplPolicy::DeadBlock),
+            Box::new(|c| {
+                c.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+                c.prefetch = PrefetchConfig::enabled();
+            }),
+            Box::new(|c| {
+                c.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+                c.prefetch = PrefetchConfig {
+                    lookahead: 8,
+                    ..PrefetchConfig::enabled()
+                };
             }),
         ];
         let mut prints = vec![GpuConfig::default().fingerprint()];
@@ -940,6 +1030,62 @@ mod tests {
         let mut off = GpuConfig::default();
         off.mm.evict = MmEvictPolicy::Lru;
         assert_eq!(off.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+    }
+
+    #[test]
+    fn lru_policy_and_disabled_prefetch_leave_fingerprint_unchanged() {
+        // Same contract as obs/mm: the baseline replacement policy and a
+        // disabled prefetcher add no bytes, so the golden pin and every
+        // cached baseline survive the new policy axis.
+        let mut idle_knobs = GpuConfig::default();
+        idle_knobs.prefetch.lookahead = 99;
+        idle_knobs.prefetch.degree = 3;
+        assert_eq!(idle_knobs.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+
+        let mut dead = GpuConfig::default();
+        dead.l2_tlb.repl = ReplPolicy::DeadBlock;
+        dead.validate();
+        assert_ne!(
+            dead.fingerprint(),
+            GOLDEN_DEFAULT_FINGERPRINT,
+            "a non-LRU policy must bust the cache"
+        );
+
+        let sw_only = GpuConfig {
+            mode: TranslationMode::SoftWalker { in_tlb_mshr: true },
+            ..GpuConfig::default()
+        };
+        let pf = GpuConfig {
+            prefetch: PrefetchConfig::enabled(),
+            ..sw_only.clone()
+        };
+        pf.validate();
+        assert_ne!(
+            pf.fingerprint(),
+            sw_only.fingerprint(),
+            "an enabled prefetcher must bust the cache"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "software-walker mode")]
+    fn prefetch_without_software_walkers_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = TranslationMode::HardwarePtw;
+        cfg.prefetch = PrefetchConfig::enabled();
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn prefetch_with_zero_lookahead_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        cfg.prefetch = PrefetchConfig {
+            lookahead: 0,
+            ..PrefetchConfig::enabled()
+        };
+        cfg.validate();
     }
 
     #[test]

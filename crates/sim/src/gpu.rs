@@ -5,7 +5,7 @@ use crate::stats::SimStats;
 use softwalker::{
     DistributorPolicy, FaultBuffer, FaultRecord, PwWarpUnit, RequestDistributor, SwWalkRequest,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use swgpu_mem::{AccessOutcome, Cache, Dram, MemReq, PhysMem};
 use swgpu_obs::{
     BusyTracker, CounterId, HistId, ObsReport, Registry, SeriesId, Span, SpanKind, SpanRecorder,
@@ -19,6 +19,11 @@ use swgpu_types::{
     fault::site, Component, Cycle, FaultInjectionStats, FaultInjector, IdGen, MemReqId,
     MmFaultStats, Pfn, Port, SmId, VirtAddr, Vpn,
 };
+
+/// The L2 MSHR meta a translation prefetch registers as its "waiter".
+/// No SM has this id; [`GpuSimulator::finish_translation`] filters it
+/// from the waiter list instead of delivering a translation to it.
+const PREFETCH_REQUESTER: SmId = SmId::new(u16::MAX);
 
 /// Who issued a memory request into the shared L2 data cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,6 +266,15 @@ pub struct GpuSimulator {
     stale_shootdowns: BTreeMap<Vpn, u64>,
     mm_fault: MmFaultStats,
     data_faults: Option<DataFaultState>,
+    // Translation prefetch (inert unless cfg.prefetch.enabled): VPNs
+    // whose prefetch walk is still in flight, the rotation cursor over
+    // (sm, warp) streams, and the counters the TLB cannot see (issues,
+    // demand merges onto live prefetch walks, failed prefetch walks).
+    prefetch_live: BTreeSet<Vpn>,
+    prefetch_cursor: usize,
+    prefetch_issued: u64,
+    prefetch_late: u64,
+    prefetch_failed: u64,
     // Retry budgets: rejected requests are re-attempted only as capacity
     // is actually freed (2 retries per completion, covering merge
     // opportunities), so a saturated cycle costs O(freed) instead of
@@ -518,6 +532,11 @@ impl GpuSimulator {
             stale_shootdowns: BTreeMap::new(),
             mm_fault: MmFaultStats::default(),
             data_faults,
+            prefetch_live: BTreeSet::new(),
+            prefetch_cursor: 0,
+            prefetch_issued: 0,
+            prefetch_late: 0,
+            prefetch_failed: 0,
             l2_retry_budget: 0,
             l2d_retry_budget: 0,
             obs,
@@ -796,9 +815,14 @@ impl GpuSimulator {
                     }
                 } else {
                     for &victim in &outcome.evicted {
-                        self.l2.invalidate(victim);
+                        // Post-condition of the duplicate-tag fill fix:
+                        // set uniqueness means a shootdown can never find
+                        // more than one valid way per array.
+                        let dropped = self.l2.invalidate(victim);
+                        debug_assert!(dropped <= 1, "duplicate L2 TLB ways for {victim:?}");
                         for sm in &mut self.sms {
-                            sm.invalidate_translation(victim);
+                            let dropped = sm.invalidate_translation(victim);
+                            debug_assert!(dropped <= 1, "duplicate L1 TLB ways for {victim:?}");
                         }
                     }
                 }
@@ -929,8 +953,10 @@ impl GpuSimulator {
             }
         }
 
-        // SoftWalker dispatch.
+        // SoftWalker dispatch, then translation prefetch into whatever
+        // PW-Warp threads the demand stream left idle.
         self.dispatch_software_walks();
+        self.issue_prefetches();
 
         // Dispatched requests arrive at SoftPWBs.
         while let Some((sm_idx, req)) = self.sw_to_sm.recv(now) {
@@ -1181,6 +1207,12 @@ impl GpuSimulator {
                 if fresh {
                     self.stats.fresh_l2_misses += 1;
                 }
+                // A demand miss merging onto a still-in-flight prefetch
+                // walk means the prefetch was correct but late. The walk
+                // now has a real waiter, so its fills install untagged.
+                if self.prefetch_live.remove(&p.vpn) {
+                    self.prefetch_late += 1;
+                }
             }
             L2MissOutcome::MshrFailure => {
                 if fresh {
@@ -1374,6 +1406,98 @@ impl GpuSimulator {
         }
     }
 
+    /// WaSP-style translation prefetch: peek the next loads of a rotating
+    /// window of warp streams, and for pages that are neither translated
+    /// nor being walked, start a software walk on a core whose PW Warp
+    /// has idle threads. Prefetch walks register [`PREFETCH_REQUESTER`]
+    /// as their MSHR waiter and install tagged fills, so a demand miss
+    /// arriving first merges normally (counted late) and an unused fill
+    /// is preferentially evicted. One branch when disabled.
+    fn issue_prefetches(&mut self) {
+        let pf = self.cfg.prefetch;
+        if !pf.enabled || self.pw_warps.is_empty() {
+            return;
+        }
+        let idle: Vec<bool> = self
+            .pw_warps
+            .iter()
+            .map(|p| p.idle_thread_slots() > 0)
+            .collect();
+        if !idle.iter().any(|&b| b) {
+            return;
+        }
+        let streams = self.sms.len() * self.cfg.max_warps;
+        let mut issued = 0;
+        // Bounding the scan keeps the per-cycle cost proportional to the
+        // configured degree, not to the SM x warp product.
+        let scan_cap = (pf.degree as usize * 4).min(streams);
+        'streams: for _ in 0..scan_cap {
+            if issued >= pf.degree {
+                break;
+            }
+            let stream = self.prefetch_cursor % streams;
+            self.prefetch_cursor = (stream + 1) % streams;
+            let sm = SmId::new((stream / self.cfg.max_warps) as u16);
+            let warp = WarpId::new((stream % self.cfg.max_warps) as u16);
+            for vpn in self.source.peek_load_vpns(sm, warp, pf.lookahead) {
+                if issued >= pf.degree {
+                    break 'streams;
+                }
+                let (valid, pending) = self.l2.tlb().tag_population(vpn);
+                if valid > 0
+                    || pending > 0
+                    || self.l2.is_walk_in_flight(vpn)
+                    || self.prefetch_live.contains(&vpn)
+                    || self.pending_fills.contains_key(&vpn)
+                    || self.space.radix().translate(vpn, &self.phys).is_none()
+                {
+                    continue;
+                }
+                let Some(target) = self.distributor.select_idle_core(&idle) else {
+                    break 'streams;
+                };
+                match self.l2.access(vpn, PREFETCH_REQUESTER) {
+                    L2MissOutcome::MissNewWalk => {
+                        self.prefetch_live.insert(vpn);
+                        self.prefetch_issued += 1;
+                        issued += 1;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.rec.instant(
+                                SpanKind::Prefetch,
+                                0,
+                                self.now.value(),
+                                vpn.value(),
+                                target.index() as u64,
+                            );
+                            // Prefetch completions count as sw_walks, so
+                            // charging a dispatch here keeps the pinned
+                            // dispatches == sw_walks invariant.
+                            o.reg.inc(o.c_dispatches, 1);
+                        }
+                        let start = self.pwc.lookup(vpn);
+                        let req = SwWalkRequest::new(
+                            vpn,
+                            self.now,
+                            self.now,
+                            start.level,
+                            start.node_base,
+                        )
+                        .as_prefetch();
+                        self.sw_to_sm
+                            .send(self.now + self.cfg.l2_tlb_latency, (target.index(), req));
+                    }
+                    // No MSHR capacity (or a same-cycle race filled the
+                    // entry): release the charged slot and stop — the
+                    // condition will not clear within this cycle.
+                    _ => {
+                        self.distributor.on_fill(target);
+                        break 'streams;
+                    }
+                }
+            }
+        }
+    }
+
     fn finish_translation(&mut self, vpn: Vpn, pfn: Option<Pfn>, queue: u64, access: u64) {
         // End-to-end data check: before the translation is delivered to
         // its consumers, re-derive the frame's checksum. A mismatch
@@ -1466,14 +1590,26 @@ impl GpuSimulator {
             o.reg.observe(o.h_walk_total, queue + access);
         }
         self.l2_retry_budget = self.l2_retry_budget.saturating_add(2);
+        // A walk that is still a pure prefetch at completion (no demand
+        // miss merged onto it) installs its fills tagged, so the TLB can
+        // track whether the prefetch ever pays off. A failed prefetch
+        // walk is accounted as evicted — it produced nothing.
+        let pure_prefetch = self.prefetch_live.remove(&vpn);
         let waiters = match pfn {
+            Some(p) if pure_prefetch => self.l2.complete_walk_prefetched(vpn, p),
             Some(p) => self.l2.complete_walk(vpn, p),
             None => {
+                if pure_prefetch {
+                    self.prefetch_failed += 1;
+                }
                 self.stats.faults += 1;
                 self.l2.fail_walk(vpn)
             }
         };
         for sm in waiters {
+            if sm == PREFETCH_REQUESTER {
+                continue;
+            }
             self.xlat_ret
                 .send(self.now + self.cfg.xlat_return_latency, (sm, vpn, pfn));
         }
@@ -1497,6 +1633,9 @@ impl GpuSimulator {
             self.stats.l1_tlb.misses += t.misses;
             self.stats.l1_tlb.fills += t.fills;
             self.stats.l1_tlb.evictions += t.evictions;
+            self.stats.l1_tlb.dead_fills += t.dead_fills;
+            self.stats.l1_tlb.prefetch_hits += t.prefetch_hits;
+            self.stats.l1_tlb.prefetch_evictions += t.prefetch_evictions;
             let c = sm.l1d_stats();
             self.stats.l1d.accesses += c.accesses;
             self.stats.l1d.hits += c.hits;
@@ -1525,7 +1664,20 @@ impl GpuSimulator {
             agg.total_softpwb_wait += s.total_softpwb_wait;
             agg.total_execution += s.total_execution;
             agg.fill_replays += s.fill_replays;
+            agg.prefetch_walks += s.prefetch_walks;
         }
+        // Translation-policy counters. The conservation ledger closes at
+        // any stopping point: every issued prefetch is useful (first
+        // demand hit on its fill), late (demand merged onto its walk),
+        // evicted (fill discarded untouched, or the walk failed), or
+        // still in flight (walk live, or fill resident and untouched).
+        self.stats.tlb_dead_fills = self.stats.l1_tlb.dead_fills + self.l2.tlb_stats().dead_fills;
+        self.stats.prefetch_issued = self.prefetch_issued;
+        self.stats.prefetch_useful = self.l2.tlb_stats().prefetch_hits;
+        self.stats.prefetch_late = self.prefetch_late;
+        self.stats.prefetch_evicted = self.l2.tlb_stats().prefetch_evictions + self.prefetch_failed;
+        self.stats.prefetch_in_flight =
+            self.prefetch_live.len() as u64 + self.l2.tlb().prefetched_resident() as u64;
         if let Some(mm) = &self.mm {
             self.stats.mm = mm.stats();
             self.stats.mm.sw_fill_replays = self.stats.pw_warp.fill_replays;

@@ -44,7 +44,7 @@ mod gpu;
 mod stats;
 mod trace;
 
-pub use config::{GpuConfig, TranslationMode};
+pub use config::{GpuConfig, PrefetchConfig, TranslationMode};
 pub use gpu::{GpuSimulator, PrebuiltMemory};
 pub use stats::{SimStats, WalkLatencyStats};
 pub use swgpu_obs::{ObsConfig, ObsReport};

@@ -135,6 +135,26 @@ pub struct SimStats {
     /// retirement). All zero — and omitted from the JSON — unless the
     /// run armed the data-path sites of a [`swgpu_types::FaultPlan`].
     pub mm_fault: MmFaultStats,
+    /// TLB fills installed with a dead-on-arrival prediction, summed over
+    /// the L1s and the shared L2. Zero — and omitted from the JSON —
+    /// unless a TLB runs [`swgpu_tlb::ReplPolicy::DeadBlock`].
+    pub tlb_dead_fills: u64,
+    /// Translation prefetches issued into idle PW-Warp threads. Zero —
+    /// and, with the other prefetch counters, omitted from the JSON —
+    /// unless the run enabled [`crate::PrefetchConfig`].
+    pub prefetch_issued: u64,
+    /// Prefetched translations that later served a demand access.
+    pub prefetch_useful: u64,
+    /// Demand misses that arrived while the prefetch walk was still in
+    /// flight and merged onto it (the prefetch was correct but late).
+    pub prefetch_late: u64,
+    /// Prefetched translations discarded before any demand use: evicted,
+    /// invalidated, flushed, dropped at install, or failed walks.
+    pub prefetch_evicted: u64,
+    /// Prefetches still unresolved when the run drained: walks in flight
+    /// plus resident entries never touched. Closes the conservation
+    /// ledger `issued == useful + late + evicted + in_flight`.
+    pub prefetch_in_flight: u64,
     /// Lifecycle records of the first walks, when tracing was enabled.
     pub walk_trace: crate::WalkTrace,
     /// Observability report (spans, histograms, time-series), present
@@ -178,6 +198,17 @@ impl SimStats {
     /// Stall cycles (memory + scoreboard) summed over SMs.
     pub fn stall_cycles(&self) -> u64 {
         self.sm.mem_stall_cycles + self.sm.scoreboard_stall_cycles
+    }
+
+    /// Whether any translation-policy counter is live (dead-block fills
+    /// or prefetch activity) — gates the JSON/Display policy block.
+    pub fn policy_any(&self) -> bool {
+        self.tlb_dead_fills != 0
+            || self.prefetch_issued != 0
+            || self.prefetch_useful != 0
+            || self.prefetch_late != 0
+            || self.prefetch_evicted != 0
+            || self.prefetch_in_flight != 0
     }
 
     /// Stall reduction versus a baseline run (Figure 19), in [0, 1].
@@ -251,6 +282,18 @@ impl std::fmt::Display for SimStats {
                 self.mm.coalesces_2m,
                 self.mm.splinters,
                 self.mm.resident_peak
+            )?;
+        }
+        if self.policy_any() {
+            write!(
+                f,
+                "\npolicy: {} dead fills | prefetch {} issued ({} useful / {} late / {} evicted / {} in flight)",
+                self.tlb_dead_fills,
+                self.prefetch_issued,
+                self.prefetch_useful,
+                self.prefetch_late,
+                self.prefetch_evicted,
+                self.prefetch_in_flight
             )?;
         }
         if self.mm_fault.any() {
@@ -504,6 +547,17 @@ impl SimStats {
             num("mm_splinters", self.mm.splinters as f64);
             num("mm_resident_peak", self.mm.resident_peak as f64);
         }
+        // And for the translation-policy block: runs on the default LRU
+        // policy with prefetch off carry no policy keys, so existing
+        // artifacts (and the byte-identity contract) are untouched.
+        if self.policy_any() {
+            num("tlb_dead_fills", self.tlb_dead_fills as f64);
+            num("prefetch_issued", self.prefetch_issued as f64);
+            num("prefetch_useful", self.prefetch_useful as f64);
+            num("prefetch_late", self.prefetch_late as f64);
+            num("prefetch_evicted", self.prefetch_evicted as f64);
+            num("prefetch_in_flight", self.prefetch_in_flight as f64);
+        }
         // And for the data-path fault block: only runs that armed the
         // demand-paging fault sites carry mm_fault/data keys.
         if self.mm_fault.any() {
@@ -683,6 +737,12 @@ impl SimStats {
         s.mm.coalesces_2m = int("mm_coalesces_2m");
         s.mm.splinters = int("mm_splinters");
         s.mm.resident_peak = int("mm_resident_peak");
+        s.tlb_dead_fills = int("tlb_dead_fills");
+        s.prefetch_issued = int("prefetch_issued");
+        s.prefetch_useful = int("prefetch_useful");
+        s.prefetch_late = int("prefetch_late");
+        s.prefetch_evicted = int("prefetch_evicted");
+        s.prefetch_in_flight = int("prefetch_in_flight");
         s.mm_fault.injected_fill_drops = int("mm_fault_injected_fill_drops");
         s.mm_fault.injected_fill_delays = int("mm_fault_injected_fill_delays");
         s.mm_fault.injected_fill_duplicates = int("mm_fault_injected_fill_duplicates");
@@ -903,6 +963,45 @@ mod json_tests {
         assert_eq!(parsed.mm_fault, s.mm_fault);
         assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
         assert!(s.to_string().contains("mm faults: 19 injected"));
+    }
+
+    #[test]
+    fn policy_block_omitted_when_inert() {
+        let s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        let j = s.to_json();
+        assert!(
+            !j.contains("prefetch_") && !j.contains("tlb_dead_fills"),
+            "default-policy runs must serialize without policy keys: {j}"
+        );
+        assert!(!s.to_string().contains("policy:"));
+    }
+
+    #[test]
+    fn policy_block_round_trips() {
+        let mut s = SimStats {
+            cycles: 10,
+            tlb_dead_fills: 14,
+            prefetch_issued: 9,
+            prefetch_useful: 4,
+            prefetch_late: 2,
+            prefetch_evicted: 2,
+            prefetch_in_flight: 1,
+            ..SimStats::default()
+        };
+        s.walk.record(1, 1);
+        let j = s.to_json();
+        assert!(j.contains("\"tlb_dead_fills\":14"));
+        assert!(j.contains("\"prefetch_issued\":9"));
+        let parsed = SimStats::from_json(&j).expect("parse");
+        assert_eq!(parsed.prefetch_issued, 9);
+        assert_eq!(parsed.tlb_dead_fills, 14);
+        assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
+        assert!(s
+            .to_string()
+            .contains("policy: 14 dead fills | prefetch 9 issued"));
     }
 
     #[test]

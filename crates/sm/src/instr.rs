@@ -46,6 +46,15 @@ pub trait InstrSource {
     /// Next instruction for `(sm, warp)`, or `None` when the warp's work
     /// is exhausted.
     fn next_instr(&mut self, sm: SmId, warp: WarpId) -> Option<WarpInstr>;
+
+    /// Non-consuming look-ahead for translation prefetching: the pages
+    /// the next up-to-`lookahead` *load* instructions of `(sm, warp)`
+    /// will touch, in stream order, without advancing the stream. The
+    /// default (no look-ahead) keeps prefetching inert for sources that
+    /// cannot predict their future.
+    fn peek_load_vpns(&self, _sm: SmId, _warp: WarpId, _lookahead: u32) -> Vec<Vpn> {
+        Vec::new()
+    }
 }
 
 /// An [`InstrSource`] that replays a fixed per-warp instruction list —

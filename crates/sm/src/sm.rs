@@ -500,7 +500,7 @@ impl Sm {
     /// TLB's cached translation for an evicted page. In-flight L1-MSHR
     /// misses are untouched — their walk completes against the updated
     /// page table.
-    pub fn invalidate_translation(&mut self, vpn: Vpn) -> bool {
+    pub fn invalidate_translation(&mut self, vpn: Vpn) -> usize {
         self.l1_tlb.invalidate(vpn)
     }
 

@@ -200,8 +200,8 @@ impl<M> L2TlbComplex<M> {
     /// Single-page shootdown: drops the cached translation for `vpn`
     /// without disturbing in-flight MSHR walks (their waiters are still
     /// released when the walk completes; the walk itself re-reads the
-    /// updated page table). Returns whether an entry was dropped.
-    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+    /// updated page table). Returns the number of entries dropped.
+    pub fn invalidate(&mut self, vpn: Vpn) -> usize {
         self.tlb.invalidate(vpn)
     }
 
@@ -220,6 +220,20 @@ impl<M> L2TlbComplex<M> {
             self.tlb.clear_pending_and_fill(vpn, pfn);
         } else {
             self.tlb.fill(vpn, pfn);
+        }
+        waiters
+    }
+
+    /// [`L2TlbComplex::complete_walk`] for a prefetch-initiated walk: the
+    /// installed translation carries the prefetch tag so an unused
+    /// prefetch is preferentially evicted and its fate is counted.
+    pub fn complete_walk_prefetched(&mut self, vpn: Vpn, pfn: Pfn) -> Vec<M> {
+        let mut waiters = self.mshr.resolve(vpn);
+        if let Some(overflow) = self.overflow_waiters.remove(&vpn) {
+            waiters.extend(overflow);
+            self.tlb.clear_pending_and_fill_prefetched(vpn, pfn);
+        } else {
+            self.tlb.fill_prefetched(vpn, pfn);
         }
         waiters
     }
@@ -269,6 +283,7 @@ mod tests {
                 name: "L2".into(),
                 entries: 8,
                 assoc: 4,
+                repl: crate::ReplPolicy::Lru,
             },
             TlbMshrConfig {
                 entries: mshr_entries,
@@ -391,8 +406,8 @@ mod tests {
         l2.access(Vpn::new(1), 0);
         l2.complete_walk(Vpn::new(1), Pfn::new(9));
         l2.access(Vpn::new(2), 1); // walk in flight
-        assert!(l2.invalidate(Vpn::new(1)));
-        assert!(!l2.invalidate(Vpn::new(2)), "no cached entry to drop");
+        assert_eq!(l2.invalidate(Vpn::new(1)), 1);
+        assert_eq!(l2.invalidate(Vpn::new(2)), 0, "no cached entry to drop");
         assert!(l2.is_walk_in_flight(Vpn::new(2)), "walk untouched");
         assert!(matches!(
             l2.access(Vpn::new(1), 2),

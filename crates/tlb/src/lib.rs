@@ -25,4 +25,4 @@ mod tlb;
 
 pub use l2::{InTlbStats, L2MissOutcome, L2TlbComplex};
 pub use mshr::{MshrOutcome, TlbMshr, TlbMshrConfig, TlbMshrStats};
-pub use tlb::{Tlb, TlbConfig, TlbStats};
+pub use tlb::{ReplPolicy, Tlb, TlbConfig, TlbStats};

@@ -1,7 +1,22 @@
 //! The TLB array: set-associative translation cache with pending-capable
-//! entries.
+//! entries and pluggable replacement.
 
 use swgpu_types::{Pfn, Vpn};
+
+/// Replacement policy for victim selection in [`Tlb::fill`] and
+/// [`Tlb::reserve_pending`] (the latter is the In-TLB MSHR victim path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplPolicy {
+    /// Least-recently-used among valid ways (the baseline).
+    #[default]
+    Lru,
+    /// Dead-on-arrival protection: a per-set saturating reuse sampler
+    /// learns whether fills into this set tend to die untouched, marks
+    /// incoming fills predicted-dead accordingly, and the victim picker
+    /// prefers (1) dead unused prefetches, (2) any predicted-dead entry,
+    /// before falling back to plain LRU. PC-free, per-set state only.
+    DeadBlock,
+}
 
 /// Geometry of one TLB.
 #[derive(Debug, Clone)]
@@ -12,6 +27,8 @@ pub struct TlbConfig {
     pub entries: usize,
     /// Ways per set; set `assoc == entries` for a fully-associative TLB.
     pub assoc: usize,
+    /// Victim-selection policy shared by fills and pending reservations.
+    pub repl: ReplPolicy,
 }
 
 impl TlbConfig {
@@ -21,6 +38,7 @@ impl TlbConfig {
             name: "L1TLB".into(),
             entries: 32,
             assoc: 32,
+            repl: ReplPolicy::Lru,
         }
     }
 
@@ -30,6 +48,7 @@ impl TlbConfig {
             name: "L2TLB".into(),
             entries: 1024,
             assoc: 16,
+            repl: ReplPolicy::Lru,
         }
     }
 
@@ -63,6 +82,16 @@ pub struct TlbStats {
     /// Valid translations evicted to make room (for fills or pending
     /// reservations).
     pub evictions: u64,
+    /// Fills installed with the dead-on-arrival prediction set
+    /// (always 0 under [`ReplPolicy::Lru`]).
+    pub dead_fills: u64,
+    /// First demand hit on a prefetched translation (each prefetched
+    /// entry is counted at most once — its "useful" event).
+    pub prefetch_hits: u64,
+    /// Prefetched translations that left the TLB (evicted, overwritten,
+    /// invalidated, flushed, or dropped at install) before any demand
+    /// hit.
+    pub prefetch_evictions: u64,
 }
 
 impl TlbStats {
@@ -93,6 +122,12 @@ struct Entry {
     vpn: Vpn,
     pfn: Pfn,
     last_used: u64,
+    /// Installed by a translation prefetch rather than a demand walk.
+    prefetched: bool,
+    /// Hit at least once since installation.
+    touched: bool,
+    /// Predicted dead-on-arrival at install time (DeadBlock only).
+    dead: bool,
 }
 
 impl Entry {
@@ -102,11 +137,22 @@ impl Entry {
             vpn: Vpn::new(0),
             pfn: Pfn::new(0),
             last_used: 0,
+            prefetched: false,
+            touched: false,
+            dead: false,
         }
     }
 }
 
-/// A set-associative TLB with LRU replacement.
+/// Per-set dead-on-arrival sampler bounds: the score saturates in
+/// `[SCORE_MIN, SCORE_MAX]` and fills are predicted dead at
+/// `>= DEAD_THRESHOLD`. An untouched victim is evidence for death (+1),
+/// a touched victim is evidence of reuse (-1).
+const SCORE_MIN: i8 = -8;
+const SCORE_MAX: i8 = 7;
+const DEAD_THRESHOLD: i8 = 2;
+
+/// A set-associative TLB with pluggable replacement.
 ///
 /// # Example
 ///
@@ -123,6 +169,8 @@ impl Entry {
 pub struct Tlb {
     cfg: TlbConfig,
     sets: Vec<Vec<Entry>>,
+    /// Per-set dead-on-arrival score (all zeros under Lru).
+    scores: Vec<i8>,
     tick: u64,
     pending_count: usize,
     stats: TlbStats,
@@ -137,9 +185,11 @@ impl Tlb {
     pub fn new(cfg: TlbConfig) -> Self {
         cfg.validate();
         let sets = vec![vec![Entry::invalid(); cfg.assoc]; cfg.num_sets()];
+        let scores = vec![0i8; cfg.num_sets()];
         Self {
             cfg,
             sets,
+            scores,
             tick: 0,
             pending_count: 0,
             stats: TlbStats::default(),
@@ -173,6 +223,12 @@ impl Tlb {
         for e in &mut self.sets[set] {
             if e.state == EntryState::Valid && e.vpn == vpn {
                 e.last_used = tick;
+                if e.prefetched && !e.touched {
+                    self.stats.prefetch_hits += 1;
+                }
+                e.touched = true;
+                // A hit disproves the dead-on-arrival prediction.
+                e.dead = false;
                 self.stats.hits += 1;
                 return Some(e.pfn);
             }
@@ -181,7 +237,7 @@ impl Tlb {
         None
     }
 
-    /// Non-destructive probe: no statistics or LRU update.
+    /// Non-destructive probe: no statistics, LRU, or reuse-flag update.
     pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
         let set = self.set_of(vpn);
         self.sets[set]
@@ -190,91 +246,191 @@ impl Tlb {
             .map(|e| e.pfn)
     }
 
-    /// Installs a translation. Victim preference: an entry already holding
-    /// this VPN, then an invalid way, then the LRU *valid* way. Pending
-    /// ways are never displaced by ordinary fills; if every way is pending
-    /// the fill is dropped (the translation was still delivered to its
-    /// requesters) and `false` is returned.
+    /// Installs a demand translation. Victim preference: an entry already
+    /// holding this VPN, then an invalid way, then the policy victim among
+    /// *valid* ways. Pending ways are never displaced by ordinary fills;
+    /// if every way is pending the fill is dropped (the translation was
+    /// still delivered to its requesters) and `false` is returned.
+    ///
+    /// If the set holds a tag-matching *pending* way the fill is also
+    /// dropped: that pending walk owns the install for this VPN (its
+    /// [`Tlb::clear_pending_and_fill`] converts the reserved way), and
+    /// installing here would leave two same-VPN entries in the set. The
+    /// requesters of the racing fill already received their translation,
+    /// so dropping loses nothing but a few cycles of caching.
     pub fn fill(&mut self, vpn: Vpn, pfn: Pfn) -> bool {
+        self.fill_inner(vpn, pfn, false)
+    }
+
+    /// Installs a prefetched translation: same placement rules as
+    /// [`Tlb::fill`], but the entry is tagged so an unused prefetch is
+    /// preferentially evicted and its fate (hit vs. wasted) is counted.
+    /// A dropped install counts as a prefetch eviction immediately.
+    pub fn fill_prefetched(&mut self, vpn: Vpn, pfn: Pfn) -> bool {
+        self.fill_inner(vpn, pfn, true)
+    }
+
+    fn fill_inner(&mut self, vpn: Vpn, pfn: Pfn, prefetched: bool) -> bool {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(vpn);
-        let ways = &mut self.sets[set];
 
-        let way = if let Some(i) = ways
+        if self.sets[set]
             .iter()
-            .position(|e| e.state == EntryState::Valid && e.vpn == vpn)
+            .any(|e| e.state == EntryState::Pending && e.vpn == vpn)
+        {
+            // Duplicate-tag hazard: an In-TLB-tracked walk for this VPN
+            // owns the install. Drop the racing fill (see doc above).
+            if prefetched {
+                self.stats.prefetch_evictions += 1;
+            }
+            return false;
+        }
+
+        let tag_match = self.sets[set]
+            .iter()
+            .position(|e| e.state == EntryState::Valid && e.vpn == vpn);
+        let way = if let Some(i) = tag_match {
+            // In-place overwrite. If the old copy was an unused prefetch
+            // it never got its hit: account it as wasted.
+            self.note_departure(set, i, false);
+            Some(i)
+        } else if let Some(i) = self.sets[set]
+            .iter()
+            .position(|e| e.state == EntryState::Invalid)
         {
             Some(i)
-        } else if let Some(i) = ways.iter().position(|e| e.state == EntryState::Invalid) {
-            Some(i)
         } else {
-            let victim = ways
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.state == EntryState::Valid)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i);
-            if victim.is_some() {
+            let victim = Self::policy_victim(&self.sets[set], self.cfg.repl);
+            if let Some(i) = victim {
                 self.stats.evictions += 1;
+                self.note_departure(set, i, true);
             }
             victim
         };
 
         match way {
             Some(i) => {
-                ways[i] = Entry {
+                let dead = self.predict_dead(set);
+                self.sets[set][i] = Entry {
                     state: EntryState::Valid,
                     vpn,
                     pfn,
                     last_used: tick,
+                    prefetched,
+                    touched: false,
+                    dead,
                 };
+                if dead {
+                    self.stats.dead_fills += 1;
+                }
                 self.stats.fills += 1;
                 true
             }
-            None => false,
+            None => {
+                if prefetched {
+                    self.stats.prefetch_evictions += 1;
+                }
+                false
+            }
         }
     }
 
     /// Reserves a victim entry in `vpn`'s set as an In-TLB MSHR (Figure 13
-    /// steps 2-3). Victim preference: invalid way, then LRU valid way
-    /// (evicting its translation). Fails if every way in the set is
-    /// already pending — the per-set bottleneck that limits spmv in the
-    /// paper's Figure 24 discussion.
+    /// steps 2-3). Victim preference: a valid way already holding this
+    /// exact VPN (reusing it keeps the set free of duplicate tags and is
+    /// not pollution — no other warp loses its translation), then an
+    /// invalid way, then the policy victim among valid ways (evicting its
+    /// translation). Fails if every way in the set is already pending —
+    /// the per-set bottleneck that limits spmv in the paper's Figure 24
+    /// discussion.
     pub fn reserve_pending(&mut self, vpn: Vpn) -> bool {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(vpn);
-        let ways = &mut self.sets[set];
 
-        let way = if let Some(i) = ways.iter().position(|e| e.state == EntryState::Invalid) {
+        let tag_match = self.sets[set]
+            .iter()
+            .position(|e| e.state == EntryState::Valid && e.vpn == vpn);
+        let way = if let Some(i) = tag_match {
+            self.note_departure(set, i, false);
+            Some(i)
+        } else if let Some(i) = self.sets[set]
+            .iter()
+            .position(|e| e.state == EntryState::Invalid)
+        {
             Some(i)
         } else {
-            let victim = ways
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.state == EntryState::Valid)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i);
-            if victim.is_some() {
+            let victim = Self::policy_victim(&self.sets[set], self.cfg.repl);
+            if let Some(i) = victim {
                 self.stats.evictions += 1;
+                self.note_departure(set, i, true);
             }
             victim
         };
 
         match way {
             Some(i) => {
-                ways[i] = Entry {
+                self.sets[set][i] = Entry {
                     state: EntryState::Pending,
                     vpn,
                     pfn: Pfn::new(0),
                     last_used: tick,
+                    prefetched: false,
+                    touched: false,
+                    dead: false,
                 };
                 self.pending_count += 1;
                 true
             }
             None => false,
         }
+    }
+
+    /// Picks the way to displace when no invalid way exists. Only valid
+    /// ways are candidates: pending ways are never displaced.
+    fn policy_victim(ways: &[Entry], repl: ReplPolicy) -> Option<usize> {
+        fn lru_where(ways: &[Entry], pred: impl Fn(&Entry) -> bool) -> Option<usize> {
+            ways.iter()
+                .enumerate()
+                .filter(|(_, e)| e.state == EntryState::Valid && pred(e))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+        }
+        if repl == ReplPolicy::DeadBlock {
+            if let Some(i) = lru_where(ways, |e| e.dead && e.prefetched && !e.touched) {
+                return Some(i);
+            }
+            if let Some(i) = lru_where(ways, |e| e.dead) {
+                return Some(i);
+            }
+        }
+        lru_where(ways, |_| true)
+    }
+
+    /// Bookkeeping for a valid way about to be displaced: wasted-prefetch
+    /// accounting always, dead-block training only when the displacement
+    /// was a replacement decision (`train`) under DeadBlock.
+    fn note_departure(&mut self, set: usize, i: usize, train: bool) {
+        let e = &self.sets[set][i];
+        if e.state != EntryState::Valid {
+            return;
+        }
+        if e.prefetched && !e.touched {
+            self.stats.prefetch_evictions += 1;
+        }
+        if train && self.cfg.repl == ReplPolicy::DeadBlock {
+            let s = &mut self.scores[set];
+            if e.touched {
+                *s = (*s - 1).max(SCORE_MIN);
+            } else {
+                *s = (*s + 1).min(SCORE_MAX);
+            }
+        }
+    }
+
+    fn predict_dead(&self, set: usize) -> bool {
+        self.cfg.repl == ReplPolicy::DeadBlock && self.scores[set] >= DEAD_THRESHOLD
     }
 
     /// Whether `vpn`'s set already holds a pending reservation for this
@@ -290,9 +446,20 @@ impl Tlb {
     /// pending bit of every tag-matching way and installs the translation
     /// into one of them. Returns the number of pending ways cleared.
     pub fn clear_pending_and_fill(&mut self, vpn: Vpn, pfn: Pfn) -> usize {
+        self.clear_pending_fill_inner(vpn, pfn, false)
+    }
+
+    /// [`Tlb::clear_pending_and_fill`] for a prefetch-initiated walk: the
+    /// installed translation carries the prefetch tag.
+    pub fn clear_pending_and_fill_prefetched(&mut self, vpn: Vpn, pfn: Pfn) -> usize {
+        self.clear_pending_fill_inner(vpn, pfn, true)
+    }
+
+    fn clear_pending_fill_inner(&mut self, vpn: Vpn, pfn: Pfn, prefetched: bool) -> usize {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(vpn);
+        let dead = self.predict_dead(set);
         let mut cleared = 0;
         let mut filled = false;
         for e in &mut self.sets[set] {
@@ -304,10 +471,21 @@ impl Tlb {
                     e.state = EntryState::Valid;
                     e.pfn = pfn;
                     e.last_used = tick;
+                    e.prefetched = prefetched;
+                    e.touched = false;
+                    e.dead = dead;
                     filled = true;
+                    if dead {
+                        self.stats.dead_fills += 1;
+                    }
                     self.stats.fills += 1;
                 }
             }
+        }
+        if cleared == 0 && prefetched {
+            // The reservation vanished (e.g. flushed) before the prefetch
+            // completed: nothing was installed, the prefetch is wasted.
+            self.stats.prefetch_evictions += 1;
         }
         self.pending_count -= cleared;
         cleared
@@ -329,28 +507,38 @@ impl Tlb {
         cleared
     }
 
-    /// Invalidates the valid translation for one VPN (single-page TLB
+    /// Invalidates every valid translation for one VPN (single-page TLB
     /// shootdown — the memory manager's eviction path). Pending (In-TLB
     /// MSHR) ways are left alone: their in-flight walk will observe the
-    /// updated page table and complete or fault on its own. Returns
-    /// whether a valid entry was dropped.
-    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+    /// updated page table and complete or fault on its own. Returns the
+    /// number of valid entries dropped; a correct shootdown must leave
+    /// zero stale copies behind, so every tag match goes.
+    pub fn invalidate(&mut self, vpn: Vpn) -> usize {
         let set = self.set_of(vpn);
-        for e in &mut self.sets[set] {
+        let mut dropped = 0;
+        for i in 0..self.sets[set].len() {
+            let e = &self.sets[set][i];
             if e.state == EntryState::Valid && e.vpn == vpn {
-                *e = Entry::invalid();
-                return true;
+                self.note_departure(set, i, false);
+                self.sets[set][i] = Entry::invalid();
+                dropped += 1;
             }
         }
-        false
+        dropped
     }
 
     /// Invalidates every entry (TLB shootdown / address-space switch).
+    /// Resets the dead-block sampler: reuse history does not survive an
+    /// address-space switch.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for e in set {
-                *e = Entry::invalid();
+        for set in 0..self.sets.len() {
+            for i in 0..self.sets[set].len() {
+                self.note_departure(set, i, false);
+                self.sets[set][i] = Entry::invalid();
             }
+        }
+        for s in &mut self.scores {
+            *s = 0;
         }
         self.pending_count = 0;
     }
@@ -362,6 +550,36 @@ impl Tlb {
             .flatten()
             .filter(|e| e.state == EntryState::Valid)
             .count()
+    }
+
+    /// Number of prefetched translations still awaiting their first
+    /// demand hit (the resident leg of the prefetch in-flight count).
+    pub fn prefetched_resident(&self) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|e| e.state == EntryState::Valid && e.prefetched && !e.touched)
+            .count()
+    }
+
+    /// `(valid, pending)` tag-matching way counts for `vpn`'s set — the
+    /// observable form of the set-uniqueness invariant: `valid <= 1`, and
+    /// `valid` and `pending` never both nonzero (pending ways for one VPN
+    /// may number more than one: In-TLB MSHR merging).
+    pub fn tag_population(&self, vpn: Vpn) -> (usize, usize) {
+        let set = self.set_of(vpn);
+        let mut valid = 0;
+        let mut pending = 0;
+        for e in &self.sets[set] {
+            if e.vpn == vpn {
+                match e.state {
+                    EntryState::Valid => valid += 1,
+                    EntryState::Pending => pending += 1,
+                    EntryState::Invalid => {}
+                }
+            }
+        }
+        (valid, pending)
     }
 }
 
@@ -375,6 +593,16 @@ mod tests {
             name: "tiny".into(),
             entries: 4,
             assoc: 2,
+            repl: ReplPolicy::Lru,
+        })
+    }
+
+    fn tiny_dead() -> Tlb {
+        Tlb::new(TlbConfig {
+            name: "tiny".into(),
+            entries: 4,
+            assoc: 2,
+            repl: ReplPolicy::DeadBlock,
         })
     }
 
@@ -476,6 +704,36 @@ mod tests {
     }
 
     #[test]
+    fn fill_drops_on_tag_matching_pending_way() {
+        let mut t = tiny();
+        assert!(t.reserve_pending(Vpn::new(0)));
+        // A racing demand fill for the same VPN must not install a second
+        // entry next to the pending way: the pending walk owns the
+        // install.
+        assert!(!t.fill(Vpn::new(0), Pfn::new(7)), "racing fill dropped");
+        assert_eq!(t.probe(Vpn::new(0)), None);
+        assert!(t.has_pending(Vpn::new(0)));
+        assert_eq!(t.tag_population(Vpn::new(0)), (0, 1));
+        // The pending walk later installs exactly one copy.
+        assert_eq!(t.clear_pending_and_fill(Vpn::new(0), Pfn::new(7)), 1);
+        assert_eq!(t.tag_population(Vpn::new(0)), (1, 0));
+        assert_eq!(t.probe(Vpn::new(0)), Some(Pfn::new(7)));
+    }
+
+    #[test]
+    fn reserve_prefers_its_own_valid_way() {
+        let mut t = tiny();
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.fill(Vpn::new(2), Pfn::new(2));
+        assert!(t.reserve_pending(Vpn::new(0)));
+        assert_eq!(t.stats().evictions, 0, "own way is not pollution");
+        assert_eq!(t.probe(Vpn::new(2)), Some(Pfn::new(2)), "neighbour lives");
+        assert_eq!(t.tag_population(Vpn::new(0)), (0, 1));
+        assert_eq!(t.clear_pending_and_fill(Vpn::new(0), Pfn::new(9)), 1);
+        assert_eq!(t.tag_population(Vpn::new(0)), (1, 0));
+    }
+
+    #[test]
     fn invalidate_targets_one_vpn_and_spares_pending() {
         let mut t = tiny();
         // Even VPNs share set 0; the pending way goes to set 1 so the
@@ -483,9 +741,9 @@ mod tests {
         t.fill(Vpn::new(0), Pfn::new(1));
         t.fill(Vpn::new(2), Pfn::new(2));
         t.reserve_pending(Vpn::new(5));
-        assert!(t.invalidate(Vpn::new(0)));
-        assert!(!t.invalidate(Vpn::new(0)), "already gone");
-        assert!(!t.invalidate(Vpn::new(5)), "pending ways are spared");
+        assert_eq!(t.invalidate(Vpn::new(0)), 1);
+        assert_eq!(t.invalidate(Vpn::new(0)), 0, "already gone");
+        assert_eq!(t.invalidate(Vpn::new(5)), 0, "pending ways are spared");
         assert_eq!(t.probe(Vpn::new(0)), None);
         assert_eq!(t.probe(Vpn::new(2)), Some(Pfn::new(2)));
         assert_eq!(t.pending_entries(), 1);
@@ -509,5 +767,100 @@ mod tests {
         t.lookup(Vpn::new(0));
         t.lookup(Vpn::new(2));
         assert!((t.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_block_predictor_learns_from_zero_reuse() {
+        let mut t = tiny_dead();
+        // A never-reused fill stream through set 0: every eviction of an
+        // untouched victim raises the set's death score until new fills
+        // arrive predicted dead.
+        for i in 0..8 {
+            t.fill(Vpn::new(2 * i), Pfn::new(i));
+        }
+        assert!(t.stats().dead_fills > 0, "predictor must engage");
+        // Under Lru the same stream never marks a fill dead.
+        let mut l = tiny();
+        for i in 0..8 {
+            l.fill(Vpn::new(2 * i), Pfn::new(i));
+        }
+        assert_eq!(l.stats().dead_fills, 0);
+    }
+
+    #[test]
+    fn dead_entries_are_evicted_before_live_ones() {
+        let mut t = tiny_dead();
+        // Train: vpn0/vpn2 fill the ways, vpn4/vpn6 evict them untouched
+        // (score reaches 2, so vpn6 installs predicted-dead).
+        for i in 0..4 {
+            t.fill(Vpn::new(2 * i), Pfn::new(i));
+        }
+        assert_eq!(t.probe(Vpn::new(4)), Some(Pfn::new(2)));
+        assert_eq!(t.probe(Vpn::new(6)), Some(Pfn::new(3)));
+        // vpn4 (older, not predicted dead) would be the LRU victim, but
+        // DeadBlock sacrifices the predicted-dead vpn6 instead.
+        t.fill(Vpn::new(8), Pfn::new(9));
+        assert_eq!(t.probe(Vpn::new(4)), Some(Pfn::new(2)), "live protected");
+        assert_eq!(t.probe(Vpn::new(6)), None, "dead evicted first");
+    }
+
+    #[test]
+    fn touched_victims_cool_the_predictor() {
+        let mut t = tiny_dead();
+        // Every victim is touched before eviction: the score only falls,
+        // so no fill is ever predicted dead.
+        for i in 0..8 {
+            t.fill(Vpn::new(2 * i), Pfn::new(i));
+            t.lookup(Vpn::new(2 * i));
+        }
+        assert_eq!(t.stats().dead_fills, 0);
+    }
+
+    #[test]
+    fn prefetch_tagging_counts_hits_and_evictions() {
+        let mut t = tiny();
+        t.fill_prefetched(Vpn::new(0), Pfn::new(1));
+        t.fill_prefetched(Vpn::new(2), Pfn::new(2));
+        assert_eq!(t.prefetched_resident(), 2);
+        assert_eq!(t.lookup(Vpn::new(0)), Some(Pfn::new(1)));
+        assert_eq!(t.stats().prefetch_hits, 1);
+        assert_eq!(t.prefetched_resident(), 1);
+        t.lookup(Vpn::new(0));
+        assert_eq!(t.stats().prefetch_hits, 1, "useful counted once");
+        // vpn2 is LRU and still untouched: evicting it wastes the prefetch.
+        t.fill(Vpn::new(4), Pfn::new(3));
+        assert_eq!(t.stats().prefetch_evictions, 1);
+        assert_eq!(t.prefetched_resident(), 0);
+    }
+
+    #[test]
+    fn prefetched_dead_entries_are_first_victims() {
+        let mut t = tiny_dead();
+        for i in 0..4 {
+            t.fill(Vpn::new(2 * i), Pfn::new(i));
+        }
+        // Score is 2: the prefetch installs predicted-dead (evicting the
+        // dead vpn6), then the next demand fill sacrifices the unused
+        // prefetch before any demand entry.
+        t.fill_prefetched(Vpn::new(8), Pfn::new(9));
+        assert_eq!(t.probe(Vpn::new(8)), Some(Pfn::new(9)));
+        t.fill(Vpn::new(10), Pfn::new(11));
+        assert_eq!(t.probe(Vpn::new(8)), None, "unused prefetch went first");
+        assert_eq!(t.probe(Vpn::new(4)), Some(Pfn::new(2)), "demand survives");
+        assert_eq!(t.stats().prefetch_evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_counts_wasted_prefetches() {
+        let mut t = tiny();
+        t.fill_prefetched(Vpn::new(0), Pfn::new(1));
+        assert_eq!(t.invalidate(Vpn::new(0)), 1);
+        assert_eq!(t.stats().prefetch_evictions, 1);
+        // A touched prefetch already counted as useful: not wasted.
+        t.fill_prefetched(Vpn::new(2), Pfn::new(2));
+        t.lookup(Vpn::new(2));
+        assert_eq!(t.invalidate(Vpn::new(2)), 1);
+        assert_eq!(t.stats().prefetch_evictions, 1);
+        assert_eq!(t.stats().prefetch_hits, 1);
     }
 }

@@ -4,7 +4,7 @@ use crate::pattern::mix;
 use crate::spec::BenchmarkSpec;
 use std::collections::HashMap;
 use swgpu_sm::{InstrSource, WarpInstr};
-use swgpu_types::{PageSize, SmId, VirtAddr, WarpId};
+use swgpu_types::{PageSize, SmId, VirtAddr, Vpn, WarpId};
 
 /// Sizing parameters for one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +155,28 @@ impl InstrSource for Workload {
                 cycles: self.spec.compute_cycles,
             }),
         }
+    }
+
+    /// The generator is a pure function of `(warp, step)`, so the warp's
+    /// future loads are known exactly without consuming the stream: the
+    /// cursor gives the next unissued step, and `lane_addrs` reproduces
+    /// what `next_instr` will emit for it.
+    fn peek_load_vpns(&self, sm: SmId, warp: WarpId, lookahead: u32) -> Vec<Vpn> {
+        if sm.index() >= self.params.sms || warp.index() >= self.params.warps_per_sm {
+            return Vec::new();
+        }
+        let next = self.cursors.get(&(sm, warp)).map_or(0, |c| c.iter);
+        let last = u64::from(self.params.mem_instrs_per_warp).min(next + u64::from(lookahead));
+        let mut vpns = Vec::new();
+        for step in next..last {
+            for addr in self.lane_addrs(sm, warp, step) {
+                let vpn = self.params.page_size.vpn_of(addr);
+                if !vpns.contains(&vpn) {
+                    vpns.push(vpn);
+                }
+            }
+        }
+        vpns
     }
 }
 

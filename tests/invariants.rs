@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use swgpu_mem::{AccessKind, Cache, CacheConfig, Dram, DramConfig, MemReq};
-use swgpu_tlb::{L2MissOutcome, L2TlbComplex, TlbConfig, TlbMshrConfig};
+use swgpu_tlb::{L2MissOutcome, L2TlbComplex, ReplPolicy, TlbConfig, TlbMshrConfig};
 use swgpu_types::{Cycle, MemReqId, Pfn, PhysAddr, Vpn};
 
 proptest! {
@@ -20,7 +20,7 @@ proptest! {
         in_tlb_max in prop::sample::select(vec![0usize, 4, 16, 64]),
     ) {
         let mut l2: L2TlbComplex<u64> = L2TlbComplex::new(
-            TlbConfig { name: "t".into(), entries: 64, assoc: 4 },
+            TlbConfig { name: "t".into(), entries: 64, assoc: 4, repl: ReplPolicy::Lru },
             TlbMshrConfig { entries: mshr_entries, max_merges: 4 },
             in_tlb_max,
         );
@@ -58,7 +58,7 @@ proptest! {
         in_tlb_max in prop::sample::select(vec![1usize, 3, 7, 32]),
     ) {
         let mut l2: L2TlbComplex<u32> = L2TlbComplex::new(
-            TlbConfig { name: "t".into(), entries: 64, assoc: 4 },
+            TlbConfig { name: "t".into(), entries: 64, assoc: 4, repl: ReplPolicy::Lru },
             TlbMshrConfig { entries: 2, max_merges: 2 },
             in_tlb_max,
         );

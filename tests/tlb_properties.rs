@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use swgpu_tlb::{Tlb, TlbConfig};
+use swgpu_tlb::{ReplPolicy, Tlb, TlbConfig};
 use swgpu_types::{Pfn, Vpn};
 
 /// A reference "infinite TLB": a plain map. The real TLB may evict, so
@@ -27,6 +27,7 @@ proptest! {
             name: "prop".into(),
             entries: 16,
             assoc,
+            repl: ReplPolicy::Lru,
         });
         let mut reference = RefTlb::default();
         for (vpn, is_fill) in ops {
@@ -46,7 +47,12 @@ proptest! {
     fn valid_entries_never_exceed_capacity(
         vpns in prop::collection::vec(0u64..256, 1..300),
     ) {
-        let mut tlb = Tlb::new(TlbConfig { name: "cap".into(), entries: 32, assoc: 4 });
+        let mut tlb = Tlb::new(TlbConfig {
+            name: "cap".into(),
+            entries: 32,
+            assoc: 4,
+            repl: ReplPolicy::Lru,
+        });
         for v in vpns {
             tlb.fill(Vpn::new(v), Pfn::new(v));
             prop_assert!(tlb.valid_entries() <= 32);
@@ -57,7 +63,12 @@ proptest! {
     fn pending_and_valid_counts_are_consistent(
         ops in prop::collection::vec((0u64..32, 0u8..3), 1..200),
     ) {
-        let mut tlb = Tlb::new(TlbConfig { name: "mix".into(), entries: 16, assoc: 4 });
+        let mut tlb = Tlb::new(TlbConfig {
+            name: "mix".into(),
+            entries: 16,
+            assoc: 4,
+            repl: ReplPolicy::Lru,
+        });
         let mut outstanding: Vec<u64> = Vec::new();
         for (vpn, op) in ops {
             match op {
@@ -91,7 +102,12 @@ proptest! {
     ) {
         // Fully-associative 32-entry TLB: an entry touched every iteration
         // must never be evicted by LRU.
-        let mut tlb = Tlb::new(TlbConfig { name: "lru".into(), entries: 32, assoc: 32 });
+        let mut tlb = Tlb::new(TlbConfig {
+            name: "lru".into(),
+            entries: 32,
+            assoc: 32,
+            repl: ReplPolicy::Lru,
+        });
         let hot = Vpn::new(1 << 40);
         tlb.fill(hot, Pfn::new(7));
         for v in victims {
@@ -99,5 +115,53 @@ proptest! {
             tlb.fill(Vpn::new(v), Pfn::new(v));
         }
         prop_assert_eq!(tlb.lookup(hot), Some(Pfn::new(7)));
+    }
+
+    /// Set uniqueness under arbitrary interleavings of every mutating
+    /// operation, on both replacement policies: a VPN never has more
+    /// than one Valid way, and a Valid way never coexists with a
+    /// Pending way of the same tag (the duplicate-tag fill hazard).
+    /// Multiple Pending ways for one tag are legal — that is the In-TLB
+    /// merge path.
+    #[test]
+    fn set_uniqueness_under_arbitrary_interleavings(
+        ops in prop::collection::vec((0u64..32, 0u8..6), 1..300),
+        dead_block in any::<bool>(),
+    ) {
+        let mut tlb = Tlb::new(TlbConfig {
+            name: "uniq".into(),
+            entries: 16,
+            assoc: 4,
+            repl: if dead_block { ReplPolicy::DeadBlock } else { ReplPolicy::Lru },
+        });
+        for (vpn, op) in ops {
+            let v = Vpn::new(vpn);
+            match op {
+                0 => {
+                    tlb.fill(v, Pfn::new(vpn));
+                }
+                1 => {
+                    tlb.fill_prefetched(v, Pfn::new(vpn));
+                }
+                2 => {
+                    tlb.reserve_pending(v);
+                }
+                3 => {
+                    tlb.clear_pending_and_fill(v, Pfn::new(vpn));
+                }
+                4 => {
+                    tlb.invalidate(v);
+                }
+                _ => tlb.flush(),
+            }
+            for u in 0..32u64 {
+                let (valid, pending) = tlb.tag_population(Vpn::new(u));
+                prop_assert!(valid <= 1, "vpn {u}: {valid} valid ways");
+                prop_assert!(
+                    valid == 0 || pending == 0,
+                    "vpn {u}: valid and pending ways coexist ({valid}/{pending})"
+                );
+            }
+        }
     }
 }
