@@ -54,7 +54,7 @@ cargo run --release -q -p swgpu-bench --bin policy_smoke
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the
-# trace-capped Figure 9 cells, whose walk traces ride in the schema-v5
+# trace-capped Figure 9 cells, whose walk traces ride in the schema-v6
 # artifacts.
 SWGPU_RUN_CACHE="target/ci-run-cache-$$" ; export SWGPU_RUN_CACHE
 rm -rf "$SWGPU_RUN_CACHE"
@@ -86,6 +86,12 @@ for f in "$TRACE_DIR"/fig09-*.json; do
   grep -q '"ph":"X"' "$f" || { echo "FAIL: no duration spans in $f"; exit 1; }
   grep -q '"ph":"C"' "$f" || { echo "FAIL: no counter track in $f"; exit 1; }
 done
+# --trace-out also streams one SWTB binary per obs cell; each must pass
+# trace_tool's structural validation.
+for f in "$TRACE_DIR"/*.swtb; do
+  [ -s "$f" ] || { echo "FAIL: empty SWTB stream file $f"; exit 1; }
+done
+cargo run --release -q -p swgpu-bench --bin trace_tool -- validate "$TRACE_DIR"/*.swtb
 second=$(cargo run --release -q -p swgpu-bench --bin fig09_timeline -- --quick --trace-out "$TRACE_DIR" 2>&1 >/dev/null | grep "totals:")
 rm -rf "$SWGPU_RUN_CACHE" "$TRACE_DIR"
 unset SWGPU_RUN_CACHE
@@ -93,5 +99,22 @@ case "$second" in
   *"totals: 0 simulated,"*) echo "    obs cache hit: $second" ;;
   *) echo "FAIL: second obs-armed fig09 run re-simulated: $second"; exit 1 ;;
 esac
+
+echo "==> streaming trace pipeline smoke (obs_stream_smoke + trace_tool)"
+# A full-detail cell with a deliberately tiny span staging buffer and an
+# SWTB file sink attached: zero drops with the sink in place, the file
+# reconstructs the complete span set, and the Perfetto conversion
+# self-validates. trace_tool then re-validates and converts the file.
+STREAM_DIR="target/ci-stream-smoke-$$"
+rm -rf "$STREAM_DIR"
+out=$(cargo run --release -q -p swgpu-bench --bin obs_stream_smoke -- "$STREAM_DIR" --quick)
+case "$out" in
+  *"stream smoke OK:"*) echo "    $out" ;;
+  *) echo "FAIL: obs_stream_smoke printed no OK line: $out"; exit 1 ;;
+esac
+cargo run --release -q -p swgpu-bench --bin trace_tool -- validate "$STREAM_DIR"/*.swtb
+cargo run --release -q -p swgpu-bench --bin trace_tool -- to-perfetto "$STREAM_DIR"/*.swtb "$STREAM_DIR/smoke.json"
+grep -q '"ph":"X"' "$STREAM_DIR/smoke.json" || { echo "FAIL: no duration spans in converted trace"; exit 1; }
+rm -rf "$STREAM_DIR"
 
 echo "All checks passed."

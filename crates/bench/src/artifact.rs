@@ -6,12 +6,12 @@
 //! cache — running `fig16` then `fig18` re-simulates nothing — and as a
 //! machine-readable artifact for external plotting/analysis tooling.
 //!
-//! Schema (version 5, flat except for the nested stats object and the
+//! Schema (version 6, flat except for the nested stats object and the
 //! trailing walk-trace / observability payloads):
 //!
 //! ```json
 //! {
-//!   "schema": 5,
+//!   "schema": 6,
 //!   "key": "bfs-fp100-a1b2c3d4e5f60718",
 //!   "workload": "bfs-fp100",
 //!   "config": "a1b2c3d4e5f60718",
@@ -34,12 +34,13 @@
 //! to schema v2 modulo the version digit. Unknown top-level keys are
 //! ignored on read so the schema can grow.
 //!
-//! Migration: artifacts with any other schema version (v4 from before
-//! the demand-paged memory manager's `mm_*` / silent-corruption stats
-//! keys, v3 from before the event-scheduled kernel's `kernel_steps` /
-//! `kernel_cycles_skipped` stats counters, v2 from before the
-//! observability layer, v1 from before persisted traces) probe as
-//! [`LoadOutcome::Stale`] — the runner
+//! Migration: artifacts with any other schema version (v5 from before
+//! the streaming trace pipeline's `spans_dropped_by_kind` /
+//! `spans_flushed` obs keys, v4 from before the demand-paged memory
+//! manager's `mm_*` / silent-corruption stats keys, v3 from before the
+//! event-scheduled kernel's `kernel_steps` / `kernel_cycles_skipped`
+//! stats counters, v2 from before the observability layer, v1 from
+//! before persisted traces) probe as [`LoadOutcome::Stale`] — the runner
 //! silently re-simulates and overwrites them; they are *not* quarantined
 //! like corrupt files.
 
@@ -50,7 +51,7 @@ use swgpu_sim::{ObsReport, SimStats, WalkTrace};
 
 /// Current artifact schema version. Readers report other versions as
 /// stale (the runner then just re-simulates and overwrites).
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Upper bound on persisted walk-trace records. Runs configured with a
 /// larger `walk_trace_cap` write their artifact *without* the payload, so
@@ -92,7 +93,20 @@ impl RunArtifact {
         self.stats.obs.is_some()
     }
 
-    /// Serializes the artifact (schema version 5). The walk-trace and
+    /// Whether the observability payload (if any) holds the *complete*
+    /// span set. A run that streamed spans to an SWTB sink keeps only
+    /// the staged tail in memory (`spans_flushed > 0`); persisting or
+    /// serving such a report from the cache would silently hand later
+    /// consumers a truncated timeline, so the runner treats incomplete
+    /// payloads as uncacheable.
+    pub fn obs_payload_complete(&self) -> bool {
+        self.stats
+            .obs
+            .as_deref()
+            .is_none_or(ObsReport::spans_complete)
+    }
+
+    /// Serializes the artifact (schema version 6). The walk-trace and
     /// observability payloads go last so the flat scalar fields and the
     /// flat stats object stay parseable by the simple extractors below.
     pub fn to_json(&self) -> String {
@@ -447,13 +461,23 @@ mod tests {
     fn obs_off_artifact_matches_v2_layout() {
         // The acceptance bar for the schema bumps: an obs-off artifact is
         // byte-identical to what schema v2 wrote, modulo the version
-        // digit (v4 and v5 added stats keys inside the nested stats
-        // object — v5's only for demand-paged / silent-corruption runs —
-        // not at the artifact layer). Anything else would invalidate
-        // every cached cell.
+        // digit (v4/v5 added stats keys inside the nested stats object,
+        // v6 added obs-payload keys — neither at the artifact layer for
+        // obs-off runs). Anything else would invalidate every cached
+        // cell.
         let json = sample().to_json();
         assert!(!json.contains("\"obs\""));
-        assert!(json.starts_with("{\"schema\":5,\"key\":"));
+        assert!(json.starts_with("{\"schema\":6,\"key\":"));
+    }
+
+    #[test]
+    fn streamed_obs_payload_is_flagged_incomplete() {
+        let mut a = sample_with_obs();
+        assert!(a.obs_payload_complete());
+        a.stats.obs.as_mut().unwrap().spans_flushed = 12;
+        assert!(!a.obs_payload_complete());
+        // Obs-off artifacts are trivially complete.
+        assert!(sample().obs_payload_complete());
     }
 
     #[test]
@@ -469,7 +493,7 @@ mod tests {
     fn schema_mismatch_is_rejected() {
         let bad = sample()
             .to_json()
-            .replacen("\"schema\":5", "\"schema\":4", 1);
+            .replacen("\"schema\":6", "\"schema\":5", 1);
         assert!(RunArtifact::from_json(&bad).is_err());
     }
 
@@ -549,14 +573,14 @@ mod tests {
         let dir = test_dir("stale");
         std::fs::create_dir_all(&dir).unwrap();
         let a = sample();
-        // Every older generation must migrate the same way: a v4
-        // artifact (pre-demand-paging), a v3 artifact
-        // (pre-kernel-counters), a v2 artifact (pre-observability) and a
-        // v1 artifact (pre-trace).
-        for old in [4u32, 3, 2, 1] {
+        // Every older generation must migrate the same way: a v5
+        // artifact (pre-streaming-trace), a v4 artifact
+        // (pre-demand-paging), a v3 artifact (pre-kernel-counters), a v2
+        // artifact (pre-observability) and a v1 artifact (pre-trace).
+        for old in [5u32, 4, 3, 2, 1] {
             let stale = a
                 .to_json()
-                .replacen("\"schema\":5", &format!("\"schema\":{old}"), 1);
+                .replacen("\"schema\":6", &format!("\"schema\":{old}"), 1);
             std::fs::write(RunArtifact::path_in(&dir, &a.key), stale).unwrap();
             assert!(matches!(
                 RunArtifact::probe(&dir, &a.key),

@@ -41,11 +41,16 @@ fn export_trace(dir: &Path, label: &str, stats: &swgpu_sim::SimStats) {
         return;
     };
     if report.spans_dropped > 0 {
+        let breakdown: Vec<String> = report
+            .dropped_by_kind()
+            .map(|(kind, n)| format!("{} {}", n, kind.name()))
+            .collect();
         eprintln!(
-            "warning: span recorder for {label} overflowed ({} spans dropped); \
-             the exported trace is truncated — raise ObsConfig::max_spans to \
-             capture the full run",
-            report.spans_dropped
+            "warning: span recorder for {label} overflowed ({} spans dropped: {}); \
+             the exported trace is truncated — raise ObsConfig::max_spans or \
+             stream with --trace-out to capture the full run",
+            report.spans_dropped,
+            breakdown.join(", ")
         );
     }
     let trace = swgpu_obs::to_chrome_trace(report);

@@ -1,0 +1,99 @@
+//! `obs_stream_smoke`: end-to-end exercise of the streaming trace
+//! pipeline, run by `ci/check.sh`.
+//!
+//! Simulates a Figure 18-style full-detail cell (gups × SoftWalker,
+//! every walk observed) with a deliberately tiny span staging buffer and
+//! an SWTB file sink attached, then asserts the bounded-memory
+//! contract end to end:
+//!
+//! * the staging buffer overflows mid-run (spans are flushed, not
+//!   hoarded) yet `spans_dropped == 0` — a sink-backed recorder never
+//!   drops;
+//! * the written SWTB file reads back as a structurally valid trace
+//!   whose reconstructed report carries the complete span set;
+//! * the reconstructed report's Perfetto export passes JSON
+//!   self-validation.
+//!
+//! Usage: `obs_stream_smoke <output-dir> [--quick]`. Exits nonzero (via
+//! panic) on any violated invariant; prints `stream smoke OK: <path>`
+//! on success.
+
+use swgpu_bench::runner::swtb_path;
+use swgpu_bench::{parse_args, Cell, Scale, SystemConfig};
+use swgpu_sim::{GpuConfig, ObsConfig};
+use swgpu_workloads::by_abbr;
+
+/// Staging-buffer size: small enough that a quick-scale gups run
+/// overflows it many times over, so the flush path is genuinely
+/// exercised rather than everything riding in the final staged tail.
+const STAGING_SPANS: usize = 4096;
+
+fn main() {
+    let h = parse_args();
+    let dir = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with('-'))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("obs-stream-smoke"));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    let spec = by_abbr("gups").expect("known benchmark");
+    let cfg = GpuConfig {
+        obs: ObsConfig {
+            span_capacity: STAGING_SPANS,
+            ..ObsConfig::enabled()
+        },
+        ..SystemConfig::SoftWalker.build(h.scale)
+    };
+    let cell = Cell::bench(&spec, cfg);
+    let key = cell.key();
+    let path = swtb_path(&dir, &key);
+
+    let mut sim = cell.build_simulator();
+    let file = std::fs::File::create(&path).expect("create SWTB file");
+    assert!(
+        sim.attach_trace_sink(Box::new(std::io::BufWriter::new(file))),
+        "obs-enabled cell must accept a trace sink"
+    );
+    let stats = sim.run();
+    assert!(!stats.timed_out, "smoke cell must retire");
+
+    let report = stats.obs.as_deref().expect("obs report");
+    assert_eq!(
+        report.spans_dropped, 0,
+        "a sink-backed staging buffer must never drop spans"
+    );
+    assert!(
+        report.spans_flushed > 0,
+        "the {STAGING_SPANS}-span staging buffer must overflow mid-run"
+    );
+
+    let bytes = std::fs::read(&path).expect("read SWTB file back");
+    let trace =
+        swgpu_obs::validate_trace(&bytes).unwrap_or_else(|e| panic!("SWTB validation failed: {e}"));
+    assert_eq!(trace.fingerprint, cell.cfg.fingerprint());
+    assert!(trace.span_batches > 1, "spans must stream incrementally");
+    assert_eq!(trace.report.spans_dropped, 0);
+    assert_eq!(
+        trace.report.spans.len() as u64,
+        report.spans_flushed + report.spans.len() as u64,
+        "the file must reconstruct the complete span set"
+    );
+
+    let perfetto = swgpu_obs::to_chrome_trace(&trace.report);
+    swgpu_obs::validate_json(&perfetto)
+        .unwrap_or_else(|e| panic!("Perfetto export is not valid JSON: {e}"));
+
+    let scale_label = match h.scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    println!(
+        "stream smoke OK: {} ({} bytes, {} spans reconstructed, {} flushed, {} batches, {scale_label} scale)",
+        path.display(),
+        bytes.len(),
+        trace.report.spans.len(),
+        report.spans_flushed,
+        trace.span_batches
+    );
+}

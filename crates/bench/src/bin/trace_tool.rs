@@ -1,0 +1,150 @@
+//! `trace_tool`: inspect, validate and convert SWTB trace files.
+//!
+//! The streaming trace pipeline (`--trace-out <dir>` on the figure
+//! harnesses) writes one compact binary `.swtb` file per obs-enabled
+//! cell. This tool is the consumer side:
+//!
+//! ```text
+//! trace_tool info <file.swtb>              # header + record inventory
+//! trace_tool validate <file.swtb>...       # structural validation
+//! trace_tool to-perfetto <file.swtb> [out] # Chrome trace-event JSON
+//! trace_tool stats <file.swtb>             # counters + percentiles
+//! ```
+//!
+//! `validate` accepts multiple files and exits nonzero if any fails;
+//! `to-perfetto` writes to `<file>.json` next to the input when no
+//! output path is given. All subcommands exit 1 on an unreadable or
+//! structurally invalid trace.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use swgpu_obs::{read_trace, to_chrome_trace, validate_json, validate_trace, SwtbTrace};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_tool <info|validate|to-perfetto|stats> <file.swtb> [args]\n\
+         \n\
+         info        <file.swtb>            print header and record inventory\n\
+         validate    <file.swtb>...         structural validation (exit 1 on failure)\n\
+         to-perfetto <file.swtb> [out.json] convert to Chrome trace-event JSON\n\
+         stats       <file.swtb>            print counters and histogram percentiles"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &Path) -> Result<(Vec<u8>, SwtbTrace), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace = read_trace(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((bytes, trace))
+}
+
+fn info(path: &Path) -> Result<(), String> {
+    let (bytes, t) = load(path)?;
+    let r = &t.report;
+    println!("file:         {} ({} bytes)", path.display(), bytes.len());
+    println!("version:      {}", t.version);
+    println!("fingerprint:  {}", t.fingerprint);
+    println!("interval:     {} cycles", r.interval);
+    println!(
+        "records:      {} ({} span batches)",
+        t.records, t.span_batches
+    );
+    println!(
+        "ended:        {}",
+        if t.ended { "yes" } else { "NO (truncated)" }
+    );
+    println!(
+        "spans:        {} ({} flushed mid-run, {} dropped)",
+        r.spans.len(),
+        r.spans_flushed,
+        r.spans_dropped
+    );
+    println!("counters:     {}", r.counters.len());
+    println!("histograms:   {}", r.histograms.len());
+    println!("series:       {}", r.series.len());
+    Ok(())
+}
+
+fn validate(paths: &[PathBuf]) -> Result<(), String> {
+    for path in paths {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let t = validate_trace(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "validate OK: {} ({} records, {} spans, {} dropped)",
+            path.display(),
+            t.records,
+            t.report.spans.len(),
+            t.report.spans_dropped
+        );
+    }
+    Ok(())
+}
+
+fn to_perfetto(path: &Path, out: Option<PathBuf>) -> Result<(), String> {
+    let (_, t) = load(path)?;
+    let json = to_chrome_trace(&t.report);
+    validate_json(&json)
+        .map_err(|e| format!("{}: exported trace is not valid JSON: {e}", path.display()))?;
+    let out = out.unwrap_or_else(|| path.with_extension("json"));
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "perfetto OK: {} ({} bytes, {} spans)",
+        out.display(),
+        json.len(),
+        t.report.spans.len()
+    );
+    Ok(())
+}
+
+fn stats(path: &Path) -> Result<(), String> {
+    let (_, t) = load(path)?;
+    let r = &t.report;
+    println!("counters:");
+    for (name, v) in &r.counters {
+        println!("  {name:<28} {v}");
+    }
+    println!("histograms (count / p50 / p99 / max):");
+    for (name, h) in &r.histograms {
+        println!(
+            "  {name:<28} {} / {} / {} / {}",
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.max()
+        );
+    }
+    println!("series (samples / last):");
+    for (name, s) in &r.series {
+        let window = s.samples();
+        println!(
+            "  {name:<28} {} / {}",
+            s.total_pushed(),
+            window.last().copied().unwrap_or(0)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(first)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let first = PathBuf::from(first);
+    let result = match cmd.as_str() {
+        "info" => info(&first),
+        "validate" => validate(&args[1..].iter().map(PathBuf::from).collect::<Vec<_>>()),
+        "to-perfetto" => to_perfetto(&first, args.get(2).map(PathBuf::from)),
+        "stats" => stats(&first),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_tool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

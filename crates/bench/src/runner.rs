@@ -31,14 +31,16 @@
 //!   cell. Demand-paged cells (`cfg.mm.enabled`) bypass the store: their
 //!   page table starts empty and fills on first touch.
 
-use std::collections::HashMap;
-use std::path::PathBuf;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::artifact::{LoadOutcome, RunArtifact};
-use swgpu_sim::{GpuConfig, GpuSimulator, PrebuiltMemory, SimStats, TranslationMode};
+use swgpu_sim::{
+    GpuConfig, GpuSimulator, ObsReport, PrebuiltMemory, RunProgress, SimStats, TranslationMode,
+};
 use swgpu_types::PageSize;
 use swgpu_workloads::{by_abbr, microbench, BenchmarkSpec, WorkloadParams};
 
@@ -401,10 +403,22 @@ impl Cell {
         }
     }
 
+    /// Builds the ready-to-run simulator for this cell (no caching, no
+    /// shared prebuild store). Public so trace tooling (e.g. the
+    /// `obs_stream_smoke` binary) can attach an SWTB sink or progress
+    /// hook before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark abbreviation.
+    pub fn build_simulator(&self) -> GpuSimulator {
+        let (source, footprint) = self.build_source();
+        GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint)
+    }
+
     /// Runs the simulation for this cell (no caching — see [`Runner`]).
     pub fn simulate(&self) -> SimStats {
-        let (source, footprint) = self.build_source();
-        GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint).run()
+        self.build_simulator().run()
     }
 
     /// Runs the cell on the dense reference kernel, executing every
@@ -412,8 +426,7 @@ impl Cell {
     /// byte-identical [`SimStats`] to [`Cell::simulate`]; exists so CI
     /// can cross-check the two kernels on real bench cells.
     pub fn simulate_dense(&self) -> SimStats {
-        let (source, footprint) = self.build_source();
-        GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint).run_dense()
+        self.build_simulator().run_dense()
     }
 }
 
@@ -504,6 +517,31 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One finished cell in the manifest, in completion order.
+#[derive(Debug)]
+struct CellRecord {
+    /// The cell's cache key.
+    key: String,
+    /// Outcome label (`sim` / `memo` / `cache` / `FAILED`).
+    outcome: &'static str,
+    /// Wall milliseconds the cell spent resolving.
+    wall_ms: u128,
+    /// The cell's observability span-drop count (0 for obs-off cells;
+    /// nonzero means the recorder hit its capacity and the cell's span
+    /// set — hence any Perfetto export of it — is truncated).
+    spans_dropped: u64,
+    /// Pre-rendered JSON object breaking the drops out per span kind
+    /// (`{}` when nothing dropped).
+    dropped_by_kind: String,
+    /// How many times the cell's panicked simulation was retried.
+    retries: u64,
+}
+
+/// Live progress of a cell mid-simulation: cycles simulated, spans
+/// flushed to its SWTB sink, trace bytes written, and the wall-clock
+/// heartbeat (UNIX epoch milliseconds of the last update).
+type InFlight = (u64, u64, u64, u128);
+
 /// Per-invocation observability of the runner itself: everything the
 /// `manifest.json` written next to the artifacts records.
 #[derive(Debug, Default)]
@@ -516,12 +554,44 @@ struct ManifestState {
     busy_ms: u128,
     /// Available pool capacity: Σ workers × batch wall milliseconds.
     capacity_ms: u128,
-    /// Per-cell records in completion order: key, outcome label, wall
-    /// milliseconds, the cell's observability span-drop count (0 for
-    /// obs-off cells; nonzero means the recorder hit its capacity and the
-    /// cell's span set — hence any Perfetto export of it — is truncated),
-    /// and how many times the cell's panicked simulation was retried.
-    cells: Vec<(String, &'static str, u128, u64, u64)>,
+    /// Per-cell records in completion order.
+    cells: Vec<CellRecord>,
+    /// Streaming cells currently simulating, updated from their progress
+    /// hooks and removed on completion.
+    in_flight: BTreeMap<String, InFlight>,
+    /// Last live (mid-batch) manifest write, for throttling.
+    last_live_write: Option<Instant>,
+}
+
+/// Streaming cells report progress at this cycle granularity.
+const PROGRESS_EVERY_CYCLES: u64 = 8192;
+
+/// Minimum wall-clock spacing between live (mid-batch) manifest rewrites.
+const LIVE_MANIFEST_PERIOD: Duration = Duration::from_millis(250);
+
+/// Milliseconds since the UNIX epoch, for manifest heartbeats.
+fn epoch_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis())
+}
+
+/// Renders a report's nonzero per-kind drop counts as a JSON object.
+fn drops_by_kind_json(report: &ObsReport) -> String {
+    let mut out = String::from("{");
+    for (i, (kind, n)) in report.dropped_by_kind().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{n}", kind.name()));
+    }
+    out.push('}');
+    out
+}
+
+/// The SWTB trace path for a cell key inside a `--trace-out` directory.
+pub fn swtb_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.swtb"))
 }
 
 /// The shared experiment runner: a worker pool over a two-level
@@ -530,6 +600,7 @@ struct ManifestState {
 pub struct Runner {
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    stream_dir: Option<PathBuf>,
     refresh: bool,
     memo: Mutex<HashMap<String, SimStats>>,
     // Shared page-table prebuild store: one built memory image per
@@ -537,7 +608,9 @@ pub struct Runner {
     // footprint clone the image instead of re-mapping every page.
     prebuilds: Mutex<HashMap<(u64, bool, u64), std::sync::Arc<PrebuiltMemory>>>,
     counters: Mutex<RunnerCounters>,
-    manifest: Mutex<ManifestState>,
+    // Arc so streaming cells' progress hooks (which outlive the borrow
+    // of `self`) can update the live manifest from worker threads.
+    manifest: Arc<Mutex<ManifestState>>,
 }
 
 impl Runner {
@@ -547,18 +620,31 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             cache_dir,
+            stream_dir: None,
             refresh,
             memo: Mutex::new(HashMap::new()),
             prebuilds: Mutex::new(HashMap::new()),
             counters: Mutex::new(RunnerCounters::default()),
-            manifest: Mutex::new(ManifestState::default()),
+            manifest: Arc::new(Mutex::new(ManifestState::default())),
         }
     }
 
-    /// Builds a runner from parsed harness flags.
+    /// Streams every obs-enabled simulated cell's spans and metrics into
+    /// `<dir>/<key>.swtb` while it runs (bounded-memory export: the
+    /// in-process recorder becomes a small staging buffer that never
+    /// drops). Cache- and memo-served obs cells get their file
+    /// synthesized from the cached report, so the directory is complete
+    /// either way.
+    pub fn with_stream_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.stream_dir = dir;
+        self
+    }
+
+    /// Builds a runner from parsed harness flags. `--trace-out` doubles
+    /// as the SWTB stream directory.
     pub fn from_harness(h: &Harness) -> Self {
         let dir = (!h.no_cache).then(default_cache_dir);
-        Self::new(h.jobs, dir, h.refresh)
+        Self::new(h.jobs, dir, h.refresh).with_stream_dir(h.trace_out.clone())
     }
 
     /// The process-wide runner every figure binary shares, configured
@@ -583,6 +669,7 @@ impl Runner {
         let key = cell.key();
         if let Some(stats) = self.memo.lock().unwrap().get(&key).cloned() {
             self.counters.lock().unwrap().memo_hits += 1;
+            self.ensure_swtb(cell, &stats);
             return (stats, CellSource::Memo);
         }
         if !self.refresh {
@@ -594,6 +681,7 @@ impl Runner {
                             .lock()
                             .unwrap()
                             .insert(key, artifact.stats.clone());
+                        self.ensure_swtb(cell, &artifact.stats);
                         return (artifact.stats, CellSource::Disk);
                     }
                     LoadOutcome::Loaded(_) | LoadOutcome::Stale(_) => {
@@ -621,7 +709,12 @@ impl Runner {
                 config: cell.cfg.fingerprint(),
                 stats: stats.clone(),
             };
-            if let Err(e) = artifact.write_to(dir) {
+            if !artifact.obs_payload_complete() {
+                // A streamed cell's spans went to its SWTB file; the
+                // in-memory report holds only the staged tail. Persisting
+                // it would serve a truncated timeline from the cache, so
+                // streamed cells re-simulate instead.
+            } else if let Err(e) = artifact.write_to(dir) {
                 eprintln!("[runner] warning: failed to write artifact {key}: {e}");
             }
         }
@@ -636,11 +729,45 @@ impl Runner {
     /// [`crate::artifact::MAX_TRACE_RECORDS`] are written without one).
     /// Likewise the obs payload must be present exactly when the cell
     /// arms observability (the fingerprint already separates obs-on from
-    /// obs-off keys; this guards hand-copied or torn artifacts).
+    /// obs-off keys; this guards hand-copied or torn artifacts), and it
+    /// must hold the complete span set — a hand-copied artifact of a
+    /// streamed run carries only the staged tail and cannot answer for
+    /// the full timeline.
     fn artifact_serves(&self, cell: &Cell, artifact: &RunArtifact) -> bool {
         artifact.trace_cap() == cell.cfg.walk_trace_cap
             && (cell.cfg.walk_trace_cap == 0 || artifact.has_trace_payload())
             && artifact.has_obs_payload() == cell.cfg.obs.enabled
+            && artifact.obs_payload_complete()
+    }
+
+    /// Synthesizes the `<stream dir>/<key>.swtb` file for a cache- or
+    /// memo-served obs cell whose file is missing, from the complete
+    /// in-memory report, so a `--trace-out` directory covers every cell
+    /// regardless of where its result came from.
+    fn ensure_swtb(&self, cell: &Cell, stats: &SimStats) {
+        let Some(dir) = &self.stream_dir else { return };
+        let Some(obs) = stats.obs.as_deref() else {
+            return;
+        };
+        if !obs.spans_complete() {
+            return;
+        }
+        let key = cell.key();
+        let path = swtb_path(dir, &key);
+        if path.exists() {
+            return;
+        }
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let tmp = dir.join(format!(".{key}.{}.swtb.tmp", std::process::id()));
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            swgpu_obs::write_report(&mut w, &cell.cfg.fingerprint(), obs)?;
+            std::io::Write::flush(&mut w)?;
+            std::fs::rename(&tmp, &path)
+        };
+        if let Err(e) = write() {
+            eprintln!("[runner] warning: failed to synthesize SWTB trace {key}: {e}");
+        }
     }
 
     /// Renames a corrupt artifact out of the cache without clobbering any
@@ -672,13 +799,71 @@ impl Runner {
     /// they start from an *empty* page table and populate it on first
     /// touch, so a prebuilt image would be built only to be thrown away
     /// (and would pollute the store with images no other cell reuses).
+    /// With a stream directory configured, obs-enabled cells get an SWTB
+    /// file sink and a live-manifest progress hook attached first.
     fn simulate_cell(&self, cell: &Cell) -> SimStats {
-        if cell.cfg.mm.enabled {
-            return cell.simulate();
+        let mut sim = if cell.cfg.mm.enabled {
+            cell.build_simulator()
+        } else {
+            let (source, footprint) = cell.build_source();
+            let prebuilt = self.prebuilt(cell.cfg.page_size, cell.cfg.scrambled_frames, footprint);
+            GpuSimulator::new_with_prebuilt(cell.cfg.clone(), source, prebuilt)
+        };
+        let key = cell.key();
+        let streamed = self.attach_stream(&mut sim, cell, &key);
+        let stats = sim.run();
+        if streamed {
+            self.manifest.lock().unwrap().in_flight.remove(&key);
         }
-        let (source, footprint) = cell.build_source();
-        let prebuilt = self.prebuilt(cell.cfg.page_size, cell.cfg.scrambled_frames, footprint);
-        GpuSimulator::new_with_prebuilt(cell.cfg.clone(), source, prebuilt).run()
+        stats
+    }
+
+    /// Attaches the SWTB file sink and live-progress hook for a
+    /// streaming cell. Returns whether streaming was armed (requires a
+    /// stream directory, an obs-enabled cell, and a creatable file).
+    fn attach_stream(&self, sim: &mut GpuSimulator, cell: &Cell, key: &str) -> bool {
+        let Some(dir) = &self.stream_dir else {
+            return false;
+        };
+        if !cell.cfg.obs.enabled {
+            return false;
+        }
+        let path = swtb_path(dir, key);
+        let file = match std::fs::create_dir_all(dir).and_then(|()| std::fs::File::create(&path)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("[runner] warning: cannot open SWTB trace {key}: {e}");
+                return false;
+            }
+        };
+        if !sim.attach_trace_sink(Box::new(std::io::BufWriter::new(file))) {
+            std::fs::remove_file(&path).ok();
+            return false;
+        }
+        let manifest = Arc::clone(&self.manifest);
+        let mkey = key.to_string();
+        let manifest_dir = self.cache_dir.clone();
+        let jobs = self.jobs;
+        sim.set_progress_hook(
+            PROGRESS_EVERY_CYCLES,
+            Box::new(move |p: RunProgress| {
+                let mut m = manifest.lock().unwrap();
+                m.in_flight.insert(
+                    mkey.clone(),
+                    (p.cycles, p.spans_flushed, p.trace_bytes, epoch_ms()),
+                );
+                let due = m
+                    .last_live_write
+                    .is_none_or(|t| t.elapsed() >= LIVE_MANIFEST_PERIOD);
+                if due {
+                    m.last_live_write = Some(Instant::now());
+                    if let Some(dir) = &manifest_dir {
+                        write_manifest_file(dir, jobs, &m);
+                    }
+                }
+            }),
+        );
+        true
     }
 
     /// Fetches (or builds) the shared memory image for a footprint. The
@@ -826,15 +1011,21 @@ impl Runner {
                     );
                     {
                         let wall = cell_start.elapsed().as_millis();
-                        let spans_dropped = outcome
+                        let report = outcome
                             .as_ref()
                             .ok()
-                            .and_then(|(stats, _)| stats.obs.as_deref())
-                            .map_or(0, |r| r.spans_dropped);
+                            .and_then(|(stats, _)| stats.obs.as_deref());
                         let mut m = self.manifest.lock().unwrap();
                         m.busy_ms += wall;
-                        m.cells
-                            .push((cell.key(), label, wall, spans_dropped, retries));
+                        m.cells.push(CellRecord {
+                            key: cell.key(),
+                            outcome: label,
+                            wall_ms: wall,
+                            spans_dropped: report.map_or(0, |r| r.spans_dropped),
+                            dropped_by_kind: report
+                                .map_or_else(|| "{}".to_string(), drops_by_kind_json),
+                            retries,
+                        });
                     }
                     results
                         .lock()
@@ -872,49 +1063,67 @@ impl Runner {
         keys.iter().map(|k| results[k].clone()).collect()
     }
 
-    /// Writes (atomically, tmp + rename) the invocation's `manifest.json`
-    /// next to the artifacts: per-cell key/outcome/wall-time plus the
-    /// worker-pool utilization. Rewritten after every batch so the file
-    /// always reflects the whole invocation so far. Skipped when the disk
-    /// cache is off. Purely observational — nothing reads it back.
+    /// Writes the invocation's `manifest.json` next to the artifacts.
+    /// Rewritten after every batch — and, throttled, from streaming
+    /// cells' progress hooks mid-batch — so the file always reflects the
+    /// whole invocation so far, live. Skipped when the disk cache is
+    /// off. Purely observational — nothing reads it back.
     fn write_manifest(&self) {
         let Some(dir) = &self.cache_dir else { return };
         let m = self.manifest.lock().unwrap();
-        let utilization = if m.capacity_ms == 0 {
-            0.0
-        } else {
-            m.busy_ms as f64 / m.capacity_ms as f64
-        };
-        let cells: Vec<String> = m
-            .cells
-            .iter()
-            .map(|(key, outcome, wall, spans_dropped, retries)| {
-                format!(
-                    "{{\"key\":\"{key}\",\"outcome\":\"{outcome}\",\"wall_ms\":{wall},\
-                     \"spans_dropped\":{spans_dropped},\"cell_retries\":{retries}}}"
-                )
-            })
-            .collect();
-        let json = format!(
-            "{{\"jobs\":{},\"batches\":{},\"wall_ms\":{},\"busy_ms\":{},\
-             \"pool_utilization\":{:.4},\"cells\":[{}]}}",
-            self.jobs,
-            m.batches,
-            m.wall_ms,
-            m.busy_ms,
-            utilization,
-            cells.join(",")
-        );
-        drop(m);
-        let write = || -> std::io::Result<()> {
-            std::fs::create_dir_all(dir)?;
-            let tmp = dir.join(format!(".manifest.{}.tmp", std::process::id()));
-            std::fs::write(&tmp, &json)?;
-            std::fs::rename(&tmp, dir.join("manifest.json"))
-        };
-        if let Err(e) = write() {
-            eprintln!("[runner] warning: failed to write manifest.json: {e}");
-        }
+        write_manifest_file(dir, self.jobs, &m);
+    }
+}
+
+/// Serializes and atomically writes (tmp + rename) a `manifest.json`:
+/// per-cell key/outcome/wall-time/span-drop records, worker-pool
+/// utilization, and the live `in_flight` progress of streaming cells
+/// still simulating (cycles, spans flushed, trace bytes, heartbeat).
+fn write_manifest_file(dir: &Path, jobs: usize, m: &ManifestState) {
+    let utilization = if m.capacity_ms == 0 {
+        0.0
+    } else {
+        m.busy_ms as f64 / m.capacity_ms as f64
+    };
+    let cells: Vec<String> = m
+        .cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"key\":\"{}\",\"outcome\":\"{}\",\"wall_ms\":{},\
+                 \"spans_dropped\":{},\"spans_dropped_by_kind\":{},\"cell_retries\":{}}}",
+                c.key, c.outcome, c.wall_ms, c.spans_dropped, c.dropped_by_kind, c.retries
+            )
+        })
+        .collect();
+    let in_flight: Vec<String> = m
+        .in_flight
+        .iter()
+        .map(|(key, (cycles, flushed, bytes, heartbeat))| {
+            format!(
+                "{{\"key\":\"{key}\",\"cycles\":{cycles},\"spans_flushed\":{flushed},\
+                 \"trace_bytes\":{bytes},\"heartbeat_ms\":{heartbeat}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"jobs\":{jobs},\"batches\":{},\"wall_ms\":{},\"busy_ms\":{},\
+         \"pool_utilization\":{:.4},\"in_flight\":[{}],\"cells\":[{}]}}",
+        m.batches,
+        m.wall_ms,
+        m.busy_ms,
+        utilization,
+        in_flight.join(","),
+        cells.join(",")
+    );
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".manifest.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, &json)?;
+        std::fs::rename(&tmp, dir.join("manifest.json"))
+    };
+    if let Err(e) = write() {
+        eprintln!("[runner] warning: failed to write manifest.json: {e}");
     }
 }
 
@@ -1324,14 +1533,117 @@ mod tests {
         cell.cfg.obs.span_capacity = 1;
         let runner = Runner::new(1, Some(dir.clone()), false);
         let stats = runner.run_cells(std::slice::from_ref(&cell));
-        let dropped = stats[0].obs.as_deref().expect("obs report").spans_dropped;
+        let report = stats[0].obs.as_deref().expect("obs report");
+        let dropped = report.spans_dropped;
         assert!(dropped > 0, "the one-span recorder must overflow");
         let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
         assert!(
             manifest.contains(&format!("\"spans_dropped\":{dropped}")),
             "manifest must carry the cell's drop count: {manifest}"
         );
+        // The drops are also broken out per span kind, and the breakdown
+        // sums back to the total.
+        let by_kind = drops_by_kind_json(report);
+        assert_ne!(by_kind, "{}", "dropped spans must attribute to kinds");
+        assert_eq!(
+            report.dropped_by_kind().map(|(_, n)| n).sum::<u64>(),
+            dropped
+        );
+        assert!(
+            manifest.contains(&format!("\"spans_dropped_by_kind\":{by_kind}")),
+            "manifest must carry the per-kind breakdown: {manifest}"
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_cell_never_drops_and_is_not_cached() {
+        let dir = test_cache_dir("stream-no-drop");
+        let trace_dir = dir.join("traces");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The same tiny staging buffer that overflows (and drops) above —
+        // but with a stream sink attached it must flush instead of drop.
+        let (mut cell, _) = fig09_cells_observed(Scale::Quick).swap_remove(1);
+        cell.cfg.obs.span_capacity = 1;
+        let runner =
+            Runner::new(1, Some(dir.clone()), false).with_stream_dir(Some(trace_dir.clone()));
+        let stats = runner.run_cells(std::slice::from_ref(&cell));
+        let report = stats[0].obs.as_deref().expect("obs report");
+        assert_eq!(report.spans_dropped, 0, "a streaming staging never drops");
+        assert!(report.spans_flushed > 0, "the tiny buffer forced flushes");
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"spans_dropped\":0"), "{manifest}");
+        // The SWTB file reconstructs the full run.
+        let bytes = std::fs::read(swtb_path(&trace_dir, &cell.key())).unwrap();
+        let trace = swgpu_obs::validate_trace(&bytes).expect("valid SWTB");
+        assert_eq!(trace.fingerprint, cell.cfg.fingerprint());
+        assert_eq!(trace.report.spans_dropped, 0);
+        assert_eq!(
+            trace.report.spans.len() as u64,
+            report.spans_flushed + report.spans.len() as u64
+        );
+        // The in-memory report is incomplete (spans live in the file), so
+        // no artifact is persisted and a fresh runner re-simulates.
+        assert!(RunArtifact::load_from(&dir, &cell.key()).is_none());
+        let again = Runner::new(1, Some(dir.clone()), false);
+        again.get(&cell);
+        assert_eq!(again.counters().simulated, 1);
+        assert_eq!(again.counters().disk_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_obs_cell_synthesizes_its_swtb_file() {
+        let dir = test_cache_dir("stream-synth");
+        let trace_dir = dir.join("traces");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A roomy recorder: the run completes in memory, caches normally,
+        // and a later streaming invocation synthesizes the file from the
+        // cached report instead of re-simulating.
+        let (cell, _) = fig09_cells_observed(Scale::Quick).swap_remove(0);
+        let seeder = Runner::new(1, Some(dir.clone()), false);
+        let stats = seeder.get(&cell);
+        let streaming =
+            Runner::new(1, Some(dir.clone()), false).with_stream_dir(Some(trace_dir.clone()));
+        let again = streaming.get(&cell);
+        assert_eq!(streaming.counters().disk_hits, 1);
+        assert_eq!(streaming.counters().simulated, 0);
+        assert_eq!(again.to_json(), stats.to_json());
+        let bytes = std::fs::read(swtb_path(&trace_dir, &cell.key())).unwrap();
+        let trace = swgpu_obs::validate_trace(&bytes).expect("valid SWTB");
+        let report = stats.obs.as_deref().unwrap();
+        assert_eq!(trace.report.spans, report.spans);
+        assert_eq!(trace.report.counters, report.counters);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_bytes_are_identical_across_job_counts() {
+        // `--jobs 1` vs `--jobs 4`: flush points depend on simulated
+        // content only, never on scheduling, so each cell's SWTB file is
+        // byte-identical across pool widths.
+        let cells: Vec<Cell> = fig09_cells_observed(Scale::Quick)
+            .into_iter()
+            .map(|(mut c, _)| {
+                c.cfg.obs.span_capacity = 64;
+                c
+            })
+            .collect();
+        let dirs = [test_cache_dir("stream-j1"), test_cache_dir("stream-j4")];
+        for (jobs, dir) in [1usize, 4].into_iter().zip(&dirs) {
+            std::fs::remove_dir_all(dir).ok();
+            let runner = Runner::new(jobs, None, false).with_stream_dir(Some(dir.clone()));
+            runner.run_cells(&cells);
+        }
+        for cell in &cells {
+            let a = std::fs::read(swtb_path(&dirs[0], &cell.key())).unwrap();
+            let b = std::fs::read(swtb_path(&dirs[1], &cell.key())).unwrap();
+            assert!(!a.is_empty());
+            assert_eq!(a, b, "SWTB bytes must not depend on --jobs");
+        }
+        for dir in &dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 
     #[test]

@@ -127,6 +127,33 @@ impl Histogram {
         h
     }
 
+    /// Merges `other` into `self`: bucket-wise saturating add, summed
+    /// counts/sums, max of maxes. The SWTB reader uses this to reassemble
+    /// a run's histogram from the incremental deltas the stream flushed.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded since `earlier` (a past snapshot of this
+    /// histogram), as a delta histogram: bucket counts and sum are
+    /// differences, `max` is carried absolute (merging deltas in order
+    /// then reproduces the final max, since max only grows).
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for (i, (cur, old)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            d.buckets[i] = cur.saturating_sub(*old);
+        }
+        d.count = self.count.saturating_sub(earlier.count);
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d.max = self.max;
+        d
+    }
+
     /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound: the
     /// smallest bucket boundary below which at least `q` of the samples
     /// fall. Returns 0 for an empty histogram; the top sample is clamped
@@ -188,6 +215,90 @@ mod tests {
         assert_eq!(h.percentile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 900] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let (mut a, mut b, mut whole) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 3, 3, 70] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 3, 4096, 123_456] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_saturates_the_overflow_bucket() {
+        // u64::MAX lands in the clamped top bucket; merging two such
+        // histograms must saturate rather than wrap.
+        let mut a = Histogram::from_parts(&[(HIST_BUCKETS - 1, u64::MAX)], u64::MAX, u64::MAX);
+        let b = Histogram::from_parts(&[(HIST_BUCKETS - 1, 3)], 10, u64::MAX);
+        a.merge(&b);
+        let top = a.nonzero_buckets().last().unwrap();
+        assert_eq!(top, (HIST_BUCKETS - 1, u64::MAX));
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.max(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_survive_a_merge() {
+        let (mut low, mut high, mut whole) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 1..=500u64 {
+            low.record(v);
+            whole.record(v);
+        }
+        for v in 501..=1000u64 {
+            high.record(v);
+            whole.record(v);
+        }
+        low.merge(&high);
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(low.percentile(q), whole.percentile(q), "q={q}");
+        }
+        assert_eq!(low.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn delta_since_reassembles_via_merge() {
+        let mut h = Histogram::new();
+        for v in [2u64, 9, 80] {
+            h.record(v);
+        }
+        let snap = h.clone();
+        for v in [0u64, 81, 1_000_000] {
+            h.record(v);
+        }
+        let delta = h.delta_since(&snap);
+        assert_eq!(delta.count(), 3);
+        let mut rebuilt = snap.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, h);
+
+        // Deltas merged in order from empty also reproduce the whole.
+        let mut from_scratch = Histogram::new();
+        from_scratch.merge(&snap.delta_since(&Histogram::new()));
+        from_scratch.merge(&delta);
+        assert_eq!(from_scratch, h);
     }
 
     #[test]

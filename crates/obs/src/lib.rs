@@ -15,6 +15,10 @@
 //!   schema-v3 run artifacts with an exact JSON round trip.
 //! * [`to_chrome_trace`] — Chrome trace-event / Perfetto JSON export,
 //!   openable in <https://ui.perfetto.dev>.
+//! * [`SwtbStream`] over the SWTB binary format ([`SwtbWriter`],
+//!   [`read_trace`], [`validate_trace`]) — incremental, bounded-memory
+//!   span/metric export during a run; with a sink attached the
+//!   [`SpanRecorder`] becomes a small staging buffer that never drops.
 //! * [`ObsConfig`] — the validated, fingerprint-participating knob block
 //!   (`GpuConfig::obs`), off by default.
 //!
@@ -33,6 +37,8 @@ mod registry;
 mod report;
 mod series;
 mod span;
+mod stream;
+mod swtb;
 
 pub use config::ObsConfig;
 pub use hist::{Histogram, HIST_BUCKETS};
@@ -42,3 +48,7 @@ pub use registry::{CounterId, HistId, Registry, SeriesId};
 pub use report::ObsReport;
 pub use series::TimeSeries;
 pub use span::{BusyTracker, Span, SpanKind, SpanRecorder};
+pub use stream::SwtbStream;
+pub use swtb::{
+    read_trace, validate_trace, write_report, SwtbTrace, SwtbWriter, SWTB_MAGIC, SWTB_VERSION,
+};

@@ -18,6 +18,13 @@ pub struct ObsReport {
     pub spans: Vec<Span>,
     /// Spans dropped because the recorder was at capacity.
     pub spans_dropped: u64,
+    /// Per-kind breakdown of `spans_dropped`, indexed by
+    /// [`SpanKind::code`].
+    pub spans_dropped_by_kind: [u64; SpanKind::COUNT],
+    /// Spans flushed to a streaming sink during the run. Non-zero means
+    /// `spans` holds only the final staging tail — the complete span set
+    /// lives in the SWTB file the sink wrote.
+    pub spans_flushed: u64,
     /// Named counters, in registration order.
     pub counters: Vec<(String, u64)>,
     /// Named histograms, in registration order.
@@ -31,15 +38,31 @@ impl ObsReport {
     pub fn from_instruments(reg: Registry, spans: SpanRecorder) -> Self {
         let interval = reg.interval();
         let (counters, histograms, series) = reg.into_parts();
-        let (spans, spans_dropped) = spans.into_parts();
+        let (spans, spans_dropped, spans_dropped_by_kind, spans_flushed) = spans.into_parts();
         Self {
             interval,
             spans,
             spans_dropped,
+            spans_dropped_by_kind,
+            spans_flushed,
             counters,
             histograms,
             series,
         }
+    }
+
+    /// Non-zero per-kind drop counts, in kind-code order.
+    pub fn dropped_by_kind(&self) -> impl Iterator<Item = (SpanKind, u64)> + '_ {
+        SpanKind::ALL
+            .iter()
+            .map(|&k| (k, self.spans_dropped_by_kind[k.code() as usize]))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Whether the in-memory span set is complete (nothing was flushed
+    /// to a streaming sink mid-run).
+    pub fn spans_complete(&self) -> bool {
+        self.spans_flushed == 0
     }
 
     /// Looks up a histogram by name.
@@ -70,6 +93,15 @@ impl ObsReport {
         out.push_str(&self.interval.to_string());
         out.push_str(",\"spans_dropped\":");
         out.push_str(&self.spans_dropped.to_string());
+        out.push_str(",\"spans_dropped_by_kind\":{");
+        for (i, (kind, n)) in self.dropped_by_kind().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{n}", kind.name()));
+        }
+        out.push_str("},\"spans_flushed\":");
+        out.push_str(&self.spans_flushed.to_string());
         out.push_str(",\"spans\":[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -138,6 +170,12 @@ impl ObsReport {
         let root = json::parse(input).ok()?;
         let interval = root.get("interval")?.as_u64()?;
         let spans_dropped = root.get("spans_dropped")?.as_u64()?;
+        let mut spans_dropped_by_kind = [0u64; SpanKind::COUNT];
+        for (name, n) in root.get("spans_dropped_by_kind")?.as_obj()? {
+            let kind = SpanKind::ALL.iter().find(|k| k.name() == name)?;
+            spans_dropped_by_kind[kind.code() as usize] = n.as_u64()?;
+        }
+        let spans_flushed = root.get("spans_flushed")?.as_u64()?;
 
         let mut spans = Vec::new();
         for item in root.get("spans")?.as_arr()? {
@@ -193,6 +231,8 @@ impl ObsReport {
             interval,
             spans,
             spans_dropped,
+            spans_dropped_by_kind,
+            spans_flushed,
             counters,
             histograms,
             series,
@@ -260,6 +300,25 @@ mod tests {
         assert_eq!(report.histogram("walk_total").unwrap().count(), 4);
         assert_eq!(report.time_series("pwb_occupancy").unwrap().len(), 4);
         assert!(report.counter("missing").is_none());
+    }
+
+    #[test]
+    fn drop_breakdown_and_flush_count_round_trip() {
+        let mut spans = SpanRecorder::new(1);
+        spans.instant(SpanKind::Dispatch, 0, 1, 0, 0);
+        spans.instant(SpanKind::Dispatch, 0, 2, 0, 0);
+        spans.instant(SpanKind::Fault, 0, 3, 0, 0);
+        let mut report = ObsReport::from_instruments(Registry::new(64, 4), spans);
+        report.spans_flushed = 17;
+        assert_eq!(report.spans_dropped, 2);
+        assert!(!report.spans_complete());
+        let back = ObsReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(
+            back.dropped_by_kind().collect::<Vec<_>>(),
+            vec![(SpanKind::Dispatch, 1), (SpanKind::Fault, 1)]
+        );
+        assert_eq!(back.spans_flushed, 17);
     }
 
     #[test]

@@ -30,6 +30,24 @@ pub enum SpanKind {
 }
 
 impl SpanKind {
+    /// Number of distinct kinds (codes are `0..COUNT`).
+    pub const COUNT: usize = 11;
+
+    /// Every kind, in code order.
+    pub const ALL: [SpanKind; Self::COUNT] = [
+        SpanKind::HwQueue,
+        SpanKind::HwWalk,
+        SpanKind::SwQueue,
+        SpanKind::SwPwbWait,
+        SpanKind::SwExec,
+        SpanKind::PteRead,
+        SpanKind::PwWarpBusy,
+        SpanKind::Dispatch,
+        SpanKind::Fault,
+        SpanKind::FillRetry,
+        SpanKind::Prefetch,
+    ];
+
     /// Stable numeric code used by the serialized form.
     pub fn code(self) -> u64 {
         match self {
@@ -120,32 +138,77 @@ impl Span {
     }
 }
 
-/// A bounded span buffer: records up to `cap` spans and counts the rest
-/// as dropped rather than growing without limit (the streaming-export
-/// ROADMAP item lifts this).
+/// A bounded span buffer with two personalities:
+///
+/// * **Legacy (no sink):** records up to `cap` spans and counts the rest
+///   as dropped (total and per kind) rather than growing without limit.
+/// * **Streaming:** with a sink attached ([`SpanRecorder::set_streaming`])
+///   the buffer is a small *staging area* — `record` never drops; instead
+///   the owner drains full stagings to the sink via
+///   [`SpanRecorder::take_staged`], so capacity bounds memory, not
+///   fidelity.
 #[derive(Debug, Clone, Default)]
 pub struct SpanRecorder {
     spans: Vec<Span>,
     cap: usize,
     dropped: u64,
+    dropped_by_kind: [u64; SpanKind::COUNT],
+    streaming: bool,
+    flushed: u64,
 }
 
 impl SpanRecorder {
-    /// A recorder retaining at most `cap` spans.
+    /// A recorder retaining (or staging) at most `cap` spans.
     pub fn new(cap: usize) -> Self {
         Self {
             spans: Vec::new(),
             cap,
             dropped: 0,
+            dropped_by_kind: [0; SpanKind::COUNT],
+            streaming: false,
+            flushed: 0,
         }
     }
 
-    /// Records a span, or counts it dropped when at capacity.
+    /// Switches the recorder into streaming-staging mode (or back).
+    /// While streaming, `record` never drops — the owner is responsible
+    /// for draining the staging buffer when [`SpanRecorder::needs_flush`]
+    /// reports it full.
+    pub fn set_streaming(&mut self, on: bool) {
+        self.streaming = on;
+    }
+
+    /// Whether a streaming sink is attached.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Whether the staging buffer has reached capacity and should be
+    /// drained to the sink before the next `record`.
+    pub fn needs_flush(&self) -> bool {
+        self.streaming && self.spans.len() >= self.cap
+    }
+
+    /// Drains the staged spans for the sink, counting them as flushed.
+    pub fn take_staged(&mut self) -> Vec<Span> {
+        self.flushed += self.spans.len() as u64;
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Spans handed to the sink so far (0 means the in-memory span set
+    /// is still complete).
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Records a span, or counts it dropped when at capacity (legacy
+    /// mode only — a streaming recorder never drops).
     pub fn record(&mut self, span: Span) {
-        if self.spans.len() < self.cap {
+        if self.streaming || self.spans.len() < self.cap {
             self.spans.push(span);
         } else {
             self.dropped += 1;
+            self.dropped_by_kind[span.kind.code() as usize] += 1;
         }
     }
 
@@ -161,7 +224,7 @@ impl SpanRecorder {
         });
     }
 
-    /// Retained spans in recording order.
+    /// Retained (or currently staged) spans in recording order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
     }
@@ -171,9 +234,16 @@ impl SpanRecorder {
         self.dropped
     }
 
-    /// Consumes the recorder, yielding `(spans, dropped)`.
-    pub fn into_parts(self) -> (Vec<Span>, u64) {
-        (self.spans, self.dropped)
+    /// Per-kind drop counters, indexed by [`SpanKind::code`].
+    pub fn dropped_by_kind(&self) -> &[u64; SpanKind::COUNT] {
+        &self.dropped_by_kind
+    }
+
+    /// Consumes the recorder, yielding
+    /// `(spans, dropped, dropped_by_kind, flushed)`.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (Vec<Span>, u64, [u64; SpanKind::COUNT], u64) {
+        (self.spans, self.dropped, self.dropped_by_kind, self.flushed)
     }
 }
 
@@ -191,38 +261,42 @@ impl BusyTracker {
         Self { track, open: None }
     }
 
-    /// Reports this cycle's busy bit. Closing a run emits its span.
-    pub fn tick(&mut self, now: u64, busy: bool, out: &mut SpanRecorder) {
+    /// Reports this cycle's busy bit. Closing a run yields its span for
+    /// the caller to record.
+    pub fn tick(&mut self, now: u64, busy: bool) -> Option<Span> {
         match (self.open, busy) {
-            (None, true) => self.open = Some((now, now)),
+            (None, true) => {
+                self.open = Some((now, now));
+                None
+            }
             (Some((start, last)), true) if now == last + 1 => {
                 self.open = Some((start, now));
+                None
             }
             (Some(_), true) => {
                 // Non-contiguous tick (the owner skipped cycles): close
                 // the stale run and open a fresh one.
-                self.flush(out);
+                let closed = self.flush();
                 self.open = Some((now, now));
+                closed
             }
-            (Some(_), false) => self.flush(out),
-            (None, false) => {}
+            (Some(_), false) => self.flush(),
+            (None, false) => None,
         }
     }
 
-    /// Closes any open run (end of simulation).
-    pub fn flush(&mut self, out: &mut SpanRecorder) {
-        if let Some((start, last)) = self.open.take() {
-            out.record(Span {
-                kind: SpanKind::PwWarpBusy,
-                track: self.track,
-                start,
-                // A run of busy cycles [start, last] occupies the issue
-                // port through the end of cycle `last`.
-                end: last + 1,
-                vpn: 0,
-                aux: 0,
-            });
-        }
+    /// Closes any open run (end of simulation), yielding its span.
+    pub fn flush(&mut self) -> Option<Span> {
+        self.open.take().map(|(start, last)| Span {
+            kind: SpanKind::PwWarpBusy,
+            track: self.track,
+            start,
+            // A run of busy cycles [start, last] occupies the issue
+            // port through the end of cycle `last`.
+            end: last + 1,
+            vpn: 0,
+            aux: 0,
+        })
     }
 }
 
@@ -245,8 +319,37 @@ mod tests {
         for i in 0..5u64 {
             r.instant(SpanKind::Dispatch, 0, i, 0, 0);
         }
+        r.instant(SpanKind::Fault, 0, 9, 0, 0);
         assert_eq!(r.spans().len(), 2);
-        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.dropped_by_kind()[SpanKind::Dispatch.code() as usize], 3);
+        assert_eq!(r.dropped_by_kind()[SpanKind::Fault.code() as usize], 1);
+    }
+
+    #[test]
+    fn streaming_recorder_stages_instead_of_dropping() {
+        let mut r = SpanRecorder::new(2);
+        r.set_streaming(true);
+        for i in 0..3u64 {
+            assert!(!r.needs_flush() || i >= 2);
+            r.instant(SpanKind::Dispatch, 0, i, 0, 0);
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.spans().len(), 3, "staging grows past cap, never drops");
+        assert!(r.needs_flush());
+        let staged = r.take_staged();
+        assert_eq!(staged.len(), 3);
+        assert_eq!(r.flushed(), 3);
+        assert!(r.spans().is_empty());
+        assert!(!r.needs_flush());
+    }
+
+    #[test]
+    fn all_kinds_match_their_codes() {
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(k.code(), i as u64);
+        }
+        assert_eq!(SpanKind::ALL.len(), SpanKind::COUNT);
     }
 
     #[test]
@@ -254,9 +357,13 @@ mod tests {
         let mut r = SpanRecorder::new(16);
         let mut b = BusyTracker::new(3);
         for now in 0..10u64 {
-            b.tick(now, (2..5).contains(&now) || (7..9).contains(&now), &mut r);
+            if let Some(s) = b.tick(now, (2..5).contains(&now) || (7..9).contains(&now)) {
+                r.record(s);
+            }
         }
-        b.flush(&mut r);
+        if let Some(s) = b.flush() {
+            r.record(s);
+        }
         let spans = r.spans();
         assert_eq!(spans.len(), 2);
         assert_eq!((spans[0].start, spans[0].end), (2, 5));
@@ -266,13 +373,13 @@ mod tests {
 
     #[test]
     fn busy_tracker_closes_on_gap() {
-        let mut r = SpanRecorder::new(16);
+        let mut spans = Vec::new();
         let mut b = BusyTracker::new(0);
-        b.tick(0, true, &mut r);
-        b.tick(5, true, &mut r); // gap: cycles 1..4 unobserved
-        b.flush(&mut r);
-        assert_eq!(r.spans().len(), 2);
-        assert_eq!((r.spans()[0].start, r.spans()[0].end), (0, 1));
-        assert_eq!((r.spans()[1].start, r.spans()[1].end), (5, 6));
+        spans.extend(b.tick(0, true));
+        spans.extend(b.tick(5, true)); // gap: cycles 1..4 unobserved
+        spans.extend(b.flush());
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start, spans[0].end), (0, 1));
+        assert_eq!((spans[1].start, spans[1].end), (5, 6));
     }
 }

@@ -1,0 +1,248 @@
+//! Live SWTB streaming: incremental flush of spans, histogram deltas
+//! and series samples during a run.
+//!
+//! [`SwtbStream`] sits between the simulator's `ObsState` and a byte
+//! sink. It tracks a snapshot of every registry instrument so each
+//! sample tick emits only what changed since the last one, and keeps the
+//! whole pipeline *deterministic in simulated time*: records are emitted
+//! at span-count and sample-cycle boundaries only, never on wall-clock
+//! conditions, so the dense and event kernels produce byte-identical
+//! traces.
+
+use std::io::{self, Write};
+
+use crate::hist::Histogram;
+use crate::registry::Registry;
+use crate::span::{Span, SpanKind};
+use crate::swtb::SwtbWriter;
+
+/// Incremental SWTB producer over an attached sink.
+///
+/// Lifecycle: [`SwtbStream::new`] writes the header; the owner calls
+/// [`flush_spans`](SwtbStream::flush_spans) whenever its staging buffer
+/// fills, [`sample_tick`](SwtbStream::sample_tick) at every series
+/// sample cycle, and exactly one [`finish`](SwtbStream::finish) at end
+/// of run (final staged spans, a forced instrument sync so every
+/// registered name materializes in the trace, SUMMARY, END).
+pub struct SwtbStream {
+    w: SwtbWriter<Box<dyn Write>>,
+    counter_snap: Vec<u64>,
+    hist_snap: Vec<Histogram>,
+    series_sent: Vec<u64>,
+    spans_flushed: u64,
+}
+
+impl std::fmt::Debug for SwtbStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwtbStream")
+            .field("bytes_written", &self.w.bytes_written())
+            .field("spans_flushed", &self.spans_flushed)
+            .finish()
+    }
+}
+
+impl SwtbStream {
+    /// Opens a stream over `sink` and writes the SWTB header.
+    pub fn new(sink: Box<dyn Write>, fingerprint: &str, interval: u64) -> io::Result<Self> {
+        Ok(Self {
+            w: SwtbWriter::new(sink, fingerprint, interval)?,
+            counter_snap: Vec::new(),
+            hist_snap: Vec::new(),
+            series_sent: Vec::new(),
+            spans_flushed: 0,
+        })
+    }
+
+    /// Streams a drained staging buffer out as one SPANS record.
+    pub fn flush_spans(&mut self, spans: &[Span]) -> io::Result<()> {
+        if spans.is_empty() {
+            return Ok(());
+        }
+        self.spans_flushed += spans.len() as u64;
+        self.w.spans(spans)
+    }
+
+    /// Emits what changed since the previous tick: counters with new
+    /// values, histogram deltas, and freshly pushed series samples.
+    pub fn sample_tick(&mut self, reg: &Registry) -> io::Result<()> {
+        self.emit_instruments(reg, false)
+    }
+
+    /// Closes the trace: final staged spans (these stay in the in-memory
+    /// report too, so they are *not* counted as flushed), a forced
+    /// instrument sync, the SUMMARY record and the END marker.
+    pub fn finish(
+        &mut self,
+        reg: &Registry,
+        staged: &[Span],
+        dropped: u64,
+        by_kind: &[u64; SpanKind::COUNT],
+        flushed: u64,
+    ) -> io::Result<()> {
+        if !staged.is_empty() {
+            self.w.spans(staged)?;
+        }
+        self.emit_instruments(reg, true)?;
+        self.w.summary(dropped, by_kind, flushed)?;
+        self.w.end()
+    }
+
+    fn emit_instruments(&mut self, reg: &Registry, force: bool) -> io::Result<()> {
+        let counters = reg.counters();
+        let hists = reg.hists();
+        let series = reg.all_series();
+        self.counter_snap.resize(counters.len(), 0);
+        self.hist_snap.resize_with(hists.len(), Histogram::new);
+        self.series_sent.resize(series.len(), 0);
+
+        for (i, (name, v)) in counters.iter().enumerate() {
+            if force || *v != self.counter_snap[i] {
+                self.w.counter(name, *v)?;
+                self.counter_snap[i] = *v;
+            }
+        }
+        for (i, (name, h)) in hists.iter().enumerate() {
+            if force || *h != self.hist_snap[i] {
+                let delta = h.delta_since(&self.hist_snap[i]);
+                self.w.hist_delta(name, &delta)?;
+                self.hist_snap[i] = h.clone();
+            }
+        }
+        for (i, (name, s)) in series.iter().enumerate() {
+            let total = s.total_pushed();
+            let sent = self.series_sent[i];
+            if total > sent {
+                let window = s.samples();
+                let first_retained = s.first_index();
+                // Anything pushed before the retained window is gone; the
+                // stream ticks every sample cycle, so in practice nothing
+                // unsent is ever evicted.
+                let from = sent.max(first_retained);
+                self.w
+                    .series(name, from, &window[(from - first_retained) as usize..])?;
+                self.series_sent[i] = total;
+            } else if force && total == 0 {
+                // Materialize never-sampled series by name.
+                self.w.series(name, 0, &[])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes written, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.w.bytes_written()
+    }
+
+    /// Spans streamed out mid-run (excludes the final staged tail).
+    pub fn spans_flushed(&self) -> u64 {
+        self.spans_flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ObsReport;
+    use crate::span::SpanRecorder;
+    use crate::swtb::validate_trace;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A `Box<dyn Write>` sink the test keeps a handle on.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn live_stream_reconstructs_the_full_run() {
+        let mut reg = Registry::new(64, 8);
+        let c = reg.counter("dispatches");
+        let h = reg.hist("lat");
+        let s = reg.series("occ");
+
+        let buf = SharedBuf::default();
+        let mut stream = SwtbStream::new(Box::new(buf.clone()), "fp16", 64).unwrap();
+        let mut rec = SpanRecorder::new(2);
+        rec.set_streaming(true);
+
+        // Mimic the simulator: spans overflow the tiny staging buffer,
+        // sample ticks stream instrument changes.
+        let mut full_spans = Vec::new();
+        for i in 0..7u64 {
+            if rec.needs_flush() {
+                stream.flush_spans(&rec.take_staged()).unwrap();
+            }
+            let span = Span {
+                kind: SpanKind::SwExec,
+                track: (i % 3) as u32,
+                start: i * 10,
+                end: i * 10 + 5,
+                vpn: i,
+                aux: 0,
+            };
+            rec.record(span);
+            full_spans.push(span);
+            reg.inc(c, 1);
+            reg.observe(h, i * 100);
+            reg.sample(s, i);
+            stream.sample_tick(&reg).unwrap();
+        }
+        stream
+            .finish(
+                &reg,
+                rec.spans(),
+                rec.dropped(),
+                rec.dropped_by_kind(),
+                rec.flushed(),
+            )
+            .unwrap();
+
+        assert_eq!(rec.dropped(), 0, "streaming staging never drops");
+        assert!(rec.flushed() > 0, "tiny staging forced mid-run flushes");
+
+        let bytes = buf.0.borrow();
+        assert_eq!(stream.bytes_written(), bytes.len() as u64);
+        let trace = validate_trace(&bytes).expect("valid");
+        assert_eq!(trace.fingerprint, "fp16");
+        assert_eq!(trace.report.spans, full_spans, "no span lost or reordered");
+        assert_eq!(trace.report.spans_flushed, rec.flushed());
+        assert_eq!(trace.report.spans_dropped, 0);
+
+        // Instruments match a directly assembled report.
+        let expected = ObsReport::from_instruments(reg, SpanRecorder::new(0));
+        assert_eq!(trace.report.counters, expected.counters);
+        assert_eq!(trace.report.histograms, expected.histograms);
+        assert_eq!(trace.report.series, expected.series);
+    }
+
+    #[test]
+    fn finish_materializes_untouched_instruments() {
+        let mut reg = Registry::new(64, 8);
+        reg.counter("quiet_counter");
+        reg.hist("quiet_hist");
+        reg.series("quiet_series");
+
+        let buf = SharedBuf::default();
+        let mut stream = SwtbStream::new(Box::new(buf.clone()), "fp", 64).unwrap();
+        stream
+            .finish(&reg, &[], 0, &[0; SpanKind::COUNT], 0)
+            .unwrap();
+
+        let bytes = buf.0.borrow();
+        let trace = validate_trace(&bytes).expect("valid");
+        assert_eq!(trace.report.counter("quiet_counter"), Some(0));
+        assert!(trace.report.histogram("quiet_hist").is_some());
+        assert!(trace.report.time_series("quiet_series").is_some());
+    }
+}

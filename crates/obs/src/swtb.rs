@@ -1,0 +1,617 @@
+//! SWTB: the **S**oft**W**alker **T**race **B**inary format.
+//!
+//! A compact, versioned, little-endian container for everything an
+//! [`ObsReport`] holds, designed for *incremental* emission: a live run
+//! appends self-contained records as spans complete and samples land, so
+//! a trace is useful (and bounded-memory) long before the run finishes.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header  := "SWTB" u32:version u32:fp_len fp_bytes u64:interval
+//! record  := u32:len u8:tag payload          (len covers tag + payload)
+//! ```
+//!
+//! Record tags:
+//!
+//! | tag | name    | payload |
+//! |-----|---------|---------|
+//! | 1   | SPANS   | `u32:n` then n × (`u8:kind u32:track u64:start u64:end u64:vpn u64:aux`) |
+//! | 2   | COUNTER | `u16:name_len name u64:value` — absolute, last wins |
+//! | 3   | HIST    | `u16:name_len name u64:sum_delta u64:max u32:n` then n × (`u32:bucket u64:count_delta`) — deltas [`merge`](Histogram::merge)d in order; `max` is absolute |
+//! | 4   | SERIES  | `u16:name_len name u64:first u32:n` then n × `u64:sample` — must be contiguous with what was already streamed |
+//! | 5   | SUMMARY | `u64:spans_dropped u64:spans_flushed u8:n` then n × (`u8:kind u64:dropped`) |
+//! | 6   | END     | empty — a trace without it was truncated |
+//!
+//! The header's fingerprint is the producing run's
+//! `GpuConfig::fingerprint()`, so a trace is self-identifying against
+//! the artifact cache. All multi-byte integers are little-endian.
+
+use std::io::{self, Write};
+
+use crate::hist::Histogram;
+use crate::report::ObsReport;
+use crate::series::TimeSeries;
+use crate::span::{Span, SpanKind};
+
+/// Current SWTB schema version.
+pub const SWTB_VERSION: u32 = 1;
+
+/// File magic, first four bytes of every trace.
+pub const SWTB_MAGIC: [u8; 4] = *b"SWTB";
+
+/// Spans per SPANS record when serializing a whole report.
+const SPAN_BATCH: usize = 4096;
+
+const TAG_SPANS: u8 = 1;
+const TAG_COUNTER: u8 = 2;
+const TAG_HIST: u8 = 3;
+const TAG_SERIES: u8 = 4;
+const TAG_SUMMARY: u8 = 5;
+const TAG_END: u8 = 6;
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    debug_assert!(name.len() <= u16::MAX as usize);
+    put_u16(buf, name.len() as u16);
+    buf.extend_from_slice(name.as_bytes());
+}
+
+/// Low-level record-at-a-time SWTB writer over any byte sink.
+///
+/// The writer is deliberately dumb: callers decide *when* to emit (that
+/// is what keeps dense⇔event byte-identity — see [`crate::SwtbStream`]);
+/// this type only knows *how*.
+#[derive(Debug)]
+pub struct SwtbWriter<W: Write> {
+    w: W,
+    bytes: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> SwtbWriter<W> {
+    /// Opens a writer and emits the header.
+    pub fn new(mut w: W, fingerprint: &str, interval: u64) -> io::Result<Self> {
+        let mut head = Vec::with_capacity(24 + fingerprint.len());
+        head.extend_from_slice(&SWTB_MAGIC);
+        put_u32(&mut head, SWTB_VERSION);
+        put_u32(&mut head, fingerprint.len() as u32);
+        head.extend_from_slice(fingerprint.as_bytes());
+        put_u64(&mut head, interval);
+        w.write_all(&head)?;
+        Ok(Self {
+            w,
+            bytes: head.len() as u64,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn emit(&mut self, tag: u8) -> io::Result<()> {
+        let len = (self.scratch.len() + 1) as u32;
+        self.w.write_all(&len.to_le_bytes())?;
+        self.w.write_all(&[tag])?;
+        self.w.write_all(&self.scratch)?;
+        self.bytes += 4 + 1 + self.scratch.len() as u64;
+        self.scratch.clear();
+        Ok(())
+    }
+
+    /// Emits one SPANS record (no internal batching).
+    pub fn spans(&mut self, spans: &[Span]) -> io::Result<()> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        put_u32(&mut buf, spans.len() as u32);
+        for s in spans {
+            buf.push(s.kind.code() as u8);
+            put_u32(&mut buf, s.track);
+            put_u64(&mut buf, s.start);
+            put_u64(&mut buf, s.end);
+            put_u64(&mut buf, s.vpn);
+            put_u64(&mut buf, s.aux);
+        }
+        self.scratch = buf;
+        self.emit(TAG_SPANS)
+    }
+
+    /// Emits a COUNTER record (absolute value; last record wins).
+    pub fn counter(&mut self, name: &str, value: u64) -> io::Result<()> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        put_name(&mut buf, name);
+        put_u64(&mut buf, value);
+        self.scratch = buf;
+        self.emit(TAG_COUNTER)
+    }
+
+    /// Emits a HIST record carrying a delta histogram.
+    pub fn hist_delta(&mut self, name: &str, delta: &Histogram) -> io::Result<()> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        put_name(&mut buf, name);
+        put_u64(&mut buf, delta.sum());
+        put_u64(&mut buf, delta.max());
+        let pairs: Vec<(usize, u64)> = delta.nonzero_buckets().collect();
+        put_u32(&mut buf, pairs.len() as u32);
+        for (idx, c) in pairs {
+            put_u32(&mut buf, idx as u32);
+            put_u64(&mut buf, c);
+        }
+        self.scratch = buf;
+        self.emit(TAG_HIST)
+    }
+
+    /// Emits a SERIES record of samples starting at global index `first`.
+    pub fn series(&mut self, name: &str, first: u64, samples: &[u64]) -> io::Result<()> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        put_name(&mut buf, name);
+        put_u64(&mut buf, first);
+        put_u32(&mut buf, samples.len() as u32);
+        for &v in samples {
+            put_u64(&mut buf, v);
+        }
+        self.scratch = buf;
+        self.emit(TAG_SERIES)
+    }
+
+    /// Emits the SUMMARY record.
+    pub fn summary(
+        &mut self,
+        dropped: u64,
+        by_kind: &[u64; SpanKind::COUNT],
+        flushed: u64,
+    ) -> io::Result<()> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        put_u64(&mut buf, dropped);
+        put_u64(&mut buf, flushed);
+        let nonzero: Vec<(usize, u64)> = by_kind
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        buf.push(nonzero.len() as u8);
+        for (i, n) in nonzero {
+            buf.push(i as u8);
+            put_u64(&mut buf, n);
+        }
+        self.scratch = buf;
+        self.emit(TAG_SUMMARY)
+    }
+
+    /// Emits the END marker and flushes the sink.
+    pub fn end(&mut self) -> io::Result<()> {
+        self.emit(TAG_END)?;
+        self.w.flush()
+    }
+
+    /// Total bytes written so far, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Serializes a complete [`ObsReport`] as a well-formed SWTB trace.
+///
+/// Used to synthesize trace files from cached artifacts (so a `--trace-out`
+/// run that disk-hits still produces `.swtb` outputs) and by round-trip
+/// tests. Returns the byte count written.
+pub fn write_report<W: Write>(w: W, fingerprint: &str, report: &ObsReport) -> io::Result<u64> {
+    let mut wr = SwtbWriter::new(w, fingerprint, report.interval)?;
+    for chunk in report.spans.chunks(SPAN_BATCH) {
+        wr.spans(chunk)?;
+    }
+    for (name, v) in &report.counters {
+        wr.counter(name, *v)?;
+    }
+    for (name, h) in &report.histograms {
+        wr.hist_delta(name, h)?;
+    }
+    for (name, s) in &report.series {
+        wr.series(name, s.first_index(), &s.samples())?;
+    }
+    wr.summary(
+        report.spans_dropped,
+        &report.spans_dropped_by_kind,
+        report.spans_flushed,
+    )?;
+    wr.end()?;
+    Ok(wr.bytes_written())
+}
+
+/// A parsed SWTB trace: header metadata plus the reconstructed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwtbTrace {
+    /// Schema version from the header.
+    pub version: u32,
+    /// Config fingerprint of the producing run.
+    pub fingerprint: String,
+    /// Total records parsed (END included).
+    pub records: u64,
+    /// SPANS records seen (how incremental the producer was).
+    pub span_batches: u64,
+    /// Whether the END marker was present (false ⇒ truncated trace).
+    pub ended: bool,
+    /// The report reassembled from all records.
+    pub report: ObsReport,
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "unexpected end of trace at byte {} (wanted {n} more)",
+                self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn name(&mut self) -> Result<String, String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 instrument name".to_string())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Named accumulators preserving first-appearance order.
+struct Ordered<T>(Vec<(String, T)>);
+
+impl<T> Ordered<T> {
+    fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    fn entry(&mut self, name: String, init: impl FnOnce() -> T) -> &mut T {
+        if let Some(i) = self.0.iter().position(|(n, _)| *n == name) {
+            &mut self.0[i].1
+        } else {
+            self.0.push((name, init()));
+            &mut self.0.last_mut().unwrap().1
+        }
+    }
+}
+
+/// Parses an SWTB byte stream and reconstructs its [`ObsReport`].
+///
+/// Structural problems (bad magic, unknown tags, invalid span kinds,
+/// non-contiguous series records, trailing bytes after END) are errors;
+/// a *missing* END is reported via [`SwtbTrace::ended`] so callers can
+/// distinguish "truncated but salvageable" from "corrupt".
+pub fn read_trace(bytes: &[u8]) -> Result<SwtbTrace, String> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.take(4)? != SWTB_MAGIC {
+        return Err("not an SWTB trace (bad magic)".to_string());
+    }
+    let version = c.u32()?;
+    if version != SWTB_VERSION {
+        return Err(format!(
+            "unsupported SWTB version {version} (reader speaks {SWTB_VERSION})"
+        ));
+    }
+    let fp_len = c.u32()? as usize;
+    let fingerprint = String::from_utf8(c.take(fp_len)?.to_vec())
+        .map_err(|_| "non-UTF-8 fingerprint".to_string())?;
+    let interval = c.u64()?;
+
+    let mut spans: Vec<Span> = Vec::new();
+    let mut counters: Ordered<u64> = Ordered::new();
+    let mut hists: Ordered<Histogram> = Ordered::new();
+    // name → (first_index, samples) with contiguity enforcement.
+    let mut series: Ordered<(u64, Vec<u64>)> = Ordered::new();
+    let mut dropped = 0u64;
+    let mut flushed = 0u64;
+    let mut by_kind = [0u64; SpanKind::COUNT];
+    let (mut records, mut span_batches, mut ended) = (0u64, 0u64, false);
+
+    while !c.done() {
+        if ended {
+            return Err(format!("{} trailing bytes after END", bytes.len() - c.pos));
+        }
+        let len = c.u32()? as usize;
+        if len == 0 {
+            return Err("zero-length record".to_string());
+        }
+        let body = c.take(len)?;
+        let mut r = Cursor { buf: body, pos: 0 };
+        let tag = r.u8()?;
+        records += 1;
+        match tag {
+            TAG_SPANS => {
+                span_batches += 1;
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let code = r.u8()? as u64;
+                    let kind = SpanKind::from_code(code)
+                        .ok_or_else(|| format!("invalid span kind code {code}"))?;
+                    spans.push(Span {
+                        kind,
+                        track: r.u32()?,
+                        start: r.u64()?,
+                        end: r.u64()?,
+                        vpn: r.u64()?,
+                        aux: r.u64()?,
+                    });
+                }
+            }
+            TAG_COUNTER => {
+                let name = r.name()?;
+                let v = r.u64()?;
+                *counters.entry(name, || 0) = v;
+            }
+            TAG_HIST => {
+                let name = r.name()?;
+                let sum = r.u64()?;
+                let max = r.u64()?;
+                let n = r.u32()?;
+                let mut pairs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    pairs.push((r.u32()? as usize, r.u64()?));
+                }
+                let delta = Histogram::from_parts(&pairs, sum, max);
+                hists.entry(name, Histogram::new).merge(&delta);
+            }
+            TAG_SERIES => {
+                let name = r.name()?;
+                let first = r.u64()?;
+                let n = r.u32()?;
+                let slot = series.entry(name.clone(), || (first, Vec::new()));
+                let expect = slot.0 + slot.1.len() as u64;
+                if first != expect {
+                    return Err(format!(
+                        "non-contiguous series record for {name}: first {first}, expected {expect}"
+                    ));
+                }
+                for _ in 0..n {
+                    slot.1.push(r.u64()?);
+                }
+            }
+            TAG_SUMMARY => {
+                dropped = r.u64()?;
+                flushed = r.u64()?;
+                let n = r.u8()?;
+                by_kind = [0; SpanKind::COUNT];
+                for _ in 0..n {
+                    let code = r.u8()? as usize;
+                    let count = r.u64()?;
+                    if code >= SpanKind::COUNT {
+                        return Err(format!("invalid span kind code {code} in summary"));
+                    }
+                    by_kind[code] = count;
+                }
+            }
+            TAG_END => ended = true,
+            other => return Err(format!("unknown record tag {other}")),
+        }
+        if !r.done() {
+            return Err(format!(
+                "record tag {tag} has {} undecoded payload bytes",
+                body.len() - r.pos
+            ));
+        }
+    }
+
+    let spans_dropped = dropped;
+    let report = ObsReport {
+        interval,
+        spans,
+        spans_dropped,
+        spans_dropped_by_kind: by_kind,
+        spans_flushed: flushed,
+        counters: counters.0,
+        histograms: hists.0,
+        series: series
+            .0
+            .into_iter()
+            .map(|(name, (first, samples))| {
+                let cap = samples.len();
+                (name, TimeSeries::from_parts(cap, first, samples))
+            })
+            .collect(),
+    };
+    Ok(SwtbTrace {
+        version,
+        fingerprint,
+        records,
+        span_batches,
+        ended,
+        report,
+    })
+}
+
+/// Strict validation: [`read_trace`] plus the invariants a complete,
+/// well-formed trace must satisfy (END present, spans time-ordered
+/// within themselves, instants zero-length).
+pub fn validate_trace(bytes: &[u8]) -> Result<SwtbTrace, String> {
+    let trace = read_trace(bytes)?;
+    if !trace.ended {
+        return Err("trace has no END marker (producer was interrupted)".to_string());
+    }
+    for (i, s) in trace.report.spans.iter().enumerate() {
+        if s.start > s.end {
+            return Err(format!(
+                "span {i} ends ({}) before it starts ({})",
+                s.end, s.start
+            ));
+        }
+        if s.kind.is_instant() && s.start != s.end {
+            return Err(format!("instant span {i} has non-zero duration"));
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::span::SpanRecorder;
+
+    fn sample_report() -> ObsReport {
+        let mut reg = Registry::new(128, 4);
+        let c = reg.counter("dispatches");
+        let c2 = reg.counter("pte_reads");
+        let h = reg.hist("walk_total");
+        let h2 = reg.hist("never_touched");
+        let s = reg.series("occ");
+        let _empty = reg.series("quiet");
+        reg.inc(c, 17);
+        let _ = c2;
+        let _ = h2;
+        for v in [3u64, 40, 400, 4000] {
+            reg.observe(h, v);
+        }
+        for v in 0..6u64 {
+            reg.sample(s, v * 2);
+        }
+        let mut spans = SpanRecorder::new(8);
+        spans.record(Span {
+            kind: SpanKind::HwWalk,
+            track: 0,
+            start: 10,
+            end: 400,
+            vpn: 99,
+            aux: 0,
+        });
+        spans.instant(SpanKind::PteRead, 2, 55, 99, 3);
+        spans.instant(SpanKind::Dispatch, 1, 60, 99, 1);
+        ObsReport::from_instruments(reg, spans)
+    }
+
+    #[test]
+    fn report_round_trips_through_swtb() {
+        let report = sample_report();
+        let mut buf = Vec::new();
+        let bytes = write_report(&mut buf, "cafebabe01234567", &report).unwrap();
+        assert_eq!(bytes, buf.len() as u64);
+        let trace = validate_trace(&buf).expect("valid");
+        assert_eq!(trace.version, SWTB_VERSION);
+        assert_eq!(trace.fingerprint, "cafebabe01234567");
+        assert!(trace.ended);
+        assert_eq!(trace.report, report);
+        // Canonical-JSON equality, the artifact-layer contract.
+        assert_eq!(trace.report.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = ObsReport::default();
+        let mut buf = Vec::new();
+        write_report(&mut buf, "", &report).unwrap();
+        let trace = validate_trace(&buf).expect("valid");
+        assert_eq!(trace.report, report);
+    }
+
+    #[test]
+    fn incremental_emission_equals_whole_report() {
+        // Emitting the same content as many small records reconstructs
+        // the same report as one big write.
+        let report = sample_report();
+        let mut buf = Vec::new();
+        let mut w = SwtbWriter::new(&mut buf, "fp", report.interval).unwrap();
+        for s in &report.spans {
+            w.spans(std::slice::from_ref(s)).unwrap();
+        }
+        for (name, v) in &report.counters {
+            w.counter(name, 0).unwrap(); // stale value, superseded below
+            w.counter(name, *v).unwrap();
+        }
+        for (name, h) in &report.histograms {
+            // Split each histogram into two deltas (the second carries
+            // the absolute max, as a live stream's later delta would).
+            let half =
+                Histogram::from_parts(&h.nonzero_buckets().take(1).collect::<Vec<_>>(), 0, 0);
+            w.hist_delta(name, &half).unwrap();
+            w.hist_delta(name, &h.delta_since(&half)).unwrap();
+        }
+        for (name, s) in &report.series {
+            let samples = s.samples();
+            let first = s.first_index();
+            let mid = samples.len() / 2;
+            w.series(name, first, &samples[..mid]).unwrap();
+            w.series(name, first + mid as u64, &samples[mid..]).unwrap();
+        }
+        w.summary(
+            report.spans_dropped,
+            &report.spans_dropped_by_kind,
+            report.spans_flushed,
+        )
+        .unwrap();
+        w.end().unwrap();
+        let trace = validate_trace(&buf).expect("valid");
+        assert_eq!(trace.report, report);
+        assert_eq!(trace.span_batches, report.spans.len() as u64);
+    }
+
+    #[test]
+    fn truncated_trace_is_not_ended() {
+        let mut buf = Vec::new();
+        write_report(&mut buf, "fp", &sample_report()).unwrap();
+        // Chop off the END record (4-byte len + 1-byte tag).
+        let cut = &buf[..buf.len() - 5];
+        let trace = read_trace(cut).expect("parses without END");
+        assert!(!trace.ended);
+        assert!(validate_trace(cut).is_err());
+        // Mid-record truncation is a hard parse error.
+        assert!(read_trace(&buf[..buf.len() - 7]).is_err());
+    }
+
+    #[test]
+    fn corrupt_traces_are_rejected() {
+        assert!(read_trace(b"NOPE").is_err());
+        assert!(read_trace(b"SWTB").is_err());
+        let mut buf = Vec::new();
+        write_report(&mut buf, "fp", &sample_report()).unwrap();
+        let mut bad = buf.clone();
+        bad[4] = 99; // version
+        assert!(read_trace(&bad).is_err());
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert!(read_trace(&trailing).is_err());
+    }
+
+    #[test]
+    fn non_contiguous_series_is_rejected() {
+        let mut buf = Vec::new();
+        let mut w = SwtbWriter::new(&mut buf, "fp", 64).unwrap();
+        w.series("occ", 0, &[1, 2]).unwrap();
+        w.series("occ", 5, &[3]).unwrap(); // gap: expected first == 2
+        w.end().unwrap();
+        let err = read_trace(&buf).unwrap_err();
+        assert!(err.contains("non-contiguous"), "{err}");
+    }
+}

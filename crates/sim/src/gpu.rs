@@ -9,6 +9,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use swgpu_mem::{AccessOutcome, Cache, Dram, MemReq, PhysMem};
 use swgpu_obs::{
     BusyTracker, CounterId, HistId, ObsReport, Registry, SeriesId, Span, SpanKind, SpanRecorder,
+    SwtbStream,
 };
 use swgpu_pt::{AddressSpace, FrameCheck, HashedPageTable, MemoryManager, PageWalkCache};
 use swgpu_ptw::{PtwSubsystem, TableRef, WalkContext, WalkOwner, WalkRequest};
@@ -94,6 +95,10 @@ struct DataFaultState {
 struct ObsState {
     reg: Registry,
     rec: SpanRecorder,
+    /// Attached SWTB streaming sink, if any. With a stream the recorder
+    /// runs in staging mode: full stagings flush here instead of
+    /// dropping, and sample ticks emit instrument deltas.
+    stream: Option<SwtbStream>,
     /// Per-SM PW-Warp issue-port busy coalescers.
     busy: Vec<BusyTracker>,
     /// Next cycle at which the time-series sample.
@@ -140,6 +145,7 @@ impl ObsState {
         Self {
             reg,
             rec: SpanRecorder::new(cfg.span_capacity),
+            stream: None,
             busy: (0..sms).map(|i| BusyTracker::new(i as u32)).collect(),
             next_sample: 0,
             interval: cfg.sample_interval,
@@ -161,8 +167,35 @@ impl ObsState {
         }
     }
 
+    /// Routes every span through one choke point so the staging buffer
+    /// can flush to the stream *exactly* when it reaches capacity. The
+    /// flush trigger depends only on recorded span content — never on
+    /// the kernel's step schedule — which is what keeps dense⇔event
+    /// SWTB output byte-identical.
+    fn push(&mut self, span: Span) {
+        if self.rec.needs_flush() {
+            if let Some(stream) = self.stream.as_mut() {
+                stream
+                    .flush_spans(&self.rec.take_staged())
+                    .expect("SWTB trace sink write failed");
+            }
+        }
+        self.rec.record(span);
+    }
+
+    fn instant(&mut self, kind: SpanKind, track: u32, at: u64, vpn: u64, aux: u64) {
+        self.push(Span {
+            kind,
+            track,
+            start: at,
+            end: at,
+            vpn,
+            aux,
+        });
+    }
+
     fn span(&mut self, kind: SpanKind, track: u32, start: Cycle, end: Cycle, vpn: Vpn) {
-        self.rec.record(Span {
+        self.push(Span {
             kind,
             track,
             start: start.value(),
@@ -171,6 +204,24 @@ impl ObsState {
             aux: 0,
         });
     }
+}
+
+/// A live progress snapshot handed to a [`GpuSimulator::set_progress_hook`]
+/// callback while the run loop executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Simulated cycles so far.
+    pub cycles: u64,
+    /// Spans flushed to the attached SWTB sink (0 without a sink).
+    pub spans_flushed: u64,
+    /// Bytes the SWTB sink has absorbed (0 without a sink).
+    pub trace_bytes: u64,
+}
+
+struct ProgressHook {
+    every: u64,
+    next: u64,
+    hook: Box<dyn FnMut(RunProgress)>,
 }
 
 /// A physical memory image with the workload footprint already mapped.
@@ -284,6 +335,9 @@ pub struct GpuSimulator {
     // Observability instruments; `None` (the default) costs nothing on
     // the hot path beyond a branch per hook.
     obs: Option<Box<ObsState>>,
+    // Periodic progress callback (runner liveness reporting). Purely
+    // observational: it reads cycle/flush counters, never sim state.
+    progress: Option<ProgressHook>,
     stats: SimStats,
 }
 
@@ -540,6 +594,7 @@ impl GpuSimulator {
             l2_retry_budget: 0,
             l2d_retry_budget: 0,
             obs,
+            progress: None,
             stats: SimStats {
                 walk_trace: crate::WalkTrace::new(cfg.walk_trace_cap),
                 ..SimStats::default()
@@ -553,6 +608,41 @@ impl GpuSimulator {
     /// want to verify translations functionally).
     pub fn address_space(&self) -> &AddressSpace {
         &self.space
+    }
+
+    /// Attaches a streaming SWTB sink for this run's observability data.
+    ///
+    /// Call before [`GpuSimulator::run`]. Returns `false` (dropping the
+    /// sink) when observability is disabled. With a sink attached the
+    /// span recorder becomes a bounded *staging buffer* that never
+    /// drops: stagings that hit `span_capacity` flush to the sink,
+    /// every sample tick streams instrument deltas, and finalization
+    /// closes the trace with SUMMARY + END records. Flush points depend
+    /// only on simulated content, so the dense and event kernels emit
+    /// byte-identical traces.
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn std::io::Write>) -> bool {
+        let fingerprint = self.cfg.fingerprint();
+        let interval = self.cfg.obs.sample_interval;
+        let Some(o) = self.obs.as_deref_mut() else {
+            return false;
+        };
+        let stream =
+            SwtbStream::new(sink, &fingerprint, interval).expect("SWTB trace sink write failed");
+        o.stream = Some(stream);
+        o.rec.set_streaming(true);
+        true
+    }
+
+    /// Registers a callback invoked at the first step at or past every
+    /// `every_cycles` simulated cycles with a [`RunProgress`] snapshot.
+    /// Purely observational — it cannot influence simulation state,
+    /// timing, or the emitted trace.
+    pub fn set_progress_hook(&mut self, every_cycles: u64, hook: Box<dyn FnMut(RunProgress)>) {
+        self.progress = Some(ProgressHook {
+            every: every_cycles.max(1),
+            next: 0,
+            hook,
+        });
     }
 
     /// Runs to completion (or the cycle cap) on the event-scheduled
@@ -591,6 +681,13 @@ impl GpuSimulator {
                 self.stats.kernel_steps += 1;
             }
             self.step();
+            if self
+                .progress
+                .as_ref()
+                .is_some_and(|p| self.now.value() >= p.next)
+            {
+                self.report_progress();
+            }
             if self.is_drained() {
                 break;
             }
@@ -617,10 +714,44 @@ impl GpuSimulator {
                     for sm in &mut self.sms {
                         sm.account_quiet_cycles(gap);
                     }
+                    // Skipped cycles are idle for every PW-Warp issue
+                    // port, so any open busy run ends at `now + 1` —
+                    // exactly where the dense loop's next tick would
+                    // close it. Closing it here keeps span *recording
+                    // order* (and therefore streamed SWTB bytes)
+                    // byte-identical across the two kernels.
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        let at = self.now.value() + 1;
+                        for i in 0..o.busy.len() {
+                            if let Some(s) = o.busy[i].tick(at, false) {
+                                o.push(s);
+                            }
+                        }
+                    }
                 }
                 w
             };
             self.now = Cycle::new(wake.max(self.now.value() + 1));
+        }
+    }
+
+    /// Snapshots progress and fires the hook, advancing its threshold.
+    fn report_progress(&mut self) {
+        let (spans_flushed, trace_bytes) = match self.obs.as_deref() {
+            Some(o) => (
+                o.rec.flushed(),
+                o.stream.as_ref().map_or(0, SwtbStream::bytes_written),
+            ),
+            None => (0, 0),
+        };
+        let snap = RunProgress {
+            cycles: self.now.value(),
+            spans_flushed,
+            trace_bytes,
+        };
+        if let Some(p) = self.progress.as_mut() {
+            p.next = snap.cycles.saturating_add(p.every);
+            (p.hook)(snap);
         }
     }
 
@@ -751,8 +882,7 @@ impl GpuSimulator {
                 refill,
             } = req;
             if let Some(o) = self.obs.as_deref_mut() {
-                o.rec
-                    .instant(SpanKind::Fault, 0, now.value(), vpn.value(), 0);
+                o.instant(SpanKind::Fault, 0, now.value(), vpn.value(), 0);
             }
             // Injected driver-queue stall: service is deferred by one
             // more driver latency, bounded by the walk retry budget so a
@@ -1033,7 +1163,7 @@ impl GpuSimulator {
             let events = self.ptw.drain_obs_events();
             o.reg.inc(o.c_pte_reads, events.len() as u64);
             for e in events {
-                o.rec.instant(
+                o.instant(
                     SpanKind::PteRead,
                     0,
                     e.at.value(),
@@ -1059,7 +1189,7 @@ impl GpuSimulator {
                 let events = self.pw_warps[i].drain_obs_events();
                 o.reg.inc(o.c_pte_reads, events.len() as u64);
                 for e in events {
-                    o.rec.instant(
+                    o.instant(
                         SpanKind::PteRead,
                         i as u32,
                         e.at.value(),
@@ -1070,8 +1200,10 @@ impl GpuSimulator {
             }
         }
         if let Some(o) = self.obs.as_deref_mut() {
-            for (i, tracker) in o.busy.iter_mut().enumerate() {
-                tracker.tick(now.value(), pw_issued[i], &mut o.rec);
+            for i in 0..o.busy.len() {
+                if let Some(s) = o.busy[i].tick(now.value(), pw_issued[i]) {
+                    o.push(s);
+                }
             }
         }
 
@@ -1114,6 +1246,14 @@ impl GpuSimulator {
         o.reg
             .sample(o.s_mshr_overflow, self.l2.overflow_waiting() as u64);
         o.reg.sample(o.s_dispatch_q, self.dispatch_q.len() as u64);
+        // Stream the tick's instrument deltas. Both kernels hit every
+        // sample cycle (the event kernel wakes at `next_sample`), so the
+        // emission schedule is identical across dense and event modes.
+        if let Some(stream) = o.stream.as_mut() {
+            stream
+                .sample_tick(&o.reg)
+                .expect("SWTB trace sink write failed");
+        }
     }
 
     fn table_ref<'a>(hashed: &'a Option<HashedPageTable>, space: &'a AddressSpace) -> TableRef<'a> {
@@ -1318,7 +1458,7 @@ impl GpuSimulator {
         let retries = tracker.retries;
         self.mm_fault.fill_retries += 1;
         if let Some(o) = self.obs.as_deref_mut() {
-            o.rec.instant(
+            o.instant(
                 SpanKind::FillRetry,
                 0,
                 self.now.value(),
@@ -1386,7 +1526,7 @@ impl GpuSimulator {
             };
             self.dispatch_q.pop_front();
             if let Some(o) = self.obs.as_deref_mut() {
-                o.rec.instant(
+                o.instant(
                     SpanKind::Dispatch,
                     0,
                     self.now.value(),
@@ -1462,7 +1602,7 @@ impl GpuSimulator {
                         self.prefetch_issued += 1;
                         issued += 1;
                         if let Some(o) = self.obs.as_deref_mut() {
-                            o.rec.instant(
+                            o.instant(
                                 SpanKind::Prefetch,
                                 0,
                                 self.now.value(),
@@ -1710,11 +1850,27 @@ impl GpuSimulator {
         fault.fault_buffer_overflow_drops += self.hw_faults.overflow_dropped();
         self.stats.fault = fault;
         if let Some(mut o) = self.obs.take() {
-            for tracker in &mut o.busy {
-                tracker.flush(&mut o.rec);
+            let closed: Vec<Span> = o.busy.iter_mut().filter_map(BusyTracker::flush).collect();
+            for s in closed {
+                o.push(s);
             }
             for sm in &self.sms {
                 o.reg.observe(o.h_sm_stall, sm.stats().stall_cycles());
+            }
+            if let Some(mut stream) = o.stream.take() {
+                // Close the trace: the staged tail is written to the
+                // sink *and* retained in the in-memory report, so a run
+                // that never overflowed its staging buffer still yields
+                // a complete (cacheable) report.
+                stream
+                    .finish(
+                        &o.reg,
+                        o.rec.spans(),
+                        o.rec.dropped(),
+                        o.rec.dropped_by_kind(),
+                        o.rec.flushed(),
+                    )
+                    .expect("SWTB trace sink write failed");
             }
             self.stats.obs = Some(Box::new(ObsReport::from_instruments(o.reg, o.rec)));
         }
@@ -2185,6 +2341,138 @@ mod tests {
         let observed = run_observed(TranslationMode::SoftWalker { in_tlb_mshr: true });
         assert_eq!(base.cycles, observed.cycles, "obs must be timing-neutral");
         assert_eq!(base.to_json(), observed.to_json());
+    }
+
+    /// A byte sink the test keeps a handle on after the simulator
+    /// consumes the `Box<dyn Write>`.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn observed_sim(mode: TranslationMode, span_capacity: usize) -> GpuSimulator {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = mode;
+        cfg.obs = swgpu_obs::ObsConfig {
+            sample_interval: 64,
+            span_capacity,
+            ..swgpu_obs::ObsConfig::enabled()
+        };
+        let spec = by_abbr("gups").unwrap();
+        let wl = spec.build(WorkloadParams {
+            sms: cfg.sms,
+            warps_per_sm: cfg.max_warps,
+            mem_instrs_per_warp: 3,
+            footprint_percent: 20,
+            page_size: cfg.page_size,
+        });
+        GpuSimulator::new(cfg, Box::new(wl))
+    }
+
+    #[test]
+    fn tiny_staging_buffer_streams_without_drops() {
+        let sw = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        // Reference: a huge in-memory recorder retains every span.
+        let full = observed_sim(sw, 1 << 20).run();
+        let full_obs = full.obs.as_deref().expect("obs armed");
+        assert_eq!(full_obs.spans_dropped, 0);
+
+        // Streamed: a staging buffer far smaller than the span count.
+        let buf = SharedBuf::default();
+        let mut sim = observed_sim(sw, 64);
+        assert!(sim.attach_trace_sink(Box::new(buf.clone())));
+        let stats = sim.run();
+        let obs = stats.obs.as_deref().expect("obs armed");
+        assert_eq!(obs.spans_dropped, 0, "a sink-backed recorder never drops");
+        assert!(
+            obs.spans_flushed > 0,
+            "64-span staging must overflow ({} total spans)",
+            full_obs.spans.len()
+        );
+        assert!(!obs.spans_complete());
+
+        // The trace reconstructs the *complete* span set plus every
+        // instrument, identical to the big in-memory reference.
+        let bytes = buf.0.borrow();
+        let trace = swgpu_obs::validate_trace(&bytes).expect("valid SWTB");
+        assert!(trace.span_batches > 1, "spans were streamed incrementally");
+        assert_eq!(trace.report.spans, full_obs.spans);
+        assert_eq!(trace.report.counters, full_obs.counters);
+        assert_eq!(trace.report.histograms, full_obs.histograms);
+        assert_eq!(trace.report.series, full_obs.series);
+        assert_eq!(trace.report.spans_dropped, 0);
+        assert_eq!(trace.report.spans_flushed, obs.spans_flushed);
+
+        // Streaming is timing-neutral: scalar stats match the reference.
+        assert_eq!(stats.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn dense_and_event_kernels_stream_identical_bytes() {
+        let sw = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        let (event_buf, dense_buf) = (SharedBuf::default(), SharedBuf::default());
+        let mut event = observed_sim(sw, 128);
+        assert!(event.attach_trace_sink(Box::new(event_buf.clone())));
+        let mut dense = observed_sim(sw, 128);
+        assert!(dense.attach_trace_sink(Box::new(dense_buf.clone())));
+        let a = event.run();
+        let b = dense.run_dense();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(
+            *event_buf.0.borrow(),
+            *dense_buf.0.borrow(),
+            "flush points must depend on simulated content only"
+        );
+    }
+
+    #[test]
+    fn trace_sink_requires_enabled_obs() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = TranslationMode::HardwarePtw;
+        let spec = by_abbr("gups").unwrap();
+        let wl = spec.build(WorkloadParams {
+            sms: cfg.sms,
+            warps_per_sm: cfg.max_warps,
+            mem_instrs_per_warp: 2,
+            footprint_percent: 20,
+            page_size: cfg.page_size,
+        });
+        let mut sim = GpuSimulator::new(cfg, Box::new(wl));
+        let buf = SharedBuf::default();
+        assert!(!sim.attach_trace_sink(Box::new(buf.clone())));
+        sim.run();
+        assert!(buf.0.borrow().is_empty(), "no obs, no trace bytes");
+    }
+
+    #[test]
+    fn progress_hook_observes_without_perturbing() {
+        let sw = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        let baseline = observed_sim(sw, 1 << 20).run();
+
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::<RunProgress>::new()));
+        let sink = std::rc::Rc::clone(&seen);
+        let mut sim = observed_sim(sw, 1 << 20);
+        sim.set_progress_hook(256, Box::new(move |p| sink.borrow_mut().push(p)));
+        let stats = sim.run();
+
+        let seen = seen.borrow();
+        assert!(!seen.is_empty(), "hook fired at least once");
+        assert!(seen.windows(2).all(|w| w[0].cycles < w[1].cycles));
+        assert!(seen.last().unwrap().cycles <= stats.cycles);
+        assert_eq!(
+            stats.to_json(),
+            baseline.to_json(),
+            "progress hooks are observational only"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod stats;
 mod trace;
 
 pub use config::{GpuConfig, PrefetchConfig, TranslationMode};
-pub use gpu::{GpuSimulator, PrebuiltMemory};
+pub use gpu::{GpuSimulator, PrebuiltMemory, RunProgress};
 pub use stats::{SimStats, WalkLatencyStats};
 pub use swgpu_obs::{ObsConfig, ObsReport};
 pub use trace::{WalkRecord, WalkTrace, WalkerKind};
