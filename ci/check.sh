@@ -51,10 +51,19 @@ echo "==> translation-policy smoke (release)"
 # (issued = useful + late + evicted + in-flight) deterministically.
 cargo run --release -q -p swgpu-bench --bin policy_smoke
 
+echo "==> multi-tenant smoke (release)"
+# ASID-keyed translation stack: the golden single-tenant fingerprint is
+# intact (no cached artifact invalidated) and tenant-free runs emit no
+# tenant keys; a two-tenant irregular+regular mix conserves the walk
+# ledger (sum of per-tenant walks == completed translations) under both
+# sharing policies, keeps Jain's fairness index in bounds, and reruns
+# byte-identically.
+cargo run --release -q -p swgpu-bench --bin tenant_smoke
+
 echo "==> run-cache round trip (fig09: trace-capped cells must disk-hit)"
 # Two invocations of the same figure against a scratch cache: the first
 # populates it, the second must simulate nothing — including the
-# trace-capped Figure 9 cells, whose walk traces ride in the schema-v6
+# trace-capped Figure 9 cells, whose walk traces ride in the schema-v7
 # artifacts.
 SWGPU_RUN_CACHE="target/ci-run-cache-$$" ; export SWGPU_RUN_CACHE
 rm -rf "$SWGPU_RUN_CACHE"

@@ -5,19 +5,19 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use softwalker::{DistributorPolicy, RequestDistributor, SoftPwb, SwWalkRequest};
 use swgpu_tlb::{L2TlbComplex, Tlb, TlbConfig, TlbMshr, TlbMshrConfig};
-use swgpu_types::{Cycle, DelayQueue, Pfn, PhysAddr, Vpn};
+use swgpu_types::{Asid, Cycle, DelayQueue, Pfn, PhysAddr, Vpn};
 
 fn bench_tlb(c: &mut Criterion) {
     let mut g = c.benchmark_group("tlb");
     g.bench_function("lookup_hit", |b| {
         let mut tlb = Tlb::new(TlbConfig::l2());
         for i in 0..1024u64 {
-            tlb.fill(Vpn::new(i), Pfn::new(i));
+            tlb.fill(Asid::ZERO, Vpn::new(i), Pfn::new(i));
         }
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7) % 1024;
-            black_box(tlb.lookup(Vpn::new(i)))
+            black_box(tlb.lookup(Asid::ZERO, Vpn::new(i)))
         });
     });
     g.bench_function("lookup_miss", |b| {
@@ -25,7 +25,7 @@ fn bench_tlb(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(tlb.lookup(Vpn::new(i)))
+            black_box(tlb.lookup(Asid::ZERO, Vpn::new(i)))
         });
     });
     g.bench_function("fill_evict", |b| {
@@ -33,7 +33,7 @@ fn bench_tlb(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(tlb.fill(Vpn::new(i), Pfn::new(i)))
+            black_box(tlb.fill(Asid::ZERO, Vpn::new(i), Pfn::new(i)))
         });
     });
     g.finish();
@@ -46,8 +46,8 @@ fn bench_mshr(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            m.allocate(Vpn::new(i), 0);
-            black_box(m.resolve(Vpn::new(i)))
+            m.allocate(Asid::ZERO, Vpn::new(i), 0);
+            black_box(m.resolve(Asid::ZERO, Vpn::new(i)))
         });
     });
     g.bench_function("in_tlb_overflow_cycle", |b| {
@@ -59,12 +59,12 @@ fn bench_mshr(c: &mut Criterion) {
             },
             1024,
         );
-        l2.access(Vpn::new(u64::MAX), 0); // pin the single dedicated MSHR
+        l2.access(Asid::ZERO, Vpn::new(u64::MAX), 0); // pin the single dedicated MSHR
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            l2.access(Vpn::new(i), 1);
-            black_box(l2.complete_walk(Vpn::new(i), Pfn::new(i)))
+            l2.access(Asid::ZERO, Vpn::new(i), 1);
+            black_box(l2.complete_walk(Asid::ZERO, Vpn::new(i), Pfn::new(i)))
         });
     });
     g.finish();

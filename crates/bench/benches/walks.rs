@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use swgpu_mem::PhysMem;
 use swgpu_pt::{AddressSpace, FrameAllocator, HashedPageTable, PageWalkCache, RadixPageTable};
-use swgpu_types::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+use swgpu_types::{Asid, PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
 
 fn bench_radix(c: &mut Criterion) {
     let mut g = c.benchmark_group("radix");
@@ -52,12 +52,12 @@ fn bench_hashed(c: &mut Criterion) {
 fn bench_pwc(c: &mut Criterion) {
     c.bench_function("pwc_lookup_fill", |b| {
         let mut pwc = PageWalkCache::new(32);
-        pwc.set_root(PhysAddr::new(0x1000));
+        pwc.set_root(Asid::ZERO, PhysAddr::new(0x1000));
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            pwc.fill(Vpn::new(i), 1, PhysAddr::new(i << 12));
-            black_box(pwc.lookup(Vpn::new(i)))
+            pwc.fill(Asid::ZERO, Vpn::new(i), 1, PhysAddr::new(i << 12));
+            black_box(pwc.lookup(Asid::ZERO, Vpn::new(i)))
         });
     });
 }

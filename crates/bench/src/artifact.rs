@@ -6,12 +6,12 @@
 //! cache — running `fig16` then `fig18` re-simulates nothing — and as a
 //! machine-readable artifact for external plotting/analysis tooling.
 //!
-//! Schema (version 6, flat except for the nested stats object and the
+//! Schema (version 7, flat except for the nested stats object and the
 //! trailing walk-trace / observability payloads):
 //!
 //! ```json
 //! {
-//!   "schema": 6,
+//!   "schema": 7,
 //!   "key": "bfs-fp100-a1b2c3d4e5f60718",
 //!   "workload": "bfs-fp100",
 //!   "config": "a1b2c3d4e5f60718",
@@ -34,15 +34,16 @@
 //! to schema v2 modulo the version digit. Unknown top-level keys are
 //! ignored on read so the schema can grow.
 //!
-//! Migration: artifacts with any other schema version (v5 from before
-//! the streaming trace pipeline's `spans_dropped_by_kind` /
-//! `spans_flushed` obs keys, v4 from before the demand-paged memory
-//! manager's `mm_*` / silent-corruption stats keys, v3 from before the
-//! event-scheduled kernel's `kernel_steps` / `kernel_cycles_skipped`
-//! stats counters, v2 from before the observability layer, v1 from
-//! before persisted traces) probe as [`LoadOutcome::Stale`] — the runner
-//! silently re-simulates and overwrites them; they are *not* quarantined
-//! like corrupt files.
+//! Migration: artifacts with any other schema version (v6 from before
+//! the multi-tenant address spaces' `tenant*` / `fairness_index` stats
+//! keys, v5 from before the streaming trace pipeline's
+//! `spans_dropped_by_kind` / `spans_flushed` obs keys, v4 from before
+//! the demand-paged memory manager's `mm_*` / silent-corruption stats
+//! keys, v3 from before the event-scheduled kernel's `kernel_steps` /
+//! `kernel_cycles_skipped` stats counters, v2 from before the
+//! observability layer, v1 from before persisted traces) probe as
+//! [`LoadOutcome::Stale`] — the runner silently re-simulates and
+//! overwrites them; they are *not* quarantined like corrupt files.
 
 use std::fs;
 use std::io;
@@ -51,7 +52,7 @@ use swgpu_sim::{ObsReport, SimStats, WalkTrace};
 
 /// Current artifact schema version. Readers report other versions as
 /// stale (the runner then just re-simulates and overwrites).
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Upper bound on persisted walk-trace records. Runs configured with a
 /// larger `walk_trace_cap` write their artifact *without* the payload, so
@@ -106,7 +107,7 @@ impl RunArtifact {
             .is_none_or(ObsReport::spans_complete)
     }
 
-    /// Serializes the artifact (schema version 6). The walk-trace and
+    /// Serializes the artifact (schema version 7). The walk-trace and
     /// observability payloads go last so the flat scalar fields and the
     /// flat stats object stay parseable by the simple extractors below.
     pub fn to_json(&self) -> String {
@@ -459,15 +460,45 @@ mod tests {
 
     #[test]
     fn obs_off_artifact_matches_v2_layout() {
-        // The acceptance bar for the schema bumps: an obs-off artifact is
-        // byte-identical to what schema v2 wrote, modulo the version
-        // digit (v4/v5 added stats keys inside the nested stats object,
-        // v6 added obs-payload keys — neither at the artifact layer for
-        // obs-off runs). Anything else would invalidate every cached
-        // cell.
+        // The acceptance bar for the schema bumps: an obs-off,
+        // single-tenant artifact is byte-identical to what schema v2
+        // wrote, modulo the version digit (v4/v5 added stats keys inside
+        // the nested stats object, v6 added obs-payload keys, v7 added
+        // tenant keys — all only for runs that arm the feature). Anything
+        // else would invalidate every cached cell.
         let json = sample().to_json();
         assert!(!json.contains("\"obs\""));
-        assert!(json.starts_with("{\"schema\":6,\"key\":"));
+        assert!(!json.contains("tenant"));
+        assert!(json.starts_with("{\"schema\":7,\"key\":"));
+    }
+
+    #[test]
+    fn tenant_stats_round_trip_through_artifact() {
+        use swgpu_sim::TenantStats;
+        let mut a = sample();
+        a.stats.l2_tlb.shared_joins = 3;
+        a.stats.tenants.push(TenantStats {
+            instructions: 640,
+            loads: 128,
+            cycles: 4242,
+            fresh_l2_misses: 40,
+            walks: 33,
+        });
+        a.stats.tenants.push(TenantStats {
+            instructions: 320,
+            loads: 64,
+            cycles: 4000,
+            fresh_l2_misses: 80,
+            walks: 61,
+        });
+        let json = a.to_json();
+        assert!(json.contains("\"tenant_count\":2"));
+        // The tenant keys are flat scalars, so the flat-stats extractor
+        // must keep working on a multi-tenant artifact.
+        let parsed = RunArtifact::from_json(&json).expect("parse");
+        assert_eq!(parsed.stats.tenants, a.stats.tenants);
+        assert_eq!(parsed.stats.l2_tlb.shared_joins, 3);
+        assert_eq!(parsed.to_json(), json, "round trip is byte-identical");
     }
 
     #[test]
@@ -493,7 +524,7 @@ mod tests {
     fn schema_mismatch_is_rejected() {
         let bad = sample()
             .to_json()
-            .replacen("\"schema\":6", "\"schema\":5", 1);
+            .replacen("\"schema\":7", "\"schema\":6", 1);
         assert!(RunArtifact::from_json(&bad).is_err());
     }
 
@@ -573,14 +604,15 @@ mod tests {
         let dir = test_dir("stale");
         std::fs::create_dir_all(&dir).unwrap();
         let a = sample();
-        // Every older generation must migrate the same way: a v5
-        // artifact (pre-streaming-trace), a v4 artifact
-        // (pre-demand-paging), a v3 artifact (pre-kernel-counters), a v2
-        // artifact (pre-observability) and a v1 artifact (pre-trace).
-        for old in [5u32, 4, 3, 2, 1] {
+        // Every older generation must migrate the same way: a v6
+        // artifact (pre-multi-tenant), a v5 artifact
+        // (pre-streaming-trace), a v4 artifact (pre-demand-paging), a v3
+        // artifact (pre-kernel-counters), a v2 artifact
+        // (pre-observability) and a v1 artifact (pre-trace).
+        for old in [6u32, 5, 4, 3, 2, 1] {
             let stale = a
                 .to_json()
-                .replacen("\"schema\":6", &format!("\"schema\":{old}"), 1);
+                .replacen("\"schema\":7", &format!("\"schema\":{old}"), 1);
             std::fs::write(RunArtifact::path_in(&dir, &a.key), stale).unwrap();
             assert!(matches!(
                 RunArtifact::probe(&dir, &a.key),

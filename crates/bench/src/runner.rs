@@ -20,8 +20,10 @@
 //!   too) and reported with a progress line; batch summaries include the
 //!   cache-hit split, and every invocation writes a `manifest.json` next
 //!   to the artifacts recording per-cell outcome, wall time, pool
-//!   utilization and the cell's `spans_dropped` count (nonzero when the
-//!   span recorder overflowed, i.e. the cell's trace is truncated).
+//!   utilization, the cell's `spans_dropped` count (nonzero when the
+//!   span recorder overflowed, i.e. the cell's trace is truncated), and
+//!   — for multi-tenant cells — the per-tenant metric slices (IPC,
+//!   MPKI, walks) plus the cell's Jain fairness index.
 //!   `--trace-out <dir>` asks a harness to export Perfetto traces of its
 //!   obs-enabled cells into `<dir>`; exports built from a truncated
 //!   recorder warn on stderr.
@@ -41,6 +43,7 @@ use crate::artifact::{LoadOutcome, RunArtifact};
 use swgpu_sim::{
     GpuConfig, GpuSimulator, ObsReport, PrebuiltMemory, RunProgress, SimStats, TranslationMode,
 };
+use swgpu_sm::InstrSource;
 use swgpu_types::PageSize;
 use swgpu_workloads::{by_abbr, microbench, BenchmarkSpec, WorkloadParams};
 
@@ -281,6 +284,18 @@ pub enum CellWorkload {
         /// Virtual footprint the accesses stride across.
         footprint_bytes: u64,
     },
+    /// A multi-tenant mix: one Table 4 benchmark per tenant, bound to
+    /// the SM slices of the cell's `cfg.tenants` layout. The sharing
+    /// policy and SM split live in the config (and hence in the
+    /// fingerprint half of the cache key); the abbreviations ride here
+    /// so the workload half of the key stays human-readable.
+    TenantMix {
+        /// Per-tenant benchmark abbreviations, in ASID order. Must match
+        /// the `workload` tags of the config's tenant layout.
+        abbrs: Vec<String>,
+        /// Footprint scale in percent, applied to every tenant.
+        footprint_percent: u64,
+    },
 }
 
 impl CellWorkload {
@@ -299,6 +314,10 @@ impl CellWorkload {
             } => format!(
                 "micro-c{concurrent}-w{warps_per_sm}-a{accesses_per_warp}-f{footprint_bytes}"
             ),
+            CellWorkload::TenantMix {
+                abbrs,
+                footprint_percent,
+            } => format!("mt-{}-fp{footprint_percent}", abbrs.join("+")),
         }
     }
 }
@@ -350,6 +369,29 @@ impl Cell {
         }
     }
 
+    /// A multi-tenant cell: the tenant mix is read off `cfg.tenants`
+    /// (one Table 4 benchmark per tenant, bound to its SM slice), with
+    /// every tenant's footprint scaled to `footprint_percent`%.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.tenants` is `None` — a single-tenant config has
+    /// no mix to bind.
+    pub fn tenant_mix(cfg: GpuConfig, footprint_percent: u64) -> Self {
+        let layout = cfg
+            .tenants
+            .as_ref()
+            .expect("Cell::tenant_mix requires cfg.tenants");
+        let abbrs = layout.tenants.iter().map(|t| t.workload.clone()).collect();
+        Cell {
+            cfg,
+            workload: CellWorkload::TenantMix {
+                abbrs,
+                footprint_percent,
+            },
+        }
+    }
+
     /// The cell's cache key: `<workload key>-<config fingerprint>`.
     pub fn key(&self) -> String {
         format!("{}-{}", self.workload.key(), self.cfg.fingerprint())
@@ -362,7 +404,7 @@ impl Cell {
     /// # Panics
     ///
     /// Panics on an unknown benchmark abbreviation.
-    fn build_source(&self) -> (Box<dyn swgpu_sm::InstrSource>, u64) {
+    fn build_source(&self) -> (Box<dyn InstrSource>, u64) {
         let cfg = &self.cfg;
         match &self.workload {
             CellWorkload::Bench {
@@ -400,7 +442,47 @@ impl Cell {
                 let footprint = wl.footprint_bytes();
                 (Box::new(wl), footprint)
             }
+            CellWorkload::TenantMix { .. } => {
+                unreachable!("multi-tenant cells build via Cell::build_simulator")
+            }
         }
+    }
+
+    /// Builds the per-tenant `(source, footprint)` pairs of a
+    /// [`CellWorkload::TenantMix`] cell: each tenant's benchmark is sized
+    /// to its own SM slice, so the mix's streams interleave exactly as
+    /// the tenant layout assigns them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark abbreviation or when the cell's
+    /// config carries no tenant layout.
+    fn build_tenant_sources(&self, footprint_percent: u64) -> Vec<(Box<dyn InstrSource>, u64)> {
+        let cfg = &self.cfg;
+        let layout = cfg
+            .tenants
+            .as_ref()
+            .expect("TenantMix cell without cfg.tenants");
+        layout
+            .tenants
+            .iter()
+            .map(|t| {
+                let spec = by_abbr(&t.workload)
+                    .unwrap_or_else(|| panic!("unknown benchmark abbreviation {:?}", t.workload));
+                let wl = spec.build(WorkloadParams {
+                    sms: t.sms,
+                    warps_per_sm: cfg.max_warps,
+                    mem_instrs_per_warp: match cfg.sms {
+                        0..=16 => Scale::Quick.mem_instrs(),
+                        _ => Scale::Full.mem_instrs(),
+                    },
+                    footprint_percent,
+                    page_size: cfg.page_size,
+                });
+                let footprint = wl.footprint_bytes();
+                (Box::new(wl) as Box<dyn InstrSource>, footprint)
+            })
+            .collect()
     }
 
     /// Builds the ready-to-run simulator for this cell (no caching, no
@@ -412,6 +494,13 @@ impl Cell {
     ///
     /// Panics on an unknown benchmark abbreviation.
     pub fn build_simulator(&self) -> GpuSimulator {
+        if let CellWorkload::TenantMix {
+            footprint_percent, ..
+        } = &self.workload
+        {
+            let pairs = self.build_tenant_sources(*footprint_percent);
+            return GpuSimulator::new_multi_tenant(self.cfg.clone(), pairs);
+        }
         let (source, footprint) = self.build_source();
         GpuSimulator::new_with_footprint(self.cfg.clone(), source, footprint)
     }
@@ -535,6 +624,13 @@ struct CellRecord {
     dropped_by_kind: String,
     /// How many times the cell's panicked simulation was retried.
     retries: u64,
+    /// Pre-rendered JSON array of per-tenant metric slices (`[]` for
+    /// single-tenant cells): one `{asid, ipc, mpki, instructions,
+    /// walks}` object per tenant, in ASID order.
+    tenants: String,
+    /// Jain's fairness index over the cell's per-tenant IPCs (1.0 for
+    /// single-tenant cells — nothing to be unfair about).
+    fairness: f64,
 }
 
 /// Live progress of a cell mid-simulation: cycles simulated, spans
@@ -574,6 +670,30 @@ fn epoch_ms() -> u128 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_millis())
+}
+
+/// Renders a run's per-tenant metric slices as a JSON array (`[]` for
+/// single-tenant runs, keeping the manifest schema uniform).
+fn tenants_json(stats: &SimStats) -> String {
+    if stats.tenants.is_empty() {
+        return "[]".to_string();
+    }
+    let slices: Vec<String> = stats
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(asid, t)| {
+            format!(
+                "{{\"asid\":{asid},\"ipc\":{:.4},\"mpki\":{:.2},\
+                 \"instructions\":{},\"walks\":{}}}",
+                t.ipc(),
+                t.l2_tlb_mpki(),
+                t.instructions,
+                t.walks
+            )
+        })
+        .collect();
+    format!("[{}]", slices.join(","))
 }
 
 /// Renders a report's nonzero per-kind drop counts as a JSON object.
@@ -802,7 +922,10 @@ impl Runner {
     /// With a stream directory configured, obs-enabled cells get an SWTB
     /// file sink and a live-manifest progress hook attached first.
     fn simulate_cell(&self, cell: &Cell) -> SimStats {
-        let mut sim = if cell.cfg.mm.enabled {
+        // Multi-tenant cells bypass the store too: each tenant maps its
+        // own address space (or one shared one under sub-entry sharing),
+        // which `GpuSimulator::new_multi_tenant` builds itself.
+        let mut sim = if cell.cfg.mm.enabled || cell.cfg.tenants.is_some() {
             cell.build_simulator()
         } else {
             let (source, footprint) = cell.build_source();
@@ -1015,6 +1138,7 @@ impl Runner {
                             .as_ref()
                             .ok()
                             .and_then(|(stats, _)| stats.obs.as_deref());
+                        let stats = outcome.as_ref().ok().map(|(stats, _)| stats);
                         let mut m = self.manifest.lock().unwrap();
                         m.busy_ms += wall;
                         m.cells.push(CellRecord {
@@ -1025,6 +1149,8 @@ impl Runner {
                             dropped_by_kind: report
                                 .map_or_else(|| "{}".to_string(), drops_by_kind_json),
                             retries,
+                            tenants: stats.map_or_else(|| "[]".to_string(), tenants_json),
+                            fairness: stats.map_or(1.0, |s| s.fairness_index()),
                         });
                     }
                     results
@@ -1091,8 +1217,16 @@ fn write_manifest_file(dir: &Path, jobs: usize, m: &ManifestState) {
         .map(|c| {
             format!(
                 "{{\"key\":\"{}\",\"outcome\":\"{}\",\"wall_ms\":{},\
-                 \"spans_dropped\":{},\"spans_dropped_by_kind\":{},\"cell_retries\":{}}}",
-                c.key, c.outcome, c.wall_ms, c.spans_dropped, c.dropped_by_kind, c.retries
+                 \"spans_dropped\":{},\"spans_dropped_by_kind\":{},\"cell_retries\":{},\
+                 \"tenants\":{},\"fairness\":{:.4}}}",
+                c.key,
+                c.outcome,
+                c.wall_ms,
+                c.spans_dropped,
+                c.dropped_by_kind,
+                c.retries,
+                c.tenants,
+                c.fairness
             )
         })
         .collect();
@@ -1644,6 +1778,65 @@ mod tests {
         for dir in &dirs {
             std::fs::remove_dir_all(dir).ok();
         }
+    }
+
+    #[test]
+    fn tenant_mix_cell_caches_and_manifests_per_tenant_metrics() {
+        use swgpu_sim::{SharingPolicy, TenantsConfig};
+        let dir = test_cache_dir("tenant-mix");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cfg = SystemConfig::SoftWalker.build(Scale::Quick);
+        let mut layout = TenantsConfig::pair("gups", "2dc", cfg.sms);
+        layout.policy = SharingPolicy::Shared {
+            max_inflight_walks: 8,
+        };
+        cfg.tenants = Some(layout);
+        let cell = Cell::tenant_mix(cfg, 10);
+        assert!(cell.key().starts_with("mt-gups+2dc-fp10-"));
+        let runner = Runner::new(1, Some(dir.clone()), false);
+        let stats = runner.run_cells(std::slice::from_ref(&cell));
+        assert_eq!(stats[0].tenants.len(), 2, "two tenant metric slices");
+        assert_eq!(
+            stats[0].tenants.iter().map(|t| t.walks).sum::<u64>(),
+            stats[0].walk.translations,
+            "per-tenant walk ledger must cover every completed walk"
+        );
+        // The tenant cell bypasses the prebuild store (it maps its own
+        // per-tenant spaces) but still caches and manifests normally.
+        assert_eq!(runner.counters().pt_prebuilds, 0);
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(
+            manifest.contains("\"tenants\":[{\"asid\":0,\"ipc\":"),
+            "manifest must carry the per-tenant metric slices: {manifest}"
+        );
+        assert!(manifest.contains("\"fairness\":"), "{manifest}");
+        // A fresh runner serves the cell from disk with the tenant block
+        // intact (the schema-7 artifact round-trips it).
+        let again = Runner::new(1, Some(dir.clone()), false);
+        let cached = again.get(&cell);
+        assert_eq!(again.counters().disk_hits, 1);
+        assert_eq!(again.counters().simulated, 0);
+        assert_eq!(cached.to_json(), stats[0].to_json());
+        assert_eq!(cached.tenants, stats[0].tenants);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_tenant_manifest_records_stay_uniform() {
+        // Single-tenant cells keep the manifest schema uniform: an empty
+        // tenant array and a fairness of exactly 1.0, never absent keys.
+        let dir = test_cache_dir("single-tenant-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = by_abbr("gemm").unwrap();
+        let cell = Cell::bench(&spec, SystemConfig::Baseline.build(Scale::Quick));
+        let runner = Runner::new(1, Some(dir.clone()), false);
+        runner.run_cells(std::slice::from_ref(&cell));
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(
+            manifest.contains("\"tenants\":[],\"fairness\":1.0000"),
+            "single-tenant cells must record an empty tenant slice: {manifest}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

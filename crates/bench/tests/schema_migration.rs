@@ -1,6 +1,6 @@
 //! Artifact schema-migration regression tests: old-schema, truncated,
 //! and trace-cap-mismatched artifacts must all be *re-simulated* — never
-//! surfaced as hard errors — and the schema-v6 trace/obs payloads must
+//! surfaced as hard errors — and the schema-v7 trace/obs payloads must
 //! make a repeat of the Figure 9 cell set (plain and observed) fully
 //! cache-served.
 
@@ -26,39 +26,46 @@ fn sample_cell() -> Cell {
 
 #[test]
 fn old_schema_artifacts_are_resimulated_not_errors() {
-    // Rewrites cover every prior generation: v5 (schema digit only —
-    // the layout differs just by the streaming-trace obs keys), v4
-    // (digit only — demand-paging / silent-corruption stats keys), v3
-    // (digit only — kernel counters), v2 (digit only, from before obs)
-    // and v1 (no trace_cap / walk_trace fields either).
+    // Rewrites cover every prior generation: v6 (schema digit only —
+    // the layout differs just by the multi-tenant stats keys), v5
+    // (digit only — streaming-trace obs keys), v4 (digit only —
+    // demand-paging / silent-corruption stats keys), v3 (digit only —
+    // kernel counters), v2 (digit only, from before obs) and v1 (no
+    // trace_cap / walk_trace fields either).
     for (tag, downgrade) in [
+        ("migrate-v6", {
+            fn v6(s: &str) -> String {
+                s.replacen("\"schema\":7", "\"schema\":6", 1)
+            }
+            v6 as fn(&str) -> String
+        }),
         ("migrate-v5", {
             fn v5(s: &str) -> String {
-                s.replacen("\"schema\":6", "\"schema\":5", 1)
+                s.replacen("\"schema\":7", "\"schema\":5", 1)
             }
             v5 as fn(&str) -> String
         }),
         ("migrate-v4", {
             fn v4(s: &str) -> String {
-                s.replacen("\"schema\":6", "\"schema\":4", 1)
+                s.replacen("\"schema\":7", "\"schema\":4", 1)
             }
             v4 as fn(&str) -> String
         }),
         ("migrate-v3", {
             fn v3(s: &str) -> String {
-                s.replacen("\"schema\":6", "\"schema\":3", 1)
+                s.replacen("\"schema\":7", "\"schema\":3", 1)
             }
             v3 as fn(&str) -> String
         }),
         ("migrate-v2", {
             fn v2(s: &str) -> String {
-                s.replacen("\"schema\":6", "\"schema\":2", 1)
+                s.replacen("\"schema\":7", "\"schema\":2", 1)
             }
             v2 as fn(&str) -> String
         }),
         ("migrate-v1", {
             fn v1(s: &str) -> String {
-                s.replacen("\"schema\":6", "\"schema\":1", 1)
+                s.replacen("\"schema\":7", "\"schema\":1", 1)
                     .replacen("\"trace_cap\":0,", "", 1)
             }
             v1 as fn(&str) -> String
@@ -68,7 +75,7 @@ fn old_schema_artifacts_are_resimulated_not_errors() {
         let cell = sample_cell();
         let key = cell.key();
 
-        // Seed a valid v6 artifact, then rewrite it as an old-schema file.
+        // Seed a valid v7 artifact, then rewrite it as an old-schema file.
         let writer = Runner::new(1, Some(dir.clone()), false);
         let stats = writer.get(&cell);
         let path = RunArtifact::path_in(&dir, &key);
@@ -86,7 +93,7 @@ fn old_schema_artifacts_are_resimulated_not_errors() {
         assert_eq!(c.disk_hits, 0, "{tag}");
         assert_eq!(again.to_json(), stats.to_json());
         // The entry was silently upgraded in place: no *.corrupt files,
-        // and the next runner disk-hits on the fresh v6 artifact.
+        // and the next runner disk-hits on the fresh v7 artifact.
         assert!(!path.with_extension("json.corrupt").exists());
         let upgraded = Runner::new(1, Some(dir.clone()), false);
         upgraded.get(&cell);
@@ -133,7 +140,7 @@ fn trace_cap_mismatched_artifact_is_resimulated() {
     let writer = Runner::new(1, Some(dir.clone()), false);
     let stats = writer.get(&cell);
     let path = RunArtifact::path_in(&dir, &key);
-    // Rewrite the stored cap: the file stays a perfectly parseable v6
+    // Rewrite the stored cap: the file stays a perfectly parseable v7
     // artifact, but it no longer answers this cell's trace request.
     let json = std::fs::read_to_string(&path).unwrap();
     let mismatched = json.replacen(
@@ -166,7 +173,7 @@ fn obs_stripped_artifact_for_observed_cell_is_resimulated() {
     let stats = writer.get(&cell);
     assert!(stats.obs.is_some(), "observed run carries a report");
     let path = RunArtifact::path_in(&dir, &key);
-    // Excise the obs payload: the file stays a parseable v6 artifact
+    // Excise the obs payload: the file stays a parseable v7 artifact
     // (obs is optional) but no longer answers this observed cell.
     let json = std::fs::read_to_string(&path).unwrap();
     let start = json.find(",\"obs\":").expect("obs payload present");

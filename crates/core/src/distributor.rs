@@ -111,9 +111,19 @@ impl RequestDistributor {
     /// may be empty for other policies). Returns `None` when every core is
     /// full — the caller retries next cycle.
     pub fn select_core(&mut self, stalled: &[bool]) -> Option<SmId> {
+        self.select_core_among(stalled, &[])
+    }
+
+    /// Like [`RequestDistributor::select_core`] but restricted to the
+    /// cores flagged in `allowed` — the partitioned multi-tenant policy
+    /// dispatches a tenant's walks only to that tenant's SMs. An empty
+    /// `allowed` slice means every core is eligible (the single-tenant
+    /// path, byte-identical to `select_core`).
+    pub fn select_core_among(&mut self, stalled: &[bool], allowed: &[bool]) -> Option<SmId> {
         let n = self.counters.len();
+        let ok = |i: usize| allowed.is_empty() || allowed.get(i).copied().unwrap_or(false);
         let pick = match self.policy {
-            DistributorPolicy::RoundRobin => self.pick_round_robin(|_| true),
+            DistributorPolicy::RoundRobin => self.pick_round_robin(ok),
             DistributorPolicy::Random => {
                 // Reservoir pick: the k-th free core replaces the current
                 // choice with probability 1/k, which is uniform over all
@@ -123,7 +133,7 @@ impl RequestDistributor {
                 let mut chosen = None;
                 let mut free = 0usize;
                 for (i, &c) in self.counters.iter().enumerate() {
-                    if c < self.capacity {
+                    if c < self.capacity && ok(i) {
                         free += 1;
                         if self.rng.gen_range(0..free) == 0 {
                             chosen = Some(i);
@@ -133,8 +143,8 @@ impl RequestDistributor {
                 chosen
             }
             DistributorPolicy::StallAware => self
-                .pick_round_robin(|i| stalled.get(i).copied().unwrap_or(false))
-                .or_else(|| self.pick_round_robin(|_| true)),
+                .pick_round_robin(|i| ok(i) && stalled.get(i).copied().unwrap_or(false))
+                .or_else(|| self.pick_round_robin(ok)),
         };
         match pick {
             Some(i) => {
@@ -213,6 +223,23 @@ mod tests {
         assert!(d.select_core(&[]).is_none());
         assert_eq!(d.stats().blocked, 1);
         assert_eq!(d.total_in_flight(), 4);
+    }
+
+    #[test]
+    fn masked_selection_confines_dispatch() {
+        let mut d = RequestDistributor::new(DistributorPolicy::RoundRobin, 4, 2);
+        let allowed = [false, true, false, true];
+        for _ in 0..4 {
+            let sm = d.select_core_among(&[], &allowed).unwrap();
+            assert!(allowed[sm.index()], "dispatched outside the partition");
+        }
+        // The partition is saturated even though cores 0/2 are empty.
+        assert!(d.select_core_among(&[], &allowed).is_none());
+        assert_eq!(d.stats().blocked, 1);
+        assert_eq!(d.in_flight(SmId::new(0)), 0);
+        assert_eq!(d.in_flight(SmId::new(2)), 0);
+        // An empty mask behaves exactly like select_core.
+        assert!(d.select_core_among(&[], &[]).is_some());
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //! directly), so a dropped record loses observability, never a translation.
 
 use std::collections::VecDeque;
-use swgpu_types::{Cycle, Vpn};
+use swgpu_types::{Asid, Cycle, Vpn};
 
 /// One logged page fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRecord {
+    /// Address space the fault belongs to — the driver routes the record
+    /// to that tenant's memory manager.
+    pub asid: Asid,
     /// The faulting virtual page.
     pub vpn: Vpn,
     /// Radix level whose entry was invalid (1 = leaf PTE).
@@ -35,10 +38,10 @@ pub struct FaultRecord {
 ///
 /// ```
 /// use softwalker::{FaultBuffer, FaultRecord};
-/// use swgpu_types::{Cycle, Vpn};
+/// use swgpu_types::{Asid, Cycle, Vpn};
 ///
 /// let mut fb = FaultBuffer::new();
-/// fb.record(FaultRecord { vpn: Vpn::new(9), level: 1, at: Cycle::ZERO });
+/// fb.record(FaultRecord { asid: Asid::ZERO, vpn: Vpn::new(9), level: 1, at: Cycle::ZERO });
 /// assert_eq!(fb.len(), 1);
 /// let drained = fb.drain();
 /// assert_eq!(drained[0].vpn, Vpn::new(9));
@@ -132,6 +135,7 @@ mod tests {
         let mut fb = FaultBuffer::new();
         for i in 0..3 {
             fb.record(FaultRecord {
+                asid: Asid::ZERO,
                 vpn: Vpn::new(i),
                 level: 1,
                 at: Cycle::new(i),
@@ -146,6 +150,7 @@ mod tests {
     fn drain_clears() {
         let mut fb = FaultBuffer::new();
         fb.record(FaultRecord {
+            asid: Asid::ZERO,
             vpn: Vpn::new(1),
             level: 2,
             at: Cycle::ZERO,
@@ -160,6 +165,7 @@ mod tests {
     fn iter_does_not_consume() {
         let mut fb = FaultBuffer::new();
         fb.record(FaultRecord {
+            asid: Asid::ZERO,
             vpn: Vpn::new(1),
             level: 1,
             at: Cycle::ZERO,
@@ -173,6 +179,7 @@ mod tests {
         let mut fb = FaultBuffer::with_capacity(2);
         for i in 0..5 {
             fb.record(FaultRecord {
+                asid: Asid::ZERO,
                 vpn: Vpn::new(i),
                 level: 1,
                 at: Cycle::new(i),

@@ -17,7 +17,7 @@ use swgpu_mem::{AccessKind, MemReq, PhysMem};
 use swgpu_pt::{read_pte_observed, PageWalkCache, RadixPageTable, LEAF_LEVEL};
 use swgpu_types::fault::site;
 use swgpu_types::{
-    Cycle, DelayQueue, FaultInjectionStats, FaultInjector, FaultPlan, IdGen, MemReqId, Pfn,
+    Asid, Cycle, DelayQueue, FaultInjectionStats, FaultInjector, FaultPlan, IdGen, MemReqId, Pfn,
     PhysAddr, PteReadEvent, Vpn,
 };
 
@@ -28,6 +28,9 @@ use swgpu_types::{
 /// entry: VPN + page-table base PFN + level).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwWalkRequest {
+    /// Address space the walk translates for — selects the tenant's page
+    /// table and tags the PWC fills and the resulting L2 TLB fill.
+    pub asid: Asid,
     /// VPN to translate.
     pub vpn: Vpn,
     /// When the L2 TLB miss allocated the walk (queueing measured from
@@ -59,6 +62,7 @@ impl SwWalkRequest {
         node_base: PhysAddr,
     ) -> Self {
         Self {
+            asid: Asid::ZERO,
             vpn,
             issued_at,
             dispatched_at,
@@ -67,6 +71,12 @@ impl SwWalkRequest {
             fill_replay: false,
             prefetch: false,
         }
+    }
+
+    /// Rebinds the request to a tenant's address space.
+    pub fn for_asid(mut self, asid: Asid) -> Self {
+        self.asid = asid;
+        self
     }
 
     /// Marks the request as the replay of a driver page fill.
@@ -87,6 +97,8 @@ impl SwWalkRequest {
 /// MSHRs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwCompletion {
+    /// Address space the translation belongs to.
+    pub asid: Asid,
     /// Translated VPN.
     pub vpn: Vpn,
     /// Resulting frame; `None` means the walk hit an invalid PTE and an
@@ -208,6 +220,7 @@ enum ThreadState {
 #[derive(Debug, Clone, Copy)]
 struct ThreadWalk {
     slot: usize,
+    asid: Asid,
     vpn: Vpn,
     issued_at: Cycle,
     dispatched_at: Cycle,
@@ -504,9 +517,10 @@ impl PwWarpUnit {
             .walk
             .as_mut()
             .expect("escalate without walk");
-        let (vpn, level, pending) = (walk.vpn, walk.level, walk.pending_inj);
+        let (asid, vpn, level, pending) = (walk.asid, walk.vpn, walk.level, walk.pending_inj);
         walk.pending_inj = 0;
         self.faults.record(FaultRecord {
+            asid,
             vpn,
             level,
             at: now,
@@ -528,6 +542,7 @@ impl PwWarpUnit {
             debug_assert!(matches!(t.state, ThreadState::Idle));
             t.walk = Some(ThreadWalk {
                 slot,
+                asid: req.asid,
                 vpn: req.vpn,
                 issued_at: req.issued_at,
                 dispatched_at: req.dispatched_at,
@@ -608,6 +623,7 @@ impl PwWarpUnit {
             Action::Ffb(level) => {
                 let walk = self.threads[idx].walk.expect("FFB without a walk");
                 self.faults.record(FaultRecord {
+                    asid: walk.asid,
                     vpn: walk.vpn,
                     level,
                     at: now,
@@ -644,6 +660,7 @@ impl PwWarpUnit {
         self.stats.total_softpwb_wait += walk.started_at.since(walk.arrived_at);
         self.stats.total_execution += now.since(walk.started_at);
         self.completions.push_back(SwCompletion {
+            asid: walk.asid,
             vpn: walk.vpn,
             pfn,
             issued_at: walk.issued_at,
@@ -677,7 +694,7 @@ impl PwWarpUnit {
             walk.gen += 1;
         }
         let addr = RadixPageTable::entry_addr(walk.level, walk.node, walk.vpn);
-        let (vpn, level) = (walk.vpn, walk.level);
+        let (asid, vpn, level) = (walk.asid, walk.vpn, walk.level);
         let inj = self.fault.as_mut().map(|f| {
             (
                 &mut f.inj,
@@ -715,7 +732,7 @@ impl PwWarpUnit {
         } else if let Some(next) = RadixPageTable::next_node(pte) {
             walk.level -= 1;
             walk.node = next;
-            pwc.fill(walk.vpn, walk.level, next);
+            pwc.fill(asid, walk.vpn, walk.level, next);
             self.threads[idx].state = ThreadState::NeedIssue {
                 remaining: self.cfg.per_level_instrs.max(1),
                 action: Action::Ldpt,
@@ -803,7 +820,7 @@ mod tests {
             let mut space = AddressSpace::new(PageSize::Size64K, &mut mem);
             space.map_region(VirtAddr::new(0), pages * 64 * 1024, &mut mem);
             let mut pwc = PageWalkCache::new(32);
-            pwc.set_root(space.radix().root());
+            pwc.set_root(Asid::ZERO, space.radix().root());
             Self {
                 mem,
                 space,
@@ -813,7 +830,7 @@ mod tests {
         }
 
         fn request(&mut self, vpn: u64, at: Cycle) -> SwWalkRequest {
-            let start = self.pwc.lookup(Vpn::new(vpn));
+            let start = self.pwc.lookup(Asid::ZERO, Vpn::new(vpn));
             SwWalkRequest::new(Vpn::new(vpn), at, at, start.level, start.node_base)
         }
     }
@@ -924,7 +941,7 @@ mod tests {
         run(&mut unit, &mut rig, 100);
         // The walk filled the PWC down to the leaf node; a neighbour now
         // starts at level 1.
-        let start = rig.pwc.lookup(Vpn::new(2));
+        let start = rig.pwc.lookup(Asid::ZERO, Vpn::new(2));
         assert!(start.hit);
         assert_eq!(start.level, LEAF_LEVEL);
     }

@@ -30,7 +30,12 @@ pub(crate) const TABLE_BYTES: u64 = 4096;
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
     page_size: PageSize,
+    /// Base of this allocator's table-region slice (the whole region for a
+    /// single-tenant allocator).
+    table_base: u64,
     next_table: u64,
+    /// First data-frame index of this allocator's slice.
+    data_index_base: u64,
     next_data_index: u64,
     scramble: bool,
     data_frames_capacity: u64,
@@ -53,7 +58,9 @@ impl FrameAllocator {
     pub fn new(page_size: PageSize) -> Self {
         Self {
             page_size,
+            table_base: Self::TABLE_REGION_BASE,
             next_table: 0,
+            data_index_base: 0,
             next_data_index: 0,
             scramble: false,
             data_frames_capacity: Self::DATA_REGION_BYTES / page_size.bytes(),
@@ -70,6 +77,29 @@ impl FrameAllocator {
         }
     }
 
+    /// Restricts this allocator to tenant `tenant`'s slice of the physical
+    /// regions: both the table region and the data region are divided into
+    /// `tenants` equal, disjoint slices, so concurrent address spaces can
+    /// never hand out overlapping frames. `tenant_slice(0, 1)` is the
+    /// identity — a single-tenant allocator is byte-for-byte the plain
+    /// [`FrameAllocator::new`] one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant >= tenants` or `tenants == 0`.
+    pub fn tenant_slice(mut self, tenant: usize, tenants: usize) -> Self {
+        assert!(tenants > 0, "at least one tenant");
+        assert!(tenant < tenants, "tenant index out of range");
+        let table_span = (Self::DATA_REGION_BASE - Self::TABLE_REGION_BASE) / tenants as u64;
+        let table_span = table_span - table_span % TABLE_BYTES;
+        self.table_base = Self::TABLE_REGION_BASE + tenant as u64 * table_span;
+        let frames = Self::DATA_REGION_BYTES / self.page_size.bytes();
+        let per_tenant = frames / tenants as u64;
+        self.data_index_base = tenant as u64 * per_tenant;
+        self.data_frames_capacity = per_tenant;
+        self
+    }
+
     /// The data-page granularity this allocator serves.
     pub fn page_size(&self) -> PageSize {
         self.page_size
@@ -78,7 +108,7 @@ impl FrameAllocator {
     /// Allocates a zeroed 4 KiB page-table node, returning its base
     /// physical address.
     pub fn alloc_table(&mut self) -> PhysAddr {
-        let addr = Self::TABLE_REGION_BASE + self.next_table * TABLE_BYTES;
+        let addr = self.table_base + self.next_table * TABLE_BYTES;
         self.next_table += 1;
         PhysAddr::new(addr)
     }
@@ -93,7 +123,7 @@ impl FrameAllocator {
     /// page table, whose buckets are indexed by address arithmetic.
     pub fn alloc_table_region(&mut self, bytes: u64) -> PhysAddr {
         let nodes = bytes.div_ceil(TABLE_BYTES).max(1);
-        let base = Self::TABLE_REGION_BASE + self.next_table * TABLE_BYTES;
+        let base = self.table_base + self.next_table * TABLE_BYTES;
         self.next_table += nodes;
         PhysAddr::new(base)
     }
@@ -113,7 +143,7 @@ impl FrameAllocator {
             };
             self.next_data_index += 1;
             let base_pfn = Self::DATA_REGION_BASE >> self.page_size.offset_bits();
-            let pfn = Pfn::new(base_pfn + idx);
+            let pfn = Pfn::new(base_pfn + self.data_index_base + idx);
             if !self.retired.contains(&pfn.value()) {
                 return Some(pfn);
             }
@@ -241,6 +271,34 @@ mod tests {
         assert_ne!(got, f0, "allocator reissued a retired frame");
         // The very next sequential frame is handed out instead.
         assert_eq!(got.value(), f0.value() + 1);
+    }
+
+    #[test]
+    fn tenant_slices_are_disjoint_and_identity_for_single_tenant() {
+        // Identity: tenant 0 of 1 behaves exactly like a plain allocator.
+        let mut plain = FrameAllocator::new(PageSize::Size64K);
+        let mut sliced = FrameAllocator::new(PageSize::Size64K).tenant_slice(0, 1);
+        for _ in 0..16 {
+            assert_eq!(plain.alloc_table(), sliced.alloc_table());
+            assert_eq!(plain.alloc_data_frame(), sliced.alloc_data_frame());
+        }
+        // Disjointness: two tenants of four never hand out the same frame
+        // or table node.
+        let mut t0 = FrameAllocator::new_scrambled(PageSize::Size64K).tenant_slice(0, 4);
+        let mut t1 = FrameAllocator::new_scrambled(PageSize::Size64K).tenant_slice(1, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(t0.alloc_data_frame()), "t0 frame reuse");
+            assert!(seen.insert(t1.alloc_data_frame()), "cross-tenant frame");
+            assert!(
+                seen.insert(Pfn::new(t0.alloc_table().value())),
+                "t0 table reuse"
+            );
+            assert!(
+                seen.insert(Pfn::new(t1.alloc_table().value())),
+                "cross-tenant table"
+            );
+        }
     }
 
     #[test]

@@ -6,9 +6,14 @@
 //! sends along the deepest known node base and starting level. PW Warps
 //! refresh it with the `FPWC` instruction; hardware walkers fill it as they
 //! descend.
+//!
+//! Entries and roots are ASID-keyed: each tenant registers its own
+//! page-table root, and a cached directory node can only accelerate walks
+//! of the tenant that filled it — prefixes from different address spaces
+//! are different tags even when numerically equal.
 
 use crate::radix::{LEAF_LEVEL, LEVEL_BITS, ROOT_LEVEL};
-use swgpu_types::{PhysAddr, Vpn};
+use swgpu_types::{Asid, PhysAddr, Vpn};
 
 /// Where a walk should start, as determined by a PWC lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +28,7 @@ pub struct PwcStart {
 
 #[derive(Debug, Clone)]
 struct PwcEntry {
+    asid: Asid,
     level: u8,
     prefix: u64,
     node_base: PhysAddr,
@@ -40,38 +46,41 @@ pub struct PwcStats {
 
 /// A fully-associative, LRU page walk cache (32 entries in Table 3).
 ///
-/// Entries are keyed by `(level, vpn >> (level * 9))`: the node that serves
-/// level `L` of a walk is uniquely identified by the VPN bits *above* that
-/// level.
+/// Entries are keyed by `(asid, level, vpn >> (level * 9))`: the node that
+/// serves level `L` of a walk is uniquely identified by the address space
+/// and the VPN bits *above* that level.
 ///
 /// # Example
 ///
 /// ```
 /// use swgpu_pt::{PageWalkCache, ROOT_LEVEL};
-/// use swgpu_types::{PhysAddr, Vpn};
+/// use swgpu_types::{Asid, PhysAddr, Vpn};
 ///
 /// let mut pwc = PageWalkCache::new(32);
 /// let vpn = Vpn::new(0x1234);
-/// assert_eq!(pwc.lookup(vpn).level, ROOT_LEVEL);
-/// pwc.fill(vpn, 2, PhysAddr::new(0x8000));
-/// let start = pwc.lookup(vpn);
+/// assert_eq!(pwc.lookup(Asid::ZERO, vpn).level, ROOT_LEVEL);
+/// pwc.fill(Asid::ZERO, vpn, 2, PhysAddr::new(0x8000));
+/// let start = pwc.lookup(Asid::ZERO, vpn);
 /// assert!(start.hit);
 /// assert_eq!(start.level, 2);
 /// assert_eq!(start.node_base, PhysAddr::new(0x8000));
+/// // Another tenant's numerically equal VPN does not hit.
+/// assert!(!pwc.lookup(Asid::new(1), vpn).hit);
 /// ```
 #[derive(Debug)]
 pub struct PageWalkCache {
     entries: Vec<PwcEntry>,
     capacity: usize,
-    root: PhysAddr,
+    /// Per-ASID page-table roots, indexed by `Asid::index()`.
+    roots: Vec<PhysAddr>,
     tick: u64,
     stats: PwcStats,
 }
 
 impl PageWalkCache {
-    /// Creates a PWC with the given number of entries. The root node base
-    /// must be provided via [`PageWalkCache::set_root`] before lookups
-    /// return useful addresses on a total miss.
+    /// Creates a PWC with the given number of entries. Each tenant's root
+    /// node base must be provided via [`PageWalkCache::set_root`] before
+    /// its lookups return useful addresses on a total miss.
     ///
     /// # Panics
     ///
@@ -81,15 +90,26 @@ impl PageWalkCache {
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,
-            root: PhysAddr::new(0),
+            roots: Vec::new(),
             tick: 0,
             stats: PwcStats::default(),
         }
     }
 
-    /// Sets the page-table root returned on total misses.
-    pub fn set_root(&mut self, root: PhysAddr) {
-        self.root = root;
+    /// Registers the page-table root returned on `asid`'s total misses.
+    pub fn set_root(&mut self, asid: Asid, root: PhysAddr) {
+        if self.roots.len() <= asid.index() {
+            self.roots.resize(asid.index() + 1, PhysAddr::new(0));
+        }
+        self.roots[asid.index()] = root;
+    }
+
+    /// The registered page-table root for `asid` (0 if never set).
+    pub fn root_of(&self, asid: Asid) -> PhysAddr {
+        self.roots
+            .get(asid.index())
+            .copied()
+            .unwrap_or(PhysAddr::new(0))
     }
 
     /// Accumulated statistics.
@@ -101,13 +121,15 @@ impl PageWalkCache {
         vpn.value() >> (level as u32 * LEVEL_BITS)
     }
 
-    /// Finds the deepest cached node for `vpn` and returns where the walk
-    /// should start. Counts toward hit/miss statistics and refreshes LRU.
-    pub fn lookup(&mut self, vpn: Vpn) -> PwcStart {
+    /// Finds the deepest cached node for `(asid, vpn)` and returns where
+    /// the walk should start. Counts toward hit/miss statistics and
+    /// refreshes LRU.
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> PwcStart {
         self.tick += 1;
         let mut best: Option<usize> = None;
         for (i, e) in self.entries.iter().enumerate() {
-            if e.prefix == Self::prefix_for(e.level, vpn)
+            if e.asid == asid
+                && e.prefix == Self::prefix_for(e.level, vpn)
                 && best.is_none_or(|b| e.level < self.entries[b].level)
             {
                 best = Some(i);
@@ -127,20 +149,20 @@ impl PageWalkCache {
                 self.stats.misses += 1;
                 PwcStart {
                     level: ROOT_LEVEL,
-                    node_base: self.root,
+                    node_base: self.root_of(asid),
                     hit: false,
                 }
             }
         }
     }
 
-    /// Caches the node base serving `level` of walks for `vpn` — i.e. the
-    /// content of the directory entry just read at `level + 1`. Valid for
-    /// levels `LEAF_LEVEL..ROOT_LEVEL` (1..=3 in the 4-level table: a
-    /// level-1 fill caches the *leaf node* base, so a warm walk costs a
-    /// single memory read). Filling the root level is a no-op — the root
-    /// is always known.
-    pub fn fill(&mut self, vpn: Vpn, level: u8, node_base: PhysAddr) {
+    /// Caches the node base serving `level` of `asid`'s walks for `vpn` —
+    /// i.e. the content of the directory entry just read at `level + 1`.
+    /// Valid for levels `LEAF_LEVEL..ROOT_LEVEL` (1..=3 in the 4-level
+    /// table: a level-1 fill caches the *leaf node* base, so a warm walk
+    /// costs a single memory read). Filling the root level is a no-op —
+    /// the root is always known.
+    pub fn fill(&mut self, asid: Asid, vpn: Vpn, level: u8, node_base: PhysAddr) {
         if !(LEAF_LEVEL..ROOT_LEVEL).contains(&level) {
             return;
         }
@@ -149,13 +171,14 @@ impl PageWalkCache {
         if let Some(e) = self
             .entries
             .iter_mut()
-            .find(|e| e.level == level && e.prefix == prefix)
+            .find(|e| e.asid == asid && e.level == level && e.prefix == prefix)
         {
             e.node_base = node_base;
             e.last_used = self.tick;
             return;
         }
         let entry = PwcEntry {
+            asid,
             level,
             prefix,
             node_base,
@@ -175,6 +198,12 @@ impl PageWalkCache {
         }
     }
 
+    /// Drops every cached entry belonging to one tenant (teardown / root
+    /// switch); other tenants' entries and the LRU clock are untouched.
+    pub fn clear_asid(&mut self, asid: Asid) {
+        self.entries.retain(|e| e.asid != asid);
+    }
+
     /// Drops every cached entry (used when switching address spaces).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -185,11 +214,14 @@ impl PageWalkCache {
 mod tests {
     use super::*;
 
+    const A: Asid = Asid::ZERO;
+    const B: Asid = Asid(1);
+
     #[test]
     fn total_miss_starts_at_root() {
         let mut pwc = PageWalkCache::new(4);
-        pwc.set_root(PhysAddr::new(0x1000));
-        let s = pwc.lookup(Vpn::new(0x42));
+        pwc.set_root(A, PhysAddr::new(0x1000));
+        let s = pwc.lookup(A, Vpn::new(0x42));
         assert!(!s.hit);
         assert_eq!(s.level, ROOT_LEVEL);
         assert_eq!(s.node_base, PhysAddr::new(0x1000));
@@ -197,12 +229,21 @@ mod tests {
     }
 
     #[test]
+    fn roots_are_per_tenant() {
+        let mut pwc = PageWalkCache::new(4);
+        pwc.set_root(A, PhysAddr::new(0x1000));
+        pwc.set_root(B, PhysAddr::new(0x2000));
+        assert_eq!(pwc.lookup(A, Vpn::new(7)).node_base, PhysAddr::new(0x1000));
+        assert_eq!(pwc.lookup(B, Vpn::new(7)).node_base, PhysAddr::new(0x2000));
+    }
+
+    #[test]
     fn deepest_level_wins() {
         let mut pwc = PageWalkCache::new(4);
         let vpn = Vpn::new(0x12345);
-        pwc.fill(vpn, 3, PhysAddr::new(0x3000));
-        pwc.fill(vpn, 2, PhysAddr::new(0x2000));
-        let s = pwc.lookup(vpn);
+        pwc.fill(A, vpn, 3, PhysAddr::new(0x3000));
+        pwc.fill(A, vpn, 2, PhysAddr::new(0x2000));
+        let s = pwc.lookup(A, vpn);
         assert_eq!(s.level, 2);
         assert_eq!(s.node_base, PhysAddr::new(0x2000));
     }
@@ -211,22 +252,39 @@ mod tests {
     fn prefix_discriminates_neighbours() {
         let mut pwc = PageWalkCache::new(4);
         // Level-1 prefixes differ only above bit 9.
-        pwc.fill(Vpn::new(0x200), 2, PhysAddr::new(0xaaa0));
-        let hit = pwc.lookup(Vpn::new(0x200 + 5)); // same level-2 prefix? 0x205>>18 == 0
-                                                   // Level 2 prefix = vpn >> 18; both are 0, so this *does* hit.
+        pwc.fill(A, Vpn::new(0x200), 2, PhysAddr::new(0xaaa0));
+        let hit = pwc.lookup(A, Vpn::new(0x200 + 5)); // same level-2 prefix? 0x205>>18 == 0
+                                                      // Level 2 prefix = vpn >> 18; both are 0, so this *does* hit.
         assert!(hit.hit);
         // A VPN beyond the level-2 coverage misses.
-        let miss = pwc.lookup(Vpn::new(1 << 18));
+        let miss = pwc.lookup(A, Vpn::new(1 << 18));
         assert!(!miss.hit);
+    }
+
+    #[test]
+    fn asid_discriminates_equal_prefixes() {
+        let mut pwc = PageWalkCache::new(4);
+        pwc.fill(A, Vpn::new(0x200), 2, PhysAddr::new(0xaaa0));
+        assert!(pwc.lookup(A, Vpn::new(0x200)).hit);
+        assert!(!pwc.lookup(B, Vpn::new(0x200)).hit, "other tenant misses");
+        pwc.fill(B, Vpn::new(0x200), 2, PhysAddr::new(0xbbb0));
+        assert_eq!(
+            pwc.lookup(A, Vpn::new(0x200)).node_base,
+            PhysAddr::new(0xaaa0)
+        );
+        assert_eq!(
+            pwc.lookup(B, Vpn::new(0x200)).node_base,
+            PhysAddr::new(0xbbb0)
+        );
     }
 
     #[test]
     fn root_fills_are_ignored_leaf_fills_cached() {
         let mut pwc = PageWalkCache::new(4);
-        pwc.fill(Vpn::new(1), ROOT_LEVEL, PhysAddr::new(0x20));
-        assert!(!pwc.lookup(Vpn::new(1)).hit, "root is never cached");
-        pwc.fill(Vpn::new(1), LEAF_LEVEL, PhysAddr::new(0x10));
-        let s = pwc.lookup(Vpn::new(1));
+        pwc.fill(A, Vpn::new(1), ROOT_LEVEL, PhysAddr::new(0x20));
+        assert!(!pwc.lookup(A, Vpn::new(1)).hit, "root is never cached");
+        pwc.fill(A, Vpn::new(1), LEAF_LEVEL, PhysAddr::new(0x10));
+        let s = pwc.lookup(A, Vpn::new(1));
         assert!(s.hit, "leaf node bases are cached (cost-1 warm walks)");
         assert_eq!(s.level, LEAF_LEVEL);
         assert_eq!(s.node_base, PhysAddr::new(0x10));
@@ -239,29 +297,39 @@ mod tests {
         let a = Vpn::new(0 << 18);
         let b = Vpn::new(1 << 18);
         let c = Vpn::new(2 << 18);
-        pwc.fill(a, 2, PhysAddr::new(0xa));
-        pwc.fill(b, 2, PhysAddr::new(0xb));
-        pwc.lookup(a); // refresh a; b becomes LRU
-        pwc.fill(c, 2, PhysAddr::new(0xc));
-        assert!(pwc.lookup(a).hit);
-        assert!(!pwc.lookup(b).hit, "b was evicted");
-        assert!(pwc.lookup(c).hit);
+        pwc.fill(A, a, 2, PhysAddr::new(0xa));
+        pwc.fill(A, b, 2, PhysAddr::new(0xb));
+        pwc.lookup(A, a); // refresh a; b becomes LRU
+        pwc.fill(A, c, 2, PhysAddr::new(0xc));
+        assert!(pwc.lookup(A, a).hit);
+        assert!(!pwc.lookup(A, b).hit, "b was evicted");
+        assert!(pwc.lookup(A, c).hit);
     }
 
     #[test]
     fn refill_updates_in_place() {
         let mut pwc = PageWalkCache::new(2);
         let vpn = Vpn::new(7);
-        pwc.fill(vpn, 2, PhysAddr::new(0x1));
-        pwc.fill(vpn, 2, PhysAddr::new(0x2));
-        assert_eq!(pwc.lookup(vpn).node_base, PhysAddr::new(0x2));
+        pwc.fill(A, vpn, 2, PhysAddr::new(0x1));
+        pwc.fill(A, vpn, 2, PhysAddr::new(0x2));
+        assert_eq!(pwc.lookup(A, vpn).node_base, PhysAddr::new(0x2));
     }
 
     #[test]
     fn clear_empties() {
         let mut pwc = PageWalkCache::new(2);
-        pwc.fill(Vpn::new(7), 2, PhysAddr::new(0x1));
+        pwc.fill(A, Vpn::new(7), 2, PhysAddr::new(0x1));
         pwc.clear();
-        assert!(!pwc.lookup(Vpn::new(7)).hit);
+        assert!(!pwc.lookup(A, Vpn::new(7)).hit);
+    }
+
+    #[test]
+    fn clear_asid_spares_other_tenants() {
+        let mut pwc = PageWalkCache::new(4);
+        pwc.fill(A, Vpn::new(7), 2, PhysAddr::new(0x1));
+        pwc.fill(B, Vpn::new(7), 2, PhysAddr::new(0x2));
+        pwc.clear_asid(A);
+        assert!(!pwc.lookup(A, Vpn::new(7)).hit);
+        assert!(pwc.lookup(B, Vpn::new(7)).hit);
     }
 }

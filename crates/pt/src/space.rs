@@ -63,6 +63,34 @@ impl AddressSpace {
         }
     }
 
+    /// Creates tenant `tenant`-of-`tenants`'s address space: its frame
+    /// allocator is confined to that tenant's disjoint slice of the table
+    /// and data regions (see [`FrameAllocator::tenant_slice`]), so
+    /// concurrent tenants build non-overlapping page tables and can never
+    /// share a data frame by accident. `new_tenant(ps, 0, 1, scrambled, m)`
+    /// is byte-identical to the single-tenant constructors.
+    pub fn new_tenant(
+        page_size: PageSize,
+        tenant: usize,
+        tenants: usize,
+        scrambled: bool,
+        mem: &mut PhysMem,
+    ) -> Self {
+        let base = if scrambled {
+            FrameAllocator::new_scrambled(page_size)
+        } else {
+            FrameAllocator::new(page_size)
+        };
+        let mut alloc = base.tenant_slice(tenant, tenants);
+        let radix = RadixPageTable::new(&mut alloc, mem);
+        Self {
+            page_size,
+            alloc,
+            radix,
+            mappings: BTreeMap::new(),
+        }
+    }
+
     /// Translation granularity of this space.
     pub fn page_size(&self) -> PageSize {
         self.page_size

@@ -2,7 +2,7 @@
 
 use swgpu_mem::PhysMem;
 use swgpu_pt::{HashedPageTable, PageWalkCache};
-use swgpu_types::{Cycle, Pfn, PhysAddr, SmId, Vpn, WarpId};
+use swgpu_types::{Asid, Cycle, Pfn, PhysAddr, SmId, Vpn, WarpId};
 
 /// The warp a walk request originated from — used by the warp-aware PWB
 /// scheduling policy of Shin et al. \[85\] (Table 1 in the paper), which
@@ -13,6 +13,9 @@ pub type WalkOwner = Option<(SmId, WarpId)>;
 /// TLB MSHRs in the baseline, or at an SM's SoftPWB under SoftWalker).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkRequest {
+    /// Address space this walk translates for — selects the page-table
+    /// root (via the PWC's per-ASID roots) and gates NHA coalescing.
+    pub asid: Asid,
     /// Virtual page number to translate.
     pub vpn: Vpn,
     /// When the L2 TLB miss allocated this walk — queueing delay is
@@ -23,28 +26,39 @@ pub struct WalkRequest {
 }
 
 impl WalkRequest {
-    /// Creates a request stamped with its issue time.
+    /// Creates a single-tenant ([`Asid::ZERO`]) request stamped with its
+    /// issue time.
     pub fn new(vpn: Vpn, issued_at: Cycle) -> Self {
         Self {
+            asid: Asid::ZERO,
             vpn,
             issued_at,
             owner: None,
         }
     }
 
-    /// Creates a request carrying its originating warp.
+    /// Creates a single-tenant request carrying its originating warp.
     pub fn with_owner(vpn: Vpn, issued_at: Cycle, owner: WalkOwner) -> Self {
         Self {
+            asid: Asid::ZERO,
             vpn,
             issued_at,
             owner,
         }
+    }
+
+    /// Rebinds the request to a tenant's address space.
+    pub fn for_asid(mut self, asid: Asid) -> Self {
+        self.asid = asid;
+        self
     }
 }
 
 /// Per-VPN outcome of a completed walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkResult {
+    /// Address space the translation belongs to.
+    pub asid: Asid,
     /// The translated VPN.
     pub vpn: Vpn,
     /// The mapped frame, or `None` on a page fault (invalid PTE — routed
@@ -106,6 +120,7 @@ mod tests {
     fn completion_latency_decomposes() {
         let c = WalkCompletion {
             results: vec![WalkResult {
+                asid: Asid::ZERO,
                 vpn: Vpn::new(1),
                 pfn: Some(Pfn::new(2)),
                 issued_at: Cycle::new(10),

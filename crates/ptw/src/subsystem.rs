@@ -338,11 +338,12 @@ impl PtwSubsystem {
         if self.cfg.nha {
             let ptes_per_sector = self.cfg.sector_bytes / Pte::SIZE_BYTES;
             let group = req.vpn.value() / ptes_per_sector;
-            if let Some(p) = self
-                .pwb
-                .iter_mut()
-                .find(|p| p.reqs[0].vpn.value() / ptes_per_sector == group)
-            {
+            // NHA is gated on the ASID: neighbouring VPNs of *different*
+            // tenants live in different page tables, so their leaf PTEs
+            // never share a sector.
+            if let Some(p) = self.pwb.iter_mut().find(|p| {
+                p.reqs[0].asid == req.asid && p.reqs[0].vpn.value() / ptes_per_sector == group
+            }) {
                 p.reqs.push(req);
                 self.stats.nha_merges += 1;
                 Self::track_owner(&mut self.owner_counts, &req);
@@ -350,6 +351,7 @@ impl PtwSubsystem {
             }
             let target = self.active.values_mut().find(|w| {
                 matches!(w.engine, Engine::Radix { .. })
+                    && w.reqs[0].asid == req.asid
                     && w.reqs[0].vpn.value() / ptes_per_sector == group
             });
             if let Some(w) = target {
@@ -443,9 +445,13 @@ impl PtwSubsystem {
         let walk_id = self.next_walk_id;
         self.next_walk_id += 1;
         let vpn = pending.reqs[0].vpn;
+        let asid = pending.reqs[0].asid;
         let engine = match ctx.table {
             TableRef::Radix { .. } => {
-                let start = ctx.pwc.lookup(vpn);
+                // The PWC's per-ASID roots select the tenant's table on a
+                // total miss; hits already carry the right node base
+                // because PWC tags include the ASID.
+                let start = ctx.pwc.lookup(asid, vpn);
                 Engine::Radix {
                     level: start.level,
                     node: start.node_base,
@@ -599,6 +605,7 @@ impl PtwSubsystem {
             .reqs
             .iter()
             .map(|r| WalkResult {
+                asid: r.asid,
                 vpn: r.vpn,
                 pfn: None,
                 issued_at: r.issued_at,
@@ -671,6 +678,7 @@ impl PtwSubsystem {
         match &mut walk.engine {
             Engine::Radix { level, node } => {
                 let vpn = walk.reqs[0].vpn;
+                let asid = walk.reqs[0].asid;
                 if *level == LEAF_LEVEL {
                     // Leaf sector available: decode each coalesced VPN's PTE.
                     let node = *node;
@@ -690,6 +698,7 @@ impl PtwSubsystem {
                             read_pte_observed(ctx.mem, addr, inj, r.vpn, LEAF_LEVEL, now, sink);
                         corrupted_n += u64::from(corrupted);
                         results.push(WalkResult {
+                            asid: r.asid,
                             vpn: r.vpn,
                             pfn: pte.is_valid().then(|| pte.pfn()),
                             issued_at: r.issued_at,
@@ -726,7 +735,7 @@ impl PtwSubsystem {
                         Some(next) => {
                             *level -= 1;
                             *node = next;
-                            ctx.pwc.fill(vpn, *level, next);
+                            ctx.pwc.fill(asid, vpn, *level, next);
                             let addr = Self::current_read_addr(walk);
                             self.issue_read(walk_id, addr, now, ids);
                         }
@@ -740,6 +749,7 @@ impl PtwSubsystem {
                                 .reqs
                                 .iter()
                                 .map(|r| WalkResult {
+                                    asid: r.asid,
                                     vpn: r.vpn,
                                     pfn: None,
                                     issued_at: r.issued_at,
@@ -764,6 +774,7 @@ impl PtwSubsystem {
                     self.release_owners(&walk.reqs);
                     self.credit_recovered(walk.pending_inj);
                     let results = vec![WalkResult {
+                        asid: walk.reqs[0].asid,
                         vpn,
                         pfn: pte.is_valid().then(|| pte.pfn()),
                         issued_at: walk.reqs[0].issued_at,
@@ -776,6 +787,7 @@ impl PtwSubsystem {
                         self.release_owners(&walk.reqs);
                         self.credit_recovered(walk.pending_inj);
                         let results = vec![WalkResult {
+                            asid: walk.reqs[0].asid,
                             vpn,
                             pfn: None,
                             issued_at: walk.reqs[0].issued_at,
@@ -864,7 +876,7 @@ mod tests {
             let mut space = AddressSpace::new(PageSize::Size64K, &mut mem);
             space.map_region(swgpu_types::VirtAddr::new(0), pages * 64 * 1024, &mut mem);
             let mut pwc = PageWalkCache::new(32);
-            pwc.set_root(space.radix().root());
+            pwc.set_root(swgpu_types::Asid::ZERO, space.radix().root());
             Self {
                 mem,
                 space,
@@ -1044,6 +1056,25 @@ mod tests {
         sub.enqueue(WalkRequest::new(Vpn::new(4), Cycle::ZERO));
         assert_eq!(sub.pwb_depth(), 2);
         assert_eq!(sub.stats().nha_merges, 0);
+    }
+
+    #[test]
+    fn nha_does_not_merge_across_tenants() {
+        let mut sub = PtwSubsystem::new(PtwConfig {
+            nha: true,
+            ..PtwConfig::default()
+        });
+        // Same leaf sector (VPNs 0 and 1), but different address spaces:
+        // their PTEs live in different page tables, so a shared sector
+        // read would be wrong.
+        sub.enqueue(WalkRequest::new(Vpn::new(0), Cycle::ZERO));
+        sub.enqueue(WalkRequest::new(Vpn::new(1), Cycle::ZERO).for_asid(swgpu_types::Asid::new(1)));
+        assert_eq!(sub.pwb_depth(), 2, "cross-tenant requests stay separate");
+        assert_eq!(sub.stats().nha_merges, 0);
+        // Same tenant still merges.
+        sub.enqueue(WalkRequest::new(Vpn::new(2), Cycle::ZERO).for_asid(swgpu_types::Asid::new(1)));
+        assert_eq!(sub.pwb_depth(), 2);
+        assert_eq!(sub.stats().nha_merges, 1);
     }
 
     #[test]

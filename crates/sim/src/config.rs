@@ -88,6 +88,91 @@ impl PrefetchConfig {
     }
 }
 
+/// How concurrent tenants share the translation stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingPolicy {
+    /// MIG-style static partitioning: each tenant owns a disjoint window
+    /// of L2 TLB ways (associativity divided evenly) and its walks
+    /// dispatch only to its own SMs. Strong isolation, no QoS needed.
+    Partitioned,
+    /// Fully shared L2 TLB and walker pool, with a QoS cap bounding each
+    /// tenant's concurrently in-flight page walks so one irregular tenant
+    /// cannot monopolize the walk bandwidth.
+    Shared {
+        /// Maximum walks a single tenant may have in flight at once.
+        max_inflight_walks: u32,
+    },
+}
+
+/// One tenant: a workload bound to a slice of the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Workload tag (a Table 4 abbreviation like `"bfs"` or `"2mm"`) —
+    /// the harness binds this tenant's instruction streams from it.
+    pub workload: String,
+    /// Number of SMs statically assigned to this tenant. Assignments are
+    /// contiguous in tenant order and must sum to [`GpuConfig::sms`].
+    pub sms: usize,
+}
+
+/// Multi-tenant section: 2–8 concurrent address spaces over one GPU.
+///
+/// Absent (`GpuConfig::tenants == None`, the default) the simulator is
+/// byte-identical to the single-tenant machine: every translation
+/// structure keys on [`swgpu_types::Asid::ZERO`] and the section adds no
+/// bytes to [`GpuConfig::fingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantsConfig {
+    /// The tenants, in SM-assignment order (tenant *i* gets ASID *i*).
+    pub tenants: Vec<TenantConfig>,
+    /// How the shared translation stack is divided.
+    pub policy: SharingPolicy,
+    /// Opt-in sub-entry sharing: tenants run *identically mapped* address
+    /// spaces (one shared page table), and an L2 TLB fill whose (VPN,
+    /// PFN) already sits valid under another tenant's tag joins that
+    /// entry instead of consuming a way.
+    pub sub_entry_sharing: bool,
+}
+
+impl TenantsConfig {
+    /// A partitioned two-tenant mix of the given workloads, splitting the
+    /// SMs evenly (the first tenant takes the remainder).
+    pub fn pair(a: &str, b: &str, sms: usize) -> Self {
+        Self {
+            tenants: vec![
+                TenantConfig {
+                    workload: a.to_string(),
+                    sms: sms - sms / 2,
+                },
+                TenantConfig {
+                    workload: b.to_string(),
+                    sms: sms / 2,
+                },
+            ],
+            policy: SharingPolicy::Partitioned,
+            sub_entry_sharing: false,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the section is degenerate (never valid; see
+    /// [`GpuConfig::validate`]).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The SM index range assigned to tenant `i` (contiguous in tenant
+    /// order).
+    pub fn sm_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start: usize = self.tenants[..i].iter().map(|t| t.sms).sum();
+        start..start + self.tenants[i].sms
+    }
+}
+
 /// Full-system configuration. [`GpuConfig::default`] reproduces Table 3;
 /// every field the paper sweeps is public.
 #[derive(Debug, Clone)]
@@ -176,6 +261,11 @@ pub struct GpuConfig {
     /// machinery, contiguous 4 KB runs coalesce into 64 KB/2 MB mappings,
     /// and a device-memory budget triggers LRU eviction.
     pub mm: MmConfig,
+    /// Multi-tenant section (2–8 concurrent workloads under MIG-style
+    /// partitioning or QoS-capped sharing). `None` — the default — is the
+    /// single-tenant machine, byte-identical to the pre-tenant simulator,
+    /// and contributes no bytes to [`GpuConfig::fingerprint`].
+    pub tenants: Option<TenantsConfig>,
 }
 
 impl Default for GpuConfig {
@@ -209,6 +299,7 @@ impl Default for GpuConfig {
             fault_plan: FaultPlan::default(),
             obs: ObsConfig::default(),
             mm: MmConfig::default(),
+            tenants: None,
         }
     }
 }
@@ -308,6 +399,7 @@ impl GpuConfig {
             fault_plan,
             obs,
             mm,
+            tenants,
         } = self;
         let mut h = Fnv::new();
         h.usize(*sms);
@@ -354,6 +446,7 @@ impl GpuConfig {
         hash_obs(&mut h, obs);
         hash_mm(&mut h, mm);
         hash_prefetch(&mut h, prefetch);
+        hash_tenants(&mut h, tenants);
         format!("{:016x}", h.finish())
     }
 
@@ -446,6 +539,53 @@ impl GpuConfig {
                 "In-TLB MSHR is enabled but in_tlb_max is 0; disable the \
                  mechanism explicitly (in_tlb_mshr: false / SwNoInTlb) instead"
             );
+        }
+        if let Some(t) = &self.tenants {
+            assert!(
+                (2..=8).contains(&t.tenants.len()),
+                "multi-tenant runs take 2 to 8 tenants, got {}",
+                t.tenants.len()
+            );
+            assert!(
+                t.tenants.iter().all(|x| x.sms > 0),
+                "every tenant needs at least one SM"
+            );
+            assert!(
+                t.tenants.iter().all(|x| !x.workload.is_empty()),
+                "every tenant needs a workload tag"
+            );
+            let total: usize = t.tenants.iter().map(|x| x.sms).sum();
+            assert_eq!(
+                total, self.sms,
+                "tenant SM assignments must cover every SM exactly"
+            );
+            if t.policy == SharingPolicy::Partitioned {
+                assert_eq!(
+                    self.l2_tlb.assoc % t.tenants.len(),
+                    0,
+                    "partitioned mode splits L2 TLB ways evenly; the \
+                     associativity must be divisible by the tenant count"
+                );
+            }
+            if let SharingPolicy::Shared { max_inflight_walks } = t.policy {
+                assert!(
+                    max_inflight_walks >= 1,
+                    "the QoS cap must admit at least one in-flight walk"
+                );
+            }
+            assert!(
+                self.mode != TranslationMode::HashedPtw,
+                "multi-tenant runs use per-tenant radix tables; the FS-HPT \
+                 hashed table is single-tenant only"
+            );
+            if t.sub_entry_sharing {
+                assert!(
+                    !self.mm.enabled,
+                    "sub-entry sharing runs one identically-mapped address \
+                     space for all tenants; demand paging would evict pages \
+                     under one tenant while another still maps them"
+                );
+            }
         }
     }
 }
@@ -722,6 +862,35 @@ fn hash_prefetch(h: &mut Fnv, p: &PrefetchConfig) {
     h.u32(*degree);
 }
 
+/// Hashes the multi-tenant section **only when present** — same cache-key
+/// contract as [`hash_obs`]/[`hash_mm`]: an absent section contributes no
+/// bytes, so every single-tenant fingerprint (including the golden pin)
+/// is exactly what it was before the field existed.
+fn hash_tenants(h: &mut Fnv, t: &Option<TenantsConfig>) {
+    let Some(t) = t else {
+        return;
+    };
+    let TenantsConfig {
+        tenants,
+        policy,
+        sub_entry_sharing,
+    } = t;
+    h.u64(0x544e_4e54); // "TNNT" marker
+    h.usize(tenants.len());
+    for TenantConfig { workload, sms } in tenants {
+        h.str(workload);
+        h.usize(*sms);
+    }
+    match policy {
+        SharingPolicy::Partitioned => h.u64(0),
+        SharingPolicy::Shared { max_inflight_walks } => {
+            h.u64(1);
+            h.u32(*max_inflight_walks);
+        }
+    }
+    h.bool(*sub_entry_sharing);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,6 +1049,33 @@ mod tests {
                     lookahead: 8,
                     ..PrefetchConfig::enabled()
                 };
+            }),
+            Box::new(|c| c.tenants = Some(TenantsConfig::pair("bfs", "2mm", 46))),
+            Box::new(|c| c.tenants = Some(TenantsConfig::pair("bfs", "sssp", 46))),
+            Box::new(|c| {
+                let mut t = TenantsConfig::pair("bfs", "2mm", 46);
+                t.tenants[0].sms = 30;
+                t.tenants[1].sms = 16;
+                c.tenants = Some(t);
+            }),
+            Box::new(|c| {
+                let mut t = TenantsConfig::pair("bfs", "2mm", 46);
+                t.policy = SharingPolicy::Shared {
+                    max_inflight_walks: 64,
+                };
+                c.tenants = Some(t);
+            }),
+            Box::new(|c| {
+                let mut t = TenantsConfig::pair("bfs", "2mm", 46);
+                t.policy = SharingPolicy::Shared {
+                    max_inflight_walks: 128,
+                };
+                c.tenants = Some(t);
+            }),
+            Box::new(|c| {
+                let mut t = TenantsConfig::pair("bfs", "bfs", 46);
+                t.sub_entry_sharing = true;
+                c.tenants = Some(t);
             }),
         ];
         let mut prints = vec![GpuConfig::default().fingerprint()];
@@ -1065,6 +1261,130 @@ mod tests {
             sw_only.fingerprint(),
             "an enabled prefetcher must bust the cache"
         );
+    }
+
+    #[test]
+    fn absent_tenants_leave_fingerprint_unchanged() {
+        // The multi-tenant section follows the gated-block contract: the
+        // default (single-tenant) config hashes exactly as it did before
+        // the field existed, so the golden pin and every cached baseline
+        // survive. A present section busts the cache.
+        assert_eq!(
+            GpuConfig::default().fingerprint(),
+            GOLDEN_DEFAULT_FINGERPRINT
+        );
+        let two = GpuConfig {
+            tenants: Some(TenantsConfig::pair("bfs", "2mm", 46)),
+            ..GpuConfig::default()
+        };
+        two.validate();
+        assert_ne!(two.fingerprint(), GOLDEN_DEFAULT_FINGERPRINT);
+    }
+
+    #[test]
+    fn tenant_validation_accepts_both_policies() {
+        for policy in [
+            SharingPolicy::Partitioned,
+            SharingPolicy::Shared {
+                max_inflight_walks: 64,
+            },
+        ] {
+            let mut cfg = GpuConfig::quick_test();
+            let mut t = TenantsConfig::pair("bfs", "2mm", cfg.sms);
+            t.policy = policy;
+            cfg.tenants = Some(t);
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn tenant_sm_ranges_are_contiguous_and_disjoint() {
+        let mut t = TenantsConfig::pair("a", "b", 46);
+        t.tenants.push(TenantConfig {
+            workload: "c".into(),
+            sms: 10,
+        });
+        assert_eq!(t.sm_range(0), 0..23);
+        assert_eq!(t.sm_range(1), 23..46);
+        assert_eq!(t.sm_range(2), 46..56);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every SM")]
+    fn tenant_sm_mismatch_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.tenants = Some(TenantsConfig::pair("bfs", "2mm", cfg.sms + 1));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "2 to 8 tenants")]
+    fn too_many_tenants_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.sms = 9;
+        let tenants = (0..9)
+            .map(|i| TenantConfig {
+                workload: format!("w{i}"),
+                sms: 1,
+            })
+            .collect();
+        cfg.tenants = Some(TenantsConfig {
+            tenants,
+            policy: SharingPolicy::Partitioned,
+            sub_entry_sharing: false,
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by the tenant count")]
+    fn partitioned_ways_must_divide() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.sms = 3;
+        cfg.tenants = Some(TenantsConfig {
+            tenants: (0..3)
+                .map(|i| TenantConfig {
+                    workload: format!("w{i}"),
+                    sms: 1,
+                })
+                .collect(),
+            policy: SharingPolicy::Partitioned,
+            sub_entry_sharing: false,
+        });
+        // 16 ways over 3 tenants does not divide.
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one in-flight walk")]
+    fn zero_qos_cap_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        let mut t = TenantsConfig::pair("bfs", "2mm", cfg.sms);
+        t.policy = SharingPolicy::Shared {
+            max_inflight_walks: 0,
+        };
+        cfg.tenants = Some(t);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "single-tenant only")]
+    fn tenants_with_hashed_table_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = TranslationMode::HashedPtw;
+        cfg.tenants = Some(TenantsConfig::pair("bfs", "2mm", cfg.sms));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "demand paging")]
+    fn sub_entry_sharing_with_mm_rejected() {
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mm = MmConfig::demand_paged();
+        let mut t = TenantsConfig::pair("bfs", "bfs", cfg.sms);
+        t.sub_entry_sharing = true;
+        cfg.tenants = Some(t);
+        cfg.validate();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The full-GPU cycle loop.
 
-use crate::config::{GpuConfig, TranslationMode};
+use crate::config::{GpuConfig, SharingPolicy, TenantsConfig, TranslationMode};
 use crate::stats::SimStats;
 use softwalker::{
     DistributorPolicy, FaultBuffer, FaultRecord, PwWarpUnit, RequestDistributor, SwWalkRequest,
@@ -13,11 +13,11 @@ use swgpu_obs::{
 };
 use swgpu_pt::{AddressSpace, FrameCheck, HashedPageTable, MemoryManager, PageWalkCache};
 use swgpu_ptw::{PtwSubsystem, TableRef, WalkContext, WalkOwner, WalkRequest};
-use swgpu_sm::{InstrSource, Sm, SmConfig};
+use swgpu_sm::{InstrSource, Sm, SmConfig, WarpInstr};
 use swgpu_tlb::{L2MissOutcome, L2TlbComplex};
 use swgpu_types::WarpId;
 use swgpu_types::{
-    fault::site, Component, Cycle, FaultInjectionStats, FaultInjector, IdGen, MemReqId,
+    fault::site, Asid, Component, Cycle, FaultInjectionStats, FaultInjector, IdGen, MemReqId,
     MmFaultStats, Pfn, Port, SmId, VirtAddr, Vpn,
 };
 
@@ -47,12 +47,14 @@ struct PendingL2 {
     counted_failure: bool,
 }
 
-/// One request in the simulated UVM driver's service queue: the faulted
-/// VPN, the cycle the walk was originally issued, how many injected
-/// service stalls this request has already absorbed, and whether it is
-/// a re-fill of a page quarantined by checksum verification.
+/// One request in the simulated UVM driver's service queue: the owning
+/// tenant, the faulted VPN, the cycle the walk was originally issued,
+/// how many injected service stalls this request has already absorbed,
+/// and whether it is a re-fill of a page quarantined by checksum
+/// verification.
 #[derive(Debug, Clone, Copy)]
 struct DriverReq {
+    asid: Asid,
     vpn: Vpn,
     issued_at: Cycle,
     stalls: u32,
@@ -74,8 +76,16 @@ struct FillTracker {
 /// watchdogs and artificially delayed replay deliveries.
 #[derive(Debug, Clone, Copy)]
 enum MmEvent {
-    FillWatchdog { vpn: Vpn, generation: u64 },
-    DelayedReplay { vpn: Vpn, issued_at: Cycle },
+    FillWatchdog {
+        asid: Asid,
+        vpn: Vpn,
+        generation: u64,
+    },
+    DelayedReplay {
+        asid: Asid,
+        vpn: Vpn,
+        issued_at: Cycle,
+    },
 }
 
 /// Injectors for the four demand-paging data-path fault sites. Present
@@ -265,6 +275,52 @@ impl PrebuiltMemory {
     }
 }
 
+/// Routes each global SM to the owning tenant's instruction source.
+///
+/// Tenant workloads are built for their own SM partition (SM ids
+/// `0..tenant_sms`), so the mux rewrites the global SM id to the
+/// tenant-local one before forwarding. Warp ids pass through unchanged.
+pub struct TenantMuxSource {
+    sources: Vec<Box<dyn InstrSource>>,
+    /// Global SM index → (tenant index, tenant-local SM id).
+    map: Vec<(usize, SmId)>,
+}
+
+impl TenantMuxSource {
+    /// Builds the mux from the tenant layout and one source per tenant,
+    /// in ASID order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source count does not match the tenant count.
+    pub fn new(tenants: &TenantsConfig, sources: Vec<Box<dyn InstrSource>>) -> Self {
+        assert_eq!(
+            tenants.len(),
+            sources.len(),
+            "one instruction source per tenant"
+        );
+        let mut map = Vec::new();
+        for i in 0..tenants.len() {
+            for (local, _) in tenants.sm_range(i).enumerate() {
+                map.push((i, SmId::new(local as u16)));
+            }
+        }
+        Self { sources, map }
+    }
+}
+
+impl InstrSource for TenantMuxSource {
+    fn next_instr(&mut self, sm: SmId, warp: WarpId) -> Option<WarpInstr> {
+        let (tenant, local) = self.map[sm.index()];
+        self.sources[tenant].next_instr(local, warp)
+    }
+
+    fn peek_load_vpns(&self, sm: SmId, warp: WarpId, lookahead: u32) -> Vec<Vpn> {
+        let (tenant, local) = self.map[sm.index()];
+        self.sources[tenant].peek_load_vpns(local, warp, lookahead)
+    }
+}
+
 /// The assembled GPU. See the crate-level example for usage; construct
 /// with a configuration and a boxed workload, then [`GpuSimulator::run`].
 pub struct GpuSimulator {
@@ -278,8 +334,25 @@ pub struct GpuSimulator {
     l2d: Cache,
     dram: Dram,
     phys: PhysMem,
-    space: AddressSpace,
+    // Per-tenant address spaces, indexed by ASID. Single-tenant runs
+    // hold exactly one; sub-entry-sharing mode clones one shared space
+    // into every slot so indexing stays uniform.
+    spaces: Vec<AddressSpace>,
     hashed: Option<HashedPageTable>,
+    // SM → tenant binding (all `Asid::ZERO` without a tenants config).
+    sm_asids: Vec<Asid>,
+    // Partitioned-policy dispatch masks: `tenant_masks[asid][sm]` is
+    // true iff the SM belongs to the tenant. Empty in shared mode and
+    // on single-tenant runs (empty mask = every SM eligible).
+    tenant_masks: Vec<Vec<bool>>,
+    // Shared-policy QoS: per-tenant cap on concurrently in-flight walks
+    // (`None` disables gating entirely) and the live per-tenant count.
+    qos_cap: Option<u32>,
+    inflight_walks: Vec<u32>,
+    // Per-tenant MPKI/fairness raw counters (always maintained, only
+    // surfaced in the stats on multi-tenant runs).
+    tenant_fresh_misses: Vec<u64>,
+    tenant_walks: Vec<u64>,
     distributor: RequestDistributor,
     ids: IdGen,
     now: Cycle,
@@ -290,7 +363,7 @@ pub struct GpuSimulator {
     to_l2: Port<(SmId, WarpId, Vpn, Cycle)>,
     l2_retry: Port<PendingL2>,
     xlat_ret: Port<(SmId, Vpn, Option<Pfn>)>,
-    dispatch_q: Port<(Vpn, Cycle)>,
+    dispatch_q: Port<(Asid, Vpn, Cycle)>,
     sw_to_sm: Port<(usize, SwWalkRequest)>,
     fl2t_ret: Port<(usize, softwalker::SwCompletion)>,
     pwb_retry: Port<WalkRequest>,
@@ -302,26 +375,27 @@ pub struct GpuSimulator {
     driver_q: Port<DriverReq>,
     hw_faults: FaultBuffer,
     fault_counters: FaultInjectionStats,
-    // Demand paging: the simulated driver/OS memory manager (None in the
-    // default prebuilt mode) and the VPNs whose fill replay is still in
-    // flight — their replayed walks are tagged so the PW Warps can count
-    // software fill replays. BTreeMap for deterministic iteration.
-    mm: Option<MemoryManager>,
-    pending_fills: BTreeMap<Vpn, FillTracker>,
+    // Demand paging: one simulated driver/OS memory manager per tenant
+    // (empty in the default prebuilt mode) and the pages whose fill
+    // replay is still in flight — their replayed walks are tagged so the
+    // PW Warps can count software fill replays. BTreeMap for
+    // deterministic iteration.
+    mms: Vec<MemoryManager>,
+    pending_fills: BTreeMap<(Asid, Vpn), FillTracker>,
     // Demand-paging data-path fault machinery: watchdog/delay timer
     // port, duplicated completions not yet absorbed, victims whose TLB
     // shootdown was dropped, driver-side counters, and the injectors
     // (None unless the plan arms a data-path rate with the mm on).
     mm_events: Port<MmEvent>,
-    dup_fills: BTreeMap<Vpn, u64>,
-    stale_shootdowns: BTreeMap<Vpn, u64>,
+    dup_fills: BTreeMap<(Asid, Vpn), u64>,
+    stale_shootdowns: BTreeMap<(Asid, Vpn), u64>,
     mm_fault: MmFaultStats,
     data_faults: Option<DataFaultState>,
-    // Translation prefetch (inert unless cfg.prefetch.enabled): VPNs
+    // Translation prefetch (inert unless cfg.prefetch.enabled): pages
     // whose prefetch walk is still in flight, the rotation cursor over
     // (sm, warp) streams, and the counters the TLB cannot see (issues,
     // demand merges onto live prefetch walks, failed prefetch walks).
-    prefetch_live: BTreeSet<Vpn>,
+    prefetch_live: BTreeSet<(Asid, Vpn)>,
     prefetch_cursor: usize,
     prefetch_issued: u64,
     prefetch_late: u64,
@@ -432,16 +506,15 @@ impl GpuSimulator {
     /// Panics if the configuration is inconsistent or the prebuilt image
     /// was built for a different page size / scrambling than `cfg` uses.
     pub fn new_with_prebuilt(
-        mut cfg: GpuConfig,
+        cfg: GpuConfig,
         source: Box<dyn InstrSource>,
         prebuilt: PrebuiltMemory,
     ) -> Self {
+        assert!(
+            cfg.tenants.is_none(),
+            "multi-tenant configs construct via GpuSimulator::new_multi_tenant"
+        );
         cfg.validate();
-        if cfg.mode == TranslationMode::IdealPtw {
-            // The ideal mode is self-sufficient: unbounded walkers and L2
-            // TLB MSHRs regardless of what the rest of the config says.
-            cfg = cfg.ideal();
-        }
         assert_eq!(
             prebuilt.page_size, cfg.page_size,
             "prebuilt memory image page size does not match the config"
@@ -466,23 +539,131 @@ impl GpuSimulator {
                 AddressSpace::new(cfg.page_size, &mut phys)
             };
         }
-        let mut mm = cfg
+        let mms: Vec<MemoryManager> = cfg
             .mm
             .enabled
-            .then(|| MemoryManager::new(cfg.mm, cfg.page_size));
+            .then(|| MemoryManager::new(cfg.mm, cfg.page_size))
+            .into_iter()
+            .collect();
 
         let hashed = match cfg.mode {
             TranslationMode::HashedPtw => Some(space.build_hashed(&mut phys)),
             _ => None,
         };
+        Self::assemble(cfg, source, phys, vec![space], mms, hashed)
+    }
 
+    /// Builds a multi-tenant GPU: `cfg.tenants` describes the layout,
+    /// and `tenants` supplies one `(instruction source, footprint
+    /// bytes)` pair per tenant in ASID order.
+    ///
+    /// Each tenant gets its own address space carved from a disjoint
+    /// slice of physical memory (its page tables and data frames can
+    /// never collide with another tenant's), its own PWC walk root, and
+    /// — under demand paging — its own memory manager with independent
+    /// resident-page accounting. In sub-entry-sharing mode every tenant
+    /// instead maps the *same* address space, the precondition for
+    /// identically-mapped VPNs to share L2 TLB entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent, `cfg.tenants` is
+    /// absent, or the pair count does not match the tenant count.
+    pub fn new_multi_tenant(cfg: GpuConfig, tenants: Vec<(Box<dyn InstrSource>, u64)>) -> Self {
+        cfg.validate();
+        let layout = cfg
+            .tenants
+            .clone()
+            .expect("new_multi_tenant requires cfg.tenants");
+        assert_eq!(
+            layout.len(),
+            tenants.len(),
+            "one (source, footprint) pair per tenant"
+        );
+        let n = layout.len();
+        let mut phys = PhysMem::new();
+        let (sources, footprints): (Vec<_>, Vec<_>) = tenants.into_iter().unzip();
+        let spaces: Vec<AddressSpace> = if layout.sub_entry_sharing {
+            // One shared space mapped to the largest footprint: every
+            // tenant sees the same VPN→PFN function, which is what lets
+            // fills join another tenant's identical entry.
+            let mut sp = if cfg.scrambled_frames {
+                AddressSpace::new_scrambled(cfg.page_size, &mut phys)
+            } else {
+                AddressSpace::new(cfg.page_size, &mut phys)
+            };
+            let max = footprints.iter().copied().max().unwrap_or(0);
+            sp.map_region(VirtAddr::new(0), max, &mut phys);
+            vec![sp; n]
+        } else {
+            (0..n)
+                .map(|i| {
+                    let mut sp = AddressSpace::new_tenant(
+                        cfg.page_size,
+                        i,
+                        n,
+                        cfg.scrambled_frames,
+                        &mut phys,
+                    );
+                    if !cfg.mm.enabled {
+                        sp.map_region(VirtAddr::new(0), footprints[i], &mut phys);
+                    }
+                    sp
+                })
+                .collect()
+        };
+        let mms: Vec<MemoryManager> = if cfg.mm.enabled {
+            (0..n)
+                .map(|_| MemoryManager::new(cfg.mm, cfg.page_size))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let source = Box::new(TenantMuxSource::new(&layout, sources));
+        Self::assemble(cfg, source, phys, spaces, mms, None)
+    }
+
+    /// Wires the (already built) memory system into a full simulator —
+    /// the tail shared by the single-tenant and multi-tenant
+    /// constructors. `spaces[i]` is ASID `i`'s address space; `mms` is
+    /// empty unless demand paging is on, else one manager per tenant.
+    fn assemble(
+        mut cfg: GpuConfig,
+        source: Box<dyn InstrSource>,
+        phys: PhysMem,
+        spaces: Vec<AddressSpace>,
+        mut mms: Vec<MemoryManager>,
+        hashed: Option<HashedPageTable>,
+    ) -> Self {
+        if cfg.mode == TranslationMode::IdealPtw {
+            // The ideal mode is self-sufficient: unbounded walkers and L2
+            // TLB MSHRs regardless of what the rest of the config says.
+            cfg = cfg.ideal();
+        }
+        let n_tenants = cfg.tenants.as_ref().map_or(1, TenantsConfig::len);
         let mut pwc = PageWalkCache::new(cfg.pwc_entries);
-        pwc.set_root(space.radix().root());
+        for (i, sp) in spaces.iter().enumerate() {
+            pwc.set_root(Asid::new(i as u16), sp.radix().root());
+        }
+
+        let sm_asids: Vec<Asid> = match cfg.tenants.as_ref() {
+            None => vec![Asid::ZERO; cfg.sms],
+            Some(t) => {
+                let mut v = vec![Asid::ZERO; cfg.sms];
+                for i in 0..t.len() {
+                    for s in t.sm_range(i) {
+                        v[s] = Asid::new(i as u16);
+                    }
+                }
+                v
+            }
+        };
 
         let sms = (0..cfg.sms)
             .map(|i| {
                 Sm::new(SmConfig {
                     id: SmId::new(i as u16),
+                    asid: sm_asids[i],
                     max_warps: cfg.max_warps,
                     l1_tlb: cfg.l1_tlb.clone(),
                     l1_mshr: cfg.l1_mshr,
@@ -505,7 +686,34 @@ impl GpuSimulator {
         } else {
             0
         };
-        let l2 = L2TlbComplex::new(cfg.l2_tlb.clone(), cfg.l2_mshr, in_tlb_max);
+        let mut l2 = L2TlbComplex::new(cfg.l2_tlb.clone(), cfg.l2_mshr, in_tlb_max);
+
+        // Sharing-policy wiring. Partitioned (MIG-style) statically
+        // splits the L2 TLB ways and pins dispatch to each tenant's SM
+        // partition; Shared leaves capacity open but caps each tenant's
+        // concurrently in-flight walks (QoS).
+        let mut qos_cap = None;
+        let mut tenant_masks: Vec<Vec<bool>> = Vec::new();
+        if let Some(t) = cfg.tenants.as_ref() {
+            match t.policy {
+                SharingPolicy::Partitioned => {
+                    let ways = cfg.l2_tlb.assoc / t.len();
+                    l2.set_way_partition((0..t.len()).map(|i| (i * ways, ways)).collect());
+                    tenant_masks = (0..t.len())
+                        .map(|i| {
+                            let r = t.sm_range(i);
+                            (0..cfg.sms).map(|s| r.contains(&s)).collect()
+                        })
+                        .collect();
+                }
+                SharingPolicy::Shared { max_inflight_walks } => {
+                    qos_cap = Some(max_inflight_walks);
+                }
+            }
+            if t.sub_entry_sharing {
+                l2.set_sub_entry_sharing(true);
+            }
+        }
 
         let distributor = RequestDistributor::new(
             cfg.distributor_policy,
@@ -533,8 +741,8 @@ impl GpuSimulator {
                 pw.set_fault_plan(plan, i as u64);
             }
         }
-        let data_faults = (plan.data_path_enabled() && cfg.mm.enabled).then(|| {
-            if let Some(mm) = mm.as_mut() {
+        let data_faults = (plan.data_path_enabled() && !mms.is_empty()).then(|| {
+            for mm in &mut mms {
                 mm.set_data_fault_checking(plan.frame_retire_threshold);
             }
             DataFaultState {
@@ -562,8 +770,14 @@ impl GpuSimulator {
             l2d,
             dram,
             phys,
-            space,
+            spaces,
             hashed,
+            sm_asids,
+            tenant_masks,
+            qos_cap,
+            inflight_walks: vec![0; n_tenants],
+            tenant_fresh_misses: vec![0; n_tenants],
+            tenant_walks: vec![0; n_tenants],
             distributor,
             ids: IdGen::new(),
             now: Cycle::ZERO,
@@ -579,7 +793,7 @@ impl GpuSimulator {
             driver_q: Port::new(),
             hw_faults: FaultBuffer::with_capacity(cfg.pw_warp.fault_buffer_entries),
             fault_counters: FaultInjectionStats::default(),
-            mm,
+            mms,
             pending_fills: BTreeMap::new(),
             mm_events: Port::new(),
             dup_fills: BTreeMap::new(),
@@ -605,9 +819,38 @@ impl GpuSimulator {
     }
 
     /// The address space backing this run (for tests and examples that
-    /// want to verify translations functionally).
+    /// want to verify translations functionally). Multi-tenant runs
+    /// return tenant 0's space; see [`GpuSimulator::address_space_of`].
     pub fn address_space(&self) -> &AddressSpace {
-        &self.space
+        &self.spaces[0]
+    }
+
+    /// The address space of one tenant.
+    pub fn address_space_of(&self, asid: Asid) -> &AddressSpace {
+        &self.spaces[asid.index()]
+    }
+
+    /// The tenant that owns an SM (always [`Asid::ZERO`] on
+    /// single-tenant runs).
+    fn sm_asid(&self, sm: SmId) -> Asid {
+        self.sm_asids[sm.index()]
+    }
+
+    /// Whether the shared-policy QoS cap forbids `asid` another
+    /// concurrently in-flight walk. Always false without a cap
+    /// (single-tenant and partitioned runs).
+    fn at_walk_cap(&self, asid: Asid) -> bool {
+        self.qos_cap
+            .is_some_and(|cap| self.inflight_walks[asid.index()] >= cap)
+    }
+
+    fn note_walk_started(&mut self, asid: Asid) {
+        self.inflight_walks[asid.index()] += 1;
+    }
+
+    fn note_walk_done(&mut self, asid: Asid) {
+        let n = &mut self.inflight_walks[asid.index()];
+        *n = n.saturating_sub(1);
     }
 
     /// Attaches a streaming SWTB sink for this run's observability data.
@@ -876,6 +1119,7 @@ impl GpuSimulator {
         // machinery; otherwise the fault is real and completes as one.
         while let Some(req) = self.driver_q.recv(now) {
             let DriverReq {
+                asid,
                 vpn,
                 issued_at,
                 stalls,
@@ -903,7 +1147,10 @@ impl GpuSimulator {
             }
             // Reaching service resolves every stall this request absorbed.
             self.mm_fault.recovered_fills += u64::from(stalls);
-            let mapped = self.space.radix().translate(vpn, &self.phys).is_some();
+            let mapped = self.spaces[asid.index()]
+                .radix()
+                .translate(vpn, &self.phys)
+                .is_some();
             if mapped && refill {
                 // Raced re-fill: another fault on this page already
                 // refilled it, and that replayed walk (still in flight)
@@ -915,15 +1162,16 @@ impl GpuSimulator {
                 if let Some(o) = self.obs.as_deref_mut() {
                     o.reg.inc(o.c_driver_replays, 1);
                 }
-                self.launch_walk(vpn, issued_at, None);
-            } else if self.mm.is_some() {
+                self.launch_walk(asid, vpn, issued_at, None);
+            } else if !self.mms.is_empty() {
                 // Major fault: the page is genuinely unmapped and demand
-                // paging is on. The driver populates it (possibly evicting
-                // past the budget), shoots the victims out of every TLB,
-                // and replays the walk through the normal machinery.
+                // paging is on. The tenant's driver populates it (possibly
+                // evicting past the budget), shoots the victims out of the
+                // tenant's TLB entries, and replays the walk through the
+                // normal machinery.
                 let outcome = {
-                    let mm = self.mm.as_mut().expect("checked above");
-                    let out = mm.service_fault(vpn, &mut self.space, &mut self.phys);
+                    let mm = &mut self.mms[asid.index()];
+                    let out = mm.service_fault(vpn, &mut self.spaces[asid.index()], &mut self.phys);
                     mm.stats_mut().major_replays += 1;
                     out
                 };
@@ -935,12 +1183,14 @@ impl GpuSimulator {
                     for &victim in &outcome.evicted {
                         if df.shootdown.fire(rate) {
                             self.mm_fault.injected_shootdown_drops += 1;
-                            *self.stale_shootdowns.entry(victim).or_insert(0) += 1;
+                            *self.stale_shootdowns.entry((asid, victim)).or_insert(0) += 1;
                         } else {
-                            self.l2.invalidate(victim);
+                            self.l2.invalidate(asid, victim);
                         }
-                        for sm in &mut self.sms {
-                            sm.invalidate_translation(victim);
+                        for i in 0..self.sms.len() {
+                            if self.sm_asids[i] == asid {
+                                self.sms[i].invalidate_translation(victim);
+                            }
                         }
                     }
                 } else {
@@ -948,15 +1198,18 @@ impl GpuSimulator {
                         // Post-condition of the duplicate-tag fill fix:
                         // set uniqueness means a shootdown can never find
                         // more than one valid way per array.
-                        let dropped = self.l2.invalidate(victim);
+                        let dropped = self.l2.invalidate(asid, victim);
                         debug_assert!(dropped <= 1, "duplicate L2 TLB ways for {victim:?}");
-                        for sm in &mut self.sms {
-                            let dropped = sm.invalidate_translation(victim);
+                        for i in 0..self.sms.len() {
+                            if self.sm_asids[i] != asid {
+                                continue;
+                            }
+                            let dropped = self.sms[i].invalidate_translation(victim);
                             debug_assert!(dropped <= 1, "duplicate L1 TLB ways for {victim:?}");
                         }
                     }
                 }
-                let tracker = self.pending_fills.entry(vpn).or_default();
+                let tracker = self.pending_fills.entry((asid, vpn)).or_default();
                 tracker.generation = outcome.generation;
                 if let Some(o) = self.obs.as_deref_mut() {
                     o.reg.inc(o.c_driver_replays, 1);
@@ -968,18 +1221,14 @@ impl GpuSimulator {
                     if df.fill_payload.fire(self.cfg.fault_plan.fill_corrupt_rate) {
                         self.mm_fault.injected_fill_corruptions += 1;
                         let garble = df.fill_payload.draw_u64();
-                        self.mm.as_ref().expect("checked above").corrupt_frame(
-                            outcome.pfn,
-                            garble,
-                            &mut self.phys,
-                        );
+                        self.mms[asid.index()].corrupt_frame(outcome.pfn, garble, &mut self.phys);
                     }
                 }
-                self.deliver_fill(vpn, issued_at);
+                self.deliver_fill(asid, vpn, issued_at);
             } else {
                 self.fault_counters.unrecoverable_faults += 1;
                 let queue = now.since(issued_at);
-                self.finish_translation(vpn, None, queue, 0);
+                self.finish_translation(asid, vpn, None, queue, 0);
             }
         }
 
@@ -988,8 +1237,16 @@ impl GpuSimulator {
         // data-path site is armed.
         while let Some(ev) = self.mm_events.recv(now) {
             match ev {
-                MmEvent::FillWatchdog { vpn, generation } => self.on_fill_watchdog(vpn, generation),
-                MmEvent::DelayedReplay { vpn, issued_at } => self.launch_walk(vpn, issued_at, None),
+                MmEvent::FillWatchdog {
+                    asid,
+                    vpn,
+                    generation,
+                } => self.on_fill_watchdog(asid, vpn, generation),
+                MmEvent::DelayedReplay {
+                    asid,
+                    vpn,
+                    issued_at,
+                } => self.launch_walk(asid, vpn, issued_at, None),
             }
         }
 
@@ -1034,13 +1291,15 @@ impl GpuSimulator {
                 completed_at: now,
                 walker: crate::WalkerKind::Software,
             });
-            if c.pfn.is_none() && (self.cfg.fault_plan.enabled() || self.mm.is_some()) {
+            self.note_walk_done(c.asid);
+            if c.pfn.is_none() && (self.cfg.fault_plan.enabled() || !self.mms.is_empty()) {
                 // Faulted walk under an armed plan or demand paging:
                 // hand it to the driver rather than failing the
                 // translation outright.
                 self.driver_q.send(
-                    now + self.driver_delay(c.vpn),
+                    now + self.driver_delay(c.asid, c.vpn),
                     DriverReq {
+                        asid: c.asid,
                         vpn: c.vpn,
                         issued_at: c.issued_at,
                         stalls: 0,
@@ -1048,7 +1307,7 @@ impl GpuSimulator {
                     },
                 );
             } else {
-                self.finish_translation(c.vpn, c.pfn, queue, access);
+                self.finish_translation(c.asid, c.vpn, c.pfn, queue, access);
             }
         }
 
@@ -1074,9 +1333,14 @@ impl GpuSimulator {
             );
         }
 
-        // Hardware PWB retries: only attempt while the PWB has room.
+        // Hardware PWB retries: only attempt while the PWB has room and
+        // the owning tenant is below its QoS walk cap.
         while let Some(&w) = self.pwb_retry.front() {
+            if self.at_walk_cap(w.asid) {
+                break;
+            }
             if self.ptw.pwb_depth() < self.cfg.ptw.pwb_entries && self.ptw.enqueue(w) {
+                self.note_walk_started(w.asid);
                 self.pwb_retry.pop_front();
             } else {
                 break;
@@ -1096,7 +1360,7 @@ impl GpuSimulator {
 
         // Hardware walk subsystem.
         if self.cfg.mode.uses_hardware_walkers() {
-            let table = Self::table_ref(&self.hashed, &self.space);
+            let table = Self::table_ref(&self.hashed, &self.spaces[0]);
             let mut ctx = WalkContext {
                 mem: &self.phys,
                 pwc: &mut self.pwc,
@@ -1123,7 +1387,8 @@ impl GpuSimulator {
                         completed_at: c.completed_at,
                         walker: crate::WalkerKind::Hardware,
                     });
-                    if r.pfn.is_none() && (self.cfg.fault_plan.enabled() || self.mm.is_some()) {
+                    self.note_walk_done(r.asid);
+                    if r.pfn.is_none() && (self.cfg.fault_plan.enabled() || !self.mms.is_empty()) {
                         // Hardware walks have no FFB instruction; the
                         // walker reports the fault directly (level 0 =
                         // escalation, the walk level is not preserved).
@@ -1131,18 +1396,23 @@ impl GpuSimulator {
                         // bounded injection fault buffer — they are not
                         // injections and must not consume its capacity.
                         let injected = self.cfg.fault_plan.enabled()
-                            && (self.mm.is_none()
-                                || self.space.radix().translate(r.vpn, &self.phys).is_some());
+                            && (self.mms.is_empty()
+                                || self.spaces[r.asid.index()]
+                                    .radix()
+                                    .translate(r.vpn, &self.phys)
+                                    .is_some());
                         if injected {
                             self.hw_faults.record(FaultRecord {
+                                asid: r.asid,
                                 vpn: r.vpn,
                                 level: 0,
                                 at: now,
                             });
                         }
                         self.driver_q.send(
-                            now + self.driver_delay(r.vpn),
+                            now + self.driver_delay(r.asid, r.vpn),
                             DriverReq {
+                                asid: r.asid,
                                 vpn: r.vpn,
                                 issued_at: r.issued_at,
                                 stalls: 0,
@@ -1150,7 +1420,7 @@ impl GpuSimulator {
                             },
                         );
                     } else {
-                        self.finish_translation(r.vpn, r.pfn, queue, access);
+                        self.finish_translation(r.asid, r.vpn, r.pfn, queue, access);
                     }
                 }
             }
@@ -1269,7 +1539,7 @@ impl GpuSimulator {
         match self.mem_owner.remove(&resp.id) {
             Some(MemOwner::SmData(i)) => self.sms[i].on_mem_response(self.now, resp),
             Some(MemOwner::Ptw) => {
-                let table = Self::table_ref(&self.hashed, &self.space);
+                let table = Self::table_ref(&self.hashed, &self.spaces[0]);
                 let mut ctx = WalkContext {
                     mem: &self.phys,
                     pwc: &mut self.pwc,
@@ -1301,29 +1571,26 @@ impl GpuSimulator {
     }
 
     fn process_l2(&mut self, mut p: PendingL2, fresh: bool) {
-        match self.l2.access(p.vpn, p.sm) {
+        let asid = self.sm_asid(p.sm);
+        match self.l2.access(asid, p.vpn, p.sm) {
             L2MissOutcome::Hit(pfn) => {
                 if self.data_faults.is_some() {
-                    let check = self
-                        .mm
-                        .as_ref()
-                        .expect("data faults require mm")
-                        .verify(p.vpn, pfn, &self.phys);
+                    let check = self.mms[asid.index()].verify(p.vpn, pfn, &self.phys);
                     if check != FrameCheck::Ok {
                         // A dropped shootdown left this stale entry in
                         // the shared L2 TLB; the checksum catches it at
                         // consumption. Purge and re-process — the second
                         // access misses and walks the real mapping.
                         self.mm_fault.detected_stale_hits += 1;
-                        if let Some(n) = self.stale_shootdowns.remove(&p.vpn) {
+                        if let Some(n) = self.stale_shootdowns.remove(&(asid, p.vpn)) {
                             self.mm_fault.recovered_fills += n;
                         }
-                        self.l2.invalidate(p.vpn);
+                        self.l2.invalidate(asid, p.vpn);
                         self.process_l2(p, fresh);
                         return;
                     }
                 }
-                if let Some(mm) = self.mm.as_mut() {
+                if let Some(mm) = self.mms.get_mut(asid.index()) {
                     mm.touch(p.vpn);
                 }
                 if !fresh {
@@ -1340,23 +1607,26 @@ impl GpuSimulator {
             L2MissOutcome::MissNewWalk => {
                 if fresh {
                     self.stats.fresh_l2_misses += 1;
+                    self.tenant_fresh_misses[asid.index()] += 1;
                 }
-                self.launch_walk(p.vpn, p.first_seen, Some((p.sm, p.warp)));
+                self.launch_walk(asid, p.vpn, p.first_seen, Some((p.sm, p.warp)));
             }
             L2MissOutcome::MissMerged => {
                 if fresh {
                     self.stats.fresh_l2_misses += 1;
+                    self.tenant_fresh_misses[asid.index()] += 1;
                 }
                 // A demand miss merging onto a still-in-flight prefetch
                 // walk means the prefetch was correct but late. The walk
                 // now has a real waiter, so its fills install untagged.
-                if self.prefetch_live.remove(&p.vpn) {
+                if self.prefetch_live.remove(&(asid, p.vpn)) {
                     self.prefetch_late += 1;
                 }
             }
             L2MissOutcome::MshrFailure => {
                 if fresh {
                     self.stats.fresh_l2_misses += 1;
+                    self.tenant_fresh_misses[asid.index()] += 1;
                 }
                 if !p.counted_failure {
                     self.stats.l2_mshr_failure_events += 1;
@@ -1370,8 +1640,13 @@ impl GpuSimulator {
     /// Driver service latency for a faulted walk on `vpn`: a genuinely
     /// unmapped page under demand paging is a major fault (page-fill
     /// cost); anything else is the injected-fault repair path.
-    fn driver_delay(&self, vpn: Vpn) -> u64 {
-        if self.mm.is_some() && self.space.radix().translate(vpn, &self.phys).is_none() {
+    fn driver_delay(&self, asid: Asid, vpn: Vpn) -> u64 {
+        if !self.mms.is_empty()
+            && self.spaces[asid.index()]
+                .radix()
+                .translate(vpn, &self.phys)
+                .is_none()
+        {
             self.cfg.mm.fill_latency
         } else {
             self.cfg.fault_plan.driver_latency
@@ -1384,7 +1659,7 @@ impl GpuSimulator {
     /// (a generation-counted watchdog recovers it), or delayed. Unarmed
     /// runs go straight to [`GpuSimulator::launch_walk`] with no RNG
     /// draws.
-    fn deliver_fill(&mut self, vpn: Vpn, issued_at: Cycle) {
+    fn deliver_fill(&mut self, asid: Asid, vpn: Vpn, issued_at: Cycle) {
         let (dup, drop, delay) = match self.data_faults.as_mut() {
             None => (false, false, false),
             Some(df) => {
@@ -1398,28 +1673,38 @@ impl GpuSimulator {
         };
         if dup {
             self.mm_fault.injected_fill_duplicates += 1;
-            *self.dup_fills.entry(vpn).or_insert(0) += 1;
-            self.launch_walk(vpn, issued_at, None);
+            *self.dup_fills.entry((asid, vpn)).or_insert(0) += 1;
+            self.launch_walk(asid, vpn, issued_at, None);
         }
         if drop {
             self.mm_fault.injected_fill_drops += 1;
-            let tracker = self.pending_fills.entry(vpn).or_default();
+            let tracker = self.pending_fills.entry((asid, vpn)).or_default();
             tracker.drop_pending += 1;
             let generation = tracker.generation;
             let wake = self.now + self.cfg.fault_plan.backoff_cycles(tracker.retries);
-            self.mm_events
-                .send(wake, MmEvent::FillWatchdog { vpn, generation });
+            self.mm_events.send(
+                wake,
+                MmEvent::FillWatchdog {
+                    asid,
+                    vpn,
+                    generation,
+                },
+            );
             return;
         }
         if delay {
             self.mm_fault.injected_fill_delays += 1;
             self.mm_events.send(
                 self.now + self.cfg.fault_plan.fill_delay_cycles.max(1),
-                MmEvent::DelayedReplay { vpn, issued_at },
+                MmEvent::DelayedReplay {
+                    asid,
+                    vpn,
+                    issued_at,
+                },
             );
             return;
         }
-        self.launch_walk(vpn, issued_at, None);
+        self.launch_walk(asid, vpn, issued_at, None);
     }
 
     /// A fill watchdog fired. If the fill it guarded is still outstanding
@@ -1427,9 +1712,9 @@ impl GpuSimulator {
     /// with exponential backoff; once the retry budget is spent, escalate
     /// into the fault buffer and hand the page back to the driver replay
     /// path (which is guaranteed — no further injection on that leg).
-    fn on_fill_watchdog(&mut self, vpn: Vpn, generation: u64) {
+    fn on_fill_watchdog(&mut self, asid: Asid, vpn: Vpn, generation: u64) {
         let max_retries = self.cfg.fault_plan.max_retries;
-        let Some(tracker) = self.pending_fills.get_mut(&vpn) else {
+        let Some(tracker) = self.pending_fills.get_mut(&(asid, vpn)) else {
             return; // Fill already completed and was consumed.
         };
         if tracker.generation != generation || tracker.drop_pending == 0 {
@@ -1442,6 +1727,7 @@ impl GpuSimulator {
             tracker.retries = 0;
             self.mm_fault.escalated_fills += pending;
             self.hw_faults.record(FaultRecord {
+                asid,
                 vpn,
                 level: 0,
                 at: self.now,
@@ -1449,6 +1735,7 @@ impl GpuSimulator {
             self.mm_events.send(
                 self.now + self.cfg.fault_plan.driver_latency.max(1),
                 MmEvent::DelayedReplay {
+                    asid,
                     vpn,
                     issued_at: self.now,
                 },
@@ -1475,34 +1762,46 @@ impl GpuSimulator {
         };
         if redropped {
             self.mm_fault.injected_fill_drops += 1;
-            let tracker = self.pending_fills.get_mut(&vpn).expect("tracker vanished");
+            let tracker = self
+                .pending_fills
+                .get_mut(&(asid, vpn))
+                .expect("tracker vanished");
             tracker.drop_pending += 1;
             let wake = self.now + self.cfg.fault_plan.backoff_cycles(tracker.retries);
-            self.mm_events
-                .send(wake, MmEvent::FillWatchdog { vpn, generation });
+            self.mm_events.send(
+                wake,
+                MmEvent::FillWatchdog {
+                    asid,
+                    vpn,
+                    generation,
+                },
+            );
         } else {
-            self.launch_walk(vpn, self.now, None);
+            self.launch_walk(asid, vpn, self.now, None);
         }
     }
 
-    fn launch_walk(&mut self, vpn: Vpn, issued_at: Cycle, owner: WalkOwner) {
-        let req = WalkRequest::with_owner(vpn, issued_at, owner);
+    fn launch_walk(&mut self, asid: Asid, vpn: Vpn, issued_at: Cycle, owner: WalkOwner) {
+        let req = WalkRequest::with_owner(vpn, issued_at, owner).for_asid(asid);
         match self.cfg.mode {
             TranslationMode::HardwarePtw
             | TranslationMode::HashedPtw
             | TranslationMode::IdealPtw => {
-                if !self.ptw.enqueue(req) {
+                if self.at_walk_cap(asid) || !self.ptw.enqueue(req) {
                     self.pwb_retry.push_back(req);
+                } else {
+                    self.note_walk_started(asid);
                 }
             }
             TranslationMode::SoftWalker { .. } => {
-                self.dispatch_q.push_back((vpn, issued_at));
+                self.dispatch_q.push_back((asid, vpn, issued_at));
             }
             TranslationMode::Hybrid { .. } => {
-                if self.ptw.free_walkers() > 0 && self.ptw.enqueue(req) {
+                if self.ptw.free_walkers() > 0 && !self.at_walk_cap(asid) && self.ptw.enqueue(req) {
                     // Hardware took it.
+                    self.note_walk_started(asid);
                 } else {
-                    self.dispatch_q.push_back((vpn, issued_at));
+                    self.dispatch_q.push_back((asid, vpn, issued_at));
                 }
             }
         }
@@ -1517,14 +1816,42 @@ impl GpuSimulator {
         } else {
             Vec::new()
         };
+        let multi = self.cfg.tenants.is_some();
+        // Bounded head rotation: a capped (QoS) or placement-starved
+        // (partitioned) tenant's head request moves to the back so it
+        // cannot head-block other tenants. Single-tenant runs never
+        // rotate — they keep the exact historical front/break behavior.
+        let mut rotations = self.dispatch_q.len();
         for _ in 0..self.cfg.dispatches_per_cycle {
-            let Some(&(vpn, issued_at)) = self.dispatch_q.front() else {
+            let Some(&(asid, vpn, issued_at)) = self.dispatch_q.front() else {
                 break;
             };
-            let Some(sm) = self.distributor.select_core(&stalled) else {
+            if multi && self.at_walk_cap(asid) {
+                if rotations == 0 {
+                    break;
+                }
+                rotations -= 1;
+                let head = self.dispatch_q.pop_front().expect("checked front");
+                self.dispatch_q.push_back(head);
+                continue;
+            }
+            let allowed: &[bool] = self
+                .tenant_masks
+                .get(asid.index())
+                .map_or(&[], Vec::as_slice);
+            let Some(sm) = self.distributor.select_core_among(&stalled, allowed) else {
+                if multi && !allowed.is_empty() && rotations > 0 {
+                    // Partitioned: this tenant's SMs are saturated, but
+                    // another tenant's partition may still have room.
+                    rotations -= 1;
+                    let head = self.dispatch_q.pop_front().expect("checked front");
+                    self.dispatch_q.push_back(head);
+                    continue;
+                }
                 break;
             };
             self.dispatch_q.pop_front();
+            self.note_walk_started(asid);
             if let Some(o) = self.obs.as_deref_mut() {
                 o.instant(
                     SpanKind::Dispatch,
@@ -1535,10 +1862,11 @@ impl GpuSimulator {
                 );
                 o.reg.inc(o.c_dispatches, 1);
             }
-            let start = self.pwc.lookup(vpn);
+            let start = self.pwc.lookup(asid, vpn);
             let mut req =
-                SwWalkRequest::new(vpn, issued_at, self.now, start.level, start.node_base);
-            if self.pending_fills.contains_key(&vpn) {
+                SwWalkRequest::new(vpn, issued_at, self.now, start.level, start.node_base)
+                    .for_asid(asid);
+            if self.pending_fills.contains_key(&(asid, vpn)) {
                 req = req.as_fill_replay();
             }
             self.sw_to_sm
@@ -1579,27 +1907,52 @@ impl GpuSimulator {
             self.prefetch_cursor = (stream + 1) % streams;
             let sm = SmId::new((stream / self.cfg.max_warps) as u16);
             let warp = WarpId::new((stream % self.cfg.max_warps) as u16);
+            let asid = self.sm_asid(sm);
+            if self.at_walk_cap(asid) {
+                // QoS: the issuing tenant is at its walk cap — demand
+                // walks must not compete with its speculation either.
+                continue 'streams;
+            }
+            // Partitioned: a tenant's prefetch walks may only occupy PW
+            // Warp threads inside that tenant's own SM partition.
+            let tenant_idle: Vec<bool> = match self.tenant_masks.get(asid.index()) {
+                Some(mask) => idle
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(&i, &m)| i && m)
+                    .collect(),
+                None => Vec::new(),
+            };
+            let idle_view: &[bool] = if tenant_idle.is_empty() {
+                &idle
+            } else {
+                &tenant_idle
+            };
             for vpn in self.source.peek_load_vpns(sm, warp, pf.lookahead) {
                 if issued >= pf.degree {
                     break 'streams;
                 }
-                let (valid, pending) = self.l2.tlb().tag_population(vpn);
+                let (valid, pending) = self.l2.tlb().tag_population(asid, vpn);
                 if valid > 0
                     || pending > 0
-                    || self.l2.is_walk_in_flight(vpn)
-                    || self.prefetch_live.contains(&vpn)
-                    || self.pending_fills.contains_key(&vpn)
-                    || self.space.radix().translate(vpn, &self.phys).is_none()
+                    || self.l2.is_walk_in_flight(asid, vpn)
+                    || self.prefetch_live.contains(&(asid, vpn))
+                    || self.pending_fills.contains_key(&(asid, vpn))
+                    || self.spaces[asid.index()]
+                        .radix()
+                        .translate(vpn, &self.phys)
+                        .is_none()
                 {
                     continue;
                 }
-                let Some(target) = self.distributor.select_idle_core(&idle) else {
+                let Some(target) = self.distributor.select_idle_core(idle_view) else {
                     break 'streams;
                 };
-                match self.l2.access(vpn, PREFETCH_REQUESTER) {
+                match self.l2.access(asid, vpn, PREFETCH_REQUESTER) {
                     L2MissOutcome::MissNewWalk => {
-                        self.prefetch_live.insert(vpn);
+                        self.prefetch_live.insert((asid, vpn));
                         self.prefetch_issued += 1;
+                        self.note_walk_started(asid);
                         issued += 1;
                         if let Some(o) = self.obs.as_deref_mut() {
                             o.instant(
@@ -1614,7 +1967,7 @@ impl GpuSimulator {
                             // dispatches == sw_walks invariant.
                             o.reg.inc(o.c_dispatches, 1);
                         }
-                        let start = self.pwc.lookup(vpn);
+                        let start = self.pwc.lookup(asid, vpn);
                         let req = SwWalkRequest::new(
                             vpn,
                             self.now,
@@ -1622,6 +1975,7 @@ impl GpuSimulator {
                             start.level,
                             start.node_base,
                         )
+                        .for_asid(asid)
                         .as_prefetch();
                         self.sw_to_sm
                             .send(self.now + self.cfg.l2_tlb_latency, (target.index(), req));
@@ -1638,7 +1992,14 @@ impl GpuSimulator {
         }
     }
 
-    fn finish_translation(&mut self, vpn: Vpn, pfn: Option<Pfn>, queue: u64, access: u64) {
+    fn finish_translation(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        pfn: Option<Pfn>,
+        queue: u64,
+        access: u64,
+    ) {
         // End-to-end data check: before the translation is delivered to
         // its consumers, re-derive the frame's checksum. A mismatch
         // quarantines the page (retiring repeat-offender frames) and
@@ -1646,18 +2007,14 @@ impl GpuSimulator {
         // stay parked until the re-filled walk completes.
         if self.data_faults.is_some() {
             if let Some(p) = pfn {
-                let check = self
-                    .mm
-                    .as_ref()
-                    .expect("data faults require mm")
-                    .verify(vpn, p, &self.phys);
+                let check = self.mms[asid.index()].verify(vpn, p, &self.phys);
                 if check != FrameCheck::Ok {
                     match check {
                         FrameCheck::Corrupt => {
                             self.mm_fault.detected_corruptions += 1;
-                            let retired = self.mm.as_mut().expect("checked above").quarantine_page(
+                            let retired = self.mms[asid.index()].quarantine_page(
                                 vpn,
-                                &mut self.space,
+                                &mut self.spaces[asid.index()],
                                 &mut self.phys,
                             );
                             if retired {
@@ -1668,23 +2025,26 @@ impl GpuSimulator {
                         }
                         FrameCheck::Stale => {
                             self.mm_fault.detected_stale_hits += 1;
-                            if let Some(n) = self.stale_shootdowns.remove(&vpn) {
+                            if let Some(n) = self.stale_shootdowns.remove(&(asid, vpn)) {
                                 self.mm_fault.recovered_fills += n;
                             }
                         }
                         FrameCheck::Ok => unreachable!(),
                     }
-                    self.l2.invalidate(vpn);
-                    for sm in &mut self.sms {
-                        sm.invalidate_translation(vpn);
+                    self.l2.invalidate(asid, vpn);
+                    for i in 0..self.sms.len() {
+                        if self.sm_asids[i] == asid {
+                            self.sms[i].invalidate_translation(vpn);
+                        }
                     }
-                    if let Some(t) = self.pending_fills.remove(&vpn) {
+                    if let Some(t) = self.pending_fills.remove(&(asid, vpn)) {
                         self.mm_fault.recovered_fills += t.drop_pending;
                     }
-                    let delay = self.driver_delay(vpn);
+                    let delay = self.driver_delay(asid, vpn);
                     self.driver_q.send(
                         self.now + delay,
                         DriverReq {
+                            asid,
                             vpn,
                             issued_at: self.now,
                             stalls: 0,
@@ -1695,18 +2055,18 @@ impl GpuSimulator {
                 }
             }
         }
-        match self.pending_fills.remove(&vpn) {
+        match self.pending_fills.remove(&(asid, vpn)) {
             Some(t) => self.mm_fault.recovered_fills += t.drop_pending,
             None => {
                 if pfn.is_some() {
-                    if let Some(n) = self.dup_fills.get_mut(&vpn) {
+                    if let Some(n) = self.dup_fills.get_mut(&(asid, vpn)) {
                         // Phantom duplicated completion: the real one
                         // already finished this fill and released the
                         // waiters, so this racing walk is absorbed.
                         self.mm_fault.recovered_fills += 1;
                         *n -= 1;
                         if *n == 0 {
-                            self.dup_fills.remove(&vpn);
+                            self.dup_fills.remove(&(asid, vpn));
                         }
                         return;
                     }
@@ -1714,16 +2074,17 @@ impl GpuSimulator {
             }
         }
         if pfn.is_some() {
-            if let Some(n) = self.stale_shootdowns.remove(&vpn) {
+            if let Some(n) = self.stale_shootdowns.remove(&(asid, vpn)) {
                 // A fresh walk re-established the mapping the dropped
                 // shootdown left dangling: the hazard is gone.
                 self.mm_fault.recovered_fills += n;
             }
-            if let Some(mm) = self.mm.as_mut() {
+            if let Some(mm) = self.mms.get_mut(asid.index()) {
                 mm.touch(vpn);
             }
         }
         self.stats.walk.record(queue, access);
+        self.tenant_walks[asid.index()] += 1;
         if let Some(o) = self.obs.as_deref_mut() {
             o.reg.observe(o.h_walk_queue, queue);
             o.reg.observe(o.h_walk_access, access);
@@ -1734,16 +2095,16 @@ impl GpuSimulator {
         // miss merged onto it) installs its fills tagged, so the TLB can
         // track whether the prefetch ever pays off. A failed prefetch
         // walk is accounted as evicted — it produced nothing.
-        let pure_prefetch = self.prefetch_live.remove(&vpn);
+        let pure_prefetch = self.prefetch_live.remove(&(asid, vpn));
         let waiters = match pfn {
-            Some(p) if pure_prefetch => self.l2.complete_walk_prefetched(vpn, p),
-            Some(p) => self.l2.complete_walk(vpn, p),
+            Some(p) if pure_prefetch => self.l2.complete_walk_prefetched(asid, vpn, p),
+            Some(p) => self.l2.complete_walk(asid, vpn, p),
             None => {
                 if pure_prefetch {
                     self.prefetch_failed += 1;
                 }
                 self.stats.faults += 1;
-                self.l2.fail_walk(vpn)
+                self.l2.fail_walk(asid, vpn)
             }
         };
         for sm in waiters {
@@ -1776,6 +2137,7 @@ impl GpuSimulator {
             self.stats.l1_tlb.dead_fills += t.dead_fills;
             self.stats.l1_tlb.prefetch_hits += t.prefetch_hits;
             self.stats.l1_tlb.prefetch_evictions += t.prefetch_evictions;
+            self.stats.l1_tlb.shared_joins += t.shared_joins;
             let c = sm.l1d_stats();
             self.stats.l1d.accesses += c.accesses;
             self.stats.l1d.hits += c.hits;
@@ -1818,12 +2180,21 @@ impl GpuSimulator {
         self.stats.prefetch_evicted = self.l2.tlb_stats().prefetch_evictions + self.prefetch_failed;
         self.stats.prefetch_in_flight =
             self.prefetch_live.len() as u64 + self.l2.tlb().prefetched_resident() as u64;
-        if let Some(mm) = &self.mm {
-            self.stats.mm = mm.stats();
-            self.stats.mm.sw_fill_replays = self.stats.pw_warp.fill_replays;
+        for mm in &self.mms {
+            let s = mm.stats();
+            self.stats.mm.major_faults += s.major_faults;
+            self.stats.mm.major_replays += s.major_replays;
+            self.stats.mm.evictions += s.evictions;
+            self.stats.mm.coalesces_64k += s.coalesces_64k;
+            self.stats.mm.coalesces_2m += s.coalesces_2m;
+            self.stats.mm.splinters += s.splinters;
+            self.stats.mm.resident_peak += s.resident_peak;
             // Corruptions caught by the eviction scrub (and the frames it
             // retired) are counted inside the manager.
             self.mm_fault.merge(&mm.fault_stats());
+        }
+        if !self.mms.is_empty() {
+            self.stats.mm.sw_fill_replays = self.stats.pw_warp.fill_replays;
         }
         // Injection credits that never resolved in-run drain here so the
         // conservation invariant holds at any stopping point: duplicated
@@ -1873,6 +2244,21 @@ impl GpuSimulator {
                     .expect("SWTB trace sink write failed");
             }
             self.stats.obs = Some(Box::new(ObsReport::from_instruments(o.reg, o.rec)));
+        }
+        if let Some(t) = self.cfg.tenants.clone() {
+            for i in 0..t.len() {
+                let mut ts = crate::stats::TenantStats {
+                    fresh_l2_misses: self.tenant_fresh_misses[i],
+                    walks: self.tenant_walks[i],
+                    ..Default::default()
+                };
+                for sm in &self.sms[t.sm_range(i)] {
+                    ts.instructions += sm.stats().instructions;
+                    ts.loads += sm.stats().loads;
+                    ts.cycles = ts.cycles.max(sm.last_issue_cycle().value());
+                }
+                self.stats.tenants.push(ts);
+            }
         }
         let channels = self.cfg.dram.channels;
         self.stats.finish(self.now, channels);
@@ -2493,5 +2879,185 @@ mod tests {
         let stats = sim.run();
         assert_eq!(stats.faults, 0);
         assert_eq!(stats.sm.xlat_faults, 0);
+    }
+
+    fn tenant_sim(
+        policy: SharingPolicy,
+        sub_entry_sharing: bool,
+        mode: TranslationMode,
+        abbrs: &[&str],
+        prefetch: bool,
+    ) -> GpuSimulator {
+        use crate::config::TenantConfig;
+        let mut cfg = GpuConfig::quick_test();
+        cfg.mode = mode;
+        if prefetch {
+            cfg.prefetch = crate::config::PrefetchConfig::enabled();
+        }
+        let n = abbrs.len();
+        let per = cfg.sms / n;
+        let tenants: Vec<TenantConfig> = abbrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| TenantConfig {
+                workload: (*a).to_string(),
+                sms: if i == 0 { cfg.sms - per * (n - 1) } else { per },
+            })
+            .collect();
+        cfg.tenants = Some(TenantsConfig {
+            tenants,
+            policy,
+            sub_entry_sharing,
+        });
+        let layout = cfg.tenants.clone().unwrap();
+        let pairs: Vec<(Box<dyn InstrSource>, u64)> = abbrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let spec = by_abbr(a).unwrap();
+                let wl = spec.build(WorkloadParams {
+                    sms: layout.tenants[i].sms,
+                    warps_per_sm: cfg.max_warps,
+                    mem_instrs_per_warp: 2,
+                    footprint_percent: 10,
+                    page_size: cfg.page_size,
+                });
+                let fp = wl.footprint_bytes();
+                (Box::new(wl) as Box<dyn InstrSource>, fp)
+            })
+            .collect();
+        GpuSimulator::new_multi_tenant(cfg, pairs)
+    }
+
+    fn assert_tenant_invariants(s: &SimStats, n: usize) {
+        assert!(!s.timed_out);
+        assert_eq!(s.faults, 0);
+        assert_eq!(s.sm.xlat_faults, 0);
+        assert_eq!(s.tenants.len(), n);
+        for (i, t) in s.tenants.iter().enumerate() {
+            assert!(t.instructions > 0, "tenant {i} made no progress");
+        }
+        // Walk conservation: every recorded translation belongs to
+        // exactly one tenant.
+        let per_tenant: u64 = s.tenants.iter().map(|t| t.walks).sum();
+        assert_eq!(per_tenant, s.walk.translations);
+        let f = s.fairness_index();
+        assert!(f > 0.0 && f <= 1.0, "fairness {f} out of range");
+    }
+
+    #[test]
+    fn partitioned_two_tenant_mix_runs() {
+        let s = tenant_sim(
+            SharingPolicy::Partitioned,
+            false,
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            &["gups", "2dc"],
+            false,
+        )
+        .run();
+        assert_tenant_invariants(&s, 2);
+        assert_eq!(s.l2_tlb.shared_joins, 0, "no sub-entry sharing requested");
+    }
+
+    #[test]
+    fn shared_qos_two_tenant_mix_runs() {
+        let s = tenant_sim(
+            SharingPolicy::Shared {
+                max_inflight_walks: 4,
+            },
+            false,
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            &["gups", "bfs"],
+            false,
+        )
+        .run();
+        assert_tenant_invariants(&s, 2);
+    }
+
+    #[test]
+    fn multi_tenant_hardware_walkers_run() {
+        let s = tenant_sim(
+            SharingPolicy::Shared {
+                max_inflight_walks: 8,
+            },
+            false,
+            TranslationMode::HardwarePtw,
+            &["gups", "2dc"],
+            false,
+        )
+        .run();
+        assert_tenant_invariants(&s, 2);
+        assert!(s.hw_walks > 0);
+    }
+
+    #[test]
+    fn four_tenant_partitioned_mix_runs() {
+        let mut sim = tenant_sim(
+            SharingPolicy::Partitioned,
+            false,
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            &["gups", "2dc", "bfs", "spmv"],
+            false,
+        );
+        let _ = &mut sim;
+        let s = sim.run();
+        assert_tenant_invariants(&s, 4);
+    }
+
+    #[test]
+    fn sub_entry_sharing_joins_identical_mappings() {
+        let sw = TranslationMode::SoftWalker { in_tlb_mshr: true };
+        let shared = SharingPolicy::Shared {
+            max_inflight_walks: 16,
+        };
+        // Identical workloads over one identically-mapped address space:
+        // the second tenant's fills land on VPNs the first already
+        // installed, so joins must occur. Without the opt-in, none do.
+        let with = tenant_sim(shared, true, sw, &["gups", "gups"], false).run();
+        assert_tenant_invariants(&with, 2);
+        assert!(
+            with.l2_tlb.shared_joins > 0,
+            "identically-mapped tenants never joined an entry"
+        );
+        let without = tenant_sim(shared, false, sw, &["gups", "gups"], false).run();
+        assert_tenant_invariants(&without, 2);
+        assert_eq!(without.l2_tlb.shared_joins, 0);
+    }
+
+    #[test]
+    fn prefetches_stay_in_issuing_tenants_tag_space() {
+        // Two tenants with *distinct* address spaces and translation
+        // prefetch on: a prefetch that installed under the wrong tenant's
+        // tag would either fault that tenant's consumer or break the
+        // walk-conservation ledger. Both must hold.
+        let s = tenant_sim(
+            SharingPolicy::Partitioned,
+            false,
+            TranslationMode::SoftWalker { in_tlb_mshr: true },
+            &["gups", "gups"],
+            true,
+        )
+        .run();
+        assert_tenant_invariants(&s, 2);
+        assert!(s.prefetch_issued > 0, "prefetcher never fired");
+        assert_eq!(s.l2_tlb.shared_joins, 0, "tag spaces stayed disjoint");
+    }
+
+    #[test]
+    fn multi_tenant_dense_and_event_kernels_agree() {
+        let mk = || {
+            tenant_sim(
+                SharingPolicy::Shared {
+                    max_inflight_walks: 8,
+                },
+                false,
+                TranslationMode::SoftWalker { in_tlb_mshr: true },
+                &["gups", "2dc"],
+                false,
+            )
+        };
+        let a = mk().run();
+        let b = mk().run_dense();
+        assert_eq!(a.to_json(), b.to_json(), "kernel choice must be invisible");
     }
 }

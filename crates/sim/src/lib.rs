@@ -44,8 +44,10 @@ mod gpu;
 mod stats;
 mod trace;
 
-pub use config::{GpuConfig, PrefetchConfig, TranslationMode};
-pub use gpu::{GpuSimulator, PrebuiltMemory, RunProgress};
-pub use stats::{SimStats, WalkLatencyStats};
+pub use config::{
+    GpuConfig, PrefetchConfig, SharingPolicy, TenantConfig, TenantsConfig, TranslationMode,
+};
+pub use gpu::{GpuSimulator, PrebuiltMemory, RunProgress, TenantMuxSource};
+pub use stats::{SimStats, TenantStats, WalkLatencyStats};
 pub use swgpu_obs::{ObsConfig, ObsReport};
 pub use trace::{WalkRecord, WalkTrace, WalkerKind};

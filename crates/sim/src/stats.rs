@@ -62,6 +62,45 @@ impl WalkLatencyStats {
     }
 }
 
+/// One tenant's slice of a multi-tenant run. Recorded only when the
+/// configuration carries a [`crate::TenantsConfig`]; single-tenant runs
+/// leave [`SimStats::tenants`] empty so their JSON stays byte-identical
+/// to artifacts written before multi-tenancy existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Warp instructions issued by the tenant's SMs.
+    pub instructions: u64,
+    /// Memory (load) instructions issued by the tenant's SMs.
+    pub loads: u64,
+    /// Cycle at which the tenant's last instruction issued — its
+    /// private notion of runtime for the per-tenant IPC.
+    pub cycles: u64,
+    /// L2 TLB misses charged to the tenant, counted once per request.
+    pub fresh_l2_misses: u64,
+    /// Page walks completed on the tenant's behalf (hardware + software).
+    pub walks: u64,
+}
+
+impl TenantStats {
+    /// Instructions per cycle over the tenant's active window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 TLB misses per kilo-instruction for this tenant alone.
+    pub fn l2_tlb_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.fresh_l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
 /// Everything a figure harness needs from one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -155,6 +194,10 @@ pub struct SimStats {
     /// plus resident entries never touched. Closes the conservation
     /// ledger `issued == useful + late + evicted + in_flight`.
     pub prefetch_in_flight: u64,
+    /// Per-tenant metric slices, indexed by ASID. Empty — and omitted
+    /// from the JSON — on single-tenant runs, preserving the byte-
+    /// identity contract for existing artifacts.
+    pub tenants: Vec<TenantStats>,
     /// Lifecycle records of the first walks, when tracing was enabled.
     pub walk_trace: crate::WalkTrace,
     /// Observability report (spans, histograms, time-series), present
@@ -209,6 +252,24 @@ impl SimStats {
             || self.prefetch_late != 0
             || self.prefetch_evicted != 0
             || self.prefetch_in_flight != 0
+    }
+
+    /// Jain's fairness index over the per-tenant IPCs, in (0, 1]: 1.0
+    /// when every tenant progresses at the same rate, approaching `1/n`
+    /// when a single tenant monopolizes the machine. Returns 1.0 for
+    /// single-tenant runs (no contention to be unfair about).
+    pub fn fairness_index(&self) -> f64 {
+        let n = self.tenants.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.tenants.iter().map(TenantStats::ipc).sum();
+        let sum_sq: f64 = self.tenants.iter().map(|t| t.ipc() * t.ipc()).sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            (sum * sum) / (n as f64 * sum_sq)
+        }
     }
 
     /// Stall reduction versus a baseline run (Figure 19), in [0, 1].
@@ -295,6 +356,25 @@ impl std::fmt::Display for SimStats {
                 self.prefetch_evicted,
                 self.prefetch_in_flight
             )?;
+        }
+        if !self.tenants.is_empty() {
+            write!(
+                f,
+                "\ntenants: {} | fairness {:.3} | {} shared joins",
+                self.tenants.len(),
+                self.fairness_index(),
+                self.l2_tlb.shared_joins
+            )?;
+            for (i, t) in self.tenants.iter().enumerate() {
+                write!(
+                    f,
+                    "\n  tenant {i}: instr {} (IPC {:.3}) | MPKI {:.1} | walks {}",
+                    t.instructions,
+                    t.ipc(),
+                    t.l2_tlb_mpki(),
+                    t.walks
+                )?;
+            }
         }
         if self.mm_fault.any() {
             write!(
@@ -612,6 +692,23 @@ impl SimStats {
             );
             num("mm_fault_fill_retries", self.mm_fault.fill_retries as f64);
         }
+        // And for the tenant block: single-tenant runs carry no tenant
+        // keys, so pre-multi-tenant artifacts stay byte-identical.
+        if !self.tenants.is_empty() {
+            num("tenant_count", self.tenants.len() as f64);
+            num("fairness_index", self.fairness_index());
+            num("l2_tlb_shared_joins", self.l2_tlb.shared_joins as f64);
+            for (i, t) in self.tenants.iter().enumerate() {
+                num(&format!("tenant{i}_instructions"), t.instructions as f64);
+                num(&format!("tenant{i}_loads"), t.loads as f64);
+                num(&format!("tenant{i}_cycles"), t.cycles as f64);
+                num(
+                    &format!("tenant{i}_fresh_l2_misses"),
+                    t.fresh_l2_misses as f64,
+                );
+                num(&format!("tenant{i}_walks"), t.walks as f64);
+            }
+        }
         format!("{{{}}}", fields.join(","))
     }
 
@@ -757,6 +854,18 @@ impl SimStats {
         s.mm_fault.frames_retired = int("mm_fault_frames_retired");
         s.mm_fault.fill_watchdog_timeouts = int("mm_fault_fill_watchdog_timeouts");
         s.mm_fault.fill_retries = int("mm_fault_fill_retries");
+        // Absent tenant keys (single-tenant artifacts) parse as an empty
+        // tenant vector; fairness_index is derived and never trusted.
+        s.l2_tlb.shared_joins = int("l2_tlb_shared_joins");
+        for i in 0..int("tenant_count") as usize {
+            s.tenants.push(TenantStats {
+                instructions: int(&format!("tenant{i}_instructions")),
+                loads: int(&format!("tenant{i}_loads")),
+                cycles: int(&format!("tenant{i}_cycles")),
+                fresh_l2_misses: int(&format!("tenant{i}_fresh_l2_misses")),
+                walks: int(&format!("tenant{i}_walks")),
+            });
+        }
         Ok(s)
     }
 }
@@ -1002,6 +1111,74 @@ mod json_tests {
         assert!(s
             .to_string()
             .contains("policy: 14 dead fills | prefetch 9 issued"));
+    }
+
+    #[test]
+    fn tenant_block_omitted_when_inert() {
+        let s = SimStats {
+            cycles: 10,
+            ..SimStats::default()
+        };
+        let j = s.to_json();
+        assert!(
+            !j.contains("tenant") && !j.contains("fairness"),
+            "single-tenant runs must serialize without tenant keys: {j}"
+        );
+        assert!(!s.to_string().contains("tenants:"));
+        assert!((s.fairness_index() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_block_round_trips() {
+        let mut s = SimStats {
+            cycles: 1000,
+            instructions: 900,
+            ..SimStats::default()
+        };
+        s.l2_tlb.shared_joins = 7;
+        s.tenants.push(TenantStats {
+            instructions: 600,
+            loads: 120,
+            cycles: 1000,
+            fresh_l2_misses: 30,
+            walks: 25,
+        });
+        s.tenants.push(TenantStats {
+            instructions: 300,
+            loads: 60,
+            cycles: 900,
+            fresh_l2_misses: 90,
+            walks: 70,
+        });
+        let j = s.to_json();
+        assert!(j.contains("\"tenant_count\":2"));
+        assert!(j.contains("\"tenant0_instructions\":600"));
+        assert!(j.contains("\"tenant1_walks\":70"));
+        assert!(j.contains("\"l2_tlb_shared_joins\":7"));
+        let parsed = SimStats::from_json(&j).expect("parse");
+        assert_eq!(parsed.tenants, s.tenants);
+        assert_eq!(parsed.l2_tlb.shared_joins, 7);
+        assert_eq!(parsed.to_json(), j, "round trip must be byte-identical");
+        let text = s.to_string();
+        assert!(text.contains("tenants: 2"));
+        assert!(text.contains("tenant 0: instr 600"));
+    }
+
+    #[test]
+    fn fairness_index_is_jain() {
+        let mut s = SimStats::default();
+        // Two tenants at identical IPC: perfectly fair.
+        for _ in 0..2 {
+            s.tenants.push(TenantStats {
+                instructions: 500,
+                cycles: 1000,
+                ..TenantStats::default()
+            });
+        }
+        assert!((s.fairness_index() - 1.0).abs() < 1e-12);
+        // One tenant starved entirely: Jain's index for (x, 0) is 1/2.
+        s.tenants[1].instructions = 0;
+        assert!((s.fairness_index() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -4,13 +4,18 @@ use crate::instr::{coalesce, InstrSource, WarpInstr};
 use std::collections::{HashMap, VecDeque};
 use swgpu_mem::{AccessKind, AccessOutcome, Cache, CacheConfig, CacheStats, MemReq};
 use swgpu_tlb::{MshrOutcome, Tlb, TlbConfig, TlbMshr, TlbMshrConfig, TlbStats};
-use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, SmId, VirtAddr, Vpn, WarpId};
+use swgpu_types::{
+    Asid, Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, SmId, VirtAddr, Vpn, WarpId,
+};
 
 /// Static configuration of one SM (Table 3 defaults via [`SmConfig::new`]).
 #[derive(Debug, Clone)]
 pub struct SmConfig {
     /// This SM's index.
     pub id: SmId,
+    /// Address space this SM's warps execute in. SMs are statically bound
+    /// to one tenant (MIG-style), so every L1 TLB tag carries this ASID.
+    pub asid: Asid,
     /// Resident warp contexts (48 in Table 3).
     pub max_warps: usize,
     /// L1 TLB geometry (32 entries, fully associative).
@@ -32,6 +37,7 @@ impl SmConfig {
     pub fn new(id: SmId) -> Self {
         Self {
             id,
+            asid: Asid::ZERO,
             max_warps: 48,
             l1_tlb: TlbConfig::l1(),
             l1_mshr: TlbMshrConfig::l1(),
@@ -178,6 +184,10 @@ pub struct Sm {
     mem_out: VecDeque<MemReq>,
     mem_owner: HashMap<MemReqId, WarpId>,
     stats: SmStats,
+    /// Cycle of the most recent user-instruction issue — per-tenant
+    /// runtime is the max of this over the tenant's SMs. Updated only at
+    /// issue points, so dense and event-scheduled kernels agree exactly.
+    last_issue_cycle: Cycle,
 }
 
 impl Sm {
@@ -211,6 +221,7 @@ impl Sm {
             mem_out: VecDeque::new(),
             mem_owner: HashMap::new(),
             stats: SmStats::default(),
+            last_issue_cycle: Cycle::ZERO,
             cfg,
         }
     }
@@ -218,6 +229,17 @@ impl Sm {
     /// This SM's id.
     pub fn id(&self) -> SmId {
         self.cfg.id
+    }
+
+    /// The address space this SM is bound to.
+    pub fn asid(&self) -> Asid {
+        self.cfg.asid
+    }
+
+    /// Cycle of the most recent user-instruction issue (zero if nothing
+    /// issued yet).
+    pub fn last_issue_cycle(&self) -> Cycle {
+        self.last_issue_cycle
     }
 
     /// Scheduler/issue statistics.
@@ -288,7 +310,7 @@ impl Sm {
     }
 
     fn process_lookup(&mut self, now: Cycle, lk: TlbLookup) {
-        if let Some(pfn) = self.l1_tlb.lookup(lk.vpn) {
+        if let Some(pfn) = self.l1_tlb.lookup(self.cfg.asid, lk.vpn) {
             if lk.retried {
                 // The hit consumed no MSHR capacity: refund the token.
                 self.tlb_retry_budget += 1;
@@ -297,6 +319,7 @@ impl Sm {
             return;
         }
         match self.l1_mshr.allocate(
+            self.cfg.asid,
             lk.vpn,
             L1Waiter {
                 warp: lk.warp,
@@ -414,6 +437,7 @@ impl Sm {
                         self.compute_count += 1;
                         self.stats.issued_cycles += 1;
                         self.stats.instructions += 1;
+                        self.last_issue_cycle = now;
                         self.sched_ptr = (idx + 1) % n;
                         return;
                     }
@@ -442,6 +466,7 @@ impl Sm {
                         self.stats.issued_cycles += 1;
                         self.stats.instructions += 1;
                         self.stats.loads += 1;
+                        self.last_issue_cycle = now;
                         self.sched_ptr = (idx + 1) % n;
                         return;
                     }
@@ -476,10 +501,10 @@ impl Sm {
     /// counted in [`SmStats::xlat_faults`].
     pub fn on_translation(&mut self, now: Cycle, vpn: Vpn, pfn: Option<Pfn>) {
         self.tlb_retry_budget = self.tlb_retry_budget.saturating_add(2);
-        let waiters = self.l1_mshr.resolve(vpn);
+        let waiters = self.l1_mshr.resolve(self.cfg.asid, vpn);
         match pfn {
             Some(pfn) => {
-                self.l1_tlb.fill(vpn, pfn);
+                self.l1_tlb.fill(self.cfg.asid, vpn, pfn);
                 for wtr in waiters {
                     self.complete_translation(now, wtr.warp, vpn, pfn, wtr.sector_vas);
                 }
@@ -501,7 +526,7 @@ impl Sm {
     /// misses are untouched — their walk completes against the updated
     /// page table.
     pub fn invalidate_translation(&mut self, vpn: Vpn) -> usize {
-        self.l1_tlb.invalidate(vpn)
+        self.l1_tlb.invalidate(self.cfg.asid, vpn)
     }
 
     /// Delivers a completed L2D fill for an L1D miss this SM issued.

@@ -15,11 +15,19 @@
 //! 4. If the set has no reservable way (all ways pending) or the In-TLB
 //!    budget is exhausted, the miss is rejected: an **MSHR failure**, the
 //!    quantity Figure 17 reports.
+//!
+//! Being the *shared* level, every tag here — array, dedicated MSHR, and
+//! In-TLB reservation alike — is the full `(Asid, Vpn)` pair: concurrent
+//! tenants missing on the same VPN run independent walks, and shootdowns
+//! are scoped to one tenant. The opt-in sub-entry sharing and way
+//! partitioning modes of the underlying [`Tlb`] are exposed through
+//! [`L2TlbComplex::set_sub_entry_sharing`] and
+//! [`L2TlbComplex::set_way_partition`].
 
 use crate::mshr::{MshrOutcome, TlbMshr, TlbMshrConfig};
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
 use std::collections::HashMap;
-use swgpu_types::{Pfn, Vpn};
+use swgpu_types::{Asid, Pfn, Vpn};
 
 /// Outcome of presenting a request to [`L2TlbComplex::access`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,27 +67,28 @@ pub struct InTlbStats {
 ///
 /// ```
 /// use swgpu_tlb::{L2MissOutcome, L2TlbComplex, TlbConfig, TlbMshrConfig};
-/// use swgpu_types::{Pfn, Vpn};
+/// use swgpu_types::{Asid, Pfn, Vpn};
 ///
 /// let mut l2: L2TlbComplex<u32> = L2TlbComplex::new(
 ///     TlbConfig::l2(),
 ///     TlbMshrConfig { entries: 1, max_merges: 1 },
 ///     1024,
 /// );
-/// assert_eq!(l2.access(Vpn::new(1), 100), L2MissOutcome::MissNewWalk);
+/// let t = Asid::ZERO;
+/// assert_eq!(l2.access(t, Vpn::new(1), 100), L2MissOutcome::MissNewWalk);
 /// // Dedicated MSHR now full; the next miss overflows into the TLB array.
-/// assert_eq!(l2.access(Vpn::new(2), 200), L2MissOutcome::MissNewWalk);
+/// assert_eq!(l2.access(t, Vpn::new(2), 200), L2MissOutcome::MissNewWalk);
 /// assert_eq!(l2.pending_in_tlb(), 1);
-/// let waiters = l2.complete_walk(Vpn::new(2), Pfn::new(7));
+/// let waiters = l2.complete_walk(t, Vpn::new(2), Pfn::new(7));
 /// assert_eq!(waiters, vec![200]);
-/// assert_eq!(l2.access(Vpn::new(2), 201), L2MissOutcome::Hit(Pfn::new(7)));
+/// assert_eq!(l2.access(t, Vpn::new(2), 201), L2MissOutcome::Hit(Pfn::new(7)));
 /// ```
 #[derive(Debug)]
 pub struct L2TlbComplex<M> {
     tlb: Tlb,
     mshr: TlbMshr<M>,
     in_tlb_max: usize,
-    overflow_waiters: HashMap<Vpn, Vec<M>>,
+    overflow_waiters: HashMap<(Asid, Vpn), Vec<M>>,
     stats: InTlbStats,
 }
 
@@ -122,7 +131,8 @@ impl<M> L2TlbComplex<M> {
         self.mshr.in_flight()
     }
 
-    /// Distinct VPNs with in-flight walks across both tracking paths.
+    /// Distinct `(asid, vpn)` tags with in-flight walks across both
+    /// tracking paths.
     pub fn walks_in_flight(&self) -> usize {
         self.mshr.in_flight() + self.overflow_waiters.len()
     }
@@ -139,15 +149,31 @@ impl<M> L2TlbComplex<M> {
         &self.tlb
     }
 
-    /// Presents a translation request for `vpn`, parking `meta` on a miss.
-    pub fn access(&mut self, vpn: Vpn, meta: M) -> L2MissOutcome {
-        if let Some(pfn) = self.tlb.lookup(vpn) {
+    /// MIG-style static way partitioning of the underlying array:
+    /// `partition[asid] = (first_way, ways)` confines each tenant's fills
+    /// and In-TLB reservations to its window. See
+    /// [`Tlb::set_way_partition`].
+    pub fn set_way_partition(&mut self, partition: Vec<(usize, usize)>) {
+        self.tlb.set_way_partition(partition);
+    }
+
+    /// Enables sub-entry sharing in the underlying array: identically
+    /// mapped `(vpn, pfn)` pairs across tenants collapse onto one way.
+    /// See [`Tlb::set_sub_entry_sharing`].
+    pub fn set_sub_entry_sharing(&mut self, on: bool) {
+        self.tlb.set_sub_entry_sharing(on);
+    }
+
+    /// Presents a translation request for `(asid, vpn)`, parking `meta`
+    /// on a miss.
+    pub fn access(&mut self, asid: Asid, vpn: Vpn, meta: M) -> L2MissOutcome {
+        if let Some(pfn) = self.tlb.lookup(asid, vpn) {
             return L2MissOutcome::Hit(pfn);
         }
 
         // Already tracked by a dedicated MSHR? Merge there.
-        if self.mshr.contains(vpn) {
-            return match self.mshr.allocate(vpn, meta) {
+        if self.mshr.contains(asid, vpn) {
+            return match self.mshr.allocate(asid, vpn, meta) {
                 MshrOutcome::Merged => L2MissOutcome::MissMerged,
                 MshrOutcome::Full => {
                     self.stats.total_failures += 1;
@@ -159,35 +185,38 @@ impl<M> L2TlbComplex<M> {
 
         // Already tracked by the In-TLB path? Merge by reserving another
         // same-tag way.
-        if self.tlb.has_pending(vpn) {
-            return self.try_in_tlb(vpn, meta, /* merge: */ true);
+        if self.tlb.has_pending(asid, vpn) {
+            return self.try_in_tlb(asid, vpn, meta, /* merge: */ true);
         }
 
         // New miss: prefer a dedicated MSHR entry.
         if !self.mshr.is_full() {
-            match self.mshr.allocate(vpn, meta) {
+            match self.mshr.allocate(asid, vpn, meta) {
                 MshrOutcome::Allocated => return L2MissOutcome::MissNewWalk,
-                _ => unreachable!("is_full() checked and vpn untracked"),
+                _ => unreachable!("is_full() checked and tag untracked"),
             }
         }
 
         // Dedicated file saturated — Figure 13 step 1.
         self.stats.dedicated_rejections += 1;
-        self.try_in_tlb(vpn, meta, /* merge: */ false)
+        self.try_in_tlb(asid, vpn, meta, /* merge: */ false)
     }
 
-    fn try_in_tlb(&mut self, vpn: Vpn, meta: M, merge: bool) -> L2MissOutcome {
+    fn try_in_tlb(&mut self, asid: Asid, vpn: Vpn, meta: M, merge: bool) -> L2MissOutcome {
         if self.in_tlb_max == 0 || self.tlb.pending_entries() >= self.in_tlb_max {
             self.stats.total_failures += 1;
             return L2MissOutcome::MshrFailure;
         }
-        if !self.tlb.reserve_pending(vpn) {
+        if !self.tlb.reserve_pending(asid, vpn) {
             // Every way in the set is already pending — the per-set
             // bottleneck (spmv in Figure 24).
             self.stats.total_failures += 1;
             return L2MissOutcome::MshrFailure;
         }
-        self.overflow_waiters.entry(vpn).or_default().push(meta);
+        self.overflow_waiters
+            .entry((asid, vpn))
+            .or_default()
+            .push(meta);
         if merge {
             self.stats.in_tlb_merges += 1;
             L2MissOutcome::MissMerged
@@ -197,54 +226,71 @@ impl<M> L2TlbComplex<M> {
         }
     }
 
-    /// Single-page shootdown: drops the cached translation for `vpn`
-    /// without disturbing in-flight MSHR walks (their waiters are still
-    /// released when the walk completes; the walk itself re-reads the
-    /// updated page table). Returns the number of entries dropped.
-    pub fn invalidate(&mut self, vpn: Vpn) -> usize {
-        self.tlb.invalidate(vpn)
+    /// Single-page shootdown scoped to one tenant: drops the cached
+    /// translation for `(asid, vpn)` without disturbing other tenants'
+    /// entries for the same VPN or in-flight MSHR walks (their waiters
+    /// are still released when the walk completes; the walk itself
+    /// re-reads the updated page table). Returns the number of entries
+    /// dropped.
+    pub fn invalidate(&mut self, asid: Asid, vpn: Vpn) -> usize {
+        self.tlb.invalidate(asid, vpn)
     }
 
-    /// Whether a walk for `vpn` is currently in flight (either path).
-    pub fn is_walk_in_flight(&self, vpn: Vpn) -> bool {
-        self.mshr.contains(vpn) || self.overflow_waiters.contains_key(&vpn)
+    /// Tenant-teardown flush: drops every cached claim `asid` holds in
+    /// the array — valid entries, sub-entry shares, and its In-TLB
+    /// reservations (their overflow waiters are dropped too; teardown
+    /// implies the tenant's requesters are gone). Dedicated-MSHR walks
+    /// are left to complete and install harmlessly into the now-unused
+    /// tag space. Returns the number of valid entries dropped.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        self.overflow_waiters.retain(|&(a, _), _| a != asid);
+        self.tlb.flush_asid(asid)
     }
 
-    /// Completes the walk for `vpn`: installs the translation and returns
-    /// every parked waiter (dedicated first, then In-TLB, each in arrival
-    /// order).
-    pub fn complete_walk(&mut self, vpn: Vpn, pfn: Pfn) -> Vec<M> {
-        let mut waiters = self.mshr.resolve(vpn);
-        if let Some(overflow) = self.overflow_waiters.remove(&vpn) {
+    /// Whether a walk for `(asid, vpn)` is currently in flight (either
+    /// path).
+    pub fn is_walk_in_flight(&self, asid: Asid, vpn: Vpn) -> bool {
+        self.mshr.contains(asid, vpn) || self.overflow_waiters.contains_key(&(asid, vpn))
+    }
+
+    /// Completes the walk for `(asid, vpn)`: installs the translation and
+    /// returns every parked waiter (dedicated first, then In-TLB, each in
+    /// arrival order).
+    pub fn complete_walk(&mut self, asid: Asid, vpn: Vpn, pfn: Pfn) -> Vec<M> {
+        let mut waiters = self.mshr.resolve(asid, vpn);
+        if let Some(overflow) = self.overflow_waiters.remove(&(asid, vpn)) {
             waiters.extend(overflow);
-            self.tlb.clear_pending_and_fill(vpn, pfn);
+            self.tlb.clear_pending_and_fill(asid, vpn, pfn);
         } else {
-            self.tlb.fill(vpn, pfn);
+            self.tlb.fill(asid, vpn, pfn);
         }
         waiters
     }
 
     /// [`L2TlbComplex::complete_walk`] for a prefetch-initiated walk: the
     /// installed translation carries the prefetch tag so an unused
-    /// prefetch is preferentially evicted and its fate is counted.
-    pub fn complete_walk_prefetched(&mut self, vpn: Vpn, pfn: Pfn) -> Vec<M> {
-        let mut waiters = self.mshr.resolve(vpn);
-        if let Some(overflow) = self.overflow_waiters.remove(&vpn) {
+    /// prefetch is preferentially evicted and its fate is counted. The
+    /// ASID is the issuing tenant's — a prefetch completes into its own
+    /// tag space only.
+    pub fn complete_walk_prefetched(&mut self, asid: Asid, vpn: Vpn, pfn: Pfn) -> Vec<M> {
+        let mut waiters = self.mshr.resolve(asid, vpn);
+        if let Some(overflow) = self.overflow_waiters.remove(&(asid, vpn)) {
             waiters.extend(overflow);
-            self.tlb.clear_pending_and_fill_prefetched(vpn, pfn);
+            self.tlb.clear_pending_and_fill_prefetched(asid, vpn, pfn);
         } else {
-            self.tlb.fill_prefetched(vpn, pfn);
+            self.tlb.fill_prefetched(asid, vpn, pfn);
         }
         waiters
     }
 
-    /// Aborts the walk for `vpn` without installing a translation (page
-    /// fault): waiters are still released so they can observe the fault.
-    pub fn fail_walk(&mut self, vpn: Vpn) -> Vec<M> {
-        let mut waiters = self.mshr.resolve(vpn);
-        if let Some(overflow) = self.overflow_waiters.remove(&vpn) {
+    /// Aborts the walk for `(asid, vpn)` without installing a translation
+    /// (page fault): waiters are still released so they can observe the
+    /// fault.
+    pub fn fail_walk(&mut self, asid: Asid, vpn: Vpn) -> Vec<M> {
+        let mut waiters = self.mshr.resolve(asid, vpn);
+        if let Some(overflow) = self.overflow_waiters.remove(&(asid, vpn)) {
             waiters.extend(overflow);
-            self.tlb.clear_pending(vpn);
+            self.tlb.clear_pending(asid, vpn);
         }
         waiters
     }
@@ -277,6 +323,9 @@ impl<M> swgpu_types::Component for L2TlbComplex<M> {
 mod tests {
     use super::*;
 
+    const A: Asid = Asid::ZERO;
+    const B: Asid = Asid(1);
+
     fn complex(mshr_entries: usize, in_tlb_max: usize) -> L2TlbComplex<u32> {
         L2TlbComplex::new(
             TlbConfig {
@@ -296,27 +345,30 @@ mod tests {
     #[test]
     fn hit_path() {
         let mut l2 = complex(4, 0);
-        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
-        let w = l2.complete_walk(Vpn::new(1), Pfn::new(9));
+        assert_eq!(l2.access(A, Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        let w = l2.complete_walk(A, Vpn::new(1), Pfn::new(9));
         assert_eq!(w, vec![0]);
-        assert_eq!(l2.access(Vpn::new(1), 1), L2MissOutcome::Hit(Pfn::new(9)));
+        assert_eq!(
+            l2.access(A, Vpn::new(1), 1),
+            L2MissOutcome::Hit(Pfn::new(9))
+        );
     }
 
     #[test]
     fn dedicated_merge() {
         let mut l2 = complex(4, 0);
-        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
-        assert_eq!(l2.access(Vpn::new(1), 1), L2MissOutcome::MissMerged);
+        assert_eq!(l2.access(A, Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(A, Vpn::new(1), 1), L2MissOutcome::MissMerged);
         // Merge limit is 2.
-        assert_eq!(l2.access(Vpn::new(1), 2), L2MissOutcome::MshrFailure);
-        assert_eq!(l2.complete_walk(Vpn::new(1), Pfn::new(5)), vec![0, 1]);
+        assert_eq!(l2.access(A, Vpn::new(1), 2), L2MissOutcome::MshrFailure);
+        assert_eq!(l2.complete_walk(A, Vpn::new(1), Pfn::new(5)), vec![0, 1]);
     }
 
     #[test]
     fn baseline_fails_without_in_tlb() {
         let mut l2 = complex(1, 0);
-        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
-        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MshrFailure);
+        assert_eq!(l2.access(A, Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(A, Vpn::new(2), 1), L2MissOutcome::MshrFailure);
         assert_eq!(l2.mshr_failures(), 1);
         assert_eq!(l2.in_tlb_stats().dedicated_rejections, 1);
     }
@@ -324,35 +376,38 @@ mod tests {
     #[test]
     fn in_tlb_overflow_tracks_new_walks() {
         let mut l2 = complex(1, 8);
-        assert_eq!(l2.access(Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
-        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(A, Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(A, Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
         assert_eq!(l2.pending_in_tlb(), 1);
         assert_eq!(l2.walks_in_flight(), 2);
         assert_eq!(l2.mshr_failures(), 0);
         // Completion resolves the overflow-tracked miss and installs it.
-        assert_eq!(l2.complete_walk(Vpn::new(2), Pfn::new(7)), vec![1]);
+        assert_eq!(l2.complete_walk(A, Vpn::new(2), Pfn::new(7)), vec![1]);
         assert_eq!(l2.pending_in_tlb(), 0);
-        assert_eq!(l2.access(Vpn::new(2), 2), L2MissOutcome::Hit(Pfn::new(7)));
+        assert_eq!(
+            l2.access(A, Vpn::new(2), 2),
+            L2MissOutcome::Hit(Pfn::new(7))
+        );
     }
 
     #[test]
     fn in_tlb_merge_reserves_same_tag_way() {
         let mut l2 = complex(1, 8);
-        l2.access(Vpn::new(1), 0); // dedicated
-        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
-        assert_eq!(l2.access(Vpn::new(2), 2), L2MissOutcome::MissMerged);
+        l2.access(A, Vpn::new(1), 0); // dedicated
+        assert_eq!(l2.access(A, Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(A, Vpn::new(2), 2), L2MissOutcome::MissMerged);
         assert_eq!(l2.pending_in_tlb(), 2, "merge reserved a second way");
         assert_eq!(l2.in_tlb_stats().in_tlb_merges, 1);
-        assert_eq!(l2.complete_walk(Vpn::new(2), Pfn::new(7)), vec![1, 2]);
+        assert_eq!(l2.complete_walk(A, Vpn::new(2), Pfn::new(7)), vec![1, 2]);
         assert_eq!(l2.pending_in_tlb(), 0);
     }
 
     #[test]
     fn in_tlb_budget_is_enforced() {
         let mut l2 = complex(1, 1);
-        l2.access(Vpn::new(1), 0); // dedicated
-        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
-        assert_eq!(l2.access(Vpn::new(3), 2), L2MissOutcome::MshrFailure);
+        l2.access(A, Vpn::new(1), 0); // dedicated
+        assert_eq!(l2.access(A, Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        assert_eq!(l2.access(A, Vpn::new(3), 2), L2MissOutcome::MshrFailure);
         assert_eq!(l2.mshr_failures(), 1);
     }
 
@@ -360,42 +415,42 @@ mod tests {
     fn per_set_exhaustion_fails() {
         // TLB: 2 sets x 4 ways. VPNs 0,2,4,6,8 all map to set 0.
         let mut l2 = complex(1, 64);
-        l2.access(Vpn::new(1), 0); // dedicated (set 1)
+        l2.access(A, Vpn::new(1), 0); // dedicated (set 1)
         for (i, v) in [0u64, 2, 4, 6].iter().enumerate() {
             assert_eq!(
-                l2.access(Vpn::new(*v), 10 + i as u32),
+                l2.access(A, Vpn::new(*v), 10 + i as u32),
                 L2MissOutcome::MissNewWalk
             );
         }
         // Set 0 fully pending; a fifth set-0 miss fails even though the
         // In-TLB budget (64) is not exhausted.
-        assert_eq!(l2.access(Vpn::new(8), 99), L2MissOutcome::MshrFailure);
+        assert_eq!(l2.access(A, Vpn::new(8), 99), L2MissOutcome::MshrFailure);
     }
 
     #[test]
     fn dedicated_preferred_when_free_again() {
         let mut l2 = complex(1, 8);
-        l2.access(Vpn::new(1), 0);
-        l2.complete_walk(Vpn::new(1), Pfn::new(1));
-        assert_eq!(l2.access(Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
+        l2.access(A, Vpn::new(1), 0);
+        l2.complete_walk(A, Vpn::new(1), Pfn::new(1));
+        assert_eq!(l2.access(A, Vpn::new(2), 1), L2MissOutcome::MissNewWalk);
         assert_eq!(l2.pending_in_tlb(), 0, "went to the freed dedicated MSHR");
     }
 
     #[test]
     fn fail_walk_releases_without_filling() {
         let mut l2 = complex(1, 8);
-        l2.access(Vpn::new(1), 0); // dedicated
-        l2.access(Vpn::new(2), 1); // in-TLB
-        assert_eq!(l2.fail_walk(Vpn::new(1)), vec![0]);
-        assert_eq!(l2.fail_walk(Vpn::new(2)), vec![1]);
+        l2.access(A, Vpn::new(1), 0); // dedicated
+        l2.access(A, Vpn::new(2), 1); // in-TLB
+        assert_eq!(l2.fail_walk(A, Vpn::new(1)), vec![0]);
+        assert_eq!(l2.fail_walk(A, Vpn::new(2)), vec![1]);
         assert_eq!(l2.pending_in_tlb(), 0);
         // Neither VPN was installed.
         assert!(matches!(
-            l2.access(Vpn::new(1), 9),
+            l2.access(A, Vpn::new(1), 9),
             L2MissOutcome::MissNewWalk
         ));
         assert!(matches!(
-            l2.access(Vpn::new(2), 9),
+            l2.access(A, Vpn::new(2), 9),
             L2MissOutcome::MissNewWalk
         ));
     }
@@ -403,26 +458,79 @@ mod tests {
     #[test]
     fn invalidate_drops_translation_but_not_walks() {
         let mut l2 = complex(4, 0);
-        l2.access(Vpn::new(1), 0);
-        l2.complete_walk(Vpn::new(1), Pfn::new(9));
-        l2.access(Vpn::new(2), 1); // walk in flight
-        assert_eq!(l2.invalidate(Vpn::new(1)), 1);
-        assert_eq!(l2.invalidate(Vpn::new(2)), 0, "no cached entry to drop");
-        assert!(l2.is_walk_in_flight(Vpn::new(2)), "walk untouched");
+        l2.access(A, Vpn::new(1), 0);
+        l2.complete_walk(A, Vpn::new(1), Pfn::new(9));
+        l2.access(A, Vpn::new(2), 1); // walk in flight
+        assert_eq!(l2.invalidate(A, Vpn::new(1)), 1);
+        assert_eq!(l2.invalidate(A, Vpn::new(2)), 0, "no cached entry to drop");
+        assert!(l2.is_walk_in_flight(A, Vpn::new(2)), "walk untouched");
         assert!(matches!(
-            l2.access(Vpn::new(1), 2),
+            l2.access(A, Vpn::new(1), 2),
             L2MissOutcome::MissNewWalk
         ));
-        assert_eq!(l2.complete_walk(Vpn::new(2), Pfn::new(7)), vec![1]);
+        assert_eq!(l2.complete_walk(A, Vpn::new(2), Pfn::new(7)), vec![1]);
     }
 
     #[test]
     fn is_walk_in_flight_covers_both_paths() {
         let mut l2 = complex(1, 8);
-        l2.access(Vpn::new(1), 0);
-        l2.access(Vpn::new(2), 1);
-        assert!(l2.is_walk_in_flight(Vpn::new(1)));
-        assert!(l2.is_walk_in_flight(Vpn::new(2)));
-        assert!(!l2.is_walk_in_flight(Vpn::new(3)));
+        l2.access(A, Vpn::new(1), 0);
+        l2.access(A, Vpn::new(2), 1);
+        assert!(l2.is_walk_in_flight(A, Vpn::new(1)));
+        assert!(l2.is_walk_in_flight(A, Vpn::new(2)));
+        assert!(!l2.is_walk_in_flight(A, Vpn::new(3)));
+    }
+
+    #[test]
+    fn tenants_walk_the_same_vpn_independently() {
+        let mut l2 = complex(4, 0);
+        assert_eq!(l2.access(A, Vpn::new(1), 0), L2MissOutcome::MissNewWalk);
+        assert_eq!(
+            l2.access(B, Vpn::new(1), 1),
+            L2MissOutcome::MissNewWalk,
+            "no cross-tenant merge"
+        );
+        assert_eq!(l2.complete_walk(A, Vpn::new(1), Pfn::new(10)), vec![0]);
+        assert_eq!(l2.complete_walk(B, Vpn::new(1), Pfn::new(20)), vec![1]);
+        assert_eq!(
+            l2.access(A, Vpn::new(1), 2),
+            L2MissOutcome::Hit(Pfn::new(10))
+        );
+        assert_eq!(
+            l2.access(B, Vpn::new(1), 3),
+            L2MissOutcome::Hit(Pfn::new(20))
+        );
+    }
+
+    #[test]
+    fn invalidate_is_tenant_scoped() {
+        let mut l2 = complex(4, 0);
+        l2.access(A, Vpn::new(1), 0);
+        l2.complete_walk(A, Vpn::new(1), Pfn::new(10));
+        l2.access(B, Vpn::new(1), 1);
+        l2.complete_walk(B, Vpn::new(1), Pfn::new(20));
+        assert_eq!(l2.invalidate(A, Vpn::new(1)), 1);
+        assert_eq!(
+            l2.access(B, Vpn::new(1), 2),
+            L2MissOutcome::Hit(Pfn::new(20)),
+            "B's entry survives A's shootdown"
+        );
+    }
+
+    #[test]
+    fn flush_asid_tears_down_one_tenant() {
+        let mut l2 = complex(1, 8);
+        l2.access(A, Vpn::new(1), 0); // dedicated walk
+        l2.complete_walk(A, Vpn::new(1), Pfn::new(10));
+        l2.access(B, Vpn::new(3), 1); // dedicated walk in flight for B
+        l2.access(A, Vpn::new(2), 2); // A's in-TLB reservation
+        assert_eq!(l2.flush_asid(A), 1);
+        assert_eq!(l2.pending_in_tlb(), 0, "A's reservation torn down");
+        assert!(!l2.is_walk_in_flight(A, Vpn::new(2)));
+        assert!(l2.is_walk_in_flight(B, Vpn::new(3)), "B's walk survives");
+        assert!(matches!(
+            l2.access(A, Vpn::new(1), 9),
+            L2MissOutcome::MissNewWalk
+        ));
     }
 }

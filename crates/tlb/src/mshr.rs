@@ -1,7 +1,7 @@
 //! TLB miss status holding registers.
 
 use std::collections::HashMap;
-use swgpu_types::Vpn;
+use swgpu_types::{Asid, Vpn};
 
 /// Sizing of one MSHR file. Table 3: the L1 TLB has 32 entries with 192
 /// merges per entry; the L2 TLB has 128 entries with 46 merges per entry.
@@ -57,25 +57,27 @@ pub struct TlbMshrStats {
 }
 
 /// A bounded MSHR file, generic over the waiter metadata `M` it parks
-/// (which SM/warp/instruction is waiting on each VPN).
+/// (which SM/warp/instruction is waiting on each VPN). Entries are keyed
+/// by the full `(Asid, Vpn)` tag: two tenants missing on the same VPN
+/// track two independent walks and never merge into each other.
 ///
 /// # Example
 ///
 /// ```
 /// use swgpu_tlb::{MshrOutcome, TlbMshr, TlbMshrConfig};
-/// use swgpu_types::Vpn;
+/// use swgpu_types::{Asid, Vpn};
 ///
 /// let mut m: TlbMshr<&str> = TlbMshr::new(TlbMshrConfig { entries: 1, max_merges: 2 });
-/// assert_eq!(m.allocate(Vpn::new(1), "a"), MshrOutcome::Allocated);
-/// assert_eq!(m.allocate(Vpn::new(1), "b"), MshrOutcome::Merged);
-/// assert_eq!(m.allocate(Vpn::new(1), "c"), MshrOutcome::Full);
-/// assert_eq!(m.allocate(Vpn::new(2), "d"), MshrOutcome::Full);
-/// assert_eq!(m.resolve(Vpn::new(1)), vec!["a", "b"]);
+/// assert_eq!(m.allocate(Asid::ZERO, Vpn::new(1), "a"), MshrOutcome::Allocated);
+/// assert_eq!(m.allocate(Asid::ZERO, Vpn::new(1), "b"), MshrOutcome::Merged);
+/// assert_eq!(m.allocate(Asid::ZERO, Vpn::new(1), "c"), MshrOutcome::Full);
+/// assert_eq!(m.allocate(Asid::ZERO, Vpn::new(2), "d"), MshrOutcome::Full);
+/// assert_eq!(m.resolve(Asid::ZERO, Vpn::new(1)), vec!["a", "b"]);
 /// ```
 #[derive(Debug)]
 pub struct TlbMshr<M> {
     cfg: TlbMshrConfig,
-    inflight: HashMap<Vpn, Vec<M>>,
+    inflight: HashMap<(Asid, Vpn), Vec<M>>,
     stats: TlbMshrStats,
 }
 
@@ -105,9 +107,9 @@ impl<M> TlbMshr<M> {
         self.stats
     }
 
-    /// Presents a miss for `vpn` with waiter metadata `meta`.
-    pub fn allocate(&mut self, vpn: Vpn, meta: M) -> MshrOutcome {
-        if let Some(waiters) = self.inflight.get_mut(&vpn) {
+    /// Presents a miss for `(asid, vpn)` with waiter metadata `meta`.
+    pub fn allocate(&mut self, asid: Asid, vpn: Vpn, meta: M) -> MshrOutcome {
+        if let Some(waiters) = self.inflight.get_mut(&(asid, vpn)) {
             if waiters.len() < self.cfg.max_merges {
                 waiters.push(meta);
                 self.stats.merges += 1;
@@ -117,7 +119,7 @@ impl<M> TlbMshr<M> {
                 MshrOutcome::Full
             }
         } else if self.inflight.len() < self.cfg.entries {
-            self.inflight.insert(vpn, vec![meta]);
+            self.inflight.insert((asid, vpn), vec![meta]);
             self.stats.allocations += 1;
             MshrOutcome::Allocated
         } else {
@@ -126,19 +128,19 @@ impl<M> TlbMshr<M> {
         }
     }
 
-    /// Whether `vpn` is currently tracked.
-    pub fn contains(&self, vpn: Vpn) -> bool {
-        self.inflight.contains_key(&vpn)
+    /// Whether `(asid, vpn)` is currently tracked.
+    pub fn contains(&self, asid: Asid, vpn: Vpn) -> bool {
+        self.inflight.contains_key(&(asid, vpn))
     }
 
     /// Completes a miss, releasing every merged waiter in arrival order.
-    /// Returns an empty vector if the VPN was not tracked (already
+    /// Returns an empty vector if the tag was not tracked (already
     /// resolved, or tracked by the In-TLB overflow path instead).
-    pub fn resolve(&mut self, vpn: Vpn) -> Vec<M> {
-        self.inflight.remove(&vpn).unwrap_or_default()
+    pub fn resolve(&mut self, asid: Asid, vpn: Vpn) -> Vec<M> {
+        self.inflight.remove(&(asid, vpn)).unwrap_or_default()
     }
 
-    /// Number of distinct VPNs in flight.
+    /// Number of distinct `(asid, vpn)` tags in flight.
     pub fn in_flight(&self) -> usize {
         self.inflight.len()
     }
@@ -153,18 +155,21 @@ impl<M> TlbMshr<M> {
 mod tests {
     use super::*;
 
+    const A: Asid = Asid::ZERO;
+    const B: Asid = Asid(1);
+
     #[test]
     fn allocate_merge_full_lifecycle() {
         let mut m: TlbMshr<u32> = TlbMshr::new(TlbMshrConfig {
             entries: 2,
             max_merges: 2,
         });
-        assert_eq!(m.allocate(Vpn::new(1), 10), MshrOutcome::Allocated);
-        assert_eq!(m.allocate(Vpn::new(1), 11), MshrOutcome::Merged);
-        assert_eq!(m.allocate(Vpn::new(1), 12), MshrOutcome::Full);
-        assert_eq!(m.allocate(Vpn::new(2), 20), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(A, Vpn::new(1), 10), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(A, Vpn::new(1), 11), MshrOutcome::Merged);
+        assert_eq!(m.allocate(A, Vpn::new(1), 12), MshrOutcome::Full);
+        assert_eq!(m.allocate(A, Vpn::new(2), 20), MshrOutcome::Allocated);
         assert!(m.is_full());
-        assert_eq!(m.allocate(Vpn::new(3), 30), MshrOutcome::Full);
+        assert_eq!(m.allocate(A, Vpn::new(3), 30), MshrOutcome::Full);
         let s = m.stats();
         assert_eq!((s.allocations, s.merges, s.failures), (2, 1, 2));
     }
@@ -175,12 +180,12 @@ mod tests {
             entries: 4,
             max_merges: 8,
         });
-        m.allocate(Vpn::new(5), 1);
-        m.allocate(Vpn::new(5), 2);
-        m.allocate(Vpn::new(5), 3);
-        assert_eq!(m.resolve(Vpn::new(5)), vec![1, 2, 3]);
-        assert!(!m.contains(Vpn::new(5)));
-        assert_eq!(m.resolve(Vpn::new(5)), Vec::<u32>::new());
+        m.allocate(A, Vpn::new(5), 1);
+        m.allocate(A, Vpn::new(5), 2);
+        m.allocate(A, Vpn::new(5), 3);
+        assert_eq!(m.resolve(A, Vpn::new(5)), vec![1, 2, 3]);
+        assert!(!m.contains(A, Vpn::new(5)));
+        assert_eq!(m.resolve(A, Vpn::new(5)), Vec::<u32>::new());
     }
 
     #[test]
@@ -189,8 +194,26 @@ mod tests {
             entries: 1,
             max_merges: 1,
         });
-        assert_eq!(m.allocate(Vpn::new(1), ()), MshrOutcome::Allocated);
-        m.resolve(Vpn::new(1));
-        assert_eq!(m.allocate(Vpn::new(2), ()), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(A, Vpn::new(1), ()), MshrOutcome::Allocated);
+        m.resolve(A, Vpn::new(1));
+        assert_eq!(m.allocate(A, Vpn::new(2), ()), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn same_vpn_different_asids_never_merge() {
+        let mut m: TlbMshr<u32> = TlbMshr::new(TlbMshrConfig {
+            entries: 4,
+            max_merges: 8,
+        });
+        assert_eq!(m.allocate(A, Vpn::new(7), 1), MshrOutcome::Allocated);
+        assert_eq!(
+            m.allocate(B, Vpn::new(7), 2),
+            MshrOutcome::Allocated,
+            "distinct tag, distinct walk"
+        );
+        assert_eq!(m.in_flight(), 2);
+        assert_eq!(m.resolve(A, Vpn::new(7)), vec![1]);
+        assert!(m.contains(B, Vpn::new(7)), "B's walk survives A's resolve");
+        assert_eq!(m.resolve(B, Vpn::new(7)), vec![2]);
     }
 }

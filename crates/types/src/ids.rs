@@ -75,6 +75,21 @@ small_id!(
     ChannelId(u16)
 );
 
+small_id!(
+    /// Address-space identifier: which tenant (concurrent process) a
+    /// translation belongs to. Every translation-path key — TLB tags on
+    /// both levels, PWC prefixes, MSHR and In-TLB MSHR tags, walk
+    /// ownership records — carries the ASID, so one tenant's entries can
+    /// never alias or shoot down another's. Single-tenant runs use
+    /// [`Asid::ZERO`] everywhere.
+    Asid(u16)
+);
+
+impl Asid {
+    /// The single-tenant / default address space.
+    pub const ZERO: Asid = Asid(0);
+}
+
 macro_rules! req_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*

@@ -38,7 +38,7 @@ pub use component::Component;
 pub use cycle::Cycle;
 pub use fault::{data_checksum, FaultInjectionStats, FaultInjector, FaultPlan, MmFaultStats};
 pub use ids::{
-    ChannelId, InstrId, LaneId, MemReqId, SmId, WalkerId, WarpId, XlatId, LANES_PER_WARP,
+    Asid, ChannelId, InstrId, LaneId, MemReqId, SmId, WalkerId, WarpId, XlatId, LANES_PER_WARP,
 };
 pub use mm::{MmConfig, MmEvictPolicy, MmStats};
 pub use obs::PteReadEvent;

@@ -14,7 +14,7 @@
 use softwalker_repro::{PwWarpConfig, PwWarpUnit, SwWalkRequest};
 use swgpu_mem::PhysMem;
 use swgpu_pt::{AddressSpace, PageWalkCache};
-use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, PageSize, VirtAddr, Vpn};
+use swgpu_types::{Asid, Cycle, DelayQueue, IdGen, MemReqId, PageSize, VirtAddr, Vpn};
 
 /// Runs the unit until it drains, answering LDPT reads after 100 cycles.
 fn drain(
@@ -48,14 +48,14 @@ fn main() {
     // Map 1 MB but leave everything above unmapped — the "cold" UVM pages.
     space.map_region(VirtAddr::new(0), 1024 * 1024, &mut mem);
     let mut pwc = PageWalkCache::new(32);
-    pwc.set_root(space.radix().root());
+    pwc.set_root(Asid::ZERO, space.radix().root());
     let mut ids = IdGen::new();
     let mut unit = PwWarpUnit::new(PwWarpConfig::default());
 
     let cold_vpn = Vpn::new(512); // 32 MB in: not mapped yet
     println!("1. GPU kernel touches an unmapped page (vpn={cold_vpn})");
 
-    let start = pwc.lookup(cold_vpn);
+    let start = pwc.lookup(Asid::ZERO, cold_vpn);
     unit.accept(
         Cycle::ZERO,
         SwWalkRequest::new(
@@ -82,7 +82,7 @@ fn main() {
     let pfn = space.map_page(faults[0].vpn, &mut mem);
     println!("4. Driver maps the page to frame {pfn} and resumes the GPU");
 
-    let start = pwc.lookup(cold_vpn);
+    let start = pwc.lookup(Asid::ZERO, cold_vpn);
     unit.accept(
         Cycle::ZERO,
         SwWalkRequest::new(

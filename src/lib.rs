@@ -10,8 +10,12 @@
 #![warn(missing_docs)]
 
 pub use softwalker::{DistributorPolicy, PwWarpConfig, PwWarpUnit, SwWalkRequest};
-pub use swgpu_sim::{GpuConfig, GpuSimulator, SimStats, TranslationMode};
-pub use swgpu_types::{FaultPlan, MmConfig, MmEvictPolicy, PageSize};
+pub use swgpu_sim::{
+    GpuConfig, GpuSimulator, SharingPolicy, SimStats, TenantConfig, TenantStats, TenantsConfig,
+    TranslationMode,
+};
+pub use swgpu_sm::InstrSource;
+pub use swgpu_types::{Asid, FaultPlan, MmConfig, MmEvictPolicy, PageSize};
 pub use swgpu_workloads::{by_abbr, irregular, regular, table4, Workload, WorkloadParams};
 
 /// Formats the run metrics examples care about as a short multi-line

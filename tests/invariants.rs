@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use swgpu_mem::{AccessKind, Cache, CacheConfig, Dram, DramConfig, MemReq};
 use swgpu_tlb::{L2MissOutcome, L2TlbComplex, ReplPolicy, TlbConfig, TlbMshrConfig};
-use swgpu_types::{Cycle, MemReqId, Pfn, PhysAddr, Vpn};
+use swgpu_types::{Asid, Cycle, MemReqId, Pfn, PhysAddr, Vpn};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -27,7 +27,7 @@ proptest! {
         let mut accepted = std::collections::HashMap::<u64, Vec<u64>>::new();
         let mut next_walks = Vec::new();
         for (tag, &v) in vpns.iter().enumerate() {
-            match l2.access(Vpn::new(v), tag as u64) {
+            match l2.access(Asid::ZERO, Vpn::new(v), tag as u64) {
                 L2MissOutcome::Hit(_) => {}
                 L2MissOutcome::MissNewWalk => {
                     accepted.entry(v).or_default().push(tag as u64);
@@ -42,7 +42,7 @@ proptest! {
         // Complete every launched walk; collect released waiters.
         let mut released = std::collections::HashMap::<u64, Vec<u64>>::new();
         for v in next_walks {
-            let waiters = l2.complete_walk(Vpn::new(v), Pfn::new(v + 1000));
+            let waiters = l2.complete_walk(Asid::ZERO, Vpn::new(v), Pfn::new(v + 1000));
             released.entry(v).or_default().extend(waiters);
         }
         prop_assert_eq!(accepted, released);
@@ -63,7 +63,7 @@ proptest! {
             in_tlb_max,
         );
         for (i, &v) in vpns.iter().enumerate() {
-            let _ = l2.access(Vpn::new(v), i as u32);
+            let _ = l2.access(Asid::ZERO, Vpn::new(v), i as u32);
             prop_assert!(l2.pending_in_tlb() <= in_tlb_max);
         }
     }

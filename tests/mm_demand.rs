@@ -168,7 +168,7 @@ fn oversubscribed_run_retires_the_same_work() {
 #[test]
 fn shootdown_invalidates_every_matching_way_exactly_once() {
     use swgpu_tlb::{L2MissOutcome, L2TlbComplex, ReplPolicy, Tlb, TlbConfig, TlbMshrConfig};
-    use swgpu_types::{Pfn, Vpn};
+    use swgpu_types::{Asid, Pfn, Vpn};
     // The eviction shootdown path trusts `invalidate` to report how many
     // Valid ways it dropped. With the duplicate-tag fill hazard fixed,
     // set uniqueness caps that at one: a resident translation is
@@ -189,16 +189,28 @@ fn shootdown_invalidates_every_matching_way_exactly_once() {
     );
     for v in 0..16u64 {
         assert!(matches!(
-            l2.access(Vpn::new(v), 0),
+            l2.access(Asid::ZERO, Vpn::new(v), 0),
             L2MissOutcome::MissNewWalk
         ));
-        let _ = l2.complete_walk(Vpn::new(v), Pfn::new(v + 100));
+        let _ = l2.complete_walk(Asid::ZERO, Vpn::new(v), Pfn::new(v + 100));
     }
     for v in 0..16u64 {
-        assert_eq!(l2.invalidate(Vpn::new(v)), 1, "vpn {v}: resident page");
-        assert_eq!(l2.invalidate(Vpn::new(v)), 0, "vpn {v}: stale second way");
+        assert_eq!(
+            l2.invalidate(Asid::ZERO, Vpn::new(v)),
+            1,
+            "vpn {v}: resident page"
+        );
+        assert_eq!(
+            l2.invalidate(Asid::ZERO, Vpn::new(v)),
+            0,
+            "vpn {v}: stale second way"
+        );
     }
-    assert_eq!(l2.invalidate(Vpn::new(999)), 0, "never-cached page");
+    assert_eq!(
+        l2.invalidate(Asid::ZERO, Vpn::new(999)),
+        0,
+        "never-cached page"
+    );
     // Re-filling an already-valid VPN (the hazard's other face) must
     // reuse the way in place rather than install a twin — so the
     // shootdown count stays exactly one afterwards.
@@ -208,10 +220,10 @@ fn shootdown_invalidates_every_matching_way_exactly_once() {
         assoc: 4,
         repl: ReplPolicy::Lru,
     });
-    tlb.fill(Vpn::new(3), Pfn::new(7));
-    tlb.fill(Vpn::new(3), Pfn::new(8));
+    tlb.fill(Asid::ZERO, Vpn::new(3), Pfn::new(7));
+    tlb.fill(Asid::ZERO, Vpn::new(3), Pfn::new(8));
     assert_eq!(
-        tlb.invalidate(Vpn::new(3)),
+        tlb.invalidate(Asid::ZERO, Vpn::new(3)),
         1,
         "refill installed a twin way"
     );

@@ -7,7 +7,7 @@ use softwalker::{PwWarpConfig, PwWarpUnit, SwWalkRequest};
 use swgpu_mem::PhysMem;
 use swgpu_pt::{AddressSpace, PageWalkCache};
 use swgpu_ptw::{PtwConfig, PtwSubsystem, TableRef, WalkContext, WalkRequest};
-use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, Vpn};
+use swgpu_types::{Asid, Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, Vpn};
 
 /// Builds an address space with `n` pages mapped at scattered VPNs.
 fn build_space(vpns: &[u64]) -> (PhysMem, AddressSpace, Vec<(Vpn, Pfn)>) {
@@ -26,7 +26,7 @@ fn build_space(vpns: &[u64]) -> (PhysMem, AddressSpace, Vec<(Vpn, Pfn)>) {
 fn hw_walk(space: &AddressSpace, mem: &PhysMem, vpn: Vpn) -> Option<Pfn> {
     let mut sub = PtwSubsystem::new(PtwConfig::default());
     let mut pwc = PageWalkCache::new(32);
-    pwc.set_root(space.radix().root());
+    pwc.set_root(Asid::ZERO, space.radix().root());
     let mut ids = IdGen::new();
     sub.enqueue(WalkRequest::new(vpn, Cycle::ZERO));
     let mut now = Cycle::ZERO;
@@ -60,9 +60,9 @@ fn hw_walk(space: &AddressSpace, mem: &PhysMem, vpn: Vpn) -> Option<Pfn> {
 fn sw_walk(space: &AddressSpace, mem: &PhysMem, vpn: Vpn) -> Option<Pfn> {
     let mut unit = PwWarpUnit::new(PwWarpConfig::default());
     let mut pwc = PageWalkCache::new(32);
-    pwc.set_root(space.radix().root());
+    pwc.set_root(Asid::ZERO, space.radix().root());
     let mut ids = IdGen::new();
-    let start = pwc.lookup(vpn);
+    let start = pwc.lookup(Asid::ZERO, vpn);
     unit.accept(
         Cycle::ZERO,
         SwWalkRequest::new(vpn, Cycle::ZERO, Cycle::ZERO, start.level, start.node_base),

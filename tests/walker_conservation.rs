@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use swgpu_mem::PhysMem;
 use swgpu_pt::{AddressSpace, PageWalkCache};
 use swgpu_ptw::{PtwConfig, PtwSubsystem, TableRef, WalkContext, WalkRequest};
-use swgpu_types::{Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, Vpn};
+use swgpu_types::{Asid, Cycle, DelayQueue, IdGen, MemReqId, PageSize, Pfn, Vpn};
 
 fn build_space(pages: u64) -> (PhysMem, AddressSpace) {
     let mut mem = PhysMem::new();
@@ -39,7 +39,7 @@ proptest! {
             ..PtwConfig { nha, ..PtwConfig::default() }
         });
         let mut pwc = PageWalkCache::new(32);
-        pwc.set_root(space.radix().root());
+        pwc.set_root(Asid::ZERO, space.radix().root());
         let mut ids = IdGen::new();
         for &v in &vpns {
             prop_assert!(sub.enqueue(WalkRequest::new(Vpn::new(v), Cycle::ZERO)));
@@ -94,10 +94,10 @@ proptest! {
             ..PwWarpConfig::default()
         });
         let mut pwc = PageWalkCache::new(32);
-        pwc.set_root(space.radix().root());
+        pwc.set_root(Asid::ZERO, space.radix().root());
         let mut ids = IdGen::new();
         for &v in &vpns {
-            let start = pwc.lookup(Vpn::new(v));
+            let start = pwc.lookup(Asid::ZERO, Vpn::new(v));
             prop_assert!(unit.accept(
                 Cycle::ZERO,
                 SwWalkRequest::new(Vpn::new(v), Cycle::ZERO, Cycle::ZERO, start.level, start.node_base),
